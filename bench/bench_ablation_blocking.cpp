@@ -1,0 +1,50 @@
+/// \file bench_ablation_blocking.cpp
+/// \brief Ablation for the paper's Section V-A hypothesis: "this drop could
+/// be caused by the GPU-SZ dataset blocking, which divides the data into
+/// multiple independent blocks and decorrelates at the block borders,
+/// leading to more unpredictable data points and a lower compression ratio".
+///
+/// We sweep the SZ block edge at a fixed error bound: smaller independent
+/// blocks mean more border resets, so the bitrate at equal distortion must
+/// rise as blocks shrink — directly testing the attributed cause.
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "sz/sz.hpp"
+
+using namespace cosmo;
+
+int main() {
+  bench::banner("Ablation: blocking",
+                "SZ independent-block size vs rate at fixed error bound");
+
+  const io::Container nyx = bench::make_nyx();
+  const Field& field = nyx.find("baryon_density").field;
+  const auto [lo, hi] = value_range(field.view());
+  const double bound = (static_cast<double>(hi) - lo) * 1e-4;
+
+  std::printf("field: %s, abs bound %.4g (1e-4 of range)\n\n", field.name.c_str(), bound);
+  std::printf("%10s %10s %10s %14s %12s\n", "block edge", "bitrate", "PSNR(dB)",
+              "unpredictable", "reg. blocks");
+  std::printf("%s\n", std::string(62, '-').c_str());
+
+  for (const std::size_t edge : {4u, 8u, 16u, 32u, 64u}) {
+    if (edge > field.dims.nx) break;
+    sz::Params params;
+    params.abs_error_bound = bound;
+    params.block_edge = edge;
+    sz::Stats stats;
+    const auto bytes = sz::compress(field.data, field.dims, params, &stats);
+    const auto recon = sz::decompress(bytes);
+    const double psnr = analysis::psnr_db(field.data, recon);
+    std::printf("%10zu %10.3f %10.2f %14zu %12zu\n", edge, stats.bit_rate, psnr,
+                stats.unpredictable_points, stats.regression_blocks);
+  }
+
+  std::printf(
+      "\nExpected shape: PSNR is pinned by the fixed bound, while the bitrate falls\n"
+      "as blocks grow — larger blocks leave fewer decorrelated borders, confirming\n"
+      "the paper's explanation of the low-bitrate rate-distortion drop.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// \file bench_ablation_decimation.cpp
+/// \brief Measures the paper's Section I motivation instead of assuming it:
+/// "A better solution to this simple decimation strategy has been proposed
+/// — a new generation of error-bounded lossy compression techniques ...
+/// can usually achieve much higher compression ratios, given the same
+/// distortion". We compare temporal decimation (keep 1-in-k + linear
+/// interpolation) against error-bounded SZ (spatial, and temporal
+/// adjacent-snapshot) on a coherent snapshot sequence, at matched storage.
+#include <cstdio>
+
+#include "analysis/decimation.hpp"
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "cosmo/nyx_sequence.hpp"
+#include "sz/temporal.hpp"
+
+using namespace cosmo;
+
+int main() {
+  bench::banner("Ablation: decimation baseline",
+                "decimation vs error-bounded compression at matched storage");
+
+  NyxSequenceConfig config;
+  config.base.dim = std::min<std::size_t>(bench::nyx_dim(), 64);
+  config.steps = 9;
+  config.rotation_per_step = 0.12;
+  const auto frames = generate_nyx_density_sequence(config);
+  const double raw_bytes = static_cast<double>(frames.size()) *
+                           static_cast<double>(frames[0].bytes());
+  std::printf("sequence: %zu snapshots of %zu^3 (%s raw)\n\n", frames.size(),
+              config.base.dim, human_bytes(static_cast<std::uint64_t>(raw_bytes)).c_str());
+
+  std::printf("%-34s %10s %12s\n", "method", "ratio", "mean PSNR");
+  std::printf("%s\n", std::string(60, '-').c_str());
+
+  // --- Decimation at several factors. ---
+  for (const std::size_t keep : {2u, 3u, 4u}) {
+    const auto d = analysis::decimate_and_reconstruct(frames, keep);
+    const double psnr = analysis::sequence_mean_psnr(frames, d.reconstructed);
+    std::printf("%-34s %10.2f %12.2f\n",
+                strprintf("decimation keep-1-in-%zu", keep).c_str(), d.storage_ratio,
+                psnr);
+  }
+
+  // --- Error-bounded SZ across bounds (spatial per frame, and temporal). ---
+  for (const double frac : {3e-4, 1e-3, 4e-3}) {
+    const auto [lo, hi] = value_range(frames[0].view());
+    const double bound = (static_cast<double>(hi) - lo) * frac;
+
+    sz::TemporalParams spatial;
+    spatial.abs_error_bound = bound;
+    spatial.key_interval = 1;  // all frames compressed spatially
+    sz::TemporalStats spatial_stats;
+    const auto spatial_bytes = sz::compress_temporal(frames, spatial, &spatial_stats);
+    const auto spatial_recon = sz::decompress_temporal(spatial_bytes);
+    std::printf("%-34s %10.2f %12.2f\n",
+                strprintf("SZ spatial, abs=%.3g", bound).c_str(),
+                raw_bytes / static_cast<double>(spatial_stats.compressed_bytes),
+                analysis::sequence_mean_psnr(frames, spatial_recon));
+
+    sz::TemporalParams temporal = spatial;
+    temporal.key_interval = 0;  // one key frame, temporal prediction after
+    sz::TemporalStats temporal_stats;
+    const auto temporal_bytes = sz::compress_temporal(frames, temporal, &temporal_stats);
+    const auto temporal_recon = sz::decompress_temporal(temporal_bytes);
+    std::printf("%-34s %10.2f %12.2f\n",
+                strprintf("SZ temporal, abs=%.3g", bound).c_str(),
+                raw_bytes / static_cast<double>(temporal_stats.compressed_bytes),
+                analysis::sequence_mean_psnr(frames, temporal_recon));
+  }
+
+  std::printf(
+      "\nExpected shape: at any storage ratio decimation reaches, error-bounded\n"
+      "compression delivers far higher mean PSNR (and a guaranteed per-point\n"
+      "bound, which decimation cannot give); temporal prediction beats per-frame\n"
+      "spatial compression on fine-cadence sequences (Li et al. [41]).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file bench_ablation_dim_conversion.cpp
+/// \brief Ablation of the paper's dimension-conversion procedure (Section
+/// IV-B4): HACC's 1-D arrays compressed (a) natively in 1-D, (b) reshaped
+/// to the (n/64) x 8 x 8 layout, and (c) reshaped to a near-cubic
+/// power-of-two grid — "the 512x512x512 conversion results in best
+/// compression quality in our experiments" for GPU-SZ, while cuZFP uses
+/// the x8x8 layout.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "sz/sz.hpp"
+#include "zfp/zfp.hpp"
+
+using namespace cosmo;
+
+namespace {
+
+/// Near-cubic reshape: edge = ceil(cbrt(n)) rounded up so the cube holds n.
+Dims cube_dims(std::size_t n) {
+  auto edge = static_cast<std::size_t>(std::ceil(std::cbrt(static_cast<double>(n))));
+  while (edge * edge * edge < n) ++edge;
+  return Dims::d3(edge, edge, edge);
+}
+
+std::vector<float> pad_to(const std::vector<float>& data, std::size_t n) {
+  std::vector<float> out(n, 0.0f);
+  std::copy(data.begin(), data.end(), out.begin());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: 1-D -> 3-D conversion",
+                "HACC dimension conversion layouts for SZ and ZFP");
+
+  const io::Container hacc = bench::make_hacc();
+  const Field& x = hacc.find("x").field;
+  const std::size_t n = x.data.size();
+
+  struct Layout {
+    const char* name;
+    Dims dims;
+  };
+  const Layout layouts[] = {
+      {"native 1-D", Dims::d1(n)},
+      {"(n/64) x 8 x 8", Dims::d3((n + 63) / 64, 8, 8)},
+      {"near-cubic 3-D", cube_dims(n)},
+  };
+
+  std::printf("field: x (positions), %zu particles; SZ abs bound 0.01, ZFP rate 8\n\n", n);
+  std::printf("%-18s | %10s %10s | %10s %10s\n", "layout", "SZ b/v", "SZ PSNR",
+              "ZFP b/v", "ZFP PSNR");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  for (const auto& layout : layouts) {
+    const auto padded = pad_to(x.data, layout.dims.count());
+
+    sz::Params sz_params;
+    sz_params.abs_error_bound = 0.01;
+    sz::Stats sz_stats;
+    const auto sz_bytes = sz::compress(padded, layout.dims, sz_params, &sz_stats);
+    auto sz_recon = sz::decompress(sz_bytes);
+    sz_recon.resize(n);
+    // Bitrate accounted against real (unpadded) points.
+    const double sz_bv = static_cast<double>(sz_bytes.size()) * 8.0 / static_cast<double>(n);
+    const double sz_psnr = analysis::psnr_db(x.data, sz_recon);
+
+    zfp::Params zfp_params;
+    zfp_params.rate = 8.0;
+    const auto zfp_bytes = zfp::compress(padded, layout.dims, zfp_params);
+    auto zfp_recon = zfp::decompress(zfp_bytes);
+    zfp_recon.resize(n);
+    const double zfp_bv =
+        static_cast<double>(zfp_bytes.size()) * 8.0 / static_cast<double>(n);
+    const double zfp_psnr = analysis::psnr_db(x.data, zfp_recon);
+
+    std::printf("%-18s | %10.3f %10.2f | %10.3f %10.2f\n", layout.name, sz_bv, sz_psnr,
+                zfp_bv, zfp_psnr);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Sec. IV-B4): ZFP's block transform clearly gains\n"
+      "from a 3-D layout (its 1-D blocks see only 4 neighbors) — the paper's\n"
+      "reason to convert before cuZFP. For SZ the conversion exists because\n"
+      "GPU-SZ only accepts 3-D input; on synthetic data whose only coherence is\n"
+      "the halo-ordered file order, native 1-D Lorenzo is competitive, whereas\n"
+      "the real HACC snapshot favored the 512^3 layout — a data-dependent\n"
+      "outcome the framework lets users measure per dataset.\n");
+  return 0;
+}

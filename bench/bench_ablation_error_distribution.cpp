@@ -1,0 +1,83 @@
+/// \file bench_ablation_error_distribution.cpp
+/// \brief Measures two background claims of the paper:
+///  1. "lossy compression — such as ZFP — provides a Gaussian-like error
+///     distribution" while SZ's linear quantization spreads errors nearly
+///     uniformly over the bound (Section IV-A1's reason CBench exists);
+///  2. "Lossless compressors such as FPZIP and FPC can provide only
+///     compression ratios typically lower than 2:1 for dense scientific
+///     data" (Section II-A) — measured with our FPC-style comparator.
+#include <cstdio>
+
+#include "analysis/error_distribution.hpp"
+#include "bench_util.hpp"
+#include "codec/fpc.hpp"
+#include "common/timer.hpp"
+#include "sz/sz.hpp"
+#include "zfp/zfp.hpp"
+
+using namespace cosmo;
+
+namespace {
+
+const char* shape_name(analysis::ErrorShape s) {
+  switch (s) {
+    case analysis::ErrorShape::kUniformLike: return "uniform-like";
+    case analysis::ErrorShape::kGaussianLike: return "gaussian-like";
+    default: return "other";
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: error distribution + lossless baseline",
+                "SZ vs ZFP error shapes; FPC-style lossless ratio");
+
+  const io::Container nyx = bench::make_nyx();
+  const Field& field = nyx.find("temperature").field;
+
+  // --- Error shapes at comparable distortion. ---
+  sz::Params sz_params;
+  sz_params.abs_error_bound = 50.0;
+  const auto sz_recon = sz::decompress(sz::compress(field.data, field.dims, sz_params));
+  const auto sz_hist = analysis::error_histogram(field.data, sz_recon);
+
+  zfp::Params zfp_params;
+  zfp_params.rate = 12.0;
+  const auto zfp_recon = zfp::decompress(zfp::compress(field.data, field.dims, zfp_params));
+  const auto zfp_hist = analysis::error_histogram(field.data, zfp_recon);
+
+  std::printf("%-8s %12s %14s %16s %14s\n", "codec", "stddev", "kurtosis",
+              "within 1 sigma", "shape");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::printf("%-8s %12.4g %14.3f %15.1f%% %14s\n", "SZ", sz_hist.stddev,
+              sz_hist.excess_kurtosis, 100.0 * sz_hist.within_one_sigma,
+              shape_name(analysis::classify_error_shape(sz_hist)));
+  std::printf("%-8s %12.4g %14.3f %15.1f%% %14s\n", "ZFP", zfp_hist.stddev,
+              zfp_hist.excess_kurtosis, 100.0 * zfp_hist.within_one_sigma,
+              shape_name(analysis::classify_error_shape(zfp_hist)));
+  std::printf("(reference: uniform kurtosis -1.2 / 57.7%% in sigma; gaussian 0 / 68.3%%)\n\n");
+
+  // --- Lossless baseline across all six fields. ---
+  std::printf("FPC-style lossless ratios (paper: \"typically lower than 2:1\"):\n");
+  std::printf("%-22s %10s %12s\n", "field", "ratio", "enc MB/s");
+  std::printf("%s\n", std::string(48, '-').c_str());
+  for (const auto& variable : nyx.variables) {
+    Timer timer;
+    const auto encoded = fpc_encode(variable.field.data);
+    const double seconds = timer.seconds();
+    const auto decoded = fpc_decode(encoded);
+    require(decoded == variable.field.data, "fpc: lossless round trip failed");
+    std::printf("%-22s %10.3f %12.1f\n", variable.field.name.c_str(),
+                static_cast<double>(variable.field.bytes()) /
+                    static_cast<double>(encoded.size()),
+                static_cast<double>(variable.field.bytes()) / seconds / 1e6);
+  }
+
+  std::printf(
+      "\nExpected shapes: SZ's linear-scaling quantizer spreads errors broadly\n"
+      "across the bound (platykurtic), ZFP's truncated transform concentrates\n"
+      "them around zero (Gaussian-like); lossless ratios stay below ~2:1 on every\n"
+      "field — the gap error-bounded lossy compression exists to close.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file bench_ablation_halo_profiles.cpp
+/// \brief Extension beyond the paper's Fig. 6: halo *internal structure*
+/// under compression. Halo counts (the paper's metric) can survive bounds
+/// that already distort the stacked radial density profile — the quantity
+/// halo-concentration studies (paper ref [16]) actually consume. This
+/// ablation measures where profile fidelity degrades relative to count
+/// fidelity.
+#include <cstdio>
+
+#include "analysis/halo_profiles.hpp"
+#include "analysis/halo_stats.hpp"
+#include "bench_util.hpp"
+#include "sz/sz.hpp"
+
+using namespace cosmo;
+
+int main() {
+  bench::banner("Ablation: halo profiles",
+                "stacked radial profiles under position compression");
+
+  const io::Container hacc = bench::make_hacc();
+  const auto& x = hacc.find("x").field;
+  const auto& y = hacc.find("y").field;
+  const auto& z = hacc.find("z").field;
+
+  analysis::FofParams fof_params;
+  fof_params.linking_length = 1.0;
+  fof_params.min_members = 50;
+  const auto halos = analysis::fof(x.data, y.data, z.data, fof_params);
+  const auto reference = analysis::stacked_profile(x.data, y.data, z.data, halos);
+  std::printf("halos stacked: %zu; reference concentration proxy %.3f\n\n",
+              halos.halos.size(), analysis::concentration_proxy(reference));
+
+  std::printf("%-10s %10s %14s %16s %16s\n", "abs bound", "ratio", "count dev",
+              "profile dev", "concentration");
+  std::printf("%s\n", std::string(72, '-').c_str());
+
+  for (const double bound : {0.001, 0.005, 0.025, 0.1, 0.5}) {
+    sz::Params params;
+    params.abs_error_bound = bound;
+    sz::Stats sx, sy, sz_;
+    const auto rx = sz::decompress(sz::compress(x.data, x.dims, params, &sx));
+    const auto ry = sz::decompress(sz::compress(y.data, y.dims, params, &sy));
+    const auto rz = sz::decompress(sz::compress(z.data, z.dims, params, &sz_));
+    const double ratio = 3.0 * static_cast<double>(x.bytes()) /
+                         static_cast<double>(sx.compressed_bytes + sy.compressed_bytes +
+                                             sz_.compressed_bytes);
+
+    const auto recon_halos = analysis::fof(rx, ry, rz, fof_params);
+    double count_dev = 1.0;
+    if (!recon_halos.halos.empty()) {
+      count_dev = analysis::compare_halo_catalogs(halos.halos, recon_halos.halos, 1.0)
+                      .max_ratio_deviation;
+    }
+    // Profile on the reconstructed positions with the reconstructed catalog.
+    const auto recon_profile = analysis::stacked_profile(rx, ry, rz, recon_halos);
+    const double profile_dev = analysis::profile_deviation(reference, recon_profile, 100);
+    std::printf("%-10g %10.2f %14.3f %16.3f %16.3f\n", bound, ratio, count_dev,
+                profile_dev, analysis::concentration_proxy(recon_profile));
+  }
+
+  std::printf(
+      "\nExpected shape: count deviation stays ~0 across these bounds (Fig. 6's\n"
+      "finding), while profile deviation grows as the bound approaches the halo\n"
+      "core scale — internal structure degrades before counts do, so profile-\n"
+      "sensitive analyses need tighter bounds than halo-count analyses.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// \file bench_ablation_predictors.cpp
+/// \brief Ablation of SZ's "adaptive, best-fit prediction method": Lorenzo
+/// only vs the adaptive Lorenzo/regression selection (paper Section II-A
+/// and the [11] attribution of GPU-SZ's decorrelation efficiency), across
+/// field types with different smoothness.
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "sz/sz.hpp"
+
+using namespace cosmo;
+
+int main() {
+  bench::banner("Ablation: predictors", "Lorenzo-only vs adaptive Lorenzo+regression");
+
+  const io::Container nyx = bench::make_nyx();
+  std::printf("%-22s %12s | %10s %10s | %10s %10s\n", "field", "abs bound",
+              "lorenzo b/v", "PSNR", "adaptive b/v", "PSNR");
+  std::printf("%s\n", std::string(85, '-').c_str());
+
+  for (const auto& variable : nyx.variables) {
+    const Field& field = variable.field;
+    const auto [lo, hi] = value_range(field.view());
+    const double bound = (static_cast<double>(hi) - lo) * 1e-4;
+
+    sz::Params lorenzo_only;
+    lorenzo_only.abs_error_bound = bound;
+    lorenzo_only.regression = false;
+    sz::Stats lorenzo_stats;
+    const auto lorenzo_bytes =
+        sz::compress(field.data, field.dims, lorenzo_only, &lorenzo_stats);
+    const double lorenzo_psnr =
+        analysis::psnr_db(field.data, sz::decompress(lorenzo_bytes));
+
+    sz::Params adaptive = lorenzo_only;
+    adaptive.regression = true;
+    sz::Stats adaptive_stats;
+    const auto adaptive_bytes =
+        sz::compress(field.data, field.dims, adaptive, &adaptive_stats);
+    const double adaptive_psnr =
+        analysis::psnr_db(field.data, sz::decompress(adaptive_bytes));
+
+    std::printf("%-22s %12.4g | %10.3f %10.2f | %10.3f %10.2f  (%zu/%zu reg blocks)\n",
+                field.name.c_str(), bound, lorenzo_stats.bit_rate, lorenzo_psnr,
+                adaptive_stats.bit_rate, adaptive_psnr,
+                adaptive_stats.regression_blocks, adaptive_stats.total_blocks);
+  }
+
+  std::printf(
+      "\nExpected shape: the adaptive selector never does meaningfully worse than\n"
+      "Lorenzo-only and wins where block-local trends dominate (regression blocks\n"
+      "selected); PSNR stays pinned by the shared error bound in all variants.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file bench_ablation_pwrel.cpp
+/// \brief Ablation for the paper's Section IV/V claim that "PW_REL is better
+/// than ABS for the velocity fields in the HACC dataset": at matched
+/// bitrate, compare ABS-mode and PW_REL-via-log GPU-SZ on HACC velocities
+/// using both PSNR (which the paper warns favors ABS) and the halo
+/// bulk-velocity preservation metric (which PW_REL wins).
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/fof.hpp"
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "foresight/cbench.hpp"
+
+using namespace cosmo;
+
+namespace {
+
+/// Mean relative error of per-halo bulk velocity.
+double bulk_velocity_error(const analysis::FofResult& halos, std::span<const float> orig,
+                           std::span<const float> recon) {
+  std::vector<double> sum_o(halos.halos.size(), 0.0), sum_r(halos.halos.size(), 0.0);
+  std::vector<std::size_t> count(halos.halos.size(), 0);
+  for (std::size_t p = 0; p < orig.size(); ++p) {
+    const auto h = halos.halo_of_particle[p];
+    if (h < 0) continue;
+    sum_o[static_cast<std::size_t>(h)] += orig[p];
+    sum_r[static_cast<std::size_t>(h)] += recon[p];
+    ++count[static_cast<std::size_t>(h)];
+  }
+  double err = 0.0;
+  std::size_t used = 0;
+  for (std::size_t h = 0; h < halos.halos.size(); ++h) {
+    if (count[h] == 0) continue;
+    const double mo = sum_o[h] / static_cast<double>(count[h]);
+    const double mr = sum_r[h] / static_cast<double>(count[h]);
+    err += std::fabs(mr - mo) / std::max(std::fabs(mo), 10.0);
+    ++used;
+  }
+  return used ? err / static_cast<double>(used) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: PW_REL vs ABS", "HACC velocity compression mode comparison");
+
+  const io::Container hacc = bench::make_hacc();
+  const Field& vx = hacc.find("vx").field;
+
+  analysis::FofParams fof_params;
+  fof_params.linking_length = 1.0;
+  fof_params.min_members = 20;
+  const auto halos = analysis::fof(hacc.find("x").field.data, hacc.find("y").field.data,
+                                   hacc.find("z").field.data, fof_params);
+  std::printf("halos for the bulk-velocity metric: %zu\n\n", halos.halos.size());
+
+  gpu::GpuSimulator sim(gpu::find_device("Tesla V100"));
+  const auto gpu_sz = foresight::make_compressor("gpu-sz", &sim);
+  foresight::CBench cb({.keep_reconstructed = true, .dataset_name = "ablation"});
+
+  std::printf("%-14s %10s %10s %14s %18s\n", "config", "bitrate", "PSNR(dB)",
+              "max rel err", "bulk-vel err");
+  std::printf("%s\n", std::string(72, '-').c_str());
+
+  struct Case {
+    foresight::CompressorConfig config;
+  };
+  const Case cases[] = {
+      {{"abs", 50.0}},  {{"abs", 250.0}},  {{"abs", 1000.0}},
+      {{"pw_rel", 0.01}}, {{"pw_rel", 0.05}}, {{"pw_rel", 0.25}},
+  };
+  for (const auto& c : cases) {
+    const auto r = cb.run_one(vx, *gpu_sz, c.config);
+    const double bulk = bulk_velocity_error(halos, vx.data, r.reconstructed);
+    std::printf("%-14s %10.3f %10.2f %14.4g %18.5f\n", c.config.label().c_str(),
+                r.bit_rate, r.distortion.psnr_db, r.distortion.max_rel_err, bulk);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Sections IV-B4, V-A): at comparable bitrate ABS gives\n"
+      "higher PSNR (its error is uniform) but PW_REL bounds the *relative* error of\n"
+      "every particle, so slow particles — which dominate bound halo cores — keep\n"
+      "far better bulk-velocity fidelity: \"higher PSNR does not necessarily\n"
+      "indicate better postanalysis quality\".\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+/// \file bench_fig4_rate_distortion.cpp
+/// \brief Reproduces paper Fig. 4: rate-distortion (PSNR vs bitrate) of
+/// GPU-SZ and cuZFP on (a) the Nyx fields and (b) the HACC fields.
+///
+/// GPU-SZ sweeps error bounds (ABS for densities/temperature, PW_REL-via-log
+/// for HACC velocities, matching Section IV-B4); cuZFP sweeps fixed
+/// bitrates. Each series is printed as (bitrate, PSNR) rows and plotted to
+/// SVG. Solid = GPU-SZ, dashed = cuZFP, as in the paper.
+#include <cstdio>
+#include <map>
+
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "foresight/cbench.hpp"
+#include "foresight/cinema.hpp"
+
+using namespace cosmo;
+
+namespace {
+
+struct Series {
+  std::vector<double> bitrate;
+  std::vector<double> psnr;
+};
+
+void print_series(const std::string& label, const Series& s) {
+  std::printf("%s\n", label.c_str());
+  for (std::size_t i = 0; i < s.bitrate.size(); ++i) {
+    std::printf("    bitrate %7.3f  PSNR %7.2f dB\n", s.bitrate[i], s.psnr[i]);
+  }
+}
+
+/// Sweeps one compressor over one field; returns (bitrate, psnr) points
+/// sorted by bitrate.
+Series sweep(foresight::CBench& bench, const Field& field,
+             foresight::Compressor& codec,
+             const std::vector<foresight::CompressorConfig>& configs) {
+  Series s;
+  std::vector<std::pair<double, double>> points;
+  for (const auto& config : configs) {
+    const auto r = bench.run_one(field, codec, config);
+    points.emplace_back(r.bit_rate, r.distortion.psnr_db);
+  }
+  std::sort(points.begin(), points.end());
+  for (const auto& [b, p] : points) {
+    s.bitrate.push_back(b);
+    s.psnr.push_back(p);
+  }
+  return s;
+}
+
+/// Error-bound sweep spanning the field's dynamic range: bounds are set as
+/// fractions of the value range so every field gets a comparable bitrate
+/// span.
+std::vector<foresight::CompressorConfig> abs_sweep(const Field& field) {
+  const auto [lo, hi] = value_range(field.view());
+  const double range = static_cast<double>(hi) - lo;
+  std::vector<foresight::CompressorConfig> configs;
+  for (const double frac : {3e-7, 3e-6, 3e-5, 3e-4, 3e-3, 3e-2}) {
+    configs.push_back({"abs", range * frac});
+  }
+  return configs;
+}
+
+const std::vector<foresight::CompressorConfig> kRateSweep = {
+    {"rate", 1.0}, {"rate", 2.0}, {"rate", 4.0}, {"rate", 6.0},
+    {"rate", 8.0}, {"rate", 12.0}, {"rate", 16.0}};
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 4", "rate-distortion of GPU-SZ and cuZFP on Nyx and HACC");
+
+  gpu::GpuSimulator sim(gpu::find_device("Tesla V100"));
+  const auto gpu_sz = foresight::make_compressor("gpu-sz", &sim);
+  const auto cuzfp = foresight::make_compressor("cuzfp", &sim);
+  foresight::CBench bench({.keep_reconstructed = false, .dataset_name = "fig4"});
+
+  foresight::ensure_directory(bench::out_dir());
+  foresight::SvgPlot plot_nyx("Fig 4a: Nyx rate-distortion", "bitrate (bits/value)",
+                              "PSNR (dB)");
+  foresight::SvgPlot plot_hacc("Fig 4b: HACC rate-distortion", "bitrate (bits/value)",
+                               "PSNR (dB)");
+
+  // ---------- (a) Nyx ----------
+  std::printf("--- Fig. 4a: Nyx ---\n");
+  const io::Container nyx = bench::make_nyx();
+  for (const auto& variable : nyx.variables) {
+    const Field& field = variable.field;
+    const Series sz_series = sweep(bench, field, *gpu_sz, abs_sweep(field));
+    const Series zfp_series = sweep(bench, field, *cuzfp, kRateSweep);
+    print_series("GPU-SZ  " + field.name, sz_series);
+    print_series("cuZFP   " + field.name, zfp_series);
+    plot_nyx.add_series({field.name + " (GPU-SZ)", sz_series.bitrate, sz_series.psnr,
+                         "", false});
+    plot_nyx.add_series({field.name + " (cuZFP)", zfp_series.bitrate, zfp_series.psnr,
+                         "", true});
+  }
+
+  // ---------- (b) HACC ----------
+  std::printf("\n--- Fig. 4b: HACC ---\n");
+  const io::Container hacc = bench::make_hacc();
+  for (const auto& variable : hacc.variables) {
+    const Field& field = variable.field;
+    const bool is_velocity = field.name[0] == 'v';
+    // PW_REL for velocities (Sec. IV-B4); ABS for positions.
+    std::vector<foresight::CompressorConfig> sz_configs;
+    if (is_velocity) {
+      for (const double b : {1e-4, 1e-3, 5e-3, 2e-2, 1e-1, 3e-1}) {
+        sz_configs.push_back({"pw_rel", b});
+      }
+    } else {
+      sz_configs = abs_sweep(field);
+    }
+    const Series sz_series = sweep(bench, field, *gpu_sz, sz_configs);
+    const Series zfp_series = sweep(bench, field, *cuzfp, kRateSweep);
+    print_series(std::string("GPU-SZ  ") + field.name +
+                     (is_velocity ? " (PW_REL)" : " (ABS)"),
+                 sz_series);
+    print_series("cuZFP   " + field.name, zfp_series);
+    plot_hacc.add_series({field.name + " (GPU-SZ)", sz_series.bitrate, sz_series.psnr,
+                          "", false});
+    plot_hacc.add_series({field.name + " (cuZFP)", zfp_series.bitrate, zfp_series.psnr,
+                          "", true});
+  }
+
+  plot_nyx.save(bench::out_dir() + "/fig4a_nyx_rate_distortion.svg");
+  plot_hacc.save(bench::out_dir() + "/fig4b_hacc_rate_distortion.svg");
+
+  std::printf(
+      "\nExpected shapes (paper Fig. 4): PSNR grows near-linearly with bitrate for\n"
+      "both codecs; GPU-SZ beats cuZFP at equal bitrate on the smooth Nyx fields;\n"
+      "the three velocity curves are nearly identical; GPU-SZ drops at very low\n"
+      "bitrates on density/temperature (independent-block decorrelation).\n");
+  std::printf("artifacts: %s/fig4{a,b}_*.svg\n", bench::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file bench_guideline.cpp
+/// \brief Reproduces the paper's Section V-D optimization guideline on both
+/// datasets and both compressors: benchmark candidate configurations,
+/// filter by the cosmology metrics (power spectrum for Nyx, halo counts +
+/// bulk velocities for HACC), pick the highest-ratio acceptable config per
+/// field, and report the overall compression ratio — the numbers that in
+/// the paper come out as Nyx: cuZFP 10.7x / GPU-SZ 15.4x and HACC:
+/// cuZFP ~4x / GPU-SZ 4.25x.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "foresight/optimizer.hpp"
+
+using namespace cosmo;
+
+int main() {
+  bench::banner("Guideline (Sec. V-D)", "best-fit configuration search on Nyx and HACC");
+
+  gpu::GpuSimulator sim(gpu::find_device("Tesla V100"));
+
+  // ---------------- Nyx ----------------
+  const io::Container nyx = bench::make_nyx();
+  for (const std::string codec_name : {std::string("gpu-sz"), std::string("cuzfp")}) {
+    const auto codec = foresight::make_compressor(codec_name, &sim);
+    std::map<std::string, std::vector<foresight::CompressorConfig>> candidates;
+    for (const auto& variable : nyx.variables) {
+      if (codec_name == "cuzfp") {
+        candidates[variable.field.name] = {
+            {"rate", 1.0}, {"rate", 2.0}, {"rate", 4.0}, {"rate", 8.0}};
+      } else {
+        const auto [lo, hi] = value_range(variable.field.view());
+        const double range = static_cast<double>(hi) - lo;
+        candidates[variable.field.name] = {{"abs", range * 2e-6},
+                                           {"abs", range * 2e-5},
+                                           {"abs", range * 2e-4},
+                                           {"abs", range * 2e-3}};
+      }
+    }
+    const auto result =
+        foresight::optimize_grid_dataset(nyx, *codec, candidates, 0.01, 0.5);
+    std::printf("--- Nyx, %s ---\n%s\n", codec_name.c_str(),
+                foresight::format_optimization(result).c_str());
+  }
+  std::printf("(paper, real 512^3 Nyx: cuZFP rates (4,4,4,2,2,2) -> 10.7x;"
+              " GPU-SZ bounds (0.2,0.4,1e3,2e5,2e5,2e5) -> 15.4x)\n\n");
+
+  // ---------------- HACC ----------------
+  const io::Container hacc = bench::make_hacc();
+  analysis::FofParams fof_params;
+  fof_params.linking_length = 1.0;
+  fof_params.min_members = 20;
+
+  {
+    const auto gpu_sz = foresight::make_compressor("gpu-sz", &sim);
+    const auto result = foresight::optimize_particle_dataset(
+        hacc, *gpu_sz,
+        {{"abs", 0.001}, {"abs", 0.005}, {"abs", 0.025}, {"abs", 0.25}},
+        {{"pw_rel", 0.005}, {"pw_rel", 0.025}, {"pw_rel", 0.1}}, fof_params,
+        0.05, 0.05);
+    std::printf("--- HACC, gpu-sz ---\n%s\n",
+                foresight::format_optimization(result).c_str());
+  }
+  {
+    const auto cuzfp = foresight::make_compressor("cuzfp", &sim);
+    const auto result = foresight::optimize_particle_dataset(
+        hacc, *cuzfp, {{"rate", 16.0}, {"rate", 8.0}, {"rate", 4.0}},
+        {{"rate", 8.0}, {"rate", 4.0}}, fof_params, 0.05, 0.05);
+    std::printf("--- HACC, cuzfp ---\n%s\n",
+                foresight::format_optimization(result).c_str());
+  }
+  std::printf("(paper, real 1.07e9-particle HACC: GPU-SZ abs 0.005/0.025 -> 4.25x;"
+              " cuZFP rate 8 -> 4x)\n");
+  std::printf(
+      "\nExpected shape: both codecs find acceptable configs; GPU-SZ's best\n"
+      "acceptable overall ratio beats cuZFP's on both datasets.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file hacc_halos.cpp
+/// \brief HACC particle scenario: generate a synthetic particle snapshot,
+/// compress positions with GPU-SZ at several absolute error bounds, and
+/// compare the Friends-of-Friends halo catalogs of original vs
+/// reconstructed data (the paper's Fig. 6 analysis, Metric 3a).
+///
+/// Usage: hacc_halos [--particles 200000] [--halos 150] [--bounds 0.001,0.005,0.025,0.25]
+#include <cstdio>
+
+#include "analysis/fof.hpp"
+#include "analysis/halo_stats.hpp"
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "cosmo/hacc_synth.hpp"
+#include "foresight/cbench.hpp"
+
+using namespace cosmo;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  HaccConfig config;
+  config.particles = static_cast<std::size_t>(args.get_int("particles", 200000));
+  config.halo_count = static_cast<std::size_t>(args.get_int("halos", 150));
+
+  std::printf("Generating synthetic HACC snapshot: %zu particles, ~%zu halos...\n",
+              config.particles, config.halo_count);
+  const io::Container data = generate_hacc(config);
+
+  analysis::FofParams fof_params;
+  fof_params.linking_length = 1.0;
+  fof_params.min_members = 20;
+  const auto& x = data.find("x").field;
+  const auto& y = data.find("y").field;
+  const auto& z = data.find("z").field;
+  const auto original = analysis::fof(x.data, y.data, z.data, fof_params);
+  std::printf("FoF on original data: %zu halos (linking length %.2f)\n\n",
+              original.halos.size(), fof_params.linking_length);
+
+  gpu::GpuSimulator sim(gpu::find_device("Tesla V100"));
+  const auto gpu_sz = foresight::make_compressor("gpu-sz", &sim);
+  foresight::CBench bench({.keep_reconstructed = true, .dataset_name = "hacc"});
+
+  std::vector<double> bounds;
+  for (const auto& tok : split(args.get("bounds", "0.001,0.005,0.025,0.25"), ',')) {
+    bounds.push_back(std::strtod(tok.c_str(), nullptr));
+  }
+
+  std::printf("%-10s %8s %10s %12s %14s %s\n", "abs bound", "ratio", "halos",
+              "count ratio", "max bin dev", "verdict");
+  std::printf("%s\n", std::string(75, '-').c_str());
+  for (const double bound : bounds) {
+    const foresight::CompressorConfig cfg{"abs", bound};
+    const auto rx = bench.run_one(x, *gpu_sz, cfg);
+    const auto ry = bench.run_one(y, *gpu_sz, cfg);
+    const auto rz = bench.run_one(z, *gpu_sz, cfg);
+    const auto recon =
+        analysis::fof(rx.reconstructed, ry.reconstructed, rz.reconstructed, fof_params);
+    const double ratio = 3.0 * static_cast<double>(x.bytes()) /
+                         static_cast<double>(rx.compressed_bytes + ry.compressed_bytes +
+                                             rz.compressed_bytes);
+    if (recon.halos.empty()) {
+      std::printf("%-10g %8.2f %10zu %12s %14s %s\n", bound, ratio, recon.halos.size(),
+                  "-", "-", "halo structure destroyed");
+      continue;
+    }
+    const auto cmp = analysis::compare_halo_catalogs(original.halos, recon.halos, 1.0);
+    std::printf("%-10g %8.2f %10zu %12.3f %14.3f %s\n", bound, ratio,
+                recon.halos.size(), cmp.total_ratio, cmp.max_ratio_deviation,
+                cmp.max_ratio_deviation <= 0.05 ? "halos preserved"
+                                                : "small halos degraded");
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 6): tight bounds keep every count ratio near 1;\n"
+      "bounds approaching the linking length break small halos first.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "analysis/cic.hpp"
+
+#include <cmath>
+
+namespace cosmo::analysis {
+
+Field cic_deposit(std::span<const float> x, std::span<const float> y,
+                  std::span<const float> z, double box, std::size_t grid_edge) {
+  require(x.size() == y.size() && y.size() == z.size(), "cic: coordinate size mismatch");
+  require(box > 0.0, "cic: box must be positive");
+  require(grid_edge >= 2, "cic: grid edge must be >= 2");
+
+  const Dims dims = Dims::d3(grid_edge, grid_edge, grid_edge);
+  std::vector<double> rho(dims.count(), 0.0);
+  const double scale = static_cast<double>(grid_edge) / box;
+  const auto n = static_cast<std::size_t>(grid_edge);
+
+  auto wrap = [n](long i) {
+    const long m = static_cast<long>(n);
+    i %= m;
+    return static_cast<std::size_t>(i < 0 ? i + m : i);
+  };
+
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    // Cell-centered CIC: shift by half a cell so weights are symmetric.
+    const double gx = static_cast<double>(x[p]) * scale - 0.5;
+    const double gy = static_cast<double>(y[p]) * scale - 0.5;
+    const double gz = static_cast<double>(z[p]) * scale - 0.5;
+    const long ix = static_cast<long>(std::floor(gx));
+    const long iy = static_cast<long>(std::floor(gy));
+    const long iz = static_cast<long>(std::floor(gz));
+    const double fx = gx - static_cast<double>(ix);
+    const double fy = gy - static_cast<double>(iy);
+    const double fz = gz - static_cast<double>(iz);
+    const double wx[2] = {1.0 - fx, fx};
+    const double wy[2] = {1.0 - fy, fy};
+    const double wz[2] = {1.0 - fz, fz};
+    for (int dz = 0; dz < 2; ++dz) {
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const std::size_t cx = wrap(ix + dx);
+          const std::size_t cy = wrap(iy + dy);
+          const std::size_t cz = wrap(iz + dz);
+          rho[dims.index(cx, cy, cz)] += wx[dx] * wy[dy] * wz[dz];
+        }
+      }
+    }
+  }
+
+  const double mean =
+      static_cast<double>(x.size()) / static_cast<double>(dims.count());
+  Field out("delta_cic", dims);
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    out.data[i] = static_cast<float>(rho[i] / mean - 1.0);
+  }
+  return out;
+}
+
+}  // namespace cosmo::analysis

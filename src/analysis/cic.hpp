@@ -1,0 +1,21 @@
+/// \file cic.hpp
+/// \brief Cloud-in-cell deposition of particles onto a density grid.
+///
+/// Bridges the HACC particle representation to grid-based analyses: the
+/// particle power spectrum is computed by depositing positions with CIC
+/// and running the grid power spectrum (the standard N-body pipeline).
+#pragma once
+
+#include <span>
+
+#include "common/field.hpp"
+
+namespace cosmo::analysis {
+
+/// Deposits \p n particles with positions (x, y, z) in [0, box) onto a
+/// grid of the given edge, with periodic wrapping. Returns the density
+/// contrast field delta = rho/mean(rho) - 1.
+Field cic_deposit(std::span<const float> x, std::span<const float> y,
+                  std::span<const float> z, double box, std::size_t grid_edge);
+
+}  // namespace cosmo::analysis

@@ -1,0 +1,59 @@
+#include "analysis/decimation.hpp"
+
+#include "analysis/stats.hpp"
+
+namespace cosmo::analysis {
+
+DecimationResult decimate_and_reconstruct(const std::vector<Field>& frames,
+                                          std::size_t keep_every) {
+  require(!frames.empty(), "decimate: no frames");
+  require(keep_every >= 1, "decimate: keep_every must be >= 1");
+  const std::size_t n = frames.size();
+
+  // Indices of kept snapshots: 0, keep_every, 2*keep_every, ..., n-1.
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < n; i += keep_every) kept.push_back(i);
+  if (kept.back() != n - 1) kept.push_back(n - 1);
+
+  DecimationResult result;
+  result.kept_snapshots = kept.size();
+  result.storage_ratio = static_cast<double>(n) / static_cast<double>(kept.size());
+  result.reconstructed.reserve(n);
+
+  std::size_t seg = 0;  // current segment [kept[seg], kept[seg+1]]
+  for (std::size_t t = 0; t < n; ++t) {
+    while (seg + 1 < kept.size() && t > kept[seg + 1]) ++seg;
+    if (t == kept[seg] || (seg + 1 < kept.size() && t == kept[seg + 1])) {
+      result.reconstructed.push_back(frames[t]);  // stored exactly
+      continue;
+    }
+    const std::size_t lo = kept[seg];
+    const std::size_t hi = kept[seg + 1];
+    const float w = static_cast<float>(t - lo) / static_cast<float>(hi - lo);
+    Field interp(frames[t].name + "_decimated", frames[t].dims);
+    const auto& a = frames[lo].data;
+    const auto& b = frames[hi].data;
+    for (std::size_t i = 0; i < interp.data.size(); ++i) {
+      interp.data[i] = (1.0f - w) * a[i] + w * b[i];
+    }
+    result.reconstructed.push_back(std::move(interp));
+  }
+  return result;
+}
+
+double sequence_mean_psnr(const std::vector<Field>& original,
+                          const std::vector<Field>& reconstructed) {
+  require(original.size() == reconstructed.size(), "sequence_mean_psnr: length mismatch");
+  require(!original.empty(), "sequence_mean_psnr: empty sequences");
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t t = 0; t < original.size(); ++t) {
+    const double p = psnr_db(original[t].data, reconstructed[t].data);
+    if (p >= 999.0) continue;  // exact frame: excluded from the mean
+    sum += p;
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 999.0;
+}
+
+}  // namespace cosmo::analysis

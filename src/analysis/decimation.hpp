@@ -1,0 +1,38 @@
+/// \file decimation.hpp
+/// \brief The decimation baseline the paper argues against.
+///
+/// "the data are usually saved using a process known as decimation.
+/// Decimation stores one snapshot every other time step ... This process
+/// can lead to a loss of valuable simulation information" (paper
+/// Section I). This module implements temporal decimation with linear
+/// interpolation reconstruction, so the motivation claim — error-bounded
+/// lossy compression achieves much higher ratio at the same distortion —
+/// can be measured instead of assumed (bench_ablation_decimation).
+#pragma once
+
+#include <vector>
+
+#include "common/field.hpp"
+
+namespace cosmo::analysis {
+
+/// Result of decimating a snapshot sequence.
+struct DecimationResult {
+  std::vector<Field> reconstructed;  ///< same length as the input sequence
+  std::size_t kept_snapshots = 0;
+  double storage_ratio = 0.0;  ///< input snapshots / kept snapshots
+};
+
+/// Keeps every \p keep_every-th snapshot (always including the first and
+/// last) and reconstructs the dropped ones by linear interpolation in time.
+/// keep_every == 2 is the paper's "every other time step".
+DecimationResult decimate_and_reconstruct(const std::vector<Field>& frames,
+                                          std::size_t keep_every);
+
+/// Mean PSNR across a reconstructed sequence vs the original (computed per
+/// frame then averaged; frames that match exactly contribute the lossless
+/// sentinel and are skipped from the mean).
+double sequence_mean_psnr(const std::vector<Field>& original,
+                          const std::vector<Field>& reconstructed);
+
+}  // namespace cosmo::analysis

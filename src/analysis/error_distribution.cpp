@@ -1,0 +1,79 @@
+#include "analysis/error_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmo::analysis {
+
+ErrorHistogram error_histogram(std::span<const float> original,
+                               std::span<const float> reconstructed,
+                               std::size_t nbins, double range) {
+  require(original.size() == reconstructed.size(), "error_histogram: size mismatch");
+  require(!original.empty(), "error_histogram: empty input");
+  require(nbins >= 4, "error_histogram: need at least 4 bins");
+
+  const std::size_t n = original.size();
+  std::vector<double> errors(n);
+  double sum = 0.0, max_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    errors[i] = static_cast<double>(reconstructed[i]) - original[i];
+    sum += errors[i];
+    max_abs = std::max(max_abs, std::fabs(errors[i]));
+  }
+  const double mean = sum / static_cast<double>(n);
+
+  double m2 = 0.0, m4 = 0.0;
+  for (const double e : errors) {
+    const double d = e - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  const double stddev = std::sqrt(m2);
+
+  ErrorHistogram h;
+  h.mean = mean;
+  h.stddev = stddev;
+  h.max_abs = max_abs;
+  h.excess_kurtosis = m2 > 0.0 ? m4 / (m2 * m2) - 3.0 : 0.0;
+
+  if (range <= 0.0) range = max_abs > 0.0 ? max_abs : 1.0;
+  h.bin_edges.resize(nbins + 1);
+  for (std::size_t b = 0; b <= nbins; ++b) {
+    h.bin_edges[b] = -range + 2.0 * range * static_cast<double>(b) /
+                                  static_cast<double>(nbins);
+  }
+  h.counts.assign(nbins, 0);
+  std::size_t within = 0;
+  for (const double e : errors) {
+    if (stddev > 0.0 && std::fabs(e - mean) <= stddev) ++within;
+    if (e < -range || e > range) continue;
+    auto b = static_cast<std::size_t>((e + range) / (2.0 * range) *
+                                      static_cast<double>(nbins));
+    b = std::min(b, nbins - 1);
+    ++h.counts[b];
+  }
+  h.within_one_sigma = stddev > 0.0 ? static_cast<double>(within) / static_cast<double>(n)
+                                    : 1.0;
+  return h;
+}
+
+ErrorShape classify_error_shape(const ErrorHistogram& histogram) {
+  // Uniform: excess kurtosis ~ -1.2, ~57.7% within one sigma.
+  if (histogram.excess_kurtosis < -0.7 && histogram.within_one_sigma < 0.635) {
+    return ErrorShape::kUniformLike;
+  }
+  // Gaussian-like (bell-shaped, concentrated around zero): excess kurtosis
+  // >= -0.5 and at least ~2/3 of the mass within one sigma. Transform codecs
+  // often land leptokurtic (kurtosis > 0) — still "Gaussian-like" in the
+  // paper's sense of concentrated rather than spread across the bound.
+  if (histogram.excess_kurtosis >= -0.5 && histogram.within_one_sigma >= 0.635) {
+    return ErrorShape::kGaussianLike;
+  }
+  return ErrorShape::kOther;
+}
+
+}  // namespace cosmo::analysis

@@ -1,0 +1,240 @@
+#include "analysis/fof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cosmo::analysis {
+
+DisjointSet::DisjointSet(std::size_t n) : parent_(n), rank_(n, 0) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+std::size_t DisjointSet::find(std::size_t i) {
+  while (parent_[i] != i) {
+    parent_[i] = parent_[parent_[i]];  // path halving
+    i = parent_[i];
+  }
+  return i;
+}
+
+bool DisjointSet::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = static_cast<std::uint32_t>(a);
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  return true;
+}
+
+namespace {
+
+/// Linked-cell acceleration structure: particles bucketed into cells of
+/// edge >= linking length; friends can only be in the 27 neighboring cells.
+struct CellGrid {
+  std::size_t edge_cells;
+  double cell_size;
+  double box;
+  bool periodic;
+  std::vector<std::vector<std::uint32_t>> cells;
+
+  CellGrid(double box_, double linking_length, bool periodic_)
+      : box(box_), periodic(periodic_) {
+    edge_cells = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(box_ / linking_length)));
+    edge_cells = std::min<std::size_t>(edge_cells, 512);
+    cell_size = box_ / static_cast<double>(edge_cells);
+    cells.resize(edge_cells * edge_cells * edge_cells);
+  }
+
+  [[nodiscard]] std::size_t cell_of(double x, double y, double z) const {
+    auto clampc = [this](double v) {
+      auto c = static_cast<long>(v / cell_size);
+      if (c < 0) c = 0;
+      if (c >= static_cast<long>(edge_cells)) c = static_cast<long>(edge_cells) - 1;
+      return static_cast<std::size_t>(c);
+    };
+    return index(clampc(x), clampc(y), clampc(z));
+  }
+
+  [[nodiscard]] std::size_t index(std::size_t cx, std::size_t cy, std::size_t cz) const {
+    return (cz * edge_cells + cy) * edge_cells + cx;
+  }
+};
+
+double sq(double v) { return v * v; }
+
+}  // namespace
+
+FofResult fof(std::span<const float> x, std::span<const float> y,
+              std::span<const float> z, const FofParams& params) {
+  require(x.size() == y.size() && y.size() == z.size(), "fof: coordinate size mismatch");
+  require(params.linking_length > 0.0, "fof: linking length must be positive");
+  require(params.box > 0.0, "fof: box must be positive");
+  const std::size_t n = x.size();
+  const double b2 = sq(params.linking_length);
+
+  CellGrid grid(params.box, params.linking_length, params.periodic);
+  for (std::size_t p = 0; p < n; ++p) {
+    grid.cells[grid.cell_of(x[p], y[p], z[p])].push_back(static_cast<std::uint32_t>(p));
+  }
+
+  auto dist2 = [&](std::size_t a, std::size_t bq) {
+    double dx = x[a] - x[bq];
+    double dy = y[a] - y[bq];
+    double dz = z[a] - z[bq];
+    if (params.periodic) {
+      const double half = params.box / 2.0;
+      if (dx > half) dx -= params.box;
+      if (dx < -half) dx += params.box;
+      if (dy > half) dy -= params.box;
+      if (dy < -half) dy += params.box;
+      if (dz > half) dz -= params.box;
+      if (dz < -half) dz += params.box;
+    }
+    return dx * dx + dy * dy + dz * dz;
+  };
+
+  DisjointSet ds(n);
+  std::vector<std::uint32_t> degree;
+  if (params.most_connected) degree.assign(n, 0);
+
+  const long ec = static_cast<long>(grid.edge_cells);
+  auto wrap_cell = [&](long c) {
+    if (params.periodic) {
+      c %= ec;
+      return static_cast<std::size_t>(c < 0 ? c + ec : c);
+    }
+    return static_cast<std::size_t>(std::clamp(c, 0l, ec - 1));
+  };
+
+  for (std::size_t cz = 0; cz < grid.edge_cells; ++cz) {
+    for (std::size_t cy = 0; cy < grid.edge_cells; ++cy) {
+      for (std::size_t cx = 0; cx < grid.edge_cells; ++cx) {
+        const auto& cell = grid.cells[grid.index(cx, cy, cz)];
+        if (cell.empty()) continue;
+        // Half-neighborhood enumeration to visit each cell pair once:
+        // self plus 13 of the 26 neighbors.
+        static const int offsets[14][3] = {
+            {0, 0, 0},  {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},
+            {-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},
+            {1, 0, 1},  {-1, 1, 1}, {0, 1, 1},  {1, 1, 1},
+        };
+        for (const auto& off : offsets) {
+          const std::size_t ox = wrap_cell(static_cast<long>(cx) + off[0]);
+          const std::size_t oy = wrap_cell(static_cast<long>(cy) + off[1]);
+          const std::size_t oz = wrap_cell(static_cast<long>(cz) + off[2]);
+          const std::size_t other_idx = grid.index(ox, oy, oz);
+          const bool self = other_idx == grid.index(cx, cy, cz);
+          if (!self && !params.periodic &&
+              (off[0] != 0 || off[1] != 0 || off[2] != 0) &&
+              other_idx == grid.index(cx, cy, cz)) {
+            continue;  // clamped onto self at the non-periodic boundary
+          }
+          const auto& other = grid.cells[other_idx];
+          for (std::size_t ai = 0; ai < cell.size(); ++ai) {
+            const std::size_t a = cell[ai];
+            const std::size_t start = self ? ai + 1 : 0;
+            for (std::size_t bi = start; bi < other.size(); ++bi) {
+              const std::size_t p = other[bi];
+              if (!params.most_connected && ds.find(a) == ds.find(p)) {
+                continue;  // already linked; the distance test can only re-confirm
+              }
+              if (dist2(a, p) <= b2) {
+                ds.unite(a, p);
+                if (params.most_connected) {
+                  ++degree[a];
+                  ++degree[p];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Collect groups.
+  std::map<std::size_t, std::vector<std::uint32_t>> groups;
+  for (std::size_t p = 0; p < n; ++p) {
+    groups[ds.find(p)].push_back(static_cast<std::uint32_t>(p));
+  }
+
+  FofResult result;
+  result.halo_of_particle.assign(n, -1);
+  for (auto& [root, members] : groups) {
+    if (members.size() < params.min_members) continue;
+    Halo halo;
+    halo.members = members.size();
+    // Center of mass relative to the first member (handles box wrapping).
+    const double rx = x[members[0]], ry = y[members[0]], rz = z[members[0]];
+    double sx = 0.0, sy = 0.0, sz = 0.0;
+    auto rel = [&](double v, double r) {
+      double d = v - r;
+      if (params.periodic) {
+        const double half = params.box / 2.0;
+        if (d > half) d -= params.box;
+        if (d < -half) d += params.box;
+      }
+      return d;
+    };
+    for (const auto p : members) {
+      sx += rel(x[p], rx);
+      sy += rel(y[p], ry);
+      sz += rel(z[p], rz);
+    }
+    const double inv = 1.0 / static_cast<double>(members.size());
+    auto wrap_pos = [&](double v) {
+      if (!params.periodic) return v;
+      v = std::fmod(v, params.box);
+      return v < 0.0 ? v + params.box : v;
+    };
+    halo.cx = wrap_pos(rx + sx * inv);
+    halo.cy = wrap_pos(ry + sy * inv);
+    halo.cz = wrap_pos(rz + sz * inv);
+
+    if (params.most_connected && !degree.empty()) {
+      std::size_t best = members[0];
+      for (const auto p : members) {
+        if (degree[p] > degree[best]) best = p;
+      }
+      halo.most_connected_particle = best;
+    }
+    if (params.most_bound) {
+      // Potential of particle i ~ -sum_j 1/r_ij over (a sample of) members.
+      std::vector<std::uint32_t> sample(members);
+      if (sample.size() > params.potential_sample_cap) {
+        const std::size_t stride = sample.size() / params.potential_sample_cap;
+        std::vector<std::uint32_t> reduced;
+        for (std::size_t i = 0; i < sample.size(); i += stride) reduced.push_back(sample[i]);
+        sample.swap(reduced);
+      }
+      double best_pot = 1e300;
+      std::size_t best = members[0];
+      for (const auto p : members) {
+        double pot = 0.0;
+        for (const auto q : sample) {
+          if (q == p) continue;
+          const double d = std::sqrt(dist2(p, q)) + 1e-6;
+          pot -= 1.0 / d;
+        }
+        if (pot < best_pot) {
+          best_pot = pot;
+          best = p;
+        }
+      }
+      halo.most_bound_particle = best;
+    }
+
+    const auto halo_idx = static_cast<std::int32_t>(result.halos.size());
+    for (const auto p : members) result.halo_of_particle[p] = halo_idx;
+    result.halos.push_back(halo);
+  }
+  return result;
+}
+
+}  // namespace cosmo::analysis

@@ -1,0 +1,96 @@
+#include "analysis/halo_profiles.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmo::analysis {
+
+std::vector<ProfileBin> stacked_profile(std::span<const float> x,
+                                        std::span<const float> y,
+                                        std::span<const float> z,
+                                        const FofResult& halos,
+                                        const ProfileParams& params) {
+  require(x.size() == y.size() && y.size() == z.size(),
+          "stacked_profile: coordinate size mismatch");
+  require(params.nbins >= 2, "stacked_profile: need at least 2 bins");
+  require(params.r_max > 0.0, "stacked_profile: r_max must be positive");
+
+  std::vector<ProfileBin> bins(params.nbins);
+  const double dr = params.r_max / static_cast<double>(params.nbins);
+  for (std::size_t b = 0; b < params.nbins; ++b) {
+    bins[b].r_lo = static_cast<double>(b) * dr;
+    bins[b].r_hi = static_cast<double>(b + 1) * dr;
+  }
+
+  std::size_t stacked_halos = 0;
+  for (const auto& halo : halos.halos) {
+    if (halo.members < params.min_members) continue;
+    ++stacked_halos;
+  }
+  if (stacked_halos == 0) return bins;
+
+  auto wrap_delta = [&params](double d) {
+    const double half = params.box / 2.0;
+    if (d > half) d -= params.box;
+    if (d < -half) d += params.box;
+    return d;
+  };
+
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    const auto h = halos.halo_of_particle[p];
+    if (h < 0) continue;
+    const auto& halo = halos.halos[static_cast<std::size_t>(h)];
+    if (halo.members < params.min_members) continue;
+    const double dx = wrap_delta(x[p] - halo.cx);
+    const double dy = wrap_delta(y[p] - halo.cy);
+    const double dz = wrap_delta(z[p] - halo.cz);
+    const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+    if (r >= params.r_max) continue;
+    ++bins[static_cast<std::size_t>(r / dr)].particles;
+  }
+
+  // Density: particles per shell volume, averaged over stacked halos.
+  for (auto& bin : bins) {
+    const double shell = 4.0 / 3.0 * 3.14159265358979323846 *
+                         (std::pow(bin.r_hi, 3.0) - std::pow(bin.r_lo, 3.0));
+    bin.density = static_cast<double>(bin.particles) /
+                  (shell * static_cast<double>(stacked_halos));
+  }
+  return bins;
+}
+
+double concentration_proxy(const std::vector<ProfileBin>& profile) {
+  require(!profile.empty(), "concentration_proxy: empty profile");
+  std::size_t total = 0;
+  for (const auto& bin : profile) total += bin.particles;
+  if (total == 0) return 1.0;
+
+  auto radius_enclosing = [&](double fraction) {
+    const auto target = static_cast<std::size_t>(fraction * static_cast<double>(total));
+    std::size_t cumulative = 0;
+    for (const auto& bin : profile) {
+      cumulative += bin.particles;
+      if (cumulative >= target) return bin.r_hi;
+    }
+    return profile.back().r_hi;
+  };
+  const double r_half = radius_enclosing(0.5);
+  const double r_90 = radius_enclosing(0.9);
+  return r_90 > 0.0 ? r_half / r_90 : 1.0;
+}
+
+double profile_deviation(const std::vector<ProfileBin>& reference,
+                         const std::vector<ProfileBin>& other,
+                         std::size_t min_particles) {
+  require(reference.size() == other.size(), "profile_deviation: binning mismatch");
+  double worst = 0.0;
+  for (std::size_t b = 0; b < reference.size(); ++b) {
+    if (reference[b].particles < min_particles) continue;
+    if (reference[b].density <= 0.0) continue;
+    worst = std::max(worst, std::fabs(other[b].density / reference[b].density - 1.0));
+  }
+  return worst;
+}
+
+}  // namespace cosmo::analysis

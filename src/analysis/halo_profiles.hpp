@@ -1,0 +1,53 @@
+/// \file halo_profiles.hpp
+/// \brief Stacked radial density profiles of FoF halos.
+///
+/// The paper's halo discussion leans on reference [16] ("The power spectrum
+/// dependence of dark matter halo concentrations"): halo internal structure
+/// is itself an analysis product that compression can distort. This module
+/// measures the stacked radial profile rho(r) of a halo catalog and a
+/// concentration proxy, so profile distortion can be compared between
+/// original and reconstructed particle data — a finer-grained check than
+/// halo counts alone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/fof.hpp"
+
+namespace cosmo::analysis {
+
+/// One radial bin of the stacked profile.
+struct ProfileBin {
+  double r_lo = 0.0, r_hi = 0.0;  ///< radius range (same units as positions)
+  double density = 0.0;           ///< particles per unit volume, stack-averaged
+  std::size_t particles = 0;
+};
+
+struct ProfileParams {
+  std::size_t nbins = 16;
+  double r_max = 3.0;             ///< profile extent from halo center
+  std::size_t min_members = 50;   ///< halos below this are not stacked
+  double box = 256.0;             ///< periodic box edge
+};
+
+/// Stacks all qualifying halos (centered on their centers of mass) and
+/// returns the averaged radial density profile.
+std::vector<ProfileBin> stacked_profile(std::span<const float> x,
+                                        std::span<const float> y,
+                                        std::span<const float> z,
+                                        const FofResult& halos,
+                                        const ProfileParams& params = {});
+
+/// Concentration proxy: r_half / r_max-enclosing radius ratio —
+/// the radius containing half the stacked mass over the radius containing
+/// 90% of it. Lower values = more centrally concentrated.
+double concentration_proxy(const std::vector<ProfileBin>& profile);
+
+/// Maximum relative density deviation between two profiles over bins where
+/// the reference holds at least \p min_particles (compression QA metric).
+double profile_deviation(const std::vector<ProfileBin>& reference,
+                         const std::vector<ProfileBin>& other,
+                         std::size_t min_particles = 50);
+
+}  // namespace cosmo::analysis

@@ -1,0 +1,91 @@
+#include "analysis/halo_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmo::analysis {
+
+std::vector<MassBin> mass_function(const std::vector<Halo>& halos, double mass_per_particle,
+                                   std::size_t nbins, double mass_min, double mass_max) {
+  require(nbins >= 1, "mass_function: need at least one bin");
+  require(mass_min > 0.0 && mass_max > mass_min, "mass_function: bad mass range");
+  std::vector<MassBin> bins(nbins);
+  const double log_lo = std::log10(mass_min);
+  const double log_hi = std::log10(mass_max);
+  const double step = (log_hi - log_lo) / static_cast<double>(nbins);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    bins[b].mass_lo = std::pow(10.0, log_lo + step * static_cast<double>(b));
+    bins[b].mass_hi = std::pow(10.0, log_lo + step * static_cast<double>(b + 1));
+  }
+  for (const auto& h : halos) {
+    const double m = static_cast<double>(h.members) * mass_per_particle;
+    if (m < mass_min || m >= mass_max) continue;
+    auto b = static_cast<std::size_t>((std::log10(m) - log_lo) / step);
+    b = std::min(b, nbins - 1);
+    ++bins[b].count;
+  }
+  return bins;
+}
+
+HaloComparison compare_halo_catalogs(const std::vector<Halo>& original,
+                                     const std::vector<Halo>& reconstructed,
+                                     double mass_per_particle, std::size_t nbins) {
+  require(!original.empty(), "compare_halo_catalogs: empty original catalog");
+  double min_m = 1e300, max_m = 0.0;
+  for (const auto& h : original) {
+    const double m = static_cast<double>(h.members) * mass_per_particle;
+    min_m = std::min(min_m, m);
+    max_m = std::max(max_m, m);
+  }
+  max_m *= 1.001;  // include the heaviest halo in the last bin
+
+  HaloComparison c;
+  c.original = mass_function(original, mass_per_particle, nbins, min_m, max_m);
+  c.reconstructed = mass_function(reconstructed, mass_per_particle, nbins, min_m, max_m);
+  c.ratio.resize(nbins, 1.0);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    const auto o = c.original[b].count;
+    const auto r = c.reconstructed[b].count;
+    if (o == 0 && r == 0) {
+      c.ratio[b] = 1.0;
+      continue;
+    }
+    c.ratio[b] = o > 0 ? static_cast<double>(r) / static_cast<double>(o)
+                       : 2.0;  // spurious halos in an empty bin
+    c.max_ratio_deviation = std::max(c.max_ratio_deviation, std::fabs(c.ratio[b] - 1.0));
+  }
+  c.total_ratio = static_cast<double>(reconstructed.size()) /
+                  static_cast<double>(original.size());
+  return c;
+}
+
+bool halos_acceptable(const HaloComparison& c, double tolerance) {
+  return c.max_ratio_deviation <= tolerance;
+}
+
+double halo_match_fraction(const std::vector<Halo>& original,
+                           const std::vector<Halo>& reconstructed, double match_distance,
+                           double box) {
+  if (original.empty()) return 1.0;
+  const double d2max = match_distance * match_distance;
+  std::size_t matched = 0;
+  for (const auto& o : original) {
+    for (const auto& r : reconstructed) {
+      double dx = std::fabs(o.cx - r.cx);
+      double dy = std::fabs(o.cy - r.cy);
+      double dz = std::fabs(o.cz - r.cz);
+      dx = std::min(dx, box - dx);
+      dy = std::min(dy, box - dy);
+      dz = std::min(dz, box - dz);
+      if (dx * dx + dy * dy + dz * dz <= d2max) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(original.size());
+}
+
+}  // namespace cosmo::analysis

@@ -1,0 +1,52 @@
+/// \file halo_stats.hpp
+/// \brief Halo mass function histogramming and the Fig. 6 comparison:
+/// halo counts per mass bin on original vs reconstructed data, plus the
+/// count ratio curve.
+#pragma once
+
+#include <vector>
+
+#include "analysis/fof.hpp"
+
+namespace cosmo::analysis {
+
+/// One logarithmic mass bin of the halo mass function.
+struct MassBin {
+  double mass_lo = 0.0;     ///< bin lower edge (in particle-count units * mass_per_particle)
+  double mass_hi = 0.0;
+  std::size_t count = 0;    ///< halos whose mass falls in [lo, hi)
+};
+
+/// Histogram of halo masses in logarithmic bins. \p mass_per_particle
+/// converts member counts to masses (the paper's x-axis is in Msun/h).
+std::vector<MassBin> mass_function(const std::vector<Halo>& halos, double mass_per_particle,
+                                   std::size_t nbins, double mass_min, double mass_max);
+
+/// Fig. 6 data: per-bin counts for original and reconstructed catalogs
+/// sharing one binning, and their ratio (reconstructed / original).
+struct HaloComparison {
+  std::vector<MassBin> original;
+  std::vector<MassBin> reconstructed;
+  std::vector<double> ratio;          ///< per bin; 1.0 when both empty
+  double total_ratio = 0.0;           ///< total recon halos / total original halos
+  double max_ratio_deviation = 0.0;   ///< max |ratio - 1| over bins with halos
+};
+
+/// Builds the comparison with shared log binning derived from the original
+/// catalog's mass range.
+HaloComparison compare_halo_catalogs(const std::vector<Halo>& original,
+                                     const std::vector<Halo>& reconstructed,
+                                     double mass_per_particle, std::size_t nbins = 12);
+
+/// The paper's acceptance: every populated bin's count ratio within
+/// 1 +/- tolerance.
+bool halos_acceptable(const HaloComparison& c, double tolerance = 0.01);
+
+/// Fraction of original halos that have a reconstructed halo within
+/// \p match_distance of their center (a matching-based quality check used
+/// by our extended analysis).
+double halo_match_fraction(const std::vector<Halo>& original,
+                           const std::vector<Halo>& reconstructed, double match_distance,
+                           double box);
+
+}  // namespace cosmo::analysis

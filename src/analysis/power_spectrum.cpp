@@ -1,0 +1,94 @@
+#include "analysis/power_spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fft/fft.hpp"
+
+namespace cosmo::analysis {
+
+namespace {
+
+double freq(std::size_t i, std::size_t n) {
+  const auto s = static_cast<double>(i);
+  const auto nn = static_cast<double>(n);
+  return i <= n / 2 ? s : s - nn;
+}
+
+}  // namespace
+
+std::vector<PkBin> power_spectrum(std::span<const float> values, const Dims& dims,
+                                  std::size_t nbins) {
+  require(dims.rank() == 3, "power_spectrum: field must be 3-D");
+  require(values.size() == dims.count(), "power_spectrum: size mismatch");
+  if (nbins == 0) nbins = dims.nx / 2;
+  require(nbins >= 2, "power_spectrum: need at least 2 bins");
+
+  // Mean-subtract (the spectrum of fluctuations, not the DC offset).
+  double mean = 0.0;
+  for (const float v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  std::vector<cplx> grid(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) grid[i] = cplx(values[i] - mean, 0.0);
+  fft_3d(grid, dims, /*inverse=*/false);
+
+  const double k_nyq = static_cast<double>(dims.nx) / 2.0;
+  std::vector<PkBin> bins(nbins);
+  std::vector<double> ksum(nbins, 0.0);
+  const double norm = 1.0 / static_cast<double>(values.size());
+
+  for (std::size_t z = 0; z < dims.nz; ++z) {
+    const double kz = freq(z, dims.nz);
+    for (std::size_t y = 0; y < dims.ny; ++y) {
+      const double ky = freq(y, dims.ny);
+      for (std::size_t x = 0; x < dims.nx; ++x) {
+        const double kx = freq(x, dims.nx);
+        const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+        if (k <= 0.0 || k >= k_nyq) continue;
+        const auto b = std::min(nbins - 1,
+                                static_cast<std::size_t>(k / k_nyq * static_cast<double>(nbins)));
+        const cplx f = grid[dims.index(x, y, z)] * norm;
+        bins[b].power += std::norm(f);
+        ksum[b] += k;
+        ++bins[b].modes;
+      }
+    }
+  }
+  for (std::size_t b = 0; b < nbins; ++b) {
+    if (bins[b].modes > 0) {
+      bins[b].power /= static_cast<double>(bins[b].modes);
+      bins[b].k = ksum[b] / static_cast<double>(bins[b].modes);
+    }
+  }
+  // Drop empty bins.
+  std::vector<PkBin> out;
+  out.reserve(bins.size());
+  for (const auto& b : bins) {
+    if (b.modes > 0) out.push_back(b);
+  }
+  return out;
+}
+
+PkRatio pk_ratio(std::span<const float> original, std::span<const float> reconstructed,
+                 const Dims& dims, double k_fraction) {
+  const auto pk_o = power_spectrum(original, dims);
+  const auto pk_r = power_spectrum(reconstructed, dims);
+  require(pk_o.size() == pk_r.size(), "pk_ratio: binning mismatch");
+
+  const double k_max = k_fraction * static_cast<double>(dims.nx) / 2.0;
+  PkRatio out;
+  for (std::size_t i = 0; i < pk_o.size(); ++i) {
+    if (pk_o[i].k > k_max) break;
+    const double r = pk_o[i].power > 0.0 ? pk_r[i].power / pk_o[i].power : 1.0;
+    out.k.push_back(pk_o[i].k);
+    out.ratio.push_back(r);
+    out.max_deviation = std::max(out.max_deviation, std::fabs(r - 1.0));
+  }
+  return out;
+}
+
+bool pk_acceptable(const PkRatio& r, double tolerance) {
+  return r.max_deviation <= tolerance;
+}
+
+}  // namespace cosmo::analysis

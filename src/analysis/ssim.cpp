@@ -1,0 +1,64 @@
+#include "analysis/ssim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosmo::analysis {
+
+double ssim(std::span<const float> original, std::span<const float> reconstructed,
+            const Dims& dims, const SsimParams& params) {
+  require(original.size() == reconstructed.size(), "ssim: size mismatch");
+  require(original.size() == dims.count(), "ssim: dims mismatch");
+  require(!original.empty(), "ssim: empty input");
+
+  const auto [lo, hi] = value_range(original);
+  const double range = static_cast<double>(hi) - lo;
+  const double L = range > 0.0 ? range : 1.0;
+  const double c1 = (params.k1 * L) * (params.k1 * L);
+  const double c2 = (params.k2 * L) * (params.k2 * L);
+
+  const std::size_t w = std::max<std::size_t>(
+      2, std::min({params.window, dims.nx, dims.ny, dims.nz == 1 ? params.window : dims.nz}));
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  const std::size_t wz = dims.nz > 1 ? w : 1;
+  for (std::size_t z0 = 0; z0 < dims.nz; z0 += wz) {
+    for (std::size_t y0 = 0; y0 < dims.ny; y0 += w) {
+      for (std::size_t x0 = 0; x0 < dims.nx; x0 += w) {
+        const std::size_t x1 = std::min(x0 + w, dims.nx);
+        const std::size_t y1 = std::min(y0 + w, dims.ny);
+        const std::size_t z1 = std::min(z0 + wz, dims.nz);
+        double sum_a = 0.0, sum_b = 0.0, sum_aa = 0.0, sum_bb = 0.0, sum_ab = 0.0;
+        std::size_t n = 0;
+        for (std::size_t z = z0; z < z1; ++z) {
+          for (std::size_t y = y0; y < y1; ++y) {
+            for (std::size_t x = x0; x < x1; ++x) {
+              const double a = original[dims.index(x, y, z)];
+              const double b = reconstructed[dims.index(x, y, z)];
+              sum_a += a;
+              sum_b += b;
+              sum_aa += a * a;
+              sum_bb += b * b;
+              sum_ab += a * b;
+              ++n;
+            }
+          }
+        }
+        const double inv = 1.0 / static_cast<double>(n);
+        const double mu_a = sum_a * inv;
+        const double mu_b = sum_b * inv;
+        const double var_a = std::max(0.0, sum_aa * inv - mu_a * mu_a);
+        const double var_b = std::max(0.0, sum_bb * inv - mu_b * mu_b);
+        const double cov = sum_ab * inv - mu_a * mu_b;
+        const double s = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2)) /
+                         ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+        total += s;
+        ++windows;
+      }
+    }
+  }
+  return total / static_cast<double>(windows);
+}
+
+}  // namespace cosmo::analysis

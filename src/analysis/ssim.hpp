@@ -1,0 +1,28 @@
+/// \file ssim.hpp
+/// \brief Structural similarity index for 3-D scalar fields.
+///
+/// The paper points at climate's SSIM-based methodology ([20]) as the model
+/// for domain-specific evaluation; we provide SSIM as an additional CBench
+/// metric so the framework covers that use case too. Windowed mean SSIM
+/// with the standard (K1, K2) stabilizers, over non-overlapping cubic
+/// windows.
+#pragma once
+
+#include <span>
+
+#include "common/field.hpp"
+
+namespace cosmo::analysis {
+
+struct SsimParams {
+  std::size_t window = 8;  ///< cubic window edge (clamped to the field)
+  double k1 = 0.01;
+  double k2 = 0.03;
+};
+
+/// Mean SSIM between two equally shaped fields. The dynamic range L is the
+/// original's value range. Returns 1.0 for identical inputs.
+double ssim(std::span<const float> original, std::span<const float> reconstructed,
+            const Dims& dims, const SsimParams& params = {});
+
+}  // namespace cosmo::analysis

@@ -1,0 +1,76 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmo::analysis {
+
+Distortion compare(std::span<const float> original, std::span<const float> reconstructed) {
+  require(original.size() == reconstructed.size(), "stats: size mismatch");
+  require(!original.empty(), "stats: empty input");
+  const std::size_t n = original.size();
+
+  double sum_o = 0.0, sum_r = 0.0;
+  double min_o = original[0], max_o = original[0];
+  double sum_sq_err = 0.0, sum_abs_err = 0.0;
+  double max_abs = 0.0, max_rel = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double o = original[i];
+    const double r = reconstructed[i];
+    const double e = r - o;
+    sum_o += o;
+    sum_r += r;
+    min_o = std::min(min_o, o);
+    max_o = std::max(max_o, o);
+    sum_sq_err += e * e;
+    sum_abs_err += std::fabs(e);
+    max_abs = std::max(max_abs, std::fabs(e));
+    if (std::fabs(o) > 1e-30) {
+      max_rel = std::max(max_rel, std::fabs(e) / std::fabs(o));
+    }
+  }
+  const double mean_o = sum_o / static_cast<double>(n);
+  const double mean_r = sum_r / static_cast<double>(n);
+
+  double cov = 0.0, var_o = 0.0, var_r = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double doo = original[i] - mean_o;
+    const double drr = reconstructed[i] - mean_r;
+    cov += doo * drr;
+    var_o += doo * doo;
+    var_r += drr * drr;
+  }
+
+  Distortion d;
+  d.mse = sum_sq_err / static_cast<double>(n);
+  d.rmse = std::sqrt(d.mse);
+  const double range = max_o - min_o;
+  d.nrmse = range > 0.0 ? d.rmse / range : d.rmse;
+  d.psnr_db = d.rmse > 0.0 && range > 0.0
+                  ? 20.0 * std::log10(range / d.rmse)
+                  : 999.0;  // lossless sentinel
+  d.mre = range > 0.0 ? (sum_abs_err / static_cast<double>(n)) / range
+                      : sum_abs_err / static_cast<double>(n);
+  d.max_abs_err = max_abs;
+  d.max_rel_err = max_rel;
+  d.pearson_r = (var_o > 0.0 && var_r > 0.0) ? cov / std::sqrt(var_o * var_r) : 1.0;
+  return d;
+}
+
+double psnr_db(std::span<const float> original, std::span<const float> reconstructed) {
+  return compare(original, reconstructed).psnr_db;
+}
+
+double compression_ratio(std::size_t original_bytes, std::size_t compressed_bytes) {
+  require(compressed_bytes > 0, "compression_ratio: zero compressed size");
+  return static_cast<double>(original_bytes) / static_cast<double>(compressed_bytes);
+}
+
+double bit_rate_for_ratio(double ratio) {
+  require(ratio > 0.0, "bit_rate_for_ratio: ratio must be positive");
+  return 32.0 / ratio;
+}
+
+}  // namespace cosmo::analysis

@@ -1,0 +1,35 @@
+/// \file stats.hpp
+/// \brief General distortion metrics (paper Metric 2 and CBench outputs):
+/// PSNR, MSE, NRMSE, MRE, maximum absolute/relative error, Pearson r.
+#pragma once
+
+#include <span>
+
+namespace cosmo::analysis {
+
+/// All pairwise distortion metrics between an original and a reconstruction.
+struct Distortion {
+  double mse = 0.0;        ///< mean squared error
+  double rmse = 0.0;       ///< sqrt(mse)
+  double nrmse = 0.0;      ///< rmse / (max - min of original)
+  double psnr_db = 0.0;    ///< 20 log10((max-min) / rmse)
+  double mre = 0.0;        ///< mean |err| / value-range (SZ convention)
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;  ///< max |err| / |original| over |orig| > eps
+  double pearson_r = 0.0;  ///< correlation coefficient
+};
+
+/// Computes every metric in one pass; inputs must be the same length and
+/// non-empty.
+Distortion compare(std::span<const float> original, std::span<const float> reconstructed);
+
+/// PSNR alone (dB), range-based like SZ's assessment tooling.
+double psnr_db(std::span<const float> original, std::span<const float> reconstructed);
+
+/// Compressed-size ratio helper: original bytes / compressed bytes.
+double compression_ratio(std::size_t original_bytes, std::size_t compressed_bytes);
+
+/// Bits per value for float32 inputs under the given ratio.
+double bit_rate_for_ratio(double compression_ratio);
+
+}  // namespace cosmo::analysis

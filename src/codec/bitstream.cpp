@@ -1,0 +1,65 @@
+#include "codec/bitstream.hpp"
+
+namespace cosmo {
+
+void BitWriter::put(std::uint64_t value, unsigned nbits) {
+  require(nbits <= 64, "BitWriter::put: nbits > 64");
+  if (nbits == 0) return;
+  if (nbits < 64) value &= (1ull << nbits) - 1;
+  cur_ |= value << cur_bits_;
+  const unsigned room = 64 - cur_bits_;
+  if (nbits >= room) {
+    words_.push_back(cur_);
+    // Remaining high bits of value (safe: room >= 1, so shift < 64 unless
+    // nbits == room == 64 where value >> 64 would be UB).
+    cur_ = room < 64 ? (value >> room) : 0;
+    cur_bits_ = nbits - room;
+  } else {
+    cur_bits_ += nbits;
+  }
+  bit_count_ += nbits;
+}
+
+std::vector<std::uint8_t> BitWriter::finish() const {
+  std::vector<std::uint8_t> out;
+  out.reserve((bit_count_ + 7) / 8);
+  auto push_word = [&out](std::uint64_t w, unsigned bytes) {
+    for (unsigned i = 0; i < bytes; ++i) out.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+  };
+  for (const std::uint64_t w : words_) push_word(w, 8);
+  if (cur_bits_ > 0) push_word(cur_, (cur_bits_ + 7) / 8);
+  return out;
+}
+
+void BitWriter::clear() {
+  words_.clear();
+  cur_ = 0;
+  cur_bits_ = 0;
+  bit_count_ = 0;
+}
+
+std::uint64_t BitReader::get(unsigned nbits) {
+  require(nbits <= 64, "BitReader::get: nbits > 64");
+  if (nbits == 0) return 0;
+  require_format(pos_ + nbits <= size_bits_, "BitReader: read past end of stream");
+  std::uint64_t out = 0;
+  unsigned got = 0;
+  while (got < nbits) {
+    const std::uint64_t byte_idx = (pos_ + got) / 8;
+    const unsigned bit_idx = static_cast<unsigned>((pos_ + got) % 8);
+    const unsigned take = std::min(nbits - got, 8 - bit_idx);
+    const std::uint64_t bits =
+        (static_cast<std::uint64_t>(data_[byte_idx]) >> bit_idx) & ((1ull << take) - 1);
+    out |= bits << got;
+    got += take;
+  }
+  pos_ += nbits;
+  return out;
+}
+
+void BitReader::seek(std::uint64_t bit_pos) {
+  require_format(bit_pos <= size_bits_, "BitReader::seek: position past end");
+  pos_ = bit_pos;
+}
+
+}  // namespace cosmo

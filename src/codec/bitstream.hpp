@@ -1,0 +1,72 @@
+/// \file bitstream.hpp
+/// \brief Bit-granular writer/reader used by the Huffman coder and the
+/// ZFP bit-plane embedded coder.
+///
+/// Bits are packed LSB-first into 64-bit words, matching the reference ZFP
+/// stream convention so block payload sizes are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cosmo {
+
+/// Append-only bit writer.
+class BitWriter {
+ public:
+  /// Appends the low \p nbits bits of \p value (0 <= nbits <= 64).
+  void put(std::uint64_t value, unsigned nbits);
+
+  /// Appends a single bit.
+  void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
+
+  /// Total bits written so far.
+  [[nodiscard]] std::uint64_t bit_count() const { return bit_count_; }
+
+  /// Pads to a whole byte with zero bits and returns the byte buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish() const;
+
+  /// Clears all state.
+  void clear();
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t cur_ = 0;
+  unsigned cur_bits_ = 0;
+  std::uint64_t bit_count_ = 0;
+};
+
+/// Sequential bit reader over a byte buffer produced by BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size_bytes)
+      : data_(data), size_bits_(static_cast<std::uint64_t>(size_bytes) * 8) {}
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size()) {}
+  /// Deleted: a temporary's storage would dangle after construction.
+  explicit BitReader(std::vector<std::uint8_t>&&) = delete;
+
+  /// Reads \p nbits bits (0 <= nbits <= 64); throws FormatError past the end.
+  std::uint64_t get(unsigned nbits);
+
+  /// Reads one bit.
+  bool get_bit() { return get(1) != 0; }
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::uint64_t position() const { return pos_; }
+
+  /// Bits remaining.
+  [[nodiscard]] std::uint64_t remaining() const { return size_bits_ - pos_; }
+
+  /// Repositions the read cursor (bit offset from the start).
+  void seek(std::uint64_t bit_pos);
+
+ private:
+  const std::uint8_t* data_;
+  std::uint64_t size_bits_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace cosmo

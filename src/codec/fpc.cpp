@@ -1,0 +1,99 @@
+#include "codec/fpc.hpp"
+
+#include <cstring>
+
+#include "codec/bitstream.hpp"
+#include "common/error.hpp"
+
+namespace cosmo {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46504331;  // "FPC1"
+constexpr std::size_t kTableBits = 14;
+constexpr std::size_t kTableSize = 1u << kTableBits;
+
+/// FCM: predicts the next value from a hash of recent values.
+/// DFCM: predicts the next delta from a hash of recent deltas.
+struct Predictors {
+  std::vector<std::uint32_t> fcm_table = std::vector<std::uint32_t>(kTableSize, 0);
+  std::vector<std::uint32_t> dfcm_table = std::vector<std::uint32_t>(kTableSize, 0);
+  std::size_t fcm_hash = 0;
+  std::size_t dfcm_hash = 0;
+  std::uint32_t last = 0;
+
+  std::uint32_t fcm_predict() const { return fcm_table[fcm_hash]; }
+  std::uint32_t dfcm_predict() const { return dfcm_table[dfcm_hash] + last; }
+
+  void update(std::uint32_t actual) {
+    fcm_table[fcm_hash] = actual;
+    fcm_hash = ((fcm_hash << 6) ^ (actual >> 18)) & (kTableSize - 1);
+    const std::uint32_t delta = actual - last;
+    dfcm_table[dfcm_hash] = delta;
+    dfcm_hash = ((dfcm_hash << 2) ^ (delta >> 18)) & (kTableSize - 1);
+    last = actual;
+  }
+};
+
+unsigned leading_zero_bytes(std::uint32_t x) {
+  if (x == 0) return 4;
+  unsigned n = 0;
+  while ((x & 0xFF000000u) == 0) {
+    x <<= 8;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> fpc_encode(std::span<const float> values) {
+  BitWriter bw;
+  bw.put(kMagic, 32);
+  bw.put(values.size(), 64);
+
+  Predictors pred;
+  for (const float v : values) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    const std::uint32_t fcm_xor = bits ^ pred.fcm_predict();
+    const std::uint32_t dfcm_xor = bits ^ pred.dfcm_predict();
+    // Pick the predictor whose XOR has more leading zero bytes.
+    const bool use_dfcm = leading_zero_bytes(dfcm_xor) > leading_zero_bytes(fcm_xor);
+    const std::uint32_t residual = use_dfcm ? dfcm_xor : fcm_xor;
+    const unsigned lzb = leading_zero_bytes(residual);
+    bw.put_bit(use_dfcm);
+    bw.put(lzb, 3);  // 0..4 leading zero bytes
+    if (lzb < 4) {
+      bw.put(residual, (4 - lzb) * 8);
+    }
+    pred.update(bits);
+  }
+  return bw.finish();
+}
+
+std::vector<float> fpc_decode(std::span<const std::uint8_t> bytes) {
+  BitReader br(bytes.data(), bytes.size());
+  require_format(br.get(32) == kMagic, "fpc: bad magic");
+  const std::uint64_t count = br.get(64);
+
+  Predictors pred;
+  std::vector<float> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const bool use_dfcm = br.get_bit();
+    const unsigned lzb = static_cast<unsigned>(br.get(3));
+    require_format(lzb <= 4, "fpc: bad leading-zero count");
+    const std::uint32_t residual =
+        lzb < 4 ? static_cast<std::uint32_t>(br.get((4 - lzb) * 8)) : 0;
+    const std::uint32_t prediction = use_dfcm ? pred.dfcm_predict() : pred.fcm_predict();
+    const std::uint32_t bits = prediction ^ residual;
+    float v;
+    std::memcpy(&v, &bits, 4);
+    out.push_back(v);
+    pred.update(bits);
+  }
+  return out;
+}
+
+}  // namespace cosmo

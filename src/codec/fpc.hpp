@@ -1,0 +1,26 @@
+/// \file fpc.hpp
+/// \brief FPC-style lossless floating-point compressor.
+///
+/// The paper's background (Section II-A): "Lossless compressors such as
+/// FPZIP and FPC can provide only compression ratios typically lower than
+/// 2:1 for dense scientific data because of the significant randomness of
+/// the ending mantissa bits." This comparator makes that claim measurable:
+/// values are predicted (FCM and DFCM hash predictors, like FPC), the
+/// prediction is XORed with the truth, and the leading-zero bytes of the
+/// XOR are run-length coded — exactly the structure of Burtscher's FPC,
+/// adapted to 32-bit floats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cosmo {
+
+/// Losslessly compresses a float array.
+std::vector<std::uint8_t> fpc_encode(std::span<const float> values);
+
+/// Exact inverse of fpc_encode().
+std::vector<float> fpc_decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace cosmo

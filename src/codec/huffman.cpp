@@ -1,0 +1,215 @@
+#include "codec/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+namespace cosmo {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48554646;  // "HUFF"
+constexpr unsigned kMaxCodeLen = 58;          // fits in a u64 alongside length
+
+struct Node {
+  std::uint64_t freq;
+  int left = -1;   // index into node pool, -1 for leaf
+  int right = -1;
+  std::uint32_t symbol = 0;
+};
+
+/// Computes code lengths by building the Huffman tree over the node pool.
+void assign_depths(const std::vector<Node>& pool, int idx, unsigned depth,
+                   std::vector<unsigned>& lengths,
+                   const std::vector<std::uint32_t>& leaf_symbol_index) {
+  const Node& n = pool[static_cast<std::size_t>(idx)];
+  if (n.left < 0) {
+    lengths[leaf_symbol_index[n.symbol]] = std::max(1u, depth);
+    return;
+  }
+  assign_depths(pool, n.left, depth + 1, lengths, leaf_symbol_index);
+  assign_depths(pool, n.right, depth + 1, lengths, leaf_symbol_index);
+}
+
+/// Canonical code assignment: symbols sorted by (length, symbol value).
+struct CanonicalEntry {
+  std::uint32_t symbol;
+  unsigned length;
+  std::uint64_t code;  // MSB-first canonical code
+};
+
+std::vector<CanonicalEntry> canonicalize(const std::vector<std::uint32_t>& alphabet,
+                                         const std::vector<unsigned>& lengths) {
+  std::vector<CanonicalEntry> entries;
+  entries.reserve(alphabet.size());
+  for (std::size_t i = 0; i < alphabet.size(); ++i) {
+    entries.push_back({alphabet[i], lengths[i], 0});
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return a.length != b.length ? a.length < b.length : a.symbol < b.symbol;
+  });
+  std::uint64_t code = 0;
+  unsigned prev_len = entries.empty() ? 0 : entries.front().length;
+  for (auto& e : entries) {
+    code <<= (e.length - prev_len);
+    e.code = code;
+    ++code;
+    prev_len = e.length;
+  }
+  return entries;
+}
+
+}  // namespace
+
+std::vector<unsigned> huffman_code_lengths(const std::vector<std::uint64_t>& freqs) {
+  std::vector<unsigned> lengths(freqs.size(), 0);
+  // Collect leaves.
+  std::vector<Node> pool;
+  std::vector<std::uint32_t> leaf_symbol_index(freqs.size(), 0);
+  std::uint32_t nonzero = 0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (freqs[i] == 0) continue;
+    leaf_symbol_index[i] = static_cast<std::uint32_t>(i);
+    pool.push_back({freqs[i], -1, -1, static_cast<std::uint32_t>(i)});
+    ++nonzero;
+  }
+  if (nonzero == 0) return lengths;
+  if (nonzero == 1) {
+    lengths[pool.front().symbol] = 1;
+    return lengths;
+  }
+  // Min-heap of (freq, node index); tie-break on node index for determinism.
+  using Item = std::pair<std::uint64_t, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (std::size_t i = 0; i < pool.size(); ++i) heap.push({pool[i].freq, static_cast<int>(i)});
+  while (heap.size() > 1) {
+    const auto [fa, a] = heap.top();
+    heap.pop();
+    const auto [fb, b] = heap.top();
+    heap.pop();
+    pool.push_back({fa + fb, a, b, 0});
+    heap.push({fa + fb, static_cast<int>(pool.size() - 1)});
+  }
+  std::vector<std::uint32_t> identity(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) identity[i] = static_cast<std::uint32_t>(i);
+  assign_depths(pool, heap.top().second, 0, lengths, identity);
+  return lengths;
+}
+
+double shannon_entropy_bits(const std::vector<std::uint64_t>& freqs) {
+  std::uint64_t total = 0;
+  for (const auto f : freqs) total += f;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto f : freqs) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbols) {
+  // Dense frequency map over the sparse alphabet.
+  std::map<std::uint32_t, std::uint64_t> freq_map;
+  for (const auto s : symbols) ++freq_map[s];
+
+  std::vector<std::uint32_t> alphabet;
+  std::vector<std::uint64_t> freqs;
+  alphabet.reserve(freq_map.size());
+  freqs.reserve(freq_map.size());
+  for (const auto& [sym, f] : freq_map) {
+    alphabet.push_back(sym);
+    freqs.push_back(f);
+  }
+  std::vector<unsigned> lengths = huffman_code_lengths(freqs);
+  for (const auto len : lengths) {
+    require(len <= kMaxCodeLen, "huffman: code length exceeds limit (pathological distribution)");
+  }
+  auto entries = canonicalize(alphabet, lengths);
+
+  // Per-symbol lookup for encoding.
+  std::map<std::uint32_t, std::pair<std::uint64_t, unsigned>> codebook;
+  for (const auto& e : entries) codebook[e.symbol] = {e.code, e.length};
+
+  BitWriter bw;
+  bw.put(kMagic, 32);
+  bw.put(symbols.size(), 64);
+  bw.put(entries.size(), 32);
+  for (const auto& e : entries) {
+    bw.put(e.symbol, 32);
+    bw.put(e.length, 6);
+  }
+  for (const auto s : symbols) {
+    const auto [code, len] = codebook.at(s);
+    // Canonical codes are MSB-first; emit bits high-to-low so the decoder
+    // can do prefix matching by accumulating one bit at a time.
+    for (unsigned i = 0; i < len; ++i) bw.put_bit(((code >> (len - 1 - i)) & 1) != 0);
+  }
+  return bw.finish();
+}
+
+std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes) {
+  BitReader br(bytes);
+  require_format(br.get(32) == kMagic, "huffman: bad magic");
+  const std::uint64_t count = br.get(64);
+  const std::uint32_t alpha_size = static_cast<std::uint32_t>(br.get(32));
+  std::vector<CanonicalEntry> entries(alpha_size);
+  for (auto& e : entries) {
+    e.symbol = static_cast<std::uint32_t>(br.get(32));
+    e.length = static_cast<unsigned>(br.get(6));
+    require_format(e.length >= 1 && e.length <= kMaxCodeLen, "huffman: bad code length");
+  }
+  require_format(count == 0 || alpha_size > 0, "huffman: empty alphabet with nonzero count");
+
+  // Rebuild canonical codes (entries arrive sorted by (length, symbol)).
+  std::uint64_t code = 0;
+  unsigned prev_len = entries.empty() ? 0 : entries.front().length;
+  for (auto& e : entries) {
+    require_format(e.length >= prev_len, "huffman: header not canonically sorted");
+    code <<= (e.length - prev_len);
+    e.code = code;
+    ++code;
+    prev_len = e.length;
+  }
+
+  // first_code / first_index per length for O(1)-per-bit canonical decoding.
+  std::vector<std::uint64_t> first_code(kMaxCodeLen + 2, 0);
+  std::vector<std::uint32_t> first_index(kMaxCodeLen + 2, 0);
+  std::vector<std::uint32_t> count_at(kMaxCodeLen + 2, 0);
+  for (const auto& e : entries) ++count_at[e.length];
+  {
+    std::uint32_t idx = 0;
+    std::uint64_t c = 0;
+    unsigned len = entries.empty() ? 1 : entries.front().length;
+    for (unsigned l = len; l <= kMaxCodeLen + 1; ++l) {
+      first_code[l] = c;
+      first_index[l] = idx;
+      idx += count_at[l];
+      c = (c + count_at[l]) << 1;
+    }
+  }
+
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t acc = 0;
+    unsigned len = 0;
+    for (;;) {
+      acc = (acc << 1) | (br.get_bit() ? 1u : 0u);
+      ++len;
+      require_format(len <= kMaxCodeLen, "huffman: code too long in stream");
+      if (count_at[len] > 0 && acc >= first_code[len] &&
+          acc < first_code[len] + count_at[len]) {
+        const std::uint32_t idx =
+            first_index[len] + static_cast<std::uint32_t>(acc - first_code[len]);
+        out.push_back(entries[idx].symbol);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cosmo

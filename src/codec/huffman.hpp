@@ -1,0 +1,35 @@
+/// \file huffman.hpp
+/// \brief Canonical Huffman coder over 32-bit symbols.
+///
+/// This is the entropy-coding stage of the SZ pipeline ("a customized
+/// Huffman coding", paper Section II-A). The alphabet is the set of
+/// quantization codes actually present in the data, so symbols are sparse
+/// 32-bit integers rather than bytes. Codes are canonicalized so the
+/// header only stores (symbol, code length) pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/bitstream.hpp"
+
+namespace cosmo {
+
+/// Encodes \p symbols into a self-describing byte buffer
+/// (header: alphabet + code lengths; payload: bit-packed codes).
+std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbols);
+
+/// Decodes a buffer produced by huffman_encode(). Throws FormatError on
+/// malformed input.
+std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes);
+
+/// Computes the per-symbol canonical code lengths for a frequency table
+/// (exposed for testing and for entropy estimation). Returned parallel to
+/// \p freqs; zero-frequency symbols get length 0.
+std::vector<unsigned> huffman_code_lengths(const std::vector<std::uint64_t>& freqs);
+
+/// Shannon entropy (bits/symbol) of a frequency table; the lower bound the
+/// Huffman stage approaches. Used by tests and the rate model.
+double shannon_entropy_bits(const std::vector<std::uint64_t>& freqs);
+
+}  // namespace cosmo

@@ -1,0 +1,108 @@
+#include "codec/lzss.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "codec/bitstream.hpp"
+#include "common/error.hpp"
+
+namespace cosmo {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C5A5353;  // "LZSS"
+constexpr unsigned kWindowBits = 16;          // 64 KiB window
+constexpr unsigned kLengthBits = 8;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + (1u << kLengthBits) - 1;
+constexpr std::size_t kWindow = 1u << kWindowBits;
+constexpr std::size_t kHashSize = 1u << 15;
+constexpr int kMaxChain = 32;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t x;
+  std::memcpy(&x, p, 4);
+  return (x * 2654435761u) >> (32 - 15);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
+  BitWriter bw;
+  bw.put(kMagic, 32);
+  bw.put(input.size(), 64);
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(input.size(), -1);
+
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= input.size()) {
+      const std::uint32_t h = hash4(&input[i]);
+      std::int64_t cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && i - static_cast<std::size_t>(cand) <= kWindow &&
+             chain < kMaxChain) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        std::size_t len = 0;
+        const std::size_t max_len = std::min(kMaxMatch, input.size() - i);
+        while (len < max_len && input[c + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len == max_len) break;
+        }
+        cand = prev[c];
+        ++chain;
+      }
+    }
+    if (best_len >= kMinMatch) {
+      bw.put_bit(true);
+      bw.put(best_dist - 1, kWindowBits);
+      bw.put(best_len - kMinMatch, kLengthBits);
+      // Insert all covered positions into the hash chains.
+      const std::size_t end = std::min(i + best_len, input.size() >= 4 ? input.size() - 3 : 0);
+      for (std::size_t j = i; j < end; ++j) {
+        const std::uint32_t h = hash4(&input[j]);
+        prev[j] = head[h];
+        head[h] = static_cast<std::int64_t>(j);
+      }
+      i += best_len;
+    } else {
+      bw.put_bit(false);
+      bw.put(input[i], 8);
+      if (i + 4 <= input.size()) {
+        const std::uint32_t h = hash4(&input[i]);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      ++i;
+    }
+  }
+  return bw.finish();
+}
+
+std::vector<std::uint8_t> lzss_decode(const std::vector<std::uint8_t>& input) {
+  BitReader br(input);
+  require_format(br.get(32) == kMagic, "lzss: bad magic");
+  const std::uint64_t n = br.get(64);
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (br.get_bit()) {
+      const std::size_t dist = static_cast<std::size_t>(br.get(kWindowBits)) + 1;
+      const std::size_t len = static_cast<std::size_t>(br.get(kLengthBits)) + kMinMatch;
+      require_format(dist <= out.size(), "lzss: match distance past start");
+      require_format(out.size() + len <= n, "lzss: match overruns declared size");
+      const std::size_t start = out.size() - dist;
+      for (std::size_t j = 0; j < len; ++j) out.push_back(out[start + j]);
+    } else {
+      out.push_back(static_cast<std::uint8_t>(br.get(8)));
+    }
+  }
+  return out;
+}
+
+}  // namespace cosmo

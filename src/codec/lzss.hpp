@@ -1,0 +1,22 @@
+/// \file lzss.hpp
+/// \brief LZSS dictionary coder (hash-chain match finder, 64 KiB window).
+///
+/// Stands in for the Zstd lossless back-end the released SZ uses after
+/// Huffman coding. The role in the pipeline — squeezing residual
+/// redundancy out of the Huffman header + payload and of the
+/// unpredictable-data section — is identical; only the absolute speed
+/// differs, which is irrelevant to the reproduction's quality results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cosmo {
+
+/// Compresses \p input; output is self-describing (stores original size).
+std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input);
+
+/// Inverse of lzss_encode(); throws FormatError on malformed input.
+std::vector<std::uint8_t> lzss_decode(const std::vector<std::uint8_t>& input);
+
+}  // namespace cosmo

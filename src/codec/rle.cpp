@@ -1,0 +1,52 @@
+#include "codec/rle.hpp"
+
+#include "common/error.hpp"
+
+namespace cosmo {
+
+namespace {
+constexpr std::uint8_t kEscape = 0xFF;
+constexpr std::size_t kMinRun = 4;
+constexpr std::size_t kMaxRun = 255;
+}  // namespace
+
+std::vector<std::uint8_t> rle_encode(const std::vector<std::uint8_t>& input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] && run < kMaxRun) ++run;
+    if (run >= kMinRun || input[i] == kEscape) {
+      out.push_back(kEscape);
+      out.push_back(static_cast<std::uint8_t>(run));
+      out.push_back(input[i]);
+      i += run;
+    } else {
+      out.push_back(input[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_decode(const std::vector<std::uint8_t>& input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() * 2);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    if (input[i] == kEscape) {
+      require_format(i + 2 < input.size(), "rle: truncated escape sequence");
+      const std::size_t run = input[i + 1];
+      require_format(run >= 1, "rle: zero-length run");
+      out.insert(out.end(), run, input[i + 2]);
+      i += 3;
+    } else {
+      out.push_back(input[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace cosmo

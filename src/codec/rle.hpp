@@ -1,0 +1,20 @@
+/// \file rle.hpp
+/// \brief Byte-oriented run-length coding.
+///
+/// Used as a cheap pre-pass before LZSS on highly repetitive streams (e.g.
+/// the zero-heavy unpredictable-data section SZ emits at tight bounds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cosmo {
+
+/// Encodes runs as (0xFF, count, byte) triples; literals that equal the
+/// escape byte are encoded as a run of length 1.
+std::vector<std::uint8_t> rle_encode(const std::vector<std::uint8_t>& input);
+
+/// Inverse of rle_encode(); throws FormatError on truncated input.
+std::vector<std::uint8_t> rle_decode(const std::vector<std::uint8_t>& input);
+
+}  // namespace cosmo

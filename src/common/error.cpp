@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+namespace cosmo {
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+void require_format(bool cond, const std::string& msg) {
+  if (!cond) throw FormatError(msg);
+}
+
+}  // namespace cosmo

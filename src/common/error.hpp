@@ -1,0 +1,44 @@
+/// \file error.hpp
+/// \brief Error handling primitives used across the library.
+///
+/// Follows the C++ Core Guidelines (E.2): throw exceptions to signal that a
+/// function cannot perform its task. All library errors derive from
+/// cosmo::Error so callers can catch one type at an API boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cosmo {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument outside the documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A serialized stream (compressed payload, container file) is malformed.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation on the filesystem failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with \p msg when \p cond is false.
+void require(bool cond, const std::string& msg);
+
+/// Throws FormatError with \p msg when \p cond is false.
+void require_format(bool cond, const std::string& msg);
+
+}  // namespace cosmo

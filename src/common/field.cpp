@@ -1,0 +1,29 @@
+#include "common/field.hpp"
+
+#include <algorithm>
+
+#include "common/str.hpp"
+
+namespace cosmo {
+
+std::string Dims::to_string() const {
+  if (rank() == 1) return strprintf("%zu", nx);
+  if (rank() == 2) return strprintf("%zux%zu", nx, ny);
+  return strprintf("%zux%zux%zu", nx, ny, nz);
+}
+
+Field Field::reshaped(Dims new_dims) const {
+  require(new_dims.count() >= data.size(),
+          "Field::reshaped: target shape smaller than data (" + new_dims.to_string() + ")");
+  Field out(name, new_dims);
+  std::copy(data.begin(), data.end(), out.data.begin());
+  return out;
+}
+
+std::pair<float, float> value_range(std::span<const float> values) {
+  require(!values.empty(), "value_range: empty span");
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  return {*lo, *hi};
+}
+
+}  // namespace cosmo

@@ -1,0 +1,32 @@
+/// \file str.hpp
+/// \brief Small string utilities (formatting, splitting, human-readable sizes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosmo {
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits \p s on \p sep, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string trim(const std::string& s);
+
+/// True when \p s starts with \p prefix.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Lowercases ASCII characters.
+std::string to_lower(std::string s);
+
+/// "38 GB", "6.6 GB", "512 MB" style byte counts.
+std::string human_bytes(std::uint64_t bytes);
+
+/// Joins items with \p sep.
+std::string join(const std::vector<std::string>& items, const std::string& sep);
+
+}  // namespace cosmo

@@ -1,0 +1,65 @@
+/// \file thread_pool.hpp
+/// \brief A fixed-size worker pool with a parallel_for helper.
+///
+/// This is the shared-memory execution substrate for block-parallel codec
+/// kernels and for the PAT workflow executor (which stands in for the
+/// paper's SLURM cluster). Parallelism is explicit, per the MPI/OpenMP
+/// guidance in the HPC guides: callers decide the grain, the pool only
+/// schedules.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cosmo {
+
+/// Fixed-size thread pool. Tasks are std::function<void()>; submit() returns
+/// a future for completion/exception propagation.
+class ThreadPool {
+ public:
+  /// Creates \p n workers; n == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any exception the task
+  /// threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs \p body(begin, end) on the
+/// pool, blocking until all chunks complete. Exceptions from any chunk are
+/// rethrown in the caller. With a null pool or n small, runs inline.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_grain = 1024);
+
+/// Process-wide default pool (lazily constructed, hardware concurrency).
+ThreadPool& global_pool();
+
+}  // namespace cosmo

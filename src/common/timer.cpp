@@ -1,0 +1,33 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosmo {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double throughput_gbps(std::uint64_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / seconds / 1e9;
+}
+
+}  // namespace cosmo

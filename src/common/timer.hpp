@@ -1,0 +1,62 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities for throughput measurement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cosmo {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// Used for measuring real codec execution time (Fig. 8 CPU results). The
+/// simulated-GPU timings in src/gpu use an analytic model instead.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates repeated measurements of one quantity and reports
+/// average / standard deviation, mirroring the paper's methodology
+/// (Section V-C: 10 warm-up runs, then average and stddev over repeats).
+class RunningStats {
+ public:
+  /// Adds one sample.
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford accumulator
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Converts a (bytes, seconds) pair to GB/s; returns 0 when seconds == 0.
+double throughput_gbps(std::uint64_t bytes, double seconds);
+
+}  // namespace cosmo

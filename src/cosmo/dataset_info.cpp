@@ -1,0 +1,68 @@
+#include "cosmo/dataset_info.hpp"
+
+#include <cmath>
+
+#include "common/str.hpp"
+
+namespace cosmo {
+
+DatasetInfo hacc_paper_info() {
+  DatasetInfo d;
+  d.name = "HACC";
+  d.dimension = "1,073,726,359";
+  d.size = "38 GB";
+  d.fields = {
+      {"Position (x, y, z)", "(0, 256)"},
+      {"Velocity (vx, vy, vz)", "(-1e4, 1e4)"},
+  };
+  return d;
+}
+
+DatasetInfo nyx_paper_info() {
+  DatasetInfo d;
+  d.name = "Nyx";
+  d.dimension = "512x512x512";
+  d.size = "6.6 GB";
+  d.fields = {
+      {"Baryon Density", "(0, 1e5)"},
+      {"Dark Matter Density", "(0, 1e4)"},
+      {"Temperature", "(1e2, 1e7)"},
+      {"Velocity (vx, vy, vz)", "(-1e8, 1e8)"},
+  };
+  return d;
+}
+
+DatasetInfo describe(const io::Container& c, const std::string& name) {
+  DatasetInfo d;
+  d.name = name;
+  if (!c.variables.empty()) {
+    d.dimension = c.variables.front().field.dims.to_string();
+  }
+  d.size = human_bytes(c.payload_bytes());
+  for (const auto& v : c.variables) {
+    const auto [lo, hi] = value_range(v.field.view());
+    d.fields.push_back(
+        {v.field.name, strprintf("(%.3g, %.3g)", static_cast<double>(lo),
+                                 static_cast<double>(hi))});
+  }
+  return d;
+}
+
+std::string format_table(const std::vector<DatasetInfo>& rows) {
+  std::string out;
+  out += strprintf("%-10s %-18s %-8s %-28s %s\n", "Dataset", "Dimension", "Size",
+                   "Field", "Value Range");
+  out += std::string(90, '-') + "\n";
+  for (const auto& d : rows) {
+    bool first = true;
+    for (const auto& f : d.fields) {
+      out += strprintf("%-10s %-18s %-8s %-28s %s\n", first ? d.name.c_str() : "",
+                       first ? d.dimension.c_str() : "", first ? d.size.c_str() : "",
+                       f.name.c_str(), f.range.c_str());
+      first = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace cosmo

@@ -1,0 +1,40 @@
+/// \file dataset_info.hpp
+/// \brief Dataset descriptors reproducing paper Table II, plus helpers to
+/// describe generated containers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/container.hpp"
+
+namespace cosmo {
+
+/// One row of a dataset description (per field).
+struct FieldInfo {
+  std::string name;
+  std::string range;  ///< value range as the paper prints it
+};
+
+/// Table II row.
+struct DatasetInfo {
+  std::string name;
+  std::string dimension;  ///< e.g. "1,073,726,359" or "512x512x512"
+  std::string size;       ///< e.g. "38 GB"
+  std::vector<FieldInfo> fields;
+};
+
+/// Paper Table II, HACC row (the original full-scale dataset).
+DatasetInfo hacc_paper_info();
+
+/// Paper Table II, Nyx row.
+DatasetInfo nyx_paper_info();
+
+/// Describes an actual generated container (dims, size, measured ranges).
+DatasetInfo describe(const io::Container& c, const std::string& name);
+
+/// Formats a DatasetInfo as an aligned text table (used by the Table II
+/// bench binary).
+std::string format_table(const std::vector<DatasetInfo>& rows);
+
+}  // namespace cosmo

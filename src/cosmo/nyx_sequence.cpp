@@ -1,0 +1,51 @@
+#include "cosmo/nyx_sequence.hpp"
+
+#include <cmath>
+
+#include "common/str.hpp"
+
+namespace cosmo {
+
+std::vector<Field> generate_nyx_delta_sequence(const NyxSequenceConfig& config) {
+  // Two independent unit-variance realizations span a plane in field space;
+  // rotating within the plane keeps unit variance while decorrelating
+  // smoothly: corr(t1, t2) = cos(theta * |t1 - t2|).
+  NyxConfig a_cfg = config.base;
+  NyxConfig b_cfg = config.base;
+  b_cfg.seed = config.base.seed ^ 0x9E3779B97F4A7C15ull;
+  const Field a = generate_nyx_delta(a_cfg);
+  const Field b = generate_nyx_delta(b_cfg);
+
+  std::vector<Field> out;
+  out.reserve(config.steps);
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    const double theta = config.rotation_per_step * static_cast<double>(t);
+    const double growth = 1.0 + config.growth_per_step * static_cast<double>(t);
+    const float ca = static_cast<float>(growth * std::cos(theta));
+    const float cb = static_cast<float>(growth * std::sin(theta));
+    Field frame(strprintf("delta_t%03zu", t), a.dims);
+    for (std::size_t i = 0; i < frame.data.size(); ++i) {
+      frame.data[i] = ca * a.data[i] + cb * b.data[i];
+    }
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+std::vector<Field> generate_nyx_density_sequence(const NyxSequenceConfig& config) {
+  std::vector<Field> deltas = generate_nyx_delta_sequence(config);
+  const double sigma = config.base.sigma_delta;
+  std::vector<Field> out;
+  out.reserve(deltas.size());
+  for (std::size_t t = 0; t < deltas.size(); ++t) {
+    Field rho(strprintf("baryon_density_t%03zu", t), deltas[t].dims);
+    for (std::size_t i = 0; i < rho.data.size(); ++i) {
+      const double v = 80.0 * std::exp(sigma * deltas[t].data[i] - sigma * sigma / 2.0);
+      rho.data[i] = static_cast<float>(std::min(v, 1e5));
+    }
+    out.push_back(std::move(rho));
+  }
+  return out;
+}
+
+}  // namespace cosmo

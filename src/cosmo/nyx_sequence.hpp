@@ -1,0 +1,35 @@
+/// \file nyx_sequence.hpp
+/// \brief Temporally coherent snapshot sequences.
+///
+/// The paper's motivation (Section I) contrasts lossy compression with
+/// decimation — "stores one snapshot every other time step ... can lead to
+/// a loss of valuable simulation information" — and its related work
+/// discusses time-based compression of adjacent snapshots (Li et al. [41]).
+/// Both need a sequence of snapshots with realistic temporal coherence.
+/// This generator evolves the Gaussian random field smoothly in time
+/// (slow rotation between two fixed realizations plus linear growth), so
+/// adjacent snapshots are strongly correlated while distant ones decorrelate.
+#pragma once
+
+#include <vector>
+
+#include "cosmo/nyx_synth.hpp"
+
+namespace cosmo {
+
+struct NyxSequenceConfig {
+  NyxConfig base;             ///< spatial configuration
+  std::size_t steps = 8;      ///< number of snapshots
+  double rotation_per_step = 0.08;  ///< radians of field-space rotation per step
+  double growth_per_step = 0.02;    ///< linear amplitude growth per step
+};
+
+/// Generates `steps` baryon-density snapshots (lognormal fields, identical
+/// value-range handling to generate_nyx()). Adjacent snapshots have
+/// correlation cos(rotation_per_step) in the underlying Gaussian field.
+std::vector<Field> generate_nyx_density_sequence(const NyxSequenceConfig& config);
+
+/// The raw (Gaussian) delta sequence, for tests that need the linear field.
+std::vector<Field> generate_nyx_delta_sequence(const NyxSequenceConfig& config);
+
+}  // namespace cosmo

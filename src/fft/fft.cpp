@@ -1,0 +1,105 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace cosmo {
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_1d(std::span<cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  require(is_pow2(n), "fft_1d: size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies with per-stage twiddle recurrence.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+void fft_3d(std::vector<cplx>& data, const Dims& dims, bool inverse) {
+  require(data.size() == dims.count(), "fft_3d: size mismatch");
+  require(is_pow2(dims.nx) && is_pow2(dims.ny) && is_pow2(dims.nz),
+          "fft_3d: extents must be powers of two");
+  const std::size_t nx = dims.nx, ny = dims.ny, nz = dims.nz;
+
+  // Along x: contiguous rows.
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      fft_1d(std::span(data.data() + dims.index(0, y, z), nx), inverse);
+    }
+  }
+  // Along y: gather/scatter strided columns.
+  if (ny > 1) {
+    std::vector<cplx> line(ny);
+    for (std::size_t z = 0; z < nz; ++z) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        for (std::size_t y = 0; y < ny; ++y) line[y] = data[dims.index(x, y, z)];
+        fft_1d(line, inverse);
+        for (std::size_t y = 0; y < ny; ++y) data[dims.index(x, y, z)] = line[y];
+      }
+    }
+  }
+  // Along z.
+  if (nz > 1) {
+    std::vector<cplx> line(nz);
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        for (std::size_t z = 0; z < nz; ++z) line[z] = data[dims.index(x, y, z)];
+        fft_1d(line, inverse);
+        for (std::size_t z = 0; z < nz; ++z) data[dims.index(x, y, z)] = line[z];
+      }
+    }
+  }
+}
+
+std::vector<cplx> fft_3d_real(std::span<const float> values, const Dims& dims) {
+  require(values.size() == dims.count(), "fft_3d_real: size mismatch");
+  std::vector<cplx> data(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) data[i] = cplx(values[i], 0.0);
+  fft_3d(data, dims, /*inverse=*/false);
+  return data;
+}
+
+std::vector<cplx> dft_reference(std::span<const cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<cplx> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang =
+          sign * 2.0 * std::numbers::pi * static_cast<double>(k * t) / static_cast<double>(n);
+      acc += data[t] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+}  // namespace cosmo

@@ -1,0 +1,38 @@
+/// \file fft.hpp
+/// \brief Iterative radix-2 FFT, 1-D and 3-D, for power-of-two sizes.
+///
+/// Substrate for the matter power spectrum P(k) analysis (paper Metric 3b)
+/// and for generating Gaussian random fields with a prescribed spectrum in
+/// the synthetic Nyx generator. Unnormalized forward transform; inverse
+/// divides by N (so inverse(forward(x)) == x).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/field.hpp"
+
+namespace cosmo {
+
+using cplx = std::complex<double>;
+
+/// True when \p n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// In-place 1-D FFT of length data.size() (must be a power of two).
+/// \p inverse selects the inverse transform (includes the 1/N scale).
+void fft_1d(std::span<cplx> data, bool inverse);
+
+/// Out-of-place 3-D FFT over a row-major nx*ny*nz array (each extent a
+/// power of two). Transforms along all three axes.
+void fft_3d(std::vector<cplx>& data, const Dims& dims, bool inverse);
+
+/// Convenience: forward 3-D FFT of a real field into a complex spectrum.
+std::vector<cplx> fft_3d_real(std::span<const float> values, const Dims& dims);
+
+/// Naive O(N^2) DFT used as the correctness oracle in tests.
+std::vector<cplx> dft_reference(std::span<const cplx> data, bool inverse);
+
+}  // namespace cosmo

@@ -1,0 +1,83 @@
+#include "foresight/cbench.hpp"
+
+#include "common/str.hpp"
+#include "common/timer.hpp"
+
+namespace cosmo::foresight {
+
+CBenchResult CBench::run_one(const Field& field, Compressor& compressor,
+                             const CompressorConfig& config) const {
+  RunOutput run = compressor.run(field, config);
+  require(run.reconstructed.size() == field.data.size(),
+          "cbench: reconstruction size mismatch from " + compressor.name());
+
+  CBenchResult r;
+  r.dataset = options_.dataset_name;
+  r.field = field.name;
+  r.compressor = compressor.name();
+  r.config = config;
+  r.original_bytes = field.bytes();
+  r.compressed_bytes = run.bytes.size();
+  r.ratio = analysis::compression_ratio(r.original_bytes, r.compressed_bytes);
+  r.bit_rate = static_cast<double>(r.compressed_bytes) * 8.0 /
+               static_cast<double>(field.data.size());
+  r.distortion = analysis::compare(field.data, run.reconstructed);
+  r.compress_seconds = run.compress_seconds;
+  r.decompress_seconds = run.decompress_seconds;
+  r.compress_gbps = throughput_gbps(r.original_bytes, run.compress_seconds);
+  r.decompress_gbps = throughput_gbps(r.original_bytes, run.decompress_seconds);
+  r.throughput_reportable = run.throughput_reportable;
+  r.has_gpu_timing = run.has_gpu_timing;
+  r.gpu_compress = run.gpu_compress;
+  r.gpu_decompress = run.gpu_decompress;
+  if (options_.keep_reconstructed) {
+    r.reconstructed = std::move(run.reconstructed);
+  }
+  return r;
+}
+
+std::vector<CBenchResult> CBench::sweep(
+    const io::Container& container, Compressor& compressor,
+    const std::vector<CompressorConfig>& configs,
+    const std::function<bool(const std::string&)>& field_filter) const {
+  std::vector<CBenchResult> results;
+  for (const auto& variable : container.variables) {
+    if (field_filter && !field_filter(variable.field.name)) continue;
+    for (const auto& config : configs) {
+      results.push_back(run_one(variable.field, compressor, config));
+    }
+  }
+  return results;
+}
+
+double CBench::overall_ratio(const std::vector<CBenchResult>& results) {
+  require(!results.empty(), "overall_ratio: no results");
+  std::size_t original = 0;
+  std::size_t compressed = 0;
+  for (const auto& r : results) {
+    original += r.original_bytes;
+    compressed += r.compressed_bytes;
+  }
+  return analysis::compression_ratio(original, compressed);
+}
+
+std::string format_results(const std::vector<CBenchResult>& results) {
+  std::string out;
+  out += strprintf("%-22s %-10s %-16s %8s %8s %9s %10s %10s\n", "field", "codec",
+                   "config", "ratio", "bitrate", "PSNR(dB)", "comp GB/s", "dec GB/s");
+  out += std::string(100, '-') + "\n";
+  for (const auto& r : results) {
+    const std::string comp_thr = r.throughput_reportable
+                                     ? strprintf("%10.2f", r.compress_gbps)
+                                     : strprintf("%10s", "N/A");
+    const std::string dec_thr = r.throughput_reportable
+                                    ? strprintf("%10.2f", r.decompress_gbps)
+                                    : strprintf("%10s", "N/A");
+    out += strprintf("%-22s %-10s %-16s %8.2f %8.3f %9.2f %s %s\n", r.field.c_str(),
+                     r.compressor.c_str(), r.config.label().c_str(), r.ratio, r.bit_rate,
+                     r.distortion.psnr_db, comp_thr.c_str(), dec_thr.c_str());
+  }
+  return out;
+}
+
+}  // namespace cosmo::foresight

@@ -1,0 +1,85 @@
+/// \file cbench.hpp
+/// \brief CBench: Foresight's compression benchmark component.
+///
+/// "CBench provides researchers with an interface to test different lossy
+/// compressors and determine the best-fit compression configuration based
+/// on their demands. The benchmarking results include compression ratio,
+/// data distortion (e.g., MRE, MSE, PSNR), compression and decompression
+/// throughput, and the reconstructed dataset for the following analysis"
+/// (paper Section IV-A1).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "foresight/compressor.hpp"
+#include "io/container.hpp"
+
+namespace cosmo::foresight {
+
+/// One row of CBench output.
+struct CBenchResult {
+  std::string dataset;
+  std::string field;
+  std::string compressor;
+  CompressorConfig config;
+
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double ratio = 0.0;     ///< original / compressed
+  double bit_rate = 0.0;  ///< bits per value
+
+  analysis::Distortion distortion;
+
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+  double compress_gbps = 0.0;   ///< uncompressed bytes / compress time
+  double decompress_gbps = 0.0;
+  bool throughput_reportable = true;
+  bool has_gpu_timing = false;
+  gpu::TimingBreakdown gpu_compress;
+  gpu::TimingBreakdown gpu_decompress;
+
+  /// Reconstructed data for downstream analysis (kept when requested).
+  std::vector<float> reconstructed;
+};
+
+/// Benchmark driver.
+class CBench {
+ public:
+  struct Options {
+    /// Keep reconstructed data in each result (needed by PAT analyses).
+    bool keep_reconstructed = true;
+    std::string dataset_name = "dataset";
+  };
+
+  CBench() = default;
+  explicit CBench(Options options) : options_(std::move(options)) {}
+
+  /// Runs one (field, compressor, config) combination.
+  CBenchResult run_one(const Field& field, Compressor& compressor,
+                       const CompressorConfig& config) const;
+
+  /// Full sweep: every field in \p container x every config. A null
+  /// \p field_filter accepts all fields.
+  std::vector<CBenchResult> sweep(
+      const io::Container& container, Compressor& compressor,
+      const std::vector<CompressorConfig>& configs,
+      const std::function<bool(const std::string&)>& field_filter = nullptr) const;
+
+  /// Aggregate ratio across a set of results (total original bytes over
+  /// total compressed bytes — how the paper reports "overall compression
+  /// ratio" for a six-field configuration).
+  static double overall_ratio(const std::vector<CBenchResult>& results);
+
+ private:
+  Options options_{};
+};
+
+/// Renders results as an aligned text table (one line per result).
+std::string format_results(const std::vector<CBenchResult>& results);
+
+}  // namespace cosmo::foresight

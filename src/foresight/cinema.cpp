@@ -1,0 +1,359 @@
+#include "foresight/cinema.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace cosmo::foresight {
+
+namespace {
+
+/// Categorical palette (solid, colorblind-aware).
+const char* kPalette[] = {"#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+                          "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5"};
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void ensure_directory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw IoError("cinema: cannot create directory " + dir + ": " + ec.message());
+}
+
+CinemaDatabase::CinemaDatabase(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  require(!columns_.empty(), "cinema: need at least one column");
+}
+
+void CinemaDatabase::add_row(std::vector<std::string> row) {
+  require(row.size() == columns_.size(), "cinema: row/column count mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void CinemaDatabase::write(const std::string& dir) const {
+  ensure_directory(dir);
+  std::ofstream out(dir + "/data.csv", std::ios::trunc);
+  if (!out) throw IoError("cinema: cannot write " + dir + "/data.csv");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out << ",";
+    out << csv_escape(columns_[i]);
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << csv_escape(row[i]);
+    }
+    out << "\n";
+  }
+}
+
+SvgPlot::SvgPlot(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void SvgPlot::add_series(PlotSeries series) {
+  require(series.x.size() == series.y.size(), "svg: series x/y size mismatch");
+  series_.push_back(std::move(series));
+}
+
+void SvgPlot::add_hband(double y_lo, double y_hi, const std::string& color) {
+  hbands_.push_back({y_lo, y_hi, color});
+}
+
+void SvgPlot::add_hline(double y, const std::string& label) { hlines_.push_back({y, label}); }
+
+std::string SvgPlot::render(int width, int height) const {
+  const double ml = 70, mr = 160, mt = 40, mb = 55;
+  const double pw = width - ml - mr;
+  const double ph = height - mt - mb;
+
+  // Data ranges (including reference lines/bands).
+  double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (log_x_ && s.x[i] <= 0.0) continue;
+      if (log_y_ && s.y[i] <= 0.0) continue;
+      x_lo = std::min(x_lo, s.x[i]);
+      x_hi = std::max(x_hi, s.x[i]);
+      y_lo = std::min(y_lo, s.y[i]);
+      y_hi = std::max(y_hi, s.y[i]);
+    }
+  }
+  for (const auto& b : hbands_) {
+    y_lo = std::min(y_lo, b.lo);
+    y_hi = std::max(y_hi, b.hi);
+  }
+  for (const auto& l : hlines_) {
+    y_lo = std::min(y_lo, l.y);
+    y_hi = std::max(y_hi, l.y);
+  }
+  if (x_lo > x_hi) {
+    x_lo = 0;
+    x_hi = 1;
+  }
+  if (y_lo > y_hi) {
+    y_lo = 0;
+    y_hi = 1;
+  }
+  if (x_lo == x_hi) x_hi = x_lo + 1;
+  if (y_lo == y_hi) y_hi = y_lo + (y_lo == 0.0 ? 1.0 : std::fabs(y_lo) * 0.1);
+  // 5% padding.
+  auto tx = [&](double v) { return log_x_ ? std::log10(v) : v; };
+  auto ty = [&](double v) { return log_y_ ? std::log10(v) : v; };
+  double txl = tx(x_lo), txh = tx(x_hi), tyl = ty(y_lo), tyh = ty(y_hi);
+  const double xpad = (txh - txl) * 0.04;
+  const double ypad = (tyh - tyl) * 0.06;
+  txl -= xpad;
+  txh += xpad;
+  tyl -= ypad;
+  tyh += ypad;
+
+  auto px = [&](double v) { return ml + (tx(v) - txl) / (txh - txl) * pw; };
+  auto py = [&](double v) { return mt + ph - (ty(v) - tyl) / (tyh - tyl) * ph; };
+
+  std::string svg = strprintf(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "font-family=\"sans-serif\">\n<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n",
+      width, height, width, height);
+
+  for (const auto& b : hbands_) {
+    svg += strprintf(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"%s\" "
+        "opacity=\"0.35\"/>\n",
+        ml, py(b.hi), pw, std::fabs(py(b.lo) - py(b.hi)), b.color.c_str());
+  }
+
+  // Axes frame.
+  svg += strprintf(
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" "
+      "stroke=\"#333\"/>\n",
+      ml, mt, pw, ph);
+
+  // Ticks: 6 per axis (in transformed space).
+  for (int t = 0; t <= 5; ++t) {
+    const double fx = txl + (txh - txl) * t / 5.0;
+    const double vx = log_x_ ? std::pow(10.0, fx) : fx;
+    const double sx = ml + (fx - txl) / (txh - txl) * pw;
+    svg += strprintf("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ccc\"/>\n",
+                     sx, mt, sx, mt + ph);
+    svg += strprintf(
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n", sx,
+        mt + ph + 16, strprintf("%.3g", vx).c_str());
+
+    const double fy = tyl + (tyh - tyl) * t / 5.0;
+    const double vy = log_y_ ? std::pow(10.0, fy) : fy;
+    const double sy = mt + ph - (fy - tyl) / (tyh - tyl) * ph;
+    svg += strprintf("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ccc\"/>\n",
+                     ml, sy, ml + pw, sy);
+    svg += strprintf(
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" text-anchor=\"end\">%s</text>\n",
+        ml - 6, sy + 4, strprintf("%.3g", vy).c_str());
+  }
+
+  for (const auto& l : hlines_) {
+    svg += strprintf(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#d62728\" "
+        "stroke-dasharray=\"6,4\"/>\n",
+        ml, py(l.y), ml + pw, py(l.y));
+    if (!l.label.empty()) {
+      svg += strprintf(
+          "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"#d62728\">%s</text>\n", ml + 4,
+          py(l.y) - 4, l.label.c_str());
+    }
+  }
+
+  // Series.
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    const std::string color =
+        s.color.empty() ? kPalette[si % std::size(kPalette)] : s.color;
+    std::string points;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (log_x_ && s.x[i] <= 0.0) continue;
+      if (log_y_ && s.y[i] <= 0.0) continue;
+      points += strprintf("%.1f,%.1f ", px(s.x[i]), py(s.y[i]));
+    }
+    svg += strprintf(
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.8\"%s/>\n",
+        points.c_str(), color.c_str(), s.dashed ? " stroke-dasharray=\"7,4\"" : "");
+    // Legend entry.
+    const double ly = mt + 14 + 18.0 * static_cast<double>(si);
+    svg += strprintf(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" "
+        "stroke-width=\"2\"%s/>\n",
+        ml + pw + 8, ly, ml + pw + 30, ly, color.c_str(),
+        s.dashed ? " stroke-dasharray=\"7,4\"" : "");
+    svg += strprintf("<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%s</text>\n", ml + pw + 34,
+                     ly + 4, s.label.c_str());
+  }
+
+  // Labels.
+  svg += strprintf(
+      "<text x=\"%.1f\" y=\"22\" font-size=\"14\" font-weight=\"bold\" "
+      "text-anchor=\"middle\">%s</text>\n",
+      ml + pw / 2, title_.c_str());
+  svg += strprintf(
+      "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\">%s</text>\n",
+      ml + pw / 2, mt + ph + 40, x_label_.c_str());
+  svg += strprintf(
+      "<text x=\"18\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\" "
+      "transform=\"rotate(-90 18 %.1f)\">%s</text>\n",
+      mt + ph / 2, mt + ph / 2, y_label_.c_str());
+  svg += "</svg>\n";
+  return svg;
+}
+
+void SvgPlot::save(const std::string& path, int width, int height) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("svg: cannot write " + path);
+  out << render(width, height);
+}
+
+SvgBarChart::SvgBarChart(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void SvgBarChart::set_segments(std::vector<std::string> names) {
+  require(!names.empty(), "svg-bar: need at least one segment");
+  segments_ = std::move(names);
+}
+
+void SvgBarChart::add_bar(const std::string& label, std::vector<double> values) {
+  require(values.size() == segments_.size(),
+          "svg-bar: value count must match declared segments");
+  for (const double v : values) require(v >= 0.0, "svg-bar: negative segment value");
+  bars_.push_back({label, std::move(values)});
+}
+
+void SvgBarChart::add_hline(double y, const std::string& label) {
+  hlines_.push_back({y, label});
+}
+
+std::string SvgBarChart::render(int width, int height) const {
+  const double ml = 70, mr = 150, mt = 40, mb = 55;
+  const double pw = width - ml - mr;
+  const double ph = height - mt - mb;
+
+  double y_max = 0.0;
+  for (const auto& bar : bars_) {
+    double total = 0.0;
+    for (const double v : bar.values) total += v;
+    y_max = std::max(y_max, total);
+  }
+  for (const auto& l : hlines_) y_max = std::max(y_max, l.y);
+  if (y_max <= 0.0) y_max = 1.0;
+  y_max *= 1.08;
+
+  auto py = [&](double v) { return mt + ph - v / y_max * ph; };
+
+  std::string svg = strprintf(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "font-family=\"sans-serif\">\n<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n",
+      width, height, width, height);
+  svg += strprintf(
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" "
+      "stroke=\"#333\"/>\n",
+      ml, mt, pw, ph);
+
+  // y ticks.
+  for (int t = 0; t <= 5; ++t) {
+    const double v = y_max * t / 5.0;
+    svg += strprintf("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ccc\"/>\n",
+                     ml, py(v), ml + pw, py(v));
+    svg += strprintf(
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" text-anchor=\"end\">%s</text>\n",
+        ml - 6, py(v) + 4, strprintf("%.3g", v).c_str());
+  }
+
+  // Bars.
+  const std::size_t n = bars_.size();
+  const double slot = n ? pw / static_cast<double>(n) : pw;
+  const double bar_w = slot * 0.6;
+  for (std::size_t b = 0; b < n; ++b) {
+    const double x0 = ml + slot * (static_cast<double>(b) + 0.2);
+    double y_cursor = 0.0;
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      const double v = bars_[b].values[s];
+      svg += strprintf(
+          "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"%s\" "
+          "stroke=\"#333\" stroke-width=\"0.5\"/>\n",
+          x0, py(y_cursor + v), bar_w, py(y_cursor) - py(y_cursor + v),
+          kPalette[s % std::size(kPalette)]);
+      y_cursor += v;
+    }
+    svg += strprintf(
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n",
+        x0 + bar_w / 2, mt + ph + 16, bars_[b].label.c_str());
+  }
+
+  for (const auto& l : hlines_) {
+    svg += strprintf(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#d62728\" "
+        "stroke-dasharray=\"6,4\"/>\n",
+        ml, py(l.y), ml + pw, py(l.y));
+    if (!l.label.empty()) {
+      svg += strprintf(
+          "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"#d62728\">%s</text>\n",
+          ml + 4, py(l.y) - 4, l.label.c_str());
+    }
+  }
+
+  // Legend.
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const double ly = mt + 14 + 18.0 * static_cast<double>(s);
+    svg += strprintf(
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"14\" height=\"10\" fill=\"%s\"/>\n",
+        ml + pw + 8, ly - 8, kPalette[s % std::size(kPalette)]);
+    svg += strprintf("<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%s</text>\n",
+                     ml + pw + 26, ly, segments_[s].c_str());
+  }
+
+  svg += strprintf(
+      "<text x=\"%.1f\" y=\"22\" font-size=\"14\" font-weight=\"bold\" "
+      "text-anchor=\"middle\">%s</text>\n",
+      ml + pw / 2, title_.c_str());
+  svg += strprintf(
+      "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\">%s</text>\n",
+      ml + pw / 2, mt + ph + 40, x_label_.c_str());
+  svg += strprintf(
+      "<text x=\"18\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\" "
+      "transform=\"rotate(-90 18 %.1f)\">%s</text>\n",
+      mt + ph / 2, mt + ph / 2, y_label_.c_str());
+  svg += "</svg>\n";
+  return svg;
+}
+
+void SvgBarChart::save(const std::string& path, int width, int height) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("svg-bar: cannot write " + path);
+  out << render(width, height);
+}
+
+void write_cinema_index(const std::string& dir, const std::string& title,
+                        const std::vector<std::string>& artifact_paths) {
+  ensure_directory(dir);
+  std::ofstream out(dir + "/index.html", std::ios::trunc);
+  if (!out) throw IoError("cinema: cannot write " + dir + "/index.html");
+  out << "<!DOCTYPE html>\n<html><head><title>" << title
+      << "</title></head>\n<body>\n<h1>" << title << "</h1>\n<ul>\n";
+  for (const auto& p : artifact_paths) {
+    out << "<li><a href=\"" << p << "\">" << p << "</a></li>\n";
+  }
+  out << "</ul>\n</body></html>\n";
+}
+
+}  // namespace cosmo::foresight

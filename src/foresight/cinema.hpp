@@ -1,0 +1,124 @@
+/// \file cinema.hpp
+/// \brief Cinema: Foresight's visualization component.
+///
+/// The paper groups result plots "in a Cinema Explorer database to provide
+/// an easily downloadable package" (Section IV-A3). This module writes a
+/// Cinema-spec-compatible CSV database (data.csv + artifact files in one
+/// directory) and replaces the web viewer with self-contained SVG line
+/// plots plus an HTML index (documented substitution).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cosmo::foresight {
+
+/// A Cinema database: a table whose rows reference artifact files.
+class CinemaDatabase {
+ public:
+  /// \p columns are the CSV headers; the Cinema convention puts FILE
+  /// columns last.
+  explicit CinemaDatabase(std::vector<std::string> columns);
+
+  /// Appends a row (must match the column count).
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Writes <dir>/data.csv (creates the directory if needed).
+  void write(const std::string& dir) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One plotted series.
+struct PlotSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::string color;    ///< CSS color; empty = auto palette
+  bool dashed = false;  ///< the paper uses dashes for cuZFP
+};
+
+/// Minimal SVG line-plot writer (axes, ticks, legend, log-scale options).
+class SvgPlot {
+ public:
+  SvgPlot(std::string title, std::string x_label, std::string y_label);
+
+  void add_series(PlotSeries series);
+  /// Horizontal reference band (e.g. the Fig. 5 1 +/- 1% constraint).
+  void add_hband(double y_lo, double y_hi, const std::string& color = "#ffcc80");
+  /// Horizontal reference line (e.g. the Fig. 7 no-compression baseline).
+  void add_hline(double y, const std::string& label = "");
+  void set_log_x(bool on) { log_x_ = on; }
+  void set_log_y(bool on) { log_y_ = on; }
+
+  /// Renders the SVG document.
+  [[nodiscard]] std::string render(int width = 760, int height = 480) const;
+
+  /// Renders and writes to \p path.
+  void save(const std::string& path, int width = 760, int height = 480) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::vector<PlotSeries> series_;
+  struct HBand {
+    double lo, hi;
+    std::string color;
+  };
+  std::vector<HBand> hbands_;
+  struct HLine {
+    double y;
+    std::string label;
+  };
+  std::vector<HLine> hlines_;
+  bool log_x_ = false;
+  bool log_y_ = false;
+};
+
+/// Stacked bar chart (the paper's Fig. 7 presentation): one bar per group,
+/// each bar a stack of named segments.
+class SvgBarChart {
+ public:
+  SvgBarChart(std::string title, std::string x_label, std::string y_label);
+
+  /// Declares the stack segments, bottom-up (e.g. init/kernel/memcpy/free).
+  void set_segments(std::vector<std::string> names);
+
+  /// Adds one bar: a group label plus one value per declared segment.
+  void add_bar(const std::string& label, std::vector<double> values);
+
+  /// Horizontal reference line (e.g. the no-compression baseline).
+  void add_hline(double y, const std::string& label = "");
+
+  [[nodiscard]] std::string render(int width = 760, int height = 480) const;
+  void save(const std::string& path, int width = 760, int height = 480) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::vector<std::string> segments_;
+  struct Bar {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::vector<Bar> bars_;
+  struct HLine {
+    double y;
+    std::string label;
+  };
+  std::vector<HLine> hlines_;
+};
+
+/// Writes an index.html linking every artifact in \p artifact_paths
+/// (relative paths inside \p dir).
+void write_cinema_index(const std::string& dir, const std::string& title,
+                        const std::vector<std::string>& artifact_paths);
+
+/// Creates a directory (and parents); throws IoError on failure.
+void ensure_directory(const std::string& dir);
+
+}  // namespace cosmo::foresight

@@ -1,0 +1,68 @@
+/// \file compressor.hpp
+/// \brief Foresight's uniform compressor interface and registry.
+///
+/// CBench evaluates every codec through this interface. Four compressors
+/// are registered, matching the paper's evaluation set:
+///   "gpu-sz"  — GPU-SZ (simulated device; ABS and PW_REL-via-log; 3-D only,
+///               1-D fields are reshaped per the paper's procedure),
+///   "cuzfp"   — cuZFP (simulated device; fixed-rate only),
+///   "sz-cpu"  — CPU SZ (ABS / PW_REL; measured wall time),
+///   "zfp-cpu" — CPU ZFP (fixed-rate / fixed-accuracy; measured wall time).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/field.hpp"
+#include "gpu/device_compressor.hpp"
+
+namespace cosmo::foresight {
+
+/// One compression configuration, e.g. {mode: "abs", value: 0.2}.
+struct CompressorConfig {
+  std::string mode;    ///< "abs" | "pw_rel" | "rate" | "accuracy"
+  double value = 0.0;  ///< error bound (abs/pw_rel/accuracy) or bits/value (rate)
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Everything a single compress+decompress run produces.
+struct RunOutput {
+  std::vector<std::uint8_t> bytes;
+  std::vector<float> reconstructed;
+  double compress_seconds = 0.0;    ///< measured (CPU) or modeled total (GPU)
+  double decompress_seconds = 0.0;
+  bool has_gpu_timing = false;
+  gpu::TimingBreakdown gpu_compress;
+  gpu::TimingBreakdown gpu_decompress;
+  bool throughput_reportable = true;  ///< false for the GPU-SZ prototype
+};
+
+/// Abstract compressor as seen by CBench.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<std::string> supported_modes() const = 0;
+
+  /// Compresses and decompresses \p field under \p config.
+  virtual RunOutput run(const Field& field, const CompressorConfig& config) = 0;
+};
+
+/// Creates a compressor by registry name. GPU-backed compressors need a
+/// simulator; passing null for them throws.
+std::unique_ptr<Compressor> make_compressor(const std::string& name,
+                                            gpu::GpuSimulator* sim = nullptr);
+
+/// Registry names in evaluation order.
+std::vector<std::string> available_compressors();
+
+/// The paper's 1-D -> 3-D dimension conversion (Section IV-B4): reshapes a
+/// 1-D extent into (ceil(n/64), 8, 8) with zero padding, the layout used
+/// for cuZFP on HACC; GPU-SZ accepts the same reshaped layout.
+Dims reshape_1d_to_3d(std::size_t n);
+
+}  // namespace cosmo::foresight

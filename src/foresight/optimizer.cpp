@@ -1,0 +1,210 @@
+#include "foresight/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/halo_stats.hpp"
+#include "analysis/power_spectrum.hpp"
+#include "common/str.hpp"
+
+namespace cosmo::foresight {
+
+OptimizationResult optimize_grid_dataset(
+    const io::Container& data, Compressor& compressor,
+    const std::map<std::string, std::vector<CompressorConfig>>& candidates,
+    double tolerance, double k_fraction) {
+  CBench bench({.keep_reconstructed = true, .dataset_name = "grid"});
+  OptimizationResult result;
+  std::size_t total_original = 0;
+  std::size_t total_compressed = 0;
+  bool all_ok = true;
+
+  for (const auto& variable : data.variables) {
+    const auto it = candidates.find(variable.field.name);
+    if (it == candidates.end()) continue;
+    FieldChoice choice;
+    choice.field = variable.field.name;
+
+    for (const auto& config : it->second) {
+      CBenchResult r = bench.run_one(variable.field, compressor, config);
+      const auto pk = analysis::pk_ratio(variable.field.data, r.reconstructed,
+                                         variable.field.dims, k_fraction);
+      CandidateOutcome outcome;
+      outcome.config = config;
+      outcome.ratio = r.ratio;
+      outcome.psnr_db = r.distortion.psnr_db;
+      outcome.metric_deviation = pk.max_deviation;
+      outcome.acceptable = analysis::pk_acceptable(pk, tolerance);
+      // Guideline step 3: among acceptable configs, keep the highest ratio.
+      if (outcome.acceptable && (!choice.found || outcome.ratio > choice.chosen.ratio)) {
+        choice.found = true;
+        choice.chosen = outcome;
+      }
+      choice.candidates.push_back(outcome);
+    }
+
+    if (choice.found) {
+      total_original += variable.field.bytes();
+      total_compressed += static_cast<std::size_t>(
+          static_cast<double>(variable.field.bytes()) / choice.chosen.ratio);
+    } else {
+      all_ok = false;
+    }
+    result.per_field.push_back(std::move(choice));
+  }
+
+  result.all_fields_ok = all_ok && !result.per_field.empty();
+  result.overall_ratio = total_compressed > 0
+                             ? static_cast<double>(total_original) /
+                                   static_cast<double>(total_compressed)
+                             : 0.0;
+  return result;
+}
+
+namespace {
+
+/// Mean relative deviation of per-halo bulk velocities, using the original
+/// halo membership (velocity distortion metric for the particle guideline).
+double halo_velocity_deviation(const analysis::FofResult& halos,
+                               std::span<const float> v_orig,
+                               std::span<const float> v_recon) {
+  if (halos.halos.empty()) return 0.0;
+  std::vector<double> sum_o(halos.halos.size(), 0.0);
+  std::vector<double> sum_r(halos.halos.size(), 0.0);
+  std::vector<std::size_t> count(halos.halos.size(), 0);
+  for (std::size_t p = 0; p < v_orig.size(); ++p) {
+    const auto h = halos.halo_of_particle[p];
+    if (h < 0) continue;
+    sum_o[static_cast<std::size_t>(h)] += v_orig[p];
+    sum_r[static_cast<std::size_t>(h)] += v_recon[p];
+    ++count[static_cast<std::size_t>(h)];
+  }
+  double dev = 0.0;
+  std::size_t used = 0;
+  for (std::size_t h = 0; h < halos.halos.size(); ++h) {
+    if (count[h] == 0) continue;
+    const double mo = sum_o[h] / static_cast<double>(count[h]);
+    const double mr = sum_r[h] / static_cast<double>(count[h]);
+    const double scale = std::max(std::fabs(mo), 10.0);  // floor avoids 0/0
+    dev += std::fabs(mr - mo) / scale;
+    ++used;
+  }
+  return used ? dev / static_cast<double>(used) : 0.0;
+}
+
+}  // namespace
+
+OptimizationResult optimize_particle_dataset(
+    const io::Container& data, Compressor& compressor,
+    const std::vector<CompressorConfig>& position_candidates,
+    const std::vector<CompressorConfig>& velocity_candidates,
+    const analysis::FofParams& fof_params, double halo_tolerance,
+    double velocity_tolerance) {
+  CBench bench({.keep_reconstructed = true, .dataset_name = "particles"});
+  const auto& x = data.find("x").field;
+  const auto& y = data.find("y").field;
+  const auto& z = data.find("z").field;
+
+  const analysis::FofResult original_halos =
+      analysis::fof(x.data, y.data, z.data, fof_params);
+  require(!original_halos.halos.empty(),
+          "optimize_particle_dataset: no halos in original data");
+
+  OptimizationResult result;
+
+  // --- Positions: same bound on x, y, z; acceptance via halo counts. ---
+  FieldChoice pos_choice;
+  pos_choice.field = "position";
+  for (const auto& config : position_candidates) {
+    CBenchResult rx = bench.run_one(x, compressor, config);
+    CBenchResult ry = bench.run_one(y, compressor, config);
+    CBenchResult rz = bench.run_one(z, compressor, config);
+    const analysis::FofResult recon_halos =
+        analysis::fof(rx.reconstructed, ry.reconstructed, rz.reconstructed, fof_params);
+    CandidateOutcome outcome;
+    outcome.config = config;
+    outcome.ratio = 3.0 * static_cast<double>(x.bytes()) /
+                    static_cast<double>(rx.compressed_bytes + ry.compressed_bytes +
+                                        rz.compressed_bytes);
+    outcome.psnr_db = rx.distortion.psnr_db;
+    if (recon_halos.halos.empty()) {
+      outcome.metric_deviation = 1.0;
+      outcome.acceptable = false;
+    } else {
+      const auto cmp = analysis::compare_halo_catalogs(original_halos.halos,
+                                                       recon_halos.halos, 1.0);
+      outcome.metric_deviation = cmp.max_ratio_deviation;
+      outcome.acceptable = cmp.max_ratio_deviation <= halo_tolerance;
+    }
+    if (outcome.acceptable && (!pos_choice.found || outcome.ratio > pos_choice.chosen.ratio)) {
+      pos_choice.found = true;
+      pos_choice.chosen = outcome;
+    }
+    pos_choice.candidates.push_back(outcome);
+  }
+
+  // --- Velocities: acceptance via halo bulk-velocity preservation. ---
+  FieldChoice vel_choice;
+  vel_choice.field = "velocity";
+  const auto& vx = data.find("vx").field;
+  const auto& vy = data.find("vy").field;
+  const auto& vz = data.find("vz").field;
+  for (const auto& config : velocity_candidates) {
+    CBenchResult rvx = bench.run_one(vx, compressor, config);
+    CBenchResult rvy = bench.run_one(vy, compressor, config);
+    CBenchResult rvz = bench.run_one(vz, compressor, config);
+    CandidateOutcome outcome;
+    outcome.config = config;
+    outcome.ratio = 3.0 * static_cast<double>(vx.bytes()) /
+                    static_cast<double>(rvx.compressed_bytes + rvy.compressed_bytes +
+                                        rvz.compressed_bytes);
+    outcome.psnr_db = rvx.distortion.psnr_db;
+    const double dev = std::max(
+        {halo_velocity_deviation(original_halos, vx.data, rvx.reconstructed),
+         halo_velocity_deviation(original_halos, vy.data, rvy.reconstructed),
+         halo_velocity_deviation(original_halos, vz.data, rvz.reconstructed)});
+    outcome.metric_deviation = dev;
+    outcome.acceptable = dev <= velocity_tolerance;
+    if (outcome.acceptable && (!vel_choice.found || outcome.ratio > vel_choice.chosen.ratio)) {
+      vel_choice.found = true;
+      vel_choice.chosen = outcome;
+    }
+    vel_choice.candidates.push_back(outcome);
+  }
+
+  result.all_fields_ok = pos_choice.found && vel_choice.found;
+  if (result.all_fields_ok) {
+    // Overall: positions and velocities are equal-sized thirds of the data.
+    const double inv =
+        0.5 / pos_choice.chosen.ratio + 0.5 / vel_choice.chosen.ratio;
+    result.overall_ratio = 1.0 / inv;
+  }
+  result.per_field.push_back(std::move(pos_choice));
+  result.per_field.push_back(std::move(vel_choice));
+  return result;
+}
+
+std::string format_optimization(const OptimizationResult& result) {
+  std::string out;
+  for (const auto& field : result.per_field) {
+    out += strprintf("field %-22s", field.field.c_str());
+    if (field.found) {
+      out += strprintf(" best-fit %-14s ratio %6.2fx (metric dev %.4f)\n",
+                       field.chosen.config.label().c_str(), field.chosen.ratio,
+                       field.chosen.metric_deviation);
+    } else {
+      out += " no acceptable configuration among candidates\n";
+    }
+    for (const auto& c : field.candidates) {
+      out += strprintf("    %-14s ratio %6.2fx PSNR %7.2f dB dev %.4f  %s\n",
+                       c.config.label().c_str(), c.ratio, c.psnr_db, c.metric_deviation,
+                       c.acceptable ? "OK" : "reject");
+    }
+  }
+  out += strprintf("overall ratio: %.2fx (%s)\n", result.overall_ratio,
+                   result.all_fields_ok ? "all fields acceptable"
+                                        : "some fields lack an acceptable config");
+  return out;
+}
+
+}  // namespace cosmo::foresight

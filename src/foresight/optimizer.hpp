@@ -1,0 +1,69 @@
+/// \file optimizer.hpp
+/// \brief The paper's configuration-optimization guideline (Section V-D):
+/// (1) benchmark candidate configurations with CBench, (2) keep those whose
+/// domain metrics are acceptable (power-spectrum ratio within 1 +/- 1% for
+/// grid data; halo-count ratio for particle data), (3) pick the acceptable
+/// configuration with the highest compression ratio — which also maximizes
+/// overall throughput and minimizes storage.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/fof.hpp"
+#include "foresight/cbench.hpp"
+
+namespace cosmo::foresight {
+
+/// Outcome of evaluating one candidate configuration on one field.
+struct CandidateOutcome {
+  CompressorConfig config;
+  double ratio = 0.0;
+  double psnr_db = 0.0;
+  bool acceptable = false;
+  /// Domain-metric deviation: max |pk ratio - 1| (grid) or max halo
+  /// count-ratio deviation (particles).
+  double metric_deviation = 0.0;
+};
+
+/// Chosen configuration for one field.
+struct FieldChoice {
+  std::string field;
+  bool found = false;          ///< an acceptable candidate exists
+  CandidateOutcome chosen;     ///< valid when found
+  std::vector<CandidateOutcome> candidates;  ///< all evaluated, input order
+};
+
+/// Full guideline result.
+struct OptimizationResult {
+  std::vector<FieldChoice> per_field;
+  double overall_ratio = 0.0;  ///< total bytes over total compressed bytes
+  bool all_fields_ok = false;
+};
+
+/// Grid datasets (Nyx): acceptance is the power-spectrum ratio staying
+/// within 1 +/- \p tolerance for k <= k_fraction * k_nyquist.
+OptimizationResult optimize_grid_dataset(
+    const io::Container& data, Compressor& compressor,
+    const std::map<std::string, std::vector<CompressorConfig>>& candidates,
+    double tolerance = 0.01, double k_fraction = 0.5);
+
+/// Particle datasets (HACC): position acceptance is the FoF halo
+/// count-ratio per mass bin staying within 1 +/- \p halo_tolerance; the
+/// same position bound is applied to x, y, z. Velocity acceptance is the
+/// mean halo bulk-velocity relative deviation staying within
+/// \p velocity_tolerance (velocities do not affect FoF, so they get their
+/// own, velocity-based criterion). Returns choices for "position" and
+/// "velocity" pseudo-fields.
+OptimizationResult optimize_particle_dataset(
+    const io::Container& data, Compressor& compressor,
+    const std::vector<CompressorConfig>& position_candidates,
+    const std::vector<CompressorConfig>& velocity_candidates,
+    const analysis::FofParams& fof_params, double halo_tolerance = 0.05,
+    double velocity_tolerance = 0.05);
+
+/// Renders an OptimizationResult as text.
+std::string format_optimization(const OptimizationResult& result);
+
+}  // namespace cosmo::foresight

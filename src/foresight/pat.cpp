@@ -1,0 +1,177 @@
+#include "foresight/pat.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+#include "common/timer.hpp"
+
+namespace cosmo::foresight {
+
+void Workflow::add(Job job) {
+  require(!job.name.empty(), "pat: job name must not be empty");
+  require(index_.find(job.name) == index_.end(), "pat: duplicate job '" + job.name + "'");
+  index_[job.name] = jobs_.size();
+  jobs_.push_back(std::move(job));
+}
+
+void Workflow::add(const std::string& name, std::vector<std::string> dependencies,
+                   std::function<void()> work) {
+  Job job;
+  job.name = name;
+  job.dependencies = std::move(dependencies);
+  job.work = std::move(work);
+  add(std::move(job));
+}
+
+std::vector<std::string> Workflow::topological_order() const {
+  // Kahn's algorithm over the dependency graph.
+  std::map<std::string, std::size_t> in_degree;
+  std::map<std::string, std::vector<std::string>> dependents;
+  for (const auto& job : jobs_) {
+    in_degree.try_emplace(job.name, 0);
+    for (const auto& dep : job.dependencies) {
+      require(index_.count(dep) > 0,
+              "pat: job '" + job.name + "' depends on unknown job '" + dep + "'");
+      ++in_degree[job.name];
+      dependents[dep].push_back(job.name);
+    }
+  }
+  // Deterministic order: ready jobs processed in insertion order.
+  std::vector<std::string> order;
+  std::vector<std::string> ready;
+  for (const auto& job : jobs_) {
+    if (in_degree[job.name] == 0) ready.push_back(job.name);
+  }
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const std::string name = ready[head++];
+    order.push_back(name);
+    for (const auto& next : dependents[name]) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  require(order.size() == jobs_.size(), "pat: dependency cycle detected");
+  return order;
+}
+
+bool Workflow::run(ThreadPool* pool) {
+  const std::vector<std::string> order = topological_order();  // validates the DAG
+  records_.clear();
+  for (const auto& job : jobs_) records_[job.name] = JobRecord{};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::string, std::size_t> remaining_deps;
+  std::map<std::string, std::vector<std::string>> dependents;
+  for (const auto& job : jobs_) {
+    remaining_deps[job.name] = job.dependencies.size();
+    for (const auto& dep : job.dependencies) dependents[dep].push_back(job.name);
+  }
+  std::size_t finished = 0;
+  std::queue<std::string> ready;
+  for (const auto& name : order) {
+    if (remaining_deps[name] == 0) ready.push(name);
+  }
+
+  std::size_t in_flight = 0;
+
+  auto execute = [&](const std::string& name) {
+    const Job& job = jobs_[index_.at(name)];
+    JobRecord record;
+    Timer timer;
+    try {
+      if (job.work) job.work();
+      record.status = JobStatus::kSucceeded;
+    } catch (const std::exception& e) {
+      record.status = JobStatus::kFailed;
+      record.error = e.what();
+    }
+    record.seconds = timer.seconds();
+
+    std::lock_guard lock(mu);
+    records_[name] = record;
+    ++finished;
+    if (in_flight > 0) --in_flight;  // no-op for the inline path
+    for (const auto& next : dependents[name]) {
+      auto& next_record = records_[next];
+      if (record.status != JobStatus::kSucceeded &&
+          next_record.status == JobStatus::kPending) {
+        // Mark the whole downstream cone skipped.
+        std::vector<std::string> stack{next};
+        while (!stack.empty()) {
+          const std::string cur = stack.back();
+          stack.pop_back();
+          auto& rec = records_[cur];
+          if (rec.status != JobStatus::kPending) continue;
+          rec.status = JobStatus::kSkipped;
+          ++finished;
+          for (const auto& d : dependents[cur]) stack.push_back(d);
+        }
+      } else if (--remaining_deps[next] == 0 &&
+                 records_[next].status == JobStatus::kPending) {
+        ready.push(next);
+      }
+    }
+    cv.notify_all();
+  };
+
+  if (!pool) {
+    // Inline execution in dependency order.
+    while (true) {
+      std::string name;
+      {
+        std::lock_guard lock(mu);
+        if (finished == jobs_.size()) break;
+        if (ready.empty()) break;  // everything left was skipped
+        name = ready.front();
+        ready.pop();
+      }
+      execute(name);
+    }
+  } else {
+    std::unique_lock lock(mu);
+    while (finished < jobs_.size()) {
+      while (!ready.empty()) {
+        const std::string name = ready.front();
+        ready.pop();
+        ++in_flight;
+        pool->submit([&execute, name] { execute(name); });
+      }
+      if (finished == jobs_.size()) break;
+      if (in_flight == 0 && ready.empty()) {
+        break;  // nothing running, nothing ready: the rest was skipped
+      }
+      cv.wait(lock);
+    }
+    lock.unlock();
+    pool->wait_idle();
+  }
+
+  return std::all_of(records_.begin(), records_.end(), [](const auto& kv) {
+    return kv.second.status == JobStatus::kSucceeded;
+  });
+}
+
+std::string Workflow::to_submission_script() const {
+  std::string out = "#!/bin/bash\n# PAT-generated workflow submission script\n";
+  for (const auto& name : topological_order()) {
+    const Job& job = jobs_[index_.at(name)];
+    std::string dep_clause;
+    if (!job.dependencies.empty()) {
+      std::vector<std::string> vars;
+      vars.reserve(job.dependencies.size());
+      for (const auto& d : job.dependencies) vars.push_back("$JOB_" + d);
+      dep_clause = " --dependency=afterok:" + join(vars, ":");
+    }
+    out += strprintf("JOB_%s=$(sbatch --parsable -J %s -N %d --ntasks-per-node=%d -p %s%s %s.sh)\n",
+                     name.c_str(), name.c_str(), job.nodes, job.tasks_per_node,
+                     job.partition.c_str(), dep_clause.c_str(), name.c_str());
+  }
+  return out;
+}
+
+}  // namespace cosmo::foresight

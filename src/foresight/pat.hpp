@@ -1,0 +1,78 @@
+/// \file pat.hpp
+/// \brief PAT: Foresight's workflow component.
+///
+/// The paper's PAT is "a lightweight workflow submission Python package"
+/// whose "two main components are a Job class and a Workflow class. The
+/// Job class enables a user to specify the requirements for a SLURM batch
+/// script and the dependencies for that job. The Workflow class tracks the
+/// dependencies between jobs and writes the submission script" (Section
+/// IV-A2). This C++ port keeps both classes and their semantics; the
+/// SLURM cluster is replaced by a thread-pool executor (documented
+/// substitution), and to_submission_script() still emits the PAT-style
+/// sbatch script for inspection.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace cosmo::foresight {
+
+/// One schedulable unit with SLURM-like requirements.
+struct Job {
+  std::string name;
+  std::vector<std::string> dependencies;
+  std::function<void()> work;
+  // SLURM-style requirements (carried into the emitted script).
+  int nodes = 1;
+  int tasks_per_node = 1;
+  std::string partition = "standard";
+};
+
+/// Execution status of a job after Workflow::run().
+enum class JobStatus { kPending, kSucceeded, kFailed, kSkipped };
+
+/// Post-run record per job.
+struct JobRecord {
+  JobStatus status = JobStatus::kPending;
+  double seconds = 0.0;
+  std::string error;  ///< exception message when status == kFailed
+};
+
+/// Dependency-tracking workflow executor.
+class Workflow {
+ public:
+  /// Adds a job; names must be unique.
+  void add(Job job);
+
+  /// Convenience overload.
+  void add(const std::string& name, std::vector<std::string> dependencies,
+           std::function<void()> work);
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// A valid topological order (throws Error on cycles or missing deps).
+  [[nodiscard]] std::vector<std::string> topological_order() const;
+
+  /// Runs every job respecting dependencies; independent jobs run
+  /// concurrently on \p pool (null = run inline, still dependency-ordered).
+  /// A failed job marks its transitive dependents kSkipped. Returns true
+  /// when every job succeeded.
+  bool run(ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const std::map<std::string, JobRecord>& records() const { return records_; }
+
+  /// Emits the PAT-flavored SLURM submission script for the whole workflow
+  /// (sbatch lines with --dependency=afterok chains).
+  [[nodiscard]] std::string to_submission_script() const;
+
+ private:
+  std::vector<Job> jobs_;
+  std::map<std::string, std::size_t> index_;
+  std::map<std::string, JobRecord> records_;
+};
+
+}  // namespace cosmo::foresight

@@ -1,0 +1,227 @@
+#include "foresight/pipeline.hpp"
+
+#include <mutex>
+
+#include "analysis/halo_stats.hpp"
+#include "analysis/power_spectrum.hpp"
+#include "analysis/ssim.hpp"
+#include "common/str.hpp"
+#include "cosmo/hacc_synth.hpp"
+#include "cosmo/nyx_synth.hpp"
+#include "foresight/cinema.hpp"
+#include "foresight/pat.hpp"
+
+namespace cosmo::foresight {
+
+namespace {
+
+io::Container build_dataset(const json::Value& spec) {
+  const std::string type = spec.get("type", std::string("nyx"));
+  if (type == "nyx") {
+    NyxConfig config;
+    config.dim = static_cast<std::size_t>(spec.get("dim", 64.0));
+    config.seed = static_cast<std::uint64_t>(spec.get("seed", 42.0));
+    return generate_nyx(config);
+  }
+  if (type == "hacc") {
+    HaccConfig config;
+    config.particles = static_cast<std::size_t>(spec.get("particles", 100000.0));
+    config.seed = static_cast<std::uint64_t>(spec.get("seed", 7.0));
+    if (spec.contains("halo_count")) {
+      config.halo_count = static_cast<std::size_t>(spec.at("halo_count").as_number());
+    }
+    return generate_hacc(config);
+  }
+  if (type == "file") {
+    return io::load(spec.at("path").as_string());
+  }
+  throw InvalidArgument("pipeline: unknown dataset type '" + type + "'");
+}
+
+std::string result_key(const CBenchResult& r) {
+  return r.field + "|" + r.compressor + "|" + r.config.label();
+}
+
+}  // namespace
+
+PipelineSummary run_pipeline(const json::Value& config) {
+  PipelineSummary summary;
+  summary.output_dir = config.get("output", std::string("foresight_out"));
+  ensure_directory(summary.output_dir);
+
+  // --- Dataset ---
+  const io::Container dataset = build_dataset(config.at("dataset"));
+  const std::string dataset_type = config.at("dataset").get("type", std::string("nyx"));
+
+  // --- GPU simulator (shared by device-backed compressors) ---
+  gpu::GpuSimulator sim(gpu::find_device(config.get("gpu", std::string("Tesla V100"))));
+
+  const json::Value& analysis_cfg =
+      config.contains("analysis") ? config.at("analysis") : json::Value(json::Object{});
+  const bool do_pk = analysis_cfg.get("power_spectrum", false);
+  const bool do_halo = analysis_cfg.get("halo_finder", false);
+  const bool do_ssim = analysis_cfg.get("ssim", false);
+
+  // --- Build the PAT workflow: cbench jobs -> analysis jobs -> cinema. ---
+  Workflow workflow;
+  std::mutex mu;
+  CBench bench({.keep_reconstructed = true, .dataset_name = dataset_type});
+
+  // Reconstructions are held per result key until the analysis stage ran.
+  std::map<std::string, std::vector<float>> recon_store;
+  std::vector<std::string> cbench_job_names;
+
+  struct PlannedRun {
+    std::string compressor;
+    std::vector<std::string> fields;
+    std::vector<CompressorConfig> configs;
+  };
+  std::vector<PlannedRun> planned;
+  for (const auto& run : config.at("runs").as_array()) {
+    PlannedRun p;
+    p.compressor = run.at("compressor").as_string();
+    if (run.contains("fields")) {
+      for (const auto& f : run.at("fields").as_array()) p.fields.push_back(f.as_string());
+    } else {
+      for (const auto& v : dataset.variables) p.fields.push_back(v.field.name);
+    }
+    for (const auto& c : run.at("configs").as_array()) {
+      p.configs.push_back({c.at("mode").as_string(), c.at("value").as_number()});
+    }
+    planned.push_back(std::move(p));
+  }
+
+  // One compressor instance per planned run (GPU-backed ones share `sim`).
+  std::vector<std::unique_ptr<Compressor>> compressors;
+  for (const auto& p : planned) compressors.push_back(make_compressor(p.compressor, &sim));
+
+  for (std::size_t pi = 0; pi < planned.size(); ++pi) {
+    const auto& p = planned[pi];
+    for (const auto& field_name : p.fields) {
+      for (const auto& cfg : p.configs) {
+        const std::string job_name =
+            strprintf("cbench-%s-%s-%s", p.compressor.c_str(), field_name.c_str(),
+                      cfg.label().c_str());
+        cbench_job_names.push_back(job_name);
+        Compressor* codec = compressors[pi].get();
+        workflow.add(job_name, {}, [&, codec, field_name, cfg] {
+          const Field& field = dataset.find(field_name).field;
+          CBenchResult r = bench.run_one(field, *codec, cfg);
+          std::lock_guard lock(mu);
+          recon_store[result_key(r)] = std::move(r.reconstructed);
+          r.reconstructed.clear();
+          summary.results.push_back(std::move(r));
+        });
+      }
+    }
+  }
+
+  if (do_pk) {
+    workflow.add("analysis-power-spectrum", cbench_job_names, [&] {
+      std::lock_guard lock(mu);
+      for (const auto& r : summary.results) {
+        const Field& field = dataset.find(r.field).field;
+        if (field.dims.rank() != 3) continue;
+        const auto it = recon_store.find(result_key(r));
+        if (it == recon_store.end()) continue;
+        const auto pk = analysis::pk_ratio(field.data, it->second, field.dims, 0.5);
+        summary.pk_deviation[result_key(r)] = pk.max_deviation;
+      }
+    });
+  }
+
+  if (do_ssim) {
+    workflow.add("analysis-ssim", cbench_job_names, [&] {
+      std::lock_guard lock(mu);
+      for (const auto& r : summary.results) {
+        const Field& field = dataset.find(r.field).field;
+        const auto it = recon_store.find(result_key(r));
+        if (it == recon_store.end()) continue;
+        summary.ssim[result_key(r)] =
+            analysis::ssim(field.data, it->second, field.dims);
+      }
+    });
+  }
+
+  if (do_halo && dataset_type == "hacc") {
+    workflow.add("analysis-halo-finder", cbench_job_names, [&] {
+      analysis::FofParams fof_params;
+      fof_params.linking_length = analysis_cfg.get("linking_length", 1.5);
+      fof_params.min_members =
+          static_cast<std::size_t>(analysis_cfg.get("min_members", 10.0));
+      const auto& x = dataset.find("x").field.data;
+      const auto& y = dataset.find("y").field.data;
+      const auto& z = dataset.find("z").field.data;
+      const auto original = analysis::fof(x, y, z, fof_params);
+
+      std::lock_guard lock(mu);
+      // Group position reconstructions by (compressor, config).
+      for (const auto& r : summary.results) {
+        if (r.field != "x") continue;
+        const std::string suffix = "|" + r.compressor + "|" + r.config.label();
+        const auto ix = recon_store.find("x" + suffix);
+        const auto iy = recon_store.find("y" + suffix);
+        const auto iz = recon_store.find("z" + suffix);
+        if (ix == recon_store.end() || iy == recon_store.end() || iz == recon_store.end()) {
+          continue;
+        }
+        const auto recon =
+            analysis::fof(ix->second, iy->second, iz->second, fof_params);
+        double deviation = 1.0;
+        if (!recon.halos.empty() && !original.halos.empty()) {
+          deviation = analysis::compare_halo_catalogs(original.halos, recon.halos, 1.0)
+                          .max_ratio_deviation;
+        }
+        summary.halo_deviation["position" + suffix] = deviation;
+      }
+    });
+  }
+
+  // Cinema stage depends on every analysis (or directly on cbench).
+  std::vector<std::string> cinema_deps = cbench_job_names;
+  if (do_pk) cinema_deps.push_back("analysis-power-spectrum");
+  if (do_ssim) cinema_deps.push_back("analysis-ssim");
+  if (do_halo && dataset_type == "hacc") cinema_deps.push_back("analysis-halo-finder");
+  const bool do_cinema = config.get("cinema", false);
+  if (do_cinema) {
+    workflow.add("cinema", cinema_deps, [&] {
+      std::lock_guard lock(mu);
+      CinemaDatabase db({"dataset", "field", "compressor", "config", "ratio", "bitrate",
+                         "psnr_db", "mre", "pk_deviation", "FILE"});
+      SvgPlot rd("Rate-distortion", "bitrate (bits/value)", "PSNR (dB)");
+      std::map<std::string, PlotSeries> series;
+      for (const auto& r : summary.results) {
+        const std::string key = result_key(r);
+        const auto pk_it = summary.pk_deviation.find(key);
+        db.add_row({r.dataset, r.field, r.compressor, r.config.label(),
+                    strprintf("%.3f", r.ratio), strprintf("%.3f", r.bit_rate),
+                    strprintf("%.2f", r.distortion.psnr_db),
+                    strprintf("%.3e", r.distortion.mre),
+                    pk_it != summary.pk_deviation.end() ? strprintf("%.4f", pk_it->second)
+                                                        : "",
+                    "rate_distortion.svg"});
+        auto& s = series[r.field + " (" + r.compressor + ")"];
+        s.label = r.field + " (" + r.compressor + ")";
+        s.dashed = r.compressor == "cuzfp" || r.compressor == "zfp-cpu";
+        s.x.push_back(r.bit_rate);
+        s.y.push_back(r.distortion.psnr_db);
+      }
+      db.write(summary.output_dir);
+      for (auto& [label, s] : series) rd.add_series(std::move(s));
+      rd.save(summary.output_dir + "/rate_distortion.svg");
+      summary.artifacts.push_back("data.csv");
+      summary.artifacts.push_back("rate_distortion.svg");
+      write_cinema_index(summary.output_dir, "Foresight results", summary.artifacts);
+      summary.artifacts.push_back("index.html");
+    });
+  }
+
+  summary.workflow_ok = workflow.run(nullptr);
+  return summary;
+}
+
+PipelineSummary run_pipeline_file(const std::string& path) {
+  return run_pipeline(json::parse_file(path));
+}
+
+}  // namespace cosmo::foresight

@@ -1,0 +1,56 @@
+/// \file pipeline.hpp
+/// \brief The JSON-configured Foresight pipeline: "By only configuring a
+/// simple JSON file, Foresight can automatically evaluate diverse
+/// compression configurations and provide user-desired analysis and
+/// visualization on the lossy compressed data" (paper Section IV-A).
+///
+/// Stages: dataset generation/loading -> CBench sweeps -> PAT-scheduled
+/// analysis jobs (power spectrum / halo finder) -> Cinema database + plots.
+///
+/// Config schema (all sizes container-friendly by default):
+/// {
+///   "output": "out/foresight_run",
+///   "dataset": {"type": "nyx"|"hacc", "dim": 64, "particles": 100000,
+///               "seed": 42},
+///   "gpu": "Tesla V100",
+///   "runs": [
+///     {"compressor": "cuzfp", "fields": ["baryon_density"],
+///      "configs": [{"mode": "rate", "value": 4}, ...]}
+///   ],
+///   "analysis": {"power_spectrum": true, "halo_finder": false,
+///                "linking_length": 1.5, "min_members": 10},
+///   "cinema": true
+/// }
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "foresight/cbench.hpp"
+#include "json/json.hpp"
+
+namespace cosmo::foresight {
+
+/// Everything a pipeline run produces (reconstructions are dropped after
+/// analysis to bound memory).
+struct PipelineSummary {
+  std::vector<CBenchResult> results;
+  /// "field|compressor|config" -> max |pk ratio - 1| (when power_spectrum on).
+  std::map<std::string, double> pk_deviation;
+  /// "position|compressor|config" -> max halo count-ratio deviation.
+  std::map<std::string, double> halo_deviation;
+  /// "field|compressor|config" -> mean SSIM (when analysis.ssim is on).
+  std::map<std::string, double> ssim;
+  std::string output_dir;
+  std::vector<std::string> artifacts;  ///< files written under output_dir
+  bool workflow_ok = false;
+};
+
+/// Runs the pipeline described by a parsed JSON config.
+PipelineSummary run_pipeline(const json::Value& config);
+
+/// Convenience: parse a JSON file then run.
+PipelineSummary run_pipeline_file(const std::string& path);
+
+}  // namespace cosmo::foresight

@@ -1,0 +1,39 @@
+/// \file report.hpp
+/// \brief Markdown report generation from CBench results and analyses —
+/// the shareable artifact a Foresight run hands to domain scientists
+/// (complementing the Cinema database with a human-readable summary).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "foresight/cbench.hpp"
+#include "foresight/pipeline.hpp"
+
+namespace cosmo::foresight {
+
+struct ReportOptions {
+  std::string title = "Foresight compression report";
+  /// Acceptance threshold annotated in the pk column (paper: 1%).
+  double pk_tolerance = 0.01;
+};
+
+/// Renders results (+ per-key pk / halo / ssim analyses, any of which may be
+/// empty) as a markdown document: summary header, per-codec result tables,
+/// best-fit picks, and the caveats section.
+std::string render_markdown_report(const std::vector<CBenchResult>& results,
+                                   const std::map<std::string, double>& pk_deviation,
+                                   const std::map<std::string, double>& halo_deviation,
+                                   const std::map<std::string, double>& ssim,
+                                   const ReportOptions& options = {});
+
+/// Convenience: renders a PipelineSummary.
+std::string render_markdown_report(const PipelineSummary& summary,
+                                   const ReportOptions& options = {});
+
+/// Renders and writes to \p path.
+void write_markdown_report(const PipelineSummary& summary, const std::string& path,
+                           const ReportOptions& options = {});
+
+}  // namespace cosmo::foresight

@@ -1,0 +1,60 @@
+#include "foresight/sweep.hpp"
+
+#include <cmath>
+
+namespace cosmo::foresight {
+
+namespace {
+
+std::vector<double> log_spaced(double lo, double hi, std::size_t count) {
+  require(lo > 0.0 && hi > lo, "sweep: need 0 < lo < hi");
+  require(count >= 2, "sweep: need at least 2 points");
+  std::vector<double> out(count);
+  const double step = std::log(hi / lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo * std::exp(step * static_cast<double>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CompressorConfig> abs_sweep_for_field(const Field& field, double frac_lo,
+                                                  double frac_hi, std::size_t count) {
+  const auto [lo, hi] = value_range(field.view());
+  const double range = static_cast<double>(hi) - lo;
+  require(range > 0.0, "sweep: field has zero value range");
+  std::vector<CompressorConfig> configs;
+  for (const double frac : log_spaced(frac_lo, frac_hi, count)) {
+    configs.push_back({"abs", range * frac});
+  }
+  return configs;
+}
+
+std::vector<CompressorConfig> pwrel_sweep(double lo, double hi, std::size_t count) {
+  std::vector<CompressorConfig> configs;
+  for (const double bound : log_spaced(lo, hi, count)) {
+    configs.push_back({"pw_rel", bound});
+  }
+  return configs;
+}
+
+std::vector<CompressorConfig> rate_sweep(std::vector<double> bitrates) {
+  require(!bitrates.empty(), "sweep: no bitrates");
+  std::vector<CompressorConfig> configs;
+  for (const double rate : bitrates) configs.push_back({"rate", rate});
+  return configs;
+}
+
+std::vector<CompressorConfig> default_grid_candidates(const std::string& codec,
+                                                      const Field& field) {
+  if (codec == "cuzfp" || codec == "zfp-cpu" || codec == "zfp-omp") {
+    return rate_sweep({1.0, 2.0, 4.0, 8.0});
+  }
+  if (codec == "gpu-sz" || codec == "sz-cpu") {
+    return abs_sweep_for_field(field, 2e-6, 2e-3, 4);
+  }
+  throw InvalidArgument("sweep: no default candidates for codec '" + codec + "'");
+}
+
+}  // namespace cosmo::foresight

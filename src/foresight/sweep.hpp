@@ -1,0 +1,33 @@
+/// \file sweep.hpp
+/// \brief Candidate-configuration sweep generators for the Section V-D
+/// guideline: the paper sweeps absolute error bounds as fractions of each
+/// field's value range (GPU-SZ) and fixed bitrates (cuZFP). These helpers
+/// build those grids so benches, examples and user code share one
+/// definition.
+#pragma once
+
+#include <vector>
+
+#include "common/field.hpp"
+#include "foresight/compressor.hpp"
+
+namespace cosmo::foresight {
+
+/// Absolute-bound sweep: bounds = range(field) * fraction, for log-spaced
+/// fractions in [frac_lo, frac_hi] (inclusive, `count` points).
+std::vector<CompressorConfig> abs_sweep_for_field(const Field& field, double frac_lo,
+                                                  double frac_hi, std::size_t count);
+
+/// Point-wise-relative sweep over log-spaced bounds in [lo, hi].
+std::vector<CompressorConfig> pwrel_sweep(double lo, double hi, std::size_t count);
+
+/// Fixed-rate sweep over the given bitrates.
+std::vector<CompressorConfig> rate_sweep(std::vector<double> bitrates);
+
+/// The default candidate grid per Nyx-like field for a codec name:
+/// "cuzfp"/"zfp-cpu"/"zfp-omp" get rates {1,2,4,8}; "gpu-sz"/"sz-cpu" get
+/// range-scaled absolute bounds (2e-6 .. 2e-3 of the range).
+std::vector<CompressorConfig> default_grid_candidates(const std::string& codec,
+                                                      const Field& field);
+
+}  // namespace cosmo::foresight

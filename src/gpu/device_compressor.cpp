@@ -1,0 +1,84 @@
+#include "gpu/device_compressor.hpp"
+
+namespace cosmo::gpu {
+
+namespace {
+
+double stream_bitrate(std::size_t compressed_bytes, std::size_t points) {
+  return static_cast<double>(compressed_bytes) * 8.0 / static_cast<double>(points);
+}
+
+/// PW_REL streams begin with the "SZPR" magic; ABS streams begin with the
+/// one-byte lossless flag (0 or 1), so the first byte disambiguates.
+bool is_pwrel_stream(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= 4 && bytes[0] == 0x52 && bytes[1] == 0x50 && bytes[2] == 0x5A &&
+         bytes[3] == 0x53;
+}
+
+}  // namespace
+
+DeviceCompressResult CuZfpDevice::compress(std::span<const float> data, const Dims& dims,
+                                           double rate) {
+  zfp::Params params;
+  params.mode = zfp::Mode::kFixedRate;
+  params.rate = rate;
+  DeviceCompressResult out;
+  out.bytes = zfp::compress(data, dims, params);
+  out.kernel_gbps = sim_.zfp_compress_kernel_gbps(rate);
+  out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
+                                      out.kernel_gbps);
+  return out;
+}
+
+DeviceDecompressResult CuZfpDevice::decompress(std::span<const std::uint8_t> bytes) {
+  DeviceDecompressResult out;
+  out.values = zfp::decompress(bytes, &out.dims);
+  const double bitrate = stream_bitrate(bytes.size(), out.values.size());
+  out.kernel_gbps = sim_.zfp_decompress_kernel_gbps(bitrate);
+  out.timing = sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
+                                        out.kernel_gbps);
+  return out;
+}
+
+DeviceCompressResult GpuSzDevice::compress_abs(std::span<const float> data, const Dims& dims,
+                                               double abs_bound) {
+  require(dims.rank() == 3,
+          "GPU-SZ supports only 3-D data; reshape 1-D inputs first (paper Sec. IV-B4)");
+  sz::Params params;
+  params.abs_error_bound = abs_bound;
+  DeviceCompressResult out;
+  out.bytes = sz::compress(data, dims, params);
+  out.kernel_gbps = sim_.sz_kernel_gbps();
+  out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
+                                      out.kernel_gbps);
+  return out;
+}
+
+DeviceCompressResult GpuSzDevice::compress_pwrel(std::span<const float> data,
+                                                 const Dims& dims, double pwrel_bound) {
+  require(dims.rank() == 3,
+          "GPU-SZ supports only 3-D data; reshape 1-D inputs first (paper Sec. IV-B4)");
+  sz::PwRelParams params;
+  params.pw_rel_bound = pwrel_bound;
+  DeviceCompressResult out;
+  out.bytes = sz::compress_pwrel(data, dims, params);
+  out.kernel_gbps = sim_.sz_kernel_gbps();
+  out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
+                                      out.kernel_gbps);
+  return out;
+}
+
+DeviceDecompressResult GpuSzDevice::decompress(std::span<const std::uint8_t> bytes) {
+  DeviceDecompressResult out;
+  if (is_pwrel_stream(bytes)) {
+    out.values = sz::decompress_pwrel(bytes, &out.dims);
+  } else {
+    out.values = sz::decompress(bytes, &out.dims);
+  }
+  out.kernel_gbps = sim_.sz_kernel_gbps();
+  out.timing = sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
+                                        out.kernel_gbps);
+  return out;
+}
+
+}  // namespace cosmo::gpu

@@ -1,0 +1,70 @@
+/// \file device_compressor.hpp
+/// \brief cuZFP / GPU-SZ device front-ends: real codec execution + modeled
+/// device timing, the combination the throughput experiments consume.
+#pragma once
+
+#include <vector>
+
+#include "common/field.hpp"
+#include "gpu/sim.hpp"
+#include "sz/pwrel.hpp"
+#include "sz/sz.hpp"
+#include "zfp/zfp.hpp"
+
+namespace cosmo::gpu {
+
+/// Output of a device-side compression.
+struct DeviceCompressResult {
+  std::vector<std::uint8_t> bytes;
+  TimingBreakdown timing;
+  double kernel_gbps = 0.0;  ///< modeled kernel rate used
+};
+
+/// Output of a device-side decompression.
+struct DeviceDecompressResult {
+  std::vector<float> values;
+  Dims dims;
+  TimingBreakdown timing;
+  double kernel_gbps = 0.0;
+};
+
+/// cuZFP front-end (fixed-rate only, like the released cuZFP).
+class CuZfpDevice {
+ public:
+  explicit CuZfpDevice(GpuSimulator& sim) : sim_(sim) {}
+
+  /// Compresses at \p rate bits/value; assumes data already in device memory.
+  DeviceCompressResult compress(std::span<const float> data, const Dims& dims, double rate);
+
+  DeviceDecompressResult decompress(std::span<const std::uint8_t> bytes);
+
+  /// Throughput reporting is supported for cuZFP.
+  static constexpr bool throughput_supported() { return true; }
+
+ private:
+  GpuSimulator& sim_;
+};
+
+/// GPU-SZ front-end (ABS and PW_REL-via-log modes; 3-D only, like the
+/// OpenMP prototype — 1-D inputs must be reshaped by the caller, which is
+/// the paper's dimension-conversion procedure).
+class GpuSzDevice {
+ public:
+  explicit GpuSzDevice(GpuSimulator& sim) : sim_(sim) {}
+
+  DeviceCompressResult compress_abs(std::span<const float> data, const Dims& dims,
+                                    double abs_bound);
+  DeviceCompressResult compress_pwrel(std::span<const float> data, const Dims& dims,
+                                      double pwrel_bound);
+
+  DeviceDecompressResult decompress(std::span<const std::uint8_t> bytes);
+
+  /// The paper excludes GPU-SZ throughput (unoptimized memory layout);
+  /// callers should print N/A when this is false.
+  static constexpr bool throughput_supported() { return false; }
+
+ private:
+  GpuSimulator& sim_;
+};
+
+}  // namespace cosmo::gpu

@@ -1,0 +1,48 @@
+/// \file node.hpp
+/// \brief Multi-GPU node model (e.g. six Tesla V100s per Summit node).
+///
+/// The paper's headline system argument: "taking into account multiple GPUs
+/// on a single node, for instance, six Nvidia Tesla V100 GPUs per Summit
+/// node, cuZFP can significantly reduce the compression overhead to 1/40 of
+/// the original multi-core compression overhead (e.g., from more than 10%
+/// to lower than 0.3%)" (Section V-C). This model aggregates per-GPU
+/// pipelines across a node: kernels run fully in parallel, while the PCIe
+/// transfers of GPUs sharing a host link contend for bandwidth.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/sim.hpp"
+
+namespace cosmo::gpu {
+
+/// A node with N identical GPUs.
+struct NodeConfig {
+  DeviceSpec gpu;
+  int gpu_count = 6;            ///< Summit: six V100s
+  int pcie_links = 2;           ///< independent host links (GPUs share links)
+  double simulation_seconds = 10.0;  ///< time per simulation timestep (paper: ~10 s)
+};
+
+/// Aggregate timing of one snapshot's compression on the node.
+struct NodeCompressionReport {
+  double kernel_seconds = 0.0;     ///< parallel kernel time (max over GPUs)
+  double transfer_seconds = 0.0;   ///< serialized over shared PCIe links
+  double total_seconds = 0.0;
+  double node_throughput_gbps = 0.0;  ///< snapshot bytes / total
+  double overhead_fraction = 0.0;     ///< total / simulation step time
+};
+
+/// Models compressing a snapshot of \p snapshot_bytes split evenly over the
+/// node's GPUs at fixed-rate \p bitrate (data resident on the GPUs; only the
+/// compressed stream crosses PCIe, as in the paper's in-situ setup).
+NodeCompressionReport model_node_compression(const NodeConfig& node,
+                                             std::uint64_t snapshot_bytes,
+                                             double bitrate);
+
+/// The paper's comparison point: overhead fraction of a 20-core CPU
+/// compressor with the given measured/modeled throughput.
+double cpu_overhead_fraction(double cpu_gbps, std::uint64_t snapshot_bytes,
+                             double simulation_seconds);
+
+}  // namespace cosmo::gpu

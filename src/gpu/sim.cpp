@@ -1,0 +1,111 @@
+#include "gpu/sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cosmo::gpu {
+
+namespace {
+
+/// FLOPS-derived derating: bandwidth-bound kernels still lose efficiency on
+/// compute-poor architectures (Kepler), cf. Fig. 9's ordering.
+double flop_factor(const DeviceSpec& spec) {
+  return std::clamp(spec.peak_fp32_tflops / 12.0, 0.35, 1.0);
+}
+
+}  // namespace
+
+GpuSimulator::GpuSimulator(DeviceSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {}
+
+BufferId GpuSimulator::alloc(std::uint64_t bytes) {
+  const auto capacity = static_cast<std::uint64_t>(spec_.memory_gb * 1e9);
+  require(used_ + bytes <= capacity,
+          "gpu: device memory oversubscribed on " + spec_.name);
+  const BufferId id = next_id_++;
+  allocations_[id] = bytes;
+  used_ += bytes;
+  return id;
+}
+
+void GpuSimulator::free(BufferId id) {
+  const auto it = allocations_.find(id);
+  require(it != allocations_.end(), "gpu: double free or unknown buffer");
+  used_ -= it->second;
+  allocations_.erase(it);
+}
+
+double GpuSimulator::jitter() {
+  // ~N(1, 0.01), clamped: models run-to-run variation on a quiet node
+  // ("all the standard deviation values are relatively negligible").
+  return std::clamp(1.0 + 0.01 * rng_.normal(), 0.95, 1.05);
+}
+
+double GpuSimulator::transfer_seconds(std::uint64_t bytes) {
+  return (kPcieLatency + static_cast<double>(bytes) / (kPcieGbps * 1e9)) * jitter();
+}
+
+double GpuSimulator::kernel_seconds(std::uint64_t raw_bytes, double kernel_gbps) {
+  require(kernel_gbps > 0.0, "gpu: kernel rate must be positive");
+  const double launch_latency = 8e-6;
+  return (launch_latency + static_cast<double>(raw_bytes) / (kernel_gbps * 1e9)) * jitter();
+}
+
+double GpuSimulator::alloc_seconds(std::uint64_t bytes) {
+  // cudaMalloc: driver overhead plus page-table setup growing with size.
+  return (2.5e-4 + static_cast<double>(bytes) / 500e9) * jitter();
+}
+
+double GpuSimulator::free_seconds(std::uint64_t bytes) {
+  return (1.2e-4 + static_cast<double>(bytes) / 1000e9) * jitter();
+}
+
+double GpuSimulator::zfp_compress_kernel_gbps(double bitrate) const {
+  // Memory-bound with bitrate-dependent coding cost: higher bitrates emit
+  // more bit planes per block, so throughput falls with bitrate
+  // (paper: "the kernel throughput is also decreased by increasing the
+  // bitrate").
+  const double base = 0.35 * spec_.memory_bw_gbps * flop_factor(spec_);
+  return base / (1.0 + 0.15 * bitrate);
+}
+
+double GpuSimulator::zfp_decompress_kernel_gbps(double bitrate) const {
+  const double base = 0.28 * spec_.memory_bw_gbps * flop_factor(spec_);
+  return base / (1.0 + 0.15 * bitrate);
+}
+
+double GpuSimulator::sz_kernel_gbps() const {
+  // OpenMP prototype with unoptimized memory layout (paper Section IV-B1).
+  return 0.02 * spec_.memory_bw_gbps * flop_factor(spec_);
+}
+
+TimingBreakdown GpuSimulator::model_compression(std::uint64_t raw_bytes,
+                                                std::uint64_t compressed_bytes,
+                                                double kernel_gbps) {
+  TimingBreakdown t;
+  // init: parameter upload + output allocation on device.
+  t.init = transfer_seconds(256) + alloc_seconds(compressed_bytes);
+  t.kernel = kernel_seconds(raw_bytes, kernel_gbps);
+  t.memcpy = transfer_seconds(compressed_bytes);  // D2H of compressed stream
+  t.free = free_seconds(compressed_bytes);
+  return t;
+}
+
+TimingBreakdown GpuSimulator::model_decompression(std::uint64_t raw_bytes,
+                                                  std::uint64_t compressed_bytes,
+                                                  double kernel_gbps) {
+  TimingBreakdown t;
+  t.init = transfer_seconds(256) + alloc_seconds(raw_bytes);
+  t.memcpy = transfer_seconds(compressed_bytes);  // H2D of compressed stream
+  t.kernel = kernel_seconds(raw_bytes, kernel_gbps);
+  t.free = free_seconds(compressed_bytes);
+  return t;
+}
+
+double GpuSimulator::baseline_transfer_seconds(std::uint64_t raw_bytes) {
+  return transfer_seconds(raw_bytes);
+}
+
+}  // namespace cosmo::gpu

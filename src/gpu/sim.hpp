@@ -1,0 +1,106 @@
+/// \file sim.hpp
+/// \brief Simulated GPU execution model.
+///
+/// Substitution for real CUDA hardware (see DESIGN.md): codec kernels are
+/// executed bit-exactly on the CPU, while their *timing* is produced by an
+/// analytic model of the device from Table I:
+///  - transfers: PCIe 3.0 x16 with fixed latency (uniform across devices,
+///    as the paper notes);
+///  - kernels: memory-bandwidth-bound with a FLOPS-derived derating for
+///    older architectures and a bitrate-dependent cost (the paper observes
+///    kernel throughput decreasing with bitrate, Figs. 7/10);
+///  - the {init, kernel, memcpy, free} breakdown of Fig. 7.
+///
+/// A small deterministic jitter models run-to-run variation so the paper's
+/// 10-warmup / 10-measured methodology produces meaningful stddevs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/timer.hpp"
+#include "gpu/specs.hpp"
+#include "random/rng.hpp"
+
+namespace cosmo::gpu {
+
+/// Fig. 7's four components, in seconds.
+struct TimingBreakdown {
+  double init = 0.0;    ///< parameter upload + device allocation
+  double kernel = 0.0;  ///< (de)compression kernel
+  double memcpy = 0.0;  ///< compressed-data transfer over PCIe
+  double free = 0.0;    ///< device deallocation
+
+  [[nodiscard]] double total() const { return init + kernel + memcpy + free; }
+};
+
+/// A device-resident allocation handle.
+using BufferId = std::uint64_t;
+
+/// The simulator: memory accounting plus the timing model.
+class GpuSimulator {
+ public:
+  explicit GpuSimulator(DeviceSpec spec, std::uint64_t seed = 1234);
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+  /// Allocates device memory; throws Error when the device would be
+  /// oversubscribed.
+  BufferId alloc(std::uint64_t bytes);
+  void free(BufferId id);
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_; }
+
+  /// Host<->device transfer time for \p bytes (PCIe model, with jitter).
+  double transfer_seconds(std::uint64_t bytes);
+
+  /// Kernel time for processing \p raw_bytes at \p kernel_gbps (with jitter).
+  double kernel_seconds(std::uint64_t raw_bytes, double kernel_gbps);
+
+  /// Allocation / deallocation overheads.
+  double alloc_seconds(std::uint64_t bytes);
+  double free_seconds(std::uint64_t bytes);
+
+  /// cuZFP kernel rates (GB/s of uncompressed data) as a function of the
+  /// fixed-rate bitrate. Decompression is slightly slower (embedded-stream
+  /// decoding serializes more).
+  [[nodiscard]] double zfp_compress_kernel_gbps(double bitrate) const;
+  [[nodiscard]] double zfp_decompress_kernel_gbps(double bitrate) const;
+
+  /// GPU-SZ prototype kernel rate. The paper excludes GPU-SZ throughput
+  /// because the OpenMP prototype's memory layout is unoptimized; the
+  /// model reflects that prototype status.
+  [[nodiscard]] double sz_kernel_gbps() const;
+
+  /// Full pipeline models (Fig. 7): compression assumes raw data already in
+  /// device memory and moves only the compressed stream D2H; decompression
+  /// moves the compressed stream H2D and leaves raw data on the device.
+  TimingBreakdown model_compression(std::uint64_t raw_bytes, std::uint64_t compressed_bytes,
+                                    double kernel_gbps);
+  TimingBreakdown model_decompression(std::uint64_t raw_bytes,
+                                      std::uint64_t compressed_bytes, double kernel_gbps);
+
+  /// Baseline: moving the raw (uncompressed) data over PCIe (the red dashed
+  /// line in Fig. 7).
+  double baseline_transfer_seconds(std::uint64_t raw_bytes);
+
+ private:
+  double jitter();
+
+  DeviceSpec spec_;
+  Rng rng_;
+  std::uint64_t used_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::map<BufferId, std::uint64_t> allocations_;
+};
+
+/// Paper Section V-C methodology: runs \p model() 10 times as warm-up, then
+/// 10 measured times, returning average/stddev statistics.
+template <typename Fn>
+RunningStats measure_with_warmup(Fn&& model, int warmups = 10, int runs = 10) {
+  for (int i = 0; i < warmups; ++i) (void)model();
+  RunningStats stats;
+  for (int i = 0; i < runs; ++i) stats.add(model());
+  return stats;
+}
+
+}  // namespace cosmo::gpu

@@ -1,0 +1,49 @@
+#include "gpu/specs.hpp"
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace cosmo::gpu {
+
+const std::vector<DeviceSpec>& device_catalog() {
+  // Paper Table I, verbatim.
+  static const std::vector<DeviceSpec> catalog = {
+      {"Nvidia RTX 2080Ti", "c. 2018", "Turing", "7.5", 11.0, 4352, 13.0, 448.0},
+      {"Nvidia Tesla V100", "c. 2017", "Volta", "7.0-7.2", 16.0, 5120, 14.0, 900.0},
+      {"Nvidia Titan V", "c. 2017", "Volta", "7.0-7.2", 12.0, 5120, 15.0, 650.0},
+      {"Nvidia GTX 1080Ti", "c. 2017", "Pascal", "6.0-6.2", 11.0, 3584, 11.0, 485.0},
+      {"Nvidia P6000", "c. 2016", "Pascal", "6.0-6.2", 24.0, 3840, 13.0, 433.0},
+      {"Nvidia Tesla P100", "c. 2016", "Pascal", "6.0-6.2", 16.0, 3584, 9.5, 732.0},
+      // Dual-die board: per-die values (the paper prints 12x2 / 2496x2 /
+      // 4x2 / 240x2); a single kernel runs on one die.
+      {"Nvidia Tesla K80", "c. 2014", "Kepler 2.0", "3.0-3.7", 12.0, 2496, 4.0, 240.0},
+  };
+  return catalog;
+}
+
+const DeviceSpec& find_device(const std::string& name) {
+  const std::string needle = to_lower(name);
+  for (const auto& d : device_catalog()) {
+    if (to_lower(d.name).find(needle) != std::string::npos) return d;
+  }
+  throw InvalidArgument("gpu: unknown device '" + name + "'");
+}
+
+CpuSpec evaluation_cpu() { return CpuSpec{}; }
+
+std::string format_table1() {
+  std::string out;
+  out += strprintf("%-20s %-9s %-11s %-10s %-8s %-8s %-14s %s\n", "GPU", "Release",
+                   "Arch", "Compute", "Mem(GB)", "Shaders", "Peak FP32", "Mem B/W");
+  out += std::string(100, '-') + "\n";
+  for (const auto& d : device_catalog()) {
+    out += strprintf("%-20s %-9s %-11s %-10s %-8.0f %-8d %-14s %s\n", d.name.c_str(),
+                     d.release.c_str(), d.architecture.c_str(),
+                     d.compute_capability.c_str(), d.memory_gb, d.shaders,
+                     strprintf("%.1f TFLOPS", d.peak_fp32_tflops).c_str(),
+                     strprintf("%.0f GB/s", d.memory_bw_gbps).c_str());
+  }
+  return out;
+}
+
+}  // namespace cosmo::gpu

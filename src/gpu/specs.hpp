@@ -1,0 +1,53 @@
+/// \file specs.hpp
+/// \brief Device catalog reproducing paper Table I, plus the evaluation
+/// CPUs, and the interconnect model shared by all devices.
+///
+/// "All the GPUs are connected to the host via 16-lane PCIe 3.0
+/// interconnect" (Section IV-B3), so the transfer model is uniform; only
+/// kernel rates differ per device.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cosmo::gpu {
+
+/// One Table I row.
+struct DeviceSpec {
+  std::string name;
+  std::string release;       ///< e.g. "c. 2018"
+  std::string architecture;  ///< Turing / Volta / Pascal / Kepler
+  std::string compute_capability;
+  double memory_gb = 0.0;
+  int shaders = 0;
+  double peak_fp32_tflops = 0.0;
+  double memory_bw_gbps = 0.0;  ///< GB/s
+};
+
+/// PCIe 3.0 x16 effective bandwidth (GB/s) — ~80% of the 15.75 GB/s raw.
+inline constexpr double kPcieGbps = 12.5;
+/// Per-transfer fixed latency (s): driver + DMA setup.
+inline constexpr double kPcieLatency = 20e-6;
+
+/// The seven GPUs of Table I, in the paper's order (2080Ti first).
+const std::vector<DeviceSpec>& device_catalog();
+
+/// Looks a device up by (case-insensitive substring) name; throws if absent.
+const DeviceSpec& find_device(const std::string& name);
+
+/// The evaluation CPU (PantaRhei): 20-core Intel Xeon Gold 6148.
+struct CpuSpec {
+  std::string name = "Intel Xeon Gold 6148";
+  int cores = 20;
+  /// Parallel efficiency applied when scaling 1-core measurements to
+  /// multi-core estimates (documented substitution: the container exposes
+  /// one core, so Fig. 8 multicore numbers are modeled).
+  double parallel_efficiency = 0.85;
+};
+
+CpuSpec evaluation_cpu();
+
+/// Formats the catalog as the Table I text table.
+std::string format_table1();
+
+}  // namespace cosmo::gpu

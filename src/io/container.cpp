@@ -1,0 +1,141 @@
+#include "io/container.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "io/crc32.hpp"
+
+namespace cosmo::io {
+
+namespace {
+
+constexpr std::uint32_t kMagicGio = 0x47494F31;   // "GIO1"
+constexpr std::uint32_t kMagicH5l = 0x48354C31;   // "H5L1"
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 4);
+}
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 8);
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t read_u32(std::ifstream& in) {
+  unsigned char buf[4];
+  in.read(reinterpret_cast<char*>(buf), 4);
+  if (!in) throw FormatError("container: truncated file");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  unsigned char buf[8];
+  in.read(reinterpret_cast<char*>(buf), 8);
+  if (!in) throw FormatError("container: truncated file");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::string read_string(std::ifstream& in) {
+  const std::uint32_t len = read_u32(in);
+  require_format(len <= (1u << 20), "container: implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw FormatError("container: truncated string");
+  return s;
+}
+
+}  // namespace
+
+const Variable& Container::find(const std::string& name) const {
+  for (const auto& v : variables) {
+    if (v.field.name == name) return v;
+  }
+  throw InvalidArgument("container: no variable named '" + name + "'");
+}
+
+std::size_t Container::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& v : variables) total += v.field.bytes();
+  return total;
+}
+
+void save(const Container& c, const std::string& path, Dialect dialect) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("container: cannot open for writing: " + path);
+  write_u32(out, dialect == Dialect::kGenericIo ? kMagicGio : kMagicH5l);
+  write_u32(out, static_cast<std::uint32_t>(c.variables.size()));
+  for (const auto& v : c.variables) {
+    write_string(out, v.field.name);
+    write_u64(out, v.field.dims.nx);
+    write_u64(out, v.field.dims.ny);
+    write_u64(out, v.field.dims.nz);
+    write_u32(out, static_cast<std::uint32_t>(v.attributes.size()));
+    for (const auto& [key, value] : v.attributes) {
+      write_string(out, key);
+      write_string(out, value);
+    }
+    const std::uint32_t crc = crc32(v.field.data.data(), v.field.bytes());
+    write_u32(out, crc);
+    out.write(reinterpret_cast<const char*>(v.field.data.data()),
+              static_cast<std::streamsize>(v.field.bytes()));
+  }
+  if (!out) throw IoError("container: write failed: " + path);
+}
+
+Container load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("container: cannot open: " + path);
+  const std::uint32_t magic = read_u32(in);
+  require_format(magic == kMagicGio || magic == kMagicH5l, "container: bad magic");
+  const std::uint32_t count = read_u32(in);
+  require_format(count <= (1u << 16), "container: implausible variable count");
+  Container c;
+  c.variables.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Variable v;
+    const std::string name = read_string(in);
+    Dims dims;
+    dims.nx = read_u64(in);
+    dims.ny = read_u64(in);
+    dims.nz = read_u64(in);
+    const std::uint32_t attr_count = read_u32(in);
+    require_format(attr_count <= (1u << 12), "container: implausible attribute count");
+    for (std::uint32_t a = 0; a < attr_count; ++a) {
+      std::string key = read_string(in);
+      v.attributes[std::move(key)] = read_string(in);
+    }
+    const std::uint32_t stored_crc = read_u32(in);
+    v.field = Field(name, dims);
+    in.read(reinterpret_cast<char*>(v.field.data.data()),
+            static_cast<std::streamsize>(v.field.bytes()));
+    if (!in) throw FormatError("container: truncated variable data for '" + name + "'");
+    const std::uint32_t actual_crc = crc32(v.field.data.data(), v.field.bytes());
+    require_format(actual_crc == stored_crc,
+                   "container: CRC mismatch in variable '" + name + "'");
+    c.variables.push_back(std::move(v));
+  }
+  return c;
+}
+
+Dialect probe_dialect(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("container: cannot open: " + path);
+  const std::uint32_t magic = read_u32(in);
+  if (magic == kMagicGio) return Dialect::kGenericIo;
+  if (magic == kMagicH5l) return Dialect::kHdf5Lite;
+  throw FormatError("container: unknown magic");
+}
+
+}  // namespace cosmo::io

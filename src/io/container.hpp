@@ -1,0 +1,53 @@
+/// \file container.hpp
+/// \brief Self-describing multi-variable binary containers.
+///
+/// Two on-disk dialects of one layout, mirroring the paper's dataset
+/// formats (Section IV-B2):
+///  - GenericIO-lite ("GIO1"): HACC-style — named 1-D float variables with
+///    per-variable CRC-32, like ANL's GenericIO blocks.
+///  - HDF5-lite ("H5L1"): Nyx-style — named N-D float datasets with string
+///    attributes (e.g. units), like a single-group HDF5 file.
+///
+/// Layout: [magic u32][var count u32] then per variable
+/// [name len u32][name][nx,ny,nz u64][attr count u32][(key,value) strings]
+/// [crc32 u32][float32 data]. All little-endian.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/field.hpp"
+
+namespace cosmo::io {
+
+/// One stored variable: a Field plus free-form string attributes.
+struct Variable {
+  Field field;
+  std::map<std::string, std::string> attributes;
+};
+
+/// An in-memory container ready to be saved or just loaded.
+struct Container {
+  std::vector<Variable> variables;
+
+  /// Returns the variable with the given field name; throws if absent.
+  [[nodiscard]] const Variable& find(const std::string& name) const;
+
+  /// Total payload bytes across all variables.
+  [[nodiscard]] std::size_t payload_bytes() const;
+};
+
+/// Container dialect tag.
+enum class Dialect { kGenericIo, kHdf5Lite };
+
+/// Writes \p c to \p path; throws IoError on failure.
+void save(const Container& c, const std::string& path, Dialect dialect);
+
+/// Reads a container, verifying magic and per-variable CRCs.
+Container load(const std::string& path);
+
+/// The dialect a file at \p path was saved with (reads the magic only).
+Dialect probe_dialect(const std::string& path);
+
+}  // namespace cosmo::io

@@ -1,0 +1,17 @@
+/// \file crc32.hpp
+/// \brief CRC-32 (IEEE 802.3 polynomial) used by the container formats.
+///
+/// GenericIO protects every variable block with a CRC; our GenericIO-lite
+/// container keeps that property so corrupted files fail loudly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cosmo {
+
+/// CRC-32 of a byte range; \p seed allows incremental computation
+/// (pass a previous result).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace cosmo

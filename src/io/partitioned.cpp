@@ -1,0 +1,106 @@
+#include "io/partitioned.hpp"
+
+#include <fstream>
+
+#include "common/str.hpp"
+#include "json/json.hpp"
+
+namespace cosmo::io {
+
+namespace {
+
+std::string rank_path(const std::string& stem, std::size_t rank) {
+  return strprintf("%s.rank%04zu.gio", stem.c_str(), rank);
+}
+
+std::string manifest_path(const std::string& stem) { return stem + ".manifest.json"; }
+
+}  // namespace
+
+void save_partitioned(const Container& snapshot, const std::string& stem,
+                      const std::vector<std::vector<std::uint32_t>>& parts) {
+  require(!parts.empty(), "save_partitioned: no ranks");
+  for (const auto& v : snapshot.variables) {
+    require(v.field.dims.rank() == 1,
+            "save_partitioned: only 1-D (particle) variables supported");
+  }
+
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    Container rank_container;
+    for (const auto& v : snapshot.variables) {
+      Variable rv;
+      rv.attributes = v.attributes;
+      rv.field = Field(v.field.name, Dims::d1(parts[r].size()));
+      for (std::size_t i = 0; i < parts[r].size(); ++i) {
+        rv.field.data[i] = v.field.data[parts[r][i]];
+      }
+      rank_container.variables.push_back(std::move(rv));
+    }
+    // A per-rank index variable records the global particle ids.
+    {
+      Variable idx;
+      idx.field = Field("_global_index", Dims::d1(parts[r].size()));
+      for (std::size_t i = 0; i < parts[r].size(); ++i) {
+        idx.field.data[i] = static_cast<float>(parts[r][i]);
+      }
+      rank_container.variables.push_back(std::move(idx));
+    }
+    save(rank_container, rank_path(stem, r), Dialect::kGenericIo);
+  }
+
+  json::Object manifest;
+  manifest["ranks"] = json::Value(parts.size());
+  manifest["stem"] = json::Value(stem);
+  json::Array variables;
+  for (const auto& v : snapshot.variables) variables.push_back(json::Value(v.field.name));
+  manifest["variables"] = json::Value(std::move(variables));
+  std::ofstream out(manifest_path(stem), std::ios::trunc);
+  if (!out) throw IoError("save_partitioned: cannot write manifest for " + stem);
+  out << json::Value(manifest).dump(2) << "\n";
+}
+
+std::size_t partition_rank_count(const std::string& stem) {
+  const json::Value manifest = json::parse_file(manifest_path(stem));
+  return static_cast<std::size_t>(manifest.at("ranks").as_number());
+}
+
+Container load_partitioned(const std::string& stem,
+                           std::vector<std::uint32_t>* global_index) {
+  const json::Value manifest = json::parse_file(manifest_path(stem));
+  const auto ranks = static_cast<std::size_t>(manifest.at("ranks").as_number());
+  require_format(ranks >= 1, "load_partitioned: manifest has no ranks");
+
+  Container out;
+  if (global_index) global_index->clear();
+  bool first = true;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const Container rank_container = load(rank_path(stem, r));
+    if (first) {
+      for (const auto& v : rank_container.variables) {
+        if (v.field.name == "_global_index") continue;
+        Variable empty;
+        empty.field.name = v.field.name;
+        empty.field.dims = Dims::d1(0);
+        empty.attributes = v.attributes;
+        out.variables.push_back(std::move(empty));
+      }
+      first = false;
+    }
+    for (auto& v : out.variables) {
+      const auto& rv = rank_container.find(v.field.name);
+      v.field.data.insert(v.field.data.end(), rv.field.data.begin(), rv.field.data.end());
+    }
+    if (global_index) {
+      const auto& idx = rank_container.find("_global_index");
+      for (const float g : idx.field.data) {
+        global_index->push_back(static_cast<std::uint32_t>(g));
+      }
+    }
+  }
+  for (auto& v : out.variables) {
+    v.field.dims = Dims::d1(v.field.data.size());
+  }
+  return out;
+}
+
+}  // namespace cosmo::io

@@ -1,0 +1,89 @@
+#include "io/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace cosmo::io {
+
+void Image::set(std::size_t x, std::size_t y, std::uint8_t r, std::uint8_t g,
+                std::uint8_t b) {
+  const std::size_t o = 3 * (y * width + x);
+  rgb[o] = r;
+  rgb[o + 1] = g;
+  rgb[o + 2] = b;
+}
+
+void write_ppm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("ppm: cannot open " + path);
+  out << "P6\n" << img.width << " " << img.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.rgb.data()),
+            static_cast<std::streamsize>(img.rgb.size()));
+  if (!out) throw IoError("ppm: write failed " + path);
+}
+
+namespace {
+
+/// Compact 5-stop approximation of the viridis colormap.
+void viridis(double t, std::uint8_t& r, std::uint8_t& g, std::uint8_t& b) {
+  struct Stop {
+    double t;
+    double r, g, b;
+  };
+  static const Stop stops[] = {
+      {0.00, 68, 1, 84},  {0.25, 59, 82, 139}, {0.50, 33, 145, 140},
+      {0.75, 94, 201, 98}, {1.00, 253, 231, 37},
+  };
+  t = std::clamp(t, 0.0, 1.0);
+  for (std::size_t i = 1; i < std::size(stops); ++i) {
+    if (t <= stops[i].t) {
+      const auto& lo = stops[i - 1];
+      const auto& hi = stops[i];
+      const double u = (t - lo.t) / (hi.t - lo.t);
+      r = static_cast<std::uint8_t>(lo.r + u * (hi.r - lo.r));
+      g = static_cast<std::uint8_t>(lo.g + u * (hi.g - lo.g));
+      b = static_cast<std::uint8_t>(lo.b + u * (hi.b - lo.b));
+      return;
+    }
+  }
+  r = 253;
+  g = 231;
+  b = 37;
+}
+
+}  // namespace
+
+Image render_slice(const Field& field, std::size_t slice, bool log_scale) {
+  require(field.dims.rank() >= 2, "render_slice: field must be 2-D or 3-D");
+  require(slice < field.dims.nz, "render_slice: slice out of range");
+  const std::size_t w = field.dims.nx;
+  const std::size_t h = field.dims.ny;
+
+  // Value range over the slice (log scale shifts negatives/zeros to a floor).
+  double lo = 1e300, hi = -1e300;
+  auto transform = [log_scale](double v) {
+    return log_scale ? std::log10(std::max(v, 1e-12)) : v;
+  };
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double v = transform(field.data[field.dims.index(x, y, slice)]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double v = transform(field.data[field.dims.index(x, y, slice)]);
+      std::uint8_t r, g, b;
+      viridis((v - lo) / span, r, g, b);
+      img.set(x, y, r, g, b);
+    }
+  }
+  return img;
+}
+
+}  // namespace cosmo::io

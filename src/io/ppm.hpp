@@ -1,0 +1,31 @@
+/// \file ppm.hpp
+/// \brief PPM image output for field-slice visualization (paper Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/field.hpp"
+
+namespace cosmo::io {
+
+/// An 8-bit RGB raster.
+struct Image {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> rgb;  ///< 3 * width * height bytes
+
+  Image(std::size_t w, std::size_t h) : width(w), height(h), rgb(3 * w * h, 0) {}
+
+  void set(std::size_t x, std::size_t y, std::uint8_t r, std::uint8_t g, std::uint8_t b);
+};
+
+/// Writes a binary PPM (P6) file.
+void write_ppm(const Image& img, const std::string& path);
+
+/// Renders the z = \p slice plane of a 3-D field with a log-scale viridis-like
+/// colormap (density fields span orders of magnitude, cf. Fig. 1).
+Image render_slice(const Field& field, std::size_t slice, bool log_scale = true);
+
+}  // namespace cosmo::io

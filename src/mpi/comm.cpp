@@ -1,0 +1,169 @@
+#include "mpi/comm.hpp"
+
+#include <cstring>
+#include <thread>
+
+namespace cosmo::mpi {
+
+World::World(int size) : size_(size), mailboxes_(static_cast<std::size_t>(size)) {
+  require(size >= 1, "mpi: world size must be >= 1");
+}
+
+void World::send(int src, int dest, int tag, Message payload) {
+  require(dest >= 0 && dest < size_, "mpi: send to invalid rank");
+  {
+    std::lock_guard lock(mu_);
+    mailboxes_[static_cast<std::size_t>(dest)].push_back({src, tag, std::move(payload)});
+  }
+  cv_.notify_all();
+}
+
+std::pair<int, Message> World::recv(int self, int source, int tag) {
+  std::unique_lock lock(mu_);
+  auto& box = mailboxes_[static_cast<std::size_t>(self)];
+  for (;;) {
+    if (aborted_) throw Error("mpi: world aborted while rank was receiving");
+    for (auto it = box.begin(); it != box.end(); ++it) {
+      if ((source == kAnySource || it->source == source) && it->tag == tag) {
+        const int actual = it->source;
+        Message payload = std::move(it->payload);
+        box.erase(it);
+        return {actual, std::move(payload)};
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+void World::enter_barrier(int self) {
+  (void)self;
+  std::unique_lock lock(mu_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == size_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [this, my_generation] {
+    return barrier_generation_ != my_generation || aborted_;
+  });
+  if (aborted_) throw Error("mpi: world aborted during barrier");
+}
+
+void World::abort() {
+  {
+    std::lock_guard lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Comm::send(int dest, int tag, Message payload) {
+  world_->send(rank_, dest, tag, std::move(payload));
+}
+
+std::pair<int, Message> Comm::recv(int source, int tag) {
+  return world_->recv(rank_, source, tag);
+}
+
+void Comm::barrier() { world_->enter_barrier(rank_); }
+
+namespace {
+constexpr int kCollectiveBase = -1000;
+constexpr int kKindBroadcast = 0;
+constexpr int kKindGather = 1;
+
+int collective_tag(std::uint32_t seq, int kind) {
+  return kCollectiveBase - static_cast<int>(seq) * 2 - kind;
+}
+}  // namespace
+
+Message Comm::broadcast(int root, Message value) {
+  const int tag = collective_tag(collective_seq_++, kKindBroadcast);
+  if (size_ == 1) return value;
+  if (rank_ == root) {
+    for (int r = 0; r < size_; ++r) {
+      if (r != root) send(r, tag, value);
+    }
+    return value;
+  }
+  return recv(root, tag).second;
+}
+
+std::vector<Message> Comm::gather(int root, Message value) {
+  const int tag = collective_tag(collective_seq_++, kKindGather);
+  if (rank_ != root) {
+    send(root, tag, std::move(value));
+    return {};
+  }
+  std::vector<Message> out(static_cast<std::size_t>(size_));
+  out[static_cast<std::size_t>(root)] = std::move(value);
+  for (int i = 0; i < size_ - 1; ++i) {
+    auto [src, payload] = recv(kAnySource, tag);
+    out[static_cast<std::size_t>(src)] = std::move(payload);
+  }
+  return out;
+}
+
+double Comm::allreduce(double value, const std::function<double(double, double)>& op) {
+  // Gather to rank 0, reduce, broadcast back — O(P) but simple and correct.
+  Message mine(sizeof(double));
+  std::memcpy(mine.data(), &value, sizeof(double));
+  auto all = gather(0, std::move(mine));
+  Message result(sizeof(double));
+  if (rank_ == 0) {
+    double acc = value;
+    bool first = true;
+    for (const auto& m : all) {
+      double v;
+      std::memcpy(&v, m.data(), sizeof(double));
+      if (first) {
+        acc = v;
+        first = false;
+      } else {
+        acc = op(acc, v);
+      }
+    }
+    std::memcpy(result.data(), &acc, sizeof(double));
+  }
+  result = broadcast(0, std::move(result));
+  double out;
+  std::memcpy(&out, result.data(), sizeof(double));
+  return out;
+}
+
+double Comm::allreduce_sum(double value) {
+  return allreduce(value, [](double a, double b) { return a + b; });
+}
+
+double Comm::allreduce_max(double value) {
+  return allreduce(value, [](double a, double b) { return a > b ? a : b; });
+}
+
+void run_world(int size, const std::function<void(Comm&)>& body) {
+  World world(size);
+  std::vector<std::thread> threads;
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&world, &body, &err_mu, &first_error, r, size] {
+      Comm comm(&world, r, size);
+      try {
+        body(comm);
+      } catch (...) {
+        {
+          std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cosmo::mpi

@@ -1,0 +1,122 @@
+/// \file comm.hpp
+/// \brief An in-process message-passing substrate (MPI-flavored).
+///
+/// HACC decomposes its box over MPI ranks (the paper's dataset comes from
+/// an 8x8x4 run, Section IV-B4) and Foresight's PAT fans work out over a
+/// cluster. This module provides the communication primitives those
+/// scenarios need — point-to-point send/recv, barrier, broadcast, gather,
+/// and allreduce — implemented over threads, one thread per rank, with
+/// MPI-like semantics: messages are matched by (source, tag), collectives
+/// must be entered by every rank.
+///
+/// Following the MPI guidance in the HPC guides, all parallelism is
+/// explicit: the user function receives its Comm handle and decides what
+/// to communicate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cosmo::mpi {
+
+/// Wildcard source for recv(), like MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+
+/// A byte message.
+using Message = std::vector<std::uint8_t>;
+
+class World;
+
+/// Per-rank communicator handle (value-semantic view onto the World).
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Sends \p payload to \p dest with \p tag (buffered, non-blocking-ish:
+  /// enqueues and returns).
+  void send(int dest, int tag, Message payload);
+
+  /// Receives the next message matching (source, tag); blocks until one
+  /// arrives. \p source may be kAnySource. Returns (actual_source, payload).
+  std::pair<int, Message> recv(int source, int tag);
+
+  /// Collective barrier.
+  void barrier();
+
+  /// Broadcast from \p root: root's \p value is returned on every rank.
+  Message broadcast(int root, Message value);
+
+  /// Gather to \p root: returns all ranks' contributions (rank order) on
+  /// root, empty elsewhere.
+  std::vector<Message> gather(int root, Message value);
+
+  /// Allreduce of a double with the given associative op.
+  double allreduce(double value, const std::function<double(double, double)>& op);
+
+  /// Sum-allreduce convenience.
+  double allreduce_sum(double value);
+
+  /// Max-allreduce convenience.
+  double allreduce_max(double value);
+
+ private:
+  friend class World;
+  friend void run_world(int, const std::function<void(Comm&)>&);
+  Comm(World* world, int rank, int size) : world_(world), rank_(rank), size_(size) {}
+
+  World* world_;
+  int rank_;
+  int size_;
+  /// Per-collective sequence number. Every rank executes the same ordered
+  /// sequence of collectives (the MPI contract), so the counters agree and
+  /// give each collective a unique internal tag — without this, a fast
+  /// rank's contribution to collective N+1 could be matched into the
+  /// root's collective N (both would share one tag) and leave a slot of
+  /// the earlier gather empty.
+  std::uint32_t collective_seq_ = 0;
+};
+
+/// Launches \p size ranks, each running \p body(comm), and joins them.
+/// Exceptions from any rank are collected; the first is rethrown after all
+/// ranks finish or abort.
+void run_world(int size, const std::function<void(Comm&)>& body);
+
+/// The shared state behind a run_world() invocation (exposed for Comm).
+class World {
+ public:
+  explicit World(int size);
+
+  void send(int src, int dest, int tag, Message payload);
+  std::pair<int, Message> recv(int self, int source, int tag);
+  void enter_barrier(int self);
+  void abort();  ///< wakes all blocked ranks with an error
+
+  [[nodiscard]] int size() const { return size_; }
+
+ private:
+  struct Envelope {
+    int source;
+    int tag;
+    Message payload;
+  };
+
+  int size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Envelope>> mailboxes_;
+  // Barrier generation counting.
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace cosmo::mpi

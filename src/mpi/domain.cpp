@@ -1,0 +1,50 @@
+#include "mpi/domain.hpp"
+
+#include <cmath>
+
+namespace cosmo::mpi {
+
+DomainDecomposition::RankCoord DomainDecomposition::coord_of(std::size_t rank) const {
+  require(rank < rank_count(), "domain: rank out of range");
+  return {rank % rx, (rank / rx) % ry, rank / (rx * ry)};
+}
+
+std::size_t DomainDecomposition::rank_of_coord(std::size_t ix, std::size_t iy,
+                                               std::size_t iz) const {
+  require(ix < rx && iy < ry && iz < rz, "domain: coord out of range");
+  return (iz * ry + iy) * rx + ix;
+}
+
+DomainDecomposition::Slab DomainDecomposition::slab_of(std::size_t rank) const {
+  const RankCoord c = coord_of(rank);
+  const double dx = box / static_cast<double>(rx);
+  const double dy = box / static_cast<double>(ry);
+  const double dz = box / static_cast<double>(rz);
+  return {static_cast<double>(c.ix) * dx,     static_cast<double>(c.ix + 1) * dx,
+          static_cast<double>(c.iy) * dy,     static_cast<double>(c.iy + 1) * dy,
+          static_cast<double>(c.iz) * dz,     static_cast<double>(c.iz + 1) * dz};
+}
+
+std::size_t DomainDecomposition::owner_of(double x, double y, double z) const {
+  auto cell = [this](double v, std::size_t n) {
+    double w = std::fmod(v, box);
+    if (w < 0.0) w += box;
+    auto c = static_cast<std::size_t>(w / box * static_cast<double>(n));
+    return c >= n ? n - 1 : c;
+  };
+  return rank_of_coord(cell(x, rx), cell(y, ry), cell(z, rz));
+}
+
+std::vector<std::vector<std::uint32_t>> partition_particles(
+    const DomainDecomposition& domain, std::span<const float> x,
+    std::span<const float> y, std::span<const float> z) {
+  require(x.size() == y.size() && y.size() == z.size(),
+          "partition_particles: coordinate size mismatch");
+  std::vector<std::vector<std::uint32_t>> out(domain.rank_count());
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    out[domain.owner_of(x[p], y[p], z[p])].push_back(static_cast<std::uint32_t>(p));
+  }
+  return out;
+}
+
+}  // namespace cosmo::mpi

@@ -1,0 +1,57 @@
+/// \file domain.hpp
+/// \brief HACC-style spatial domain decomposition over a rank grid.
+///
+/// "the HACC simulation used to generate this dataset runs with 8x8x4 MPI
+/// processes, and each MPI process saves its own portion of the dataset,
+/// leading to 8x8x4 data partitions" (paper Section IV-B4). This module
+/// maps a periodic box onto an rx x ry x rz rank grid, assigns particles
+/// to owning ranks, and describes each rank's slab — the structure the
+/// per-rank compression experiment and the dimension-conversion rationale
+/// rest on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cosmo::mpi {
+
+/// A 3-D rank grid over a cubic box.
+struct DomainDecomposition {
+  std::size_t rx = 1, ry = 1, rz = 1;  ///< ranks per axis (paper: 8, 8, 4)
+  double box = 256.0;
+
+  [[nodiscard]] std::size_t rank_count() const { return rx * ry * rz; }
+
+  /// Rank coordinates of linear rank r (row-major: x fastest).
+  struct RankCoord {
+    std::size_t ix, iy, iz;
+  };
+  [[nodiscard]] RankCoord coord_of(std::size_t rank) const;
+  [[nodiscard]] std::size_t rank_of_coord(std::size_t ix, std::size_t iy,
+                                          std::size_t iz) const;
+
+  /// The axis-aligned slab owned by a rank ([lo, hi) per axis).
+  struct Slab {
+    double x0, x1, y0, y1, z0, z1;
+
+    [[nodiscard]] bool contains(double x, double y, double z) const {
+      return x >= x0 && x < x1 && y >= y0 && y < y1 && z >= z0 && z < z1;
+    }
+  };
+  [[nodiscard]] Slab slab_of(std::size_t rank) const;
+
+  /// Owning rank of a position (positions exactly at the box edge wrap).
+  [[nodiscard]] std::size_t owner_of(double x, double y, double z) const;
+};
+
+/// Partitions particle indices by owning rank. Returns rank_count() index
+/// lists (each sorted ascending, preserving file order within a rank —
+/// exactly what per-rank GenericIO blocks hold).
+std::vector<std::vector<std::uint32_t>> partition_particles(
+    const DomainDecomposition& domain, std::span<const float> x,
+    std::span<const float> y, std::span<const float> z);
+
+}  // namespace cosmo::mpi

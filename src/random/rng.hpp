@@ -1,0 +1,51 @@
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generation (xoshiro256**).
+///
+/// The synthetic HACC/Nyx generators must be reproducible across runs and
+/// platforms, so we use a fixed, self-implemented generator rather than
+/// std::mt19937 + distribution objects (whose outputs are not guaranteed
+/// identical across standard library implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace cosmo {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// reimplemented here; seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double normal();
+
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Exponential with the given rate parameter lambda.
+  double exponential(double lambda);
+
+  /// Creates an independent stream (jump-equivalent: reseeds from this
+  /// stream's output), for per-thread generators.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace cosmo

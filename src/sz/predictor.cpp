@@ -1,0 +1,116 @@
+#include "sz/predictor.hpp"
+
+#include <cmath>
+
+namespace cosmo::sz {
+
+namespace {
+
+/// Value at (x,y,z) if inside the block, else 0 (blocks are independent).
+inline float at_or_zero(std::span<const float> buf, const Dims& dims, const BlockRange& blk,
+                        std::size_t x, std::size_t y, std::size_t z, bool x_ok, bool y_ok,
+                        bool z_ok) {
+  if (!x_ok || !y_ok || !z_ok) return 0.0f;
+  (void)blk;
+  return buf[dims.index(x, y, z)];
+}
+
+}  // namespace
+
+float lorenzo_predict(std::span<const float> recon, const Dims& dims, const BlockRange& blk,
+                      std::size_t x, std::size_t y, std::size_t z) {
+  const bool xm = x > blk.x0;
+  const bool ym = y > blk.y0;
+  const bool zm = z > blk.z0;
+  const int rank = dims.rank();
+  if (rank == 1) {
+    return xm ? recon[dims.index(x - 1, y, z)] : 0.0f;
+  }
+  if (rank == 2) {
+    const float fx = at_or_zero(recon, dims, blk, x - 1, y, z, xm, true, true);
+    const float fy = at_or_zero(recon, dims, blk, x, y - 1, z, true, ym, true);
+    const float fxy = at_or_zero(recon, dims, blk, x - 1, y - 1, z, xm, ym, true);
+    return fx + fy - fxy;
+  }
+  const float f100 = at_or_zero(recon, dims, blk, x - 1, y, z, xm, true, true);
+  const float f010 = at_or_zero(recon, dims, blk, x, y - 1, z, true, ym, true);
+  const float f001 = at_or_zero(recon, dims, blk, x, y, z - 1, true, true, zm);
+  const float f110 = at_or_zero(recon, dims, blk, x - 1, y - 1, z, xm, ym, true);
+  const float f101 = at_or_zero(recon, dims, blk, x - 1, y, z - 1, xm, true, zm);
+  const float f011 = at_or_zero(recon, dims, blk, x, y - 1, z - 1, true, ym, zm);
+  const float f111 = at_or_zero(recon, dims, blk, x - 1, y - 1, z - 1, xm, ym, zm);
+  return f100 + f010 + f001 - f110 - f101 - f011 + f111;
+}
+
+RegressionCoef fit_regression(std::span<const float> data, const Dims& dims,
+                              const BlockRange& blk) {
+  const double nx = static_cast<double>(blk.x1 - blk.x0);
+  const double ny = static_cast<double>(blk.y1 - blk.y0);
+  const double nz = static_cast<double>(blk.z1 - blk.z0);
+  const double n = nx * ny * nz;
+  const double cx = (nx - 1.0) / 2.0;
+  const double cy = (ny - 1.0) / 2.0;
+  const double cz = (nz - 1.0) / 2.0;
+
+  double sum = 0.0, sx = 0.0, sy = 0.0, sz_ = 0.0;
+  for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+    for (std::size_t y = blk.y0; y < blk.y1; ++y) {
+      for (std::size_t x = blk.x0; x < blk.x1; ++x) {
+        const double f = data[dims.index(x, y, z)];
+        const double dx = static_cast<double>(x - blk.x0) - cx;
+        const double dy = static_cast<double>(y - blk.y0) - cy;
+        const double dz = static_cast<double>(z - blk.z0) - cz;
+        sum += f;
+        sx += f * dx;
+        sy += f * dy;
+        sz_ += f * dz;
+      }
+    }
+  }
+  // Sum of squared centered coordinates along one axis, replicated over the
+  // other two axes: Var1d(m) * (product of other extents) with
+  // Var1d(m) = m(m^2-1)/12.
+  auto sq = [](double m) { return m * (m * m - 1.0) / 12.0; };
+  const double vx = sq(nx) * ny * nz;
+  const double vy = sq(ny) * nx * nz;
+  const double vz = sq(nz) * nx * ny;
+
+  RegressionCoef c;
+  c.a = vx > 0.0 ? static_cast<float>(sx / vx) : 0.0f;
+  c.b = vy > 0.0 ? static_cast<float>(sy / vy) : 0.0f;
+  c.c = vz > 0.0 ? static_cast<float>(sz_ / vz) : 0.0f;
+  // d is the model value at the block origin (dx=dy=dz=0):
+  // mean - a*cx - b*cy - c*cz.
+  c.d = static_cast<float>(sum / n - c.a * cx - c.b * cy - c.c * cz);
+  return c;
+}
+
+double lorenzo_error_estimate(std::span<const float> data, const Dims& dims,
+                              const BlockRange& blk) {
+  double err = 0.0;
+  for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+    for (std::size_t y = blk.y0; y < blk.y1; ++y) {
+      for (std::size_t x = blk.x0; x < blk.x1; ++x) {
+        const float pred = lorenzo_predict(data, dims, blk, x, y, z);
+        err += std::fabs(static_cast<double>(data[dims.index(x, y, z)]) - pred);
+      }
+    }
+  }
+  return err;
+}
+
+double regression_error_estimate(std::span<const float> data, const Dims& dims,
+                                 const BlockRange& blk, const RegressionCoef& coef) {
+  double err = 0.0;
+  for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+    for (std::size_t y = blk.y0; y < blk.y1; ++y) {
+      for (std::size_t x = blk.x0; x < blk.x1; ++x) {
+        const float pred = coef.predict(x - blk.x0, y - blk.y0, z - blk.z0);
+        err += std::fabs(static_cast<double>(data[dims.index(x, y, z)]) - pred);
+      }
+    }
+  }
+  return err;
+}
+
+}  // namespace cosmo::sz

@@ -1,0 +1,64 @@
+/// \file predictor.hpp
+/// \brief SZ prediction stage: order-1 Lorenzo and block linear regression.
+///
+/// SZ step 1 (paper Section II-A): "predict each data point's value based on
+/// its neighboring points by using an adaptive, best-fit prediction method."
+/// Following SZ 2.x (Liang et al. [11]), each block independently selects
+/// between the Lorenzo predictor (neighbors within the block, causal order)
+/// and a least-squares linear model over block coordinates. Independent
+/// blocking reproduces the GPU-SZ border-decorrelation artifact the paper
+/// discusses for low bitrates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/field.hpp"
+
+namespace cosmo::sz {
+
+/// A block's coordinate range within the field (half-open).
+struct BlockRange {
+  std::size_t x0 = 0, x1 = 0;
+  std::size_t y0 = 0, y1 = 0;
+  std::size_t z0 = 0, z1 = 0;
+
+  [[nodiscard]] std::size_t count() const { return (x1 - x0) * (y1 - y0) * (z1 - z0); }
+};
+
+/// Order-1 Lorenzo prediction at (x, y, z) from the *reconstructed* buffer
+/// \p recon, restricted to the block: neighbors outside \p blk predict as 0.
+/// Rank 1: f(x-1); rank 2: f(x-1)+f(y-1)-f(x-1,y-1); rank 3: the 7-term
+/// inclusion–exclusion stencil.
+float lorenzo_predict(std::span<const float> recon, const Dims& dims, const BlockRange& blk,
+                      std::size_t x, std::size_t y, std::size_t z);
+
+/// Coefficients of the block-local linear model
+/// f(x,y,z) = a*dx + b*dy + c*dz + d with (dx,dy,dz) relative to the block
+/// origin. Fit on original data; stored verbatim in the stream.
+struct RegressionCoef {
+  float a = 0.0f, b = 0.0f, c = 0.0f, d = 0.0f;
+
+  [[nodiscard]] float predict(std::size_t dx, std::size_t dy, std::size_t dz) const {
+    return a * static_cast<float>(dx) + b * static_cast<float>(dy) +
+           c * static_cast<float>(dz) + d;
+  }
+};
+
+/// Least-squares fit of the linear model over the block's original values.
+/// Closed form: grid coordinates are orthogonal after centering, so each
+/// slope is an independent 1-D projection.
+RegressionCoef fit_regression(std::span<const float> data, const Dims& dims,
+                              const BlockRange& blk);
+
+/// Sum of |prediction error| for the Lorenzo predictor estimated on
+/// *original* (not reconstructed) neighbors — the standard SZ sampling
+/// shortcut for predictor selection.
+double lorenzo_error_estimate(std::span<const float> data, const Dims& dims,
+                              const BlockRange& blk);
+
+/// Sum of |prediction error| for the fitted regression model.
+double regression_error_estimate(std::span<const float> data, const Dims& dims,
+                                 const BlockRange& blk, const RegressionCoef& coef);
+
+}  // namespace cosmo::sz

@@ -1,0 +1,147 @@
+#include "sz/pwrel.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "codec/huffman.hpp"
+#include "codec/lzss.hpp"
+
+namespace cosmo::sz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x535A5052;  // "SZPR"
+constexpr double kDefaultZeroRatio = 1e-10;
+
+enum Class : std::uint32_t { kZero = 0, kPos = 1, kNeg = 2 };
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t> b, std::size_t& pos) {
+  require_format(pos + 4 <= b.size(), "pwrel: truncated stream");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[pos++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(std::span<const std::uint8_t> b, std::size_t& pos) {
+  require_format(pos + 8 <= b.size(), "pwrel: truncated stream");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[pos++]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims& dims,
+                                         const PwRelParams& params, Stats* stats) {
+  require(data.size() == dims.count(), "compress_pwrel: data/dims size mismatch");
+  require(!data.empty(), "compress_pwrel: empty input");
+  require(params.pw_rel_bound > 0.0 && params.pw_rel_bound < 1.0,
+          "compress_pwrel: pw_rel bound must be in (0, 1)");
+
+  double max_abs = 0.0;
+  for (const float v : data) max_abs = std::max(max_abs, std::fabs(static_cast<double>(v)));
+  const double ratio =
+      params.zero_threshold_ratio > 0.0 ? params.zero_threshold_ratio : kDefaultZeroRatio;
+  const double thresh = max_abs > 0.0 ? max_abs * ratio : 0.0;
+  const double log_floor = thresh > 0.0 ? std::log(thresh) : 0.0;
+
+  // Class per point + log magnitudes (zeros carry the floor so the log
+  // field stays smooth for the predictor).
+  std::vector<std::uint32_t> classes(data.size());
+  std::vector<float> logs(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double v = data[i];
+    if (std::fabs(v) <= thresh) {
+      classes[i] = kZero;
+      logs[i] = static_cast<float>(log_floor);
+    } else {
+      classes[i] = v > 0.0 ? kPos : kNeg;
+      logs[i] = static_cast<float>(std::log(std::fabs(v)));
+    }
+  }
+
+  // A symmetric bound eb on ln|x| gives |x'/x| in [e^-eb, e^eb]; choosing
+  // eb = ln(1 + p) makes the upper ratio exactly 1 + p and the lower
+  // 1/(1+p) > 1 - p, so the point-wise relative bound holds on both sides.
+  Params abs_params;
+  abs_params.abs_error_bound = std::log(1.0 + params.pw_rel_bound);
+  abs_params.block_edge = params.block_edge;
+  abs_params.regression = params.regression;
+  abs_params.lossless = params.lossless;
+
+  Stats inner_stats;
+  const std::vector<std::uint8_t> log_stream = compress(logs, dims, abs_params, &inner_stats);
+  const std::vector<std::uint8_t> class_stream = huffman_encode(classes);
+  std::vector<std::uint8_t> class_packed = lzss_encode(class_stream);
+  const bool class_lz = class_packed.size() < class_stream.size();
+
+  std::vector<std::uint8_t> out;
+  append_u32(out, kMagic);
+  append_u64(out, data.size());
+  out.push_back(class_lz ? 1 : 0);
+  {
+    std::uint64_t bits;
+    static_assert(sizeof(double) == 8);
+    std::memcpy(&bits, &thresh, 8);
+    append_u64(out, bits);
+  }
+  append_u64(out, log_stream.size());
+  const auto& cls_bytes = class_lz ? class_packed : class_stream;
+  append_u64(out, cls_bytes.size());
+  out.insert(out.end(), log_stream.begin(), log_stream.end());
+  out.insert(out.end(), cls_bytes.begin(), cls_bytes.end());
+
+  if (stats) {
+    *stats = inner_stats;
+    stats->compressed_bytes = out.size();
+    stats->bit_rate = static_cast<double>(out.size()) * 8.0 / static_cast<double>(data.size());
+  }
+  return out;
+}
+
+std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+  std::size_t pos = 0;
+  require_format(read_u32(bytes, pos) == kMagic, "pwrel: bad magic");
+  const std::uint64_t count = read_u64(bytes, pos);
+  require_format(pos < bytes.size(), "pwrel: truncated stream");
+  const bool class_lz = bytes[pos++] == 1;
+  const std::uint64_t thresh_bits = read_u64(bytes, pos);
+  double thresh;
+  std::memcpy(&thresh, &thresh_bits, 8);
+  (void)thresh;
+  const std::size_t log_len = read_u64(bytes, pos);
+  const std::size_t cls_len = read_u64(bytes, pos);
+  require_format(pos + log_len + cls_len <= bytes.size(), "pwrel: truncated sections");
+
+  Dims dims;
+  std::vector<float> logs = decompress(bytes.subspan(pos, log_len), &dims);
+  pos += log_len;
+  std::vector<std::uint8_t> cls_bytes(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                                      bytes.begin() + static_cast<std::ptrdiff_t>(pos + cls_len));
+  if (class_lz) cls_bytes = lzss_decode(cls_bytes);
+  const std::vector<std::uint32_t> classes = huffman_decode(cls_bytes);
+
+  require_format(logs.size() == count && classes.size() == count,
+                 "pwrel: section size mismatch");
+  std::vector<float> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (classes[i]) {
+      case kZero: out[i] = 0.0f; break;
+      case kPos: out[i] = std::exp(logs[i]); break;
+      case kNeg: out[i] = -std::exp(logs[i]); break;
+      default: throw FormatError("pwrel: bad class symbol");
+    }
+  }
+  if (out_dims) *out_dims = dims;
+  return out;
+}
+
+}  // namespace cosmo::sz

@@ -1,0 +1,43 @@
+/// \file pwrel.hpp
+/// \brief Point-wise relative error bound via logarithmic transformation.
+///
+/// GPU-SZ only supports ABS mode; the paper (Section IV-B4, following
+/// Liang et al. [27]) converts a PW_REL bound into an ABS bound on
+/// log-transformed data: compress ln|x| with abs bound ln(1 + pwrel), keep
+/// sign/zero classes separately, reconstruct with exp. This module wraps
+/// sz::compress/decompress with exactly that scheme.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/field.hpp"
+#include "sz/sz.hpp"
+
+namespace cosmo::sz {
+
+/// PW_REL parameters: relative bound and the underlying ABS-mode knobs.
+struct PwRelParams {
+  /// Point-wise relative error bound, e.g. 0.01 for 1 %.
+  double pw_rel_bound = 0.01;
+  /// Values with |x| <= zero_threshold * max|x| are treated as exact zeros.
+  /// 0 selects the default 1e-10.
+  double zero_threshold_ratio = 0.0;
+  /// Block/lossless knobs forwarded to the ABS compressor.
+  std::size_t block_edge = 0;
+  bool regression = true;
+  bool lossless = true;
+};
+
+/// Compresses with a point-wise relative bound. Guarantees, for every point
+/// with |x| above the zero threshold, |x' - x| <= pw_rel_bound * |x|;
+/// sub-threshold points reconstruct to exactly 0.
+std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims& dims,
+                                         const PwRelParams& params, Stats* stats = nullptr);
+
+/// Decompresses a buffer produced by compress_pwrel().
+std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes,
+                                    Dims* out_dims = nullptr);
+
+}  // namespace cosmo::sz

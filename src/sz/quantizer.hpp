@@ -1,0 +1,44 @@
+/// \file quantizer.hpp
+/// \brief Linear-scaling quantization with error-controlled reconstruction.
+///
+/// SZ step 2 (paper Section II-A): "quantize the difference between the
+/// real value and predicted value based on the user-set error bound."
+/// A prediction error e is mapped to code round(e / (2*eb)) + radius; codes
+/// within [1, 2*radius-1] are "predictable" and reconstruct to
+/// pred + (code - radius) * 2*eb, which is within eb of the original.
+/// Code 0 marks an unpredictable point whose value is stored verbatim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace cosmo::sz {
+
+/// Error-bounded linear quantizer.
+class Quantizer {
+ public:
+  /// \p error_bound is the absolute bound; \p radius the code-space half
+  /// width (default 2^15, i.e. 16-bit code space like SZ's default).
+  explicit Quantizer(double error_bound, std::uint32_t radius = 1u << 15);
+
+  [[nodiscard]] double error_bound() const { return eb_; }
+  [[nodiscard]] std::uint32_t radius() const { return radius_; }
+
+  /// Quantizes an (original, predicted) pair. Returns the code and the
+  /// reconstructed value, or code 0 (unpredictable) when the error exceeds
+  /// the code space or reconstruction would break the bound.
+  struct Result {
+    std::uint32_t code;  ///< 0 = unpredictable
+    float reconstructed; ///< valid only when code != 0
+  };
+  [[nodiscard]] Result quantize(float original, float predicted) const;
+
+  /// Reconstructs from a nonzero code and prediction.
+  [[nodiscard]] float reconstruct(std::uint32_t code, float predicted) const;
+
+ private:
+  double eb_;
+  std::uint32_t radius_;
+};
+
+}  // namespace cosmo::sz

@@ -1,0 +1,86 @@
+#include "sz/rate_estimate.hpp"
+
+#include <map>
+
+#include "codec/huffman.hpp"
+#include "sz/predictor.hpp"
+#include "sz/quantizer.hpp"
+
+namespace cosmo::sz {
+
+RateEstimate estimate_rate(std::span<const float> data, const Dims& dims,
+                           const Params& params) {
+  require(data.size() == dims.count(), "estimate_rate: data/dims size mismatch");
+  require(!data.empty(), "estimate_rate: empty input");
+  const std::size_t edge =
+      params.block_edge ? params.block_edge : default_block_edge(dims.rank());
+
+  const Quantizer quant(params.abs_error_bound, params.radius);
+  std::vector<float> recon(data.size(), 0.0f);
+  std::map<std::uint32_t, std::uint64_t> code_freq;
+  std::size_t unpredictable = 0;
+  std::size_t blocks = 0;
+  std::size_t regression_blocks = 0;
+
+  for (std::size_t z0 = 0; z0 < dims.nz; z0 += edge) {
+    for (std::size_t y0 = 0; y0 < dims.ny; y0 += edge) {
+      for (std::size_t x0 = 0; x0 < dims.nx; x0 += edge) {
+        BlockRange blk;
+        blk.x0 = x0;
+        blk.x1 = std::min(x0 + edge, dims.nx);
+        blk.y0 = y0;
+        blk.y1 = std::min(y0 + edge, dims.ny);
+        blk.z0 = z0;
+        blk.z1 = std::min(z0 + edge, dims.nz);
+        ++blocks;
+
+        bool use_reg = false;
+        RegressionCoef coef;
+        if (params.regression && blk.count() >= 8) {
+          coef = fit_regression(data, dims, blk);
+          use_reg = regression_error_estimate(data, dims, blk, coef) <
+                    lorenzo_error_estimate(data, dims, blk);
+        }
+        if (use_reg) ++regression_blocks;
+
+        for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+          for (std::size_t y = blk.y0; y < blk.y1; ++y) {
+            for (std::size_t x = blk.x0; x < blk.x1; ++x) {
+              const std::size_t idx = dims.index(x, y, z);
+              const float pred = use_reg
+                                     ? coef.predict(x - blk.x0, y - blk.y0, z - blk.z0)
+                                     : lorenzo_predict(recon, dims, blk, x, y, z);
+              const Quantizer::Result q = quant.quantize(data[idx], pred);
+              ++code_freq[q.code];
+              if (q.code == 0) {
+                ++unpredictable;
+                recon[idx] = data[idx];
+              } else {
+                recon[idx] = q.reconstructed;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> freqs;
+  freqs.reserve(code_freq.size());
+  for (const auto& [code, f] : code_freq) freqs.push_back(f);
+
+  RateEstimate est;
+  const double n = static_cast<double>(data.size());
+  est.entropy_bits_per_value = shannon_entropy_bits(freqs);
+  est.unpredictable_fraction = static_cast<double>(unpredictable) / n;
+  // Unpredictable values carry a full float on top of their (rare) code;
+  // per-block metadata: 1 flag byte + 16 coef bytes for regression blocks.
+  const double metadata_bits =
+      (static_cast<double>(blocks) * 8.0 + static_cast<double>(regression_blocks) * 128.0) /
+      n;
+  est.estimated_bits_per_value =
+      est.entropy_bits_per_value + 32.0 * est.unpredictable_fraction + metadata_bits;
+  return est;
+}
+
+}  // namespace cosmo::sz

@@ -1,0 +1,299 @@
+#include "sz/sz.hpp"
+
+#include <cstring>
+
+#include "codec/huffman.hpp"
+#include "codec/lzss.hpp"
+#include "sz/predictor.hpp"
+#include "sz/quantizer.hpp"
+
+namespace cosmo::sz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x535A4331;  // "SZC1"
+
+/// Little-endian byte buffer serializer.
+struct ByteWriter {
+  std::vector<std::uint8_t> bytes;
+
+  void u8(std::uint8_t v) { bytes.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    u32(bits);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void raw(const std::uint8_t* p, std::size_t n) { bytes.insert(bytes.end(), p, p + n); }
+};
+
+/// Little-endian byte buffer deserializer with bounds checks.
+struct ByteReader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    require_format(pos + n <= bytes.size(), "sz: truncated stream");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return bytes[pos++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[pos++]) << (8 * i);
+    return v;
+  }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  std::vector<std::uint8_t> raw(std::size_t n) {
+    need(n);
+    std::vector<std::uint8_t> out(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return out;
+  }
+};
+
+/// Enumerates blocks in deterministic (z, y, x) order.
+template <typename Fn>
+void for_each_block(const Dims& dims, std::size_t edge, Fn&& fn) {
+  for (std::size_t z0 = 0; z0 < dims.nz; z0 += edge) {
+    for (std::size_t y0 = 0; y0 < dims.ny; y0 += edge) {
+      for (std::size_t x0 = 0; x0 < dims.nx; x0 += edge) {
+        BlockRange blk;
+        blk.x0 = x0;
+        blk.x1 = std::min(x0 + edge, dims.nx);
+        blk.y0 = y0;
+        blk.y1 = std::min(y0 + edge, dims.ny);
+        blk.z0 = z0;
+        blk.z1 = std::min(z0 + edge, dims.nz);
+        fn(blk);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t default_block_edge(int rank) {
+  switch (rank) {
+    case 1: return 128;
+    case 2: return 16;
+    default: return 8;
+  }
+}
+
+std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
+                                   const Params& params, Stats* stats) {
+  require(data.size() == dims.count(), "sz::compress: data/dims size mismatch");
+  require(!data.empty(), "sz::compress: empty input");
+  const std::size_t edge =
+      params.block_edge ? params.block_edge : default_block_edge(dims.rank());
+  require(edge >= 2, "sz::compress: block edge must be >= 2");
+
+  const Quantizer quant(params.abs_error_bound, params.radius);
+  std::vector<float> recon(data.size(), 0.0f);
+  std::vector<std::uint32_t> codes;
+  codes.reserve(data.size());
+  std::vector<float> unpred;
+  std::vector<std::uint8_t> block_flags;  // 1 = regression
+  std::vector<RegressionCoef> coefs;
+
+  std::size_t n_blocks = 0;
+  std::size_t n_regression = 0;
+
+  for_each_block(dims, edge, [&](const BlockRange& blk) {
+    ++n_blocks;
+    bool use_reg = false;
+    RegressionCoef coef;
+    if (params.regression && blk.count() >= 8) {
+      coef = fit_regression(data, dims, blk);
+      const double reg_err = regression_error_estimate(data, dims, blk, coef);
+      const double lor_err = lorenzo_error_estimate(data, dims, blk);
+      use_reg = reg_err < lor_err;
+    }
+    block_flags.push_back(use_reg ? 1 : 0);
+    if (use_reg) {
+      ++n_regression;
+      coefs.push_back(coef);
+    }
+    for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+      for (std::size_t y = blk.y0; y < blk.y1; ++y) {
+        for (std::size_t x = blk.x0; x < blk.x1; ++x) {
+          const std::size_t idx = dims.index(x, y, z);
+          const float pred = use_reg
+                                 ? coef.predict(x - blk.x0, y - blk.y0, z - blk.z0)
+                                 : lorenzo_predict(recon, dims, blk, x, y, z);
+          const Quantizer::Result q = quant.quantize(data[idx], pred);
+          codes.push_back(q.code);
+          if (q.code == 0) {
+            unpred.push_back(data[idx]);
+            recon[idx] = data[idx];
+          } else {
+            recon[idx] = q.reconstructed;
+          }
+        }
+      }
+    }
+  });
+
+  const std::vector<std::uint8_t> huff = huffman_encode(codes);
+
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u64(dims.nx);
+  w.u64(dims.ny);
+  w.u64(dims.nz);
+  w.f64(params.abs_error_bound);
+  w.u32(params.radius);
+  w.u64(edge);
+  w.u64(n_blocks);
+  w.u64(coefs.size());
+  w.u64(huff.size());
+  w.u64(unpred.size());
+  w.raw(block_flags.data(), block_flags.size());
+  for (const auto& c : coefs) {
+    w.f32(c.a);
+    w.f32(c.b);
+    w.f32(c.c);
+    w.f32(c.d);
+  }
+  w.raw(huff.data(), huff.size());
+  for (const float v : unpred) w.f32(v);
+
+  std::vector<std::uint8_t> out;
+  if (params.lossless) {
+    std::vector<std::uint8_t> packed = lzss_encode(w.bytes);
+    if (packed.size() < w.bytes.size()) {
+      out.push_back(1);
+      out.insert(out.end(), packed.begin(), packed.end());
+    } else {
+      out.push_back(0);
+      out.insert(out.end(), w.bytes.begin(), w.bytes.end());
+    }
+  } else {
+    out.push_back(0);
+    out.insert(out.end(), w.bytes.begin(), w.bytes.end());
+  }
+
+  if (stats) {
+    stats->total_points = data.size();
+    stats->unpredictable_points = unpred.size();
+    stats->total_blocks = n_blocks;
+    stats->regression_blocks = n_regression;
+    stats->compressed_bytes = out.size();
+    stats->bit_rate = static_cast<double>(out.size()) * 8.0 / static_cast<double>(data.size());
+  }
+  return out;
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+  require_format(!bytes.empty(), "sz: empty stream");
+  const bool packed = bytes[0] == 1;
+  std::vector<std::uint8_t> payload_storage;
+  std::span<const std::uint8_t> payload;
+  if (packed) {
+    payload_storage = lzss_decode(
+        std::vector<std::uint8_t>(bytes.begin() + 1, bytes.end()));
+    payload = payload_storage;
+  } else {
+    payload = bytes.subspan(1);
+  }
+
+  ByteReader r{payload};
+  require_format(r.u32() == kMagic, "sz: bad magic");
+  Dims dims;
+  dims.nx = r.u64();
+  dims.ny = r.u64();
+  dims.nz = r.u64();
+  const double eb = r.f64();
+  const std::uint32_t radius = r.u32();
+  const std::size_t edge = r.u64();
+  const std::size_t n_blocks = r.u64();
+  const std::size_t n_coefs = r.u64();
+  const std::size_t huff_len = r.u64();
+  const std::size_t n_unpred = r.u64();
+
+  const std::vector<std::uint8_t> block_flags = r.raw(n_blocks);
+  std::vector<RegressionCoef> coefs(n_coefs);
+  for (auto& c : coefs) {
+    c.a = r.f32();
+    c.b = r.f32();
+    c.c = r.f32();
+    c.d = r.f32();
+  }
+  const std::vector<std::uint8_t> huff = r.raw(huff_len);
+  std::vector<float> unpred(n_unpred);
+  for (auto& v : unpred) v = r.f32();
+
+  const std::vector<std::uint32_t> codes = huffman_decode(huff);
+  require_format(codes.size() == dims.count(), "sz: code count mismatch");
+
+  const Quantizer quant(eb, radius);
+  std::vector<float> recon(dims.count(), 0.0f);
+  std::size_t block_idx = 0;
+  std::size_t coef_idx = 0;
+  std::size_t code_idx = 0;
+  std::size_t unpred_idx = 0;
+
+  for_each_block(dims, edge, [&](const BlockRange& blk) {
+    require_format(block_idx < block_flags.size(), "sz: block metadata underrun");
+    const bool use_reg = block_flags[block_idx++] != 0;
+    RegressionCoef coef;
+    if (use_reg) {
+      require_format(coef_idx < coefs.size(), "sz: regression coef underrun");
+      coef = coefs[coef_idx++];
+    }
+    for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+      for (std::size_t y = blk.y0; y < blk.y1; ++y) {
+        for (std::size_t x = blk.x0; x < blk.x1; ++x) {
+          const std::size_t idx = dims.index(x, y, z);
+          const std::uint32_t code = codes[code_idx++];
+          if (code == 0) {
+            require_format(unpred_idx < unpred.size(), "sz: unpredictable underrun");
+            recon[idx] = unpred[unpred_idx++];
+          } else {
+            const float pred = use_reg
+                                   ? coef.predict(x - blk.x0, y - blk.y0, z - blk.z0)
+                                   : lorenzo_predict(recon, dims, blk, x, y, z);
+            recon[idx] = quant.reconstruct(code, pred);
+          }
+        }
+      }
+    }
+  });
+  require_format(unpred_idx == unpred.size(), "sz: unused unpredictable values");
+
+  if (out_dims) *out_dims = dims;
+  return recon;
+}
+
+}  // namespace cosmo::sz

@@ -1,0 +1,62 @@
+/// \file sz.hpp
+/// \brief SZ-style prediction-based error-bounded lossy compressor.
+///
+/// Implements the three-step SZ pipeline of the paper (Section II-A):
+///  1. adaptive best-fit prediction (Lorenzo vs block regression),
+///  2. error-bound-driven linear-scaling quantization,
+///  3. customized Huffman coding plus a lossless (LZSS) stage.
+///
+/// Data is processed in independent blocks, mirroring GPU-SZ's blocked
+/// memory layout: this is what produces the low-bitrate rate-distortion
+/// drop on smooth fields the paper attributes to "dataset blocking ...
+/// decorrelates at the block borders".
+///
+/// The absolute-error-bound guarantee is hard: for every point,
+/// |reconstructed - original| <= error_bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/field.hpp"
+
+namespace cosmo::sz {
+
+/// Compression parameters (ABS mode; see pwrel.hpp for PW_REL).
+struct Params {
+  /// Absolute error bound (must be > 0).
+  double abs_error_bound = 1e-3;
+  /// Cubic block edge; 0 selects a rank-dependent default (1-D: 128,
+  /// 2-D: 16, 3-D: 8).
+  std::size_t block_edge = 0;
+  /// Enables the per-block regression predictor alternative.
+  bool regression = true;
+  /// Applies the LZSS lossless stage to the final stream.
+  bool lossless = true;
+  /// Quantizer code-space half-width.
+  std::uint32_t radius = 1u << 15;
+};
+
+/// Optional outputs describing what the compressor did.
+struct Stats {
+  std::size_t total_points = 0;
+  std::size_t unpredictable_points = 0;
+  std::size_t total_blocks = 0;
+  std::size_t regression_blocks = 0;
+  std::size_t compressed_bytes = 0;
+  double bit_rate = 0.0;  ///< compressed bits per value
+};
+
+/// Compresses a float field; the result is self-describing (stores dims).
+std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
+                                   const Params& params, Stats* stats = nullptr);
+
+/// Decompresses a buffer produced by compress(). \p out_dims receives the
+/// stored extents when non-null.
+std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims = nullptr);
+
+/// Rank-dependent default block edge used when Params::block_edge == 0.
+std::size_t default_block_edge(int rank);
+
+}  // namespace cosmo::sz

@@ -1,0 +1,47 @@
+/// \file temporal.hpp
+/// \brief Time-based SZ compression for snapshot sequences.
+///
+/// Implements the adjacent-snapshot optimization the paper's related work
+/// describes (Li et al. [41]): cosmological data has "very low smoothness
+/// in space" but strong coherence in time, so predicting each point from
+/// the *previous reconstructed snapshot* beats spatial prediction once the
+/// cadence is fine enough. The first frame is compressed spatially; each
+/// following frame quantizes the temporal residual with the same
+/// error-bound machinery (so the ABS guarantee holds per point, per frame).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/field.hpp"
+#include "sz/sz.hpp"
+
+namespace cosmo::sz {
+
+struct TemporalParams {
+  double abs_error_bound = 1e-3;
+  /// Spatial-compression knobs for the first (key) frame.
+  std::size_t block_edge = 0;
+  bool regression = true;
+  bool lossless = true;
+  /// Re-key every N frames (1 = all spatial, i.e. no temporal prediction).
+  std::size_t key_interval = 0;  ///< 0 = single key frame at t = 0
+};
+
+struct TemporalStats {
+  std::size_t frames = 0;
+  std::size_t key_frames = 0;
+  std::size_t compressed_bytes = 0;
+  double bit_rate = 0.0;  ///< bits per value across the whole sequence
+};
+
+/// Compresses a sequence of equally shaped frames.
+std::vector<std::uint8_t> compress_temporal(const std::vector<Field>& frames,
+                                            const TemporalParams& params,
+                                            TemporalStats* stats = nullptr);
+
+/// Decompresses a buffer produced by compress_temporal().
+std::vector<Field> decompress_temporal(std::span<const std::uint8_t> bytes);
+
+}  // namespace cosmo::sz

@@ -1,0 +1,268 @@
+#include "zfp/block_codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <climits>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cosmo::zfp {
+
+namespace {
+
+constexpr UInt kNbMask = 0xaaaaaaaau;
+
+/// Block sizes per rank.
+constexpr std::size_t block_size(int rank) {
+  return rank == 1 ? 4u : rank == 2 ? 16u : 64u;
+}
+
+/// Builds the total-sequency permutation once per rank.
+std::vector<std::uint16_t> build_perm(int rank) {
+  const std::size_t n = block_size(rank);
+  std::vector<std::uint16_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  auto degree = [rank](std::uint16_t idx) {
+    const unsigned i = idx & 3u;
+    const unsigned j = (idx >> 2) & 3u;
+    const unsigned k = (idx >> 4) & 3u;
+    return rank == 1 ? i : rank == 2 ? i + j : i + j + k;
+  };
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::uint16_t a, std::uint16_t b) { return degree(a) < degree(b); });
+  return perm;
+}
+
+/// Forward transform over a 4^rank block in place.
+void fwd_xform(Int* p, int rank) {
+  if (rank == 1) {
+    fwd_lift(p, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t y = 0; y < 4; ++y) fwd_lift(p + 4 * y, 1);
+    for (std::size_t x = 0; x < 4; ++x) fwd_lift(p + x, 4);
+    return;
+  }
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y) fwd_lift(p + 16 * z + 4 * y, 1);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t x = 0; x < 4; ++x) fwd_lift(p + 16 * z + x, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x) fwd_lift(p + 4 * y + x, 16);
+}
+
+/// Inverse transform (reverse axis order).
+void inv_xform(Int* p, int rank) {
+  if (rank == 1) {
+    inv_lift(p, 1);
+    return;
+  }
+  if (rank == 2) {
+    for (std::size_t x = 0; x < 4; ++x) inv_lift(p + x, 4);
+    for (std::size_t y = 0; y < 4; ++y) inv_lift(p + 4 * y, 1);
+    return;
+  }
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x) inv_lift(p + 4 * y + x, 16);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t x = 0; x < 4; ++x) inv_lift(p + 16 * z + x, 4);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y) inv_lift(p + 16 * z + 4 * y, 1);
+}
+
+/// Maximum base-2 exponent over a block (frexp convention: |x| < 2^emax).
+int block_emax(std::span<const float> block) {
+  float max_abs = 0.0f;
+  for (const float v : block) max_abs = std::max(max_abs, std::fabs(v));
+  if (max_abs == 0.0f) return INT_MIN;
+  int e;
+  std::frexp(max_abs, &e);
+  return e;
+}
+
+}  // namespace
+
+void fwd_lift(Int* p, std::size_t s) {
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  // Non-orthogonal transform (1/16 * [[4,4,4,4],[5,1,-1,-5],[-4,4,4,-4],[-2,6,-6,2]]).
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * s] = x;
+  p[1 * s] = y;
+  p[2 * s] = z;
+  p[3 * s] = w;
+}
+
+void inv_lift(Int* p, std::size_t s) {
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0 * s] = x;
+  p[1 * s] = y;
+  p[2 * s] = z;
+  p[3 * s] = w;
+}
+
+UInt int2uint(Int x) { return (static_cast<UInt>(x) + kNbMask) ^ kNbMask; }
+
+Int uint2int(UInt x) { return static_cast<Int>((x ^ kNbMask) - kNbMask); }
+
+std::span<const std::uint16_t> sequency_permutation(int rank) {
+  require(rank >= 1 && rank <= 3, "zfp: rank must be 1..3");
+  static const std::vector<std::uint16_t> p1 = build_perm(1);
+  static const std::vector<std::uint16_t> p2 = build_perm(2);
+  static const std::vector<std::uint16_t> p3 = build_perm(3);
+  switch (rank) {
+    case 1: return p1;
+    case 2: return p2;
+    default: return p3;
+  }
+}
+
+unsigned encode_ints(BitWriter& bw, unsigned maxbits, unsigned maxprec,
+                     std::span<const UInt> data) {
+  const std::size_t size = data.size();
+  require(size <= 64, "zfp: block larger than 64 values");
+  const unsigned kmin = kIntPrec > maxprec ? kIntPrec - maxprec : 0;
+  unsigned bits = maxbits;
+  std::size_t n = 0;
+  for (unsigned k = kIntPrec; bits && k-- > kmin;) {
+    // Step 1: extract bit plane k.
+    std::uint64_t x = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      x += static_cast<std::uint64_t>((data[i] >> k) & 1u) << i;
+    }
+    // Step 2: first n bits verbatim (these values are already significant).
+    const unsigned m = std::min<unsigned>(static_cast<unsigned>(n), bits);
+    bits -= m;
+    bw.put(x, m);
+    x >>= m;
+    // Step 3: unary run-length code for newly significant values.
+    auto wbit = [&bw](bool b) {
+      bw.put_bit(b);
+      return b;
+    };
+    for (; n < size && bits && (--bits, wbit(x != 0)); x >>= 1, ++n) {
+      for (; n < size - 1 && bits && (--bits, !wbit((x & 1u) != 0)); x >>= 1, ++n) {
+      }
+    }
+  }
+  return maxbits - bits;
+}
+
+unsigned decode_ints(BitReader& br, unsigned maxbits, unsigned maxprec,
+                     std::span<UInt> data) {
+  const std::size_t size = data.size();
+  require(size <= 64, "zfp: block larger than 64 values");
+  std::fill(data.begin(), data.end(), 0u);
+  const unsigned kmin = kIntPrec > maxprec ? kIntPrec - maxprec : 0;
+  unsigned bits = maxbits;
+  std::size_t n = 0;
+  for (unsigned k = kIntPrec; bits && k-- > kmin;) {
+    const unsigned m = std::min<unsigned>(static_cast<unsigned>(n), bits);
+    bits -= m;
+    std::uint64_t x = br.get(m);
+    for (; n < size && bits && (--bits, br.get_bit()); x += std::uint64_t{1} << n++) {
+      for (; n < size - 1 && bits && (--bits, !br.get_bit()); ++n) {
+      }
+    }
+    for (std::size_t i = 0; x; ++i, x >>= 1) {
+      data[i] += static_cast<UInt>(x & 1u) << k;
+    }
+  }
+  return maxbits - bits;
+}
+
+unsigned precision_for(int emax, unsigned maxprec, int minexp, int rank) {
+  if (emax == INT_MIN) return 0;
+  const long p = static_cast<long>(emax) - minexp + 2l * (rank + 1);
+  if (p <= 0) return 0;
+  return std::min<unsigned>(maxprec, static_cast<unsigned>(p));
+}
+
+unsigned encode_block_float(BitWriter& bw, std::span<const float> block, int rank,
+                            unsigned maxbits, unsigned maxprec, int minexp,
+                            bool pad_to_maxbits) {
+  const std::size_t size = block_size(rank);
+  require(block.size() == size, "zfp: bad block size");
+  const std::uint64_t start_bits = bw.bit_count();
+
+  const int emax = block_emax(block);
+  const unsigned prec = precision_for(emax, maxprec, minexp, rank);
+  if (prec == 0 || emax == INT_MIN) {
+    bw.put_bit(false);  // empty block
+  } else {
+    bw.put_bit(true);
+    // Biased exponent: frexp exponents of finite floats fit in [-148, 128].
+    bw.put(static_cast<std::uint64_t>(emax + 256), 10);
+    // Align to common exponent and convert to fixed point (2 headroom bits
+    // absorb transform gain).
+    std::array<Int, 64> ints{};
+    for (std::size_t i = 0; i < size; ++i) {
+      ints[i] = static_cast<Int>(std::ldexp(static_cast<double>(block[i]),
+                                            static_cast<int>(kIntPrec) - 2 - emax));
+    }
+    fwd_xform(ints.data(), rank);
+    const auto perm = sequency_permutation(rank);
+    std::array<UInt, 64> coded{};
+    for (std::size_t i = 0; i < size; ++i) coded[i] = int2uint(ints[perm[i]]);
+    const unsigned header = static_cast<unsigned>(bw.bit_count() - start_bits);
+    require(maxbits > header, "zfp: bit budget smaller than block header");
+    encode_ints(bw, maxbits - header, prec, std::span<const UInt>(coded.data(), size));
+  }
+
+  unsigned used = static_cast<unsigned>(bw.bit_count() - start_bits);
+  if (pad_to_maxbits) {
+    while (used < maxbits) {
+      const unsigned chunk = std::min(maxbits - used, 64u);
+      bw.put(0, chunk);
+      used += chunk;
+    }
+  }
+  return used;
+}
+
+unsigned decode_block_float(BitReader& br, std::span<float> block, int rank,
+                            unsigned maxbits, unsigned maxprec, int minexp,
+                            bool skip_to_maxbits) {
+  const std::size_t size = block_size(rank);
+  require(block.size() == size, "zfp: bad block size");
+  const std::uint64_t start = br.position();
+
+  if (!br.get_bit()) {
+    std::fill(block.begin(), block.end(), 0.0f);
+  } else {
+    const int emax = static_cast<int>(br.get(10)) - 256;
+    const unsigned prec = precision_for(emax, maxprec, minexp, rank);
+    std::array<UInt, 64> coded{};
+    const unsigned header = static_cast<unsigned>(br.position() - start);
+    decode_ints(br, maxbits - header, prec, std::span<UInt>(coded.data(), size));
+    const auto perm = sequency_permutation(rank);
+    std::array<Int, 64> ints{};
+    for (std::size_t i = 0; i < size; ++i) ints[perm[i]] = uint2int(coded[i]);
+    inv_xform(ints.data(), rank);
+    for (std::size_t i = 0; i < size; ++i) {
+      block[i] = static_cast<float>(std::ldexp(static_cast<double>(ints[i]),
+                                               emax + 2 - static_cast<int>(kIntPrec)));
+    }
+  }
+
+  unsigned used = static_cast<unsigned>(br.position() - start);
+  if (skip_to_maxbits && used < maxbits) {
+    br.seek(start + maxbits);
+    used = maxbits;
+  }
+  return used;
+}
+
+}  // namespace cosmo::zfp

@@ -1,0 +1,70 @@
+/// \file block_codec.hpp
+/// \brief ZFP 4^d block codec: exponent alignment, decorrelating lifting
+/// transform, negabinary conversion, and embedded bit-plane coding.
+///
+/// Follows the published ZFP algorithm (Lindstrom 2014, paper ref [12]):
+/// each 4, 4x4 or 4x4x4 block of floats is aligned to a common exponent,
+/// converted to 32-bit fixed point, decorrelated with the non-orthogonal
+/// lifted transform, reordered by total sequency, mapped to negabinary and
+/// coded one bit plane at a time with group-testing run-length codes. The
+/// bit budget per block (fixed-rate mode) or the bit-plane cutoff
+/// (fixed-accuracy mode) truncates the embedded stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "codec/bitstream.hpp"
+
+namespace cosmo::zfp {
+
+/// Fixed-point significand type (two's complement) used inside blocks.
+using Int = std::int32_t;
+using UInt = std::uint32_t;
+
+/// Bits in the fixed-point representation.
+constexpr unsigned kIntPrec = 32;
+
+/// Lifted decorrelating transform over 4 values at stride \p s (in place).
+void fwd_lift(Int* p, std::size_t s);
+
+/// Inverse of fwd_lift.
+void inv_lift(Int* p, std::size_t s);
+
+/// Two's complement -> negabinary.
+UInt int2uint(Int x);
+
+/// Negabinary -> two's complement.
+Int uint2int(UInt x);
+
+/// Total-sequency permutation for a 4^rank block: perm[i] gives the linear
+/// index (within the block) of the i-th coefficient in coding order.
+std::span<const std::uint16_t> sequency_permutation(int rank);
+
+/// Encodes \p size negabinary integers with the embedded bit-plane coder,
+/// spending at most \p maxbits bits and coding at most \p maxprec planes.
+/// Returns the number of bits written.
+unsigned encode_ints(BitWriter& bw, unsigned maxbits, unsigned maxprec,
+                     std::span<const UInt> data);
+
+/// Mirror of encode_ints(); reads at most \p maxbits bits. Returns bits read.
+unsigned decode_ints(BitReader& br, unsigned maxbits, unsigned maxprec,
+                     std::span<UInt> data);
+
+/// Per-block float coding. \p block holds 4^rank values in row-major order.
+/// Returns bits written (always padded to exactly \p maxbits when
+/// \p pad_to_maxbits is set, as fixed-rate mode requires).
+unsigned encode_block_float(BitWriter& bw, std::span<const float> block, int rank,
+                            unsigned maxbits, unsigned maxprec, int minexp,
+                            bool pad_to_maxbits);
+
+/// Mirror of encode_block_float().
+unsigned decode_block_float(BitReader& br, std::span<float> block, int rank,
+                            unsigned maxbits, unsigned maxprec, int minexp,
+                            bool skip_to_maxbits);
+
+/// Number of bit planes kept for a block with maximum exponent \p emax in
+/// fixed-accuracy mode (ZFP's precision() helper).
+unsigned precision_for(int emax, unsigned maxprec, int minexp, int rank);
+
+}  // namespace cosmo::zfp

@@ -1,0 +1,202 @@
+#include "zfp/zfp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <climits>
+#include <cmath>
+#include <cstring>
+
+#include "zfp/block_codec.hpp"
+
+namespace cosmo::zfp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5A465031;  // "ZFP1"
+constexpr unsigned kMinBlockBits = 12;        // flag (1) + exponent (10) + >= 1 payload bit
+
+std::size_t block_count_1d(std::size_t n) { return (n + 3) / 4; }
+
+std::size_t block_values(int rank) { return rank == 1 ? 4u : rank == 2 ? 16u : 64u; }
+
+/// Gathers a 4^rank block at block coordinates (bx, by, bz); edge values are
+/// replicated for partial blocks (ZFP's padding strategy keeps values in the
+/// field's range so the aligned exponent is unaffected).
+void gather(std::span<const float> data, const Dims& dims, int rank, std::size_t bx,
+            std::size_t by, std::size_t bz, std::span<float> block) {
+  const std::size_t ze = rank >= 3 ? 4 : 1;
+  const std::size_t ye = rank >= 2 ? 4 : 1;
+  std::size_t o = 0;
+  for (std::size_t dz = 0; dz < ze; ++dz) {
+    const std::size_t z = std::min(bz * 4 + dz, dims.nz - 1);
+    for (std::size_t dy = 0; dy < ye; ++dy) {
+      const std::size_t y = std::min(by * 4 + dy, dims.ny - 1);
+      for (std::size_t dx = 0; dx < 4; ++dx) {
+        const std::size_t x = std::min(bx * 4 + dx, dims.nx - 1);
+        block[o++] = data[dims.index(x, y, z)];
+      }
+    }
+  }
+}
+
+/// Writes a decoded block back, skipping padded lanes.
+void scatter(std::span<float> data, const Dims& dims, int rank, std::size_t bx,
+             std::size_t by, std::size_t bz, std::span<const float> block) {
+  const std::size_t ze = rank >= 3 ? 4 : 1;
+  const std::size_t ye = rank >= 2 ? 4 : 1;
+  std::size_t o = 0;
+  for (std::size_t dz = 0; dz < ze; ++dz) {
+    const std::size_t z = bz * 4 + dz;
+    for (std::size_t dy = 0; dy < ye; ++dy) {
+      const std::size_t y = by * 4 + dy;
+      for (std::size_t dx = 0; dx < 4; ++dx, ++o) {
+        const std::size_t x = bx * 4 + dx;
+        if (x < dims.nx && y < dims.ny && z < dims.nz) {
+          data[dims.index(x, y, z)] = block[o];
+        }
+      }
+    }
+  }
+}
+
+template <typename Fn>
+void for_each_block(const Dims& dims, int rank, Fn&& fn) {
+  const std::size_t nbx = block_count_1d(dims.nx);
+  const std::size_t nby = rank >= 2 ? block_count_1d(dims.ny) : 1;
+  const std::size_t nbz = rank >= 3 ? block_count_1d(dims.nz) : 1;
+  for (std::size_t bz = 0; bz < nbz; ++bz)
+    for (std::size_t by = 0; by < nby; ++by)
+      for (std::size_t bx = 0; bx < nbx; ++bx) fn(bx, by, bz);
+}
+
+}  // namespace
+
+unsigned block_bits_for_rate(double rate, int rank) {
+  require(rate > 0.0 && rate <= 32.0, "zfp: rate must be in (0, 32]");
+  const double bits = rate * static_cast<double>(block_values(rank));
+  return std::max<unsigned>(kMinBlockBits, static_cast<unsigned>(std::lround(bits)));
+}
+
+std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
+                                   const Params& params, Stats* stats) {
+  require(data.size() == dims.count(), "zfp::compress: data/dims size mismatch");
+  require(!data.empty(), "zfp::compress: empty input");
+  const int rank = dims.rank();
+
+  unsigned maxbits, maxprec;
+  int minexp;
+  if (params.mode == Mode::kFixedRate) {
+    maxbits = block_bits_for_rate(params.rate, rank);
+    maxprec = kIntPrec;
+    minexp = INT_MIN;
+  } else if (params.mode == Mode::kFixedAccuracy) {
+    require(params.tolerance > 0.0, "zfp: tolerance must be positive");
+    maxbits = 16u + 32u * static_cast<unsigned>(block_values(rank));  // effectively unbounded
+    maxprec = kIntPrec;
+    minexp = static_cast<int>(std::floor(std::log2(params.tolerance)));
+  } else {
+    require(params.precision >= 1 && params.precision <= kIntPrec,
+            "zfp: precision must be in [1, 32]");
+    maxbits = 16u + 32u * static_cast<unsigned>(block_values(rank));
+    maxprec = params.precision;
+    minexp = INT_MIN;
+  }
+
+  BitWriter bw;
+  std::vector<float> block(block_values(rank));
+  std::size_t n_blocks = 0;
+  for_each_block(dims, rank, [&](std::size_t bx, std::size_t by, std::size_t bz) {
+    gather(data, dims, rank, bx, by, bz, block);
+    encode_block_float(bw, block, rank, maxbits, maxprec, minexp,
+                       params.mode == Mode::kFixedRate);
+    ++n_blocks;
+  });
+  const std::vector<std::uint8_t> payload = bw.finish();
+
+  std::vector<std::uint8_t> out;
+  auto u32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto u64 = [&out](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  u32(kMagic);
+  out.push_back(static_cast<std::uint8_t>(params.mode));
+  u64(dims.nx);
+  u64(dims.ny);
+  u64(dims.nz);
+  u32(maxbits);
+  {
+    std::uint64_t bits;
+    const double m2 = params.mode == Mode::kFixedRate        ? params.rate
+                      : params.mode == Mode::kFixedAccuracy ? params.tolerance
+                                                            : params.precision;
+    std::memcpy(&bits, &m2, 8);
+    u64(bits);
+  }
+  u64(payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  if (stats) {
+    stats->total_points = data.size();
+    stats->total_blocks = n_blocks;
+    stats->compressed_bytes = out.size();
+    stats->bit_rate = static_cast<double>(out.size()) * 8.0 / static_cast<double>(data.size());
+  }
+  return out;
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+  std::size_t pos = 0;
+  auto u32 = [&bytes, &pos]() {
+    require_format(pos + 4 <= bytes.size(), "zfp: truncated header");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+    return v;
+  };
+  auto u64 = [&bytes, &pos]() {
+    require_format(pos + 8 <= bytes.size(), "zfp: truncated header");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[pos++]) << (8 * i);
+    return v;
+  };
+  require_format(u32() == kMagic, "zfp: bad magic");
+  require_format(pos < bytes.size(), "zfp: truncated header");
+  require_format(bytes[pos] <= 2, "zfp: unknown mode byte");
+  const Mode mode = static_cast<Mode>(bytes[pos++]);
+  Dims dims;
+  dims.nx = u64();
+  dims.ny = u64();
+  dims.nz = u64();
+  const unsigned maxbits = u32();
+  double mode_param;
+  {
+    const std::uint64_t bits = u64();
+    std::memcpy(&mode_param, &bits, 8);
+  }
+  const std::size_t payload_len = u64();
+  require_format(pos + payload_len <= bytes.size(), "zfp: truncated payload");
+
+  const int rank = dims.rank();
+  unsigned maxprec = kIntPrec;
+  int minexp = INT_MIN;
+  if (mode == Mode::kFixedAccuracy) {
+    minexp = static_cast<int>(std::floor(std::log2(mode_param)));
+  } else if (mode == Mode::kFixedPrecision) {
+    maxprec = static_cast<unsigned>(mode_param);
+    require_format(maxprec >= 1 && maxprec <= kIntPrec, "zfp: bad stored precision");
+  }
+
+  BitReader br(bytes.data() + pos, payload_len);
+  std::vector<float> out(dims.count(), 0.0f);
+  std::vector<float> block(block_values(rank));
+  for_each_block(dims, rank, [&](std::size_t bx, std::size_t by, std::size_t bz) {
+    decode_block_float(br, block, rank, maxbits, maxprec, minexp,
+                       mode == Mode::kFixedRate);
+    scatter(out, dims, rank, bx, by, bz, block);
+  });
+  if (out_dims) *out_dims = dims;
+  return out;
+}
+
+}  // namespace cosmo::zfp

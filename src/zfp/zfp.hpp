@@ -1,0 +1,55 @@
+/// \file zfp.hpp
+/// \brief ZFP-style transform-based lossy compressor for float fields.
+///
+/// The paper evaluates cuZFP, which "only supports compression and
+/// decompression with fixed-rate mode" (Section IV-B1); fixed-rate is
+/// therefore the primary mode here, with fixed-accuracy provided as the
+/// CPU-ZFP extension. In fixed-rate mode every 4^rank block occupies
+/// exactly round(rate * 4^rank) bits, so the actual bitrate never exceeds
+/// the user-set rate (the paper's fixed-rate contract).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/field.hpp"
+
+namespace cosmo::zfp {
+
+enum class Mode : std::uint8_t {
+  kFixedRate = 0,       ///< exact bits/value budget (cuZFP's only mode)
+  kFixedAccuracy = 1,   ///< absolute error tolerance (CPU ZFP extension)
+  kFixedPrecision = 2,  ///< fixed number of bit planes per block (CPU ZFP)
+};
+
+struct Params {
+  Mode mode = Mode::kFixedRate;
+  /// Bits per value for kFixedRate (e.g. 4.0 => 8x ratio on float32).
+  double rate = 8.0;
+  /// Absolute error tolerance for kFixedAccuracy.
+  double tolerance = 1e-3;
+  /// Bit planes kept per block for kFixedPrecision (1..32). Controls
+  /// *relative* precision: every block keeps this many planes below its
+  /// own exponent, so error scales with local magnitude.
+  unsigned precision = 16;
+};
+
+struct Stats {
+  std::size_t total_points = 0;
+  std::size_t total_blocks = 0;
+  std::size_t compressed_bytes = 0;
+  double bit_rate = 0.0;
+};
+
+/// Compresses a float field; the stream is self-describing.
+std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
+                                   const Params& params, Stats* stats = nullptr);
+
+/// Decompresses a buffer produced by compress().
+std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims = nullptr);
+
+/// Bits per block implied by a rate for the given rank (fixed-rate mode).
+unsigned block_bits_for_rate(double rate, int rank);
+
+}  // namespace cosmo::zfp

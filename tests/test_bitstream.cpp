@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "codec/bitstream.hpp"
+#include "random/rng.hpp"
+
+namespace cosmo {
+namespace {
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter bw;
+  const std::vector<bool> bits = {true, false, true, true, false, false, true};
+  for (const bool b : bits) bw.put_bit(b);
+  EXPECT_EQ(bw.bit_count(), bits.size());
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  for (const bool b : bits) EXPECT_EQ(br.get_bit(), b);
+}
+
+TEST(BitStream, MultiBitFieldsRoundTrip) {
+  BitWriter bw;
+  bw.put(0x5, 3);
+  bw.put(0xABCD, 16);
+  bw.put(0xFFFFFFFFFFFFFFFFull, 64);
+  bw.put(0, 0);  // zero-width write is a no-op
+  bw.put(0x12345678, 31);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(3), 0x5u);
+  EXPECT_EQ(br.get(16), 0xABCDu);
+  EXPECT_EQ(br.get(64), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(br.get(0), 0u);
+  EXPECT_EQ(br.get(31), 0x12345678u);
+}
+
+TEST(BitStream, ValueMaskedToWidth) {
+  BitWriter bw;
+  bw.put(0xFF, 4);  // only low 4 bits kept
+  bw.put(0x0, 4);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(4), 0xFu);
+  EXPECT_EQ(br.get(4), 0x0u);
+}
+
+TEST(BitStream, WordBoundaryCrossing) {
+  BitWriter bw;
+  bw.put(1, 1);
+  bw.put(0xDEADBEEFCAFEBABEull, 64);  // crosses the 64-bit word boundary
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(1), 1u);
+  EXPECT_EQ(br.get(64), 0xDEADBEEFCAFEBABEull);
+}
+
+TEST(BitStream, RandomizedRoundTrip) {
+  Rng rng(5);
+  BitWriter bw;
+  std::vector<std::pair<std::uint64_t, unsigned>> writes;
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned nbits = static_cast<unsigned>(rng.uniform_index(65));
+    std::uint64_t value = rng.next_u64();
+    if (nbits < 64) value &= (1ull << nbits) - 1;
+    writes.emplace_back(value, nbits);
+    bw.put(value, nbits);
+  }
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  for (const auto& [value, nbits] : writes) {
+    EXPECT_EQ(br.get(nbits), value);
+  }
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter bw;
+  bw.put(0x7, 3);
+  const auto bytes = bw.finish();  // padded to 1 byte
+  BitReader br(bytes);
+  EXPECT_EQ(br.get(8), 0x7u);
+  EXPECT_THROW(br.get(1), FormatError);
+}
+
+TEST(BitStream, SeekRepositionsCursor) {
+  BitWriter bw;
+  bw.put(0xAA, 8);
+  bw.put(0xBB, 8);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  br.seek(8);
+  EXPECT_EQ(br.get(8), 0xBBu);
+  br.seek(0);
+  EXPECT_EQ(br.get(8), 0xAAu);
+  EXPECT_THROW(br.seek(100), FormatError);
+}
+
+TEST(BitStream, PositionAndRemaining) {
+  BitWriter bw;
+  bw.put(0, 10);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.remaining(), 16u);  // padded to 2 bytes
+  br.get(5);
+  EXPECT_EQ(br.position(), 5u);
+  EXPECT_EQ(br.remaining(), 11u);
+}
+
+TEST(BitStream, ClearResetsWriter) {
+  BitWriter bw;
+  bw.put(0xFFFF, 16);
+  bw.clear();
+  EXPECT_EQ(bw.bit_count(), 0u);
+  EXPECT_TRUE(bw.finish().empty());
+}
+
+TEST(BitStream, WidthOver64Rejected) {
+  BitWriter bw;
+  EXPECT_THROW(bw.put(0, 65), InvalidArgument);
+  const std::vector<std::uint8_t> bytes(16, 0);
+  BitReader br(bytes);
+  EXPECT_THROW(br.get(65), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cosmo

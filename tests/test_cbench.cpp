@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "cosmo/nyx_synth.hpp"
+#include "foresight/cbench.hpp"
+
+namespace cosmo::foresight {
+namespace {
+
+io::Container small_nyx() {
+  NyxConfig config;
+  config.dim = 16;
+  return generate_nyx(config);
+}
+
+TEST(CBench, RunOnePopulatesEveryMetric) {
+  const auto data = small_nyx();
+  gpu::GpuSimulator sim(gpu::find_device("V100"));
+  const auto codec = make_compressor("cuzfp", &sim);
+  CBench bench({.keep_reconstructed = true, .dataset_name = "nyx"});
+  const CBenchResult r =
+      bench.run_one(data.find("baryon_density").field, *codec, {"rate", 8.0});
+  EXPECT_EQ(r.dataset, "nyx");
+  EXPECT_EQ(r.field, "baryon_density");
+  EXPECT_EQ(r.compressor, "cuzfp");
+  EXPECT_GT(r.ratio, 3.0);
+  EXPECT_NEAR(r.bit_rate, 8.0, 1.0);
+  EXPECT_GT(r.distortion.psnr_db, 10.0);
+  EXPECT_GT(r.compress_gbps, 0.0);
+  EXPECT_GT(r.decompress_gbps, 0.0);
+  EXPECT_TRUE(r.has_gpu_timing);
+  EXPECT_EQ(r.reconstructed.size(), data.find("baryon_density").field.data.size());
+}
+
+TEST(CBench, DropReconstructedWhenNotRequested) {
+  const auto data = small_nyx();
+  const auto codec = make_compressor("zfp-cpu");
+  CBench bench({.keep_reconstructed = false, .dataset_name = "nyx"});
+  const CBenchResult r =
+      bench.run_one(data.find("temperature").field, *codec, {"rate", 8.0});
+  EXPECT_TRUE(r.reconstructed.empty());
+}
+
+TEST(CBench, SweepCoversFieldsTimesConfigs) {
+  const auto data = small_nyx();
+  const auto codec = make_compressor("zfp-cpu");
+  CBench bench;
+  const std::vector<CompressorConfig> configs = {{"rate", 4.0}, {"rate", 8.0}};
+  const auto results = bench.sweep(data, *codec, configs);
+  EXPECT_EQ(results.size(), 6u * 2u);
+}
+
+TEST(CBench, SweepFieldFilter) {
+  const auto data = small_nyx();
+  const auto codec = make_compressor("zfp-cpu");
+  CBench bench;
+  const auto results =
+      bench.sweep(data, *codec, {{"rate", 8.0}},
+                  [](const std::string& name) { return name == "temperature"; });
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].field, "temperature");
+}
+
+TEST(CBench, OverallRatioIsByteWeighted) {
+  std::vector<CBenchResult> results(2);
+  results[0].original_bytes = 1000;
+  results[0].compressed_bytes = 100;  // 10x
+  results[1].original_bytes = 1000;
+  results[1].compressed_bytes = 400;  // 2.5x
+  EXPECT_DOUBLE_EQ(CBench::overall_ratio(results), 4.0);  // 2000/500
+  EXPECT_THROW(CBench::overall_ratio({}), InvalidArgument);
+}
+
+TEST(CBench, FormatResultsMarksGpuSzThroughputNA) {
+  const auto data = small_nyx();
+  gpu::GpuSimulator sim(gpu::find_device("V100"));
+  const auto gpu_sz = make_compressor("gpu-sz", &sim);
+  CBench bench;
+  const auto results = bench.sweep(data, *gpu_sz, {{"abs", 1.0}},
+                                   [](const std::string& name) {
+                                     return name == "dark_matter_density";
+                                   });
+  const std::string table = format_results(results);
+  // The paper excludes GPU-SZ throughput: the table prints N/A.
+  EXPECT_NE(table.find("N/A"), std::string::npos);
+  EXPECT_NE(table.find("gpu-sz"), std::string::npos);
+}
+
+TEST(CBench, HigherRateGivesHigherPsnrInResults) {
+  const auto data = small_nyx();
+  const auto codec = make_compressor("zfp-cpu");
+  CBench bench;
+  const Field& f = data.find("velocity_x").field;
+  const auto low = bench.run_one(f, *codec, {"rate", 4.0});
+  const auto high = bench.run_one(f, *codec, {"rate", 16.0});
+  EXPECT_GT(high.distortion.psnr_db, low.distortion.psnr_db);
+  EXPECT_LT(high.ratio, low.ratio);
+}
+
+}  // namespace
+}  // namespace cosmo::foresight

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "analysis/cic.hpp"
+#include "random/rng.hpp"
+
+namespace cosmo::analysis {
+namespace {
+
+TEST(Cic, MassConservation) {
+  Rng rng(131);
+  const std::size_t n = 5000;
+  std::vector<float> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(rng.uniform(0.0, 100.0));
+    y[i] = static_cast<float>(rng.uniform(0.0, 100.0));
+    z[i] = static_cast<float>(rng.uniform(0.0, 100.0));
+  }
+  const Field delta = cic_deposit(x, y, z, 100.0, 16);
+  // delta has zero mean by construction (total mass conserved).
+  double sum = 0.0;
+  for (const float v : delta.data) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(delta.data.size()), 0.0, 1e-6);
+}
+
+TEST(Cic, UniformDistributionIsNearlyFlat) {
+  Rng rng(132);
+  const std::size_t n = 200000;
+  std::vector<float> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(rng.uniform(0.0, 64.0));
+    y[i] = static_cast<float>(rng.uniform(0.0, 64.0));
+    z[i] = static_cast<float>(rng.uniform(0.0, 64.0));
+  }
+  const Field delta = cic_deposit(x, y, z, 64.0, 8);
+  // ~390 particles per cell: relative fluctuations ~5%.
+  for (const float v : delta.data) EXPECT_LT(std::fabs(v), 0.35f);
+}
+
+TEST(Cic, PointMassSpreadsOverEightCells) {
+  // One particle centered in a cell corner region spreads with CIC weights.
+  std::vector<float> x = {10.0f}, y = {10.0f}, z = {10.0f};
+  const Field delta = cic_deposit(x, y, z, 64.0, 8);  // cell size 8
+  double total = 0.0;
+  std::size_t touched = 0;
+  const double mean = 1.0 / static_cast<double>(delta.data.size());
+  for (const float v : delta.data) {
+    const double rho = (static_cast<double>(v) + 1.0) * mean;  // undo contrast
+    total += rho;
+    if (v > -0.999f) ++touched;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_LE(touched, 8u);
+  EXPECT_GE(touched, 1u);
+}
+
+TEST(Cic, PeriodicWrappingAtBoxEdge) {
+  // A particle at the box edge deposits into cells on both sides.
+  std::vector<float> x = {63.9f}, y = {0.05f}, z = {32.0f};
+  const Field delta = cic_deposit(x, y, z, 64.0, 8);
+  double total = 0.0;
+  const double mean = 1.0 / static_cast<double>(delta.data.size());
+  for (const float v : delta.data) total += (static_cast<double>(v) + 1.0) * mean;
+  EXPECT_NEAR(total, 1.0, 1e-6);  // nothing lost off the edge
+}
+
+TEST(Cic, ClusteredInputRaisesVariance) {
+  Rng rng(133);
+  const std::size_t n = 20000;
+  std::vector<float> x(n), y(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Tight Gaussian blob at the center.
+    x[i] = static_cast<float>(32.0 + rng.normal(0.0, 2.0));
+    y[i] = static_cast<float>(32.0 + rng.normal(0.0, 2.0));
+    z[i] = static_cast<float>(32.0 + rng.normal(0.0, 2.0));
+  }
+  const Field delta = cic_deposit(x, y, z, 64.0, 8);
+  float max_delta = -1e30f;
+  for (const float v : delta.data) max_delta = std::max(max_delta, v);
+  EXPECT_GT(max_delta, 10.0f);  // strong over-density at the blob
+}
+
+TEST(Cic, InvalidInputsRejected) {
+  const std::vector<float> a = {1.0f};
+  const std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_THROW(cic_deposit(a, b, a, 10.0, 4), InvalidArgument);
+  EXPECT_THROW(cic_deposit(a, a, a, 0.0, 4), InvalidArgument);
+  EXPECT_THROW(cic_deposit(a, a, a, 10.0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cosmo::analysis

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "foresight/cinema.hpp"
+#include "common/error.hpp"
+
+namespace cosmo::foresight {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(Cinema, DatabaseWritesSpecCompliantCsv) {
+  const std::string dir = temp_dir("cinema_db");
+  CinemaDatabase db({"field", "ratio", "FILE"});
+  db.add_row({"rho", "10.5", "plot.svg"});
+  db.add_row({"has,comma", "1.0", "a.svg"});
+  db.add_row({"has\"quote", "2.0", "b.svg"});
+  db.write(dir);
+  const std::string csv = slurp(dir + "/data.csv");
+  EXPECT_NE(csv.find("field,ratio,FILE"), std::string::npos);
+  EXPECT_NE(csv.find("rho,10.5,plot.svg"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cinema, RowColumnMismatchRejected) {
+  CinemaDatabase db({"a", "b"});
+  EXPECT_THROW(db.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(CinemaDatabase({}), InvalidArgument);
+  EXPECT_EQ(db.rows(), 0u);
+}
+
+TEST(SvgPlotTest, RendersSeriesAxesAndLegend) {
+  SvgPlot plot("Rate-distortion", "bitrate", "PSNR (dB)");
+  plot.add_series({"sz", {1, 2, 4, 8}, {60, 70, 85, 100}, "", false});
+  plot.add_series({"zfp", {1, 2, 4, 8}, {50, 62, 74, 90}, "", true});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Rate-distortion"), std::string::npos);
+  EXPECT_NE(svg.find("PSNR (dB)"), std::string::npos);
+  EXPECT_NE(svg.find("sz"), std::string::npos);
+  // Two polylines, the dashed one for ZFP (paper's dashed-line convention).
+  EXPECT_NE(svg.find("stroke-dasharray=\"7,4\""), std::string::npos);
+  const std::size_t polylines = [&] {
+    std::size_t count = 0, pos = 0;
+    while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+      ++count;
+      pos += 9;
+    }
+    return count;
+  }();
+  EXPECT_EQ(polylines, 2u);
+}
+
+TEST(SvgPlotTest, HbandAndHlineRendered) {
+  SvgPlot plot("pk ratio", "k", "ratio");
+  plot.add_series({"field", {1, 2, 3}, {1.0, 0.995, 1.005}, "", false});
+  plot.add_hband(0.99, 1.01);
+  plot.add_hline(1.0, "baseline");
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("opacity=\"0.35\""), std::string::npos);
+  EXPECT_NE(svg.find("baseline"), std::string::npos);
+}
+
+TEST(SvgPlotTest, LogScalesHandleDecades) {
+  SvgPlot plot("throughput", "size", "GB/s");
+  plot.set_log_x(true);
+  plot.set_log_y(true);
+  plot.add_series({"s", {1e3, 1e6, 1e9}, {0.1, 10.0, 100.0}, "", false});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  // Non-positive points are dropped, not NaN-rendered.
+  SvgPlot bad("t", "x", "y");
+  bad.set_log_y(true);
+  bad.add_series({"s", {1, 2}, {0.0, 10.0}, "", false});
+  EXPECT_EQ(bad.render().find("nan"), std::string::npos);
+}
+
+TEST(SvgPlotTest, EmptyPlotStillValid) {
+  SvgPlot plot("empty", "x", "y");
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, MismatchedSeriesRejected) {
+  SvgPlot plot("t", "x", "y");
+  EXPECT_THROW(plot.add_series({"s", {1, 2}, {1}, "", false}), InvalidArgument);
+}
+
+TEST(SvgPlotTest, SaveWritesFile) {
+  const std::string dir = temp_dir("cinema_svg");
+  ensure_directory(dir);
+  SvgPlot plot("t", "x", "y");
+  plot.add_series({"s", {1, 2}, {3, 4}, "", false});
+  plot.save(dir + "/plot.svg");
+  EXPECT_TRUE(std::filesystem::exists(dir + "/plot.svg"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SvgBarChartTest, RendersStackedBarsWithLegend) {
+  SvgBarChart chart("Breakdown", "bitrate", "time (ms)");
+  chart.set_segments({"init", "kernel", "memcpy", "free"});
+  chart.add_bar("1", {0.3, 2.0, 1.4, 0.1});
+  chart.add_bar("4", {0.4, 2.7, 5.4, 0.2});
+  chart.add_hline(43.6, "baseline");
+  const std::string svg = chart.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("kernel"), std::string::npos);
+  EXPECT_NE(svg.find("memcpy"), std::string::npos);
+  EXPECT_NE(svg.find("baseline"), std::string::npos);
+  // 2 bars x 4 segments + legend squares (4) = at least 12 rects + frame.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    pos += 5;
+  }
+  EXPECT_GE(rects, 13u);
+}
+
+TEST(SvgBarChartTest, ValidatesInputs) {
+  SvgBarChart chart("t", "x", "y");
+  EXPECT_THROW(chart.set_segments({}), InvalidArgument);
+  chart.set_segments({"a", "b"});
+  EXPECT_THROW(chart.add_bar("bad", {1.0}), InvalidArgument);
+  EXPECT_THROW(chart.add_bar("bad", {1.0, -2.0}), InvalidArgument);
+  EXPECT_NO_THROW(chart.add_bar("ok", {1.0, 2.0}));
+}
+
+TEST(SvgBarChartTest, EmptyChartStillValidSvg) {
+  SvgBarChart chart("empty", "x", "y");
+  chart.set_segments({"only"});
+  const std::string svg = chart.render();
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Cinema, IndexHtmlLinksArtifacts) {
+  const std::string dir = temp_dir("cinema_index");
+  write_cinema_index(dir, "My results", {"data.csv", "plot.svg"});
+  const std::string html = slurp(dir + "/index.html");
+  EXPECT_NE(html.find("My results"), std::string::npos);
+  EXPECT_NE(html.find("href=\"data.csv\""), std::string::npos);
+  EXPECT_NE(html.find("href=\"plot.svg\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cinema, EnsureDirectoryCreatesNestedPaths) {
+  const std::string dir = temp_dir("cinema_nested") + "/a/b/c";
+  ensure_directory(dir);
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(temp_dir("cinema_nested"));
+}
+
+}  // namespace
+}  // namespace cosmo::foresight

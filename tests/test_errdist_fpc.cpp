@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "analysis/error_distribution.hpp"
+#include "codec/fpc.hpp"
+#include "common/error.hpp"
+#include "random/rng.hpp"
+#include "sz/sz.hpp"
+#include "zfp/zfp.hpp"
+
+namespace cosmo {
+namespace {
+
+// ---------- error distribution ----------
+
+TEST(ErrorDistribution, UniformErrorsClassifiedUniform) {
+  Rng rng(301);
+  std::vector<float> orig(20000), recon(20000);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    orig[i] = static_cast<float>(rng.uniform(0.0, 100.0));
+    recon[i] = orig[i] + static_cast<float>(rng.uniform(-0.5, 0.5));
+  }
+  const auto h = analysis::error_histogram(orig, recon);
+  EXPECT_NEAR(h.excess_kurtosis, -1.2, 0.15);
+  EXPECT_NEAR(h.within_one_sigma, 0.577, 0.02);
+  EXPECT_EQ(analysis::classify_error_shape(h), analysis::ErrorShape::kUniformLike);
+  EXPECT_NEAR(h.mean, 0.0, 0.02);
+  EXPECT_NEAR(h.stddev, 0.5 / std::sqrt(3.0), 0.02);
+}
+
+TEST(ErrorDistribution, GaussianErrorsClassifiedGaussian) {
+  Rng rng(302);
+  std::vector<float> orig(20000), recon(20000);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    orig[i] = static_cast<float>(rng.uniform(0.0, 100.0));
+    recon[i] = orig[i] + static_cast<float>(rng.normal(0.0, 0.2));
+  }
+  const auto h = analysis::error_histogram(orig, recon);
+  EXPECT_NEAR(h.excess_kurtosis, 0.0, 0.3);
+  EXPECT_NEAR(h.within_one_sigma, 0.683, 0.02);
+  EXPECT_EQ(analysis::classify_error_shape(h), analysis::ErrorShape::kGaussianLike);
+}
+
+TEST(ErrorDistribution, HistogramCountsSumToInRangePoints) {
+  Rng rng(303);
+  std::vector<float> orig(5000), recon(5000);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    orig[i] = static_cast<float>(rng.normal());
+    recon[i] = orig[i] + static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  const auto h = analysis::error_histogram(orig, recon, 16);
+  std::size_t total = 0;
+  for (const auto c : h.counts) total += c;
+  EXPECT_EQ(total, orig.size());  // default range covers max |error|
+  EXPECT_EQ(h.bin_edges.size(), 17u);
+  EXPECT_LT(h.bin_edges.front(), 0.0);
+  EXPECT_GT(h.bin_edges.back(), 0.0);
+}
+
+TEST(ErrorDistribution, SzIsUniformLikeZfpIsConcentrated) {
+  // The paper's CBench motivation, as a regression test.
+  Rng rng(304);
+  const Dims dims = Dims::d3(24, 24, 24);
+  std::vector<float> data(dims.count());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(100.0 * std::sin(0.05 * static_cast<double>(i)) +
+                                 rng.normal());
+  }
+  sz::Params sz_params;
+  sz_params.abs_error_bound = 0.5;
+  const auto sz_recon = sz::decompress(sz::compress(data, dims, sz_params));
+  const auto sz_hist = analysis::error_histogram(data, sz_recon);
+  EXPECT_EQ(analysis::classify_error_shape(sz_hist),
+            analysis::ErrorShape::kUniformLike);
+
+  zfp::Params zfp_params;
+  zfp_params.rate = 10.0;
+  const auto zfp_recon = zfp::decompress(zfp::compress(data, dims, zfp_params));
+  const auto zfp_hist = analysis::error_histogram(data, zfp_recon);
+  EXPECT_GT(zfp_hist.excess_kurtosis, sz_hist.excess_kurtosis + 0.5);
+  EXPECT_GT(zfp_hist.within_one_sigma, sz_hist.within_one_sigma);
+}
+
+TEST(ErrorDistribution, InvalidInputsRejected) {
+  const std::vector<float> a(8, 1.0f);
+  const std::vector<float> b(4, 1.0f);
+  EXPECT_THROW(analysis::error_histogram(a, b), InvalidArgument);
+  EXPECT_THROW(analysis::error_histogram(a, a, 2), InvalidArgument);
+  EXPECT_THROW(
+      analysis::error_histogram(std::span<const float>(), std::span<const float>()),
+      InvalidArgument);
+}
+
+// ---------- FPC lossless codec ----------
+
+TEST(Fpc, RoundTripIsBitExact) {
+  Rng rng(305);
+  std::vector<float> data(10000);
+  for (auto& v : data) v = static_cast<float>(rng.normal(0.0, 1e5));
+  EXPECT_EQ(fpc_decode(fpc_encode(data)), data);
+}
+
+TEST(Fpc, SpecialValuesSurvive) {
+  const std::vector<float> data = {0.0f,
+                                   -0.0f,
+                                   1e-38f,
+                                   3.4e38f,
+                                   -3.4e38f,
+                                   std::numeric_limits<float>::infinity(),
+                                   -std::numeric_limits<float>::infinity(),
+                                   1.5f};
+  const auto decoded = fpc_decode(fpc_encode(data));
+  ASSERT_EQ(decoded.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::uint32_t a, b;
+    std::memcpy(&a, &data[i], 4);
+    std::memcpy(&b, &decoded[i], 4);
+    EXPECT_EQ(a, b) << i;  // bit-exact, including signed zero
+  }
+}
+
+TEST(Fpc, EmptyInput) {
+  const std::vector<float> data;
+  EXPECT_EQ(fpc_decode(fpc_encode(data)), data);
+}
+
+TEST(Fpc, RepetitiveDataCompressesWell) {
+  std::vector<float> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i % 16);  // strongly predictable pattern
+  }
+  const auto encoded = fpc_encode(data);
+  EXPECT_LT(encoded.size(), data.size() * 4 / 3);  // >3x on pattern data
+  EXPECT_EQ(fpc_decode(encoded), data);
+}
+
+TEST(Fpc, DenseScientificDataStaysUnderTwoToOne) {
+  // The paper's Section II-A claim.
+  Rng rng(306);
+  std::vector<float> data(50000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(100.0 * std::sin(0.01 * static_cast<double>(i)) +
+                                 rng.normal());
+  }
+  const auto encoded = fpc_encode(data);
+  const double ratio =
+      static_cast<double>(data.size() * 4) / static_cast<double>(encoded.size());
+  EXPECT_LT(ratio, 2.0);
+  EXPECT_GT(ratio, 0.8);  // bounded expansion on incompressible data
+  EXPECT_EQ(fpc_decode(encoded), data);
+}
+
+TEST(Fpc, CorruptStreamThrows) {
+  std::vector<float> data(100, 1.0f);
+  auto encoded = fpc_encode(data);
+  encoded.resize(8);
+  EXPECT_THROW(fpc_decode(encoded), FormatError);
+  encoded = fpc_encode(data);
+  encoded[0] ^= 0xFF;
+  EXPECT_THROW(fpc_decode(encoded), FormatError);
+}
+
+}  // namespace
+}  // namespace cosmo

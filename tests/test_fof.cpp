@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "analysis/fof.hpp"
+#include "cosmo/hacc_synth.hpp"
+#include "random/rng.hpp"
+
+namespace cosmo::analysis {
+namespace {
+
+/// Builds particle clouds: each cluster is a tight Gaussian blob.
+struct Cloud {
+  std::vector<float> x, y, z;
+
+  void add_blob(Rng& rng, double cx, double cy, double cz, std::size_t n, double sigma) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x.push_back(static_cast<float>(cx + rng.normal(0.0, sigma)));
+      y.push_back(static_cast<float>(cy + rng.normal(0.0, sigma)));
+      z.push_back(static_cast<float>(cz + rng.normal(0.0, sigma)));
+    }
+  }
+
+  void add_uniform(Rng& rng, std::size_t n, double box) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x.push_back(static_cast<float>(rng.uniform(0.0, box)));
+      y.push_back(static_cast<float>(rng.uniform(0.0, box)));
+      z.push_back(static_cast<float>(rng.uniform(0.0, box)));
+    }
+  }
+};
+
+TEST(DisjointSetTest, BasicUnionFind) {
+  DisjointSet ds(10);
+  EXPECT_NE(ds.find(1), ds.find(2));
+  EXPECT_TRUE(ds.unite(1, 2));
+  EXPECT_EQ(ds.find(1), ds.find(2));
+  EXPECT_FALSE(ds.unite(1, 2));  // already merged
+  ds.unite(2, 3);
+  ds.unite(7, 8);
+  EXPECT_EQ(ds.find(1), ds.find(3));
+  EXPECT_NE(ds.find(1), ds.find(7));
+  ds.unite(3, 8);
+  EXPECT_EQ(ds.find(1), ds.find(7));
+}
+
+TEST(Fof, FindsTwoSeparatedBlobs) {
+  Rng rng(141);
+  Cloud cloud;
+  cloud.add_blob(rng, 50, 50, 50, 200, 0.5);
+  cloud.add_blob(rng, 150, 150, 150, 100, 0.5);
+  FofParams params;
+  params.linking_length = 2.0;
+  params.min_members = 20;
+  params.box = 256.0;
+  const FofResult result = fof(cloud.x, cloud.y, cloud.z, params);
+  ASSERT_EQ(result.halos.size(), 2u);
+  // Counts (order not guaranteed): one of 200, one of 100.
+  const std::size_t a = result.halos[0].members;
+  const std::size_t b = result.halos[1].members;
+  EXPECT_EQ(a + b, 300u);
+  EXPECT_EQ(std::max(a, b), 200u);
+}
+
+TEST(Fof, CentersAreAccurate) {
+  Rng rng(142);
+  Cloud cloud;
+  cloud.add_blob(rng, 100, 60, 200, 500, 0.8);
+  FofParams params;
+  params.linking_length = 3.0;
+  params.min_members = 50;
+  const FofResult result = fof(cloud.x, cloud.y, cloud.z, params);
+  ASSERT_EQ(result.halos.size(), 1u);
+  EXPECT_NEAR(result.halos[0].cx, 100.0, 0.5);
+  EXPECT_NEAR(result.halos[0].cy, 60.0, 0.5);
+  EXPECT_NEAR(result.halos[0].cz, 200.0, 0.5);
+}
+
+TEST(Fof, MinMembersFiltersSmallGroups) {
+  Rng rng(143);
+  Cloud cloud;
+  cloud.add_blob(rng, 50, 50, 50, 100, 0.5);
+  cloud.add_blob(rng, 150, 150, 150, 5, 0.2);  // below threshold
+  FofParams params;
+  params.linking_length = 2.0;
+  params.min_members = 10;
+  const FofResult result = fof(cloud.x, cloud.y, cloud.z, params);
+  ASSERT_EQ(result.halos.size(), 1u);
+  // The 5 small-group particles map to -1.
+  std::size_t unassigned = 0;
+  for (const auto id : result.halo_of_particle) {
+    if (id < 0) ++unassigned;
+  }
+  EXPECT_EQ(unassigned, 5u);
+}
+
+TEST(Fof, UniformBackgroundYieldsNoHalos) {
+  Rng rng(144);
+  Cloud cloud;
+  cloud.add_uniform(rng, 2000, 256.0);
+  FofParams params;
+  // Mean spacing ~ (256^3/2000)^(1/3) ~ 20; a short linking length finds
+  // only tiny chance groups.
+  params.linking_length = 1.5;
+  params.min_members = 10;
+  const FofResult result = fof(cloud.x, cloud.y, cloud.z, params);
+  EXPECT_EQ(result.halos.size(), 0u);
+}
+
+TEST(Fof, PeriodicBoundaryMergesAcrossEdge) {
+  Rng rng(145);
+  Cloud cloud;
+  // Two half-blobs hugging opposite faces of the box along x.
+  cloud.add_blob(rng, 0.5, 100, 100, 100, 0.3);
+  cloud.add_blob(rng, 255.5, 100, 100, 100, 0.3);
+  FofParams params;
+  params.linking_length = 2.0;
+  params.min_members = 50;
+  params.box = 256.0;
+  params.periodic = true;
+  const FofResult wrapped = fof(cloud.x, cloud.y, cloud.z, params);
+  ASSERT_EQ(wrapped.halos.size(), 1u);
+  EXPECT_EQ(wrapped.halos[0].members, 200u);
+  // Center must sit near the seam (x ~ 0 or ~ 256).
+  const double cx = wrapped.halos[0].cx;
+  EXPECT_TRUE(cx < 3.0 || cx > 253.0) << cx;
+
+  params.periodic = false;
+  const FofResult unwrapped = fof(cloud.x, cloud.y, cloud.z, params);
+  EXPECT_EQ(unwrapped.halos.size(), 2u);
+}
+
+TEST(Fof, ChainOfParticlesLinksTransitively) {
+  // Particles spaced 0.9 apart with b = 1.0 form one chain-halo even though
+  // the endpoints are far apart ("a group of particles in one chain").
+  std::vector<float> x, y, z;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(10.0f + 0.9f * static_cast<float>(i));
+    y.push_back(10.0f);
+    z.push_back(10.0f);
+  }
+  FofParams params;
+  params.linking_length = 1.0;
+  params.min_members = 10;
+  const FofResult result = fof(x, y, z, params);
+  ASSERT_EQ(result.halos.size(), 1u);
+  EXPECT_EQ(result.halos[0].members, 50u);
+}
+
+TEST(Fof, LinkingLengthJustBelowSpacingBreaksChain) {
+  std::vector<float> x, y, z;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(10.0f + 0.9f * static_cast<float>(i));
+    y.push_back(10.0f);
+    z.push_back(10.0f);
+  }
+  FofParams params;
+  params.linking_length = 0.85;  // below the 0.9 spacing
+  params.min_members = 10;
+  const FofResult result = fof(x, y, z, params);
+  EXPECT_EQ(result.halos.size(), 0u);
+}
+
+TEST(Fof, MostConnectedParticleIsInDenseCore) {
+  Rng rng(146);
+  Cloud cloud;
+  cloud.add_blob(rng, 100, 100, 100, 300, 1.5);
+  FofParams params;
+  params.linking_length = 2.0;
+  params.min_members = 50;
+  params.most_connected = true;
+  const FofResult result = fof(cloud.x, cloud.y, cloud.z, params);
+  ASSERT_EQ(result.halos.size(), 1u);
+  const std::size_t mcp = result.halos[0].most_connected_particle;
+  // The most connected particle should sit near the blob center.
+  const double d = std::sqrt(std::pow(cloud.x[mcp] - 100.0, 2) +
+                             std::pow(cloud.y[mcp] - 100.0, 2) +
+                             std::pow(cloud.z[mcp] - 100.0, 2));
+  EXPECT_LT(d, 2.0);
+}
+
+TEST(Fof, MostBoundParticleIsInDenseCore) {
+  Rng rng(147);
+  Cloud cloud;
+  cloud.add_blob(rng, 60, 60, 60, 300, 1.5);
+  FofParams params;
+  params.linking_length = 2.0;
+  params.min_members = 50;
+  params.most_bound = true;
+  const FofResult result = fof(cloud.x, cloud.y, cloud.z, params);
+  ASSERT_EQ(result.halos.size(), 1u);
+  const std::size_t mbp = result.halos[0].most_bound_particle;
+  const double d = std::sqrt(std::pow(cloud.x[mbp] - 60.0, 2) +
+                             std::pow(cloud.y[mbp] - 60.0, 2) +
+                             std::pow(cloud.z[mbp] - 60.0, 2));
+  EXPECT_LT(d, 2.5);
+}
+
+TEST(Fof, RecoversGeneratorTruthApproximately) {
+  HaccConfig config;
+  config.particles = 30000;
+  config.halo_count = 12;
+  config.clustered_fraction = 0.7;
+  std::vector<HaloTruth> truth;
+  const auto data = generate_hacc(config, &truth);
+  FofParams params;
+  params.linking_length = 1.0;
+  params.min_members = 15;
+  const FofResult result =
+      fof(data.find("x").field.data, data.find("y").field.data,
+          data.find("z").field.data, params);
+  // FoF should find a halo near most generated centers.
+  std::size_t matched = 0;
+  for (const auto& t : truth) {
+    for (const auto& h : result.halos) {
+      const double d = std::sqrt(std::pow(h.cx - t.cx, 2) + std::pow(h.cy - t.cy, 2) +
+                                 std::pow(h.cz - t.cz, 2));
+      if (d < 3.0) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(matched * 10, truth.size() * 7);  // >= 70% recovered
+}
+
+TEST(Fof, InvalidParamsRejected) {
+  const std::vector<float> p = {1.0f, 2.0f};
+  FofParams params;
+  params.linking_length = 0.0;
+  EXPECT_THROW(fof(p, p, p, params), InvalidArgument);
+  params.linking_length = 1.0;
+  params.box = -1.0;
+  EXPECT_THROW(fof(p, p, p, params), InvalidArgument);
+  const std::vector<float> q = {1.0f};
+  params.box = 10.0;
+  EXPECT_THROW(fof(p, q, p, params), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cosmo::analysis

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpu/device_compressor.hpp"
+#include "gpu/sim.hpp"
+#include "gpu/specs.hpp"
+#include "random/rng.hpp"
+
+namespace cosmo::gpu {
+namespace {
+
+TEST(Specs, TableIHasSevenGpus) {
+  const auto& catalog = device_catalog();
+  ASSERT_EQ(catalog.size(), 7u);
+  EXPECT_EQ(catalog[0].name, "Nvidia RTX 2080Ti");
+  EXPECT_EQ(catalog[1].name, "Nvidia Tesla V100");
+  EXPECT_EQ(catalog.back().architecture, "Kepler 2.0");
+}
+
+TEST(Specs, V100MatchesPaperRow) {
+  const auto& v100 = find_device("V100");
+  EXPECT_EQ(v100.shaders, 5120);
+  EXPECT_DOUBLE_EQ(v100.memory_gb, 16.0);
+  EXPECT_DOUBLE_EQ(v100.peak_fp32_tflops, 14.0);
+  EXPECT_DOUBLE_EQ(v100.memory_bw_gbps, 900.0);
+  EXPECT_EQ(v100.architecture, "Volta");
+}
+
+TEST(Specs, LookupIsCaseInsensitiveSubstring) {
+  EXPECT_EQ(find_device("titan v").name, "Nvidia Titan V");
+  EXPECT_EQ(find_device("2080").name, "Nvidia RTX 2080Ti");
+  EXPECT_THROW(find_device("A100"), InvalidArgument);
+}
+
+TEST(Specs, FormatTable1MentionsEveryGpu) {
+  const std::string table = format_table1();
+  for (const auto& d : device_catalog()) {
+    EXPECT_NE(table.find(d.name), std::string::npos) << d.name;
+  }
+}
+
+TEST(Specs, EvaluationCpuIsXeon6148) {
+  const CpuSpec cpu = evaluation_cpu();
+  EXPECT_EQ(cpu.cores, 20);
+  EXPECT_NE(cpu.name.find("6148"), std::string::npos);
+}
+
+TEST(Sim, MemoryAccounting) {
+  GpuSimulator sim(find_device("V100"));
+  const BufferId a = sim.alloc(1000);
+  const BufferId b = sim.alloc(2000);
+  EXPECT_EQ(sim.used_bytes(), 3000u);
+  sim.free(a);
+  EXPECT_EQ(sim.used_bytes(), 2000u);
+  sim.free(b);
+  EXPECT_EQ(sim.used_bytes(), 0u);
+  EXPECT_THROW(sim.free(a), InvalidArgument);  // double free
+}
+
+TEST(Sim, OversubscriptionRejected) {
+  GpuSimulator sim(find_device("V100"));  // 16 GB
+  EXPECT_THROW(sim.alloc(20e9), InvalidArgument);
+  const BufferId a = sim.alloc(10e9);
+  EXPECT_THROW(sim.alloc(10e9), InvalidArgument);
+  sim.free(a);
+  EXPECT_NO_THROW(sim.alloc(10e9));
+}
+
+TEST(Sim, TransferTimeScalesWithBytes) {
+  GpuSimulator sim(find_device("V100"));
+  const double t1 = sim.transfer_seconds(100'000'000);
+  const double t10 = sim.transfer_seconds(1'000'000'000);
+  EXPECT_GT(t10, t1 * 8.0);
+  EXPECT_LT(t10, t1 * 12.0);
+  // 1 GB over ~12.5 GB/s PCIe: ~80 ms.
+  EXPECT_NEAR(t10, 0.08, 0.02);
+}
+
+TEST(Sim, KernelRateDecreasesWithBitrate) {
+  GpuSimulator sim(find_device("V100"));
+  double prev = 1e300;
+  for (const double rate : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double gbps = sim.zfp_compress_kernel_gbps(rate);
+    EXPECT_LT(gbps, prev);
+    prev = gbps;
+  }
+}
+
+TEST(Sim, KernelRatesOrderedByDeviceCapability) {
+  // Fig. 9: newer / higher-bandwidth GPUs achieve higher kernel throughput.
+  GpuSimulator v100(find_device("V100"));
+  GpuSimulator p100(find_device("P100"));
+  GpuSimulator k80(find_device("K80"));
+  const double rate = 4.0;
+  EXPECT_GT(v100.zfp_compress_kernel_gbps(rate), p100.zfp_compress_kernel_gbps(rate));
+  EXPECT_GT(p100.zfp_compress_kernel_gbps(rate), k80.zfp_compress_kernel_gbps(rate));
+}
+
+TEST(Sim, SzPrototypeIsMuchSlowerThanZfp) {
+  GpuSimulator sim(find_device("V100"));
+  EXPECT_LT(sim.sz_kernel_gbps(), sim.zfp_compress_kernel_gbps(8.0) / 2.0);
+}
+
+TEST(Sim, BreakdownComponentsArePositiveAndMemcpyDominatesKernel) {
+  GpuSimulator sim(find_device("V100"));
+  const std::uint64_t raw = 500'000'000;        // 500 MB field
+  const std::uint64_t compressed = raw / 8;     // 8x ratio
+  const TimingBreakdown t =
+      sim.model_compression(raw, compressed, sim.zfp_compress_kernel_gbps(4.0));
+  EXPECT_GT(t.init, 0.0);
+  EXPECT_GT(t.kernel, 0.0);
+  EXPECT_GT(t.memcpy, 0.0);
+  EXPECT_GT(t.free, 0.0);
+  EXPECT_DOUBLE_EQ(t.total(), t.init + t.kernel + t.memcpy + t.free);
+  // Paper observation: "the compression kernel time on GPU is relatively
+  // low compared to the data transfer time between GPU and CPU".
+  EXPECT_GT(t.memcpy, t.kernel);
+}
+
+TEST(Sim, CompressionBeatsRawTransferBaseline) {
+  GpuSimulator sim(find_device("V100"));
+  const std::uint64_t raw = 500'000'000;
+  const TimingBreakdown t =
+      sim.model_compression(raw, raw / 10, sim.zfp_compress_kernel_gbps(3.2));
+  EXPECT_LT(t.total(), sim.baseline_transfer_seconds(raw));
+}
+
+TEST(Sim, HigherBitrateMeansLongerTotalTime) {
+  // Fig. 7: time grows with bitrate (more compressed bytes to move).
+  GpuSimulator sim(find_device("V100"));
+  const std::uint64_t raw = 100'000'000;
+  double prev = 0.0;
+  for (const double rate : {1.0, 4.0, 16.0}) {
+    const std::uint64_t compressed = static_cast<std::uint64_t>(raw * rate / 32.0);
+    const TimingBreakdown t =
+        sim.model_compression(raw, compressed, sim.zfp_compress_kernel_gbps(rate));
+    EXPECT_GT(t.total(), prev);
+    prev = t.total();
+  }
+}
+
+TEST(Sim, MeasureWithWarmupCollectsStats) {
+  GpuSimulator sim(find_device("V100"));
+  int calls = 0;
+  const RunningStats stats = measure_with_warmup([&] {
+    ++calls;
+    return sim.transfer_seconds(10'000'000);
+  });
+  EXPECT_EQ(calls, 20);  // 10 warmups + 10 measured
+  EXPECT_EQ(stats.count(), 10u);
+  EXPECT_GT(stats.mean(), 0.0);
+  // "all the standard deviation values are relatively negligible".
+  EXPECT_LT(stats.stddev() / stats.mean(), 0.05);
+}
+
+TEST(DeviceCompressor, CuZfpRoundTripWithTiming) {
+  GpuSimulator sim(find_device("V100"));
+  CuZfpDevice device(sim);
+  const Dims dims = Dims::d3(16, 16, 16);
+  Rng rng(151);
+  std::vector<float> data(dims.count());
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-10.0, 10.0));
+  const auto c = device.compress(data, dims, 8.0);
+  EXPECT_GT(c.kernel_gbps, 0.0);
+  EXPECT_GT(c.timing.total(), 0.0);
+  const auto d = device.decompress(c.bytes);
+  EXPECT_EQ(d.dims, dims);
+  EXPECT_EQ(d.values.size(), data.size());
+  EXPECT_TRUE(CuZfpDevice::throughput_supported());
+}
+
+TEST(DeviceCompressor, GpuSzAbsRoundTripWithinBound) {
+  GpuSimulator sim(find_device("V100"));
+  GpuSzDevice device(sim);
+  const Dims dims = Dims::d3(16, 16, 16);
+  Rng rng(152);
+  std::vector<float> data(dims.count());
+  for (auto& v : data) v = static_cast<float>(rng.uniform(0.0, 100.0));
+  const auto c = device.compress_abs(data, dims, 0.5);
+  const auto d = device.decompress(c.bytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::fabs(d.values[i] - data[i]), 0.5 * (1 + 1e-9));
+  }
+  EXPECT_FALSE(GpuSzDevice::throughput_supported());
+}
+
+TEST(DeviceCompressor, GpuSzPwrelDispatchOnDecompress) {
+  GpuSimulator sim(find_device("V100"));
+  GpuSzDevice device(sim);
+  const Dims dims = Dims::d3(8, 8, 8);
+  Rng rng(153);
+  std::vector<float> data(dims.count());
+  for (auto& v : data) v = static_cast<float>(rng.uniform(1.0, 1000.0));
+  const auto c = device.compress_pwrel(data, dims, 0.05);
+  const auto d = device.decompress(c.bytes);  // must auto-detect PW_REL stream
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::fabs(d.values[i] - data[i]) / data[i], 0.05 * (1 + 1e-6));
+  }
+}
+
+TEST(DeviceCompressor, GpuSzRejects1d) {
+  GpuSimulator sim(find_device("V100"));
+  GpuSzDevice device(sim);
+  const std::vector<float> data(64, 1.0f);
+  EXPECT_THROW(device.compress_abs(data, Dims::d1(64), 0.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cosmo::gpu

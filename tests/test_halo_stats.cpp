@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "analysis/halo_stats.hpp"
+#include "common/error.hpp"
+
+namespace cosmo::analysis {
+namespace {
+
+Halo make_halo(std::size_t members, double cx = 0, double cy = 0, double cz = 0) {
+  Halo h;
+  h.members = members;
+  h.cx = cx;
+  h.cy = cy;
+  h.cz = cz;
+  return h;
+}
+
+TEST(MassFunction, BinsAreLogarithmic) {
+  const auto bins = mass_function({}, 1.0, 3, 10.0, 10000.0);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_NEAR(bins[0].mass_lo, 10.0, 1e-9);
+  EXPECT_NEAR(bins[0].mass_hi, 100.0, 1e-6);
+  EXPECT_NEAR(bins[1].mass_hi, 1000.0, 1e-5);
+  EXPECT_NEAR(bins[2].mass_hi, 10000.0, 1e-4);
+}
+
+TEST(MassFunction, CountsFallIntoCorrectBins) {
+  std::vector<Halo> halos = {make_halo(15), make_halo(50), make_halo(500),
+                             make_halo(5000), make_halo(5)};
+  const auto bins = mass_function(halos, 1.0, 4, 10.0, 100000.0);
+  // Bins: [10,100), [100,1000), [1000,10000), [10000,100000).
+  EXPECT_EQ(bins[0].count, 2u);  // 15, 50
+  EXPECT_EQ(bins[1].count, 1u);  // 500
+  EXPECT_EQ(bins[2].count, 1u);  // 5000
+  EXPECT_EQ(bins[3].count, 0u);
+  // Mass 5 below range: dropped.
+}
+
+TEST(MassFunction, MassPerParticleScalesMasses) {
+  std::vector<Halo> halos = {make_halo(10)};
+  // With 1e10 Msun per particle, mass = 1e11.
+  const auto bins = mass_function(halos, 1e10, 2, 1e10, 1e12);
+  EXPECT_EQ(bins[1].count, 1u);
+}
+
+TEST(MassFunction, InvalidArgsRejected) {
+  EXPECT_THROW(mass_function({}, 1.0, 0, 1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(mass_function({}, 1.0, 3, 10.0, 1.0), InvalidArgument);
+  EXPECT_THROW(mass_function({}, 1.0, 3, 0.0, 10.0), InvalidArgument);
+}
+
+TEST(CompareCatalogs, IdenticalCatalogsGiveUnitRatios) {
+  std::vector<Halo> halos;
+  for (const std::size_t m : {20u, 40u, 80u, 200u, 1000u, 30u, 60u}) {
+    halos.push_back(make_halo(m));
+  }
+  const auto cmp = compare_halo_catalogs(halos, halos, 1.0, 6);
+  EXPECT_EQ(cmp.max_ratio_deviation, 0.0);
+  EXPECT_DOUBLE_EQ(cmp.total_ratio, 1.0);
+  EXPECT_TRUE(halos_acceptable(cmp, 0.01));
+  for (const double r : cmp.ratio) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(CompareCatalogs, MissingSmallHalosDetected) {
+  std::vector<Halo> original, reconstructed;
+  for (int i = 0; i < 10; ++i) original.push_back(make_halo(20));   // small
+  for (int i = 0; i < 10; ++i) original.push_back(make_halo(500));  // large
+  // Reconstruction loses half the small halos (the paper's concern:
+  // "Information such as the position of one particle can affect the halo
+  // number detected, particularly for smaller halos").
+  for (int i = 0; i < 5; ++i) reconstructed.push_back(make_halo(20));
+  for (int i = 0; i < 10; ++i) reconstructed.push_back(make_halo(500));
+  const auto cmp = compare_halo_catalogs(original, reconstructed, 1.0, 4);
+  EXPECT_FALSE(halos_acceptable(cmp, 0.01));
+  EXPECT_NEAR(cmp.max_ratio_deviation, 0.5, 1e-9);
+  EXPECT_NEAR(cmp.total_ratio, 0.75, 1e-9);
+}
+
+TEST(CompareCatalogs, SpuriousHalosInEmptyBinFlagged) {
+  std::vector<Halo> original = {make_halo(20), make_halo(25), make_halo(1000)};
+  std::vector<Halo> reconstructed = {make_halo(20), make_halo(25), make_halo(1000),
+                                     make_halo(100)};  // new mid-mass halo
+  const auto cmp = compare_halo_catalogs(original, reconstructed, 1.0, 4);
+  EXPECT_FALSE(halos_acceptable(cmp, 0.1));
+}
+
+TEST(CompareCatalogs, EmptyOriginalRejected) {
+  EXPECT_THROW(compare_halo_catalogs({}, {}, 1.0), InvalidArgument);
+}
+
+TEST(MatchFraction, ExactMatchIsOne) {
+  std::vector<Halo> halos = {make_halo(10, 10, 10, 10), make_halo(20, 100, 100, 100)};
+  EXPECT_DOUBLE_EQ(halo_match_fraction(halos, halos, 1.0, 256.0), 1.0);
+}
+
+TEST(MatchFraction, DisplacedBeyondToleranceFails) {
+  std::vector<Halo> original = {make_halo(10, 10, 10, 10)};
+  std::vector<Halo> moved = {make_halo(10, 20, 10, 10)};
+  EXPECT_DOUBLE_EQ(halo_match_fraction(original, moved, 1.0, 256.0), 0.0);
+  EXPECT_DOUBLE_EQ(halo_match_fraction(original, moved, 15.0, 256.0), 1.0);
+}
+
+TEST(MatchFraction, PeriodicDistanceUsed) {
+  std::vector<Halo> original = {make_halo(10, 1.0, 10, 10)};
+  std::vector<Halo> wrapped = {make_halo(10, 255.0, 10, 10)};  // 2 units away through seam
+  EXPECT_DOUBLE_EQ(halo_match_fraction(original, wrapped, 3.0, 256.0), 1.0);
+}
+
+TEST(MatchFraction, EmptyOriginalIsVacuouslyOne) {
+  EXPECT_DOUBLE_EQ(halo_match_fraction({}, {}, 1.0, 256.0), 1.0);
+}
+
+}  // namespace
+}  // namespace cosmo::analysis

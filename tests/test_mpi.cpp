@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "cosmo/hacc_synth.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/domain.hpp"
+
+namespace cosmo::mpi {
+namespace {
+
+Message to_message(double v) {
+  Message m(sizeof(double));
+  std::memcpy(m.data(), &v, sizeof(double));
+  return m;
+}
+
+double from_message(const Message& m) {
+  double v;
+  std::memcpy(&v, m.data(), sizeof(double));
+  return v;
+}
+
+TEST(MpiComm, WorldRunsEveryRank) {
+  std::atomic<int> ran{0};
+  run_world(6, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 6);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 6);
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(MpiComm, PointToPointRoundTrip) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, to_message(42.5));
+      const auto [src, reply] = comm.recv(1, 8);
+      EXPECT_EQ(src, 1);
+      EXPECT_DOUBLE_EQ(from_message(reply), 85.0);
+    } else {
+      const auto [src, msg] = comm.recv(0, 7);
+      EXPECT_EQ(src, 0);
+      comm.send(0, 8, to_message(from_message(msg) * 2.0));
+    }
+  });
+}
+
+TEST(MpiComm, TagMatchingHoldsBackOtherTags) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 5, to_message(5.0));
+      comm.send(1, 3, to_message(3.0));
+    } else {
+      // Receive tag 3 first even though tag 5 arrived first.
+      EXPECT_DOUBLE_EQ(from_message(comm.recv(0, 3).second), 3.0);
+      EXPECT_DOUBLE_EQ(from_message(comm.recv(0, 5).second), 5.0);
+    }
+  });
+}
+
+TEST(MpiComm, AnySourceReceivesFromAll) {
+  run_world(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      double sum = 0.0;
+      for (int i = 0; i < 3; ++i) {
+        const auto [src, msg] = comm.recv(kAnySource, 1);
+        EXPECT_GE(src, 1);
+        sum += from_message(msg);
+      }
+      EXPECT_DOUBLE_EQ(sum, 1.0 + 2.0 + 3.0);
+    } else {
+      comm.send(0, 1, to_message(static_cast<double>(comm.rank())));
+    }
+  });
+}
+
+TEST(MpiComm, BroadcastDeliversRootValue) {
+  run_world(5, [](Comm& comm) {
+    Message value = comm.rank() == 2 ? to_message(3.14) : Message{};
+    const Message got = comm.broadcast(2, std::move(value));
+    EXPECT_DOUBLE_EQ(from_message(got), 3.14);
+  });
+}
+
+TEST(MpiComm, GatherCollectsInRankOrder) {
+  run_world(4, [](Comm& comm) {
+    const auto all = comm.gather(0, to_message(static_cast<double>(comm.rank() * 10)));
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_DOUBLE_EQ(from_message(all[static_cast<std::size_t>(r)]), r * 10.0);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(MpiComm, AllreduceSumAndMax) {
+  run_world(8, [](Comm& comm) {
+    const double sum = comm.allreduce_sum(static_cast<double>(comm.rank() + 1));
+    EXPECT_DOUBLE_EQ(sum, 36.0);  // 1+..+8
+    const double max = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(max, 7.0);
+  });
+}
+
+TEST(MpiComm, RepeatedMixedCollectivesDoNotCrossTalk) {
+  // Regression: consecutive collectives must not steal each other's
+  // messages when ranks progress at different speeds (each collective gets
+  // its own internal tag via a per-rank sequence counter).
+  run_world(6, [](Comm& comm) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const auto all =
+          comm.gather(0, to_message(static_cast<double>(comm.rank() + iter)));
+      if (comm.rank() == 0) {
+        ASSERT_EQ(all.size(), 6u);
+        for (int r = 0; r < 6; ++r) {
+          ASSERT_EQ(all[static_cast<std::size_t>(r)].size(), sizeof(double));
+          EXPECT_DOUBLE_EQ(from_message(all[static_cast<std::size_t>(r)]),
+                           static_cast<double>(r + iter));
+        }
+      }
+      const double sum = comm.allreduce_sum(1.0);
+      EXPECT_DOUBLE_EQ(sum, 6.0);
+    }
+  });
+}
+
+TEST(MpiComm, BarrierSynchronizes) {
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  run_world(4, [&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    if (before.load() != 4) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MpiComm, ExceptionInOneRankPropagates) {
+  EXPECT_THROW(
+      run_world(3,
+                [](Comm& comm) {
+                  if (comm.rank() == 1) throw Error("rank 1 died");
+                  // Other ranks block on a message that never comes; the
+                  // abort must wake them instead of deadlocking.
+                  if (comm.rank() == 0) comm.recv(2, 99);
+                  if (comm.rank() == 2) comm.barrier();
+                }),
+      Error);
+}
+
+TEST(MpiComm, SendToInvalidRankRejected) {
+  EXPECT_THROW(run_world(2,
+                         [](Comm& comm) {
+                           if (comm.rank() == 0) comm.send(5, 0, {});
+                         }),
+               Error);
+}
+
+// ---------- Domain decomposition ----------
+
+TEST(Domain, PaperDecompositionHas256Ranks) {
+  DomainDecomposition domain{8, 8, 4, 256.0};
+  EXPECT_EQ(domain.rank_count(), 256u);
+}
+
+TEST(Domain, CoordRoundTrip) {
+  DomainDecomposition domain{8, 8, 4, 256.0};
+  for (std::size_t r = 0; r < domain.rank_count(); r += 17) {
+    const auto c = domain.coord_of(r);
+    EXPECT_EQ(domain.rank_of_coord(c.ix, c.iy, c.iz), r);
+  }
+  EXPECT_THROW(domain.coord_of(256), InvalidArgument);
+}
+
+TEST(Domain, SlabsTileTheBox) {
+  DomainDecomposition domain{4, 2, 2, 100.0};
+  double volume = 0.0;
+  for (std::size_t r = 0; r < domain.rank_count(); ++r) {
+    const auto s = domain.slab_of(r);
+    volume += (s.x1 - s.x0) * (s.y1 - s.y0) * (s.z1 - s.z0);
+  }
+  EXPECT_NEAR(volume, 100.0 * 100.0 * 100.0, 1e-6);
+}
+
+TEST(Domain, OwnerMatchesSlab) {
+  DomainDecomposition domain{8, 8, 4, 256.0};
+  for (const double x : {0.0, 31.9, 32.0, 255.9}) {
+    for (const double z : {0.0, 100.0, 255.0}) {
+      const std::size_t owner = domain.owner_of(x, 10.0, z);
+      EXPECT_TRUE(domain.slab_of(owner).contains(x, 10.0, z))
+          << "x=" << x << " z=" << z;
+    }
+  }
+  // Out-of-box positions wrap periodically.
+  EXPECT_EQ(domain.owner_of(256.0, 0.0, 0.0), domain.owner_of(0.0, 0.0, 0.0));
+  EXPECT_EQ(domain.owner_of(-1.0, 0.0, 0.0), domain.owner_of(255.0, 0.0, 0.0));
+}
+
+TEST(Domain, PartitionCoversAllParticlesOnce) {
+  HaccConfig config;
+  config.particles = 20000;
+  config.halo_count = 10;
+  const auto data = generate_hacc(config);
+  DomainDecomposition domain{8, 8, 4, 256.0};
+  const auto parts = partition_particles(domain, data.find("x").field.data,
+                                         data.find("y").field.data,
+                                         data.find("z").field.data);
+  ASSERT_EQ(parts.size(), 256u);
+  std::size_t total = 0;
+  std::vector<bool> seen(config.particles, false);
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    for (const auto p : parts[r]) {
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+      ++total;
+      // Every particle must actually live in its rank's slab.
+      EXPECT_TRUE(domain.slab_of(r).contains(data.find("x").field.data[p],
+                                             data.find("y").field.data[p],
+                                             data.find("z").field.data[p]));
+    }
+  }
+  EXPECT_EQ(total, config.particles);
+}
+
+TEST(Domain, ClusteredDataGivesUnevenPartitions) {
+  HaccConfig config;
+  config.particles = 20000;
+  config.halo_count = 6;
+  config.clustered_fraction = 0.9;
+  const auto data = generate_hacc(config);
+  DomainDecomposition domain{4, 4, 4, 256.0};
+  const auto parts = partition_particles(domain, data.find("x").field.data,
+                                         data.find("y").field.data,
+                                         data.find("z").field.data);
+  std::size_t max_count = 0, min_count = config.particles;
+  for (const auto& p : parts) {
+    max_count = std::max(max_count, p.size());
+    min_count = std::min(min_count, p.size());
+  }
+  // Halos concentrate mass: the busiest rank holds far more than the idlest.
+  EXPECT_GT(max_count, min_count * 4);
+}
+
+TEST(MpiIntegration, DistributedAllreduceMatchesSerialSum) {
+  // Each rank sums its own partition's x coordinates; allreduce must equal
+  // the serial total — the pattern per-rank compression statistics use.
+  HaccConfig config;
+  config.particles = 5000;
+  config.halo_count = 5;
+  const auto data = generate_hacc(config);
+  const auto& x = data.find("x").field.data;
+  double serial = 0.0;
+  for (const float v : x) serial += v;
+
+  DomainDecomposition domain{2, 2, 2, 256.0};
+  const auto parts = partition_particles(domain, x, data.find("y").field.data,
+                                         data.find("z").field.data);
+  std::vector<double> results(8, 0.0);
+  run_world(8, [&](Comm& comm) {
+    double local = 0.0;
+    for (const auto p : parts[static_cast<std::size_t>(comm.rank())]) local += x[p];
+    results[static_cast<std::size_t>(comm.rank())] = comm.allreduce_sum(local);
+  });
+  for (const double r : results) EXPECT_NEAR(r, serial, 1e-3);
+}
+
+}  // namespace
+}  // namespace cosmo::mpi

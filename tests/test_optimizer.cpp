@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "cosmo/hacc_synth.hpp"
+#include "cosmo/nyx_synth.hpp"
+#include "foresight/optimizer.hpp"
+
+namespace cosmo::foresight {
+namespace {
+
+TEST(OptimizerGrid, PicksHighestRatioAmongAcceptable) {
+  NyxConfig config;
+  config.dim = 32;
+  const auto data = generate_nyx(config);
+  gpu::GpuSimulator sim(gpu::find_device("V100"));
+  const auto codec = make_compressor("cuzfp", &sim);
+
+  std::map<std::string, std::vector<CompressorConfig>> candidates;
+  candidates["velocity_x"] = {{"rate", 2.0}, {"rate", 4.0}, {"rate", 8.0}, {"rate", 16.0}};
+
+  const auto result = optimize_grid_dataset(data, *codec, candidates, 0.01, 0.5);
+  ASSERT_EQ(result.per_field.size(), 1u);
+  const auto& choice = result.per_field[0];
+  EXPECT_EQ(choice.field, "velocity_x");
+  EXPECT_EQ(choice.candidates.size(), 4u);
+  // 16 bits/value must be acceptable on a smooth field; the guideline then
+  // guarantees the chosen config is the acceptable one with highest ratio.
+  ASSERT_TRUE(choice.found);
+  for (const auto& c : choice.candidates) {
+    if (c.acceptable) {
+      EXPECT_GE(choice.chosen.ratio, c.ratio);
+    }
+  }
+  EXPECT_TRUE(choice.chosen.acceptable);
+}
+
+TEST(OptimizerGrid, RejectsWhenNothingAcceptable) {
+  NyxConfig config;
+  config.dim = 32;
+  const auto data = generate_nyx(config);
+  gpu::GpuSimulator sim(gpu::find_device("V100"));
+  const auto codec = make_compressor("cuzfp", &sim);
+  std::map<std::string, std::vector<CompressorConfig>> candidates;
+  // A fraction of a bit per value destroys the spectrum on density.
+  candidates["baryon_density"] = {{"rate", 0.5}};
+  const auto result = optimize_grid_dataset(data, *codec, candidates, 0.01, 0.5);
+  ASSERT_EQ(result.per_field.size(), 1u);
+  EXPECT_FALSE(result.per_field[0].found);
+  EXPECT_FALSE(result.all_fields_ok);
+}
+
+TEST(OptimizerGrid, TighterToleranceRejectsMore) {
+  NyxConfig config;
+  config.dim = 32;
+  const auto data = generate_nyx(config);
+  gpu::GpuSimulator sim(gpu::find_device("V100"));
+  const auto codec = make_compressor("cuzfp", &sim);
+  std::map<std::string, std::vector<CompressorConfig>> candidates;
+  candidates["temperature"] = {{"rate", 2.0}, {"rate", 4.0}, {"rate", 8.0}};
+  const auto loose = optimize_grid_dataset(data, *codec, candidates, 0.10, 0.5);
+  const auto tight = optimize_grid_dataset(data, *codec, candidates, 0.0001, 0.5);
+  auto count_ok = [](const OptimizationResult& r) {
+    std::size_t n = 0;
+    for (const auto& c : r.per_field[0].candidates) {
+      if (c.acceptable) ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(count_ok(loose), count_ok(tight));
+}
+
+TEST(OptimizerGrid, SkipsFieldsWithoutCandidates) {
+  NyxConfig config;
+  config.dim = 16;
+  const auto data = generate_nyx(config);
+  const auto codec = make_compressor("zfp-cpu");
+  std::map<std::string, std::vector<CompressorConfig>> candidates;
+  candidates["temperature"] = {{"rate", 16.0}};
+  const auto result = optimize_grid_dataset(data, *codec, candidates, 0.05, 0.5);
+  EXPECT_EQ(result.per_field.size(), 1u);  // only temperature evaluated
+}
+
+TEST(OptimizerParticles, SelectsPositionAndVelocityBounds) {
+  HaccConfig config;
+  config.particles = 20000;
+  config.halo_count = 12;
+  const auto data = generate_hacc(config);
+  const auto codec = make_compressor("sz-cpu");
+
+  analysis::FofParams fof_params;
+  fof_params.linking_length = 1.0;
+  fof_params.min_members = 15;
+
+  const std::vector<CompressorConfig> pos_candidates = {
+      {"abs", 0.001}, {"abs", 0.005}, {"abs", 3.0}};
+  const std::vector<CompressorConfig> vel_candidates = {{"pw_rel", 0.01}, {"pw_rel", 0.25}};
+
+  const auto result = optimize_particle_dataset(data, *codec, pos_candidates,
+                                                vel_candidates, fof_params, 0.1, 0.1);
+  ASSERT_EQ(result.per_field.size(), 2u);
+  const auto& pos = result.per_field[0];
+  EXPECT_EQ(pos.field, "position");
+  ASSERT_TRUE(pos.found);
+  // abs=3.0 (larger than the linking length!) must not be the acceptable
+  // winner unless it really preserved halos; the tight bounds must pass.
+  EXPECT_TRUE(pos.candidates[0].acceptable);
+  const auto& vel = result.per_field[1];
+  EXPECT_EQ(vel.field, "velocity");
+  ASSERT_TRUE(vel.found);
+  EXPECT_GT(result.overall_ratio, 1.0);
+  EXPECT_TRUE(result.all_fields_ok);
+}
+
+TEST(OptimizerParticles, LoosePositionBoundBreaksHalos) {
+  HaccConfig config;
+  config.particles = 15000;
+  config.halo_count = 10;
+  const auto data = generate_hacc(config);
+  const auto codec = make_compressor("sz-cpu");
+  analysis::FofParams fof_params;
+  fof_params.linking_length = 1.0;
+  fof_params.min_members = 15;
+  // A position error of 5 (5x the linking length) scrambles membership.
+  const auto result = optimize_particle_dataset(
+      data, *codec, {{"abs", 5.0}}, {{"pw_rel", 0.1}}, fof_params, 0.05, 0.5);
+  EXPECT_FALSE(result.per_field[0].found);
+  EXPECT_FALSE(result.all_fields_ok);
+}
+
+TEST(Optimizer, FormatsReadableReport) {
+  OptimizationResult result;
+  FieldChoice choice;
+  choice.field = "baryon_density";
+  choice.found = true;
+  choice.chosen = {{"abs", 0.2}, 15.4, 95.0, true, 0.004};
+  choice.candidates = {choice.chosen, {{"abs", 1.0}, 20.0, 102.45, false, 0.02}};
+  result.per_field.push_back(choice);
+  result.overall_ratio = 15.4;
+  result.all_fields_ok = true;
+  const std::string report = format_optimization(result);
+  EXPECT_NE(report.find("baryon_density"), std::string::npos);
+  EXPECT_NE(report.find("abs=0.2"), std::string::npos);
+  EXPECT_NE(report.find("15.4"), std::string::npos);
+  EXPECT_NE(report.find("reject"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cosmo::foresight

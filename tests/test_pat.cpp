@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.hpp"
+#include "foresight/pat.hpp"
+
+namespace cosmo::foresight {
+namespace {
+
+TEST(Pat, TopologicalOrderRespectsDependencies) {
+  Workflow wf;
+  wf.add("c", {"a", "b"}, nullptr);
+  wf.add("a", {}, nullptr);
+  wf.add("b", {"a"}, nullptr);
+  const auto order = wf.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  const auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("a"), pos("b"));
+  EXPECT_LT(pos("b"), pos("c"));
+}
+
+TEST(Pat, CycleDetected) {
+  Workflow wf;
+  wf.add("a", {"b"}, nullptr);
+  wf.add("b", {"a"}, nullptr);
+  EXPECT_THROW(wf.topological_order(), InvalidArgument);
+  EXPECT_THROW(wf.run(), InvalidArgument);
+}
+
+TEST(Pat, MissingDependencyDetected) {
+  Workflow wf;
+  wf.add("a", {"ghost"}, nullptr);
+  EXPECT_THROW(wf.topological_order(), InvalidArgument);
+}
+
+TEST(Pat, DuplicateJobRejected) {
+  Workflow wf;
+  wf.add("a", {}, nullptr);
+  EXPECT_THROW(wf.add("a", {}, nullptr), InvalidArgument);
+  EXPECT_THROW(wf.add("", {}, nullptr), InvalidArgument);
+}
+
+TEST(Pat, InlineRunExecutesInDependencyOrder) {
+  Workflow wf;
+  std::vector<std::string> executed;
+  wf.add("analysis", {"cbench"}, [&] { executed.push_back("analysis"); });
+  wf.add("cbench", {"generate"}, [&] { executed.push_back("cbench"); });
+  wf.add("generate", {}, [&] { executed.push_back("generate"); });
+  wf.add("plot", {"analysis"}, [&] { executed.push_back("plot"); });
+  EXPECT_TRUE(wf.run());
+  ASSERT_EQ(executed.size(), 4u);
+  EXPECT_EQ(executed[0], "generate");
+  EXPECT_EQ(executed[1], "cbench");
+  EXPECT_EQ(executed[2], "analysis");
+  EXPECT_EQ(executed[3], "plot");
+  for (const auto& [name, record] : wf.records()) {
+    EXPECT_EQ(record.status, JobStatus::kSucceeded) << name;
+    EXPECT_GE(record.seconds, 0.0);
+  }
+}
+
+TEST(Pat, FailedJobSkipsTransitiveDependents) {
+  Workflow wf;
+  std::atomic<bool> downstream_ran{false};
+  wf.add("good", {}, [] {});
+  wf.add("bad", {}, [] { throw std::runtime_error("job exploded"); });
+  wf.add("child", {"bad"}, [&] { downstream_ran = true; });
+  wf.add("grandchild", {"child"}, [&] { downstream_ran = true; });
+  wf.add("independent", {"good"}, [] {});
+  EXPECT_FALSE(wf.run());
+  EXPECT_FALSE(downstream_ran.load());
+  EXPECT_EQ(wf.records().at("bad").status, JobStatus::kFailed);
+  EXPECT_EQ(wf.records().at("bad").error, "job exploded");
+  EXPECT_EQ(wf.records().at("child").status, JobStatus::kSkipped);
+  EXPECT_EQ(wf.records().at("grandchild").status, JobStatus::kSkipped);
+  EXPECT_EQ(wf.records().at("independent").status, JobStatus::kSucceeded);
+}
+
+TEST(Pat, ParallelRunWithPoolCompletesAll) {
+  Workflow wf;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    wf.add("leaf" + std::to_string(i), {}, [&counter] { ++counter; });
+  }
+  wf.add("join", [&] {
+    std::vector<std::string> deps;
+    for (int i = 0; i < 20; ++i) deps.push_back("leaf" + std::to_string(i));
+    return deps;
+  }(), [&counter] { EXPECT_EQ(counter.load(), 20); });
+  ThreadPool pool(4);
+  EXPECT_TRUE(wf.run(&pool));
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(Pat, ParallelRunPropagatesFailure) {
+  Workflow wf;
+  wf.add("a", {}, [] { throw std::runtime_error("nope"); });
+  wf.add("b", {"a"}, [] {});
+  ThreadPool pool(2);
+  EXPECT_FALSE(wf.run(&pool));
+  EXPECT_EQ(wf.records().at("b").status, JobStatus::kSkipped);
+}
+
+TEST(Pat, DiamondDependencyRunsOnce) {
+  Workflow wf;
+  std::atomic<int> d_runs{0};
+  wf.add("top", {}, [] {});
+  wf.add("left", {"top"}, [] {});
+  wf.add("right", {"top"}, [] {});
+  wf.add("bottom", {"left", "right"}, [&] { ++d_runs; });
+  ThreadPool pool(4);
+  EXPECT_TRUE(wf.run(&pool));
+  EXPECT_EQ(d_runs.load(), 1);
+}
+
+TEST(Pat, SubmissionScriptEmitsSbatchChain) {
+  Workflow wf;
+  Job cbench;
+  cbench.name = "cbench";
+  cbench.nodes = 4;
+  cbench.tasks_per_node = 16;
+  cbench.partition = "gpu";
+  wf.add(cbench);
+  wf.add("analysis", {"cbench"}, nullptr);
+  const std::string script = wf.to_submission_script();
+  EXPECT_NE(script.find("#!/bin/bash"), std::string::npos);
+  EXPECT_NE(script.find("sbatch"), std::string::npos);
+  EXPECT_NE(script.find("-N 4"), std::string::npos);
+  EXPECT_NE(script.find("-p gpu"), std::string::npos);
+  EXPECT_NE(script.find("--dependency=afterok:$JOB_cbench"), std::string::npos);
+}
+
+TEST(Pat, EmptyWorkflowSucceeds) {
+  Workflow wf;
+  EXPECT_TRUE(wf.run());
+  EXPECT_EQ(wf.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cosmo::foresight

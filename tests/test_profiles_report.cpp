@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "analysis/halo_profiles.hpp"
+#include "common/error.hpp"
+#include "cosmo/hacc_synth.hpp"
+#include "foresight/pipeline.hpp"
+#include "foresight/report.hpp"
+#include "random/rng.hpp"
+#include "sz/sz.hpp"
+
+namespace cosmo {
+namespace {
+
+// ---------- halo profiles ----------
+
+struct ProfileFixture {
+  io::Container hacc;
+  analysis::FofResult halos;
+
+  ProfileFixture() {
+    HaccConfig config;
+    config.particles = 40000;
+    config.halo_count = 20;
+    config.clustered_fraction = 0.8;
+    hacc = generate_hacc(config);
+    analysis::FofParams params;
+    params.linking_length = 1.0;
+    params.min_members = 50;
+    halos = analysis::fof(hacc.find("x").field.data, hacc.find("y").field.data,
+                          hacc.find("z").field.data, params);
+  }
+};
+
+ProfileFixture& profile_fixture() {
+  static ProfileFixture f;
+  return f;
+}
+
+TEST(HaloProfiles, DensityDecreasesOutward) {
+  auto& f = profile_fixture();
+  ASSERT_GT(f.halos.halos.size(), 3u);
+  const auto profile =
+      analysis::stacked_profile(f.hacc.find("x").field.data, f.hacc.find("y").field.data,
+                                f.hacc.find("z").field.data, f.halos);
+  // NFW-sampled halos: the inner bins must be far denser than the outer.
+  double inner = 0.0, outer = 0.0;
+  for (std::size_t b = 0; b < profile.size(); ++b) {
+    if (b < profile.size() / 4) inner += profile[b].density;
+    if (b >= 3 * profile.size() / 4) outer += profile[b].density;
+  }
+  EXPECT_GT(inner, outer * 10.0);
+}
+
+TEST(HaloProfiles, ConcentrationProxyInPlausibleRange) {
+  auto& f = profile_fixture();
+  const auto profile =
+      analysis::stacked_profile(f.hacc.find("x").field.data, f.hacc.find("y").field.data,
+                                f.hacc.find("z").field.data, f.halos);
+  const double c = analysis::concentration_proxy(profile);
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 0.8);  // centrally concentrated: r_half well inside r_90
+}
+
+TEST(HaloProfiles, TightCompressionPreservesProfile) {
+  auto& f = profile_fixture();
+  const auto& x = f.hacc.find("x").field;
+  const auto& y = f.hacc.find("y").field;
+  const auto& z = f.hacc.find("z").field;
+  const auto reference = analysis::stacked_profile(x.data, y.data, z.data, f.halos);
+
+  sz::Params params;
+  params.abs_error_bound = 0.005;
+  const auto rx = sz::decompress(sz::compress(x.data, x.dims, params));
+  const auto ry = sz::decompress(sz::compress(y.data, y.dims, params));
+  const auto rz = sz::decompress(sz::compress(z.data, z.dims, params));
+  // Same membership (halo structure preserved at this bound), perturbed
+  // positions: the profile must barely move.
+  const auto recon_profile = analysis::stacked_profile(rx, ry, rz, f.halos);
+  EXPECT_LT(analysis::profile_deviation(reference, recon_profile, 100), 0.05);
+}
+
+TEST(HaloProfiles, CoarsePositionsDistortTheProfile) {
+  auto& f = profile_fixture();
+  const auto& x = f.hacc.find("x").field;
+  const auto& y = f.hacc.find("y").field;
+  const auto& z = f.hacc.find("z").field;
+  const auto reference = analysis::stacked_profile(x.data, y.data, z.data, f.halos);
+
+  sz::Params params;
+  params.abs_error_bound = 0.5;  // comparable to the core radius
+  const auto rx = sz::decompress(sz::compress(x.data, x.dims, params));
+  const auto ry = sz::decompress(sz::compress(y.data, y.dims, params));
+  const auto rz = sz::decompress(sz::compress(z.data, z.dims, params));
+  const auto recon_profile = analysis::stacked_profile(rx, ry, rz, f.halos);
+  // A bound comparable to the core radius snaps particles onto the
+  // quantization grid: the radial distribution is visibly redistributed
+  // even though halo membership survives (the finer-grained distortion the
+  // count-based Fig. 6 metric cannot see).
+  EXPECT_GT(analysis::profile_deviation(reference, recon_profile, 100), 0.05);
+}
+
+TEST(HaloProfiles, InvalidInputsRejected) {
+  analysis::FofResult empty;
+  const std::vector<float> p = {1.0f};
+  analysis::ProfileParams params;
+  params.nbins = 1;
+  empty.halo_of_particle = {-1};
+  EXPECT_THROW(analysis::stacked_profile(p, p, p, empty, params), InvalidArgument);
+  EXPECT_THROW(analysis::concentration_proxy({}), InvalidArgument);
+  EXPECT_THROW(analysis::profile_deviation({}, {analysis::ProfileBin{}}),
+               InvalidArgument);
+}
+
+// ---------- markdown report ----------
+
+foresight::CBenchResult fake_result(const std::string& field, const std::string& codec,
+                                    const std::string& mode, double value, double ratio,
+                                    double psnr) {
+  foresight::CBenchResult r;
+  r.dataset = "nyx";
+  r.field = field;
+  r.compressor = codec;
+  r.config = {mode, value};
+  r.ratio = ratio;
+  r.bit_rate = 32.0 / ratio;
+  r.distortion.psnr_db = psnr;
+  return r;
+}
+
+TEST(Report, RendersTablesAndBestFitPicks) {
+  std::vector<foresight::CBenchResult> results = {
+      fake_result("rho", "gpu-sz", "abs", 0.2, 15.4, 95.0),
+      fake_result("rho", "gpu-sz", "abs", 1.0, 20.0, 102.5),
+      fake_result("rho", "cuzfp", "rate", 4.0, 8.0, 88.5),
+  };
+  std::map<std::string, double> pk = {
+      {"rho|gpu-sz|abs=0.2", 0.004},   // acceptable
+      {"rho|gpu-sz|abs=1", 0.02},      // higher PSNR... but rejected
+      {"rho|cuzfp|rate=4", 0.008},
+  };
+  const std::string md = foresight::render_markdown_report(results, pk, {}, {});
+  EXPECT_NE(md.find("## gpu-sz"), std::string::npos);
+  EXPECT_NE(md.find("## cuzfp"), std::string::npos);
+  EXPECT_NE(md.find("0.0200 reject"), std::string::npos);
+  // Best fit: the acceptable 15.4x pick, not the rejected 20x one.
+  EXPECT_NE(md.find("**rho** -> gpu-sz `abs=0.2` (15.40x)"), std::string::npos);
+}
+
+TEST(Report, PipelineSummaryEndToEnd) {
+  // Full integration: pipeline run -> markdown report on disk.
+  const std::string out_dir = ::testing::TempDir() + "/report_pipeline";
+  const json::Value config = json::parse(R"({
+    "output": ")" + out_dir + R"(",
+    "dataset": {"type": "nyx", "dim": 16},
+    "runs": [
+      {"compressor": "cuzfp", "fields": ["baryon_density"],
+       "configs": [{"mode": "rate", "value": 8}]}
+    ],
+    "analysis": {"power_spectrum": true, "ssim": true}
+  })");
+  const auto summary = foresight::run_pipeline(config);
+  ASSERT_TRUE(summary.workflow_ok);
+  const std::string md = foresight::render_markdown_report(summary);
+  EXPECT_NE(md.find("## cuzfp"), std::string::npos);
+  EXPECT_NE(md.find("baryon_density"), std::string::npos);
+  EXPECT_EQ(md.find("| - | - | - |"), std::string::npos);  // pk + ssim filled
+  foresight::write_markdown_report(summary, out_dir + "/report.md");
+  EXPECT_TRUE(std::filesystem::exists(out_dir + "/report.md"));
+  std::filesystem::remove_all(out_dir);
+}
+
+TEST(Report, EmptyResultsHandled) {
+  const std::string md = foresight::render_markdown_report({}, {}, {}, {});
+  EXPECT_NE(md.find("No results."), std::string::npos);
+}
+
+TEST(Report, MissingAnalysesRenderDashes) {
+  const auto results = std::vector<foresight::CBenchResult>{
+      fake_result("T", "zfp-cpu", "rate", 8.0, 4.0, 70.0)};
+  const std::string md = foresight::render_markdown_report(results, {}, {}, {});
+  EXPECT_NE(md.find("| - | - | - |"), std::string::npos);
+  // With no pk data, every config counts as acceptable for the pick.
+  EXPECT_NE(md.find("**T** -> zfp-cpu `rate=8`"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cosmo

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "codec/lzss.hpp"
+#include "codec/rle.hpp"
+#include "common/error.hpp"
+#include "random/rng.hpp"
+
+namespace cosmo {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n, std::size_t alphabet) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_index(alphabet));
+  return out;
+}
+
+// ---------- RLE ----------
+
+TEST(Rle, RoundTripBasic) {
+  const std::vector<std::uint8_t> input = {1, 1, 1, 1, 1, 2, 3, 3, 3, 3, 3, 3, 4};
+  EXPECT_EQ(rle_decode(rle_encode(input)), input);
+}
+
+TEST(Rle, EmptyInput) {
+  const std::vector<std::uint8_t> input;
+  EXPECT_EQ(rle_decode(rle_encode(input)), input);
+}
+
+TEST(Rle, LongRunsCompress) {
+  const std::vector<std::uint8_t> input(10000, 0);
+  const auto encoded = rle_encode(input);
+  EXPECT_LT(encoded.size(), 200u);
+  EXPECT_EQ(rle_decode(encoded), input);
+}
+
+TEST(Rle, EscapeByteLiteralHandled) {
+  const std::vector<std::uint8_t> input = {0xFF, 1, 0xFF, 0xFF, 2};
+  EXPECT_EQ(rle_decode(rle_encode(input)), input);
+}
+
+TEST(Rle, RandomizedProperty) {
+  Rng rng(21);
+  for (int round = 0; round < 30; ++round) {
+    const auto input = random_bytes(rng, rng.uniform_index(5000), 4);
+    EXPECT_EQ(rle_decode(rle_encode(input)), input) << "round " << round;
+  }
+}
+
+TEST(Rle, TruncatedEscapeThrows) {
+  std::vector<std::uint8_t> bad = {0xFF, 5};
+  EXPECT_THROW(rle_decode(bad), FormatError);
+}
+
+// ---------- LZSS ----------
+
+TEST(Lzss, RoundTripText) {
+  const std::string text =
+      "abcabcabcabc the quick brown fox jumps over the lazy dog "
+      "the quick brown fox jumps over the lazy dog";
+  const std::vector<std::uint8_t> input(text.begin(), text.end());
+  const auto encoded = lzss_encode(input);
+  EXPECT_EQ(lzss_decode(encoded), input);
+  EXPECT_LT(encoded.size(), input.size());
+}
+
+TEST(Lzss, EmptyInput) {
+  const std::vector<std::uint8_t> input;
+  EXPECT_EQ(lzss_decode(lzss_encode(input)), input);
+}
+
+TEST(Lzss, TinyInputsBelowMinMatch) {
+  for (std::size_t n = 1; n <= 5; ++n) {
+    const std::vector<std::uint8_t> input(n, 0xAB);
+    EXPECT_EQ(lzss_decode(lzss_encode(input)), input);
+  }
+}
+
+TEST(Lzss, HighlyRepetitiveCompressesWell) {
+  std::vector<std::uint8_t> input;
+  for (int i = 0; i < 4000; ++i) input.push_back(static_cast<std::uint8_t>(i % 16));
+  const auto encoded = lzss_encode(input);
+  EXPECT_EQ(lzss_decode(encoded), input);
+  EXPECT_LT(encoded.size(), input.size() / 4);
+}
+
+TEST(Lzss, IncompressibleDataSurvives) {
+  Rng rng(22);
+  const auto input = random_bytes(rng, 20000, 256);
+  const auto encoded = lzss_encode(input);
+  EXPECT_EQ(lzss_decode(encoded), input);
+  // Random bytes cost ~9 bits per literal; bounded expansion.
+  EXPECT_LT(encoded.size(), input.size() * 9 / 8 + 64);
+}
+
+TEST(Lzss, OverlappingMatchesDecodeCorrectly) {
+  // "aaaa..." forces matches that overlap their own output.
+  const std::vector<std::uint8_t> input(1000, 'a');
+  EXPECT_EQ(lzss_decode(lzss_encode(input)), input);
+}
+
+TEST(Lzss, LongRangeMatchWithinWindow) {
+  Rng rng(23);
+  auto block = random_bytes(rng, 800, 256);
+  std::vector<std::uint8_t> input = block;
+  input.insert(input.end(), 30000, 7);  // filler
+  input.insert(input.end(), block.begin(), block.end());  // repeat within 64K window
+  const auto encoded = lzss_encode(input);
+  EXPECT_EQ(lzss_decode(encoded), input);
+}
+
+TEST(Lzss, RandomizedProperty) {
+  Rng rng(24);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t alphabet = 1 + rng.uniform_index(255);
+    const auto input = random_bytes(rng, rng.uniform_index(30000), alphabet);
+    EXPECT_EQ(lzss_decode(lzss_encode(input)), input) << "round " << round;
+  }
+}
+
+TEST(Lzss, BadMagicThrows) {
+  std::vector<std::uint8_t> bad = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_THROW(lzss_decode(bad), FormatError);
+}
+
+TEST(Lzss, TruncatedStreamThrows) {
+  const std::vector<std::uint8_t> input(1000, 'x');
+  auto encoded = lzss_encode(input);
+  encoded.resize(13);  // magic + size survive, payload gone
+  EXPECT_THROW(lzss_decode(encoded), FormatError);
+}
+
+}  // namespace
+}  // namespace cosmo

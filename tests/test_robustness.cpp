@@ -1,0 +1,172 @@
+/// Failure-injection and cross-format property tests: every decoder must
+/// reject foreign or damaged streams with a typed exception — never crash,
+/// hang, or silently return garbage of the wrong shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/huffman.hpp"
+#include "codec/lzss.hpp"
+#include "common/error.hpp"
+#include "random/rng.hpp"
+#include "sz/pwrel.hpp"
+#include "sz/sz.hpp"
+#include "zfp/zfp.hpp"
+
+namespace cosmo {
+namespace {
+
+std::vector<float> test_field(const Dims& dims, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(dims.count());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(30.0 * std::sin(0.1 * static_cast<double>(i)) +
+                                rng.normal());
+  }
+  return out;
+}
+
+const Dims kDims = Dims::d3(12, 12, 12);
+
+std::vector<std::uint8_t> sz_stream() {
+  sz::Params params;
+  params.abs_error_bound = 0.1;
+  return sz::compress(test_field(kDims, 1), kDims, params);
+}
+
+std::vector<std::uint8_t> zfp_stream() {
+  zfp::Params params;
+  params.rate = 8.0;
+  return zfp::compress(test_field(kDims, 2), kDims, params);
+}
+
+TEST(Robustness, CrossCodecStreamsRejected) {
+  const auto sz_bytes = sz_stream();
+  const auto zfp_bytes = zfp_stream();
+  // Feeding one codec's stream to the other must throw, not misparse.
+  EXPECT_THROW(zfp::decompress(sz_bytes), FormatError);
+  EXPECT_THROW(sz::decompress_pwrel(sz_bytes), FormatError);   // ABS into PW_REL
+  EXPECT_THROW(sz::decompress_pwrel(zfp_bytes), FormatError);
+  // ZFP streams start with a magic SZ's one-byte flag check rejects.
+  EXPECT_THROW(sz::decompress(zfp_bytes), Error);
+}
+
+TEST(Robustness, TruncationSweepSz) {
+  const auto bytes = sz_stream();
+  Rng rng(3);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t cut = 1 + rng.uniform_index(bytes.size() - 1);
+    std::vector<std::uint8_t> damaged(bytes.begin(),
+                                      bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      const auto out = sz::decompress(damaged);
+      // Decoding a truncated prefix may accidentally succeed only if it
+      // still yields the correct element count.
+      EXPECT_EQ(out.size(), kDims.count());
+    } catch (const Error&) {
+      // typed rejection is the expected path
+    }
+  }
+}
+
+TEST(Robustness, TruncationSweepZfp) {
+  const auto bytes = zfp_stream();
+  Rng rng(4);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t cut = 1 + rng.uniform_index(bytes.size() - 1);
+    std::vector<std::uint8_t> damaged(bytes.begin(),
+                                      bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      const auto out = zfp::decompress(damaged);
+      EXPECT_EQ(out.size(), kDims.count());
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Robustness, BitFlipSweepSz) {
+  const auto bytes = sz_stream();
+  Rng rng(5);
+  for (int round = 0; round < 40; ++round) {
+    auto damaged = bytes;
+    damaged[rng.uniform_index(damaged.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    try {
+      const auto out = sz::decompress(damaged);
+      EXPECT_EQ(out.size(), kDims.count());  // payload damage only
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Robustness, BitFlipSweepHuffman) {
+  std::vector<std::uint32_t> symbols;
+  Rng rng(6);
+  for (int i = 0; i < 4000; ++i) {
+    symbols.push_back(static_cast<std::uint32_t>(rng.uniform_index(64)));
+  }
+  const auto bytes = huffman_encode(symbols);
+  for (int round = 0; round < 40; ++round) {
+    auto damaged = bytes;
+    damaged[rng.uniform_index(damaged.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    try {
+      const auto out = huffman_decode(damaged);
+      EXPECT_EQ(out.size(), symbols.size());  // count survives payload damage
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Robustness, BitFlipSweepLzss) {
+  Rng rng(7);
+  std::vector<std::uint8_t> input(20000);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>((i / 5) % 31);
+  }
+  const auto bytes = lzss_encode(input);
+  for (int round = 0; round < 40; ++round) {
+    auto damaged = bytes;
+    damaged[rng.uniform_index(damaged.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    try {
+      const auto out = lzss_decode(damaged);
+      EXPECT_EQ(out.size(), input.size());
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Robustness, GarbageBuffersRejectedEverywhere) {
+  Rng rng(8);
+  for (const std::size_t len : {0u, 1u, 7u, 64u, 1000u}) {
+    std::vector<std::uint8_t> garbage(len);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+    EXPECT_THROW(sz::decompress(garbage), Error) << len;
+    EXPECT_THROW(zfp::decompress(garbage), Error) << len;
+    EXPECT_THROW(sz::decompress_pwrel(garbage), Error) << len;
+    EXPECT_THROW(huffman_decode(garbage), Error) << len;
+    EXPECT_THROW(lzss_decode(garbage), Error) << len;
+  }
+}
+
+TEST(Robustness, PwRelBoundSurvivesRoundTripAfterReencode) {
+  // Compress, decompress, re-compress the reconstruction: the bound must
+  // still hold against the *first* reconstruction (idempotency-style check
+  // used when pipelines re-compress archived data).
+  const auto data = test_field(kDims, 9);
+  std::vector<float> positive(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    positive[i] = std::fabs(data[i]) + 1.0f;
+  }
+  sz::PwRelParams params;
+  params.pw_rel_bound = 0.05;
+  const auto first = sz::decompress_pwrel(sz::compress_pwrel(positive, kDims, params));
+  const auto second = sz::decompress_pwrel(sz::compress_pwrel(first, kDims, params));
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_LE(std::fabs(second[i] - first[i]) / first[i], 0.05 * (1 + 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace cosmo

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ssim.hpp"
+#include "common/error.hpp"
+#include "random/rng.hpp"
+
+namespace cosmo::analysis {
+namespace {
+
+std::vector<float> smooth(const Dims& dims, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(dims.count());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(50.0 * std::sin(0.1 * static_cast<double>(i % 64)) +
+                                rng.normal());
+  }
+  return out;
+}
+
+TEST(Ssim, IdenticalFieldsGiveOne) {
+  const Dims dims = Dims::d3(16, 16, 16);
+  const auto a = smooth(dims, 1);
+  EXPECT_DOUBLE_EQ(ssim(a, a, dims), 1.0);
+}
+
+TEST(Ssim, SmallNoiseStaysNearOne) {
+  const Dims dims = Dims::d3(16, 16, 16);
+  const auto a = smooth(dims, 2);
+  Rng rng(3);
+  auto b = a;
+  for (auto& v : b) v += static_cast<float>(rng.normal(0.0, 0.01));
+  const double s = ssim(a, b, dims);
+  EXPECT_GT(s, 0.99);
+  EXPECT_LE(s, 1.0 + 1e-12);
+}
+
+TEST(Ssim, DecreasesWithNoiseLevel) {
+  const Dims dims = Dims::d3(16, 16, 16);
+  const auto a = smooth(dims, 4);
+  auto noisy = [&](double sigma) {
+    Rng rng(5);
+    auto b = a;
+    for (auto& v : b) v += static_cast<float>(rng.normal(0.0, sigma));
+    return b;
+  };
+  const double s_small = ssim(a, noisy(0.5), dims);
+  const double s_big = ssim(a, noisy(10.0), dims);
+  EXPECT_GT(s_small, s_big);
+}
+
+TEST(Ssim, StructureLossDetectedDespiteMatchedMoments) {
+  // Shuffled field has identical global mean/variance but no structure:
+  // SSIM must drop far below 1 even though a global moment check passes.
+  const Dims dims = Dims::d3(16, 16, 16);
+  const auto a = smooth(dims, 6);
+  auto b = a;
+  Rng rng(7);
+  for (std::size_t i = b.size() - 1; i > 0; --i) {
+    std::swap(b[i], b[rng.uniform_index(i + 1)]);
+  }
+  EXPECT_LT(ssim(a, b, dims), 0.5);
+}
+
+TEST(Ssim, ConstantFieldsCompareCleanly) {
+  const Dims dims = Dims::d3(8, 8, 8);
+  const std::vector<float> a(dims.count(), 5.0f);
+  EXPECT_NEAR(ssim(a, a, dims), 1.0, 1e-12);
+  std::vector<float> b(dims.count(), 6.0f);
+  EXPECT_LT(ssim(a, b, dims), 1.0);
+}
+
+TEST(Ssim, WorksFor2dFields) {
+  const Dims dims = Dims::d2(32, 32);
+  const auto a = smooth(dims, 8);
+  EXPECT_DOUBLE_EQ(ssim(a, a, dims), 1.0);
+}
+
+TEST(Ssim, InvalidInputsRejected) {
+  const std::vector<float> a(8, 1.0f);
+  const std::vector<float> b(4, 1.0f);
+  EXPECT_THROW(ssim(a, b, Dims::d1(8)), InvalidArgument);
+  EXPECT_THROW(ssim(a, a, Dims::d1(4)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cosmo::analysis

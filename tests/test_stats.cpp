@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "common/error.hpp"
+#include "random/rng.hpp"
+
+namespace cosmo::analysis {
+namespace {
+
+TEST(Stats, IdenticalDataIsLossless) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};
+  const Distortion d = compare(a, a);
+  EXPECT_EQ(d.mse, 0.0);
+  EXPECT_EQ(d.max_abs_err, 0.0);
+  EXPECT_EQ(d.psnr_db, 999.0);  // lossless sentinel
+  EXPECT_DOUBLE_EQ(d.pearson_r, 1.0);
+}
+
+TEST(Stats, KnownMseAndPsnr) {
+  const std::vector<float> orig = {0.0f, 10.0f};
+  const std::vector<float> recon = {1.0f, 9.0f};
+  const Distortion d = compare(orig, recon);
+  EXPECT_DOUBLE_EQ(d.mse, 1.0);
+  EXPECT_DOUBLE_EQ(d.rmse, 1.0);
+  EXPECT_DOUBLE_EQ(d.nrmse, 0.1);
+  EXPECT_NEAR(d.psnr_db, 20.0, 1e-9);  // 20 log10(10/1)
+  EXPECT_DOUBLE_EQ(d.max_abs_err, 1.0);
+}
+
+TEST(Stats, MreIsRangeNormalizedMeanError) {
+  const std::vector<float> orig = {0.0f, 100.0f};
+  const std::vector<float> recon = {2.0f, 100.0f};
+  const Distortion d = compare(orig, recon);
+  EXPECT_DOUBLE_EQ(d.mre, 0.01);  // mean |err| = 1, range = 100
+}
+
+TEST(Stats, MaxRelErrSkipsZeros) {
+  const std::vector<float> orig = {0.0f, 10.0f};
+  const std::vector<float> recon = {5.0f, 11.0f};
+  const Distortion d = compare(orig, recon);
+  EXPECT_DOUBLE_EQ(d.max_rel_err, 0.1);  // only the nonzero point counts
+}
+
+TEST(Stats, PearsonDetectsAnticorrelation) {
+  const std::vector<float> orig = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> recon = {4.0f, 3.0f, 2.0f, 1.0f};
+  EXPECT_NEAR(compare(orig, recon).pearson_r, -1.0, 1e-12);
+}
+
+TEST(Stats, PsnrImprovesWithSmallerNoise) {
+  Rng rng(111);
+  std::vector<float> orig(10000);
+  for (auto& v : orig) v = static_cast<float>(rng.uniform(0.0, 100.0));
+  auto noisy = [&](double sigma) {
+    Rng noise_rng(222);
+    std::vector<float> out = orig;
+    for (auto& v : out) v += static_cast<float>(noise_rng.normal(0.0, sigma));
+    return out;
+  };
+  const double psnr_small = psnr_db(orig, noisy(0.01));
+  const double psnr_large = psnr_db(orig, noisy(1.0));
+  EXPECT_GT(psnr_small, psnr_large + 30.0);  // 100x noise => ~40 dB
+}
+
+TEST(Stats, SizeMismatchAndEmptyRejected) {
+  const std::vector<float> a = {1.0f};
+  const std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_THROW(compare(a, b), InvalidArgument);
+  EXPECT_THROW(compare(std::span<const float>(), std::span<const float>()),
+               InvalidArgument);
+}
+
+TEST(Stats, CompressionRatioAndBitRate) {
+  EXPECT_DOUBLE_EQ(compression_ratio(800, 100), 8.0);
+  EXPECT_DOUBLE_EQ(bit_rate_for_ratio(8.0), 4.0);   // 32 bits / 8x
+  EXPECT_DOUBLE_EQ(bit_rate_for_ratio(16.0), 2.0);
+  EXPECT_THROW(compression_ratio(100, 0), InvalidArgument);
+  EXPECT_THROW(bit_rate_for_ratio(0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cosmo::analysis

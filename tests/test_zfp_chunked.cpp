@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "random/rng.hpp"
+#include "zfp/chunked.hpp"
+
+namespace cosmo::zfp {
+namespace {
+
+std::vector<float> smooth_field(const Dims& dims, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(dims.count());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(40.0 * std::sin(0.05 * static_cast<double>(i)) +
+                                rng.normal());
+  }
+  return out;
+}
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double e = static_cast<double>(a[i]) - b[i];
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+TEST(ZfpChunked, RoundTripSequential) {
+  const Dims dims = Dims::d3(16, 16, 32);
+  const auto data = smooth_field(dims, 11);
+  Params params;
+  params.rate = 12.0;
+  const auto bytes = compress_chunked(data, dims, params, nullptr, 4);
+  Dims out_dims;
+  const auto recon = decompress_chunked(bytes, nullptr, &out_dims);
+  EXPECT_EQ(out_dims, dims);
+  EXPECT_LT(rmse(data, recon), 0.5);
+}
+
+TEST(ZfpChunked, ParallelMatchesSequentialBitExactly) {
+  const Dims dims = Dims::d3(16, 16, 32);
+  const auto data = smooth_field(dims, 12);
+  Params params;
+  params.rate = 8.0;
+  ThreadPool pool(4);
+  const auto sequential = compress_chunked(data, dims, params, nullptr, 4);
+  const auto parallel = compress_chunked(data, dims, params, &pool, 4);
+  EXPECT_EQ(sequential, parallel);
+  EXPECT_EQ(decompress_chunked(sequential, nullptr),
+            decompress_chunked(parallel, &pool));
+}
+
+TEST(ZfpChunked, MatchesUnchunkedQuality) {
+  const Dims dims = Dims::d3(16, 16, 32);
+  const auto data = smooth_field(dims, 13);
+  Params params;
+  params.rate = 8.0;
+  const auto chunked = compress_chunked(data, dims, params, nullptr, 4);
+  const auto whole = compress(data, dims, params);
+  const double rmse_chunked = rmse(data, decompress_chunked(chunked, nullptr));
+  const double rmse_whole = rmse(data, decompress(whole));
+  // Chunk boundaries are 4-aligned, so quality is identical up to tiny
+  // per-chunk header effects.
+  EXPECT_NEAR(rmse_chunked, rmse_whole, rmse_whole * 0.1 + 1e-6);
+  // Overhead: a handful of per-chunk headers only.
+  EXPECT_LT(chunked.size(), whole.size() + 64 * 4 + 128);
+}
+
+TEST(ZfpChunked, WorksAcrossRanks) {
+  for (const int rank : {1, 2, 3}) {
+    Dims dims;
+    if (rank == 1) dims = Dims::d1(4096);
+    else if (rank == 2) dims = Dims::d2(64, 48);
+    else dims = Dims::d3(12, 12, 20);
+    const auto data = smooth_field(dims, 14 + static_cast<std::uint64_t>(rank));
+    Params params;
+    params.rate = 16.0;
+    const auto bytes = compress_chunked(data, dims, params, nullptr, 3);
+    const auto recon = decompress_chunked(bytes, nullptr);
+    ASSERT_EQ(recon.size(), data.size()) << "rank " << rank;
+    EXPECT_LT(rmse(data, recon), 0.2) << "rank " << rank;
+  }
+}
+
+TEST(ZfpChunked, MoreChunksThanSlabsClamped) {
+  const Dims dims = Dims::d3(8, 8, 8);  // only 2 slabs of 4 along z
+  const auto data = smooth_field(dims, 17);
+  Params params;
+  params.rate = 8.0;
+  Stats stats;
+  const auto bytes = compress_chunked(data, dims, params, nullptr, 100, &stats);
+  EXPECT_LE(stats.total_blocks, 2u);
+  EXPECT_EQ(decompress_chunked(bytes, nullptr).size(), data.size());
+}
+
+TEST(ZfpChunked, FixedAccuracyModeSupported) {
+  const Dims dims = Dims::d3(16, 16, 16);
+  const auto data = smooth_field(dims, 18);
+  Params params;
+  params.mode = Mode::kFixedAccuracy;
+  params.tolerance = 0.1;
+  const auto recon = decompress_chunked(compress_chunked(data, dims, params, nullptr, 4),
+                                        nullptr);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(static_cast<double>(data[i]) - recon[i]));
+  }
+  EXPECT_LE(max_err, 0.1);
+}
+
+TEST(ZfpChunked, CorruptStreamThrows) {
+  const Dims dims = Dims::d3(8, 8, 8);
+  const auto data = smooth_field(dims, 19);
+  Params params;
+  params.rate = 8.0;
+  auto bytes = compress_chunked(data, dims, params, nullptr, 2);
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW(decompress_chunked(bytes, nullptr), FormatError);
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(decompress_chunked(bytes, nullptr), FormatError);
+}
+
+}  // namespace
+}  // namespace cosmo::zfp

@@ -1,0 +1,180 @@
+/// \file foresight_cli.cpp
+/// \brief The `foresight` command-line tool: the paper's workflow ("By only
+/// configuring a simple JSON file, Foresight can automatically evaluate
+/// diverse compression configurations...") exposed as a shippable CLI.
+///
+/// Subcommands:
+///   devices                         print Table I and the kernel model
+///   generate --type nyx|hacc --out F [--dim N] [--particles N] [--seed S]
+///   info <file>                     describe a container (Table II style)
+///   compress --codec C --mode M --value V --input F [--field NAME] [--gpu G]
+///   estimate --input F --field NAME --bound B
+///   run <config.json>               run the full JSON pipeline
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "cosmo/dataset_info.hpp"
+#include "cosmo/hacc_synth.hpp"
+#include "cosmo/nyx_synth.hpp"
+#include "foresight/cbench.hpp"
+#include "foresight/pipeline.hpp"
+#include "foresight/report.hpp"
+#include "gpu/specs.hpp"
+#include "sz/rate_estimate.hpp"
+
+using namespace cosmo;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: foresight_cli <command> [options]\n"
+               "  devices\n"
+               "  generate --type nyx|hacc --out FILE [--dim N] [--particles N] [--seed S]\n"
+               "  info FILE\n"
+               "  compress --codec NAME --mode MODE --value V --input FILE [--field NAME] [--gpu NAME]\n"
+               "  estimate --input FILE --field NAME --bound B\n"
+               "  run CONFIG.json\n");
+  return 2;
+}
+
+int cmd_devices() {
+  std::printf("%s", gpu::format_table1().c_str());
+  return 0;
+}
+
+int cmd_generate(const CliArgs& args) {
+  const std::string type = args.get("type", "nyx");
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  if (type == "nyx") {
+    NyxConfig config;
+    config.dim = static_cast<std::size_t>(args.get_int("dim", 64));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    const auto c = generate_nyx(config);
+    io::save(c, out, io::Dialect::kHdf5Lite);
+    std::printf("wrote %s (%s)\n", out.c_str(), human_bytes(c.payload_bytes()).c_str());
+    return 0;
+  }
+  if (type == "hacc") {
+    HaccConfig config;
+    config.particles = static_cast<std::size_t>(args.get_int("particles", 200000));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const auto c = generate_hacc(config);
+    io::save(c, out, io::Dialect::kGenericIo);
+    std::printf("wrote %s (%s)\n", out.c_str(), human_bytes(c.payload_bytes()).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "generate: unknown type '%s'\n", type.c_str());
+  return 2;
+}
+
+int cmd_info(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "info: missing file argument\n");
+    return 2;
+  }
+  const std::string path = args.positional()[1];
+  const auto c = io::load(path);
+  const auto dialect = io::probe_dialect(path);
+  std::printf("%s (%s dialect)\n\n", path.c_str(),
+              dialect == io::Dialect::kGenericIo ? "GenericIO-lite" : "HDF5-lite");
+  std::printf("%s", format_table({describe(c, path)}).c_str());
+  return 0;
+}
+
+int cmd_compress(const CliArgs& args) {
+  const std::string codec_name = args.get("codec", "sz-cpu");
+  const std::string mode = args.get("mode", "abs");
+  const double value = args.get_double("value", 0.0);
+  const std::string input = args.get("input", "");
+  if (input.empty() || value == 0.0) {
+    std::fprintf(stderr, "compress: --input and --value are required\n");
+    return 2;
+  }
+  const auto data = io::load(input);
+  gpu::GpuSimulator sim(gpu::find_device(args.get("gpu", "Tesla V100")));
+  const auto codec = foresight::make_compressor(codec_name, &sim);
+  foresight::CBench bench({.keep_reconstructed = false, .dataset_name = input});
+
+  std::vector<foresight::CBenchResult> results;
+  const std::string only_field = args.get("field", "");
+  for (const auto& variable : data.variables) {
+    if (!only_field.empty() && variable.field.name != only_field) continue;
+    results.push_back(bench.run_one(variable.field, *codec, {mode, value}));
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "compress: no matching fields\n");
+    return 2;
+  }
+  std::printf("%s", foresight::format_results(results).c_str());
+  std::printf("overall ratio: %.2fx\n", foresight::CBench::overall_ratio(results));
+  return 0;
+}
+
+int cmd_estimate(const CliArgs& args) {
+  const std::string input = args.get("input", "");
+  const std::string field_name = args.get("field", "");
+  const double bound = args.get_double("bound", 0.0);
+  if (input.empty() || field_name.empty() || bound <= 0.0) {
+    std::fprintf(stderr, "estimate: --input, --field and --bound are required\n");
+    return 2;
+  }
+  const auto data = io::load(input);
+  const Field& field = data.find(field_name).field;
+  sz::Params params;
+  params.abs_error_bound = bound;
+  const auto est = sz::estimate_rate(field.data, field.dims, params);
+  std::printf("field %s, abs bound %g:\n", field_name.c_str(), bound);
+  std::printf("  code entropy        %.3f bits/value\n", est.entropy_bits_per_value);
+  std::printf("  unpredictable       %.2f%%\n", 100.0 * est.unpredictable_fraction);
+  std::printf("  estimated bitrate   %.3f bits/value (~%.2fx ratio)\n",
+              est.estimated_bits_per_value, 32.0 / est.estimated_bits_per_value);
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "run: missing config file\n");
+    return 2;
+  }
+  const auto summary = foresight::run_pipeline_file(args.positional()[1]);
+  std::printf("%s", foresight::format_results(summary.results).c_str());
+  for (const auto& [key, dev] : summary.pk_deviation) {
+    std::printf("pk  %-55s %.5f\n", key.c_str(), dev);
+  }
+  for (const auto& [key, dev] : summary.halo_deviation) {
+    std::printf("halo %-54s %.5f\n", key.c_str(), dev);
+  }
+  for (const auto& [key, s] : summary.ssim) {
+    std::printf("ssim %-54s %.5f\n", key.c_str(), s);
+  }
+  foresight::write_markdown_report(summary, summary.output_dir + "/report.md");
+  std::printf("outputs: %s (incl. report.md)\n", summary.output_dir.c_str());
+  return summary.workflow_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const CliArgs args(argc, argv);
+  try {
+    if (command == "devices") return cmd_devices();
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "compress") return cmd_compress(args);
+    if (command == "estimate") return cmd_estimate(args);
+    if (command == "run") return cmd_run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "foresight_cli %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
