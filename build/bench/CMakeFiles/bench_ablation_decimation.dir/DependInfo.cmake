@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_decimation.cpp" "bench/CMakeFiles/bench_ablation_decimation.dir/bench_ablation_decimation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_decimation.dir/bench_ablation_decimation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foresight/CMakeFiles/cosmo_foresight.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cosmo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmo/CMakeFiles/cosmo_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cosmo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz/CMakeFiles/cosmo_sz.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfp/CMakeFiles/cosmo_zfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cosmo_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/cosmo_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cosmo_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cosmo_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cosmo_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decimation.dir/bench_ablation_decimation.cpp.o"
+  "CMakeFiles/bench_ablation_decimation.dir/bench_ablation_decimation.cpp.o.d"
+  "bench_ablation_decimation"
+  "bench_ablation_decimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dim_conversion.dir/bench_ablation_dim_conversion.cpp.o"
+  "CMakeFiles/bench_ablation_dim_conversion.dir/bench_ablation_dim_conversion.cpp.o.d"
+  "bench_ablation_dim_conversion"
+  "bench_ablation_dim_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dim_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_halo_profiles.dir/bench_ablation_halo_profiles.cpp.o"
+  "CMakeFiles/bench_ablation_halo_profiles.dir/bench_ablation_halo_profiles.cpp.o.d"
+  "bench_ablation_halo_profiles"
+  "bench_ablation_halo_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_halo_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pwrel.dir/bench_ablation_pwrel.cpp.o"
+  "CMakeFiles/bench_ablation_pwrel.dir/bench_ablation_pwrel.cpp.o.d"
+  "bench_ablation_pwrel"
+  "bench_ablation_pwrel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pwrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_throughput_bitrate.dir/bench_fig10_throughput_bitrate.cpp.o"
+  "CMakeFiles/bench_fig10_throughput_bitrate.dir/bench_fig10_throughput_bitrate.cpp.o.d"
+  "bench_fig10_throughput_bitrate"
+  "bench_fig10_throughput_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_throughput_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_visual_psd.dir/bench_fig1_visual_psd.cpp.o"
+  "CMakeFiles/bench_fig1_visual_psd.dir/bench_fig1_visual_psd.cpp.o.d"
+  "bench_fig1_visual_psd"
+  "bench_fig1_visual_psd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_visual_psd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

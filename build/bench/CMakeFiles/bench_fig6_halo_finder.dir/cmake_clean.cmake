@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_halo_finder.dir/bench_fig6_halo_finder.cpp.o"
+  "CMakeFiles/bench_fig6_halo_finder.dir/bench_fig6_halo_finder.cpp.o.d"
+  "bench_fig6_halo_finder"
+  "bench_fig6_halo_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_halo_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

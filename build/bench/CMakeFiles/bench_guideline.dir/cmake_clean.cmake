@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guideline.dir/bench_guideline.cpp.o"
+  "CMakeFiles/bench_guideline.dir/bench_guideline.cpp.o.d"
+  "bench_guideline"
+  "bench_guideline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guideline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_estimator.dir/bench_rate_estimator.cpp.o"
+  "CMakeFiles/bench_rate_estimator.dir/bench_rate_estimator.cpp.o.d"
+  "bench_rate_estimator"
+  "bench_rate_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gpus.dir/bench_table1_gpus.cpp.o"
+  "CMakeFiles/bench_table1_gpus.dir/bench_table1_gpus.cpp.o.d"
+  "bench_table1_gpus"
+  "bench_table1_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

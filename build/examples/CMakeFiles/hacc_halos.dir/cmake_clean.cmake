@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_halos.dir/hacc_halos.cpp.o"
+  "CMakeFiles/hacc_halos.dir/hacc_halos.cpp.o.d"
+  "hacc_halos"
+  "hacc_halos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_halos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirank_io.dir/multirank_io.cpp.o"
+  "CMakeFiles/multirank_io.dir/multirank_io.cpp.o.d"
+  "multirank_io"
+  "multirank_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirank_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

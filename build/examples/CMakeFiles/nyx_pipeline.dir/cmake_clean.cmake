@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_pipeline.dir/nyx_pipeline.cpp.o"
+  "CMakeFiles/nyx_pipeline.dir/nyx_pipeline.cpp.o.d"
+  "nyx_pipeline"
+  "nyx_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

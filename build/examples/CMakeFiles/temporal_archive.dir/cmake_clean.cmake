@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_archive.dir/temporal_archive.cpp.o"
+  "CMakeFiles/temporal_archive.dir/temporal_archive.cpp.o.d"
+  "temporal_archive"
+  "temporal_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

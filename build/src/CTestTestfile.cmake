@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("random")
+subdirs("codec")
+subdirs("fft")
+subdirs("sz")
+subdirs("zfp")
+subdirs("io")
+subdirs("mpi")
+subdirs("cosmo")
+subdirs("analysis")
+subdirs("gpu")
+subdirs("foresight")

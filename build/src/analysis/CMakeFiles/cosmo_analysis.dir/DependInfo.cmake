@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cic.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/cic.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/cic.cpp.o.d"
+  "/root/repo/src/analysis/decimation.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/decimation.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/decimation.cpp.o.d"
+  "/root/repo/src/analysis/error_distribution.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/error_distribution.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/error_distribution.cpp.o.d"
+  "/root/repo/src/analysis/fof.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/fof.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/fof.cpp.o.d"
+  "/root/repo/src/analysis/halo_profiles.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/halo_profiles.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/halo_profiles.cpp.o.d"
+  "/root/repo/src/analysis/halo_stats.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/halo_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/halo_stats.cpp.o.d"
+  "/root/repo/src/analysis/power_spectrum.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/power_spectrum.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/power_spectrum.cpp.o.d"
+  "/root/repo/src/analysis/ssim.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/ssim.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/ssim.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/cosmo_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/cosmo_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cosmo_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_analysis.dir/cic.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/cic.cpp.o.d"
+  "CMakeFiles/cosmo_analysis.dir/decimation.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/decimation.cpp.o.d"
+  "CMakeFiles/cosmo_analysis.dir/error_distribution.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/error_distribution.cpp.o.d"
+  "CMakeFiles/cosmo_analysis.dir/fof.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/fof.cpp.o.d"
+  "CMakeFiles/cosmo_analysis.dir/halo_profiles.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/halo_profiles.cpp.o.d"
+  "CMakeFiles/cosmo_analysis.dir/halo_stats.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/halo_stats.cpp.o.d"
+  "CMakeFiles/cosmo_analysis.dir/power_spectrum.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/power_spectrum.cpp.o.d"
+  "CMakeFiles/cosmo_analysis.dir/ssim.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/ssim.cpp.o.d"
+  "CMakeFiles/cosmo_analysis.dir/stats.cpp.o"
+  "CMakeFiles/cosmo_analysis.dir/stats.cpp.o.d"
+  "libcosmo_analysis.a"
+  "libcosmo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

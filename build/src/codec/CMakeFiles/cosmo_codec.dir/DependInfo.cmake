@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cpp" "src/codec/CMakeFiles/cosmo_codec.dir/bitstream.cpp.o" "gcc" "src/codec/CMakeFiles/cosmo_codec.dir/bitstream.cpp.o.d"
+  "/root/repo/src/codec/fpc.cpp" "src/codec/CMakeFiles/cosmo_codec.dir/fpc.cpp.o" "gcc" "src/codec/CMakeFiles/cosmo_codec.dir/fpc.cpp.o.d"
+  "/root/repo/src/codec/huffman.cpp" "src/codec/CMakeFiles/cosmo_codec.dir/huffman.cpp.o" "gcc" "src/codec/CMakeFiles/cosmo_codec.dir/huffman.cpp.o.d"
+  "/root/repo/src/codec/lzss.cpp" "src/codec/CMakeFiles/cosmo_codec.dir/lzss.cpp.o" "gcc" "src/codec/CMakeFiles/cosmo_codec.dir/lzss.cpp.o.d"
+  "/root/repo/src/codec/rle.cpp" "src/codec/CMakeFiles/cosmo_codec.dir/rle.cpp.o" "gcc" "src/codec/CMakeFiles/cosmo_codec.dir/rle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_codec.dir/bitstream.cpp.o"
+  "CMakeFiles/cosmo_codec.dir/bitstream.cpp.o.d"
+  "CMakeFiles/cosmo_codec.dir/fpc.cpp.o"
+  "CMakeFiles/cosmo_codec.dir/fpc.cpp.o.d"
+  "CMakeFiles/cosmo_codec.dir/huffman.cpp.o"
+  "CMakeFiles/cosmo_codec.dir/huffman.cpp.o.d"
+  "CMakeFiles/cosmo_codec.dir/lzss.cpp.o"
+  "CMakeFiles/cosmo_codec.dir/lzss.cpp.o.d"
+  "CMakeFiles/cosmo_codec.dir/rle.cpp.o"
+  "CMakeFiles/cosmo_codec.dir/rle.cpp.o.d"
+  "libcosmo_codec.a"
+  "libcosmo_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcosmo_codec.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/common/CMakeFiles/cosmo_common.dir/cli.cpp.o" "gcc" "src/common/CMakeFiles/cosmo_common.dir/cli.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "src/common/CMakeFiles/cosmo_common.dir/env.cpp.o" "gcc" "src/common/CMakeFiles/cosmo_common.dir/env.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/cosmo_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/cosmo_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/field.cpp" "src/common/CMakeFiles/cosmo_common.dir/field.cpp.o" "gcc" "src/common/CMakeFiles/cosmo_common.dir/field.cpp.o.d"
+  "/root/repo/src/common/str.cpp" "src/common/CMakeFiles/cosmo_common.dir/str.cpp.o" "gcc" "src/common/CMakeFiles/cosmo_common.dir/str.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/cosmo_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/cosmo_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/common/CMakeFiles/cosmo_common.dir/timer.cpp.o" "gcc" "src/common/CMakeFiles/cosmo_common.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_common.dir/cli.cpp.o"
+  "CMakeFiles/cosmo_common.dir/cli.cpp.o.d"
+  "CMakeFiles/cosmo_common.dir/env.cpp.o"
+  "CMakeFiles/cosmo_common.dir/env.cpp.o.d"
+  "CMakeFiles/cosmo_common.dir/error.cpp.o"
+  "CMakeFiles/cosmo_common.dir/error.cpp.o.d"
+  "CMakeFiles/cosmo_common.dir/field.cpp.o"
+  "CMakeFiles/cosmo_common.dir/field.cpp.o.d"
+  "CMakeFiles/cosmo_common.dir/str.cpp.o"
+  "CMakeFiles/cosmo_common.dir/str.cpp.o.d"
+  "CMakeFiles/cosmo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/cosmo_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/cosmo_common.dir/timer.cpp.o"
+  "CMakeFiles/cosmo_common.dir/timer.cpp.o.d"
+  "libcosmo_common.a"
+  "libcosmo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosmo/dataset_info.cpp" "src/cosmo/CMakeFiles/cosmo_cosmo.dir/dataset_info.cpp.o" "gcc" "src/cosmo/CMakeFiles/cosmo_cosmo.dir/dataset_info.cpp.o.d"
+  "/root/repo/src/cosmo/hacc_synth.cpp" "src/cosmo/CMakeFiles/cosmo_cosmo.dir/hacc_synth.cpp.o" "gcc" "src/cosmo/CMakeFiles/cosmo_cosmo.dir/hacc_synth.cpp.o.d"
+  "/root/repo/src/cosmo/nyx_sequence.cpp" "src/cosmo/CMakeFiles/cosmo_cosmo.dir/nyx_sequence.cpp.o" "gcc" "src/cosmo/CMakeFiles/cosmo_cosmo.dir/nyx_sequence.cpp.o.d"
+  "/root/repo/src/cosmo/nyx_synth.cpp" "src/cosmo/CMakeFiles/cosmo_cosmo.dir/nyx_synth.cpp.o" "gcc" "src/cosmo/CMakeFiles/cosmo_cosmo.dir/nyx_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cosmo_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cosmo_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cosmo_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cosmo_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_cosmo.dir/dataset_info.cpp.o"
+  "CMakeFiles/cosmo_cosmo.dir/dataset_info.cpp.o.d"
+  "CMakeFiles/cosmo_cosmo.dir/hacc_synth.cpp.o"
+  "CMakeFiles/cosmo_cosmo.dir/hacc_synth.cpp.o.d"
+  "CMakeFiles/cosmo_cosmo.dir/nyx_sequence.cpp.o"
+  "CMakeFiles/cosmo_cosmo.dir/nyx_sequence.cpp.o.d"
+  "CMakeFiles/cosmo_cosmo.dir/nyx_synth.cpp.o"
+  "CMakeFiles/cosmo_cosmo.dir/nyx_synth.cpp.o.d"
+  "libcosmo_cosmo.a"
+  "libcosmo_cosmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

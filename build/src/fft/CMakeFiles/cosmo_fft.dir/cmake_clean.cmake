@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_fft.dir/fft.cpp.o"
+  "CMakeFiles/cosmo_fft.dir/fft.cpp.o.d"
+  "libcosmo_fft.a"
+  "libcosmo_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

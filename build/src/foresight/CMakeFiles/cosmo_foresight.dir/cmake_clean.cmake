@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_foresight.dir/cbench.cpp.o"
+  "CMakeFiles/cosmo_foresight.dir/cbench.cpp.o.d"
+  "CMakeFiles/cosmo_foresight.dir/cinema.cpp.o"
+  "CMakeFiles/cosmo_foresight.dir/cinema.cpp.o.d"
+  "CMakeFiles/cosmo_foresight.dir/compressor.cpp.o"
+  "CMakeFiles/cosmo_foresight.dir/compressor.cpp.o.d"
+  "CMakeFiles/cosmo_foresight.dir/optimizer.cpp.o"
+  "CMakeFiles/cosmo_foresight.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cosmo_foresight.dir/pat.cpp.o"
+  "CMakeFiles/cosmo_foresight.dir/pat.cpp.o.d"
+  "CMakeFiles/cosmo_foresight.dir/pipeline.cpp.o"
+  "CMakeFiles/cosmo_foresight.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cosmo_foresight.dir/report.cpp.o"
+  "CMakeFiles/cosmo_foresight.dir/report.cpp.o.d"
+  "CMakeFiles/cosmo_foresight.dir/sweep.cpp.o"
+  "CMakeFiles/cosmo_foresight.dir/sweep.cpp.o.d"
+  "libcosmo_foresight.a"
+  "libcosmo_foresight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_foresight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

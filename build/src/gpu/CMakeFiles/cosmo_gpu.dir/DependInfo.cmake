@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/device_compressor.cpp" "src/gpu/CMakeFiles/cosmo_gpu.dir/device_compressor.cpp.o" "gcc" "src/gpu/CMakeFiles/cosmo_gpu.dir/device_compressor.cpp.o.d"
+  "/root/repo/src/gpu/node.cpp" "src/gpu/CMakeFiles/cosmo_gpu.dir/node.cpp.o" "gcc" "src/gpu/CMakeFiles/cosmo_gpu.dir/node.cpp.o.d"
+  "/root/repo/src/gpu/sim.cpp" "src/gpu/CMakeFiles/cosmo_gpu.dir/sim.cpp.o" "gcc" "src/gpu/CMakeFiles/cosmo_gpu.dir/sim.cpp.o.d"
+  "/root/repo/src/gpu/specs.cpp" "src/gpu/CMakeFiles/cosmo_gpu.dir/specs.cpp.o" "gcc" "src/gpu/CMakeFiles/cosmo_gpu.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz/CMakeFiles/cosmo_sz.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfp/CMakeFiles/cosmo_zfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cosmo_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/cosmo_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

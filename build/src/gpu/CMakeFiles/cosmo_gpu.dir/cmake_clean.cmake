@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_gpu.dir/device_compressor.cpp.o"
+  "CMakeFiles/cosmo_gpu.dir/device_compressor.cpp.o.d"
+  "CMakeFiles/cosmo_gpu.dir/node.cpp.o"
+  "CMakeFiles/cosmo_gpu.dir/node.cpp.o.d"
+  "CMakeFiles/cosmo_gpu.dir/sim.cpp.o"
+  "CMakeFiles/cosmo_gpu.dir/sim.cpp.o.d"
+  "CMakeFiles/cosmo_gpu.dir/specs.cpp.o"
+  "CMakeFiles/cosmo_gpu.dir/specs.cpp.o.d"
+  "libcosmo_gpu.a"
+  "libcosmo_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

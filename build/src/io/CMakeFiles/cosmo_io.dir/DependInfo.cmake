@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/container.cpp" "src/io/CMakeFiles/cosmo_io.dir/container.cpp.o" "gcc" "src/io/CMakeFiles/cosmo_io.dir/container.cpp.o.d"
+  "/root/repo/src/io/crc32.cpp" "src/io/CMakeFiles/cosmo_io.dir/crc32.cpp.o" "gcc" "src/io/CMakeFiles/cosmo_io.dir/crc32.cpp.o.d"
+  "/root/repo/src/io/partitioned.cpp" "src/io/CMakeFiles/cosmo_io.dir/partitioned.cpp.o" "gcc" "src/io/CMakeFiles/cosmo_io.dir/partitioned.cpp.o.d"
+  "/root/repo/src/io/ppm.cpp" "src/io/CMakeFiles/cosmo_io.dir/ppm.cpp.o" "gcc" "src/io/CMakeFiles/cosmo_io.dir/ppm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cosmo_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

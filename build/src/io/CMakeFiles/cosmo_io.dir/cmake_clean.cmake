@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_io.dir/container.cpp.o"
+  "CMakeFiles/cosmo_io.dir/container.cpp.o.d"
+  "CMakeFiles/cosmo_io.dir/crc32.cpp.o"
+  "CMakeFiles/cosmo_io.dir/crc32.cpp.o.d"
+  "CMakeFiles/cosmo_io.dir/partitioned.cpp.o"
+  "CMakeFiles/cosmo_io.dir/partitioned.cpp.o.d"
+  "CMakeFiles/cosmo_io.dir/ppm.cpp.o"
+  "CMakeFiles/cosmo_io.dir/ppm.cpp.o.d"
+  "libcosmo_io.a"
+  "libcosmo_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_json.dir/json.cpp.o"
+  "CMakeFiles/cosmo_json.dir/json.cpp.o.d"
+  "libcosmo_json.a"
+  "libcosmo_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_mpi.dir/comm.cpp.o"
+  "CMakeFiles/cosmo_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/cosmo_mpi.dir/domain.cpp.o"
+  "CMakeFiles/cosmo_mpi.dir/domain.cpp.o.d"
+  "libcosmo_mpi.a"
+  "libcosmo_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

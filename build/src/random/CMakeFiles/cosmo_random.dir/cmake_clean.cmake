@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_random.dir/rng.cpp.o"
+  "CMakeFiles/cosmo_random.dir/rng.cpp.o.d"
+  "libcosmo_random.a"
+  "libcosmo_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

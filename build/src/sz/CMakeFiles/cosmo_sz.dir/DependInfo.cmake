@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sz/predictor.cpp" "src/sz/CMakeFiles/cosmo_sz.dir/predictor.cpp.o" "gcc" "src/sz/CMakeFiles/cosmo_sz.dir/predictor.cpp.o.d"
+  "/root/repo/src/sz/pwrel.cpp" "src/sz/CMakeFiles/cosmo_sz.dir/pwrel.cpp.o" "gcc" "src/sz/CMakeFiles/cosmo_sz.dir/pwrel.cpp.o.d"
+  "/root/repo/src/sz/quantizer.cpp" "src/sz/CMakeFiles/cosmo_sz.dir/quantizer.cpp.o" "gcc" "src/sz/CMakeFiles/cosmo_sz.dir/quantizer.cpp.o.d"
+  "/root/repo/src/sz/rate_estimate.cpp" "src/sz/CMakeFiles/cosmo_sz.dir/rate_estimate.cpp.o" "gcc" "src/sz/CMakeFiles/cosmo_sz.dir/rate_estimate.cpp.o.d"
+  "/root/repo/src/sz/sz.cpp" "src/sz/CMakeFiles/cosmo_sz.dir/sz.cpp.o" "gcc" "src/sz/CMakeFiles/cosmo_sz.dir/sz.cpp.o.d"
+  "/root/repo/src/sz/temporal.cpp" "src/sz/CMakeFiles/cosmo_sz.dir/temporal.cpp.o" "gcc" "src/sz/CMakeFiles/cosmo_sz.dir/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/cosmo_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

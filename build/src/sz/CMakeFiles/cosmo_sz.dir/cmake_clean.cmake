@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_sz.dir/predictor.cpp.o"
+  "CMakeFiles/cosmo_sz.dir/predictor.cpp.o.d"
+  "CMakeFiles/cosmo_sz.dir/pwrel.cpp.o"
+  "CMakeFiles/cosmo_sz.dir/pwrel.cpp.o.d"
+  "CMakeFiles/cosmo_sz.dir/quantizer.cpp.o"
+  "CMakeFiles/cosmo_sz.dir/quantizer.cpp.o.d"
+  "CMakeFiles/cosmo_sz.dir/rate_estimate.cpp.o"
+  "CMakeFiles/cosmo_sz.dir/rate_estimate.cpp.o.d"
+  "CMakeFiles/cosmo_sz.dir/sz.cpp.o"
+  "CMakeFiles/cosmo_sz.dir/sz.cpp.o.d"
+  "CMakeFiles/cosmo_sz.dir/temporal.cpp.o"
+  "CMakeFiles/cosmo_sz.dir/temporal.cpp.o.d"
+  "libcosmo_sz.a"
+  "libcosmo_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zfp/block_codec.cpp" "src/zfp/CMakeFiles/cosmo_zfp.dir/block_codec.cpp.o" "gcc" "src/zfp/CMakeFiles/cosmo_zfp.dir/block_codec.cpp.o.d"
+  "/root/repo/src/zfp/chunked.cpp" "src/zfp/CMakeFiles/cosmo_zfp.dir/chunked.cpp.o" "gcc" "src/zfp/CMakeFiles/cosmo_zfp.dir/chunked.cpp.o.d"
+  "/root/repo/src/zfp/zfp.cpp" "src/zfp/CMakeFiles/cosmo_zfp.dir/zfp.cpp.o" "gcc" "src/zfp/CMakeFiles/cosmo_zfp.dir/zfp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/cosmo_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_zfp.dir/block_codec.cpp.o"
+  "CMakeFiles/cosmo_zfp.dir/block_codec.cpp.o.d"
+  "CMakeFiles/cosmo_zfp.dir/chunked.cpp.o"
+  "CMakeFiles/cosmo_zfp.dir/chunked.cpp.o.d"
+  "CMakeFiles/cosmo_zfp.dir/zfp.cpp.o"
+  "CMakeFiles/cosmo_zfp.dir/zfp.cpp.o.d"
+  "libcosmo_zfp.a"
+  "libcosmo_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

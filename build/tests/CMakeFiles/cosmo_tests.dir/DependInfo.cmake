@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitstream.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_bitstream.cpp.o.d"
+  "/root/repo/tests/test_cbench.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_cbench.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_cbench.cpp.o.d"
+  "/root/repo/tests/test_cic.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_cic.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_cic.cpp.o.d"
+  "/root/repo/tests/test_cinema.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_cinema.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_cinema.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_cosmo_synth.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_cosmo_synth.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_cosmo_synth.cpp.o.d"
+  "/root/repo/tests/test_errdist_fpc.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_errdist_fpc.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_errdist_fpc.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_fof.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_fof.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_fof.cpp.o.d"
+  "/root/repo/tests/test_foresight_compressor.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_foresight_compressor.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_foresight_compressor.cpp.o.d"
+  "/root/repo/tests/test_gpu.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_gpu.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_gpu.cpp.o.d"
+  "/root/repo/tests/test_halo_stats.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_halo_stats.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_halo_stats.cpp.o.d"
+  "/root/repo/tests/test_huffman.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_huffman.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_huffman.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_mpi.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_mpi.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_mpi.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_pat.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_pat.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_pat.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_power_spectrum.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_power_spectrum.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_power_spectrum.cpp.o.d"
+  "/root/repo/tests/test_profiles_report.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_profiles_report.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_profiles_report.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_pwrel.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_pwrel.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_pwrel.cpp.o.d"
+  "/root/repo/tests/test_rle_lzss.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_rle_lzss.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_rle_lzss.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_ssim.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_ssim.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_ssim.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_sweep.cpp.o.d"
+  "/root/repo/tests/test_sz.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_sz.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_sz.cpp.o.d"
+  "/root/repo/tests/test_sz_predictor.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_sz_predictor.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_sz_predictor.cpp.o.d"
+  "/root/repo/tests/test_temporal.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_temporal.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_temporal.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_zfp.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_zfp.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_zfp.cpp.o.d"
+  "/root/repo/tests/test_zfp_block.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_zfp_block.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_zfp_block.cpp.o.d"
+  "/root/repo/tests/test_zfp_chunked.cpp" "tests/CMakeFiles/cosmo_tests.dir/test_zfp_chunked.cpp.o" "gcc" "tests/CMakeFiles/cosmo_tests.dir/test_zfp_chunked.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foresight/CMakeFiles/cosmo_foresight.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cosmo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmo/CMakeFiles/cosmo_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cosmo_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz/CMakeFiles/cosmo_sz.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfp/CMakeFiles/cosmo_zfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/cosmo_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cosmo_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/cosmo_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cosmo_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cosmo_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cosmo_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cosmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foresight_cli.dir/foresight_cli.cpp.o"
+  "CMakeFiles/foresight_cli.dir/foresight_cli.cpp.o.d"
+  "foresight_cli"
+  "foresight_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foresight_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_devices "/root/repo/build/tools/foresight_cli" "devices")
+set_tests_properties(cli_devices PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate_info "/root/repo/build/tools/foresight_cli" "generate" "--type" "nyx" "--dim" "16" "--out" "/root/repo/build/cli_test_nyx.h5l")
+set_tests_properties(cli_generate_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/foresight_cli" "info" "/root/repo/build/cli_test_nyx.h5l")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_generate_info" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compress "/root/repo/build/tools/foresight_cli" "compress" "--codec" "zfp-cpu" "--mode" "rate" "--value" "8" "--input" "/root/repo/build/cli_test_nyx.h5l")
+set_tests_properties(cli_compress PROPERTIES  DEPENDS "cli_generate_info" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate "/root/repo/build/tools/foresight_cli" "estimate" "--input" "/root/repo/build/cli_test_nyx.h5l" "--field" "temperature" "--bound" "100")
+set_tests_properties(cli_estimate PROPERTIES  DEPENDS "cli_generate_info" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/foresight_cli" "bogus-command")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
