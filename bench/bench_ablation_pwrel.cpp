@@ -70,8 +70,9 @@ int main() {
       {{"abs", 50.0}},  {{"abs", 250.0}},  {{"abs", 1000.0}},
       {{"pw_rel", 0.01}}, {{"pw_rel", 0.05}}, {{"pw_rel", 0.25}},
   };
+  const auto session = gpu_sz->open_session();  // buffers reused per case
   for (const auto& c : cases) {
-    const auto r = cb.run_one(vx, *gpu_sz, c.config);
+    const auto r = cb.run_session(vx, gpu_sz->name(), *session, c.config);
     const double bulk = bulk_velocity_error(halos, vx.data, r.reconstructed);
     std::printf("%-14s %10.3f %10.2f %14.4g %18.5f\n", c.config.label().c_str(),
                 r.bit_rate, r.distortion.psnr_db, r.distortion.max_rel_err, bulk);

@@ -31,14 +31,18 @@ void print_series(const std::string& label, const Series& s) {
 }
 
 /// Sweeps one compressor over one field; returns (bitrate, psnr) points
-/// sorted by bitrate.
+/// sorted by bitrate. One session serves the whole sweep, so stream and
+/// reconstruction buffers are reused across configs.
 Series sweep(foresight::CBench& bench, const Field& field,
              foresight::Compressor& codec,
              const std::vector<foresight::CompressorConfig>& configs) {
   Series s;
+  const auto session = codec.open_session();
+  foresight::CompressResult c;
+  foresight::DecompressResult d;
   std::vector<std::pair<double, double>> points;
   for (const auto& config : configs) {
-    const auto r = bench.run_one(field, codec, config);
+    const auto r = bench.run_session(field, codec.name(), *session, config, c, d);
     points.emplace_back(r.bit_rate, r.distortion.psnr_db);
   }
   std::sort(points.begin(), points.end());

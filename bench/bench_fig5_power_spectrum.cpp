@@ -66,7 +66,7 @@ int main() {
   foresight::CBench cb({.keep_reconstructed = true, .dataset_name = "fig5"});
   foresight::ensure_directory(bench::out_dir());
 
-  for (const std::string codec_name : {std::string("cuzfp"), std::string("gpu-sz")}) {
+  for (const auto& codec_name : {std::string("cuzfp"), std::string("gpu-sz")}) {
     const auto codec = foresight::make_compressor(codec_name, &sim);
     std::printf("--- %s ---\n", codec_name.c_str());
     std::printf("%-22s %-14s %8s %12s %s\n", "field", "config", "ratio",
@@ -91,8 +91,9 @@ int main() {
 
       double best_ratio = -1.0;
       std::string best_label = "none";
+      const auto session = codec->open_session();  // buffers reused per config
       for (const auto& config : candidates(codec_name, field)) {
-        const auto r = cb.run_one(field, *codec, config);
+        const auto r = cb.run_session(field, codec->name(), *session, config);
         const auto pk =
             analysis::pk_ratio(field.data, r.reconstructed, field.dims, kKFraction);
         const bool ok = analysis::pk_acceptable(pk, 0.01);

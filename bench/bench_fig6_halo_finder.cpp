@@ -76,10 +76,11 @@ int main() {
 
     double best_ratio = -1.0;
     std::string best_label = "none";
+    const auto session = codec->open_session();  // buffers reused per config
     for (const auto& config : panel.configs) {
-      const auto rx = cb.run_one(x, *codec, config);
-      const auto ry = cb.run_one(y, *codec, config);
-      const auto rz = cb.run_one(z, *codec, config);
+      const auto rx = cb.run_session(x, codec->name(), *session, config);
+      const auto ry = cb.run_session(y, codec->name(), *session, config);
+      const auto rz = cb.run_session(z, codec->name(), *session, config);
       const auto recon = analysis::fof(rx.reconstructed, ry.reconstructed,
                                        rz.reconstructed, fof_params);
       const double compression = 3.0 * static_cast<double>(x.bytes()) /

@@ -41,17 +41,25 @@ int main() {
   std::size_t sz_compressed = 0, zfp_compressed = 0;
   const auto sz_cpu = foresight::make_compressor("sz-cpu");
   const auto zfp_cpu = foresight::make_compressor("zfp-cpu");
+  // Staged sessions, serial on purpose: each stage is timed on its own and
+  // buffer reuse keeps allocator noise out of the measured throughput.
+  const auto sz_session = sz_cpu->open_session();
+  const auto zfp_session = zfp_cpu->open_session();
+  foresight::CompressResult c;
+  foresight::DecompressResult d;
   for (const auto& variable : nyx.variables) {
     const Field& field = variable.field;
     total_bytes += field.bytes();
-    const auto sz_run = sz_cpu->run(field, sz_config.at(field.name));
-    sz_comp_s += sz_run.compress_seconds;
-    sz_dec_s += sz_run.decompress_seconds;
-    sz_compressed += sz_run.bytes.size();
-    const auto zfp_run = zfp_cpu->run(field, zfp_config.at(field.name));
-    zfp_comp_s += zfp_run.compress_seconds;
-    zfp_dec_s += zfp_run.decompress_seconds;
-    zfp_compressed += zfp_run.bytes.size();
+    sz_session->compress(field, sz_config.at(field.name), c);
+    sz_session->decompress(c, d);
+    sz_comp_s += c.seconds;
+    sz_dec_s += d.seconds;
+    sz_compressed += c.bytes.size();
+    zfp_session->compress(field, zfp_config.at(field.name), c);
+    zfp_session->decompress(c, d);
+    zfp_comp_s += c.seconds;
+    zfp_dec_s += d.seconds;
+    zfp_compressed += c.bytes.size();
   }
   const double gb = static_cast<double>(total_bytes);
   const double scale = cpu.cores * cpu.parallel_efficiency;

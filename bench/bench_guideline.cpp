@@ -20,7 +20,7 @@ int main() {
 
   // ---------------- Nyx ----------------
   const io::Container nyx = bench::make_nyx();
-  for (const std::string codec_name : {std::string("gpu-sz"), std::string("cuzfp")}) {
+  for (const auto& codec_name : {std::string("gpu-sz"), std::string("cuzfp")}) {
     const auto codec = foresight::make_compressor(codec_name, &sim);
     std::map<std::string, std::vector<foresight::CompressorConfig>> candidates;
     for (const auto& variable : nyx.variables) {

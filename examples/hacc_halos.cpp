@@ -48,11 +48,12 @@ int main(int argc, char** argv) {
   std::printf("%-10s %8s %10s %12s %14s %s\n", "abs bound", "ratio", "halos",
               "count ratio", "max bin dev", "verdict");
   std::printf("%s\n", std::string(75, '-').c_str());
+  const auto session = gpu_sz->open_session();  // buffers reused per bound
   for (const double bound : bounds) {
     const foresight::CompressorConfig cfg{"abs", bound};
-    const auto rx = bench.run_one(x, *gpu_sz, cfg);
-    const auto ry = bench.run_one(y, *gpu_sz, cfg);
-    const auto rz = bench.run_one(z, *gpu_sz, cfg);
+    const auto rx = bench.run_session(x, gpu_sz->name(), *session, cfg);
+    const auto ry = bench.run_session(y, gpu_sz->name(), *session, cfg);
+    const auto rz = bench.run_session(z, gpu_sz->name(), *session, cfg);
     const auto recon =
         analysis::fof(rx.reconstructed, ry.reconstructed, rz.reconstructed, fof_params);
     const double ratio = 3.0 * static_cast<double>(x.bytes()) /

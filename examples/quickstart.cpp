@@ -33,18 +33,22 @@ int main(int argc, char** argv) {
   std::printf("Simulated device: %s (%.0f GB/s memory bandwidth)\n\n",
               sim.spec().name.c_str(), sim.spec().memory_bw_gbps);
 
-  // 3. Run both GPU compressors through CBench.
+  // 3. Run both GPU compressors through CBench. Each compressor opens a
+  // codec session (the staged compress/decompress API); CBench fills the
+  // metric rows from the staged results.
   foresight::CBench bench({.keep_reconstructed = false, .dataset_name = "nyx"});
   const auto gpu_sz = foresight::make_compressor("gpu-sz", &sim);
   const auto cuzfp = foresight::make_compressor("cuzfp", &sim);
+  const auto sz_session = gpu_sz->open_session();
+  const auto zfp_session = cuzfp->open_session();
 
   std::vector<foresight::CBenchResult> results;
   const Field& rho = dataset.find("baryon_density").field;
   const Field& vx = dataset.find("velocity_x").field;
-  results.push_back(bench.run_one(rho, *gpu_sz, {"abs", 0.2}));
-  results.push_back(bench.run_one(rho, *cuzfp, {"rate", 4.0}));
-  results.push_back(bench.run_one(vx, *gpu_sz, {"pw_rel", 0.01}));
-  results.push_back(bench.run_one(vx, *cuzfp, {"rate", 4.0}));
+  results.push_back(bench.run_session(rho, gpu_sz->name(), *sz_session, {"abs", 0.2}));
+  results.push_back(bench.run_session(rho, cuzfp->name(), *zfp_session, {"rate", 4.0}));
+  results.push_back(bench.run_session(vx, gpu_sz->name(), *sz_session, {"pw_rel", 0.01}));
+  results.push_back(bench.run_session(vx, cuzfp->name(), *zfp_session, {"rate", 4.0}));
 
   std::printf("%s\n", foresight::format_results(results).c_str());
 

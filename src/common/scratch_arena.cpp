@@ -1,0 +1,65 @@
+#include "common/scratch_arena.hpp"
+
+#include <algorithm>
+
+namespace cosmo {
+
+namespace {
+
+template <typename T>
+ArenaLease<T> acquire(ScratchArena* arena,
+                      std::vector<std::unique_ptr<std::vector<T>>>& pool,
+                      ScratchArena::Stats& stats, std::size_t& leased_bytes) {
+  ++stats.requests;
+  std::unique_ptr<std::vector<T>> buf;
+  if (!pool.empty()) {
+    buf = std::move(pool.back());
+    pool.pop_back();
+    ++stats.reuses;
+    --stats.pooled_buffers;
+    stats.pooled_bytes -= buf->capacity() * sizeof(T);
+    leased_bytes += buf->capacity() * sizeof(T);
+  } else {
+    buf = std::make_unique<std::vector<T>>();
+  }
+  return ArenaLease<T>(arena, std::move(buf));
+}
+
+}  // namespace
+
+ArenaLease<float> ScratchArena::floats() {
+  return acquire<float>(this, float_pool_, stats_, leased_bytes_);
+}
+
+ArenaLease<std::uint8_t> ScratchArena::bytes() {
+  return acquire<std::uint8_t>(this, byte_pool_, stats_, leased_bytes_);
+}
+
+void ScratchArena::account_release(std::size_t capacity_bytes) {
+  // The buffer may have grown (or been handed out fresh) while leased, so
+  // the leased-bytes estimate is clamped rather than strictly decremented.
+  leased_bytes_ -= std::min(leased_bytes_, capacity_bytes);
+  stats_.pooled_bytes += capacity_bytes;
+  ++stats_.pooled_buffers;
+  stats_.high_water_bytes =
+      std::max(stats_.high_water_bytes, stats_.pooled_bytes + leased_bytes_);
+}
+
+void ScratchArena::release(std::unique_ptr<std::vector<float>> buf) {
+  account_release(buf->capacity() * sizeof(float));
+  float_pool_.push_back(std::move(buf));
+}
+
+void ScratchArena::release(std::unique_ptr<std::vector<std::uint8_t>> buf) {
+  account_release(buf->capacity());
+  byte_pool_.push_back(std::move(buf));
+}
+
+void ScratchArena::trim() {
+  float_pool_.clear();
+  byte_pool_.clear();
+  stats_.pooled_buffers = 0;
+  stats_.pooled_bytes = 0;
+}
+
+}  // namespace cosmo

@@ -1,0 +1,117 @@
+/// \file scratch_arena.hpp
+/// \brief Reusable scratch-buffer pool for repeated codec runs.
+///
+/// Sweeps push thousands of compress/decompress iterations over same-sized
+/// fields; reallocating the padded-input, compressed-stream and
+/// reconstruction buffers on every iteration dominates allocator traffic.
+/// A ScratchArena hands out leased buffers that return to the arena when
+/// the lease dies, so the next iteration reuses their capacity.
+///
+/// Ownership rules (see docs/architecture.md):
+///  - an arena is NOT thread-safe; the sweep scheduler gives each worker
+///    its own arena (one per CodecSession);
+///  - leases must not outlive their arena;
+///  - a buffer's contents are unspecified at lease time — callers size and
+///    fill it themselves (assign/resize/clear).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cosmo {
+
+class ScratchArena;
+
+/// RAII lease of a std::vector<T> drawn from an arena. Move-only; the
+/// buffer returns to the arena's free list on destruction. A
+/// default-constructed lease owns nothing and is bool-false.
+template <typename T>
+class ArenaLease {
+ public:
+  ArenaLease() = default;
+  ArenaLease(ScratchArena* arena, std::unique_ptr<std::vector<T>> buf)
+      : arena_(arena), buf_(std::move(buf)) {}
+  ArenaLease(ArenaLease&& other) noexcept
+      : arena_(other.arena_), buf_(std::move(other.buf_)) {
+    other.arena_ = nullptr;
+  }
+  ArenaLease& operator=(ArenaLease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      arena_ = other.arena_;
+      buf_ = std::move(other.buf_);
+      other.arena_ = nullptr;
+    }
+    return *this;
+  }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+  ~ArenaLease() { reset(); }
+
+  /// Returns the buffer to the arena (no-op for an empty lease).
+  void reset();
+
+  [[nodiscard]] std::vector<T>& operator*() { return *buf_; }
+  [[nodiscard]] const std::vector<T>& operator*() const { return *buf_; }
+  [[nodiscard]] std::vector<T>* operator->() { return buf_.get(); }
+  [[nodiscard]] const std::vector<T>* operator->() const { return buf_.get(); }
+  explicit operator bool() const { return buf_ != nullptr; }
+
+ private:
+  ScratchArena* arena_ = nullptr;
+  std::unique_ptr<std::vector<T>> buf_;
+};
+
+/// The pool. Holds free lists of float and byte buffers plus usage stats
+/// (request/reuse counters and a capacity high-water mark).
+class ScratchArena {
+ public:
+  struct Stats {
+    std::size_t requests = 0;         ///< total leases handed out
+    std::size_t reuses = 0;           ///< leases served from the free list
+    std::size_t pooled_buffers = 0;   ///< buffers currently in the free lists
+    std::size_t pooled_bytes = 0;     ///< capacity currently in the free lists
+    std::size_t high_water_bytes = 0; ///< peak pooled + leased capacity seen
+  };
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Leases a float buffer; contents and size are unspecified.
+  [[nodiscard]] ArenaLease<float> floats();
+  /// Leases a byte buffer; contents and size are unspecified.
+  [[nodiscard]] ArenaLease<std::uint8_t> bytes();
+
+  [[nodiscard]] Stats stats() const { return stats_; }
+
+  /// Drops all pooled buffers (leased buffers are unaffected).
+  void trim();
+
+ private:
+  template <typename U>
+  friend class ArenaLease;
+
+  void release(std::unique_ptr<std::vector<float>> buf);
+  void release(std::unique_ptr<std::vector<std::uint8_t>> buf);
+  void account_release(std::size_t capacity_bytes);
+
+  std::vector<std::unique_ptr<std::vector<float>>> float_pool_;
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> byte_pool_;
+  Stats stats_;
+  /// Last-known capacity of leased buffers; refreshed when leases return
+  /// (a leased buffer may grow while out, so the high-water mark is exact
+  /// only at release points).
+  std::size_t leased_bytes_ = 0;
+};
+
+template <typename T>
+void ArenaLease<T>::reset() {
+  if (arena_ && buf_) arena_->release(std::move(buf_));
+  arena_ = nullptr;
+  buf_.reset();
+}
+
+}  // namespace cosmo

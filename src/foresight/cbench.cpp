@@ -1,37 +1,57 @@
 #include "foresight/cbench.hpp"
 
+#include <atomic>
+#include <memory>
+
 #include "common/str.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 
 namespace cosmo::foresight {
 
 CBenchResult CBench::run_one(const Field& field, Compressor& compressor,
                              const CompressorConfig& config) const {
-  RunOutput run = compressor.run(field, config);
-  require(run.reconstructed.size() == field.data.size(),
-          "cbench: reconstruction size mismatch from " + compressor.name());
+  const std::unique_ptr<CodecSession> session = compressor.open_session();
+  return run_session(field, compressor.name(), *session, config);
+}
+
+CBenchResult CBench::run_session(const Field& field, const std::string& compressor_name,
+                                 CodecSession& session,
+                                 const CompressorConfig& config) const {
+  CompressResult c;
+  DecompressResult d;
+  return run_session(field, compressor_name, session, config, c, d);
+}
+
+CBenchResult CBench::run_session(const Field& field, const std::string& compressor_name,
+                                 CodecSession& session, const CompressorConfig& config,
+                                 CompressResult& c, DecompressResult& d) const {
+  session.compress(field, config, c);
+  session.decompress(c, d);
+  require(d.values.size() == field.data.size(),
+          "cbench: reconstruction size mismatch from " + compressor_name);
 
   CBenchResult r;
   r.dataset = options_.dataset_name;
   r.field = field.name;
-  r.compressor = compressor.name();
+  r.compressor = compressor_name;
   r.config = config;
   r.original_bytes = field.bytes();
-  r.compressed_bytes = run.bytes.size();
+  r.compressed_bytes = c.bytes.size();
   r.ratio = analysis::compression_ratio(r.original_bytes, r.compressed_bytes);
   r.bit_rate = static_cast<double>(r.compressed_bytes) * 8.0 /
                static_cast<double>(field.data.size());
-  r.distortion = analysis::compare(field.data, run.reconstructed);
-  r.compress_seconds = run.compress_seconds;
-  r.decompress_seconds = run.decompress_seconds;
-  r.compress_gbps = throughput_gbps(r.original_bytes, run.compress_seconds);
-  r.decompress_gbps = throughput_gbps(r.original_bytes, run.decompress_seconds);
-  r.throughput_reportable = run.throughput_reportable;
-  r.has_gpu_timing = run.has_gpu_timing;
-  r.gpu_compress = run.gpu_compress;
-  r.gpu_decompress = run.gpu_decompress;
+  r.distortion = analysis::compare(field.data, d.values);
+  r.compress_seconds = c.seconds;
+  r.decompress_seconds = d.seconds;
+  r.compress_gbps = throughput_gbps(r.original_bytes, c.seconds);
+  r.decompress_gbps = throughput_gbps(r.original_bytes, d.seconds);
+  r.throughput_reportable = c.throughput_reportable;
+  r.has_gpu_timing = c.has_gpu_timing;
+  r.gpu_compress = c.gpu_timing;
+  r.gpu_decompress = d.gpu_timing;
   if (options_.keep_reconstructed) {
-    r.reconstructed = std::move(run.reconstructed);
+    r.reconstructed = std::move(d.values);  // regrown by the next decompress
   }
   return r;
 }
@@ -40,13 +60,64 @@ std::vector<CBenchResult> CBench::sweep(
     const io::Container& container, Compressor& compressor,
     const std::vector<CompressorConfig>& configs,
     const std::function<bool(const std::string&)>& field_filter) const {
-  std::vector<CBenchResult> results;
+  // Jobs are enumerated (and slotted) up front in field-major, config-minor
+  // order; workers claim indices from an atomic cursor, so the output order
+  // never depends on the schedule.
+  struct Job {
+    const Field* field;
+    const CompressorConfig* config;
+  };
+  std::vector<Job> jobs;
   for (const auto& variable : container.variables) {
     if (field_filter && !field_filter(variable.field.name)) continue;
     for (const auto& config : configs) {
-      results.push_back(run_one(variable.field, compressor, config));
+      jobs.push_back({&variable.field, &config});
     }
   }
+  std::vector<CBenchResult> results(jobs.size());
+
+  const std::string name = compressor.name();
+  const bool serial =
+      options_.threads == 1 || !compressor.concurrent_sessions_safe() || jobs.size() <= 1;
+  if (serial) {
+    const std::unique_ptr<CodecSession> session = compressor.open_session();
+    CompressResult c;
+    DecompressResult d;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_session(*jobs[i].field, name, *session, *jobs[i].config, c, d);
+    }
+    return results;
+  }
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool;
+  if (options_.threads == 0) {
+    pool = &global_pool();
+  } else {
+    // A dedicated pool never needs more threads than there are jobs (this
+    // also bounds absurd requests, e.g. a negative count cast to size_t).
+    owned = std::make_unique<ThreadPool>(std::min(options_.threads, jobs.size()));
+    pool = owned.get();
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  const std::size_t workers = std::min(pool->size(), jobs.size());
+  std::vector<std::future<void>> done;
+  done.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    done.push_back(pool->submit([&] {
+      // Each worker gets its own session (arena, scratch) — sessions are
+      // not thread-safe, and per-worker arenas keep reuse contention-free.
+      const std::unique_ptr<CodecSession> session = compressor.open_session();
+      CompressResult c;
+      DecompressResult d;
+      for (std::size_t i = cursor.fetch_add(1); i < jobs.size();
+           i = cursor.fetch_add(1)) {
+        results[i] = run_session(*jobs[i].field, name, *session, *jobs[i].config, c, d);
+      }
+    }));
+  }
+  for (auto& f : done) f.get();  // rethrows the first worker exception
   return results;
 }
 

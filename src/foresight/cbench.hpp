@@ -7,6 +7,12 @@
 /// data distortion (e.g., MRE, MSE, PSNR), compression and decompression
 /// throughput, and the reconstructed dataset for the following analysis"
 /// (paper Section IV-A1).
+///
+/// Sweeps run through staged CodecSessions: jobs are pre-indexed into
+/// result slots, so the parallel scheduler produces output identical to the
+/// serial path — only wall-clock changes. Codecs that cannot run sessions
+/// concurrently (simulated-GPU timing, zfp-omp) always take the serial
+/// path, keeping their modeled timings byte-for-byte stable.
 #pragma once
 
 #include <functional>
@@ -54,17 +60,36 @@ class CBench {
     /// Keep reconstructed data in each result (needed by PAT analyses).
     bool keep_reconstructed = true;
     std::string dataset_name = "dataset";
+    /// Worker threads for sweep(): 1 runs serially in the calling thread
+    /// (the timing-faithful path the throughput benches use), 0 uses the
+    /// global pool, N > 1 spins up a dedicated pool of N workers. Codecs
+    /// whose sessions cannot run concurrently (see
+    /// Compressor::concurrent_sessions_safe) always run serially.
+    std::size_t threads = 1;
   };
 
   CBench() = default;
   explicit CBench(Options options) : options_(std::move(options)) {}
 
-  /// Runs one (field, compressor, config) combination.
+  /// Runs one (field, compressor, config) combination over a fresh session.
   CBenchResult run_one(const Field& field, Compressor& compressor,
                        const CompressorConfig& config) const;
 
+  /// Runs one combination over a caller-held session (buffers in the
+  /// session's arena are reused across calls).
+  CBenchResult run_session(const Field& field, const std::string& compressor_name,
+                           CodecSession& session, const CompressorConfig& config) const;
+
+  /// run_session() variant that also reuses the caller's result scratch
+  /// (\p c and \p d are clobbered) — the tight-loop form the sweep workers
+  /// and the optimizer use.
+  CBenchResult run_session(const Field& field, const std::string& compressor_name,
+                           CodecSession& session, const CompressorConfig& config,
+                           CompressResult& c, DecompressResult& d) const;
+
   /// Full sweep: every field in \p container x every config. A null
-  /// \p field_filter accepts all fields.
+  /// \p field_filter accepts all fields. Results are ordered field-major,
+  /// config-minor regardless of Options::threads.
   std::vector<CBenchResult> sweep(
       const io::Container& container, Compressor& compressor,
       const std::vector<CompressorConfig>& configs,

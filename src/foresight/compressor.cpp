@@ -16,9 +16,35 @@ std::string CompressorConfig::label() const {
   return strprintf("%s=%g", mode.c_str(), value);
 }
 
-Dims reshape_1d_to_3d(std::size_t n) {
-  const std::size_t nx = (n + 63) / 64;
-  return Dims::d3(nx, 8, 8);
+CompressResult CodecSession::compress(const Field& field, const CompressorConfig& config) {
+  CompressResult out;
+  compress(field, config, out);
+  return out;
+}
+
+DecompressResult CodecSession::decompress(const CompressResult& compressed) {
+  DecompressResult out;
+  decompress(compressed, out);
+  return out;
+}
+
+RunOutput Compressor::run(const Field& field, const CompressorConfig& config) {
+  const std::unique_ptr<CodecSession> session = open_session();
+  CompressResult c;
+  session->compress(field, config, c);
+  DecompressResult d;
+  session->decompress(c, d);
+
+  RunOutput out;
+  out.bytes = std::move(c.bytes);
+  out.reconstructed = std::move(d.values);
+  out.compress_seconds = c.seconds;
+  out.decompress_seconds = d.seconds;
+  out.has_gpu_timing = c.has_gpu_timing;
+  out.gpu_compress = c.gpu_timing;
+  out.gpu_decompress = d.gpu_timing;
+  out.throughput_reportable = c.throughput_reportable;
+  return out;
 }
 
 namespace {
@@ -30,99 +56,154 @@ void check_mode(const std::string& got, const std::vector<std::string>& allowed,
   }
 }
 
-/// Reshapes a 1-D field to 3-D (zero padded) and returns the padded copy;
-/// callers truncate reconstructions back to the original length.
-std::vector<float> pad_to(const Field& field, const Dims& dims3) {
-  std::vector<float> padded(dims3.count(), 0.0f);
-  std::copy(field.data.begin(), field.data.end(), padded.begin());
-  return padded;
+/// Truncates a reconstruction back to the pre-padding length recorded at
+/// compression time (no-op when the length is unknown or already right).
+void drop_padding(const CompressResult& compressed, std::vector<float>& values) {
+  if (compressed.original_values != 0) values.resize(compressed.original_values);
 }
+
+class GpuSzSession final : public CodecSession {
+ public:
+  GpuSzSession(gpu::GpuSimulator& sim, ScratchArena* arena)
+      : CodecSession(arena), device_(sim) {}
+
+  void compress(const Field& field, const CompressorConfig& config,
+                CompressResult& out) override {
+    check_mode(config.mode, {"abs", "pw_rel"}, "gpu-sz");
+    out.has_gpu_timing = true;
+    out.throughput_reportable = gpu::GpuSzDevice::throughput_supported();
+    out.original_values = field.data.size();
+
+    ShapeAdapter shaped(field, arena());
+    dev_c_.bytes.swap(out.bytes);  // bring the caller's capacity in for reuse
+    if (config.mode == "abs") {
+      device_.compress_abs_into(shaped.values(), shaped.dims(), config.value, dev_c_);
+    } else {
+      device_.compress_pwrel_into(shaped.values(), shaped.dims(), config.value, dev_c_);
+    }
+    out.bytes.swap(dev_c_.bytes);
+    out.gpu_timing = dev_c_.timing;
+    out.seconds = dev_c_.timing.total();
+  }
+
+  void decompress(const CompressResult& compressed, DecompressResult& out) override {
+    out.has_gpu_timing = true;
+    dev_d_.values.swap(out.values);
+    device_.decompress_into(compressed.bytes, dev_d_);
+    out.values.swap(dev_d_.values);
+    drop_padding(compressed, out.values);
+    out.gpu_timing = dev_d_.timing;
+    out.seconds = dev_d_.timing.total();
+  }
+
+ private:
+  gpu::GpuSzDevice device_;
+  gpu::DeviceCompressResult dev_c_;
+  gpu::DeviceDecompressResult dev_d_;
+};
 
 class GpuSzCompressor final : public Compressor {
  public:
-  explicit GpuSzCompressor(gpu::GpuSimulator& sim) : device_(sim) {}
+  explicit GpuSzCompressor(gpu::GpuSimulator& sim) : sim_(sim) {}
 
   [[nodiscard]] std::string name() const override { return "gpu-sz"; }
   [[nodiscard]] std::vector<std::string> supported_modes() const override {
     return {"abs", "pw_rel"};
   }
-
-  RunOutput run(const Field& field, const CompressorConfig& config) override {
-    check_mode(config.mode, supported_modes(), name());
-    RunOutput out;
-    out.has_gpu_timing = true;
-    out.throughput_reportable = gpu::GpuSzDevice::throughput_supported();
-
-    const bool needs_reshape = field.dims.rank() == 1;
-    const Dims dims = needs_reshape ? reshape_1d_to_3d(field.data.size()) : field.dims;
-    std::vector<float> padded;
-    std::span<const float> input = field.data;
-    if (needs_reshape) {
-      padded = pad_to(field, dims);
-      input = padded;
-    }
-
-    gpu::DeviceCompressResult c =
-        config.mode == "abs" ? device_.compress_abs(input, dims, config.value)
-                             : device_.compress_pwrel(input, dims, config.value);
-    out.gpu_compress = c.timing;
-    out.compress_seconds = c.timing.total();
-
-    gpu::DeviceDecompressResult d = device_.decompress(c.bytes);
-    out.gpu_decompress = d.timing;
-    out.decompress_seconds = d.timing.total();
-
-    out.bytes = std::move(c.bytes);
-    out.reconstructed = std::move(d.values);
-    out.reconstructed.resize(field.data.size());  // drop padding
-    return out;
+  [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
+    return std::make_unique<GpuSzSession>(sim_, arena);
   }
 
  private:
-  gpu::GpuSzDevice device_;
+  gpu::GpuSimulator& sim_;
+};
+
+class CuZfpSession final : public CodecSession {
+ public:
+  CuZfpSession(gpu::GpuSimulator& sim, ScratchArena* arena)
+      : CodecSession(arena), device_(sim) {}
+
+  void compress(const Field& field, const CompressorConfig& config,
+                CompressResult& out) override {
+    check_mode(config.mode, {"rate"}, "cuzfp");
+    out.has_gpu_timing = true;
+    out.original_values = field.data.size();
+
+    // "the compression quality on the 1-D data is not as good as that on
+    // the converted 3-D data" — convert like the paper does.
+    ShapeAdapter shaped(field, arena());
+    dev_c_.bytes.swap(out.bytes);
+    device_.compress_into(shaped.values(), shaped.dims(), config.value, dev_c_);
+    out.bytes.swap(dev_c_.bytes);
+    out.gpu_timing = dev_c_.timing;
+    out.seconds = dev_c_.timing.total();
+  }
+
+  void decompress(const CompressResult& compressed, DecompressResult& out) override {
+    out.has_gpu_timing = true;
+    dev_d_.values.swap(out.values);
+    device_.decompress_into(compressed.bytes, dev_d_);
+    out.values.swap(dev_d_.values);
+    drop_padding(compressed, out.values);
+    out.gpu_timing = dev_d_.timing;
+    out.seconds = dev_d_.timing.total();
+  }
+
+ private:
+  gpu::CuZfpDevice device_;
+  gpu::DeviceCompressResult dev_c_;
+  gpu::DeviceDecompressResult dev_d_;
 };
 
 class CuZfpCompressor final : public Compressor {
  public:
-  explicit CuZfpCompressor(gpu::GpuSimulator& sim) : device_(sim) {}
+  explicit CuZfpCompressor(gpu::GpuSimulator& sim) : sim_(sim) {}
 
   [[nodiscard]] std::string name() const override { return "cuzfp"; }
   [[nodiscard]] std::vector<std::string> supported_modes() const override {
     return {"rate"};
   }
-
-  RunOutput run(const Field& field, const CompressorConfig& config) override {
-    check_mode(config.mode, supported_modes(), name());
-    RunOutput out;
-    out.has_gpu_timing = true;
-
-    // "the compression quality on the 1-D data is not as good as that on
-    // the converted 3-D data" — convert like the paper does.
-    const bool needs_reshape = field.dims.rank() == 1;
-    const Dims dims = needs_reshape ? reshape_1d_to_3d(field.data.size()) : field.dims;
-    std::vector<float> padded;
-    std::span<const float> input = field.data;
-    if (needs_reshape) {
-      padded = pad_to(field, dims);
-      input = padded;
-    }
-
-    gpu::DeviceCompressResult c = device_.compress(input, dims, config.value);
-    out.gpu_compress = c.timing;
-    out.compress_seconds = c.timing.total();
-
-    gpu::DeviceDecompressResult d = device_.decompress(c.bytes);
-    out.gpu_decompress = d.timing;
-    out.decompress_seconds = d.timing.total();
-
-    out.bytes = std::move(c.bytes);
-    out.reconstructed = std::move(d.values);
-    out.reconstructed.resize(field.data.size());
-    return out;
+  [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
+    return std::make_unique<CuZfpSession>(sim_, arena);
   }
 
  private:
-  gpu::CuZfpDevice device_;
+  gpu::GpuSimulator& sim_;
+};
+
+class SzCpuSession final : public CodecSession {
+ public:
+  explicit SzCpuSession(ScratchArena* arena) : CodecSession(arena) {}
+
+  void compress(const Field& field, const CompressorConfig& config,
+                CompressResult& out) override {
+    check_mode(config.mode, {"abs", "pw_rel"}, "sz-cpu");
+    out.original_values = field.data.size();
+    Timer timer;
+    if (config.mode == "abs") {
+      sz::Params params;
+      params.abs_error_bound = config.value;
+      sz::compress_into(field.data, field.dims, params, out.bytes);
+    } else {
+      sz::PwRelParams params;
+      params.pw_rel_bound = config.value;
+      sz::compress_pwrel_into(field.data, field.dims, params, out.bytes);
+    }
+    out.seconds = timer.seconds();
+  }
+
+  void decompress(const CompressResult& compressed, DecompressResult& out) override {
+    Timer timer;
+    if (sz::is_pwrel_stream(compressed.bytes)) {
+      sz::decompress_pwrel_into(compressed.bytes, out.values);
+    } else {
+      sz::decompress_into(compressed.bytes, out.values);
+    }
+    drop_padding(compressed, out.values);
+    out.seconds = timer.seconds();
+  }
 };
 
 class SzCpuCompressor final : public Compressor {
@@ -131,29 +212,46 @@ class SzCpuCompressor final : public Compressor {
   [[nodiscard]] std::vector<std::string> supported_modes() const override {
     return {"abs", "pw_rel"};
   }
+  [[nodiscard]] bool concurrent_sessions_safe() const override { return true; }
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
+    return std::make_unique<SzCpuSession>(arena);
+  }
+};
 
-  RunOutput run(const Field& field, const CompressorConfig& config) override {
-    check_mode(config.mode, supported_modes(), name());
-    RunOutput out;
+zfp::Params zfp_params_for(const CompressorConfig& config) {
+  zfp::Params params;
+  if (config.mode == "rate") {
+    params.mode = zfp::Mode::kFixedRate;
+    params.rate = config.value;
+  } else if (config.mode == "precision") {
+    params.mode = zfp::Mode::kFixedPrecision;
+    params.precision = static_cast<unsigned>(config.value);
+  } else {
+    params.mode = zfp::Mode::kFixedAccuracy;
+    params.tolerance = config.value;
+  }
+  return params;
+}
+
+class ZfpCpuSession final : public CodecSession {
+ public:
+  explicit ZfpCpuSession(ScratchArena* arena) : CodecSession(arena) {}
+
+  void compress(const Field& field, const CompressorConfig& config,
+                CompressResult& out) override {
+    check_mode(config.mode, {"rate", "accuracy", "precision"}, "zfp-cpu");
+    out.original_values = field.data.size();
+    const zfp::Params params = zfp_params_for(config);
     Timer timer;
-    if (config.mode == "abs") {
-      sz::Params params;
-      params.abs_error_bound = config.value;
-      out.bytes = sz::compress(field.data, field.dims, params);
-      out.compress_seconds = timer.seconds();
-      timer.reset();
-      out.reconstructed = sz::decompress(out.bytes);
-      out.decompress_seconds = timer.seconds();
-    } else {
-      sz::PwRelParams params;
-      params.pw_rel_bound = config.value;
-      out.bytes = sz::compress_pwrel(field.data, field.dims, params);
-      out.compress_seconds = timer.seconds();
-      timer.reset();
-      out.reconstructed = sz::decompress_pwrel(out.bytes);
-      out.decompress_seconds = timer.seconds();
-    }
-    return out;
+    zfp::compress_into(field.data, field.dims, params, out.bytes);
+    out.seconds = timer.seconds();
+  }
+
+  void decompress(const CompressResult& compressed, DecompressResult& out) override {
+    Timer timer;
+    zfp::decompress_into(compressed.bytes, out.values);
+    drop_padding(compressed, out.values);
+    out.seconds = timer.seconds();
   }
 };
 
@@ -163,60 +261,50 @@ class ZfpCpuCompressor final : public Compressor {
   [[nodiscard]] std::vector<std::string> supported_modes() const override {
     return {"rate", "accuracy", "precision"};
   }
-
-  RunOutput run(const Field& field, const CompressorConfig& config) override {
-    check_mode(config.mode, supported_modes(), name());
-    zfp::Params params;
-    if (config.mode == "rate") {
-      params.mode = zfp::Mode::kFixedRate;
-      params.rate = config.value;
-    } else if (config.mode == "precision") {
-      params.mode = zfp::Mode::kFixedPrecision;
-      params.precision = static_cast<unsigned>(config.value);
-    } else {
-      params.mode = zfp::Mode::kFixedAccuracy;
-      params.tolerance = config.value;
-    }
-    RunOutput out;
-    Timer timer;
-    out.bytes = zfp::compress(field.data, field.dims, params);
-    out.compress_seconds = timer.seconds();
-    timer.reset();
-    out.reconstructed = zfp::decompress(out.bytes);
-    out.decompress_seconds = timer.seconds();
-    return out;
+  [[nodiscard]] bool concurrent_sessions_safe() const override { return true; }
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
+    return std::make_unique<ZfpCpuSession>(arena);
   }
 };
 
 /// ZFP with OpenMP-style chunk parallelism over the global thread pool —
 /// the "ZFP OpenMP" row of Fig. 8, plus the parallel decompression the
 /// released library lacked (every chunk is self-describing).
+class ZfpOmpSession final : public CodecSession {
+ public:
+  explicit ZfpOmpSession(ScratchArena* arena) : CodecSession(arena) {}
+
+  void compress(const Field& field, const CompressorConfig& config,
+                CompressResult& out) override {
+    check_mode(config.mode, {"rate", "accuracy"}, "zfp-omp");
+    out.original_values = field.data.size();
+    const zfp::Params params = zfp_params_for(config);
+    ThreadPool& pool = global_pool();
+    Timer timer;
+    out.bytes = zfp::compress_chunked(field.data, field.dims, params, &pool);
+    out.seconds = timer.seconds();
+  }
+
+  void decompress(const CompressResult& compressed, DecompressResult& out) override {
+    ThreadPool& pool = global_pool();
+    Timer timer;
+    out.values = zfp::decompress_chunked(compressed.bytes, &pool);
+    drop_padding(compressed, out.values);
+    out.seconds = timer.seconds();
+  }
+};
+
 class ZfpOmpCompressor final : public Compressor {
  public:
   [[nodiscard]] std::string name() const override { return "zfp-omp"; }
   [[nodiscard]] std::vector<std::string> supported_modes() const override {
     return {"rate", "accuracy"};
   }
-
-  RunOutput run(const Field& field, const CompressorConfig& config) override {
-    check_mode(config.mode, supported_modes(), name());
-    zfp::Params params;
-    if (config.mode == "rate") {
-      params.mode = zfp::Mode::kFixedRate;
-      params.rate = config.value;
-    } else {
-      params.mode = zfp::Mode::kFixedAccuracy;
-      params.tolerance = config.value;
-    }
-    ThreadPool& pool = global_pool();
-    RunOutput out;
-    Timer timer;
-    out.bytes = zfp::compress_chunked(field.data, field.dims, params, &pool);
-    out.compress_seconds = timer.seconds();
-    timer.reset();
-    out.reconstructed = zfp::decompress_chunked(out.bytes, &pool);
-    out.decompress_seconds = timer.seconds();
-    return out;
+  /// Chunks already fan out over the global pool; a pool worker opening a
+  /// nested chunked run could deadlock waiting for its own queue.
+  [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
+    return std::make_unique<ZfpOmpSession>(arena);
   }
 };
 

@@ -1,13 +1,22 @@
 /// \file compressor.hpp
 /// \brief Foresight's uniform compressor interface and registry.
 ///
-/// CBench evaluates every codec through this interface. Four compressors
+/// CBench evaluates every codec through this interface. Five compressors
 /// are registered, matching the paper's evaluation set:
 ///   "gpu-sz"  — GPU-SZ (simulated device; ABS and PW_REL-via-log; 3-D only,
 ///               1-D fields are reshaped per the paper's procedure),
 ///   "cuzfp"   — cuZFP (simulated device; fixed-rate only),
 ///   "sz-cpu"  — CPU SZ (ABS / PW_REL; measured wall time),
-///   "zfp-cpu" — CPU ZFP (fixed-rate / fixed-accuracy; measured wall time).
+///   "zfp-cpu" — CPU ZFP (fixed-rate / fixed-accuracy / fixed-precision;
+///               measured wall time),
+///   "zfp-omp" — CPU ZFP with OpenMP-style chunk parallelism over the
+///               global thread pool (fixed-rate / fixed-accuracy).
+///
+/// The execution path is staged: a Compressor opens a CodecSession, and the
+/// session exposes compress() and decompress() separately so sweeps can
+/// reuse buffers across iterations, keep compressed streams around for
+/// several decompressions, or skip decompression entirely. The historical
+/// fused run() remains as a thin convenience shim over one session.
 #pragma once
 
 #include <memory>
@@ -16,19 +25,45 @@
 #include <vector>
 
 #include "common/field.hpp"
+#include "common/scratch_arena.hpp"
+#include "foresight/shape_adapter.hpp"
 #include "gpu/device_compressor.hpp"
 
 namespace cosmo::foresight {
 
 /// One compression configuration, e.g. {mode: "abs", value: 0.2}.
 struct CompressorConfig {
-  std::string mode;    ///< "abs" | "pw_rel" | "rate" | "accuracy"
-  double value = 0.0;  ///< error bound (abs/pw_rel/accuracy) or bits/value (rate)
+  std::string mode;    ///< "abs" | "pw_rel" | "rate" | "accuracy" | "precision"
+  double value = 0.0;  ///< error bound (abs/pw_rel/accuracy), bits/value (rate),
+                       ///< or bit count (precision)
 
   [[nodiscard]] std::string label() const;
 };
 
-/// Everything a single compress+decompress run produces.
+/// Output of the compression stage. Self-contained: everything decompress()
+/// needs travels with the stream.
+struct CompressResult {
+  std::vector<std::uint8_t> bytes;
+  /// Value count of the original field, before any 1-D -> 3-D zero padding;
+  /// decompress() truncates reconstructions back to this. 0 means unknown
+  /// (no truncation).
+  std::size_t original_values = 0;
+  double seconds = 0.0;  ///< measured (CPU) or modeled total (GPU)
+  bool has_gpu_timing = false;
+  gpu::TimingBreakdown gpu_timing;
+  bool throughput_reportable = true;  ///< false for the GPU-SZ prototype
+};
+
+/// Output of the decompression stage.
+struct DecompressResult {
+  std::vector<float> values;
+  double seconds = 0.0;  ///< measured (CPU) or modeled total (GPU)
+  bool has_gpu_timing = false;
+  gpu::TimingBreakdown gpu_timing;
+};
+
+/// Everything a single fused compress+decompress run produces (the legacy
+/// shape; produced by Compressor::run()).
 struct RunOutput {
   std::vector<std::uint8_t> bytes;
   std::vector<float> reconstructed;
@@ -40,7 +75,45 @@ struct RunOutput {
   bool throughput_reportable = true;  ///< false for the GPU-SZ prototype
 };
 
-/// Abstract compressor as seen by CBench.
+/// One codec execution context. Sessions own (or borrow) a ScratchArena so
+/// repeated compress/decompress calls reuse buffer capacity; passing the
+/// in/out overloads the same result objects across iterations reuses their
+/// capacity too. A session is NOT thread-safe — the sweep scheduler opens
+/// one per worker.
+class CodecSession {
+ public:
+  virtual ~CodecSession() = default;
+
+  /// Compresses \p field under \p config into \p out, reusing \p out's
+  /// buffer capacity.
+  virtual void compress(const Field& field, const CompressorConfig& config,
+                        CompressResult& out) = 0;
+
+  /// Decompresses \p compressed into \p out, reusing \p out's buffer
+  /// capacity. Reconstructions are truncated to compressed.original_values
+  /// (dropping reshape padding) when that is non-zero.
+  virtual void decompress(const CompressResult& compressed, DecompressResult& out) = 0;
+
+  /// By-value conveniences over the in/out virtuals.
+  [[nodiscard]] CompressResult compress(const Field& field, const CompressorConfig& config);
+  [[nodiscard]] DecompressResult decompress(const CompressResult& compressed);
+
+  /// The arena backing this session's scratch allocations.
+  [[nodiscard]] ScratchArena& arena() { return *arena_; }
+
+ protected:
+  /// Borrows \p arena, or owns a private one when \p arena is null.
+  explicit CodecSession(ScratchArena* arena)
+      : owned_(arena ? nullptr : std::make_unique<ScratchArena>()),
+        arena_(arena ? arena : owned_.get()) {}
+
+ private:
+  std::unique_ptr<ScratchArena> owned_;
+  ScratchArena* arena_;
+};
+
+/// Abstract compressor as seen by CBench: a registry entry that describes a
+/// codec and opens execution sessions for it.
 class Compressor {
  public:
   virtual ~Compressor() = default;
@@ -48,8 +121,20 @@ class Compressor {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual std::vector<std::string> supported_modes() const = 0;
 
-  /// Compresses and decompresses \p field under \p config.
-  virtual RunOutput run(const Field& field, const CompressorConfig& config) = 0;
+  /// Opens a session; pass an arena to share scratch buffers, or null to
+  /// let the session own one.
+  [[nodiscard]] virtual std::unique_ptr<CodecSession> open_session(
+      ScratchArena* arena = nullptr) = 0;
+
+  /// True when sessions of this compressor may run concurrently with
+  /// identical results. False for the simulated-GPU codecs (they share the
+  /// simulator's jitter stream, so modeled timings are call-order
+  /// dependent) and for zfp-omp (its chunks already occupy the global
+  /// pool); the sweep scheduler runs those serially.
+  [[nodiscard]] virtual bool concurrent_sessions_safe() const = 0;
+
+  /// Fused compress+decompress convenience over a fresh session.
+  [[nodiscard]] RunOutput run(const Field& field, const CompressorConfig& config);
 };
 
 /// Creates a compressor by registry name. GPU-backed compressors need a
@@ -59,10 +144,5 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name,
 
 /// Registry names in evaluation order.
 std::vector<std::string> available_compressors();
-
-/// The paper's 1-D -> 3-D dimension conversion (Section IV-B4): reshapes a
-/// 1-D extent into (ceil(n/64), 8, 8) with zero padding, the layout used
-/// for cuZFP on HACC; GPU-SZ accepts the same reshaped layout.
-Dims reshape_1d_to_3d(std::size_t n);
 
 }  // namespace cosmo::foresight

@@ -19,6 +19,12 @@ OptimizationResult optimize_grid_dataset(
   std::size_t total_compressed = 0;
   bool all_ok = true;
 
+  // One session for the whole grid search: compressed-stream and
+  // reconstruction buffers are reused across every candidate evaluation.
+  const std::unique_ptr<CodecSession> session = compressor.open_session();
+  CompressResult cbuf;
+  DecompressResult dbuf;
+
   for (const auto& variable : data.variables) {
     const auto it = candidates.find(variable.field.name);
     if (it == candidates.end()) continue;
@@ -26,7 +32,8 @@ OptimizationResult optimize_grid_dataset(
     choice.field = variable.field.name;
 
     for (const auto& config : it->second) {
-      CBenchResult r = bench.run_one(variable.field, compressor, config);
+      CBenchResult r =
+          bench.run_session(variable.field, compressor.name(), *session, config, cbuf, dbuf);
       const auto pk = analysis::pk_ratio(variable.field.data, r.reconstructed,
                                          variable.field.dims, k_fraction);
       CandidateOutcome outcome;
@@ -112,13 +119,19 @@ OptimizationResult optimize_particle_dataset(
 
   OptimizationResult result;
 
+  // One session across every candidate triple (see optimize_grid_dataset).
+  const std::unique_ptr<CodecSession> session = compressor.open_session();
+  const std::string name = compressor.name();
+  CompressResult cbuf;
+  DecompressResult dbuf;
+
   // --- Positions: same bound on x, y, z; acceptance via halo counts. ---
   FieldChoice pos_choice;
   pos_choice.field = "position";
   for (const auto& config : position_candidates) {
-    CBenchResult rx = bench.run_one(x, compressor, config);
-    CBenchResult ry = bench.run_one(y, compressor, config);
-    CBenchResult rz = bench.run_one(z, compressor, config);
+    CBenchResult rx = bench.run_session(x, name, *session, config, cbuf, dbuf);
+    CBenchResult ry = bench.run_session(y, name, *session, config, cbuf, dbuf);
+    CBenchResult rz = bench.run_session(z, name, *session, config, cbuf, dbuf);
     const analysis::FofResult recon_halos =
         analysis::fof(rx.reconstructed, ry.reconstructed, rz.reconstructed, fof_params);
     CandidateOutcome outcome;
@@ -150,9 +163,9 @@ OptimizationResult optimize_particle_dataset(
   const auto& vy = data.find("vy").field;
   const auto& vz = data.find("vz").field;
   for (const auto& config : velocity_candidates) {
-    CBenchResult rvx = bench.run_one(vx, compressor, config);
-    CBenchResult rvy = bench.run_one(vy, compressor, config);
-    CBenchResult rvz = bench.run_one(vz, compressor, config);
+    CBenchResult rvx = bench.run_session(vx, name, *session, config, cbuf, dbuf);
+    CBenchResult rvy = bench.run_session(vy, name, *session, config, cbuf, dbuf);
+    CBenchResult rvz = bench.run_session(vz, name, *session, config, cbuf, dbuf);
     CandidateOutcome outcome;
     outcome.config = config;
     outcome.ratio = 3.0 * static_cast<double>(vx.bytes()) /

@@ -58,7 +58,7 @@ std::vector<std::string> Workflow::topological_order() const {
   return order;
 }
 
-bool Workflow::run(ThreadPool* pool) {
+bool Workflow::run(ThreadPool* pool, std::size_t max_concurrency) {
   const std::vector<std::string> order = topological_order();  // validates the DAG
   records_.clear();
   for (const auto& job : jobs_) records_[job.name] = JobRecord{};
@@ -135,7 +135,8 @@ bool Workflow::run(ThreadPool* pool) {
   } else {
     std::unique_lock lock(mu);
     while (finished < jobs_.size()) {
-      while (!ready.empty()) {
+      while (!ready.empty() &&
+             (max_concurrency == 0 || in_flight < max_concurrency)) {
         const std::string name = ready.front();
         ready.pop();
         ++in_flight;

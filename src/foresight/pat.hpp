@@ -59,9 +59,11 @@ class Workflow {
 
   /// Runs every job respecting dependencies; independent jobs run
   /// concurrently on \p pool (null = run inline, still dependency-ordered).
-  /// A failed job marks its transitive dependents kSkipped. Returns true
-  /// when every job succeeded.
-  bool run(ThreadPool* pool = nullptr);
+  /// \p max_concurrency caps how many jobs are in flight at once (0 = no
+  /// cap beyond the pool size) — the PAT analogue of a SLURM partition's
+  /// job limit. A failed job marks its transitive dependents kSkipped.
+  /// Returns true when every job succeeded.
+  bool run(ThreadPool* pool = nullptr, std::size_t max_concurrency = 0);
 
   [[nodiscard]] const std::map<std::string, JobRecord>& records() const { return records_; }
 

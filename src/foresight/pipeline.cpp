@@ -1,7 +1,5 @@
 #include "foresight/pipeline.hpp"
 
-#include <mutex>
-
 #include "analysis/halo_stats.hpp"
 #include "analysis/power_spectrum.hpp"
 #include "analysis/ssim.hpp"
@@ -64,11 +62,8 @@ PipelineSummary run_pipeline(const json::Value& config) {
 
   // --- Build the PAT workflow: cbench jobs -> analysis jobs -> cinema. ---
   Workflow workflow;
-  std::mutex mu;
   CBench bench({.keep_reconstructed = true, .dataset_name = dataset_type});
 
-  // Reconstructions are held per result key until the analysis stage ran.
-  std::map<std::string, std::vector<float>> recon_store;
   std::vector<std::string> cbench_job_names;
 
   struct PlannedRun {
@@ -95,6 +90,14 @@ PipelineSummary run_pipeline(const json::Value& config) {
   std::vector<std::unique_ptr<Compressor>> compressors;
   for (const auto& p : planned) compressors.push_back(make_compressor(p.compressor, &sim));
 
+  // Every cbench job gets a pre-assigned result slot, so results come out
+  // in plan order (and jobs need no lock) however the workflow schedules.
+  std::size_t job_count = 0;
+  for (const auto& p : planned) job_count += p.fields.size() * p.configs.size();
+  summary.results.resize(job_count);
+  std::vector<std::vector<float>> recons(job_count);  // held for the analysis stage
+
+  std::size_t slot = 0;
   for (std::size_t pi = 0; pi < planned.size(); ++pi) {
     const auto& p = planned[pi];
     for (const auto& field_name : p.fields) {
@@ -104,27 +107,26 @@ PipelineSummary run_pipeline(const json::Value& config) {
                       cfg.label().c_str());
         cbench_job_names.push_back(job_name);
         Compressor* codec = compressors[pi].get();
-        workflow.add(job_name, {}, [&, codec, field_name, cfg] {
+        workflow.add(job_name, {}, [&, codec, field_name, cfg, slot] {
           const Field& field = dataset.find(field_name).field;
           CBenchResult r = bench.run_one(field, *codec, cfg);
-          std::lock_guard lock(mu);
-          recon_store[result_key(r)] = std::move(r.reconstructed);
+          recons[slot] = std::move(r.reconstructed);
           r.reconstructed.clear();
-          summary.results.push_back(std::move(r));
+          summary.results[slot] = std::move(r);
         });
+        ++slot;
       }
     }
   }
 
   if (do_pk) {
     workflow.add("analysis-power-spectrum", cbench_job_names, [&] {
-      std::lock_guard lock(mu);
-      for (const auto& r : summary.results) {
+      for (std::size_t i = 0; i < summary.results.size(); ++i) {
+        const auto& r = summary.results[i];
         const Field& field = dataset.find(r.field).field;
         if (field.dims.rank() != 3) continue;
-        const auto it = recon_store.find(result_key(r));
-        if (it == recon_store.end()) continue;
-        const auto pk = analysis::pk_ratio(field.data, it->second, field.dims, 0.5);
+        if (recons[i].empty()) continue;
+        const auto pk = analysis::pk_ratio(field.data, recons[i], field.dims, 0.5);
         summary.pk_deviation[result_key(r)] = pk.max_deviation;
       }
     });
@@ -132,13 +134,11 @@ PipelineSummary run_pipeline(const json::Value& config) {
 
   if (do_ssim) {
     workflow.add("analysis-ssim", cbench_job_names, [&] {
-      std::lock_guard lock(mu);
-      for (const auto& r : summary.results) {
+      for (std::size_t i = 0; i < summary.results.size(); ++i) {
+        const auto& r = summary.results[i];
         const Field& field = dataset.find(r.field).field;
-        const auto it = recon_store.find(result_key(r));
-        if (it == recon_store.end()) continue;
-        summary.ssim[result_key(r)] =
-            analysis::ssim(field.data, it->second, field.dims);
+        if (recons[i].empty()) continue;
+        summary.ssim[result_key(r)] = analysis::ssim(field.data, recons[i], field.dims);
       }
     });
   }
@@ -154,19 +154,22 @@ PipelineSummary run_pipeline(const json::Value& config) {
       const auto& z = dataset.find("z").field.data;
       const auto original = analysis::fof(x, y, z, fof_params);
 
-      std::lock_guard lock(mu);
+      std::map<std::string, std::size_t> slot_of;
+      for (std::size_t i = 0; i < summary.results.size(); ++i) {
+        if (!recons[i].empty()) slot_of[result_key(summary.results[i])] = i;
+      }
       // Group position reconstructions by (compressor, config).
       for (const auto& r : summary.results) {
         if (r.field != "x") continue;
         const std::string suffix = "|" + r.compressor + "|" + r.config.label();
-        const auto ix = recon_store.find("x" + suffix);
-        const auto iy = recon_store.find("y" + suffix);
-        const auto iz = recon_store.find("z" + suffix);
-        if (ix == recon_store.end() || iy == recon_store.end() || iz == recon_store.end()) {
+        const auto ix = slot_of.find("x" + suffix);
+        const auto iy = slot_of.find("y" + suffix);
+        const auto iz = slot_of.find("z" + suffix);
+        if (ix == slot_of.end() || iy == slot_of.end() || iz == slot_of.end()) {
           continue;
         }
-        const auto recon =
-            analysis::fof(ix->second, iy->second, iz->second, fof_params);
+        const auto recon = analysis::fof(recons[ix->second], recons[iy->second],
+                                         recons[iz->second], fof_params);
         double deviation = 1.0;
         if (!recon.halos.empty() && !original.halos.empty()) {
           deviation = analysis::compare_halo_catalogs(original.halos, recon.halos, 1.0)
@@ -185,7 +188,6 @@ PipelineSummary run_pipeline(const json::Value& config) {
   const bool do_cinema = config.get("cinema", false);
   if (do_cinema) {
     workflow.add("cinema", cinema_deps, [&] {
-      std::lock_guard lock(mu);
       CinemaDatabase db({"dataset", "field", "compressor", "config", "ratio", "bitrate",
                          "psnr_db", "mre", "pk_deviation", "FILE"});
       SvgPlot rd("Rate-distortion", "bitrate (bits/value)", "PSNR (dB)");
@@ -216,7 +218,21 @@ PipelineSummary run_pipeline(const json::Value& config) {
     });
   }
 
-  summary.workflow_ok = workflow.run(nullptr);
+  // Parallel execution is opt-in ("jobs": N). Compressors whose sessions
+  // are order-sensitive (simulated-GPU timing, zfp-omp) force the inline
+  // path so modeled timings stay reproducible.
+  const std::size_t jobs_requested =
+      static_cast<std::size_t>(config.get("jobs", 0.0));
+  bool parallel_ok = jobs_requested > 1;
+  for (const auto& c : compressors) {
+    if (!c->concurrent_sessions_safe()) parallel_ok = false;
+  }
+  if (parallel_ok) {
+    ThreadPool pool(jobs_requested);
+    summary.workflow_ok = workflow.run(&pool, jobs_requested);
+  } else {
+    summary.workflow_ok = workflow.run(nullptr);
+  }
   return summary;
 }
 

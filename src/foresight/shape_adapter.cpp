@@ -1,0 +1,22 @@
+#include "foresight/shape_adapter.hpp"
+
+#include <algorithm>
+
+namespace cosmo::foresight {
+
+Dims reshape_1d_to_3d(std::size_t n) {
+  const std::size_t nx = (n + 63) / 64;
+  return Dims::d3(nx, 8, 8);
+}
+
+ShapeAdapter::ShapeAdapter(const Field& field, ScratchArena& arena)
+    : dims_(field.dims), original_count_(field.data.size()), view_(field.data) {
+  if (field.dims.rank() != 1) return;
+  dims_ = reshape_1d_to_3d(field.data.size());
+  padded_ = arena.floats();
+  padded_->assign(dims_.count(), 0.0f);
+  std::copy(field.data.begin(), field.data.end(), padded_->begin());
+  view_ = *padded_;
+}
+
+}  // namespace cosmo::foresight

@@ -1,0 +1,43 @@
+/// \file shape_adapter.hpp
+/// \brief The paper's 1-D -> 3-D dimension conversion (Section IV-B4),
+/// hoisted out of the individual device codecs into one shared adapter.
+#pragma once
+
+#include <span>
+
+#include "common/field.hpp"
+#include "common/scratch_arena.hpp"
+
+namespace cosmo::foresight {
+
+/// The paper's 1-D -> 3-D dimension conversion (Section IV-B4): reshapes a
+/// 1-D extent into (ceil(n/64), 8, 8) with zero padding, the layout used
+/// for cuZFP on HACC; GPU-SZ accepts the same reshaped layout.
+Dims reshape_1d_to_3d(std::size_t n);
+
+/// Presents a field to a 3-D-only codec: rank-1 fields are reshaped to
+/// (ceil(n/64), 8, 8) with zero padding (the padded copy is leased from the
+/// arena, so repeated sweeps reuse one buffer); rank-2/3 fields pass
+/// through untouched. Callers truncate reconstructions back to
+/// original_count() to drop the padding.
+class ShapeAdapter {
+ public:
+  ShapeAdapter(const Field& field, ScratchArena& arena);
+
+  /// The (possibly padded) values to hand to the codec.
+  [[nodiscard]] std::span<const float> values() const { return view_; }
+  /// The (possibly reshaped) extents to hand to the codec.
+  [[nodiscard]] const Dims& dims() const { return dims_; }
+  /// True when the field was reshaped (and therefore padded).
+  [[nodiscard]] bool reshaped() const { return static_cast<bool>(padded_); }
+  /// The field's original value count, before padding.
+  [[nodiscard]] std::size_t original_count() const { return original_count_; }
+
+ private:
+  Dims dims_;
+  std::size_t original_count_;
+  ArenaLease<float> padded_;
+  std::span<const float> view_;
+};
+
+}  // namespace cosmo::foresight

@@ -8,77 +8,95 @@ double stream_bitrate(std::size_t compressed_bytes, std::size_t points) {
   return static_cast<double>(compressed_bytes) * 8.0 / static_cast<double>(points);
 }
 
-/// PW_REL streams begin with the "SZPR" magic; ABS streams begin with the
-/// one-byte lossless flag (0 or 1), so the first byte disambiguates.
-bool is_pwrel_stream(std::span<const std::uint8_t> bytes) {
-  return bytes.size() >= 4 && bytes[0] == 0x52 && bytes[1] == 0x50 && bytes[2] == 0x5A &&
-         bytes[3] == 0x53;
-}
-
 }  // namespace
 
 DeviceCompressResult CuZfpDevice::compress(std::span<const float> data, const Dims& dims,
                                            double rate) {
+  DeviceCompressResult out;
+  compress_into(data, dims, rate, out);
+  return out;
+}
+
+void CuZfpDevice::compress_into(std::span<const float> data, const Dims& dims, double rate,
+                                DeviceCompressResult& out) {
   zfp::Params params;
   params.mode = zfp::Mode::kFixedRate;
   params.rate = rate;
-  DeviceCompressResult out;
-  out.bytes = zfp::compress(data, dims, params);
+  zfp::compress_into(data, dims, params, out.bytes);
   out.kernel_gbps = sim_.zfp_compress_kernel_gbps(rate);
   out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
                                       out.kernel_gbps);
-  return out;
 }
 
 DeviceDecompressResult CuZfpDevice::decompress(std::span<const std::uint8_t> bytes) {
   DeviceDecompressResult out;
-  out.values = zfp::decompress(bytes, &out.dims);
+  decompress_into(bytes, out);
+  return out;
+}
+
+void CuZfpDevice::decompress_into(std::span<const std::uint8_t> bytes,
+                                  DeviceDecompressResult& out) {
+  zfp::decompress_into(bytes, out.values, &out.dims);
   const double bitrate = stream_bitrate(bytes.size(), out.values.size());
   out.kernel_gbps = sim_.zfp_decompress_kernel_gbps(bitrate);
   out.timing = sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
                                         out.kernel_gbps);
-  return out;
 }
 
 DeviceCompressResult GpuSzDevice::compress_abs(std::span<const float> data, const Dims& dims,
                                                double abs_bound) {
+  DeviceCompressResult out;
+  compress_abs_into(data, dims, abs_bound, out);
+  return out;
+}
+
+void GpuSzDevice::compress_abs_into(std::span<const float> data, const Dims& dims,
+                                    double abs_bound, DeviceCompressResult& out) {
   require(dims.rank() == 3,
           "GPU-SZ supports only 3-D data; reshape 1-D inputs first (paper Sec. IV-B4)");
   sz::Params params;
   params.abs_error_bound = abs_bound;
-  DeviceCompressResult out;
-  out.bytes = sz::compress(data, dims, params);
+  sz::compress_into(data, dims, params, out.bytes);
   out.kernel_gbps = sim_.sz_kernel_gbps();
   out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
                                       out.kernel_gbps);
-  return out;
 }
 
 DeviceCompressResult GpuSzDevice::compress_pwrel(std::span<const float> data,
                                                  const Dims& dims, double pwrel_bound) {
+  DeviceCompressResult out;
+  compress_pwrel_into(data, dims, pwrel_bound, out);
+  return out;
+}
+
+void GpuSzDevice::compress_pwrel_into(std::span<const float> data, const Dims& dims,
+                                      double pwrel_bound, DeviceCompressResult& out) {
   require(dims.rank() == 3,
           "GPU-SZ supports only 3-D data; reshape 1-D inputs first (paper Sec. IV-B4)");
   sz::PwRelParams params;
   params.pw_rel_bound = pwrel_bound;
-  DeviceCompressResult out;
-  out.bytes = sz::compress_pwrel(data, dims, params);
+  sz::compress_pwrel_into(data, dims, params, out.bytes);
   out.kernel_gbps = sim_.sz_kernel_gbps();
   out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
                                       out.kernel_gbps);
-  return out;
 }
 
 DeviceDecompressResult GpuSzDevice::decompress(std::span<const std::uint8_t> bytes) {
   DeviceDecompressResult out;
-  if (is_pwrel_stream(bytes)) {
-    out.values = sz::decompress_pwrel(bytes, &out.dims);
+  decompress_into(bytes, out);
+  return out;
+}
+
+void GpuSzDevice::decompress_into(std::span<const std::uint8_t> bytes,
+                                  DeviceDecompressResult& out) {
+  if (sz::is_pwrel_stream(bytes)) {
+    sz::decompress_pwrel_into(bytes, out.values, &out.dims);
   } else {
-    out.values = sz::decompress(bytes, &out.dims);
+    sz::decompress_into(bytes, out.values, &out.dims);
   }
   out.kernel_gbps = sim_.sz_kernel_gbps();
   out.timing = sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
                                         out.kernel_gbps);
-  return out;
 }
 
 }  // namespace cosmo::gpu

@@ -36,7 +36,15 @@ class CuZfpDevice {
   /// Compresses at \p rate bits/value; assumes data already in device memory.
   DeviceCompressResult compress(std::span<const float> data, const Dims& dims, double rate);
 
+  /// compress() variant reusing \p out's buffers (cleared, capacity kept) —
+  /// the path staged sweep sessions use. Same modeled timing as compress().
+  void compress_into(std::span<const float> data, const Dims& dims, double rate,
+                     DeviceCompressResult& out);
+
   DeviceDecompressResult decompress(std::span<const std::uint8_t> bytes);
+
+  /// decompress() variant reusing \p out's buffers.
+  void decompress_into(std::span<const std::uint8_t> bytes, DeviceDecompressResult& out);
 
   /// Throughput reporting is supported for cuZFP.
   static constexpr bool throughput_supported() { return true; }
@@ -57,7 +65,16 @@ class GpuSzDevice {
   DeviceCompressResult compress_pwrel(std::span<const float> data, const Dims& dims,
                                       double pwrel_bound);
 
+  /// Buffer-reusing variants of the above (same modeled timing).
+  void compress_abs_into(std::span<const float> data, const Dims& dims, double abs_bound,
+                         DeviceCompressResult& out);
+  void compress_pwrel_into(std::span<const float> data, const Dims& dims,
+                           double pwrel_bound, DeviceCompressResult& out);
+
   DeviceDecompressResult decompress(std::span<const std::uint8_t> bytes);
+
+  /// Buffer-reusing variant of decompress().
+  void decompress_into(std::span<const std::uint8_t> bytes, DeviceDecompressResult& out);
 
   /// The paper excludes GPU-SZ throughput (unoptimized memory layout);
   /// callers should print N/A when this is false.

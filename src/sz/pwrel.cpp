@@ -39,8 +39,21 @@ std::uint64_t read_u64(std::span<const std::uint8_t> b, std::size_t& pos) {
 
 }  // namespace
 
+bool is_pwrel_stream(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= 4 && bytes[0] == 0x52 && bytes[1] == 0x50 && bytes[2] == 0x5A &&
+         bytes[3] == 0x53;
+}
+
 std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims& dims,
                                          const PwRelParams& params, Stats* stats) {
+  std::vector<std::uint8_t> out;
+  compress_pwrel_into(data, dims, params, out, stats);
+  return out;
+}
+
+void compress_pwrel_into(std::span<const float> data, const Dims& dims,
+                         const PwRelParams& params, std::vector<std::uint8_t>& out,
+                         Stats* stats) {
   require(data.size() == dims.count(), "compress_pwrel: data/dims size mismatch");
   require(!data.empty(), "compress_pwrel: empty input");
   require(params.pw_rel_bound > 0.0 && params.pw_rel_bound < 1.0,
@@ -83,7 +96,7 @@ std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims
   std::vector<std::uint8_t> class_packed = lzss_encode(class_stream);
   const bool class_lz = class_packed.size() < class_stream.size();
 
-  std::vector<std::uint8_t> out;
+  out.clear();
   append_u32(out, kMagic);
   append_u64(out, data.size());
   out.push_back(class_lz ? 1 : 0);
@@ -104,10 +117,16 @@ std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims
     stats->compressed_bytes = out.size();
     stats->bit_rate = static_cast<double>(out.size()) * 8.0 / static_cast<double>(data.size());
   }
-  return out;
 }
 
 std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+  std::vector<float> out;
+  decompress_pwrel_into(bytes, out, out_dims);
+  return out;
+}
+
+void decompress_pwrel_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
+                           Dims* out_dims) {
   std::size_t pos = 0;
   require_format(read_u32(bytes, pos) == kMagic, "pwrel: bad magic");
   const std::uint64_t count = read_u64(bytes, pos);
@@ -131,7 +150,7 @@ std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes, Dims* o
 
   require_format(logs.size() == count && classes.size() == count,
                  "pwrel: section size mismatch");
-  std::vector<float> out(count);
+  out.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     switch (classes[i]) {
       case kZero: out[i] = 0.0f; break;
@@ -141,7 +160,6 @@ std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes, Dims* o
     }
   }
   if (out_dims) *out_dims = dims;
-  return out;
 }
 
 }  // namespace cosmo::sz

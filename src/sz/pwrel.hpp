@@ -36,8 +36,23 @@ struct PwRelParams {
 std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims& dims,
                                          const PwRelParams& params, Stats* stats = nullptr);
 
+/// compress_pwrel() variant writing into \p out (cleared first, capacity
+/// reused across repeated sweep iterations).
+void compress_pwrel_into(std::span<const float> data, const Dims& dims,
+                         const PwRelParams& params, std::vector<std::uint8_t>& out,
+                         Stats* stats = nullptr);
+
 /// Decompresses a buffer produced by compress_pwrel().
 std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes,
                                     Dims* out_dims = nullptr);
+
+/// decompress_pwrel() variant writing into \p out (capacity reused).
+void decompress_pwrel_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
+                           Dims* out_dims = nullptr);
+
+/// True when \p bytes starts with the PW_REL stream magic ("SZPR"). ABS
+/// streams begin with the one-byte lossless flag (0 or 1), so the first
+/// bytes disambiguate the two dialects.
+[[nodiscard]] bool is_pwrel_stream(std::span<const std::uint8_t> bytes);
 
 }  // namespace cosmo::sz

@@ -113,6 +113,13 @@ std::size_t default_block_edge(int rank) {
 
 std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
                                    const Params& params, Stats* stats) {
+  std::vector<std::uint8_t> out;
+  compress_into(data, dims, params, out, stats);
+  return out;
+}
+
+void compress_into(std::span<const float> data, const Dims& dims, const Params& params,
+                   std::vector<std::uint8_t>& out, Stats* stats) {
   require(data.size() == dims.count(), "sz::compress: data/dims size mismatch");
   require(!data.empty(), "sz::compress: empty input");
   const std::size_t edge =
@@ -189,7 +196,7 @@ std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims
   w.raw(huff.data(), huff.size());
   for (const float v : unpred) w.f32(v);
 
-  std::vector<std::uint8_t> out;
+  out.clear();
   if (params.lossless) {
     std::vector<std::uint8_t> packed = lzss_encode(w.bytes);
     if (packed.size() < w.bytes.size()) {
@@ -212,10 +219,16 @@ std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims
     stats->compressed_bytes = out.size();
     stats->bit_rate = static_cast<double>(out.size()) * 8.0 / static_cast<double>(data.size());
   }
-  return out;
 }
 
 std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+  std::vector<float> out;
+  decompress_into(bytes, out, out_dims);
+  return out;
+}
+
+void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& recon,
+                     Dims* out_dims) {
   require_format(!bytes.empty(), "sz: empty stream");
   const bool packed = bytes[0] == 1;
   std::vector<std::uint8_t> payload_storage;
@@ -258,7 +271,7 @@ std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dim
   require_format(codes.size() == dims.count(), "sz: code count mismatch");
 
   const Quantizer quant(eb, radius);
-  std::vector<float> recon(dims.count(), 0.0f);
+  recon.assign(dims.count(), 0.0f);
   std::size_t block_idx = 0;
   std::size_t coef_idx = 0;
   std::size_t code_idx = 0;
@@ -293,7 +306,6 @@ std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dim
   require_format(unpred_idx == unpred.size(), "sz: unused unpredictable values");
 
   if (out_dims) *out_dims = dims;
-  return recon;
 }
 
 }  // namespace cosmo::sz

@@ -79,6 +79,13 @@ unsigned block_bits_for_rate(double rate, int rank) {
 
 std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
                                    const Params& params, Stats* stats) {
+  std::vector<std::uint8_t> out;
+  compress_into(data, dims, params, out, stats);
+  return out;
+}
+
+void compress_into(std::span<const float> data, const Dims& dims, const Params& params,
+                   std::vector<std::uint8_t>& out, Stats* stats) {
   require(data.size() == dims.count(), "zfp::compress: data/dims size mismatch");
   require(!data.empty(), "zfp::compress: empty input");
   const int rank = dims.rank();
@@ -113,7 +120,7 @@ std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims
   });
   const std::vector<std::uint8_t> payload = bw.finish();
 
-  std::vector<std::uint8_t> out;
+  out.clear();
   auto u32 = [&out](std::uint32_t v) {
     for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   };
@@ -143,10 +150,16 @@ std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims
     stats->compressed_bytes = out.size();
     stats->bit_rate = static_cast<double>(out.size()) * 8.0 / static_cast<double>(data.size());
   }
-  return out;
 }
 
 std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+  std::vector<float> out;
+  decompress_into(bytes, out, out_dims);
+  return out;
+}
+
+void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
+                     Dims* out_dims) {
   std::size_t pos = 0;
   auto u32 = [&bytes, &pos]() {
     require_format(pos + 4 <= bytes.size(), "zfp: truncated header");
@@ -188,7 +201,7 @@ std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dim
   }
 
   BitReader br(bytes.data() + pos, payload_len);
-  std::vector<float> out(dims.count(), 0.0f);
+  out.assign(dims.count(), 0.0f);
   std::vector<float> block(block_values(rank));
   for_each_block(dims, rank, [&](std::size_t bx, std::size_t by, std::size_t bz) {
     decode_block_float(br, block, rank, maxbits, maxprec, minexp,
@@ -196,7 +209,6 @@ std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dim
     scatter(out, dims, rank, bx, by, bz, block);
   });
   if (out_dims) *out_dims = dims;
-  return out;
 }
 
 }  // namespace cosmo::zfp

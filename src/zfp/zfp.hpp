@@ -46,8 +46,18 @@ struct Stats {
 std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
                                    const Params& params, Stats* stats = nullptr);
 
+/// compress() variant writing into \p out (cleared first, capacity reused) —
+/// the allocation-free path repeated sweep iterations use.
+void compress_into(std::span<const float> data, const Dims& dims, const Params& params,
+                   std::vector<std::uint8_t>& out, Stats* stats = nullptr);
+
 /// Decompresses a buffer produced by compress().
 std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims = nullptr);
+
+/// decompress() variant writing into \p out (resized in place, capacity
+/// reused across repeated calls).
+void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
+                     Dims* out_dims = nullptr);
 
 /// Bits per block implied by a rate for the given rank (fixed-rate mode).
 unsigned block_bits_for_rate(double rate, int rank);

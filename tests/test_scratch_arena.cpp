@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/scratch_arena.hpp"
+
+namespace cosmo {
+namespace {
+
+TEST(ScratchArena, FirstLeaseAllocatesFresh) {
+  ScratchArena arena;
+  auto lease = arena.floats();
+  ASSERT_TRUE(lease);
+  EXPECT_TRUE(lease->empty());
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.reuses, 0u);
+}
+
+TEST(ScratchArena, ReturnedBufferIsReusedWithCapacity) {
+  ScratchArena arena;
+  const float* data_ptr = nullptr;
+  {
+    auto lease = arena.floats();
+    lease->assign(1024, 1.5f);
+    data_ptr = lease->data();
+  }  // lease returns the buffer to the arena
+  EXPECT_EQ(arena.stats().pooled_buffers, 1u);
+
+  auto again = arena.floats();
+  EXPECT_EQ(again->data(), data_ptr);  // same allocation came back
+  EXPECT_GE(again->capacity(), 1024u);
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.pooled_buffers, 0u);
+}
+
+TEST(ScratchArena, ByteAndFloatPoolsAreSeparate) {
+  ScratchArena arena;
+  {
+    auto f = arena.floats();
+    f->resize(10);
+  }
+  auto b = arena.bytes();
+  EXPECT_TRUE(b->empty());
+  EXPECT_EQ(arena.stats().reuses, 0u);  // byte lease can't reuse a float buffer
+  EXPECT_EQ(arena.stats().pooled_buffers, 1u);
+}
+
+TEST(ScratchArena, HighWaterTracksPeakCapacity) {
+  ScratchArena arena;
+  {
+    auto a = arena.floats();
+    auto b = arena.floats();
+    a->assign(1000, 0.0f);  // >= 4000 bytes
+    b->assign(500, 0.0f);   // >= 2000 bytes
+  }
+  const auto stats = arena.stats();
+  EXPECT_GE(stats.high_water_bytes, 6000u);
+  EXPECT_EQ(stats.pooled_buffers, 2u);
+  EXPECT_GE(stats.pooled_bytes, 6000u);
+}
+
+TEST(ScratchArena, TrimDropsPooledBuffers) {
+  ScratchArena arena;
+  {
+    auto a = arena.floats();
+    a->resize(100);
+  }
+  ASSERT_EQ(arena.stats().pooled_buffers, 1u);
+  arena.trim();
+  EXPECT_EQ(arena.stats().pooled_buffers, 0u);
+  EXPECT_EQ(arena.stats().pooled_bytes, 0u);
+  // High-water mark survives the trim (it is a peak, not a level).
+  EXPECT_GT(arena.stats().high_water_bytes, 0u);
+}
+
+TEST(ScratchArena, MovedFromLeaseReleasesNothing) {
+  ScratchArena arena;
+  {
+    auto a = arena.floats();
+    a->resize(64);
+    ArenaLease<float> b = std::move(a);
+    EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is bool-false
+    EXPECT_TRUE(b);
+    EXPECT_EQ(b->size(), 64u);
+  }  // only b returns a buffer
+  EXPECT_EQ(arena.stats().pooled_buffers, 1u);
+}
+
+TEST(ScratchArena, ManualResetReturnsEarly) {
+  ScratchArena arena;
+  auto a = arena.floats();
+  a->resize(16);
+  a.reset();
+  EXPECT_FALSE(a);
+  EXPECT_EQ(arena.stats().pooled_buffers, 1u);
+  a.reset();  // idempotent
+  EXPECT_EQ(arena.stats().pooled_buffers, 1u);
+}
+
+}  // namespace
+}  // namespace cosmo

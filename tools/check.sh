@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo health check: fails if build artifacts are tracked, then does a fresh
+# out-of-tree build with -Wall -Wextra and runs the full test suite.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-check)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-check"}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cd "${repo_root}"
+
+# 1. No build-tree files may be tracked by git.
+tracked_build="$(git ls-files -- 'build/' 'build-*/' 'bench_out/' 'foresight_out/')"
+if [[ -n "${tracked_build}" ]]; then
+  echo "error: build/output files are tracked by git:" >&2
+  echo "${tracked_build}" | head -20 >&2
+  exit 1
+fi
+
+# 2. Fresh out-of-tree configure + build with warnings on.
+rm -rf "${build_dir}"
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+cmake --build "${build_dir}" -j "${jobs}"
+
+# 3. Full test suite.
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+echo "check.sh: OK (build dir: ${build_dir})"

@@ -34,7 +34,7 @@ int usage() {
                "  devices\n"
                "  generate --type nyx|hacc --out FILE [--dim N] [--particles N] [--seed S]\n"
                "  info FILE\n"
-               "  compress --codec NAME --mode MODE --value V --input FILE [--field NAME] [--gpu NAME]\n"
+               "  compress --codec NAME --mode MODE --value V --input FILE [--field NAME] [--gpu NAME] [--threads N]\n"
                "  estimate --input FILE --field NAME --bound B\n"
                "  run CONFIG.json\n");
   return 2;
@@ -97,17 +97,24 @@ int cmd_compress(const CliArgs& args) {
     std::fprintf(stderr, "compress: --input and --value are required\n");
     return 2;
   }
+  const int threads_arg = args.get_int("threads", 1);
+  if (threads_arg < 0) {
+    std::fprintf(stderr, "compress: --threads must be >= 0 (got %d)\n", threads_arg);
+    return 2;
+  }
   const auto data = io::load(input);
   gpu::GpuSimulator sim(gpu::find_device(args.get("gpu", "Tesla V100")));
   const auto codec = foresight::make_compressor(codec_name, &sim);
-  foresight::CBench bench({.keep_reconstructed = false, .dataset_name = input});
+  const auto threads = static_cast<std::size_t>(threads_arg);
+  foresight::CBench bench(
+      {.keep_reconstructed = false, .dataset_name = input, .threads = threads});
 
-  std::vector<foresight::CBenchResult> results;
   const std::string only_field = args.get("field", "");
-  for (const auto& variable : data.variables) {
-    if (!only_field.empty() && variable.field.name != only_field) continue;
-    results.push_back(bench.run_one(variable.field, *codec, {mode, value}));
-  }
+  const auto field_filter = [&only_field](const std::string& name) {
+    return only_field.empty() || name == only_field;
+  };
+  std::vector<foresight::CBenchResult> results =
+      bench.sweep(data, *codec, {{mode, value}}, field_filter);
   if (results.empty()) {
     std::fprintf(stderr, "compress: no matching fields\n");
     return 2;
