@@ -5,15 +5,16 @@
 namespace cosmo::analysis {
 
 Field cic_deposit(std::span<const float> x, std::span<const float> y,
-                  std::span<const float> z, double box, std::size_t grid_edge) {
+                  std::span<const float> z, double box, std::size_t grid_edge,
+                  ThreadPool* pool) {
   require(x.size() == y.size() && y.size() == z.size(), "cic: coordinate size mismatch");
   require(box > 0.0, "cic: box must be positive");
   require(grid_edge >= 2, "cic: grid edge must be >= 2");
 
   const Dims dims = Dims::d3(grid_edge, grid_edge, grid_edge);
-  std::vector<double> rho(dims.count(), 0.0);
   const double scale = static_cast<double>(grid_edge) / box;
   const auto n = static_cast<std::size_t>(grid_edge);
+  const std::size_t n_particles = x.size();
 
   auto wrap = [n](long i) {
     const long m = static_cast<long>(n);
@@ -21,38 +22,73 @@ Field cic_deposit(std::span<const float> x, std::span<const float> y,
     return static_cast<std::size_t>(i < 0 ? i + m : i);
   };
 
-  for (std::size_t p = 0; p < x.size(); ++p) {
-    // Cell-centered CIC: shift by half a cell so weights are symmetric.
-    const double gx = static_cast<double>(x[p]) * scale - 0.5;
-    const double gy = static_cast<double>(y[p]) * scale - 0.5;
-    const double gz = static_cast<double>(z[p]) * scale - 0.5;
-    const long ix = static_cast<long>(std::floor(gx));
-    const long iy = static_cast<long>(std::floor(gy));
-    const long iz = static_cast<long>(std::floor(gz));
-    const double fx = gx - static_cast<double>(ix);
-    const double fy = gy - static_cast<double>(iy);
-    const double fz = gz - static_cast<double>(iz);
-    const double wx[2] = {1.0 - fx, fx};
-    const double wy[2] = {1.0 - fy, fy};
-    const double wz[2] = {1.0 - fz, fz};
-    for (int dz = 0; dz < 2; ++dz) {
-      for (int dy = 0; dy < 2; ++dy) {
-        for (int dx = 0; dx < 2; ++dx) {
-          const std::size_t cx = wrap(ix + dx);
-          const std::size_t cy = wrap(iy + dy);
-          const std::size_t cz = wrap(iz + dz);
-          rho[dims.index(cx, cy, cz)] += wx[dx] * wy[dy] * wz[dz];
-        }
-      }
+  // Phase 1 (parallel, slot-indexed): base cell + cell-centered fractional
+  // offsets per particle.
+  std::vector<std::uint32_t> cell_of(n_particles);
+  std::vector<double> fx(n_particles), fy(n_particles), fz(n_particles);
+  parallel_for(pool, n_particles, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      // Cell-centered CIC: shift by half a cell so weights are symmetric.
+      const double gx = static_cast<double>(x[p]) * scale - 0.5;
+      const double gy = static_cast<double>(y[p]) * scale - 0.5;
+      const double gz = static_cast<double>(z[p]) * scale - 0.5;
+      const long ix = static_cast<long>(std::floor(gx));
+      const long iy = static_cast<long>(std::floor(gy));
+      const long iz = static_cast<long>(std::floor(gz));
+      fx[p] = gx - static_cast<double>(ix);
+      fy[p] = gy - static_cast<double>(iy);
+      fz[p] = gz - static_cast<double>(iz);
+      cell_of[p] =
+          static_cast<std::uint32_t>(dims.index(wrap(ix), wrap(iy), wrap(iz)));
+    }
+  }, /*min_grain=*/1u << 14);
+
+  // Phase 2 (serial counting sort): CSR particle lists per base cell, filled
+  // in ascending particle order so each list's traversal order is fixed.
+  std::vector<std::uint32_t> cell_start(dims.count() + 1, 0);
+  for (const std::uint32_t c : cell_of) ++cell_start[c + 1];
+  for (std::size_t c = 0; c < dims.count(); ++c) cell_start[c + 1] += cell_start[c];
+  std::vector<std::uint32_t> cell_particles(n_particles);
+  {
+    std::vector<std::uint32_t> cursor(cell_start.begin(), cell_start.end() - 1);
+    for (std::size_t p = 0; p < n_particles; ++p) {
+      cell_particles[cursor[cell_of[p]]++] = static_cast<std::uint32_t>(p);
     }
   }
 
+  // Phase 3 (parallel gather): each output cell sums the contributions of
+  // the 8 base cells that can touch it, in fixed neighbor-then-CSR order.
+  // Scatter would race and make the sum order depend on the schedule; the
+  // gather is write-disjoint and deterministic for any thread count.
   const double mean =
-      static_cast<double>(x.size()) / static_cast<double>(dims.count());
+      static_cast<double>(n_particles) / static_cast<double>(dims.count());
   Field out("delta_cic", dims);
-  for (std::size_t i = 0; i < rho.size(); ++i) {
-    out.data[i] = static_cast<float>(rho[i] / mean - 1.0);
-  }
+  parallel_for(pool, dims.count(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      const std::size_t cx = c % n;
+      const std::size_t cy = (c / n) % n;
+      const std::size_t cz = c / (n * n);
+      double rho = 0.0;
+      for (int dz = 0; dz < 2; ++dz) {
+        const std::size_t bz = wrap(static_cast<long>(cz) - dz);
+        for (int dy = 0; dy < 2; ++dy) {
+          const std::size_t by = wrap(static_cast<long>(cy) - dy);
+          for (int dx = 0; dx < 2; ++dx) {
+            const std::size_t bx = wrap(static_cast<long>(cx) - dx);
+            const std::size_t b = dims.index(bx, by, bz);
+            for (std::uint32_t s = cell_start[b]; s < cell_start[b + 1]; ++s) {
+              const std::uint32_t p = cell_particles[s];
+              const double wx = dx ? fx[p] : 1.0 - fx[p];
+              const double wy = dy ? fy[p] : 1.0 - fy[p];
+              const double wz = dz ? fz[p] : 1.0 - fz[p];
+              rho += wx * wy * wz;
+            }
+          }
+        }
+      }
+      out.data[c] = static_cast<float>(rho / mean - 1.0);
+    }
+  }, /*min_grain=*/1u << 12);
   return out;
 }
 

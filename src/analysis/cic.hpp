@@ -9,13 +9,19 @@
 #include <span>
 
 #include "common/field.hpp"
+#include "common/thread_pool.hpp"
 
 namespace cosmo::analysis {
 
 /// Deposits \p n particles with positions (x, y, z) in [0, box) onto a
 /// grid of the given edge, with periodic wrapping. Returns the density
-/// contrast field delta = rho/mean(rho) - 1.
+/// contrast field delta = rho/mean(rho) - 1. Threads on \p pool as a
+/// gather: particles are counting-sorted into per-cell CSR lists, then each
+/// output cell sums its 8 contributing base cells in fixed neighbor-then-
+/// particle order — write-disjoint and bitwise identical for any thread
+/// count (a parallel scatter would race and reorder the FP sums).
 Field cic_deposit(std::span<const float> x, std::span<const float> y,
-                  std::span<const float> z, double box, std::size_t grid_edge);
+                  std::span<const float> z, double box, std::size_t grid_edge,
+                  ThreadPool* pool = nullptr);
 
 }  // namespace cosmo::analysis

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <numeric>
+#include <unordered_map>
 
 #include "common/error.hpp"
 
@@ -33,25 +33,55 @@ bool DisjointSet::unite(std::size_t a, std::size_t b) {
 
 namespace {
 
-/// Linked-cell acceleration structure: particles bucketed into cells of
-/// edge >= linking length; friends can only be in the 27 neighboring cells.
+/// Linked-cell acceleration structure in flat CSR form: a counting sort
+/// buckets particles into cells of edge >= linking length, so friends can
+/// only be in the 27 neighboring cells and each cell's particle list is a
+/// contiguous slice in ascending particle order.
 struct CellGrid {
   std::size_t edge_cells;
   double cell_size;
   double box;
   bool periodic;
-  std::vector<std::vector<std::uint32_t>> cells;
+  std::vector<std::uint32_t> cell_start;  // size cells + 1
+  std::vector<std::uint32_t> particles;   // size n, CSR payload
 
-  CellGrid(double box_, double linking_length, bool periodic_)
+  CellGrid(double box_, double linking_length, bool periodic_, std::span<const float> x,
+           std::span<const float> y, std::span<const float> z, ThreadPool* pool)
       : box(box_), periodic(periodic_) {
+    const std::size_t n = x.size();
     edge_cells = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::floor(box_ / linking_length)));
-    edge_cells = std::min<std::size_t>(edge_cells, 512);
+    // Cap the grid so it never allocates more than ~4 cells per particle:
+    // a finer grid than that is all empty cells (memory and traversal cost
+    // with no pruning benefit). Coarser-than-natural cells stay correct —
+    // the neighbor search only requires cell_size >= linking_length — and
+    // the chosen edge is reported via FofResult::grid_edge_cells rather
+    // than clamped silently.
+    const auto cap = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::cbrt(4.0 * static_cast<double>(std::max<std::size_t>(n, 1)))));
+    edge_cells = std::min(edge_cells, cap);
     cell_size = box_ / static_cast<double>(edge_cells);
-    cells.resize(edge_cells * edge_cells * edge_cells);
+    require(cell_size >= linking_length || edge_cells == 1,
+            "fof: cell size fell below the linking length");
+
+    const std::size_t n_cells = edge_cells * edge_cells * edge_cells;
+    std::vector<std::uint32_t> cell_of(n);
+    parallel_for(pool, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t p = lo; p < hi; ++p) {
+        cell_of[p] = static_cast<std::uint32_t>(cell_index_of(x[p], y[p], z[p]));
+      }
+    }, /*min_grain=*/1u << 14);
+    cell_start.assign(n_cells + 1, 0);
+    for (const std::uint32_t c : cell_of) ++cell_start[c + 1];
+    for (std::size_t c = 0; c < n_cells; ++c) cell_start[c + 1] += cell_start[c];
+    particles.resize(n);
+    std::vector<std::uint32_t> cursor(cell_start.begin(), cell_start.end() - 1);
+    for (std::size_t p = 0; p < n; ++p) {
+      particles[cursor[cell_of[p]]++] = static_cast<std::uint32_t>(p);
+    }
   }
 
-  [[nodiscard]] std::size_t cell_of(double x, double y, double z) const {
+  [[nodiscard]] std::size_t cell_index_of(double x, double y, double z) const {
     auto clampc = [this](double v) {
       auto c = static_cast<long>(v / cell_size);
       if (c < 0) c = 0;
@@ -64,6 +94,10 @@ struct CellGrid {
   [[nodiscard]] std::size_t index(std::size_t cx, std::size_t cy, std::size_t cz) const {
     return (cz * edge_cells + cy) * edge_cells + cx;
   }
+
+  [[nodiscard]] std::span<const std::uint32_t> cell(std::size_t idx) const {
+    return {particles.data() + cell_start[idx], cell_start[idx + 1] - cell_start[idx]};
+  }
 };
 
 double sq(double v) { return v * v; }
@@ -71,17 +105,14 @@ double sq(double v) { return v * v; }
 }  // namespace
 
 FofResult fof(std::span<const float> x, std::span<const float> y,
-              std::span<const float> z, const FofParams& params) {
+              std::span<const float> z, const FofParams& params, ThreadPool* pool) {
   require(x.size() == y.size() && y.size() == z.size(), "fof: coordinate size mismatch");
   require(params.linking_length > 0.0, "fof: linking length must be positive");
   require(params.box > 0.0, "fof: box must be positive");
   const std::size_t n = x.size();
   const double b2 = sq(params.linking_length);
 
-  CellGrid grid(params.box, params.linking_length, params.periodic);
-  for (std::size_t p = 0; p < n; ++p) {
-    grid.cells[grid.cell_of(x[p], y[p], z[p])].push_back(static_cast<std::uint32_t>(p));
-  }
+  const CellGrid grid(params.box, params.linking_length, params.periodic, x, y, z, pool);
 
   auto dist2 = [&](std::size_t a, std::size_t bq) {
     double dx = x[a] - x[bq];
@@ -99,10 +130,6 @@ FofResult fof(std::span<const float> x, std::span<const float> y,
     return dx * dx + dy * dy + dz * dz;
   };
 
-  DisjointSet ds(n);
-  std::vector<std::uint32_t> degree;
-  if (params.most_connected) degree.assign(n, 0);
-
   const long ec = static_cast<long>(grid.edge_cells);
   auto wrap_cell = [&](long c) {
     if (params.periodic) {
@@ -112,43 +139,49 @@ FofResult fof(std::span<const float> x, std::span<const float> y,
     return static_cast<std::size_t>(std::clamp(c, 0l, ec - 1));
   };
 
-  for (std::size_t cz = 0; cz < grid.edge_cells; ++cz) {
-    for (std::size_t cy = 0; cy < grid.edge_cells; ++cy) {
-      for (std::size_t cx = 0; cx < grid.edge_cells; ++cx) {
-        const auto& cell = grid.cells[grid.index(cx, cy, cz)];
-        if (cell.empty()) continue;
-        // Half-neighborhood enumeration to visit each cell pair once:
-        // self plus 13 of the 26 neighbors.
-        static const int offsets[14][3] = {
-            {0, 0, 0},  {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},
-            {-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},
-            {1, 0, 1},  {-1, 1, 1}, {0, 1, 1},  {1, 1, 1},
-        };
-        for (const auto& off : offsets) {
-          const std::size_t ox = wrap_cell(static_cast<long>(cx) + off[0]);
-          const std::size_t oy = wrap_cell(static_cast<long>(cy) + off[1]);
-          const std::size_t oz = wrap_cell(static_cast<long>(cz) + off[2]);
-          const std::size_t other_idx = grid.index(ox, oy, oz);
-          const bool self = other_idx == grid.index(cx, cy, cz);
-          if (!self && !params.periodic &&
-              (off[0] != 0 || off[1] != 0 || off[2] != 0) &&
-              other_idx == grid.index(cx, cy, cz)) {
-            continue;  // clamped onto self at the non-periodic boundary
-          }
-          const auto& other = grid.cells[other_idx];
-          for (std::size_t ai = 0; ai < cell.size(); ++ai) {
-            const std::size_t a = cell[ai];
-            const std::size_t start = self ? ai + 1 : 0;
-            for (std::size_t bi = start; bi < other.size(); ++bi) {
-              const std::size_t p = other[bi];
-              if (!params.most_connected && ds.find(a) == ds.find(p)) {
-                continue;  // already linked; the distance test can only re-confirm
-              }
-              if (dist2(a, p) <= b2) {
-                ds.unite(a, p);
-                if (params.most_connected) {
-                  ++degree[a];
-                  ++degree[p];
+  // Friend-pair pass: each z-slab of cells collects its candidate pairs
+  // independently (the slab geometry is one cz row of the grid, fixed by
+  // the grid alone), then the pairs feed the union-find serially in slab
+  // order. Every distance test is pure, so the pair lists — and the
+  // resulting components — are identical for any thread count.
+  struct Pair {
+    std::uint32_t a, b;
+  };
+  std::vector<std::vector<Pair>> slab_pairs(grid.edge_cells);
+  parallel_for(pool, grid.edge_cells, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t cz = lo; cz < hi; ++cz) {
+      std::vector<Pair>& pairs = slab_pairs[cz];
+      for (std::size_t cy = 0; cy < grid.edge_cells; ++cy) {
+        for (std::size_t cx = 0; cx < grid.edge_cells; ++cx) {
+          const std::size_t cell_idx = grid.index(cx, cy, cz);
+          const auto cell = grid.cell(cell_idx);
+          if (cell.empty()) continue;
+          // Half-neighborhood enumeration to visit each cell pair once:
+          // self plus 13 of the 26 neighbors.
+          static const int offsets[14][3] = {
+              {0, 0, 0},  {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},
+              {-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},
+              {1, 0, 1},  {-1, 1, 1}, {0, 1, 1},  {1, 1, 1},
+          };
+          for (const auto& off : offsets) {
+            const std::size_t ox = wrap_cell(static_cast<long>(cx) + off[0]);
+            const std::size_t oy = wrap_cell(static_cast<long>(cy) + off[1]);
+            const std::size_t oz = wrap_cell(static_cast<long>(cz) + off[2]);
+            const std::size_t other_idx = grid.index(ox, oy, oz);
+            const bool self = other_idx == cell_idx;
+            if (!self && !params.periodic &&
+                (off[0] != 0 || off[1] != 0 || off[2] != 0) && other_idx == cell_idx) {
+              continue;  // clamped onto self at the non-periodic boundary
+            }
+            const auto other = grid.cell(other_idx);
+            for (std::size_t ai = 0; ai < cell.size(); ++ai) {
+              const std::size_t a = cell[ai];
+              const std::size_t start = self ? ai + 1 : 0;
+              for (std::size_t bi = start; bi < other.size(); ++bi) {
+                const std::size_t p = other[bi];
+                if (dist2(a, p) <= b2) {
+                  pairs.push_back({static_cast<std::uint32_t>(a),
+                                   static_cast<std::uint32_t>(p)});
                 }
               }
             }
@@ -156,83 +189,117 @@ FofResult fof(std::span<const float> x, std::span<const float> y,
         }
       }
     }
+  }, /*min_grain=*/1);
+
+  DisjointSet ds(n);
+  std::vector<std::uint32_t> degree;
+  if (params.most_connected) degree.assign(n, 0);
+  for (const auto& pairs : slab_pairs) {
+    for (const auto& pr : pairs) {
+      ds.unite(pr.a, pr.b);
+      if (params.most_connected) {
+        ++degree[pr.a];
+        ++degree[pr.b];
+      }
+    }
   }
 
-  // Collect groups.
-  std::map<std::size_t, std::vector<std::uint32_t>> groups;
+  // Collect groups in canonical order: a group's id is the rank of its
+  // smallest member index, so halo numbering never depends on union-find
+  // internals (root choice) or the schedule.
+  std::unordered_map<std::size_t, std::size_t> group_of_root;
+  std::vector<std::vector<std::uint32_t>> groups;
   for (std::size_t p = 0; p < n; ++p) {
-    groups[ds.find(p)].push_back(static_cast<std::uint32_t>(p));
+    const std::size_t root = ds.find(p);
+    auto [it, inserted] = group_of_root.try_emplace(root, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(static_cast<std::uint32_t>(p));
+  }
+
+  std::vector<std::size_t> halo_groups;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].size() >= params.min_members) halo_groups.push_back(g);
   }
 
   FofResult result;
+  result.grid_edge_cells = grid.edge_cells;
   result.halo_of_particle.assign(n, -1);
-  for (auto& [root, members] : groups) {
-    if (members.size() < params.min_members) continue;
-    Halo halo;
-    halo.members = members.size();
-    // Center of mass relative to the first member (handles box wrapping).
-    const double rx = x[members[0]], ry = y[members[0]], rz = z[members[0]];
-    double sx = 0.0, sy = 0.0, sz = 0.0;
-    auto rel = [&](double v, double r) {
-      double d = v - r;
-      if (params.periodic) {
-        const double half = params.box / 2.0;
-        if (d > half) d -= params.box;
-        if (d < -half) d += params.box;
-      }
-      return d;
-    };
-    for (const auto p : members) {
-      sx += rel(x[p], rx);
-      sy += rel(y[p], ry);
-      sz += rel(z[p], rz);
-    }
-    const double inv = 1.0 / static_cast<double>(members.size());
-    auto wrap_pos = [&](double v) {
-      if (!params.periodic) return v;
-      v = std::fmod(v, params.box);
-      return v < 0.0 ? v + params.box : v;
-    };
-    halo.cx = wrap_pos(rx + sx * inv);
-    halo.cy = wrap_pos(ry + sy * inv);
-    halo.cz = wrap_pos(rz + sz * inv);
+  result.halos.resize(halo_groups.size());
 
-    if (params.most_connected && !degree.empty()) {
-      std::size_t best = members[0];
-      for (const auto p : members) {
-        if (degree[p] > degree[best]) best = p;
-      }
-      halo.most_connected_particle = best;
-    }
-    if (params.most_bound) {
-      // Potential of particle i ~ -sum_j 1/r_ij over (a sample of) members.
-      std::vector<std::uint32_t> sample(members);
-      if (sample.size() > params.potential_sample_cap) {
-        const std::size_t stride = sample.size() / params.potential_sample_cap;
-        std::vector<std::uint32_t> reduced;
-        for (std::size_t i = 0; i < sample.size(); i += stride) reduced.push_back(sample[i]);
-        sample.swap(reduced);
-      }
-      double best_pot = 1e300;
-      std::size_t best = members[0];
-      for (const auto p : members) {
-        double pot = 0.0;
-        for (const auto q : sample) {
-          if (q == p) continue;
-          const double d = std::sqrt(dist2(p, q)) + 1e-6;
-          pot -= 1.0 / d;
+  // Per-halo reductions are independent and slot-indexed, so they fan out
+  // across the pool; each halo's member traversal order is the CSR
+  // (ascending particle) order regardless of threads.
+  parallel_for(pool, halo_groups.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t h = lo; h < hi; ++h) {
+      const std::vector<std::uint32_t>& members = groups[halo_groups[h]];
+      Halo& halo = result.halos[h];
+      halo.members = members.size();
+      // Center of mass relative to the first member (handles box wrapping).
+      const double rx = x[members[0]], ry = y[members[0]], rz = z[members[0]];
+      double sx = 0.0, sy = 0.0, sz = 0.0;
+      auto rel = [&](double v, double r) {
+        double d = v - r;
+        if (params.periodic) {
+          const double half = params.box / 2.0;
+          if (d > half) d -= params.box;
+          if (d < -half) d += params.box;
         }
-        if (pot < best_pot) {
-          best_pot = pot;
-          best = p;
-        }
+        return d;
+      };
+      for (const auto p : members) {
+        sx += rel(x[p], rx);
+        sy += rel(y[p], ry);
+        sz += rel(z[p], rz);
       }
-      halo.most_bound_particle = best;
-    }
+      const double inv = 1.0 / static_cast<double>(members.size());
+      auto wrap_pos = [&](double v) {
+        if (!params.periodic) return v;
+        v = std::fmod(v, params.box);
+        return v < 0.0 ? v + params.box : v;
+      };
+      halo.cx = wrap_pos(rx + sx * inv);
+      halo.cy = wrap_pos(ry + sy * inv);
+      halo.cz = wrap_pos(rz + sz * inv);
 
-    const auto halo_idx = static_cast<std::int32_t>(result.halos.size());
-    for (const auto p : members) result.halo_of_particle[p] = halo_idx;
-    result.halos.push_back(halo);
+      if (params.most_connected && !degree.empty()) {
+        std::size_t best = members[0];
+        for (const auto p : members) {
+          if (degree[p] > degree[best]) best = p;
+        }
+        halo.most_connected_particle = best;
+      }
+      if (params.most_bound) {
+        // Potential of particle i ~ -sum_j 1/r_ij over (a sample of) members.
+        std::vector<std::uint32_t> sample(members);
+        if (sample.size() > params.potential_sample_cap) {
+          const std::size_t stride = sample.size() / params.potential_sample_cap;
+          std::vector<std::uint32_t> reduced;
+          for (std::size_t i = 0; i < sample.size(); i += stride) reduced.push_back(sample[i]);
+          sample.swap(reduced);
+        }
+        double best_pot = 1e300;
+        std::size_t best = members[0];
+        for (const auto p : members) {
+          double pot = 0.0;
+          for (const auto q : sample) {
+            if (q == p) continue;
+            const double d = std::sqrt(dist2(p, q)) + 1e-6;
+            pot -= 1.0 / d;
+          }
+          if (pot < best_pot) {
+            best_pot = pot;
+            best = p;
+          }
+        }
+        halo.most_bound_particle = best;
+      }
+    }
+  }, /*min_grain=*/1);
+
+  for (std::size_t h = 0; h < halo_groups.size(); ++h) {
+    for (const auto p : groups[halo_groups[h]]) {
+      result.halo_of_particle[p] = static_cast<std::int32_t>(h);
+    }
   }
   return result;
 }

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+
 namespace cosmo::analysis {
 
 /// Union-find with path compression + union by size.
@@ -53,13 +55,24 @@ struct Halo {
 
 struct FofResult {
   /// Halo index per particle, or -1 when the particle is unbound / in a
-  /// group below min_members.
+  /// group below min_members. Halos are ordered by their smallest member
+  /// index, so the ordering is a function of the input alone.
   std::vector<std::int32_t> halo_of_particle;
   std::vector<Halo> halos;
+  /// Cells per box edge the linked-cell grid actually used. Smaller than
+  /// floor(box / linking_length) when the particle-count-derived cap bound
+  /// (coarser cells stay correct — the 27-neighbor search only needs
+  /// cell_size >= linking_length — but scan more candidates).
+  std::size_t grid_edge_cells = 0;
 };
 
-/// Runs FoF over particle coordinates (equal lengths).
+/// Runs FoF over particle coordinates (equal lengths). Threads on \p pool:
+/// candidate friend pairs are collected per z-slab of the cell grid (fixed
+/// slab geometry), then fed to the union-find serially in slab order, so
+/// the partition — and every downstream reduction — is identical for any
+/// thread count.
 FofResult fof(std::span<const float> x, std::span<const float> y,
-              std::span<const float> z, const FofParams& params);
+              std::span<const float> z, const FofParams& params,
+              ThreadPool* pool = nullptr);
 
 }  // namespace cosmo::analysis

@@ -18,40 +18,76 @@ double freq(std::size_t i, std::size_t n) {
 }  // namespace
 
 std::vector<PkBin> power_spectrum(std::span<const float> values, const Dims& dims,
-                                  std::size_t nbins) {
+                                  std::size_t nbins, ThreadPool* pool) {
   require(dims.rank() == 3, "power_spectrum: field must be 3-D");
   require(values.size() == dims.count(), "power_spectrum: size mismatch");
   if (nbins == 0) nbins = dims.nx / 2;
   require(nbins >= 2, "power_spectrum: need at least 2 bins");
 
   // Mean-subtract (the spectrum of fluctuations, not the DC offset).
-  double mean = 0.0;
-  for (const float v : values) mean += v;
-  mean /= static_cast<double>(values.size());
+  // Per-z-slice partial sums reduced in fixed z order: the slice geometry
+  // never depends on the thread count, so the mean is bitwise identical to
+  // the serial z-major accumulation.
+  const std::size_t slice = dims.nx * dims.ny;
+  std::vector<double> slice_sum(dims.nz, 0.0);
   std::vector<cplx> grid(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) grid[i] = cplx(values[i] - mean, 0.0);
-  fft_3d(grid, dims, /*inverse=*/false);
+  parallel_for(pool, dims.nz, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t z = lo; z < hi; ++z) {
+      double s = 0.0;
+      for (std::size_t i = z * slice; i < (z + 1) * slice; ++i) s += values[i];
+      slice_sum[z] = s;
+    }
+  }, /*min_grain=*/1);
+  double mean = 0.0;
+  for (const double s : slice_sum) mean += s;
+  mean /= static_cast<double>(values.size());
+  parallel_for(pool, dims.nz, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo * slice; i < hi * slice; ++i) {
+      grid[i] = cplx(values[i] - mean, 0.0);
+    }
+  }, /*min_grain=*/1);
+  fft_3d(grid, dims, /*inverse=*/false, pool);
 
   const double k_nyq = static_cast<double>(dims.nx) / 2.0;
   std::vector<PkBin> bins(nbins);
   std::vector<double> ksum(nbins, 0.0);
   const double norm = 1.0 / static_cast<double>(values.size());
 
-  for (std::size_t z = 0; z < dims.nz; ++z) {
-    const double kz = freq(z, dims.nz);
-    for (std::size_t y = 0; y < dims.ny; ++y) {
-      const double ky = freq(y, dims.ny);
-      for (std::size_t x = 0; x < dims.nx; ++x) {
-        const double kx = freq(x, dims.nx);
-        const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
-        if (k <= 0.0 || k >= k_nyq) continue;
-        const auto b = std::min(nbins - 1,
-                                static_cast<std::size_t>(k / k_nyq * static_cast<double>(nbins)));
-        const cplx f = grid[dims.index(x, y, z)] * norm;
-        bins[b].power += std::norm(f);
-        ksum[b] += k;
-        ++bins[b].modes;
+  // Radial binning via per-z-slice partial accumulators, again reduced in
+  // fixed z order for thread-count-independent floating-point totals.
+  struct SliceBins {
+    std::vector<double> power, ksum;
+    std::vector<std::size_t> modes;
+  };
+  std::vector<SliceBins> partial(dims.nz);
+  parallel_for(pool, dims.nz, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t z = lo; z < hi; ++z) {
+      SliceBins& sb = partial[z];
+      sb.power.assign(nbins, 0.0);
+      sb.ksum.assign(nbins, 0.0);
+      sb.modes.assign(nbins, 0);
+      const double kz = freq(z, dims.nz);
+      for (std::size_t y = 0; y < dims.ny; ++y) {
+        const double ky = freq(y, dims.ny);
+        for (std::size_t x = 0; x < dims.nx; ++x) {
+          const double kx = freq(x, dims.nx);
+          const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+          if (k <= 0.0 || k >= k_nyq) continue;
+          const auto b = std::min(
+              nbins - 1, static_cast<std::size_t>(k / k_nyq * static_cast<double>(nbins)));
+          const cplx f = grid[dims.index(x, y, z)] * norm;
+          sb.power[b] += std::norm(f);
+          sb.ksum[b] += k;
+          ++sb.modes[b];
+        }
       }
+    }
+  }, /*min_grain=*/1);
+  for (std::size_t z = 0; z < dims.nz; ++z) {
+    for (std::size_t b = 0; b < nbins; ++b) {
+      bins[b].power += partial[z].power[b];
+      ksum[b] += partial[z].ksum[b];
+      bins[b].modes += partial[z].modes[b];
     }
   }
   for (std::size_t b = 0; b < nbins; ++b) {
@@ -70,9 +106,9 @@ std::vector<PkBin> power_spectrum(std::span<const float> values, const Dims& dim
 }
 
 PkRatio pk_ratio(std::span<const float> original, std::span<const float> reconstructed,
-                 const Dims& dims, double k_fraction) {
-  const auto pk_o = power_spectrum(original, dims);
-  const auto pk_r = power_spectrum(reconstructed, dims);
+                 const Dims& dims, double k_fraction, ThreadPool* pool) {
+  const auto pk_o = power_spectrum(original, dims, 0, pool);
+  const auto pk_r = power_spectrum(reconstructed, dims, 0, pool);
   require(pk_o.size() == pk_r.size(), "pk_ratio: binning mismatch");
 
   const double k_max = k_fraction * static_cast<double>(dims.nx) / 2.0;

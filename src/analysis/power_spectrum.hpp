@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/field.hpp"
+#include "common/thread_pool.hpp"
 
 namespace cosmo::analysis {
 
@@ -23,9 +24,12 @@ struct PkBin {
 };
 
 /// Radially binned power spectrum of a 3-D scalar field. \p nbins == 0
-/// selects nx/2 bins (up to the Nyquist frequency).
+/// selects nx/2 bins (up to the Nyquist frequency). Threads on \p pool: the
+/// FFT is pencil-parallel and the radial binning accumulates into per-z-
+/// slice partials reduced in fixed z order, so the result is bitwise
+/// identical for any thread count.
 std::vector<PkBin> power_spectrum(std::span<const float> values, const Dims& dims,
-                                  std::size_t nbins = 0);
+                                  std::size_t nbins = 0, ThreadPool* pool = nullptr);
 
 /// Per-bin ratio P_reconstructed / P_original, aligned on the original's
 /// binning; bins with no power in the original are skipped (ratio = 1).
@@ -39,7 +43,7 @@ struct PkRatio {
 /// \p k_fraction restricts the test to k <= k_fraction * k_nyquist, since
 /// the paper's acceptance reads the physically meaningful scales.
 PkRatio pk_ratio(std::span<const float> original, std::span<const float> reconstructed,
-                 const Dims& dims, double k_fraction = 1.0);
+                 const Dims& dims, double k_fraction = 1.0, ThreadPool* pool = nullptr);
 
 /// The paper's acceptance test: every evaluated bin within 1 +/- tolerance
 /// (tolerance = 0.01 for the 1% band).

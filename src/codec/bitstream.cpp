@@ -20,6 +20,11 @@ void BitWriter::put(std::uint64_t value, unsigned nbits) {
   bit_count_ += nbits;
 }
 
+void BitWriter::append(const BitWriter& other) {
+  for (const std::uint64_t w : other.words_) put(w, 64);
+  if (other.cur_bits_ > 0) put(other.cur_, other.cur_bits_);
+}
+
 std::vector<std::uint8_t> BitWriter::finish() const {
   std::vector<std::uint8_t> out;
   out.reserve((bit_count_ + 7) / 8);

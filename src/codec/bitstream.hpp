@@ -22,6 +22,13 @@ class BitWriter {
   /// Appends a single bit.
   void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
 
+  /// Bit-level concatenation of another writer's content (the other writer
+  /// is unchanged). Concatenation is associative, so encoding ranges into
+  /// private writers and appending them in range order reproduces the
+  /// single-writer stream bit for bit — the mechanism behind the
+  /// thread-count-independent parallel codec paths.
+  void append(const BitWriter& other);
+
   /// Total bits written so far.
   [[nodiscard]] std::uint64_t bit_count() const { return bit_count_; }
 

@@ -9,8 +9,10 @@ namespace cosmo {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x48554646;  // "HUFF"
-constexpr unsigned kMaxCodeLen = 58;          // fits in a u64 alongside length
+constexpr std::uint32_t kMagic = 0x48554646;         // "HUFF"
+constexpr std::uint32_t kChunkedMagic = 0x48554643;  // "HUFC"
+constexpr unsigned kMaxCodeLen = 58;                 // fits in a u64 alongside length
+constexpr std::size_t kDefaultChunkSymbols = 1u << 18;
 
 struct Node {
   std::uint64_t freq;
@@ -56,6 +58,133 @@ std::vector<CanonicalEntry> canonicalize(const std::vector<std::uint32_t>& alpha
     e.code = code;
     ++code;
     prev_len = e.length;
+  }
+  return entries;
+}
+
+/// Canonical entries for a frequency map (tree + length-limited check +
+/// canonical ordering) — the codebook both container formats share.
+std::vector<CanonicalEntry> entries_for(const std::map<std::uint32_t, std::uint64_t>& freq_map) {
+  std::vector<std::uint32_t> alphabet;
+  std::vector<std::uint64_t> freqs;
+  alphabet.reserve(freq_map.size());
+  freqs.reserve(freq_map.size());
+  for (const auto& [sym, f] : freq_map) {
+    alphabet.push_back(sym);
+    freqs.push_back(f);
+  }
+  std::vector<unsigned> lengths = huffman_code_lengths(freqs);
+  for (const auto len : lengths) {
+    require(len <= kMaxCodeLen, "huffman: code length exceeds limit (pathological distribution)");
+  }
+  return canonicalize(alphabet, lengths);
+}
+
+/// Encoder-side lookup: dense array over [min_symbol, max_symbol] when the
+/// alphabet span is small (quantization codes cluster around the radius),
+/// std::map fallback otherwise. Stores the code bit-reversed so one
+/// BitWriter::put() emits the same MSB-first bit sequence the per-bit loop
+/// used to produce.
+struct EncodeTable {
+  std::uint32_t min_symbol = 0;
+  std::vector<std::pair<std::uint64_t, unsigned>> dense;  // (reversed code, length)
+  std::map<std::uint32_t, std::pair<std::uint64_t, unsigned>> sparse;
+
+  explicit EncodeTable(const std::vector<CanonicalEntry>& entries) {
+    if (entries.empty()) return;
+    std::uint32_t lo = entries.front().symbol, hi = entries.front().symbol;
+    for (const auto& e : entries) {
+      lo = std::min(lo, e.symbol);
+      hi = std::max(hi, e.symbol);
+    }
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+    if (span <= (1u << 22)) {
+      min_symbol = lo;
+      dense.assign(span, {0, 0});
+    }
+    for (const auto& e : entries) {
+      std::uint64_t rev = 0;
+      for (unsigned i = 0; i < e.length; ++i) {
+        rev |= ((e.code >> (e.length - 1 - i)) & 1u) << i;
+      }
+      if (!dense.empty()) {
+        dense[e.symbol - min_symbol] = {rev, e.length};
+      } else {
+        sparse[e.symbol] = {rev, e.length};
+      }
+    }
+  }
+
+  void emit(BitWriter& bw, std::uint32_t symbol) const {
+    if (!dense.empty()) {
+      const auto& [code, len] = dense[symbol - min_symbol];
+      bw.put(code, len);
+    } else {
+      const auto& [code, len] = sparse.at(symbol);
+      bw.put(code, len);
+    }
+  }
+};
+
+/// Decoder-side canonical tables (first_code / first_index per length).
+struct DecodeTable {
+  std::vector<CanonicalEntry> entries;
+  std::vector<std::uint64_t> first_code = std::vector<std::uint64_t>(kMaxCodeLen + 2, 0);
+  std::vector<std::uint32_t> first_index = std::vector<std::uint32_t>(kMaxCodeLen + 2, 0);
+  std::vector<std::uint32_t> count_at = std::vector<std::uint32_t>(kMaxCodeLen + 2, 0);
+
+  /// Rebuilds canonical codes from (symbol, length) pairs that must arrive
+  /// sorted by (length, symbol) — the stored header order.
+  explicit DecodeTable(std::vector<CanonicalEntry> in) : entries(std::move(in)) {
+    std::uint64_t code = 0;
+    unsigned prev_len = entries.empty() ? 0 : entries.front().length;
+    for (auto& e : entries) {
+      require_format(e.length >= prev_len, "huffman: header not canonically sorted");
+      code <<= (e.length - prev_len);
+      e.code = code;
+      ++code;
+      prev_len = e.length;
+    }
+    for (const auto& e : entries) ++count_at[e.length];
+    std::uint32_t idx = 0;
+    std::uint64_t c = 0;
+    const unsigned len = entries.empty() ? 1 : entries.front().length;
+    for (unsigned l = len; l <= kMaxCodeLen + 1; ++l) {
+      first_code[l] = c;
+      first_index[l] = idx;
+      idx += count_at[l];
+      c = (c + count_at[l]) << 1;
+    }
+  }
+
+  /// Decodes \p count symbols from \p br into \p out (sized by the caller).
+  void decode_into(BitReader& br, std::uint32_t* out, std::uint64_t count) const {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t acc = 0;
+      unsigned len = 0;
+      for (;;) {
+        acc = (acc << 1) | (br.get_bit() ? 1u : 0u);
+        ++len;
+        require_format(len <= kMaxCodeLen, "huffman: code too long in stream");
+        if (count_at[len] > 0 && acc >= first_code[len] &&
+            acc < first_code[len] + count_at[len]) {
+          const std::uint32_t idx =
+              first_index[len] + static_cast<std::uint32_t>(acc - first_code[len]);
+          out[i] = entries[idx].symbol;
+          break;
+        }
+      }
+    }
+  }
+};
+
+/// Reads the (symbol, length) header section shared by both formats.
+std::vector<CanonicalEntry> read_entries(BitReader& br, std::uint32_t alpha_size) {
+  std::vector<CanonicalEntry> entries(alpha_size);
+  for (auto& e : entries) {
+    e.symbol = static_cast<std::uint32_t>(br.get(32));
+    e.length = static_cast<unsigned>(br.get(6));
+    require_format(e.length >= 1 && e.length <= kMaxCodeLen, "huffman: bad code length");
   }
   return entries;
 }
@@ -114,24 +243,8 @@ std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbo
   // Dense frequency map over the sparse alphabet.
   std::map<std::uint32_t, std::uint64_t> freq_map;
   for (const auto s : symbols) ++freq_map[s];
-
-  std::vector<std::uint32_t> alphabet;
-  std::vector<std::uint64_t> freqs;
-  alphabet.reserve(freq_map.size());
-  freqs.reserve(freq_map.size());
-  for (const auto& [sym, f] : freq_map) {
-    alphabet.push_back(sym);
-    freqs.push_back(f);
-  }
-  std::vector<unsigned> lengths = huffman_code_lengths(freqs);
-  for (const auto len : lengths) {
-    require(len <= kMaxCodeLen, "huffman: code length exceeds limit (pathological distribution)");
-  }
-  auto entries = canonicalize(alphabet, lengths);
-
-  // Per-symbol lookup for encoding.
-  std::map<std::uint32_t, std::pair<std::uint64_t, unsigned>> codebook;
-  for (const auto& e : entries) codebook[e.symbol] = {e.code, e.length};
+  const auto entries = entries_for(freq_map);
+  const EncodeTable table(entries);
 
   BitWriter bw;
   bw.put(kMagic, 32);
@@ -141,74 +254,129 @@ std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbo
     bw.put(e.symbol, 32);
     bw.put(e.length, 6);
   }
-  for (const auto s : symbols) {
-    const auto [code, len] = codebook.at(s);
-    // Canonical codes are MSB-first; emit bits high-to-low so the decoder
-    // can do prefix matching by accumulating one bit at a time.
-    for (unsigned i = 0; i < len; ++i) bw.put_bit(((code >> (len - 1 - i)) & 1) != 0);
-  }
+  for (const auto s : symbols) table.emit(bw, s);
   return bw.finish();
 }
 
+std::vector<std::uint8_t> huffman_encode_chunked(const std::vector<std::uint32_t>& symbols,
+                                                 ThreadPool* pool,
+                                                 std::size_t chunk_symbols) {
+  if (chunk_symbols == 0) chunk_symbols = kDefaultChunkSymbols;
+  const std::size_t n_chunks =
+      symbols.empty() ? 0 : (symbols.size() + chunk_symbols - 1) / chunk_symbols;
+
+  // Global histogram from per-chunk partials. Chunk geometry is fixed by
+  // chunk_symbols, and integer merges commute, so the codebook is identical
+  // for any thread count.
+  std::vector<std::map<std::uint32_t, std::uint64_t>> partial(n_chunks);
+  parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      const std::size_t begin = c * chunk_symbols;
+      const std::size_t end = std::min(begin + chunk_symbols, symbols.size());
+      auto& m = partial[c];
+      for (std::size_t i = begin; i < end; ++i) ++m[symbols[i]];
+    }
+  }, /*min_grain=*/1);
+  std::map<std::uint32_t, std::uint64_t> freq_map;
+  for (const auto& m : partial) {
+    for (const auto& [sym, f] : m) freq_map[sym] += f;
+  }
+  const auto entries = entries_for(freq_map);
+  const EncodeTable table(entries);
+
+  // Chunk payloads, each byte-aligned (BitWriter::finish pads), encoded in
+  // parallel with the shared codebook.
+  std::vector<std::vector<std::uint8_t>> payloads(n_chunks);
+  parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
+    BitWriter bw;
+    for (std::size_t c = lo; c < hi; ++c) {
+      bw.clear();
+      const std::size_t begin = c * chunk_symbols;
+      const std::size_t end = std::min(begin + chunk_symbols, symbols.size());
+      for (std::size_t i = begin; i < end; ++i) table.emit(bw, symbols[i]);
+      payloads[c] = bw.finish();
+    }
+  }, /*min_grain=*/1);
+
+  BitWriter header;
+  header.put(kChunkedMagic, 32);
+  header.put(symbols.size(), 64);
+  header.put(chunk_symbols, 32);
+  header.put(n_chunks, 32);
+  header.put(entries.size(), 32);
+  for (const auto& e : entries) {
+    header.put(e.symbol, 32);
+    header.put(e.length, 6);
+  }
+  std::vector<std::uint8_t> out = header.finish();
+  for (const auto& p : payloads) {
+    const auto len = static_cast<std::uint32_t>(p.size());
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  for (const auto& p : payloads) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+bool is_chunked_huffman(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  return magic == kChunkedMagic;
+}
+
+std::vector<std::uint32_t> huffman_decode_chunked(const std::vector<std::uint8_t>& bytes,
+                                                  ThreadPool* pool) {
+  BitReader br(bytes);
+  require_format(br.get(32) == kChunkedMagic, "huffman-chunked: bad magic");
+  const std::uint64_t count = br.get(64);
+  const std::size_t chunk_symbols = static_cast<std::size_t>(br.get(32));
+  const std::size_t n_chunks = static_cast<std::size_t>(br.get(32));
+  const auto alpha_size = static_cast<std::uint32_t>(br.get(32));
+  require_format(count == 0 || alpha_size > 0, "huffman-chunked: empty alphabet");
+  require_format(chunk_symbols > 0 || n_chunks == 0, "huffman-chunked: zero chunk size");
+  require_format(n_chunks == (count + chunk_symbols - 1) / std::max<std::size_t>(1, chunk_symbols),
+                 "huffman-chunked: chunk count mismatch");
+  const DecodeTable table(read_entries(br, alpha_size));
+
+  std::size_t pos = static_cast<std::size_t>((br.position() + 7) / 8);
+  struct ChunkMeta {
+    std::size_t offset, len;
+  };
+  std::vector<ChunkMeta> metas(n_chunks);
+  for (auto& m : metas) {
+    require_format(pos + 4 <= bytes.size(), "huffman-chunked: truncated chunk table");
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+    m.len = len;
+  }
+  for (auto& m : metas) {
+    m.offset = pos;
+    pos += m.len;
+    require_format(pos <= bytes.size(), "huffman-chunked: chunk overruns buffer");
+  }
+
+  std::vector<std::uint32_t> out(count);
+  parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      const std::uint64_t begin = static_cast<std::uint64_t>(c) * chunk_symbols;
+      const std::uint64_t n = std::min<std::uint64_t>(chunk_symbols, count - begin);
+      BitReader chunk_br(bytes.data() + metas[c].offset, metas[c].len);
+      table.decode_into(chunk_br, out.data() + begin, n);
+    }
+  }, /*min_grain=*/1);
+  return out;
+}
+
 std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes) {
+  if (is_chunked_huffman(bytes)) return huffman_decode_chunked(bytes, nullptr);
   BitReader br(bytes);
   require_format(br.get(32) == kMagic, "huffman: bad magic");
   const std::uint64_t count = br.get(64);
-  const std::uint32_t alpha_size = static_cast<std::uint32_t>(br.get(32));
-  std::vector<CanonicalEntry> entries(alpha_size);
-  for (auto& e : entries) {
-    e.symbol = static_cast<std::uint32_t>(br.get(32));
-    e.length = static_cast<unsigned>(br.get(6));
-    require_format(e.length >= 1 && e.length <= kMaxCodeLen, "huffman: bad code length");
-  }
+  const auto alpha_size = static_cast<std::uint32_t>(br.get(32));
   require_format(count == 0 || alpha_size > 0, "huffman: empty alphabet with nonzero count");
-
-  // Rebuild canonical codes (entries arrive sorted by (length, symbol)).
-  std::uint64_t code = 0;
-  unsigned prev_len = entries.empty() ? 0 : entries.front().length;
-  for (auto& e : entries) {
-    require_format(e.length >= prev_len, "huffman: header not canonically sorted");
-    code <<= (e.length - prev_len);
-    e.code = code;
-    ++code;
-    prev_len = e.length;
-  }
-
-  // first_code / first_index per length for O(1)-per-bit canonical decoding.
-  std::vector<std::uint64_t> first_code(kMaxCodeLen + 2, 0);
-  std::vector<std::uint32_t> first_index(kMaxCodeLen + 2, 0);
-  std::vector<std::uint32_t> count_at(kMaxCodeLen + 2, 0);
-  for (const auto& e : entries) ++count_at[e.length];
-  {
-    std::uint32_t idx = 0;
-    std::uint64_t c = 0;
-    unsigned len = entries.empty() ? 1 : entries.front().length;
-    for (unsigned l = len; l <= kMaxCodeLen + 1; ++l) {
-      first_code[l] = c;
-      first_index[l] = idx;
-      idx += count_at[l];
-      c = (c + count_at[l]) << 1;
-    }
-  }
-
-  std::vector<std::uint32_t> out;
-  out.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    std::uint64_t acc = 0;
-    unsigned len = 0;
-    for (;;) {
-      acc = (acc << 1) | (br.get_bit() ? 1u : 0u);
-      ++len;
-      require_format(len <= kMaxCodeLen, "huffman: code too long in stream");
-      if (count_at[len] > 0 && acc >= first_code[len] &&
-          acc < first_code[len] + count_at[len]) {
-        const std::uint32_t idx =
-            first_index[len] + static_cast<std::uint32_t>(acc - first_code[len]);
-        out.push_back(entries[idx].symbol);
-        break;
-      }
-    }
-  }
+  const DecodeTable table(read_entries(br, alpha_size));
+  std::vector<std::uint32_t> out(count);
+  table.decode_into(br, out.data(), count);
   return out;
 }
 

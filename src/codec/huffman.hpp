@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "codec/bitstream.hpp"
+#include "common/thread_pool.hpp"
 
 namespace cosmo {
 
@@ -19,9 +20,27 @@ namespace cosmo {
 /// (header: alphabet + code lengths; payload: bit-packed codes).
 std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbols);
 
-/// Decodes a buffer produced by huffman_encode(). Throws FormatError on
-/// malformed input.
+/// Decodes a buffer produced by huffman_encode() or
+/// huffman_encode_chunked() (dispatches on the magic). Throws FormatError
+/// on malformed input.
 std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes);
+
+/// Chunked container: one codebook built from the global histogram, payload
+/// split into byte-aligned chunks of \p chunk_symbols symbols (0 selects
+/// the default, 1<<18). Both directions parallelize over chunks on \p pool;
+/// the chunk geometry is fixed by chunk_symbols — never by the pool size —
+/// so the stream is byte-identical for any thread count (the cuSZ+-style
+/// coarse-grained coding pass).
+std::vector<std::uint8_t> huffman_encode_chunked(const std::vector<std::uint32_t>& symbols,
+                                                 ThreadPool* pool = nullptr,
+                                                 std::size_t chunk_symbols = 0);
+
+/// True when \p bytes starts with the chunked-container magic.
+bool is_chunked_huffman(const std::vector<std::uint8_t>& bytes);
+
+/// Decodes a huffman_encode_chunked() container, chunk-parallel on \p pool.
+std::vector<std::uint32_t> huffman_decode_chunked(const std::vector<std::uint8_t>& bytes,
+                                                  ThreadPool* pool = nullptr);
 
 /// Computes the per-symbol canonical code lengths for a frequency table
 /// (exposed for testing and for entropy estimation). Returned parallel to

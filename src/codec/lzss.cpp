@@ -10,14 +10,16 @@ namespace cosmo {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4C5A5353;  // "LZSS"
-constexpr unsigned kWindowBits = 16;          // 64 KiB window
+constexpr std::uint32_t kMagic = 0x4C5A5353;         // "LZSS"
+constexpr std::uint32_t kChunkedMagic = 0x4C5A5343;  // "LZSC"
+constexpr unsigned kWindowBits = 16;                 // 64 KiB window
 constexpr unsigned kLengthBits = 8;
 constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxMatch = kMinMatch + (1u << kLengthBits) - 1;
 constexpr std::size_t kWindow = 1u << kWindowBits;
 constexpr std::size_t kHashSize = 1u << 15;
 constexpr int kMaxChain = 32;
+constexpr std::size_t kDefaultChunkBytes = 1u << 20;
 
 std::uint32_t hash4(const std::uint8_t* p) {
   std::uint32_t x;
@@ -25,21 +27,21 @@ std::uint32_t hash4(const std::uint8_t* p) {
   return (x * 2654435761u) >> (32 - 15);
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
+/// Single-stream encode over a raw byte range (the chunked container calls
+/// this once per chunk, so each chunk's window never reaches outside it).
+std::vector<std::uint8_t> encode_range(const std::uint8_t* input, std::size_t size) {
   BitWriter bw;
   bw.put(kMagic, 32);
-  bw.put(input.size(), 64);
+  bw.put(size, 64);
 
   std::vector<std::int64_t> head(kHashSize, -1);
-  std::vector<std::int64_t> prev(input.size(), -1);
+  std::vector<std::int64_t> prev(size, -1);
 
   std::size_t i = 0;
-  while (i < input.size()) {
+  while (i < size) {
     std::size_t best_len = 0;
     std::size_t best_dist = 0;
-    if (i + kMinMatch <= input.size()) {
+    if (i + kMinMatch <= size) {
       const std::uint32_t h = hash4(&input[i]);
       std::int64_t cand = head[h];
       int chain = 0;
@@ -47,7 +49,7 @@ std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
              chain < kMaxChain) {
         const std::size_t c = static_cast<std::size_t>(cand);
         std::size_t len = 0;
-        const std::size_t max_len = std::min(kMaxMatch, input.size() - i);
+        const std::size_t max_len = std::min(kMaxMatch, size - i);
         while (len < max_len && input[c + len] == input[i + len]) ++len;
         if (len > best_len) {
           best_len = len;
@@ -63,7 +65,7 @@ std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
       bw.put(best_dist - 1, kWindowBits);
       bw.put(best_len - kMinMatch, kLengthBits);
       // Insert all covered positions into the hash chains.
-      const std::size_t end = std::min(i + best_len, input.size() >= 4 ? input.size() - 3 : 0);
+      const std::size_t end = std::min(i + best_len, size >= 4 ? size - 3 : 0);
       for (std::size_t j = i; j < end; ++j) {
         const std::uint32_t h = hash4(&input[j]);
         prev[j] = head[h];
@@ -73,7 +75,7 @@ std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
     } else {
       bw.put_bit(false);
       bw.put(input[i], 8);
-      if (i + 4 <= input.size()) {
+      if (i + 4 <= size) {
         const std::uint32_t h = hash4(&input[i]);
         prev[i] = head[h];
         head[h] = static_cast<std::int64_t>(i);
@@ -84,24 +86,121 @@ std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
   return bw.finish();
 }
 
-std::vector<std::uint8_t> lzss_decode(const std::vector<std::uint8_t>& input) {
-  BitReader br(input);
+/// Single-stream decode into a caller-sized output range.
+void decode_range(const std::uint8_t* input, std::size_t size, std::uint8_t* out,
+                  std::size_t expected) {
+  BitReader br(input, size);
   require_format(br.get(32) == kMagic, "lzss: bad magic");
   const std::uint64_t n = br.get(64);
-  std::vector<std::uint8_t> out;
-  out.reserve(n);
-  while (out.size() < n) {
+  require_format(n == expected, "lzss: declared size mismatch");
+  std::size_t produced = 0;
+  while (produced < n) {
     if (br.get_bit()) {
       const std::size_t dist = static_cast<std::size_t>(br.get(kWindowBits)) + 1;
       const std::size_t len = static_cast<std::size_t>(br.get(kLengthBits)) + kMinMatch;
-      require_format(dist <= out.size(), "lzss: match distance past start");
-      require_format(out.size() + len <= n, "lzss: match overruns declared size");
-      const std::size_t start = out.size() - dist;
-      for (std::size_t j = 0; j < len; ++j) out.push_back(out[start + j]);
+      require_format(dist <= produced, "lzss: match distance past start");
+      require_format(produced + len <= n, "lzss: match overruns declared size");
+      const std::size_t start = produced - dist;
+      for (std::size_t j = 0; j < len; ++j) out[produced + j] = out[start + j];
+      produced += len;
     } else {
-      out.push_back(static_cast<std::uint8_t>(br.get(8)));
+      out[produced++] = static_cast<std::uint8_t>(br.get(8));
     }
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
+  return encode_range(input.data(), input.size());
+}
+
+std::vector<std::uint8_t> lzss_decode(const std::vector<std::uint8_t>& input) {
+  if (is_chunked_lzss(input)) return lzss_decode_chunked(input, nullptr);
+  BitReader br(input);
+  require_format(br.get(32) == kMagic, "lzss: bad magic");
+  const std::uint64_t n = br.get(64);
+  std::vector<std::uint8_t> out(n);
+  decode_range(input.data(), input.size(), out.data(), n);
+  return out;
+}
+
+std::vector<std::uint8_t> lzss_encode_chunked(const std::vector<std::uint8_t>& input,
+                                              ThreadPool* pool, std::size_t chunk_bytes) {
+  if (chunk_bytes == 0) chunk_bytes = kDefaultChunkBytes;
+  const std::size_t n_chunks =
+      input.empty() ? 0 : (input.size() + chunk_bytes - 1) / chunk_bytes;
+
+  // Each chunk is an independent single-stream container; the geometry is
+  // fixed by chunk_bytes, never the pool size, so the assembled buffer is
+  // byte-identical for any thread count.
+  std::vector<std::vector<std::uint8_t>> payloads(n_chunks);
+  parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      const std::size_t begin = c * chunk_bytes;
+      const std::size_t end = std::min(begin + chunk_bytes, input.size());
+      payloads[c] = encode_range(input.data() + begin, end - begin);
+    }
+  }, /*min_grain=*/1);
+
+  BitWriter header;
+  header.put(kChunkedMagic, 32);
+  header.put(input.size(), 64);
+  header.put(chunk_bytes, 32);
+  header.put(n_chunks, 32);
+  std::vector<std::uint8_t> out = header.finish();
+  for (const auto& p : payloads) {
+    const auto len = static_cast<std::uint32_t>(p.size());
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  for (const auto& p : payloads) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+bool is_chunked_lzss(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  return magic == kChunkedMagic;
+}
+
+std::vector<std::uint8_t> lzss_decode_chunked(const std::vector<std::uint8_t>& bytes,
+                                              ThreadPool* pool) {
+  BitReader br(bytes);
+  require_format(br.get(32) == kChunkedMagic, "lzss-chunked: bad magic");
+  const std::uint64_t total = br.get(64);
+  const std::size_t chunk_bytes = static_cast<std::size_t>(br.get(32));
+  const std::size_t n_chunks = static_cast<std::size_t>(br.get(32));
+  require_format(chunk_bytes > 0 || n_chunks == 0, "lzss-chunked: zero chunk size");
+  require_format(
+      n_chunks == (total + chunk_bytes - 1) / std::max<std::size_t>(1, chunk_bytes),
+      "lzss-chunked: chunk count mismatch");
+
+  std::size_t pos = static_cast<std::size_t>((br.position() + 7) / 8);
+  struct ChunkMeta {
+    std::size_t offset, len;
+  };
+  std::vector<ChunkMeta> metas(n_chunks);
+  for (auto& m : metas) {
+    require_format(pos + 4 <= bytes.size(), "lzss-chunked: truncated chunk table");
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+    m.len = len;
+  }
+  for (auto& m : metas) {
+    m.offset = pos;
+    pos += m.len;
+    require_format(pos <= bytes.size(), "lzss-chunked: chunk overruns buffer");
+  }
+
+  std::vector<std::uint8_t> out(total);
+  parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      const std::size_t begin = c * chunk_bytes;
+      const std::size_t expected = std::min(chunk_bytes, static_cast<std::size_t>(total) - begin);
+      decode_range(bytes.data() + metas[c].offset, metas[c].len, out.data() + begin, expected);
+    }
+  }, /*min_grain=*/1);
   return out;
 }
 

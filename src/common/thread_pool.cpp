@@ -1,8 +1,17 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 namespace cosmo {
+
+namespace {
+
+/// Nanoseconds spent inside parallel_for regions (monotonic, process-wide).
+std::atomic<std::uint64_t> g_parallel_region_ns{0};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n) {
   if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -30,6 +39,24 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   cv_.notify_one();
   return fut;
+}
+
+bool ThreadPool::try_run_one() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+    ++active_;  // counted like a worker so wait_idle stays sound
+  }
+  task();
+  {
+    std::lock_guard lock(mu_);
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -66,20 +93,60 @@ void parallel_for(ThreadPool* pool, std::size_t n,
     body(0, n);
     return;
   }
+  const auto t0 = std::chrono::steady_clock::now();
   const std::size_t chunks = std::min(workers * 4, (n + min_grain - 1) / min_grain);
   const std::size_t step = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futs;
   futs.reserve(chunks);
-  for (std::size_t begin = 0; begin < n; begin += step) {
+  // Submit all but the first chunk, run the first inline, then help drain
+  // the queue while waiting: a blocked caller that is itself a pool worker
+  // keeps the pool making progress (no nested-parallelism deadlock).
+  for (std::size_t begin = step; begin < n; begin += step) {
     const std::size_t end = std::min(begin + step, n);
     futs.push_back(pool->submit([&body, begin, end] { body(begin, end); }));
   }
-  for (auto& f : futs) f.get();
+  std::exception_ptr first_error;
+  try {
+    body(0, std::min(step, n));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futs) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool->try_run_one()) {
+        f.wait_for(std::chrono::microseconds(50));
+      }
+    }
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  g_parallel_region_ns.fetch_add(
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - t0)
+                                     .count()),
+      std::memory_order_relaxed);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& global_pool() {
   static ThreadPool pool;
   return pool;
+}
+
+double parallel_region_seconds() {
+  return static_cast<double>(g_parallel_region_ns.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+PoolHandle::PoolHandle(std::size_t threads) {
+  if (threads == 0) {
+    pool_ = &global_pool();
+  } else if (threads > 1) {
+    owned_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_.get();
+  }
 }
 
 }  // namespace cosmo

@@ -6,12 +6,18 @@
 /// paper's SLURM cluster). Parallelism is explicit, per the MPI/OpenMP
 /// guidance in the HPC guides: callers decide the grain, the pool only
 /// schedules.
+///
+/// Nesting rule: parallel_for() *helps* — while waiting for its chunks the
+/// calling thread drains other queued tasks — so a pool worker may itself
+/// call parallel_for on the same pool without deadlocking (the sweep
+/// scheduler's workers run codec kernels that fan out again).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -37,6 +43,11 @@ class ThreadPool {
   /// threw.
   std::future<void> submit(std::function<void()> task);
 
+  /// Pops one queued task (if any) and runs it on the calling thread.
+  /// Returns false when the queue was empty. This is how blocked waiters
+  /// help drain the queue instead of deadlocking on nested parallelism.
+  bool try_run_one();
+
   /// Blocks until every task submitted so far has finished.
   void wait_idle();
 
@@ -54,12 +65,42 @@ class ThreadPool {
 
 /// Splits [0, n) into contiguous chunks and runs \p body(begin, end) on the
 /// pool, blocking until all chunks complete. Exceptions from any chunk are
-/// rethrown in the caller. With a null pool or n small, runs inline.
+/// rethrown in the caller. With a null pool or n small, runs inline. The
+/// caller participates: it runs chunks (and unrelated queued tasks) while
+/// waiting, so nested parallel_for on the same pool cannot deadlock.
+///
+/// Chunk boundaries depend on the pool size, so bodies whose *result*
+/// depends on chunk geometry (e.g. floating-point reductions) must not rely
+/// on this partition — give them a fixed geometry and reduce in fixed order
+/// (see docs/architecture.md, "Intra-field parallelism").
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t min_grain = 1024);
 
 /// Process-wide default pool (lazily constructed, hardware concurrency).
 ThreadPool& global_pool();
+
+/// Wall seconds spent inside parallel_for regions, process-wide. The bench
+/// tooling uses this to measure the parallelizable fraction of a codec run
+/// on hosts with fewer cores than the requested thread count (the modeled
+/// multicore rows of EXPERIMENTS.md).
+double parallel_region_seconds();
+
+/// Maps the CLI-facing `threads` knob onto a pool:
+///   1 => null (serial, the timing-faithful default),
+///   0 => the process-wide global pool,
+///   N>1 => a dedicated ThreadPool(N) owned by this handle.
+/// Copies of the knob convention live in CBench::Options and the pipeline
+/// JSON schema; keep them in sync.
+class PoolHandle {
+ public:
+  explicit PoolHandle(std::size_t threads);
+
+  [[nodiscard]] ThreadPool* get() const { return pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+};
 
 }  // namespace cosmo

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/field.hpp"
+#include "common/thread_pool.hpp"
 
 namespace cosmo {
 
@@ -23,14 +24,26 @@ bool is_pow2(std::size_t n);
 
 /// In-place 1-D FFT of length data.size() (must be a power of two).
 /// \p inverse selects the inverse transform (includes the 1/N scale).
+/// Twiddle factors come from a process-wide table cached per transform
+/// size, so repeated transforms of one size (the fft_3d pencil loops)
+/// never recompute trigonometry.
 void fft_1d(std::span<cplx> data, bool inverse);
 
 /// Out-of-place 3-D FFT over a row-major nx*ny*nz array (each extent a
-/// power of two). Transforms along all three axes.
-void fft_3d(std::vector<cplx>& data, const Dims& dims, bool inverse);
+/// power of two). Transforms along all three axes; the independent pencils
+/// of each pass run in parallel on \p pool, and the strided y/z passes move
+/// data through cache-blocked transpose tiles. Results are bitwise
+/// identical for any thread count (each pencil's arithmetic is unchanged).
+void fft_3d(std::vector<cplx>& data, const Dims& dims, bool inverse,
+            ThreadPool* pool = nullptr);
 
 /// Convenience: forward 3-D FFT of a real field into a complex spectrum.
-std::vector<cplx> fft_3d_real(std::span<const float> values, const Dims& dims);
+std::vector<cplx> fft_3d_real(std::span<const float> values, const Dims& dims,
+                              ThreadPool* pool = nullptr);
+
+/// Number of distinct transform sizes the twiddle cache currently holds
+/// (observability hook for tests).
+std::size_t& fft_twiddle_cache_entries();
 
 /// Naive O(N^2) DFT used as the correctness oracle in tests.
 std::vector<cplx> dft_reference(std::span<const cplx> data, bool inverse);

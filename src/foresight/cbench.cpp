@@ -11,7 +11,9 @@ namespace cosmo::foresight {
 
 CBenchResult CBench::run_one(const Field& field, Compressor& compressor,
                              const CompressorConfig& config) const {
-  const std::unique_ptr<CodecSession> session = compressor.open_session();
+  const PoolHandle intra(options_.session_threads);
+  const std::unique_ptr<CodecSession> session =
+      compressor.open_session(nullptr, intra.get());
   return run_session(field, compressor.name(), *session, config);
 }
 
@@ -80,7 +82,11 @@ std::vector<CBenchResult> CBench::sweep(
   const bool serial =
       options_.threads == 1 || !compressor.concurrent_sessions_safe() || jobs.size() <= 1;
   if (serial) {
-    const std::unique_ptr<CodecSession> session = compressor.open_session();
+    // One session runs at a time, so intra-field threading is free to use
+    // the whole knob. (The simulated-GPU codecs ignore the pool.)
+    const PoolHandle intra(options_.session_threads);
+    const std::unique_ptr<CodecSession> session =
+        compressor.open_session(nullptr, intra.get());
     CompressResult c;
     DecompressResult d;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -108,6 +114,8 @@ std::vector<CBenchResult> CBench::sweep(
     done.push_back(pool->submit([&] {
       // Each worker gets its own session (arena, scratch) — sessions are
       // not thread-safe, and per-worker arenas keep reuse contention-free.
+      // Sessions stay serial here: the jobs themselves occupy the pool, and
+      // stacking intra-field fan-out on top would only oversubscribe.
       const std::unique_ptr<CodecSession> session = compressor.open_session();
       CompressResult c;
       DecompressResult d;

@@ -66,6 +66,14 @@ class CBench {
     /// whose sessions cannot run concurrently (see
     /// Compressor::concurrent_sessions_safe) always run serially.
     std::size_t threads = 1;
+    /// Intra-field threads inside each codec session (same 1/0/N convention
+    /// as \p threads; see PoolHandle). Applied by run_one() and by sweeps
+    /// that run sessions serially — including codecs whose sessions cannot
+    /// run concurrently, which is how a gpu-safe sweep still threads its CPU
+    /// kernels. Sweeps already running one session per worker keep their
+    /// sessions serial (the jobs themselves saturate the pool). Streams are
+    /// byte-identical for any value (the codecs use fixed chunk geometry).
+    std::size_t session_threads = 1;
   };
 
   CBench() = default;

@@ -111,7 +111,10 @@ class GpuSzCompressor final : public Compressor {
     return {"abs", "pw_rel"};
   }
   [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
-  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
+  /// The pool is ignored: modeled GPU timings draw from the simulator's
+  /// jitter stream and must stay call-order deterministic.
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
+                                                          ThreadPool* /*pool*/) override {
     return std::make_unique<GpuSzSession>(sim_, arena);
   }
 
@@ -165,7 +168,10 @@ class CuZfpCompressor final : public Compressor {
     return {"rate"};
   }
   [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
-  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
+  /// The pool is ignored: modeled GPU timings draw from the simulator's
+  /// jitter stream and must stay call-order deterministic.
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
+                                                          ThreadPool* /*pool*/) override {
     return std::make_unique<CuZfpSession>(sim_, arena);
   }
 
@@ -175,7 +181,7 @@ class CuZfpCompressor final : public Compressor {
 
 class SzCpuSession final : public CodecSession {
  public:
-  explicit SzCpuSession(ScratchArena* arena) : CodecSession(arena) {}
+  SzCpuSession(ScratchArena* arena, ThreadPool* pool) : CodecSession(arena, pool) {}
 
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
@@ -185,11 +191,11 @@ class SzCpuSession final : public CodecSession {
     if (config.mode == "abs") {
       sz::Params params;
       params.abs_error_bound = config.value;
-      sz::compress_into(field.data, field.dims, params, out.bytes);
+      sz::compress_into(field.data, field.dims, params, out.bytes, nullptr, pool());
     } else {
       sz::PwRelParams params;
       params.pw_rel_bound = config.value;
-      sz::compress_pwrel_into(field.data, field.dims, params, out.bytes);
+      sz::compress_pwrel_into(field.data, field.dims, params, out.bytes, nullptr, pool());
     }
     out.seconds = timer.seconds();
   }
@@ -197,9 +203,9 @@ class SzCpuSession final : public CodecSession {
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
     Timer timer;
     if (sz::is_pwrel_stream(compressed.bytes)) {
-      sz::decompress_pwrel_into(compressed.bytes, out.values);
+      sz::decompress_pwrel_into(compressed.bytes, out.values, nullptr, pool());
     } else {
-      sz::decompress_into(compressed.bytes, out.values);
+      sz::decompress_into(compressed.bytes, out.values, nullptr, pool());
     }
     drop_padding(compressed, out.values);
     out.seconds = timer.seconds();
@@ -213,8 +219,9 @@ class SzCpuCompressor final : public Compressor {
     return {"abs", "pw_rel"};
   }
   [[nodiscard]] bool concurrent_sessions_safe() const override { return true; }
-  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
-    return std::make_unique<SzCpuSession>(arena);
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
+                                                          ThreadPool* pool) override {
+    return std::make_unique<SzCpuSession>(arena, pool);
   }
 };
 
@@ -235,7 +242,7 @@ zfp::Params zfp_params_for(const CompressorConfig& config) {
 
 class ZfpCpuSession final : public CodecSession {
  public:
-  explicit ZfpCpuSession(ScratchArena* arena) : CodecSession(arena) {}
+  ZfpCpuSession(ScratchArena* arena, ThreadPool* pool) : CodecSession(arena, pool) {}
 
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
@@ -243,13 +250,13 @@ class ZfpCpuSession final : public CodecSession {
     out.original_values = field.data.size();
     const zfp::Params params = zfp_params_for(config);
     Timer timer;
-    zfp::compress_into(field.data, field.dims, params, out.bytes);
+    zfp::compress_into(field.data, field.dims, params, out.bytes, nullptr, pool());
     out.seconds = timer.seconds();
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
     Timer timer;
-    zfp::decompress_into(compressed.bytes, out.values);
+    zfp::decompress_into(compressed.bytes, out.values, nullptr, pool());
     drop_padding(compressed, out.values);
     out.seconds = timer.seconds();
   }
@@ -262,8 +269,9 @@ class ZfpCpuCompressor final : public Compressor {
     return {"rate", "accuracy", "precision"};
   }
   [[nodiscard]] bool concurrent_sessions_safe() const override { return true; }
-  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
-    return std::make_unique<ZfpCpuSession>(arena);
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
+                                                          ThreadPool* pool) override {
+    return std::make_unique<ZfpCpuSession>(arena, pool);
   }
 };
 
@@ -303,7 +311,9 @@ class ZfpOmpCompressor final : public Compressor {
   /// Chunks already fan out over the global pool; a pool worker opening a
   /// nested chunked run could deadlock waiting for its own queue.
   [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
-  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena) override {
+  /// Ignores the session pool: chunks already fan out over the global pool.
+  [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
+                                                          ThreadPool* /*pool*/) override {
     return std::make_unique<ZfpOmpSession>(arena);
   }
 };

@@ -26,6 +26,7 @@
 
 #include "common/field.hpp"
 #include "common/scratch_arena.hpp"
+#include "common/thread_pool.hpp"
 #include "foresight/shape_adapter.hpp"
 #include "gpu/device_compressor.hpp"
 
@@ -101,15 +102,23 @@ class CodecSession {
   /// The arena backing this session's scratch allocations.
   [[nodiscard]] ScratchArena& arena() { return *arena_; }
 
+  /// The pool this session's intra-field kernels fan out on (null = serial).
+  [[nodiscard]] ThreadPool* pool() const { return pool_; }
+
  protected:
   /// Borrows \p arena, or owns a private one when \p arena is null.
-  explicit CodecSession(ScratchArena* arena)
+  /// \p pool is the intra-field parallelism knob; sessions that parallelize
+  /// pass it down to the codec hot paths, which guarantee byte-identical
+  /// streams for any thread count.
+  explicit CodecSession(ScratchArena* arena, ThreadPool* pool = nullptr)
       : owned_(arena ? nullptr : std::make_unique<ScratchArena>()),
-        arena_(arena ? arena : owned_.get()) {}
+        arena_(arena ? arena : owned_.get()),
+        pool_(pool) {}
 
  private:
   std::unique_ptr<ScratchArena> owned_;
   ScratchArena* arena_;
+  ThreadPool* pool_ = nullptr;
 };
 
 /// Abstract compressor as seen by CBench: a registry entry that describes a
@@ -122,9 +131,12 @@ class Compressor {
   [[nodiscard]] virtual std::vector<std::string> supported_modes() const = 0;
 
   /// Opens a session; pass an arena to share scratch buffers, or null to
-  /// let the session own one.
+  /// let the session own one. \p pool threads the session's intra-field
+  /// hot paths (null = serial); the CPU codecs guarantee byte-identical
+  /// output for any thread count, and the simulated-GPU codecs ignore the
+  /// pool (their modeled timings must stay call-order deterministic).
   [[nodiscard]] virtual std::unique_ptr<CodecSession> open_session(
-      ScratchArena* arena = nullptr) = 0;
+      ScratchArena* arena = nullptr, ThreadPool* pool = nullptr) = 0;
 
   /// True when sessions of this compressor may run concurrently with
   /// identical results. False for the simulated-GPU codecs (they share the

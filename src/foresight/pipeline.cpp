@@ -61,8 +61,17 @@ PipelineSummary run_pipeline(const json::Value& config) {
   const bool do_ssim = analysis_cfg.get("ssim", false);
 
   // --- Build the PAT workflow: cbench jobs -> analysis jobs -> cinema. ---
+  // "threads" is the intra-field knob (1 serial / 0 global / N dedicated);
+  // it reaches codec sessions through CBench and the analysis kernels
+  // directly. Output is byte-identical for any value, so it composes freely
+  // with "jobs" (workflow-level parallelism) — though running both > 1
+  // oversubscribes a small host.
+  const auto intra_threads = static_cast<std::size_t>(config.get("threads", 1.0));
+  const PoolHandle intra(intra_threads);
+  ThreadPool* const intra_pool = intra.get();
   Workflow workflow;
-  CBench bench({.keep_reconstructed = true, .dataset_name = dataset_type});
+  CBench bench({.keep_reconstructed = true, .dataset_name = dataset_type,
+                .session_threads = intra_threads});
 
   std::vector<std::string> cbench_job_names;
 
@@ -126,7 +135,8 @@ PipelineSummary run_pipeline(const json::Value& config) {
         const Field& field = dataset.find(r.field).field;
         if (field.dims.rank() != 3) continue;
         if (recons[i].empty()) continue;
-        const auto pk = analysis::pk_ratio(field.data, recons[i], field.dims, 0.5);
+        const auto pk =
+            analysis::pk_ratio(field.data, recons[i], field.dims, 0.5, intra_pool);
         summary.pk_deviation[result_key(r)] = pk.max_deviation;
       }
     });
@@ -152,7 +162,7 @@ PipelineSummary run_pipeline(const json::Value& config) {
       const auto& x = dataset.find("x").field.data;
       const auto& y = dataset.find("y").field.data;
       const auto& z = dataset.find("z").field.data;
-      const auto original = analysis::fof(x, y, z, fof_params);
+      const auto original = analysis::fof(x, y, z, fof_params, intra_pool);
 
       std::map<std::string, std::size_t> slot_of;
       for (std::size_t i = 0; i < summary.results.size(); ++i) {
@@ -169,7 +179,7 @@ PipelineSummary run_pipeline(const json::Value& config) {
           continue;
         }
         const auto recon = analysis::fof(recons[ix->second], recons[iy->second],
-                                         recons[iz->second], fof_params);
+                                         recons[iz->second], fof_params, intra_pool);
         double deviation = 1.0;
         if (!recon.halos.empty() && !original.halos.empty()) {
           deviation = analysis::compare_halo_catalogs(original.halos, recon.halos, 1.0)

@@ -19,7 +19,11 @@
 ///   ],
 ///   "analysis": {"power_spectrum": true, "halo_finder": false,
 ///                "linking_length": 1.5, "min_members": 10},
-///   "cinema": true
+///   "cinema": true,
+///   "jobs": 4,     // workflow-level parallelism (jobs run concurrently)
+///   "threads": 1   // intra-field threads inside each codec/analysis kernel
+///                  // (1 serial, 0 global pool, N dedicated); output is
+///                  // byte-identical for any value
 /// }
 #pragma once
 

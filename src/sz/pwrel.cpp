@@ -1,5 +1,6 @@
 #include "sz/pwrel.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -45,41 +46,60 @@ bool is_pwrel_stream(std::span<const std::uint8_t> bytes) {
 }
 
 std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims& dims,
-                                         const PwRelParams& params, Stats* stats) {
+                                         const PwRelParams& params, Stats* stats,
+                                         ThreadPool* pool) {
   std::vector<std::uint8_t> out;
-  compress_pwrel_into(data, dims, params, out, stats);
+  compress_pwrel_into(data, dims, params, out, stats, pool);
   return out;
 }
 
 void compress_pwrel_into(std::span<const float> data, const Dims& dims,
                          const PwRelParams& params, std::vector<std::uint8_t>& out,
-                         Stats* stats) {
+                         Stats* stats, ThreadPool* pool) {
   require(data.size() == dims.count(), "compress_pwrel: data/dims size mismatch");
   require(!data.empty(), "compress_pwrel: empty input");
   require(params.pw_rel_bound > 0.0 && params.pw_rel_bound < 1.0,
           "compress_pwrel: pw_rel bound must be in (0, 1)");
 
+  // Parallel max reduction: fabs/max are exact, so the result is identical
+  // for any chunking.
+  constexpr std::size_t kChunk = 1u << 20;
+  const std::size_t n_chunks = (data.size() + kChunk - 1) / kChunk;
+  std::vector<double> chunk_max(n_chunks, 0.0);
+  parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      double m = 0.0;
+      const std::size_t end = std::min((c + 1) * kChunk, data.size());
+      for (std::size_t i = c * kChunk; i < end; ++i) {
+        m = std::max(m, std::fabs(static_cast<double>(data[i])));
+      }
+      chunk_max[c] = m;
+    }
+  }, /*min_grain=*/1);
   double max_abs = 0.0;
-  for (const float v : data) max_abs = std::max(max_abs, std::fabs(static_cast<double>(v)));
+  for (const double m : chunk_max) max_abs = std::max(max_abs, m);
   const double ratio =
       params.zero_threshold_ratio > 0.0 ? params.zero_threshold_ratio : kDefaultZeroRatio;
   const double thresh = max_abs > 0.0 ? max_abs * ratio : 0.0;
   const double log_floor = thresh > 0.0 ? std::log(thresh) : 0.0;
 
   // Class per point + log magnitudes (zeros carry the floor so the log
-  // field stays smooth for the predictor).
+  // field stays smooth for the predictor). Element-wise with slot-indexed
+  // writes, so any partition gives the same result.
   std::vector<std::uint32_t> classes(data.size());
   std::vector<float> logs(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    const double v = data[i];
-    if (std::fabs(v) <= thresh) {
-      classes[i] = kZero;
-      logs[i] = static_cast<float>(log_floor);
-    } else {
-      classes[i] = v > 0.0 ? kPos : kNeg;
-      logs[i] = static_cast<float>(std::log(std::fabs(v)));
+  parallel_for(pool, data.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double v = data[i];
+      if (std::fabs(v) <= thresh) {
+        classes[i] = kZero;
+        logs[i] = static_cast<float>(log_floor);
+      } else {
+        classes[i] = v > 0.0 ? kPos : kNeg;
+        logs[i] = static_cast<float>(std::log(std::fabs(v)));
+      }
     }
-  }
+  }, /*min_grain=*/kChunk / 16);
 
   // A symmetric bound eb on ln|x| gives |x'/x| in [e^-eb, e^eb]; choosing
   // eb = ln(1 + p) makes the upper ratio exactly 1 + p and the lower
@@ -91,9 +111,10 @@ void compress_pwrel_into(std::span<const float> data, const Dims& dims,
   abs_params.lossless = params.lossless;
 
   Stats inner_stats;
-  const std::vector<std::uint8_t> log_stream = compress(logs, dims, abs_params, &inner_stats);
-  const std::vector<std::uint8_t> class_stream = huffman_encode(classes);
-  std::vector<std::uint8_t> class_packed = lzss_encode(class_stream);
+  const std::vector<std::uint8_t> log_stream =
+      compress(logs, dims, abs_params, &inner_stats, pool);
+  const std::vector<std::uint8_t> class_stream = huffman_encode_chunked(classes, pool);
+  std::vector<std::uint8_t> class_packed = lzss_encode_chunked(class_stream, pool);
   const bool class_lz = class_packed.size() < class_stream.size();
 
   out.clear();
@@ -119,14 +140,15 @@ void compress_pwrel_into(std::span<const float> data, const Dims& dims,
   }
 }
 
-std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes, Dims* out_dims,
+                                    ThreadPool* pool) {
   std::vector<float> out;
-  decompress_pwrel_into(bytes, out, out_dims);
+  decompress_pwrel_into(bytes, out, out_dims, pool);
   return out;
 }
 
 void decompress_pwrel_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
-                           Dims* out_dims) {
+                           Dims* out_dims, ThreadPool* pool) {
   std::size_t pos = 0;
   require_format(read_u32(bytes, pos) == kMagic, "pwrel: bad magic");
   const std::uint64_t count = read_u64(bytes, pos);
@@ -141,24 +163,33 @@ void decompress_pwrel_into(std::span<const std::uint8_t> bytes, std::vector<floa
   require_format(pos + log_len + cls_len <= bytes.size(), "pwrel: truncated sections");
 
   Dims dims;
-  std::vector<float> logs = decompress(bytes.subspan(pos, log_len), &dims);
+  std::vector<float> logs = decompress(bytes.subspan(pos, log_len), &dims, pool);
   pos += log_len;
   std::vector<std::uint8_t> cls_bytes(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
                                       bytes.begin() + static_cast<std::ptrdiff_t>(pos + cls_len));
-  if (class_lz) cls_bytes = lzss_decode(cls_bytes);
-  const std::vector<std::uint32_t> classes = huffman_decode(cls_bytes);
+  if (class_lz) {
+    cls_bytes = is_chunked_lzss(cls_bytes) ? lzss_decode_chunked(cls_bytes, pool)
+                                           : lzss_decode(cls_bytes);
+  }
+  const std::vector<std::uint32_t> classes = is_chunked_huffman(cls_bytes)
+                                                 ? huffman_decode_chunked(cls_bytes, pool)
+                                                 : huffman_decode(cls_bytes);
 
   require_format(logs.size() == count && classes.size() == count,
                  "pwrel: section size mismatch");
   out.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    switch (classes[i]) {
-      case kZero: out[i] = 0.0f; break;
-      case kPos: out[i] = std::exp(logs[i]); break;
-      case kNeg: out[i] = -std::exp(logs[i]); break;
-      default: throw FormatError("pwrel: bad class symbol");
+  std::atomic<bool> bad_class{false};
+  parallel_for(pool, count, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      switch (classes[i]) {
+        case kZero: out[i] = 0.0f; break;
+        case kPos: out[i] = std::exp(logs[i]); break;
+        case kNeg: out[i] = -std::exp(logs[i]); break;
+        default: bad_class.store(true, std::memory_order_relaxed); out[i] = 0.0f; break;
+      }
     }
-  }
+  }, /*min_grain=*/1u << 16);
+  if (bad_class.load()) throw FormatError("pwrel: bad class symbol");
   if (out_dims) *out_dims = dims;
 }
 

@@ -32,23 +32,26 @@ struct PwRelParams {
 
 /// Compresses with a point-wise relative bound. Guarantees, for every point
 /// with |x| above the zero threshold, |x' - x| <= pw_rel_bound * |x|;
-/// sub-threshold points reconstruct to exactly 0.
+/// sub-threshold points reconstruct to exactly 0. The log transform, the
+/// inner ABS compressor, and the class stream all thread on \p pool with
+/// thread-count-independent output.
 std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims& dims,
-                                         const PwRelParams& params, Stats* stats = nullptr);
+                                         const PwRelParams& params, Stats* stats = nullptr,
+                                         ThreadPool* pool = nullptr);
 
 /// compress_pwrel() variant writing into \p out (cleared first, capacity
 /// reused across repeated sweep iterations).
 void compress_pwrel_into(std::span<const float> data, const Dims& dims,
                          const PwRelParams& params, std::vector<std::uint8_t>& out,
-                         Stats* stats = nullptr);
+                         Stats* stats = nullptr, ThreadPool* pool = nullptr);
 
 /// Decompresses a buffer produced by compress_pwrel().
 std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes,
-                                    Dims* out_dims = nullptr);
+                                    Dims* out_dims = nullptr, ThreadPool* pool = nullptr);
 
 /// decompress_pwrel() variant writing into \p out (capacity reused).
 void decompress_pwrel_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
-                           Dims* out_dims = nullptr);
+                           Dims* out_dims = nullptr, ThreadPool* pool = nullptr);
 
 /// True when \p bytes starts with the PW_REL stream magic ("SZPR"). ABS
 /// streams begin with the one-byte lossless flag (0 or 1), so the first

@@ -101,6 +101,22 @@ void for_each_block(const Dims& dims, std::size_t edge, Fn&& fn) {
   }
 }
 
+/// Materialized block list (same order as for_each_block) with the prefix
+/// offsets of each block's quantization codes — the geometry both the
+/// block-parallel compress and decompress passes partition on.
+struct BlockLayout {
+  std::vector<BlockRange> blocks;
+  std::vector<std::size_t> code_off;  // size blocks.size() + 1
+
+  BlockLayout(const Dims& dims, std::size_t edge) {
+    for_each_block(dims, edge, [this](const BlockRange& blk) { blocks.push_back(blk); });
+    code_off.resize(blocks.size() + 1, 0);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      code_off[b + 1] = code_off[b] + blocks[b].count();
+    }
+  }
+};
+
 }  // namespace
 
 std::size_t default_block_edge(int rank) {
@@ -112,14 +128,14 @@ std::size_t default_block_edge(int rank) {
 }
 
 std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
-                                   const Params& params, Stats* stats) {
+                                   const Params& params, Stats* stats, ThreadPool* pool) {
   std::vector<std::uint8_t> out;
-  compress_into(data, dims, params, out, stats);
+  compress_into(data, dims, params, out, stats, pool);
   return out;
 }
 
 void compress_into(std::span<const float> data, const Dims& dims, const Params& params,
-                   std::vector<std::uint8_t>& out, Stats* stats) {
+                   std::vector<std::uint8_t>& out, Stats* stats, ThreadPool* pool) {
   require(data.size() == dims.count(), "sz::compress: data/dims size mismatch");
   require(!data.empty(), "sz::compress: empty input");
   const std::size_t edge =
@@ -127,52 +143,69 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
   require(edge >= 2, "sz::compress: block edge must be >= 2");
 
   const Quantizer quant(params.abs_error_bound, params.radius);
+  const BlockLayout layout(dims, edge);
+  const std::size_t n_blocks = layout.blocks.size();
+
+  // Block-parallel prediction + quantization. Every output is slot-indexed
+  // by block (codes at the block's prefix offset, flags/coefs/unpredictable
+  // values in per-block slots concatenated in block order below), and
+  // lorenzo_predict never reads outside the block, so the result is
+  // independent of how blocks are partitioned across threads.
   std::vector<float> recon(data.size(), 0.0f);
-  std::vector<std::uint32_t> codes;
-  codes.reserve(data.size());
-  std::vector<float> unpred;
-  std::vector<std::uint8_t> block_flags;  // 1 = regression
-  std::vector<RegressionCoef> coefs;
+  std::vector<std::uint32_t> codes(data.size());
+  std::vector<std::uint8_t> block_flags(n_blocks, 0);
+  std::vector<RegressionCoef> block_coefs(n_blocks);
+  std::vector<std::vector<float>> block_unpred(n_blocks);
 
-  std::size_t n_blocks = 0;
-  std::size_t n_regression = 0;
-
-  for_each_block(dims, edge, [&](const BlockRange& blk) {
-    ++n_blocks;
-    bool use_reg = false;
-    RegressionCoef coef;
-    if (params.regression && blk.count() >= 8) {
-      coef = fit_regression(data, dims, blk);
-      const double reg_err = regression_error_estimate(data, dims, blk, coef);
-      const double lor_err = lorenzo_error_estimate(data, dims, blk);
-      use_reg = reg_err < lor_err;
-    }
-    block_flags.push_back(use_reg ? 1 : 0);
-    if (use_reg) {
-      ++n_regression;
-      coefs.push_back(coef);
-    }
-    for (std::size_t z = blk.z0; z < blk.z1; ++z) {
-      for (std::size_t y = blk.y0; y < blk.y1; ++y) {
-        for (std::size_t x = blk.x0; x < blk.x1; ++x) {
-          const std::size_t idx = dims.index(x, y, z);
-          const float pred = use_reg
-                                 ? coef.predict(x - blk.x0, y - blk.y0, z - blk.z0)
-                                 : lorenzo_predict(recon, dims, blk, x, y, z);
-          const Quantizer::Result q = quant.quantize(data[idx], pred);
-          codes.push_back(q.code);
-          if (q.code == 0) {
-            unpred.push_back(data[idx]);
-            recon[idx] = data[idx];
-          } else {
-            recon[idx] = q.reconstructed;
+  parallel_for(pool, n_blocks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      const BlockRange& blk = layout.blocks[b];
+      bool use_reg = false;
+      RegressionCoef coef;
+      if (params.regression && blk.count() >= 8) {
+        coef = fit_regression(data, dims, blk);
+        const double reg_err = regression_error_estimate(data, dims, blk, coef);
+        const double lor_err = lorenzo_error_estimate(data, dims, blk);
+        use_reg = reg_err < lor_err;
+      }
+      block_flags[b] = use_reg ? 1 : 0;
+      if (use_reg) block_coefs[b] = coef;
+      std::size_t ci = layout.code_off[b];
+      for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+        for (std::size_t y = blk.y0; y < blk.y1; ++y) {
+          for (std::size_t x = blk.x0; x < blk.x1; ++x) {
+            const std::size_t idx = dims.index(x, y, z);
+            const float pred = use_reg
+                                   ? coef.predict(x - blk.x0, y - blk.y0, z - blk.z0)
+                                   : lorenzo_predict(recon, dims, blk, x, y, z);
+            const Quantizer::Result q = quant.quantize(data[idx], pred);
+            codes[ci++] = q.code;
+            if (q.code == 0) {
+              block_unpred[b].push_back(data[idx]);
+              recon[idx] = data[idx];
+            } else {
+              recon[idx] = q.reconstructed;
+            }
           }
         }
       }
     }
-  });
+  }, /*min_grain=*/1);
 
-  const std::vector<std::uint8_t> huff = huffman_encode(codes);
+  std::size_t n_regression = 0;
+  std::vector<RegressionCoef> coefs;
+  std::vector<float> unpred;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    if (block_flags[b]) {
+      ++n_regression;
+      coefs.push_back(block_coefs[b]);
+    }
+    unpred.insert(unpred.end(), block_unpred[b].begin(), block_unpred[b].end());
+  }
+
+  // Chunked container in both the serial and threaded paths: the chunk
+  // geometry is a fixed constant, so the bytes match for any thread count.
+  const std::vector<std::uint8_t> huff = huffman_encode_chunked(codes, pool);
 
   ByteWriter w;
   w.u32(kMagic);
@@ -198,7 +231,7 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
 
   out.clear();
   if (params.lossless) {
-    std::vector<std::uint8_t> packed = lzss_encode(w.bytes);
+    std::vector<std::uint8_t> packed = lzss_encode_chunked(w.bytes, pool);
     if (packed.size() < w.bytes.size()) {
       out.push_back(1);
       out.insert(out.end(), packed.begin(), packed.end());
@@ -221,21 +254,23 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
   }
 }
 
-std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims,
+                              ThreadPool* pool) {
   std::vector<float> out;
-  decompress_into(bytes, out, out_dims);
+  decompress_into(bytes, out, out_dims, pool);
   return out;
 }
 
 void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& recon,
-                     Dims* out_dims) {
+                     Dims* out_dims, ThreadPool* pool) {
   require_format(!bytes.empty(), "sz: empty stream");
   const bool packed = bytes[0] == 1;
   std::vector<std::uint8_t> payload_storage;
   std::span<const std::uint8_t> payload;
   if (packed) {
-    payload_storage = lzss_decode(
-        std::vector<std::uint8_t>(bytes.begin() + 1, bytes.end()));
+    const std::vector<std::uint8_t> lossless(bytes.begin() + 1, bytes.end());
+    payload_storage =
+        is_chunked_lzss(lossless) ? lzss_decode_chunked(lossless, pool) : lzss_decode(lossless);
     payload = payload_storage;
   } else {
     payload = bytes.subspan(1);
@@ -267,43 +302,62 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& re
   std::vector<float> unpred(n_unpred);
   for (auto& v : unpred) v = r.f32();
 
-  const std::vector<std::uint32_t> codes = huffman_decode(huff);
+  const std::vector<std::uint32_t> codes =
+      is_chunked_huffman(huff) ? huffman_decode_chunked(huff, pool) : huffman_decode(huff);
   require_format(codes.size() == dims.count(), "sz: code count mismatch");
+
+  const BlockLayout layout(dims, edge);
+  require_format(layout.blocks.size() == n_blocks, "sz: block count mismatch");
+  require_format(block_flags.size() == n_blocks, "sz: block metadata underrun");
+
+  // Recover each block's unpredictable-value and regression-coef offsets by
+  // prefix sums (a block's unpredictable count is the number of zero codes
+  // in its code slice), then reconstruct block-parallel.
+  std::vector<std::size_t> unpred_off(n_blocks + 1, 0);
+  std::vector<std::size_t> coef_off(n_blocks + 1, 0);
+  parallel_for(pool, n_blocks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      std::size_t zeros = 0;
+      for (std::size_t i = layout.code_off[b]; i < layout.code_off[b + 1]; ++i) {
+        if (codes[i] == 0) ++zeros;
+      }
+      unpred_off[b + 1] = zeros;  // raw counts; prefix-summed below
+    }
+  }, /*min_grain=*/1);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    unpred_off[b + 1] += unpred_off[b];
+    coef_off[b + 1] = coef_off[b] + (block_flags[b] ? 1 : 0);
+  }
+  require_format(unpred_off[n_blocks] == unpred.size(), "sz: unpredictable count mismatch");
+  require_format(coef_off[n_blocks] == coefs.size(), "sz: regression coef count mismatch");
 
   const Quantizer quant(eb, radius);
   recon.assign(dims.count(), 0.0f);
-  std::size_t block_idx = 0;
-  std::size_t coef_idx = 0;
-  std::size_t code_idx = 0;
-  std::size_t unpred_idx = 0;
-
-  for_each_block(dims, edge, [&](const BlockRange& blk) {
-    require_format(block_idx < block_flags.size(), "sz: block metadata underrun");
-    const bool use_reg = block_flags[block_idx++] != 0;
-    RegressionCoef coef;
-    if (use_reg) {
-      require_format(coef_idx < coefs.size(), "sz: regression coef underrun");
-      coef = coefs[coef_idx++];
-    }
-    for (std::size_t z = blk.z0; z < blk.z1; ++z) {
-      for (std::size_t y = blk.y0; y < blk.y1; ++y) {
-        for (std::size_t x = blk.x0; x < blk.x1; ++x) {
-          const std::size_t idx = dims.index(x, y, z);
-          const std::uint32_t code = codes[code_idx++];
-          if (code == 0) {
-            require_format(unpred_idx < unpred.size(), "sz: unpredictable underrun");
-            recon[idx] = unpred[unpred_idx++];
-          } else {
-            const float pred = use_reg
-                                   ? coef.predict(x - blk.x0, y - blk.y0, z - blk.z0)
-                                   : lorenzo_predict(recon, dims, blk, x, y, z);
-            recon[idx] = quant.reconstruct(code, pred);
+  parallel_for(pool, n_blocks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      const BlockRange& blk = layout.blocks[b];
+      const bool use_reg = block_flags[b] != 0;
+      const RegressionCoef coef = use_reg ? coefs[coef_off[b]] : RegressionCoef{};
+      std::size_t code_idx = layout.code_off[b];
+      std::size_t unpred_idx = unpred_off[b];
+      for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+        for (std::size_t y = blk.y0; y < blk.y1; ++y) {
+          for (std::size_t x = blk.x0; x < blk.x1; ++x) {
+            const std::size_t idx = dims.index(x, y, z);
+            const std::uint32_t code = codes[code_idx++];
+            if (code == 0) {
+              recon[idx] = unpred[unpred_idx++];
+            } else {
+              const float pred = use_reg
+                                     ? coef.predict(x - blk.x0, y - blk.y0, z - blk.z0)
+                                     : lorenzo_predict(recon, dims, blk, x, y, z);
+              recon[idx] = quant.reconstruct(code, pred);
+            }
           }
         }
       }
     }
-  });
-  require_format(unpred_idx == unpred.size(), "sz: unused unpredictable values");
+  }, /*min_grain=*/1);
 
   if (out_dims) *out_dims = dims;
 }

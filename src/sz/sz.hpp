@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/field.hpp"
+#include "common/thread_pool.hpp"
 
 namespace cosmo::sz {
 
@@ -49,22 +50,32 @@ struct Stats {
 };
 
 /// Compresses a float field; the result is self-describing (stores dims).
+/// Blocks are self-contained (Lorenzo never crosses a block border), so the
+/// prediction + quantization pass runs block-parallel on \p pool with codes
+/// written at deterministic prefix offsets; the entropy and lossless stages
+/// use fixed-geometry chunked containers. The stream is byte-identical for
+/// any thread count, including the serial pool == nullptr path.
 std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
-                                   const Params& params, Stats* stats = nullptr);
+                                   const Params& params, Stats* stats = nullptr,
+                                   ThreadPool* pool = nullptr);
 
 /// compress() variant writing into \p out (cleared first, capacity reused) —
 /// the allocation-free path repeated sweep iterations use.
 void compress_into(std::span<const float> data, const Dims& dims, const Params& params,
-                   std::vector<std::uint8_t>& out, Stats* stats = nullptr);
+                   std::vector<std::uint8_t>& out, Stats* stats = nullptr,
+                   ThreadPool* pool = nullptr);
 
 /// Decompresses a buffer produced by compress(). \p out_dims receives the
-/// stored extents when non-null.
-std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims = nullptr);
+/// stored extents when non-null. Block-parallel on \p pool: per-block code
+/// and unpredictable-value offsets are recovered by prefix sums before the
+/// reconstruction fans out.
+std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims = nullptr,
+                              ThreadPool* pool = nullptr);
 
 /// decompress() variant writing into \p out (resized in place, capacity
 /// reused across repeated calls).
 void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
-                     Dims* out_dims = nullptr);
+                     Dims* out_dims = nullptr, ThreadPool* pool = nullptr);
 
 /// Rank-dependent default block edge used when Params::block_edge == 0.
 std::size_t default_block_edge(int rank);

@@ -69,6 +69,29 @@ void for_each_block(const Dims& dims, int rank, Fn&& fn) {
       for (std::size_t bx = 0; bx < nbx; ++bx) fn(bx, by, bz);
 }
 
+/// Linear-index view of the block grid (same bz-outer / bx-inner order as
+/// for_each_block) so block ranges can be partitioned across threads.
+struct BlockGrid {
+  std::size_t nbx, nby, nbz;
+
+  BlockGrid(const Dims& dims, int rank)
+      : nbx(block_count_1d(dims.nx)),
+        nby(rank >= 2 ? block_count_1d(dims.ny) : 1),
+        nbz(rank >= 3 ? block_count_1d(dims.nz) : 1) {}
+
+  [[nodiscard]] std::size_t count() const { return nbx * nby * nbz; }
+
+  void coords(std::size_t i, std::size_t& bx, std::size_t& by, std::size_t& bz) const {
+    bx = i % nbx;
+    by = (i / nbx) % nby;
+    bz = i / (nbx * nby);
+  }
+};
+
+/// Blocks per encode range: 512 4^3 blocks = 32K values, enough to amortize
+/// task overhead while keeping ranges plentiful for load balancing.
+constexpr std::size_t kBlocksPerRange = 512;
+
 }  // namespace
 
 unsigned block_bits_for_rate(double rate, int rank) {
@@ -78,14 +101,14 @@ unsigned block_bits_for_rate(double rate, int rank) {
 }
 
 std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
-                                   const Params& params, Stats* stats) {
+                                   const Params& params, Stats* stats, ThreadPool* pool) {
   std::vector<std::uint8_t> out;
-  compress_into(data, dims, params, out, stats);
+  compress_into(data, dims, params, out, stats, pool);
   return out;
 }
 
 void compress_into(std::span<const float> data, const Dims& dims, const Params& params,
-                   std::vector<std::uint8_t>& out, Stats* stats) {
+                   std::vector<std::uint8_t>& out, Stats* stats, ThreadPool* pool) {
   require(data.size() == dims.count(), "zfp::compress: data/dims size mismatch");
   require(!data.empty(), "zfp::compress: empty input");
   const int rank = dims.rank();
@@ -109,15 +132,39 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
     minexp = INT_MIN;
   }
 
+  const BlockGrid grid(dims, rank);
+  const std::size_t n_blocks = grid.count();
   BitWriter bw;
-  std::vector<float> block(block_values(rank));
-  std::size_t n_blocks = 0;
-  for_each_block(dims, rank, [&](std::size_t bx, std::size_t by, std::size_t bz) {
-    gather(data, dims, rank, bx, by, bz, block);
-    encode_block_float(bw, block, rank, maxbits, maxprec, minexp,
-                       params.mode == Mode::kFixedRate);
-    ++n_blocks;
-  });
+  if (pool != nullptr && n_blocks > kBlocksPerRange) {
+    // Encode fixed block ranges into private writers, then concatenate in
+    // range order: associativity makes the result bit-identical to the
+    // serial single-writer stream for any thread count.
+    const std::size_t n_ranges = (n_blocks + kBlocksPerRange - 1) / kBlocksPerRange;
+    std::vector<BitWriter> parts(n_ranges);
+    parallel_for(pool, n_ranges, [&](std::size_t lo, std::size_t hi) {
+      std::vector<float> block(block_values(rank));
+      for (std::size_t r = lo; r < hi; ++r) {
+        BitWriter& part = parts[r];
+        const std::size_t b0 = r * kBlocksPerRange;
+        const std::size_t b1 = std::min(b0 + kBlocksPerRange, n_blocks);
+        for (std::size_t b = b0; b < b1; ++b) {
+          std::size_t bx, by, bz;
+          grid.coords(b, bx, by, bz);
+          gather(data, dims, rank, bx, by, bz, block);
+          encode_block_float(part, block, rank, maxbits, maxprec, minexp,
+                             params.mode == Mode::kFixedRate);
+        }
+      }
+    }, /*min_grain=*/1);
+    for (const auto& part : parts) bw.append(part);
+  } else {
+    std::vector<float> block(block_values(rank));
+    for_each_block(dims, rank, [&](std::size_t bx, std::size_t by, std::size_t bz) {
+      gather(data, dims, rank, bx, by, bz, block);
+      encode_block_float(bw, block, rank, maxbits, maxprec, minexp,
+                         params.mode == Mode::kFixedRate);
+    });
+  }
   const std::vector<std::uint8_t> payload = bw.finish();
 
   out.clear();
@@ -152,14 +199,15 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
   }
 }
 
-std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims) {
+std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims,
+                              ThreadPool* pool) {
   std::vector<float> out;
-  decompress_into(bytes, out, out_dims);
+  decompress_into(bytes, out, out_dims, pool);
   return out;
 }
 
 void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
-                     Dims* out_dims) {
+                     Dims* out_dims, ThreadPool* pool) {
   std::size_t pos = 0;
   auto u32 = [&bytes, &pos]() {
     require_format(pos + 4 <= bytes.size(), "zfp: truncated header");
@@ -200,14 +248,34 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& ou
     require_format(maxprec >= 1 && maxprec <= kIntPrec, "zfp: bad stored precision");
   }
 
-  BitReader br(bytes.data() + pos, payload_len);
   out.assign(dims.count(), 0.0f);
-  std::vector<float> block(block_values(rank));
-  for_each_block(dims, rank, [&](std::size_t bx, std::size_t by, std::size_t bz) {
-    decode_block_float(br, block, rank, maxbits, maxprec, minexp,
-                       mode == Mode::kFixedRate);
-    scatter(out, dims, rank, bx, by, bz, block);
-  });
+  const BlockGrid grid(dims, rank);
+  const std::size_t n_blocks = grid.count();
+  if (mode == Mode::kFixedRate && pool != nullptr && n_blocks > kBlocksPerRange) {
+    // Fixed-rate blocks all occupy exactly maxbits bits, so block b starts
+    // at bit offset b * maxbits and ranges decode independently. Scatter
+    // targets are disjoint per block.
+    std::span<float> out_span(out);
+    parallel_for(pool, n_blocks, [&](std::size_t lo, std::size_t hi) {
+      BitReader range_br(bytes.data() + pos, payload_len);
+      range_br.seek(static_cast<std::uint64_t>(lo) * maxbits);
+      std::vector<float> block(block_values(rank));
+      for (std::size_t b = lo; b < hi; ++b) {
+        std::size_t bx, by, bz;
+        grid.coords(b, bx, by, bz);
+        decode_block_float(range_br, block, rank, maxbits, maxprec, minexp, true);
+        scatter(out_span, dims, rank, bx, by, bz, block);
+      }
+    }, /*min_grain=*/kBlocksPerRange);
+  } else {
+    BitReader br(bytes.data() + pos, payload_len);
+    std::vector<float> block(block_values(rank));
+    for_each_block(dims, rank, [&](std::size_t bx, std::size_t by, std::size_t bz) {
+      decode_block_float(br, block, rank, maxbits, maxprec, minexp,
+                         mode == Mode::kFixedRate);
+      scatter(out, dims, rank, bx, by, bz, block);
+    });
+  }
   if (out_dims) *out_dims = dims;
 }
 

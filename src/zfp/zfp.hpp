@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/field.hpp"
+#include "common/thread_pool.hpp"
 
 namespace cosmo::zfp {
 
@@ -42,22 +43,31 @@ struct Stats {
   double bit_rate = 0.0;
 };
 
-/// Compresses a float field; the stream is self-describing.
+/// Compresses a float field; the stream is self-describing. When \p pool is
+/// non-null the 4^rank block grid is encoded block-range-parallel into
+/// private bit writers concatenated in range order — bit-stream
+/// concatenation is associative, so the output is byte-identical to the
+/// serial stream for any thread count.
 std::vector<std::uint8_t> compress(std::span<const float> data, const Dims& dims,
-                                   const Params& params, Stats* stats = nullptr);
+                                   const Params& params, Stats* stats = nullptr,
+                                   ThreadPool* pool = nullptr);
 
 /// compress() variant writing into \p out (cleared first, capacity reused) —
 /// the allocation-free path repeated sweep iterations use.
 void compress_into(std::span<const float> data, const Dims& dims, const Params& params,
-                   std::vector<std::uint8_t>& out, Stats* stats = nullptr);
+                   std::vector<std::uint8_t>& out, Stats* stats = nullptr,
+                   ThreadPool* pool = nullptr);
 
-/// Decompresses a buffer produced by compress().
-std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims = nullptr);
+/// Decompresses a buffer produced by compress(). Fixed-rate streams decode
+/// block-parallel on \p pool (block i sits at bit offset i * maxbits);
+/// variable-size modes decode serially regardless of pool.
+std::vector<float> decompress(std::span<const std::uint8_t> bytes, Dims* out_dims = nullptr,
+                              ThreadPool* pool = nullptr);
 
 /// decompress() variant writing into \p out (resized in place, capacity
 /// reused across repeated calls).
 void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
-                     Dims* out_dims = nullptr);
+                     Dims* out_dims = nullptr, ThreadPool* pool = nullptr);
 
 /// Bits per block implied by a rate for the given rank (fixed-rate mode).
 unsigned block_bits_for_rate(double rate, int rank);

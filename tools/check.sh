@@ -3,10 +3,25 @@
 # out-of-tree build with -Wall -Wextra and runs the full test suite.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
+#        tools/check.sh --tsan [build-dir]
+#
+# --tsan builds with ThreadSanitizer (-fsanitize=thread) and runs the tests
+# that exercise the parallel kernels (thread pool, sweep scheduler, and the
+# per-kernel determinism suite). Slower than the plain run; use it whenever
+# parallel_for call sites or shared-state code change.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-"${repo_root}/build-check"}"
+
+tsan=0
+if [[ "${1:-}" == "--tsan" ]]; then
+  tsan=1
+  shift
+fi
+
+default_dir="build-check"
+if [[ "${tsan}" == 1 ]]; then default_dir="build-tsan"; fi
+build_dir="${1:-"${repo_root}/${default_dir}"}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 cd "${repo_root}"
@@ -21,12 +36,27 @@ fi
 
 # 2. Fresh out-of-tree configure + build with warnings on.
 rm -rf "${build_dir}"
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+if [[ "${tsan}" == 1 ]]; then
+  # RelWithDebInfo keeps symbols so TSan reports point at source lines.
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+else
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+fi
 cmake --build "${build_dir}" -j "${jobs}"
 
-# 3. Full test suite.
-ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+# 3. Tests.
+if [[ "${tsan}" == 1 ]]; then
+  # The parallel surface: pool/parallel_for internals, the sweep scheduler,
+  # and every threaded kernel via the cross-thread-count determinism suite.
+  TSAN_OPTIONS="halt_on_error=1" "${build_dir}/tests/cosmo_tests" \
+    --gtest_filter='ThreadPool*:*Sweep*:*Parallel*:ParallelDeterminism.*:FftTwiddleCache.*'
+else
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+fi
 
-echo "check.sh: OK (build dir: ${build_dir})"
+echo "check.sh: OK (build dir: ${build_dir}, tsan: ${tsan})"

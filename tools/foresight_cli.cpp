@@ -106,8 +106,11 @@ int cmd_compress(const CliArgs& args) {
   gpu::GpuSimulator sim(gpu::find_device(args.get("gpu", "Tesla V100")));
   const auto codec = foresight::make_compressor(codec_name, &sim);
   const auto threads = static_cast<std::size_t>(threads_arg);
-  foresight::CBench bench(
-      {.keep_reconstructed = false, .dataset_name = input, .threads = threads});
+  // One knob serves both levels: a multi-field sweep parallelizes across
+  // fields (sessions serial); a single-field run falls back to the serial
+  // sweep path, where session_threads fans the codec kernels out instead.
+  foresight::CBench bench({.keep_reconstructed = false, .dataset_name = input,
+                           .threads = threads, .session_threads = threads});
 
   const std::string only_field = args.get("field", "");
   const auto field_filter = [&only_field](const std::string& name) {
