@@ -2,24 +2,6 @@
 
 namespace cosmo {
 
-void BitWriter::put(std::uint64_t value, unsigned nbits) {
-  require(nbits <= 64, "BitWriter::put: nbits > 64");
-  if (nbits == 0) return;
-  if (nbits < 64) value &= (1ull << nbits) - 1;
-  cur_ |= value << cur_bits_;
-  const unsigned room = 64 - cur_bits_;
-  if (nbits >= room) {
-    words_.push_back(cur_);
-    // Remaining high bits of value (safe: room >= 1, so shift < 64 unless
-    // nbits == room == 64 where value >> 64 would be UB).
-    cur_ = room < 64 ? (value >> room) : 0;
-    cur_bits_ = nbits - room;
-  } else {
-    cur_bits_ += nbits;
-  }
-  bit_count_ += nbits;
-}
-
 void BitWriter::append(const BitWriter& other) {
   for (const std::uint64_t w : other.words_) put(w, 64);
   if (other.cur_bits_ > 0) put(other.cur_, other.cur_bits_);
@@ -43,28 +25,30 @@ void BitWriter::clear() {
   bit_count_ = 0;
 }
 
-std::uint64_t BitReader::get(unsigned nbits) {
-  require(nbits <= 64, "BitReader::get: nbits > 64");
+std::uint64_t BitReader::get_slow(unsigned nbits) {
   if (nbits == 0) return 0;
-  require_format(pos_ + nbits <= size_bits_, "BitReader: read past end of stream");
-  std::uint64_t out = 0;
-  unsigned got = 0;
-  while (got < nbits) {
-    const std::uint64_t byte_idx = (pos_ + got) / 8;
-    const unsigned bit_idx = static_cast<unsigned>((pos_ + got) % 8);
-    const unsigned take = std::min(nbits - got, 8 - bit_idx);
-    const std::uint64_t bits =
-        (static_cast<std::uint64_t>(data_[byte_idx]) >> bit_idx) & ((1ull << take) - 1);
-    out |= bits << got;
-    got += take;
-  }
-  pos_ += nbits;
-  return out;
+  require(nbits <= 64, "BitReader::get: nbits > 64");
+  // 57..64 bits: check the full width up front (so a failed read does not
+  // move the cursor), then split into two in-bounds fast reads.
+  require_format(nbits <= remaining(), "BitReader: read past end of stream");
+  const std::uint64_t lo = get(32);
+  const std::uint64_t hi = get(nbits - 32);
+  return lo | (hi << 32);
 }
 
 void BitReader::seek(std::uint64_t bit_pos) {
   require_format(bit_pos <= size_bits_, "BitReader::seek: position past end");
-  pos_ = bit_pos;
+  const std::uint64_t byte = bit_pos >> 3;
+  const unsigned frac = static_cast<unsigned>(bit_pos & 7);
+  buf_ = 0;
+  buf_bits_ = 0;
+  next_byte_ = byte;
+  if (frac != 0) {
+    // Load the straddled byte and drop its already-consumed low bits.
+    buf_ = static_cast<std::uint64_t>(data_[byte]) >> frac;
+    buf_bits_ = 8 - frac;
+    next_byte_ = byte + 1;
+  }
 }
 
 }  // namespace cosmo

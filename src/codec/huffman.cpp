@@ -126,12 +126,27 @@ struct EncodeTable {
   }
 };
 
-/// Decoder-side canonical tables (first_code / first_index per length).
+/// Bit width of the direct-lookup decode table: 2^12 slots cover every
+/// code of length <= 12, which in practice is the whole alphabet for SZ
+/// quantization codes (the near-radius cluster). Longer codes fall back to
+/// the canonical first_code/first_index scan.
+constexpr unsigned kFastBits = 12;
+
+/// Decoder-side canonical tables (first_code / first_index per length) plus
+/// a 2^kFastBits direct-lookup table for short codes.
 struct DecodeTable {
+  /// One slot per kFastBits-wide stream window. `len == 0` marks "no code
+  /// of length <= kFastBits starts here" (long code or corrupt prefix).
+  struct FastEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t len = 0;
+  };
+
   std::vector<CanonicalEntry> entries;
   std::vector<std::uint64_t> first_code = std::vector<std::uint64_t>(kMaxCodeLen + 2, 0);
   std::vector<std::uint32_t> first_index = std::vector<std::uint32_t>(kMaxCodeLen + 2, 0);
   std::vector<std::uint32_t> count_at = std::vector<std::uint32_t>(kMaxCodeLen + 2, 0);
+  std::vector<FastEntry> fast = std::vector<FastEntry>(std::size_t{1} << kFastBits);
 
   /// Rebuilds canonical codes from (symbol, length) pairs that must arrive
   /// sorted by (length, symbol) — the stored header order.
@@ -142,6 +157,11 @@ struct DecodeTable {
       require_format(e.length >= prev_len, "huffman: header not canonically sorted");
       code <<= (e.length - prev_len);
       e.code = code;
+      // An overfull (Kraft > 1) length set assigns some entry a code that
+      // no longer fits in its own length; such a header can never have come
+      // from the encoder.
+      require_format(e.length >= 64 || e.code < (std::uint64_t{1} << e.length),
+                     "huffman: header code lengths overfull");
       ++code;
       prev_len = e.length;
     }
@@ -155,26 +175,63 @@ struct DecodeTable {
       idx += count_at[l];
       c = (c + count_at[l]) << 1;
     }
+    // Direct-lookup table: the stream stores codes MSB-first, read LSB-first,
+    // so a code of length L occupies the low L bits of a peeked window in
+    // bit-reversed order. Fill every window whose low bits spell the code.
+    for (const auto& e : entries) {
+      if (e.length > kFastBits) continue;
+      std::uint32_t rev = 0;
+      for (unsigned b = 0; b < e.length; ++b) {
+        rev |= static_cast<std::uint32_t>((e.code >> (e.length - 1 - b)) & 1u) << b;
+      }
+      const std::uint32_t step = 1u << e.length;
+      for (std::uint32_t k = rev; k < (1u << kFastBits); k += step) {
+        fast[k] = {e.symbol, static_cast<std::uint8_t>(e.length)};
+      }
+    }
+  }
+
+  /// Canonical bit-at-a-time decode of one symbol — the reference path and
+  /// the fallback for codes longer than kFastBits.
+  std::uint32_t decode_one_canonical(BitReader& br) const {
+    std::uint64_t acc = 0;
+    unsigned len = 0;
+    for (;;) {
+      acc = (acc << 1) | (br.get_bit() ? 1u : 0u);
+      ++len;
+      require_format(len <= kMaxCodeLen, "huffman: code too long in stream");
+      if (count_at[len] > 0 && acc >= first_code[len] &&
+          acc < first_code[len] + count_at[len]) {
+        const std::uint32_t idx =
+            first_index[len] + static_cast<std::uint32_t>(acc - first_code[len]);
+        return entries[idx].symbol;
+      }
+    }
   }
 
   /// Decodes \p count symbols from \p br into \p out (sized by the caller).
+  /// Table fast path: one peek + one table load + one skip per symbol.
+  /// peek() zero-pads past the end of the stream, so a table hit near the
+  /// end is only committed if skip() confirms the code fits in the
+  /// remaining bits — a truncated stream throws FormatError exactly like
+  /// the canonical path.
   void decode_into(BitReader& br, std::uint32_t* out, std::uint64_t count) const {
+    const FastEntry* table = fast.data();
     for (std::uint64_t i = 0; i < count; ++i) {
-      std::uint64_t acc = 0;
-      unsigned len = 0;
-      for (;;) {
-        acc = (acc << 1) | (br.get_bit() ? 1u : 0u);
-        ++len;
-        require_format(len <= kMaxCodeLen, "huffman: code too long in stream");
-        if (count_at[len] > 0 && acc >= first_code[len] &&
-            acc < first_code[len] + count_at[len]) {
-          const std::uint32_t idx =
-              first_index[len] + static_cast<std::uint32_t>(acc - first_code[len]);
-          out[i] = entries[idx].symbol;
-          break;
-        }
+      const FastEntry fe = table[br.peek(kFastBits)];
+      if (fe.len != 0) {
+        br.skip(fe.len);
+        out[i] = fe.symbol;
+      } else {
+        out[i] = decode_one_canonical(br);
       }
     }
+  }
+
+  /// decode_into without the table — kept for the fast-vs-fallback
+  /// equivalence test (huffman_decode_reference).
+  void decode_into_reference(BitReader& br, std::uint32_t* out, std::uint64_t count) const {
+    for (std::uint64_t i = 0; i < count; ++i) out[i] = decode_one_canonical(br);
   }
 };
 
@@ -367,8 +424,9 @@ std::vector<std::uint32_t> huffman_decode_chunked(const std::vector<std::uint8_t
   return out;
 }
 
-std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes) {
-  if (is_chunked_huffman(bytes)) return huffman_decode_chunked(bytes, nullptr);
+std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes,
+                                          ThreadPool* pool) {
+  if (is_chunked_huffman(bytes)) return huffman_decode_chunked(bytes, pool);
   BitReader br(bytes);
   require_format(br.get(32) == kMagic, "huffman: bad magic");
   const std::uint64_t count = br.get(64);
@@ -377,6 +435,52 @@ std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes
   const DecodeTable table(read_entries(br, alpha_size));
   std::vector<std::uint32_t> out(count);
   table.decode_into(br, out.data(), count);
+  return out;
+}
+
+std::vector<std::uint32_t> huffman_decode_reference(const std::vector<std::uint8_t>& bytes) {
+  if (is_chunked_huffman(bytes)) {
+    // Re-parse the chunked container serially with the canonical decoder.
+    BitReader br(bytes);
+    require_format(br.get(32) == kChunkedMagic, "huffman-chunked: bad magic");
+    const std::uint64_t count = br.get(64);
+    const std::size_t chunk_symbols = static_cast<std::size_t>(br.get(32));
+    const std::size_t n_chunks = static_cast<std::size_t>(br.get(32));
+    const auto alpha_size = static_cast<std::uint32_t>(br.get(32));
+    require_format(count == 0 || alpha_size > 0, "huffman-chunked: empty alphabet");
+    require_format(chunk_symbols > 0 || n_chunks == 0, "huffman-chunked: zero chunk size");
+    require_format(
+        n_chunks == (count + chunk_symbols - 1) / std::max<std::size_t>(1, chunk_symbols),
+        "huffman-chunked: chunk count mismatch");
+    const DecodeTable table(read_entries(br, alpha_size));
+    std::size_t pos = static_cast<std::size_t>((br.position() + 7) / 8);
+    std::vector<std::size_t> lens(n_chunks);
+    for (auto& len : lens) {
+      require_format(pos + 4 <= bytes.size(), "huffman-chunked: truncated chunk table");
+      std::uint32_t l = 0;
+      for (int i = 0; i < 4; ++i) l |= static_cast<std::uint32_t>(bytes[pos++]) << (8 * i);
+      len = l;
+    }
+    std::vector<std::uint32_t> out(count);
+    std::uint64_t begin = 0;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      require_format(pos + lens[c] <= bytes.size(), "huffman-chunked: chunk overruns buffer");
+      const std::uint64_t n = std::min<std::uint64_t>(chunk_symbols, count - begin);
+      BitReader chunk_br(bytes.data() + pos, lens[c]);
+      table.decode_into_reference(chunk_br, out.data() + begin, n);
+      pos += lens[c];
+      begin += n;
+    }
+    return out;
+  }
+  BitReader br(bytes);
+  require_format(br.get(32) == kMagic, "huffman: bad magic");
+  const std::uint64_t count = br.get(64);
+  const auto alpha_size = static_cast<std::uint32_t>(br.get(32));
+  require_format(count == 0 || alpha_size > 0, "huffman: empty alphabet with nonzero count");
+  const DecodeTable table(read_entries(br, alpha_size));
+  std::vector<std::uint32_t> out(count);
+  table.decode_into_reference(br, out.data(), count);
   return out;
 }
 

@@ -21,9 +21,16 @@ namespace cosmo {
 std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbols);
 
 /// Decodes a buffer produced by huffman_encode() or
-/// huffman_encode_chunked() (dispatches on the magic). Throws FormatError
-/// on malformed input.
-std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes);
+/// huffman_encode_chunked() (dispatches on the magic). Chunked containers
+/// decode chunk-parallel on \p pool; single-stream buffers are serial
+/// regardless. Throws FormatError on malformed input.
+std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes,
+                                          ThreadPool* pool = nullptr);
+
+/// Decodes with the bit-at-a-time canonical fallback only (no direct-lookup
+/// table, no chunk parallelism). Exposed so tests can pin the fast path to
+/// the reference path on the same stream; not a production entry point.
+std::vector<std::uint32_t> huffman_decode_reference(const std::vector<std::uint8_t>& bytes);
 
 /// Chunked container: one codebook built from the global histogram, payload
 /// split into byte-aligned chunks of \p chunk_symbols symbols (0 selects

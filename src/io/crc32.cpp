@@ -1,31 +1,62 @@
 #include "io/crc32.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
+
+// The 8-byte kernel folds the first four input bytes into the running CRC
+// with a single 32-bit XOR, which is only equivalent to four byte-wise folds
+// when the load is little-endian.
+static_assert(std::endian::native == std::endian::little,
+              "crc32 slice-by-8 assumes a little-endian host");
 
 namespace cosmo {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+/// Slice-by-8 tables: tables[0] is the classic byte-at-a-time table;
+/// tables[k][b] advances a CRC whose next k+1 bytes start with b through
+/// k extra zero bytes, so eight table lookups consume eight input bytes at
+/// once. Checksums are identical to the byte-at-a-time loop (verified by
+/// CodecFastPaths.Crc32MatchesByteAtATimeReference).
+std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (int k = 1; k < 8; ++k) {
+      tables[k][i] = tables[0][tables[k - 1][i] & 0xFFu] ^ (tables[k - 1][i] >> 8);
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
-  static const auto table = make_table();
+  static const auto tables = make_tables();
+  const auto& t = tables;
   const auto* p = static_cast<const std::uint8_t*>(data);
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  while (size >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = t[7][c & 0xFFu] ^ t[6][(c >> 8) & 0xFFu] ^ t[5][(c >> 16) & 0xFFu] ^
+        t[4][(c >> 24) & 0xFFu] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
+    p += 8;
+    size -= 8;
+  }
   for (std::size_t i = 0; i < size; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -171,9 +171,7 @@ void decompress_pwrel_into(std::span<const std::uint8_t> bytes, std::vector<floa
     cls_bytes = is_chunked_lzss(cls_bytes) ? lzss_decode_chunked(cls_bytes, pool)
                                            : lzss_decode(cls_bytes);
   }
-  const std::vector<std::uint32_t> classes = is_chunked_huffman(cls_bytes)
-                                                 ? huffman_decode_chunked(cls_bytes, pool)
-                                                 : huffman_decode(cls_bytes);
+  const std::vector<std::uint32_t> classes = huffman_decode(cls_bytes, pool);
 
   require_format(logs.size() == count && classes.size() == count,
                  "pwrel: section size mismatch");

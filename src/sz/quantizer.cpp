@@ -1,7 +1,5 @@
 #include "sz/quantizer.hpp"
 
-#include <cmath>
-
 #include "common/error.hpp"
 
 namespace cosmo::sz {
@@ -10,29 +8,6 @@ Quantizer::Quantizer(double error_bound, std::uint32_t radius)
     : eb_(error_bound), radius_(radius) {
   require(error_bound > 0.0, "Quantizer: error bound must be positive");
   require(radius >= 2, "Quantizer: radius must be >= 2");
-}
-
-Quantizer::Result Quantizer::quantize(float original, float predicted) const {
-  const double diff = static_cast<double>(original) - static_cast<double>(predicted);
-  const double scaled = diff / (2.0 * eb_);
-  const double rounded = std::nearbyint(scaled);
-  if (std::fabs(rounded) >= static_cast<double>(radius_)) {
-    return {0, 0.0f};  // outside code space -> unpredictable
-  }
-  const std::uint32_t code =
-      static_cast<std::uint32_t>(static_cast<std::int64_t>(rounded) + radius_);
-  const float recon = reconstruct(code, predicted);
-  // Guard against float rounding breaking the bound (rare, near eb edges).
-  if (std::fabs(static_cast<double>(recon) - static_cast<double>(original)) > eb_) {
-    return {0, 0.0f};
-  }
-  return {code, recon};
-}
-
-float Quantizer::reconstruct(std::uint32_t code, float predicted) const {
-  const std::int64_t offset = static_cast<std::int64_t>(code) - radius_;
-  return static_cast<float>(static_cast<double>(predicted) +
-                            static_cast<double>(offset) * 2.0 * eb_);
 }
 
 }  // namespace cosmo::sz

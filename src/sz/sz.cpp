@@ -302,8 +302,7 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& re
   std::vector<float> unpred(n_unpred);
   for (auto& v : unpred) v = r.f32();
 
-  const std::vector<std::uint32_t> codes =
-      is_chunked_huffman(huff) ? huffman_decode_chunked(huff, pool) : huffman_decode(huff);
+  const std::vector<std::uint32_t> codes = huffman_decode(huff, pool);
   require_format(codes.size() == dims.count(), "sz: code count mismatch");
 
   const BlockLayout layout(dims, edge);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <climits>
 #include <cmath>
 #include <numeric>
@@ -86,14 +87,30 @@ int block_emax(std::span<const float> block) {
 
 }  // namespace
 
+namespace {
+
+// The lifting butterflies intentionally wrap modulo 2^32 (as in reference
+// ZFP, whose near-overflow planes round-trip through exactly this wrap).
+// Signed +/- overflow is UB, so wrap in unsigned — same bits, defined
+// behavior. Right shifts stay on Int (they must be arithmetic); the
+// doubling steps use wadd(v, v), the same modular multiply-by-2.
+inline Int wadd(Int a, Int b) {
+  return static_cast<Int>(static_cast<UInt>(a) + static_cast<UInt>(b));
+}
+inline Int wsub(Int a, Int b) {
+  return static_cast<Int>(static_cast<UInt>(a) - static_cast<UInt>(b));
+}
+
+}  // namespace
+
 void fwd_lift(Int* p, std::size_t s) {
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
   // Non-orthogonal transform (1/16 * [[4,4,4,4],[5,1,-1,-5],[-4,4,4,-4],[-2,6,-6,2]]).
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
+  x = wadd(x, w); x >>= 1; w = wsub(w, x);
+  z = wadd(z, y); z >>= 1; y = wsub(y, z);
+  x = wadd(x, z); x >>= 1; z = wsub(z, x);
+  w = wadd(w, y); w >>= 1; y = wsub(y, w);
+  w = wadd(w, y >> 1); y = wsub(y, w >> 1);
   p[0 * s] = x;
   p[1 * s] = y;
   p[2 * s] = z;
@@ -102,11 +119,11 @@ void fwd_lift(Int* p, std::size_t s) {
 
 void inv_lift(Int* p, std::size_t s) {
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = wadd(y, w >> 1); w = wsub(w, y >> 1);
+  y = wadd(y, w); w = wadd(w, w); w = wsub(w, y);
+  z = wadd(z, x); x = wadd(x, x); x = wsub(x, z);
+  y = wadd(y, z); z = wadd(z, z); z = wsub(z, y);
+  w = wadd(w, x); x = wadd(x, x); x = wsub(x, w);
   p[0 * s] = x;
   p[1 * s] = y;
   p[2 * s] = z;
@@ -146,7 +163,9 @@ unsigned encode_ints(BitWriter& bw, unsigned maxbits, unsigned maxprec,
     const unsigned m = std::min<unsigned>(static_cast<unsigned>(n), bits);
     bits -= m;
     bw.put(x, m);
-    x >>= m;
+    // m == 64 only when the whole block is already significant; x is dead
+    // then, but shift-by-64 is UB, so clear it explicitly.
+    x = m < 64 ? x >> m : 0;
     // Step 3: unary run-length code for newly significant values.
     auto wbit = [&bw](bool b) {
       bw.put_bit(b);
@@ -172,9 +191,31 @@ unsigned decode_ints(BitReader& br, unsigned maxbits, unsigned maxprec,
     const unsigned m = std::min<unsigned>(static_cast<unsigned>(n), bits);
     bits -= m;
     std::uint64_t x = br.get(m);
-    for (; n < size && bits && (--bits, br.get_bit()); x += std::uint64_t{1} << n++) {
-      for (; n < size - 1 && bits && (--bits, !br.get_bit()); ++n) {
+    // Group-testing scan. Consumes exactly the bits the per-bit reference
+    // loop would: one group-test bit per outer round, then the zero run of
+    // not-yet-significant values — scanned a peeked window at a time with
+    // countr_zero instead of bit by bit.
+    while (n < size && bits) {
+      --bits;
+      if (!br.get_bit()) break;  // group test: no more significant values
+      while (n < size - 1 && bits) {
+        const unsigned chunk = std::min({bits, static_cast<unsigned>(size - 1 - n),
+                                         BitReader::kMaxPeekBits});
+        const std::uint64_t window = br.peek(chunk);
+        if (window == 0) {  // the whole window is insignificant values
+          br.skip(chunk);
+          bits -= chunk;
+          n += chunk;
+          continue;
+        }
+        const unsigned z = static_cast<unsigned>(std::countr_zero(window));
+        br.skip(z + 1);  // z zeros + the significance bit that ends the run
+        bits -= z + 1;
+        n += z;
+        break;
       }
+      x += std::uint64_t{1} << n;
+      ++n;
     }
     for (std::size_t i = 0; x; ++i, x >>= 1) {
       data[i] += static_cast<UInt>(x & 1u) << k;

@@ -119,5 +119,95 @@ TEST(BitStream, WidthOver64Rejected) {
   EXPECT_THROW(br.get(65), InvalidArgument);
 }
 
+TEST(BitStream, PeekDoesNotAdvance) {
+  BitWriter bw;
+  bw.put(0xABCDEF12u, 32);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.peek(16), br.peek(16));
+  const std::uint64_t window = br.peek(16);
+  EXPECT_EQ(br.position(), 0u);
+  EXPECT_EQ(br.get(16), window);
+  EXPECT_EQ(br.position(), 16u);
+}
+
+TEST(BitStream, PeekZeroPadsPastEnd) {
+  BitWriter bw;
+  bw.put(0x1F, 5);  // finish() pads to one byte: bits 5..7 are zero
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  br.get(3);
+  // Only 5 bits remain in the stream; a wider peek must present the
+  // missing bits as zero without reading out of bounds.
+  EXPECT_EQ(br.peek(56), 0x3u);
+  EXPECT_EQ(br.get(5), 0x3u);
+  EXPECT_EQ(br.peek(40), 0u);  // fully exhausted: all-zero window
+}
+
+TEST(BitStream, SkipPastEndThrows) {
+  BitWriter bw;
+  bw.put(0xFFu, 8);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  br.skip(6);
+  EXPECT_THROW(br.skip(3), FormatError);
+  // The failed skip must not consume the two remaining bits.
+  EXPECT_EQ(br.get(2), 0x3u);
+}
+
+TEST(BitStream, PeekSkipWidthLimits) {
+  const std::vector<std::uint8_t> bytes(16, 0xA5);
+  BitReader br(bytes);
+  EXPECT_THROW(br.peek(0), InvalidArgument);
+  EXPECT_THROW(br.peek(57), InvalidArgument);
+  EXPECT_THROW(br.skip(57), InvalidArgument);
+  br.skip(0);  // no-op, allowed
+  EXPECT_EQ(br.position(), 0u);
+  EXPECT_EQ(br.peek(56), br.get(56));
+}
+
+TEST(BitStream, WideReadPastEndLeavesCursorIntact) {
+  BitWriter bw;
+  bw.put(0xDEADBEEFu, 32);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  // 57..64-bit reads go through the slow path; a failed one must not
+  // advance the cursor past bits it cannot deliver.
+  EXPECT_THROW(br.get(64), FormatError);
+  EXPECT_EQ(br.position(), 0u);
+  EXPECT_EQ(br.get(32), 0xDEADBEEFu);
+}
+
+TEST(BitStream, PeekSkipMatchesGetRandomized) {
+  Rng rng(77);
+  BitWriter bw;
+  std::vector<std::pair<std::uint64_t, unsigned>> writes;
+  for (int i = 0; i < 3000; ++i) {
+    const unsigned nbits = 1 + static_cast<unsigned>(rng.uniform_index(64));
+    const std::uint64_t value =
+        rng.next_u64() & (nbits == 64 ? ~0ull : ((1ull << nbits) - 1));
+    writes.emplace_back(value, nbits);
+    bw.put(value, nbits);
+  }
+  const auto bytes = bw.finish();
+  // Reader A uses get(); reader B re-reads every value via peek+skip,
+  // splitting wide reads at 56 bits. Both must agree everywhere.
+  BitReader a(bytes);
+  BitReader b(bytes);
+  for (const auto& [value, nbits] : writes) {
+    EXPECT_EQ(a.get(nbits), value);
+    std::uint64_t got = 0;
+    unsigned done = 0;
+    while (done < nbits) {
+      const unsigned step = std::min(nbits - done, BitReader::kMaxPeekBits);
+      got |= b.peek(step) << done;
+      b.skip(step);
+      done += step;
+    }
+    EXPECT_EQ(got, value);
+    EXPECT_EQ(a.position(), b.position());
+  }
+}
+
 }  // namespace
 }  // namespace cosmo

@@ -6,6 +6,13 @@
 /// and a byte-identity verdict for every entry (the determinism guarantee
 /// is checked for real on every run, not assumed).
 ///
+/// A second mode, --kernels, runs single-thread microbenchmarks of the
+/// codec building blocks (bitstream put/get, CRC32, quantizer, Huffman,
+/// LZSS, ZFP block codec, full SZ/ZFP pipelines) and writes
+/// BENCH_kernels.json. Each entry carries a CRC32 of the kernel's output so
+/// runs across builds can be checked for byte-identity, and --baseline
+/// turns the tool into a regression gate (check.sh --bench-smoke).
+///
 /// Speedup accounting: when the host has at least as many hardware threads
 /// as the entry requests, the reported speedup is the measured wall-clock
 /// ratio. On smaller hosts (the CI container has one core) wall clock
@@ -17,15 +24,21 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "codec/bitstream.hpp"
+#include "codec/huffman.hpp"
+#include "codec/lzss.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "io/crc32.hpp"
 #include "json/json.hpp"
 #include "random/rng.hpp"
+#include "sz/quantizer.hpp"
 #include "sz/sz.hpp"
 #include "zfp/zfp.hpp"
 
@@ -120,8 +133,239 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_report [--edge N] [--repeats R] [--out FILE]\n"
                "  sweeps {sz, zfp} x {nyx-like, hacc-like} x threads {1, 2, 4}\n"
-               "  on an N^3 synthetic field and writes BENCH_throughput.json\n");
+               "  on an N^3 synthetic field and writes BENCH_throughput.json\n"
+               "\n"
+               "       bench_report --kernels [--edge N] [--repeats R] [--out FILE]\n"
+               "                    [--pre FILE] [--baseline FILE] [--max-regress F]\n"
+               "  single-thread per-kernel microbenchmarks -> BENCH_kernels.json\n"
+               "  --pre embeds a previous run's rates as pre_pr_mb_s + speedup;\n"
+               "  --baseline fails (exit 1) when any kernel is more than F (default\n"
+               "  0.30) slower than the same kernel in FILE\n");
   return 2;
+}
+
+/// One microbenchmark result. `payload_bytes` is the uncompressed-side byte
+/// count the rate is normalized by; `checksum` is a CRC32 of the kernel's
+/// output so two builds can be diffed for byte-identity from the JSON alone.
+struct KernelResult {
+  std::string kernel;
+  double seconds = 1e300;  // best-of-repeats
+  std::size_t payload_bytes = 0;
+  std::uint32_t checksum = 0;
+};
+
+template <typename Fn>
+KernelResult bench_kernel(const std::string& name, std::size_t payload_bytes, int repeats,
+                          const Fn& run) {
+  KernelResult r;
+  r.kernel = name;
+  r.payload_bytes = payload_bytes;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Timer t;
+    const std::uint32_t sum = run();
+    const double wall = t.seconds();
+    if (wall < r.seconds) r.seconds = wall;
+    r.checksum = sum;
+  }
+  return r;
+}
+
+/// Quantization codes for the 256^3-style bench field: first-order (1-D
+/// Lorenzo) prediction residuals through the production quantizer, i.e. the
+/// same near-radius code distribution the SZ pipeline feeds to Huffman.
+std::vector<std::uint32_t> quant_codes_for(const std::vector<float>& data, double eb) {
+  const sz::Quantizer quant(eb);
+  std::vector<std::uint32_t> codes(data.size());
+  float prev = 0.0f;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const sz::Quantizer::Result q = quant.quantize(data[i], prev);
+    codes[i] = q.code;
+    prev = q.code == 0 ? data[i] : q.reconstructed;
+  }
+  return codes;
+}
+
+int run_kernel_bench(std::size_t edge, int repeats, const std::string& out_path,
+                     const std::string& pre_path, const std::string& baseline_path,
+                     double max_regress) {
+  const Dims dims = Dims::d3(edge, edge, edge);
+  const std::size_t field_bytes = dims.count() * sizeof(float);
+  const std::vector<float> field = nyx_like_field(dims, 11);
+
+  std::vector<KernelResult> results;
+
+  // --- bitstream put/get: the width mix the codecs actually use (1-bit
+  // flags, small multi-bit fields, occasional wide words).
+  {
+    std::vector<std::pair<std::uint64_t, unsigned>> writes;
+    writes.reserve(1u << 21);
+    Rng rng(21);
+    std::uint64_t payload_bits = 0;
+    for (std::size_t i = 0; i < (1u << 21); ++i) {
+      const unsigned sel = static_cast<unsigned>(i % 8);
+      const unsigned nbits = sel < 4 ? 1 : sel < 6 ? 9 : sel < 7 ? 16 : 48;
+      std::uint64_t v = rng.next_u64();
+      if (nbits < 64) v &= (std::uint64_t{1} << nbits) - 1;
+      writes.emplace_back(v, nbits);
+      payload_bits += nbits;
+    }
+    const std::size_t payload = static_cast<std::size_t>(payload_bits / 8);
+    std::vector<std::uint8_t> encoded;
+    results.push_back(bench_kernel("bitstream_put", payload, repeats, [&] {
+      BitWriter bw;
+      for (const auto& [v, nbits] : writes) bw.put(v, nbits);
+      encoded = bw.finish();
+      return crc32(encoded.data(), encoded.size());
+    }));
+    results.push_back(bench_kernel("bitstream_get", payload, repeats, [&] {
+      BitReader br(encoded);
+      std::uint64_t acc = 0;
+      for (const auto& [v, nbits] : writes) acc ^= br.get(nbits) + nbits;
+      return crc32(&acc, sizeof(acc));
+    }));
+  }
+
+  // --- CRC32 over the raw field bytes.
+  results.push_back(bench_kernel("crc32", field_bytes, repeats, [&] {
+    return crc32(field.data(), field_bytes);
+  }));
+
+  // --- quantizer: quantize + reconstruct against a running prediction.
+  results.push_back(bench_kernel("sz_quantize", field_bytes, repeats, [&] {
+    const sz::Quantizer quant(0.1);
+    float prev = 0.0f;
+    std::uint64_t acc = 0;
+    for (const float v : field) {
+      const sz::Quantizer::Result q = quant.quantize(v, prev);
+      prev = q.code == 0 ? v : q.reconstructed;
+      acc += q.code;
+    }
+    return crc32(&acc, sizeof(acc));
+  }));
+
+  // --- Huffman over realistic quantization codes (chunked container, the
+  // production path; pool=nullptr keeps it single-thread).
+  const std::vector<std::uint32_t> codes = quant_codes_for(field, 0.1);
+  const std::size_t code_bytes = codes.size() * sizeof(std::uint32_t);
+  std::vector<std::uint8_t> huff;
+  results.push_back(bench_kernel("huffman_encode", code_bytes, repeats, [&] {
+    huff = huffman_encode_chunked(codes, nullptr);
+    return crc32(huff.data(), huff.size());
+  }));
+  results.push_back(bench_kernel("huffman_decode", code_bytes, repeats, [&] {
+    const std::vector<std::uint32_t> decoded = huffman_decode_chunked(huff, nullptr);
+    require(decoded == codes, "bench: huffman round trip mismatch");
+    return crc32(decoded.data(), decoded.size() * sizeof(std::uint32_t));
+  }));
+
+  // --- LZSS over the Huffman stream (what sz's lossless stage really sees).
+  std::vector<std::uint8_t> lz;
+  results.push_back(bench_kernel("lzss_encode", huff.size(), repeats, [&] {
+    lz = lzss_encode_chunked(huff, nullptr);
+    return crc32(lz.data(), lz.size());
+  }));
+  results.push_back(bench_kernel("lzss_decode", huff.size(), repeats, [&] {
+    const std::vector<std::uint8_t> decoded = lzss_decode_chunked(lz, nullptr);
+    require(decoded == huff, "bench: lzss round trip mismatch");
+    return crc32(decoded.data(), decoded.size());
+  }));
+
+  // --- ZFP block codec via the fixed-rate pipeline (bit-plane coder + lift).
+  {
+    zfp::Params zp;
+    zp.rate = 8.0;
+    std::vector<std::uint8_t> stream;
+    results.push_back(bench_kernel("zfp_encode", field_bytes, repeats, [&] {
+      zfp::compress_into(field, dims, zp, stream, nullptr, nullptr);
+      return crc32(stream.data(), stream.size());
+    }));
+    std::vector<float> recon;
+    results.push_back(bench_kernel("zfp_decode", field_bytes, repeats, [&] {
+      zfp::decompress_into(stream, recon, nullptr, nullptr);
+      return crc32(recon.data(), recon.size() * sizeof(float));
+    }));
+  }
+
+  // --- full SZ pipeline, serial (prediction + quantization + Huffman + LZSS).
+  {
+    sz::Params sp;
+    sp.abs_error_bound = 0.1;
+    std::vector<std::uint8_t> stream;
+    results.push_back(bench_kernel("sz_encode", field_bytes, repeats, [&] {
+      sz::compress_into(field, dims, sp, stream, nullptr, nullptr);
+      return crc32(stream.data(), stream.size());
+    }));
+    std::vector<float> recon;
+    results.push_back(bench_kernel("sz_decode", field_bytes, repeats, [&] {
+      sz::decompress_into(stream, recon, nullptr, nullptr);
+      return crc32(recon.data(), recon.size() * sizeof(float));
+    }));
+  }
+
+  // Optional reference runs: --pre embeds a previous run for before/after
+  // bookkeeping; --baseline gates on regression.
+  auto load_rates = [](const std::string& path) {
+    std::map<std::string, double> rates;
+    const json::Value root = json::parse_file(path);
+    for (const auto& entry : root.as_object().at("kernels").as_array()) {
+      const auto& obj = entry.as_object();
+      rates[obj.at("kernel").as_string()] = obj.at("mb_s").as_number();
+    }
+    return rates;
+  };
+  std::map<std::string, double> pre_rates;
+  if (!pre_path.empty()) pre_rates = load_rates(pre_path);
+  std::map<std::string, double> baseline_rates;
+  if (!baseline_path.empty()) baseline_rates = load_rates(baseline_path);
+
+  bool regressed = false;
+  json::Array entries;
+  for (const KernelResult& r : results) {
+    const double rate = mb_per_s(r.payload_bytes, r.seconds);
+    json::Object e;
+    e["kernel"] = r.kernel;
+    e["seconds"] = r.seconds;
+    e["payload_bytes"] = r.payload_bytes;
+    e["mb_s"] = rate;
+    e["output_crc32"] = static_cast<double>(r.checksum);
+    std::string note;
+    if (const auto it = pre_rates.find(r.kernel); it != pre_rates.end()) {
+      e["pre_pr_mb_s"] = it->second;
+      e["speedup_vs_pre"] = it->second > 0.0 ? rate / it->second : 0.0;
+      note = " (x" + std::to_string(it->second > 0.0 ? rate / it->second : 0.0).substr(0, 4) +
+             " vs pre)";
+    }
+    if (const auto it = baseline_rates.find(r.kernel); it != baseline_rates.end()) {
+      const bool bad = rate < (1.0 - max_regress) * it->second;
+      e["regressed_vs_baseline"] = bad;
+      if (bad) {
+        regressed = true;
+        std::fprintf(stderr, "bench_report: REGRESSION %s %.1f MB/s vs baseline %.1f MB/s\n",
+                     r.kernel.c_str(), rate, it->second);
+      }
+    }
+    std::printf("%-16s %10.1f MB/s  %.4fs  crc %08x%s\n", r.kernel.c_str(), rate, r.seconds,
+                r.checksum, note.c_str());
+    entries.push_back(json::Value(std::move(e)));
+  }
+
+  json::Object root;
+  root["schema"] = "cosmo-bench-kernels/1";
+  root["edge"] = edge;
+  root["repeats"] = repeats;
+  root["threads"] = 1;
+  root["kernels"] = json::Value(std::move(entries));
+
+  const std::string text = json::Value(std::move(root)).dump(2) + "\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return regressed ? 1 : 0;
 }
 
 }  // namespace
@@ -129,7 +373,11 @@ int usage() {
 int main(int argc, char** argv) {
   std::size_t edge = 256;
   int repeats = 2;
-  std::string out_path = "BENCH_throughput.json";
+  bool kernels = false;
+  std::string out_path;
+  std::string pre_path;
+  std::string baseline_path;
+  double max_regress = 0.30;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--edge" && i + 1 < argc) {
@@ -138,11 +386,28 @@ int main(int argc, char** argv) {
       repeats = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--kernels") {
+      kernels = true;
+    } else if (arg == "--pre" && i + 1 < argc) {
+      pre_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--max-regress" && i + 1 < argc) {
+      max_regress = std::atof(argv[++i]);
     } else {
       return usage();
     }
   }
   if (edge < 8 || repeats < 1) return usage();
+  if (out_path.empty()) out_path = kernels ? "BENCH_kernels.json" : "BENCH_throughput.json";
+  if (kernels) {
+    try {
+      return run_kernel_bench(edge, repeats, out_path, pre_path, baseline_path, max_regress);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bench_report: %s\n", e.what());
+      return 1;
+    }
+  }
 
   const Dims dims = Dims::d3(edge, edge, edge);
   const std::size_t field_bytes = dims.count() * sizeof(float);

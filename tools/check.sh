@@ -4,23 +4,41 @@
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 #        tools/check.sh --tsan [build-dir]
+#        tools/check.sh --asan [build-dir]
+#        tools/check.sh --bench-smoke [build-dir]
 #
 # --tsan builds with ThreadSanitizer (-fsanitize=thread) and runs the tests
 # that exercise the parallel kernels (thread pool, sweep scheduler, and the
 # per-kernel determinism suite). Slower than the plain run; use it whenever
 # parallel_for call sites or shared-state code change.
+#
+# --asan builds with AddressSanitizer + UBSan and runs the codec test
+# surface (bitstream, Huffman, LZSS/RLE, ZFP, and the malformed-stream
+# fast-path suite). This is what backs the "truncated/corrupted streams
+# never read out of bounds" contract; run it whenever codec hot paths or
+# stream parsing change.
+#
+# --bench-smoke builds Release and runs the single-thread kernel
+# microbenchmarks against the committed BENCH_kernels.json, failing if any
+# kernel regresses by more than 30%. Use it to catch accidental slowdowns
+# in the codec fast paths.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
-tsan=0
-if [[ "${1:-}" == "--tsan" ]]; then
-  tsan=1
-  shift
-fi
+mode="plain"
+case "${1:-}" in
+  --tsan) mode="tsan"; shift ;;
+  --asan) mode="asan"; shift ;;
+  --bench-smoke) mode="bench"; shift ;;
+esac
 
 default_dir="build-check"
-if [[ "${tsan}" == 1 ]]; then default_dir="build-tsan"; fi
+case "${mode}" in
+  tsan) default_dir="build-tsan" ;;
+  asan) default_dir="build-asan" ;;
+  bench) default_dir="build-bench-smoke" ;;
+esac
 build_dir="${1:-"${repo_root}/${default_dir}"}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
@@ -36,27 +54,60 @@ fi
 
 # 2. Fresh out-of-tree configure + build with warnings on.
 rm -rf "${build_dir}"
-if [[ "${tsan}" == 1 ]]; then
-  # RelWithDebInfo keeps symbols so TSan reports point at source lines.
-  cmake -B "${build_dir}" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=thread -fno-omit-frame-pointer" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+case "${mode}" in
+  tsan)
+    # RelWithDebInfo keeps symbols so TSan reports point at source lines.
+    cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=thread -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    ;;
+  asan)
+    cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    ;;
+  *)
+    cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+    ;;
+esac
+if [[ "${mode}" == "bench" ]]; then
+  cmake --build "${build_dir}" --target bench_report -j "${jobs}"
 else
-  cmake -B "${build_dir}" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE=Release \
-    -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+  cmake --build "${build_dir}" -j "${jobs}"
 fi
-cmake --build "${build_dir}" -j "${jobs}"
 
 # 3. Tests.
-if [[ "${tsan}" == 1 ]]; then
-  # The parallel surface: pool/parallel_for internals, the sweep scheduler,
-  # and every threaded kernel via the cross-thread-count determinism suite.
-  TSAN_OPTIONS="halt_on_error=1" "${build_dir}/tests/cosmo_tests" \
-    --gtest_filter='ThreadPool*:*Sweep*:*Parallel*:ParallelDeterminism.*:FftTwiddleCache.*'
-else
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
-fi
+case "${mode}" in
+  tsan)
+    # The parallel surface: pool/parallel_for internals, the sweep scheduler,
+    # and every threaded kernel via the cross-thread-count determinism suite.
+    TSAN_OPTIONS="halt_on_error=1" "${build_dir}/tests/cosmo_tests" \
+      --gtest_filter='ThreadPool*:*Sweep*:*Parallel*:ParallelDeterminism.*:FftTwiddleCache.*'
+    ;;
+  asan)
+    # The codec surface: bitstream I/O, entropy/dictionary coders, ZFP block
+    # transforms, and the malformed-stream suite (truncated/corrupted inputs
+    # must throw, never touch out-of-bounds memory).
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      "${build_dir}/tests/cosmo_tests" \
+      --gtest_filter='BitStream.*:Huffman.*:Rle.*:Lzss.*:CodecFastPaths.*:Zfp*.*:Sz.*:Robustness.*'
+    ;;
+  bench)
+    # Regression gate against the committed kernel rates. 30% leaves
+    # headroom for machine-to-machine noise while still catching real
+    # fast-path regressions.
+    "${build_dir}/tools/bench_report" --kernels --edge 256 --repeats 3 \
+      --out "${build_dir}/BENCH_kernels_smoke.json" \
+      --baseline "${repo_root}/BENCH_kernels.json" --max-regress 0.30
+    ;;
+  *)
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+    ;;
+esac
 
-echo "check.sh: OK (build dir: ${build_dir}, tsan: ${tsan})"
+echo "check.sh: OK (build dir: ${build_dir}, mode: ${mode})"
