@@ -76,6 +76,10 @@ std::vector<float> fpc_decode(std::span<const std::uint8_t> bytes) {
   BitReader br(bytes.data(), bytes.size());
   require_format(br.get(32) == kMagic, "fpc: bad magic");
   const std::uint64_t count = br.get(64);
+  // Every value costs at least 4 payload bits (flag + leading-zero count),
+  // so a count the remaining payload cannot hold is corrupt; reject it
+  // before reserving the output.
+  require_format(count <= br.remaining() / 4, "fpc: value count exceeds payload");
 
   Predictors pred;
   std::vector<float> out;

@@ -237,6 +237,10 @@ struct DecodeTable {
 
 /// Reads the (symbol, length) header section shared by both formats.
 std::vector<CanonicalEntry> read_entries(BitReader& br, std::uint32_t alpha_size) {
+  // Each table entry occupies 38 stream bits, so an alphabet the remaining
+  // payload cannot hold is corrupt; reject it before the allocation (a bad
+  // u32 can claim 4G entries).
+  require_format(alpha_size <= br.remaining() / 38, "huffman: alphabet exceeds payload");
   std::vector<CanonicalEntry> entries(alpha_size);
   for (auto& e : entries) {
     e.symbol = static_cast<std::uint32_t>(br.get(32));
@@ -390,15 +394,27 @@ std::vector<std::uint32_t> huffman_decode_chunked(const std::vector<std::uint8_t
   const std::size_t n_chunks = static_cast<std::size_t>(br.get(32));
   const auto alpha_size = static_cast<std::uint32_t>(br.get(32));
   require_format(count == 0 || alpha_size > 0, "huffman-chunked: empty alphabet");
-  require_format(chunk_symbols > 0 || n_chunks == 0, "huffman-chunked: zero chunk size");
-  require_format(n_chunks == (count + chunk_symbols - 1) / std::max<std::size_t>(1, chunk_symbols),
-                 "huffman-chunked: chunk count mismatch");
+  require_format(chunk_symbols > 0 || (n_chunks == 0 && count == 0),
+                 "huffman-chunked: zero chunk size");
+  // Overflow-free chunk-count check (count + chunk_symbols - 1 wraps for a
+  // corrupted count near 2^64), plus a payload bound on count before the
+  // output allocation: every symbol costs at least one payload bit.
+  const std::size_t want_chunks =
+      chunk_symbols == 0 ? 0
+                         : static_cast<std::size_t>(count / chunk_symbols +
+                                                    (count % chunk_symbols != 0 ? 1 : 0));
+  require_format(n_chunks == want_chunks, "huffman-chunked: chunk count mismatch");
+  require_format(count <= 8 * static_cast<std::uint64_t>(bytes.size()),
+                 "huffman-chunked: symbol count exceeds payload");
   const DecodeTable table(read_entries(br, alpha_size));
 
   std::size_t pos = static_cast<std::size_t>((br.position() + 7) / 8);
   struct ChunkMeta {
     std::size_t offset, len;
   };
+  // Each chunk costs a 4-byte table entry in the remaining bytes.
+  require_format(n_chunks <= (bytes.size() - pos) / 4,
+                 "huffman-chunked: chunk count exceeds payload");
   std::vector<ChunkMeta> metas(n_chunks);
   for (auto& m : metas) {
     require_format(pos + 4 <= bytes.size(), "huffman-chunked: truncated chunk table");
@@ -433,6 +449,7 @@ std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes
   const auto alpha_size = static_cast<std::uint32_t>(br.get(32));
   require_format(count == 0 || alpha_size > 0, "huffman: empty alphabet with nonzero count");
   const DecodeTable table(read_entries(br, alpha_size));
+  require_format(count <= br.remaining(), "huffman: symbol count exceeds payload");
   std::vector<std::uint32_t> out(count);
   table.decode_into(br, out.data(), count);
   return out;
@@ -448,12 +465,19 @@ std::vector<std::uint32_t> huffman_decode_reference(const std::vector<std::uint8
     const std::size_t n_chunks = static_cast<std::size_t>(br.get(32));
     const auto alpha_size = static_cast<std::uint32_t>(br.get(32));
     require_format(count == 0 || alpha_size > 0, "huffman-chunked: empty alphabet");
-    require_format(chunk_symbols > 0 || n_chunks == 0, "huffman-chunked: zero chunk size");
-    require_format(
-        n_chunks == (count + chunk_symbols - 1) / std::max<std::size_t>(1, chunk_symbols),
-        "huffman-chunked: chunk count mismatch");
+    require_format(chunk_symbols > 0 || (n_chunks == 0 && count == 0),
+                   "huffman-chunked: zero chunk size");
+    const std::size_t want_chunks =
+        chunk_symbols == 0 ? 0
+                           : static_cast<std::size_t>(count / chunk_symbols +
+                                                      (count % chunk_symbols != 0 ? 1 : 0));
+    require_format(n_chunks == want_chunks, "huffman-chunked: chunk count mismatch");
+    require_format(count <= 8 * static_cast<std::uint64_t>(bytes.size()),
+                   "huffman-chunked: symbol count exceeds payload");
     const DecodeTable table(read_entries(br, alpha_size));
     std::size_t pos = static_cast<std::size_t>((br.position() + 7) / 8);
+    require_format(n_chunks <= (bytes.size() - pos) / 4,
+                   "huffman-chunked: chunk count exceeds payload");
     std::vector<std::size_t> lens(n_chunks);
     for (auto& len : lens) {
       require_format(pos + 4 <= bytes.size(), "huffman-chunked: truncated chunk table");
@@ -479,6 +503,7 @@ std::vector<std::uint32_t> huffman_decode_reference(const std::vector<std::uint8
   const auto alpha_size = static_cast<std::uint32_t>(br.get(32));
   require_format(count == 0 || alpha_size > 0, "huffman: empty alphabet with nonzero count");
   const DecodeTable table(read_entries(br, alpha_size));
+  require_format(count <= br.remaining(), "huffman: symbol count exceeds payload");
   std::vector<std::uint32_t> out(count);
   table.decode_into_reference(br, out.data(), count);
   return out;

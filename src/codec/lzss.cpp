@@ -109,6 +109,14 @@ void decode_range(const std::uint8_t* input, std::size_t size, std::uint8_t* out
   }
 }
 
+/// Largest output a payload of \p payload_bytes can legitimately declare:
+/// the densest token is a match (25 bits for up to kMaxMatch bytes), so the
+/// yield is bounded by kMaxMatch bytes per 25 payload bits. Used to reject
+/// corrupted headers before the output allocation.
+std::size_t max_declared_output(std::size_t payload_bytes) {
+  return (payload_bytes * 8 / 25 + 1) * kMaxMatch;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
@@ -120,6 +128,7 @@ std::vector<std::uint8_t> lzss_decode(const std::vector<std::uint8_t>& input) {
   BitReader br(input);
   require_format(br.get(32) == kMagic, "lzss: bad magic");
   const std::uint64_t n = br.get(64);
+  require_format(n <= max_declared_output(input.size()), "lzss: declared size exceeds payload");
   std::vector<std::uint8_t> out(n);
   decode_range(input.data(), input.size(), out.data(), n);
   return out;
@@ -172,11 +181,20 @@ std::vector<std::uint8_t> lzss_decode_chunked(const std::vector<std::uint8_t>& b
   const std::size_t chunk_bytes = static_cast<std::size_t>(br.get(32));
   const std::size_t n_chunks = static_cast<std::size_t>(br.get(32));
   require_format(chunk_bytes > 0 || n_chunks == 0, "lzss-chunked: zero chunk size");
-  require_format(
-      n_chunks == (total + chunk_bytes - 1) / std::max<std::size_t>(1, chunk_bytes),
-      "lzss-chunked: chunk count mismatch");
+  // Bound the declared output before allocating it, and compute the chunk
+  // count without forming total + chunk_bytes - 1 (which wraps for a
+  // corrupted total near 2^64).
+  require_format(total <= max_declared_output(bytes.size()),
+                 "lzss-chunked: declared size exceeds payload");
+  const std::size_t want_chunks =
+      chunk_bytes == 0 ? 0 : total / chunk_bytes + (total % chunk_bytes != 0 ? 1 : 0);
+  require_format(n_chunks == want_chunks, "lzss-chunked: chunk count mismatch");
 
   std::size_t pos = static_cast<std::size_t>((br.position() + 7) / 8);
+  // Each chunk costs a 4-byte table entry; reject counts the remaining
+  // bytes cannot hold before sizing the table.
+  require_format(n_chunks <= (bytes.size() - std::min(pos, bytes.size())) / 4,
+                 "lzss-chunked: chunk count exceeds payload");
   struct ChunkMeta {
     std::size_t offset, len;
   };

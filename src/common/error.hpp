@@ -35,6 +35,21 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// A transient (retryable) failure: the operation may succeed if retried.
+/// Thrown by the GPU simulator for injected soft errors; DeviceCompressor
+/// retries these with bounded exponential backoff.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// Device memory was exhausted. Not retryable at the same footprint; callers
+/// degrade by falling back to the matching host codec.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
 /// Throws InvalidArgument with \p msg when \p cond is false.
 void require(bool cond, const std::string& msg);
 

@@ -1,0 +1,154 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+#include "common/str.hpp"
+
+namespace cosmo::fault {
+
+namespace {
+
+// SplitMix64 (public domain algorithm). Self-contained so cosmo_common does
+// not depend on cosmo_random; fault streams only need cheap, well-mixed
+// bits, not the quality of the simulation RNG.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::atomic<FaultPlan*> g_active{nullptr};
+
+}  // namespace
+
+const char* corruption_name(Corruption kind) {
+  switch (kind) {
+    case Corruption::kBitFlip: return "bit-flip";
+    case Corruption::kTruncate: return "truncate";
+    case Corruption::kZeroRun: return "zero-run";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(const Config& cfg) : cfg_(cfg), rng_state_(cfg.seed) {}
+
+FaultPlan::Counts FaultPlan::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+double FaultPlan::next_uniform() {
+  return static_cast<double>(splitmix64(rng_state_) >> 11) * 0x1.0p-53;
+}
+
+void FaultPlan::apply(std::vector<std::uint8_t>& bytes, Corruption kind, std::size_t offset,
+                      std::size_t arg) {
+  if (bytes.empty()) return;
+  switch (kind) {
+    case Corruption::kBitFlip: {
+      const std::size_t byte = std::min(offset, bytes.size() - 1);
+      bytes[byte] = static_cast<std::uint8_t>(bytes[byte] ^ (1u << (arg % 8)));
+      break;
+    }
+    case Corruption::kTruncate: {
+      bytes.resize(std::min(offset, bytes.size()));
+      break;
+    }
+    case Corruption::kZeroRun: {
+      const std::size_t begin = std::min(offset, bytes.size());
+      const std::size_t end = begin + std::min(arg, bytes.size() - begin);
+      std::fill(bytes.begin() + static_cast<std::ptrdiff_t>(begin),
+                bytes.begin() + static_cast<std::ptrdiff_t>(end), std::uint8_t{0});
+      break;
+    }
+  }
+}
+
+bool FaultPlan::corrupt(std::vector<std::uint8_t>& bytes) {
+  if (cfg_.corrupt_probability <= 0.0 || bytes.empty()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_uniform() >= cfg_.corrupt_probability) return false;
+
+  Corruption kinds[3];
+  std::size_t n_kinds = 0;
+  if (cfg_.corrupt_bit_flip) kinds[n_kinds++] = Corruption::kBitFlip;
+  if (cfg_.corrupt_truncate) kinds[n_kinds++] = Corruption::kTruncate;
+  if (cfg_.corrupt_zero_run) kinds[n_kinds++] = Corruption::kZeroRun;
+  if (n_kinds == 0) return false;
+
+  const Corruption kind = kinds[splitmix64(rng_state_) % n_kinds];
+  const std::size_t offset = splitmix64(rng_state_) % bytes.size();
+  const std::size_t arg = kind == Corruption::kZeroRun
+                              ? 1 + splitmix64(rng_state_) % 64
+                              : splitmix64(rng_state_) % 8;
+  apply(bytes, kind, offset, arg);
+  ++counts_.corruptions;
+  return true;
+}
+
+void FaultPlan::maybe_throw_gpu_transient(const char* where) {
+  bool fire = false;
+  std::uint64_t op = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    op = ++gpu_ops_;
+    if (cfg_.gpu_transient_every > 0 && op % cfg_.gpu_transient_every == 0) fire = true;
+    if (!fire && cfg_.gpu_transient_probability > 0.0 &&
+        next_uniform() < cfg_.gpu_transient_probability) {
+      fire = true;
+    }
+    if (fire) ++counts_.gpu_transients;
+  }
+  if (fire) {
+    throw TransientError(strprintf("fault: injected transient GPU error in %s (device op %llu)",
+                                   where, static_cast<unsigned long long>(op)));
+  }
+}
+
+void FaultPlan::maybe_throw_gpu_oom(const char* where) {
+  bool fire = false;
+  std::uint64_t op = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    op = ++oom_ops_;
+    if (cfg_.gpu_oom_every > 0 && op % cfg_.gpu_oom_every == 0) fire = true;
+    if (!fire && cfg_.gpu_oom_probability > 0.0 && next_uniform() < cfg_.gpu_oom_probability) {
+      fire = true;
+    }
+    if (fire) ++counts_.gpu_ooms;
+  }
+  if (fire) {
+    throw OutOfMemoryError(strprintf("fault: injected device-OOM in %s (device op %llu)", where,
+                                     static_cast<unsigned long long>(op)));
+  }
+}
+
+void FaultPlan::maybe_throw_io(const std::string& path, const char* op) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t n = ++io_ops_;
+    if (cfg_.io_failure_every > 0 && n % cfg_.io_failure_every == 0) fire = true;
+    if (!fire && cfg_.io_failure_probability > 0.0 &&
+        next_uniform() < cfg_.io_failure_probability) {
+      fire = true;
+    }
+    if (fire) ++counts_.io_failures;
+  }
+  if (fire) {
+    throw IoError(strprintf("fault: injected I/O failure during %s of '%s'", op, path.c_str()));
+  }
+}
+
+FaultPlan* active() { return g_active.load(std::memory_order_acquire); }
+
+void set_active(FaultPlan* plan) { g_active.store(plan, std::memory_order_release); }
+
+Scope::Scope(FaultPlan& plan) : prev_(active()) { set_active(&plan); }
+
+Scope::~Scope() { set_active(prev_); }
+
+}  // namespace cosmo::fault

@@ -1,0 +1,134 @@
+/// \file fault.hpp
+/// \brief Deterministic fault injection for robustness testing.
+///
+/// A FaultPlan is a seeded source of injected failures: compressed-stream
+/// corruption (bit flips, truncation, zero runs), simulated transient GPU
+/// errors and device-OOM, and filesystem I/O failures. Everything is off by
+/// default — with no active plan (or a default-constructed Config) every
+/// hook is a no-op, so the library's byte-identical-output guarantee is
+/// untouched in normal operation.
+///
+/// Injection sites poll the process-wide active plan:
+///   - CBench::run_session() corrupts the compressed stream between
+///     compress() and decompress() via corrupt().
+///   - gpu::GpuSimulator throws TransientError / OutOfMemoryError from its
+///     timing-model entry points via maybe_throw_gpu_*().
+///   - io::load()/save() throw IoError via maybe_throw_io().
+///
+/// Plans use both deterministic "every Nth call" counters (for exact unit
+/// tests) and seeded probabilities (for fuzz-style sweeps). All methods are
+/// thread-safe; the sweep scheduler calls them from worker threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cosmo::fault {
+
+/// Kinds of stream corruption the plan can inject.
+enum class Corruption : std::uint8_t { kBitFlip = 0, kTruncate = 1, kZeroRun = 2 };
+
+/// Returns a short human-readable name ("bit-flip", "truncate", "zero-run").
+const char* corruption_name(Corruption kind);
+
+/// Knobs for a FaultPlan. The default state injects nothing.
+struct Config {
+  std::uint64_t seed = 0x5EEDFA17ull;
+
+  /// Probability in [0, 1] that corrupt() mutates a given stream.
+  double corrupt_probability = 0.0;
+  /// Which corruption kinds the plan may pick from (all enabled by default;
+  /// only consulted when corrupt_probability > 0).
+  bool corrupt_bit_flip = true;
+  bool corrupt_truncate = true;
+  bool corrupt_zero_run = true;
+
+  /// Every Nth GPU model operation throws TransientError (0 = never).
+  std::uint32_t gpu_transient_every = 0;
+  /// Per-operation probability of a transient GPU error.
+  double gpu_transient_probability = 0.0;
+
+  /// Every Nth GPU model operation throws OutOfMemoryError (0 = never).
+  std::uint32_t gpu_oom_every = 0;
+  /// Per-operation probability of a device-OOM.
+  double gpu_oom_probability = 0.0;
+
+  /// Every Nth io::load/save call throws IoError (0 = never).
+  std::uint32_t io_failure_every = 0;
+  /// Per-call probability of an I/O failure.
+  double io_failure_probability = 0.0;
+};
+
+/// Seeded, thread-safe fault source. See the file comment for the sites
+/// that poll it.
+class FaultPlan {
+ public:
+  explicit FaultPlan(const Config& cfg);
+
+  const Config& config() const { return cfg_; }
+
+  /// Totals of injected faults, for asserting test expectations.
+  struct Counts {
+    std::uint64_t corruptions = 0;
+    std::uint64_t gpu_transients = 0;
+    std::uint64_t gpu_ooms = 0;
+    std::uint64_t io_failures = 0;
+  };
+  Counts counts() const;
+
+  /// Applies one targeted corruption to \p bytes in place. Deterministic and
+  /// usable without a plan instance (the test matrix drives it directly).
+  ///   kBitFlip:  flips bit (arg % 8) of the byte at \p offset.
+  ///   kTruncate: resizes the stream to \p offset bytes.
+  ///   kZeroRun:  zeroes \p arg bytes starting at \p offset.
+  /// Offsets/lengths are clamped to the stream; empty streams are untouched.
+  static void apply(std::vector<std::uint8_t>& bytes, Corruption kind, std::size_t offset,
+                    std::size_t arg);
+
+  /// Maybe corrupts a compressed stream in place (seeded kind/offset choice).
+  /// Returns true when a corruption was injected.
+  bool corrupt(std::vector<std::uint8_t>& bytes);
+
+  /// Throws TransientError / OutOfMemoryError / IoError according to the
+  /// config. \p where / \p path appear in the exception message.
+  void maybe_throw_gpu_transient(const char* where);
+  void maybe_throw_gpu_oom(const char* where);
+  void maybe_throw_io(const std::string& path, const char* op);
+
+ private:
+  double next_uniform();  // callers hold mu_
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::uint64_t rng_state_;
+  std::uint64_t gpu_ops_ = 0;
+  std::uint64_t oom_ops_ = 0;
+  std::uint64_t io_ops_ = 0;
+  Counts counts_;
+};
+
+/// The process-wide active plan, or nullptr when fault injection is off
+/// (the default). Injection sites do `if (auto* p = fault::active()) ...`.
+FaultPlan* active();
+
+/// Installs \p plan as the active plan (nullptr disables injection).
+/// Prefer Scope for exception safety.
+void set_active(FaultPlan* plan);
+
+/// RAII installer: activates a plan for the current scope, restoring the
+/// previous plan (usually nullptr) on destruction.
+class Scope {
+ public:
+  explicit Scope(FaultPlan& plan);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  FaultPlan* prev_;
+};
+
+}  // namespace cosmo::fault

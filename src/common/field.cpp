@@ -20,6 +20,15 @@ Field Field::reshaped(Dims new_dims) const {
   return out;
 }
 
+std::size_t checked_stream_count(const Dims& dims, const char* where) {
+  constexpr std::size_t kMax = static_cast<std::size_t>(-1);
+  require_format(dims.nx > 0 && dims.ny > 0 && dims.nz > 0,
+                 std::string(where) + ": zero extent in stream dims " + dims.to_string());
+  require_format(dims.nx <= kMax / dims.ny && dims.nx * dims.ny <= kMax / dims.nz,
+                 std::string(where) + ": stream dims overflow " + dims.to_string());
+  return dims.nx * dims.ny * dims.nz;
+}
+
 std::pair<float, float> value_range(std::span<const float> values) {
   require(!values.empty(), "value_range: empty span");
   const auto [lo, hi] = std::minmax_element(values.begin(), values.end());

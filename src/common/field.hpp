@@ -73,4 +73,11 @@ struct Field {
 /// Minimum/maximum over a span; throws on empty input.
 std::pair<float, float> value_range(std::span<const float> values);
 
+/// Overflow-checked dims.count() for extents deserialized from untrusted
+/// streams: throws FormatError (tagged with \p where) when any extent is
+/// zero or nx*ny*nz would overflow std::size_t. Decoders must size their
+/// output through this instead of dims.count() so corrupted headers cannot
+/// wrap the element count.
+std::size_t checked_stream_count(const Dims& dims, const char* where);
+
 }  // namespace cosmo

@@ -1,20 +1,49 @@
 #include "foresight/cbench.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 
+#include "common/fault.hpp"
 #include "common/str.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 
 namespace cosmo::foresight {
 
+namespace {
+
+/// Identity-only row for a job that threw while the sweep was configured to
+/// continue: metrics stay zeroed and the error travels with the row.
+CBenchResult failed_result(const std::string& dataset, const Field& field,
+                           const std::string& compressor, const CompressorConfig& config,
+                           const std::string& what) {
+  CBenchResult r;
+  r.dataset = dataset;
+  r.field = field.name;
+  r.compressor = compressor;
+  r.config = config;
+  r.original_bytes = field.bytes();
+  r.status = "failed";
+  r.error = what;
+  r.throughput_reportable = false;
+  return r;
+}
+
+}  // namespace
+
 CBenchResult CBench::run_one(const Field& field, Compressor& compressor,
                              const CompressorConfig& config) const {
   const PoolHandle intra(options_.session_threads);
   const std::unique_ptr<CodecSession> session =
       compressor.open_session(nullptr, intra.get());
-  return run_session(field, compressor.name(), *session, config);
+  try {
+    return run_session(field, compressor.name(), *session, config);
+  } catch (const Error& e) {
+    if (options_.on_error == Options::OnError::kAbort) throw;
+    return failed_result(options_.dataset_name, field, compressor.name(), config,
+                         e.what());
+  }
 }
 
 CBenchResult CBench::run_session(const Field& field, const std::string& compressor_name,
@@ -29,6 +58,13 @@ CBenchResult CBench::run_session(const Field& field, const std::string& compress
                                  CodecSession& session, const CompressorConfig& config,
                                  CompressResult& c, DecompressResult& d) const {
   session.compress(field, config, c);
+  // Fault-injection hook: an active plan may corrupt the stream between the
+  // stages, exactly where a storage or transport error would hit it. The
+  // decode below must then either reconstruct bit-exactly or throw a
+  // cosmo::Error — never crash (see docs/architecture.md, failure
+  // containment). Off by default: one relaxed atomic load when no plan is
+  // installed.
+  if (auto* plan = fault::active()) plan->corrupt(c.bytes);
   session.decompress(c, d);
   require(d.values.size() == field.data.size(),
           "cbench: reconstruction size mismatch from " + compressor_name);
@@ -48,7 +84,9 @@ CBenchResult CBench::run_session(const Field& field, const std::string& compress
   r.decompress_seconds = d.seconds;
   r.compress_gbps = throughput_gbps(r.original_bytes, c.seconds);
   r.decompress_gbps = throughput_gbps(r.original_bytes, d.seconds);
-  r.throughput_reportable = c.throughput_reportable;
+  r.throughput_reportable = c.throughput_reportable && !d.cpu_fallback;
+  r.cpu_fallback = c.cpu_fallback || d.cpu_fallback;
+  r.device_attempts = std::max(c.device_attempts, d.device_attempts);
   r.has_gpu_timing = c.has_gpu_timing;
   r.gpu_compress = c.gpu_timing;
   r.gpu_decompress = d.gpu_timing;
@@ -90,7 +128,13 @@ std::vector<CBenchResult> CBench::sweep(
     CompressResult c;
     DecompressResult d;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = run_session(*jobs[i].field, name, *session, *jobs[i].config, c, d);
+      try {
+        results[i] = run_session(*jobs[i].field, name, *session, *jobs[i].config, c, d);
+      } catch (const Error& e) {
+        if (options_.on_error == Options::OnError::kAbort) throw;
+        results[i] = failed_result(options_.dataset_name, *jobs[i].field, name,
+                                   *jobs[i].config, e.what());
+      }
     }
     return results;
   }
@@ -121,7 +165,13 @@ std::vector<CBenchResult> CBench::sweep(
       DecompressResult d;
       for (std::size_t i = cursor.fetch_add(1); i < jobs.size();
            i = cursor.fetch_add(1)) {
-        results[i] = run_session(*jobs[i].field, name, *session, *jobs[i].config, c, d);
+        try {
+          results[i] = run_session(*jobs[i].field, name, *session, *jobs[i].config, c, d);
+        } catch (const Error& e) {
+          if (options_.on_error == Options::OnError::kAbort) throw;
+          results[i] = failed_result(options_.dataset_name, *jobs[i].field, name,
+                                     *jobs[i].config, e.what());
+        }
       }
     }));
   }
@@ -134,9 +184,11 @@ double CBench::overall_ratio(const std::vector<CBenchResult>& results) {
   std::size_t original = 0;
   std::size_t compressed = 0;
   for (const auto& r : results) {
+    if (r.status != "ok") continue;  // failed rows carry no stream
     original += r.original_bytes;
     compressed += r.compressed_bytes;
   }
+  require(compressed > 0, "overall_ratio: no successful results");
   return analysis::compression_ratio(original, compressed);
 }
 
@@ -146,6 +198,11 @@ std::string format_results(const std::vector<CBenchResult>& results) {
                    "config", "ratio", "bitrate", "PSNR(dB)", "comp GB/s", "dec GB/s");
   out += std::string(100, '-') + "\n";
   for (const auto& r : results) {
+    if (r.status != "ok") {
+      out += strprintf("%-22s %-10s %-16s FAILED: %s\n", r.field.c_str(),
+                       r.compressor.c_str(), r.config.label().c_str(), r.error.c_str());
+      continue;
+    }
     const std::string comp_thr = r.throughput_reportable
                                      ? strprintf("%10.2f", r.compress_gbps)
                                      : strprintf("%10s", "N/A");

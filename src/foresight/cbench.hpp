@@ -49,6 +49,13 @@ struct CBenchResult {
   gpu::TimingBreakdown gpu_compress;
   gpu::TimingBreakdown gpu_decompress;
 
+  /// "ok", or "failed" when the job threw and the sweep was configured to
+  /// continue; failed rows keep their identity columns but carry no metrics.
+  std::string status = "ok";
+  std::string error;           ///< diagnostic for failed rows, empty otherwise
+  bool cpu_fallback = false;   ///< device-OOM degraded a stage to the host codec
+  int device_attempts = 1;     ///< max device attempts across stages (retries)
+
   /// Reconstructed data for downstream analysis (kept when requested).
   std::vector<float> reconstructed;
 };
@@ -74,12 +81,19 @@ class CBench {
     /// sessions serial (the jobs themselves saturate the pool). Streams are
     /// byte-identical for any value (the codecs use fixed chunk geometry).
     std::size_t session_threads = 1;
+    /// What sweep() does when one job throws a cosmo::Error: kAbort rethrows
+    /// (the historical behavior), kContinue records a "failed" row for that
+    /// job and keeps sweeping. Non-cosmo exceptions always propagate.
+    enum class OnError { kAbort, kContinue };
+    OnError on_error = OnError::kAbort;
   };
 
   CBench() = default;
   explicit CBench(Options options) : options_(std::move(options)) {}
 
   /// Runs one (field, compressor, config) combination over a fresh session.
+  /// Honors Options::on_error: under kContinue a throwing job comes back as
+  /// a "failed" row instead of propagating.
   CBenchResult run_one(const Field& field, Compressor& compressor,
                        const CompressorConfig& config) const;
 

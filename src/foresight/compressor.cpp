@@ -62,6 +62,21 @@ void drop_padding(const CompressResult& compressed, std::vector<float>& values) 
   if (compressed.original_values != 0) values.resize(compressed.original_values);
 }
 
+/// Result objects are reused across sweep jobs, so every session must set
+/// the status flags explicitly rather than rely on the defaults.
+void reset_cpu_flags(CompressResult& out) {
+  out.has_gpu_timing = false;
+  out.throughput_reportable = true;
+  out.cpu_fallback = false;
+  out.device_attempts = 1;
+}
+
+void reset_cpu_flags(DecompressResult& out) {
+  out.has_gpu_timing = false;
+  out.cpu_fallback = false;
+  out.device_attempts = 1;
+}
+
 class GpuSzSession final : public CodecSession {
  public:
   GpuSzSession(gpu::GpuSimulator& sim, ScratchArena* arena)
@@ -72,31 +87,83 @@ class GpuSzSession final : public CodecSession {
     check_mode(config.mode, {"abs", "pw_rel"}, "gpu-sz");
     out.has_gpu_timing = true;
     out.throughput_reportable = gpu::GpuSzDevice::throughput_supported();
+    out.cpu_fallback = false;
+    out.device_attempts = 1;
     out.original_values = field.data.size();
 
     ShapeAdapter shaped(field, arena());
     dev_c_.bytes.swap(out.bytes);  // bring the caller's capacity in for reuse
-    if (config.mode == "abs") {
-      device_.compress_abs_into(shaped.values(), shaped.dims(), config.value, dev_c_);
-    } else {
-      device_.compress_pwrel_into(shaped.values(), shaped.dims(), config.value, dev_c_);
+    try {
+      if (config.mode == "abs") {
+        device_.compress_abs_into(shaped.values(), shaped.dims(), config.value, dev_c_);
+      } else {
+        device_.compress_pwrel_into(shaped.values(), shaped.dims(), config.value, dev_c_);
+      }
+    } catch (const OutOfMemoryError&) {
+      // The job does not fit on the device; run the matching host codec
+      // (bit-identical stream) with measured wall time instead. Throughput
+      // stays non-reportable — the time no longer describes the device.
+      out.bytes.swap(dev_c_.bytes);
+      compress_on_host(shaped, config, out);
+      return;
     }
     out.bytes.swap(dev_c_.bytes);
     out.gpu_timing = dev_c_.timing;
     out.seconds = dev_c_.timing.total();
+    out.device_attempts = dev_c_.attempts;
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
     out.has_gpu_timing = true;
+    out.cpu_fallback = false;
+    out.device_attempts = 1;
     dev_d_.values.swap(out.values);
-    device_.decompress_into(compressed.bytes, dev_d_);
+    try {
+      device_.decompress_into(compressed.bytes, dev_d_);
+    } catch (const OutOfMemoryError&) {
+      out.values.swap(dev_d_.values);
+      decompress_on_host(compressed, out);
+      return;
+    }
     out.values.swap(dev_d_.values);
     drop_padding(compressed, out.values);
     out.gpu_timing = dev_d_.timing;
     out.seconds = dev_d_.timing.total();
+    out.device_attempts = dev_d_.attempts;
   }
 
  private:
+  void compress_on_host(const ShapeAdapter& shaped, const CompressorConfig& config,
+                        CompressResult& out) {
+    out.cpu_fallback = true;
+    out.has_gpu_timing = false;
+    out.throughput_reportable = false;
+    Timer timer;
+    if (config.mode == "abs") {
+      sz::Params params;
+      params.abs_error_bound = config.value;
+      sz::compress_into(shaped.values(), shaped.dims(), params, out.bytes);
+    } else {
+      sz::PwRelParams params;
+      params.pw_rel_bound = config.value;
+      sz::compress_pwrel_into(shaped.values(), shaped.dims(), params, out.bytes);
+    }
+    out.seconds = timer.seconds();
+  }
+
+  void decompress_on_host(const CompressResult& compressed, DecompressResult& out) {
+    out.cpu_fallback = true;
+    out.has_gpu_timing = false;
+    Timer timer;
+    if (sz::is_pwrel_stream(compressed.bytes)) {
+      sz::decompress_pwrel_into(compressed.bytes, out.values);
+    } else {
+      sz::decompress_into(compressed.bytes, out.values);
+    }
+    drop_padding(compressed, out.values);
+    out.seconds = timer.seconds();
+  }
+
   gpu::GpuSzDevice device_;
   gpu::DeviceCompressResult dev_c_;
   gpu::DeviceDecompressResult dev_d_;
@@ -131,26 +198,60 @@ class CuZfpSession final : public CodecSession {
                 CompressResult& out) override {
     check_mode(config.mode, {"rate"}, "cuzfp");
     out.has_gpu_timing = true;
+    out.throughput_reportable = true;
+    out.cpu_fallback = false;
+    out.device_attempts = 1;
     out.original_values = field.data.size();
 
     // "the compression quality on the 1-D data is not as good as that on
     // the converted 3-D data" — convert like the paper does.
     ShapeAdapter shaped(field, arena());
     dev_c_.bytes.swap(out.bytes);
-    device_.compress_into(shaped.values(), shaped.dims(), config.value, dev_c_);
+    try {
+      device_.compress_into(shaped.values(), shaped.dims(), config.value, dev_c_);
+    } catch (const OutOfMemoryError&) {
+      // Device-OOM: fixed-rate ZFP on the host emits the identical stream;
+      // record the fallback and stop reporting device throughput.
+      out.bytes.swap(dev_c_.bytes);
+      out.cpu_fallback = true;
+      out.has_gpu_timing = false;
+      out.throughput_reportable = false;
+      zfp::Params params;
+      params.mode = zfp::Mode::kFixedRate;
+      params.rate = config.value;
+      Timer timer;
+      zfp::compress_into(shaped.values(), shaped.dims(), params, out.bytes);
+      out.seconds = timer.seconds();
+      return;
+    }
     out.bytes.swap(dev_c_.bytes);
     out.gpu_timing = dev_c_.timing;
     out.seconds = dev_c_.timing.total();
+    out.device_attempts = dev_c_.attempts;
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
     out.has_gpu_timing = true;
+    out.cpu_fallback = false;
+    out.device_attempts = 1;
     dev_d_.values.swap(out.values);
-    device_.decompress_into(compressed.bytes, dev_d_);
+    try {
+      device_.decompress_into(compressed.bytes, dev_d_);
+    } catch (const OutOfMemoryError&) {
+      out.values.swap(dev_d_.values);
+      out.cpu_fallback = true;
+      out.has_gpu_timing = false;
+      Timer timer;
+      zfp::decompress_into(compressed.bytes, out.values);
+      drop_padding(compressed, out.values);
+      out.seconds = timer.seconds();
+      return;
+    }
     out.values.swap(dev_d_.values);
     drop_padding(compressed, out.values);
     out.gpu_timing = dev_d_.timing;
     out.seconds = dev_d_.timing.total();
+    out.device_attempts = dev_d_.attempts;
   }
 
  private:
@@ -186,6 +287,7 @@ class SzCpuSession final : public CodecSession {
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
     check_mode(config.mode, {"abs", "pw_rel"}, "sz-cpu");
+    reset_cpu_flags(out);
     out.original_values = field.data.size();
     Timer timer;
     if (config.mode == "abs") {
@@ -201,6 +303,7 @@ class SzCpuSession final : public CodecSession {
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
+    reset_cpu_flags(out);
     Timer timer;
     if (sz::is_pwrel_stream(compressed.bytes)) {
       sz::decompress_pwrel_into(compressed.bytes, out.values, nullptr, pool());
@@ -247,6 +350,7 @@ class ZfpCpuSession final : public CodecSession {
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
     check_mode(config.mode, {"rate", "accuracy", "precision"}, "zfp-cpu");
+    reset_cpu_flags(out);
     out.original_values = field.data.size();
     const zfp::Params params = zfp_params_for(config);
     Timer timer;
@@ -255,6 +359,7 @@ class ZfpCpuSession final : public CodecSession {
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
+    reset_cpu_flags(out);
     Timer timer;
     zfp::decompress_into(compressed.bytes, out.values, nullptr, pool());
     drop_padding(compressed, out.values);
@@ -285,6 +390,7 @@ class ZfpOmpSession final : public CodecSession {
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
     check_mode(config.mode, {"rate", "accuracy"}, "zfp-omp");
+    reset_cpu_flags(out);
     out.original_values = field.data.size();
     const zfp::Params params = zfp_params_for(config);
     ThreadPool& pool = global_pool();
@@ -294,6 +400,7 @@ class ZfpOmpSession final : public CodecSession {
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
+    reset_cpu_flags(out);
     ThreadPool& pool = global_pool();
     Timer timer;
     out.values = zfp::decompress_chunked(compressed.bytes, &pool);

@@ -53,6 +53,11 @@ struct CompressResult {
   bool has_gpu_timing = false;
   gpu::TimingBreakdown gpu_timing;
   bool throughput_reportable = true;  ///< false for the GPU-SZ prototype
+  /// Device-OOM degraded this job to the matching host codec: the stream is
+  /// bit-identical, seconds is measured host wall time, and throughput is
+  /// marked non-reportable (it no longer describes the device).
+  bool cpu_fallback = false;
+  int device_attempts = 1;  ///< device attempts incl. transient-fault retries
 };
 
 /// Output of the decompression stage.
@@ -61,6 +66,8 @@ struct DecompressResult {
   double seconds = 0.0;  ///< measured (CPU) or modeled total (GPU)
   bool has_gpu_timing = false;
   gpu::TimingBreakdown gpu_timing;
+  bool cpu_fallback = false;  ///< device-OOM degraded to the host codec
+  int device_attempts = 1;    ///< device attempts incl. transient-fault retries
 };
 
 /// Everything a single fused compress+decompress run produces (the legacy

@@ -1,8 +1,11 @@
 #include "foresight/pipeline.hpp"
 
+#include <optional>
+
 #include "analysis/halo_stats.hpp"
 #include "analysis/power_spectrum.hpp"
 #include "analysis/ssim.hpp"
+#include "common/fault.hpp"
 #include "common/str.hpp"
 #include "cosmo/hacc_synth.hpp"
 #include "cosmo/nyx_synth.hpp"
@@ -40,12 +43,43 @@ std::string result_key(const CBenchResult& r) {
   return r.field + "|" + r.compressor + "|" + r.config.label();
 }
 
+/// Builds a FaultPlan config from the optional "faults" object. Absent key
+/// means fault injection stays fully disabled (no plan is installed at all).
+std::optional<fault::Config> parse_faults(const json::Value& config) {
+  if (!config.contains("faults")) return std::nullopt;
+  const json::Value& f = config.at("faults");
+  fault::Config c;
+  c.seed = static_cast<std::uint64_t>(f.get("seed", static_cast<double>(c.seed)));
+  c.corrupt_probability = f.get("corrupt_probability", 0.0);
+  c.corrupt_bit_flip = f.get("corrupt_bit_flip", true);
+  c.corrupt_truncate = f.get("corrupt_truncate", true);
+  c.corrupt_zero_run = f.get("corrupt_zero_run", true);
+  c.gpu_transient_every = static_cast<std::uint32_t>(f.get("gpu_transient_every", 0.0));
+  c.gpu_transient_probability = f.get("gpu_transient_probability", 0.0);
+  c.gpu_oom_every = static_cast<std::uint32_t>(f.get("gpu_oom_every", 0.0));
+  c.gpu_oom_probability = f.get("gpu_oom_probability", 0.0);
+  c.io_failure_every = static_cast<std::uint32_t>(f.get("io_failure_every", 0.0));
+  c.io_failure_probability = f.get("io_failure_probability", 0.0);
+  return c;
+}
+
 }  // namespace
 
 PipelineSummary run_pipeline(const json::Value& config) {
   PipelineSummary summary;
   summary.output_dir = config.get("output", std::string("foresight_out"));
   ensure_directory(summary.output_dir);
+
+  // --- Fault injection (disabled unless the config carries "faults") ---
+  // The plan outlives the whole run; the Scope installs it process-wide so
+  // the io layer, the GPU simulator, and the CBench corruption hook all see
+  // it. Destroyed (reverse order) before return.
+  std::unique_ptr<fault::FaultPlan> fault_plan;
+  std::optional<fault::Scope> fault_scope;
+  if (const auto fault_cfg = parse_faults(config)) {
+    fault_plan = std::make_unique<fault::FaultPlan>(*fault_cfg);
+    fault_scope.emplace(*fault_plan);
+  }
 
   // --- Dataset ---
   const io::Container dataset = build_dataset(config.at("dataset"));
@@ -69,9 +103,14 @@ PipelineSummary run_pipeline(const json::Value& config) {
   const auto intra_threads = static_cast<std::size_t>(config.get("threads", 1.0));
   const PoolHandle intra(intra_threads);
   ThreadPool* const intra_pool = intra.get();
+  const std::string on_error = config.get("on_error", std::string("continue"));
+  require(on_error == "continue" || on_error == "abort",
+          "pipeline: on_error must be 'continue' or 'abort'");
   Workflow workflow;
   CBench bench({.keep_reconstructed = true, .dataset_name = dataset_type,
-                .session_threads = intra_threads});
+                .session_threads = intra_threads,
+                .on_error = on_error == "abort" ? CBench::Options::OnError::kAbort
+                                                : CBench::Options::OnError::kContinue});
 
   std::vector<std::string> cbench_job_names;
 
@@ -115,6 +154,13 @@ PipelineSummary run_pipeline(const json::Value& config) {
             strprintf("cbench-%s-%s-%s", p.compressor.c_str(), field_name.c_str(),
                       cfg.label().c_str());
         cbench_job_names.push_back(job_name);
+        // Pre-fill the identity columns so a job that throws before
+        // assigning its row (on_error "abort") still reports which
+        // field/codec/config failed.
+        summary.results[slot].dataset = dataset_type;
+        summary.results[slot].field = field_name;
+        summary.results[slot].compressor = p.compressor;
+        summary.results[slot].config = cfg;
         Compressor* codec = compressors[pi].get();
         workflow.add(job_name, {}, [&, codec, field_name, cfg, slot] {
           const Field& field = dataset.find(field_name).field;
@@ -203,6 +249,7 @@ PipelineSummary run_pipeline(const json::Value& config) {
       SvgPlot rd("Rate-distortion", "bitrate (bits/value)", "PSNR (dB)");
       std::map<std::string, PlotSeries> series;
       for (const auto& r : summary.results) {
+        if (r.status != "ok") continue;  // failed rows carry no metrics to plot
         const std::string key = result_key(r);
         const auto pk_it = summary.pk_deviation.find(key);
         db.add_row({r.dataset, r.field, r.compressor, r.config.label(),
@@ -242,6 +289,25 @@ PipelineSummary run_pipeline(const json::Value& config) {
     summary.workflow_ok = workflow.run(&pool, jobs_requested);
   } else {
     summary.workflow_ok = workflow.run(nullptr);
+  }
+
+  // Under on_error "abort" a throwing cbench job is caught by the workflow
+  // executor instead of CBench; fold its record into the result row so the
+  // summary stays self-describing either way.
+  for (std::size_t i = 0; i < cbench_job_names.size(); ++i) {
+    const JobRecord& rec = workflow.records().at(cbench_job_names[i]);
+    if (rec.status == JobStatus::kFailed && summary.results[i].status == "ok") {
+      summary.results[i].status = "failed";
+      summary.results[i].error = rec.error;
+    }
+  }
+  for (const auto& r : summary.results) {
+    if (r.status != "ok") ++summary.failed_jobs;
+  }
+  if (fault_plan) {
+    const auto counts = fault_plan->counts();
+    summary.injected_faults =
+        counts.corruptions + counts.gpu_transients + counts.gpu_ooms + counts.io_failures;
   }
   return summary;
 }

@@ -21,9 +21,22 @@
 ///                "linking_length": 1.5, "min_members": 10},
 ///   "cinema": true,
 ///   "jobs": 4,     // workflow-level parallelism (jobs run concurrently)
-///   "threads": 1   // intra-field threads inside each codec/analysis kernel
+///   "threads": 1,  // intra-field threads inside each codec/analysis kernel
 ///                  // (1 serial, 0 global pool, N dedicated); output is
 ///                  // byte-identical for any value
+///   "on_error": "continue",  // per-job failure policy: "continue" records
+///                            // a failed row and keeps going (default),
+///                            // "abort" stops at the first failure
+///   "faults": {    // deterministic fault injection (absent = disabled)
+///     "seed": 1234,
+///     "corrupt_probability": 0.5,    // stream corruption between stages
+///     "gpu_transient_every": 7,      // every Nth device op throws transient
+///     "gpu_transient_probability": 0.0,
+///     "gpu_oom_every": 0,            // every Nth device op throws OOM
+///     "gpu_oom_probability": 0.0,
+///     "io_failure_every": 0,         // every Nth io::load/save fails
+///     "io_failure_probability": 0.0
+///   }
 /// }
 #pragma once
 
@@ -49,6 +62,8 @@ struct PipelineSummary {
   std::string output_dir;
   std::vector<std::string> artifacts;  ///< files written under output_dir
   bool workflow_ok = false;
+  std::size_t failed_jobs = 0;      ///< cbench rows with status != "ok"
+  std::size_t injected_faults = 0;  ///< total faults the plan fired (0 = none)
 };
 
 /// Runs the pipeline described by a parsed JSON config.

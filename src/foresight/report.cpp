@@ -39,8 +39,13 @@ std::string render_markdown_report(const std::vector<CBenchResult>& results,
     codecs.insert(r.compressor);
     fields.insert(r.field);
   }
+  std::size_t failed = 0;
+  for (const auto& r : results) {
+    if (r.status != "ok") ++failed;
+  }
   md += strprintf("- runs: **%zu** (%zu fields x %zu compressors)\n", results.size(),
                   fields.size(), codecs.size());
+  if (failed > 0) md += strprintf("- failed runs: **%zu** (marked below)\n", failed);
   md += strprintf("- dataset: %s\n", results.front().dataset.c_str());
   md += strprintf("- power-spectrum acceptance band: 1 ± %.0f%%\n\n",
                   options.pk_tolerance * 100.0);
@@ -52,6 +57,11 @@ std::string render_markdown_report(const std::vector<CBenchResult>& results,
     md += "|---|---|---|---|---|---|---|---|\n";
     for (const auto& r : results) {
       if (r.compressor != codec) continue;
+      if (r.status != "ok") {
+        md += strprintf("| %s | %s | FAILED | - | - | - | - | - |\n", r.field.c_str(),
+                        r.config.label().c_str());
+        continue;
+      }
       const std::string key = result_key(r);
       const auto pk_it = pk_deviation.find(key);
       std::string pk_cell = "-";
@@ -77,6 +87,7 @@ std::string render_markdown_report(const std::vector<CBenchResult>& results,
     const CBenchResult* best = nullptr;
     for (const auto& r : results) {
       if (r.field != field) continue;
+      if (r.status != "ok") continue;  // failed rows can't be picked
       const auto pk_it = pk_deviation.find(result_key(r));
       if (pk_it != pk_deviation.end() && pk_it->second > options.pk_tolerance) continue;
       if (!best || r.ratio > best->ratio) best = &r;

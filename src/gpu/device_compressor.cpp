@@ -1,11 +1,33 @@
 #include "gpu/device_compressor.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace cosmo::gpu {
 
 namespace {
 
 double stream_bitrate(std::size_t compressed_bytes, std::size_t points) {
   return static_cast<double>(compressed_bytes) * 8.0 / static_cast<double>(points);
+}
+
+/// Runs the device timing model with bounded exponential backoff on
+/// TransientError. Only the modeled device operation is retried — the codec
+/// work itself is bit-exact and already done by the caller. \p attempts
+/// records the total attempts (1 = no fault).
+template <typename Fn>
+TimingBreakdown run_with_retry(const RetryPolicy& policy, int& attempts, Fn&& model) {
+  double delay = policy.base_delay_seconds;
+  for (attempts = 1;; ++attempts) {
+    try {
+      return model();
+    } catch (const TransientError&) {
+      if (attempts >= policy.max_attempts) throw;
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      delay = std::min(delay * 2.0, policy.max_delay_seconds);
+    }
+  }
 }
 
 }  // namespace
@@ -24,8 +46,10 @@ void CuZfpDevice::compress_into(std::span<const float> data, const Dims& dims, d
   params.rate = rate;
   zfp::compress_into(data, dims, params, out.bytes);
   out.kernel_gbps = sim_.zfp_compress_kernel_gbps(rate);
-  out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
-                                      out.kernel_gbps);
+  out.timing = run_with_retry(retry_, out.attempts, [&] {
+    return sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
+                                  out.kernel_gbps);
+  });
 }
 
 DeviceDecompressResult CuZfpDevice::decompress(std::span<const std::uint8_t> bytes) {
@@ -39,8 +63,10 @@ void CuZfpDevice::decompress_into(std::span<const std::uint8_t> bytes,
   zfp::decompress_into(bytes, out.values, &out.dims);
   const double bitrate = stream_bitrate(bytes.size(), out.values.size());
   out.kernel_gbps = sim_.zfp_decompress_kernel_gbps(bitrate);
-  out.timing = sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
-                                        out.kernel_gbps);
+  out.timing = run_with_retry(retry_, out.attempts, [&] {
+    return sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
+                                    out.kernel_gbps);
+  });
 }
 
 DeviceCompressResult GpuSzDevice::compress_abs(std::span<const float> data, const Dims& dims,
@@ -58,8 +84,10 @@ void GpuSzDevice::compress_abs_into(std::span<const float> data, const Dims& dim
   params.abs_error_bound = abs_bound;
   sz::compress_into(data, dims, params, out.bytes);
   out.kernel_gbps = sim_.sz_kernel_gbps();
-  out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
-                                      out.kernel_gbps);
+  out.timing = run_with_retry(retry_, out.attempts, [&] {
+    return sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
+                                  out.kernel_gbps);
+  });
 }
 
 DeviceCompressResult GpuSzDevice::compress_pwrel(std::span<const float> data,
@@ -77,8 +105,10 @@ void GpuSzDevice::compress_pwrel_into(std::span<const float> data, const Dims& d
   params.pw_rel_bound = pwrel_bound;
   sz::compress_pwrel_into(data, dims, params, out.bytes);
   out.kernel_gbps = sim_.sz_kernel_gbps();
-  out.timing = sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
-                                      out.kernel_gbps);
+  out.timing = run_with_retry(retry_, out.attempts, [&] {
+    return sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
+                                  out.kernel_gbps);
+  });
 }
 
 DeviceDecompressResult GpuSzDevice::decompress(std::span<const std::uint8_t> bytes) {
@@ -95,8 +125,10 @@ void GpuSzDevice::decompress_into(std::span<const std::uint8_t> bytes,
     sz::decompress_into(bytes, out.values, &out.dims);
   }
   out.kernel_gbps = sim_.sz_kernel_gbps();
-  out.timing = sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
-                                        out.kernel_gbps);
+  out.timing = run_with_retry(retry_, out.attempts, [&] {
+    return sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
+                                    out.kernel_gbps);
+  });
 }
 
 }  // namespace cosmo::gpu

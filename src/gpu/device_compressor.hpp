@@ -13,11 +13,22 @@
 
 namespace cosmo::gpu {
 
+/// Bounded exponential backoff for transient device faults: a TransientError
+/// from the simulator is retried up to max_attempts times, sleeping
+/// base_delay, 2*base_delay, ... (capped at max_delay) between attempts.
+/// Any other error — including OutOfMemoryError — propagates immediately.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double base_delay_seconds = 0.5e-3;
+  double max_delay_seconds = 50e-3;
+};
+
 /// Output of a device-side compression.
 struct DeviceCompressResult {
   std::vector<std::uint8_t> bytes;
   TimingBreakdown timing;
   double kernel_gbps = 0.0;  ///< modeled kernel rate used
+  int attempts = 1;          ///< device attempts including retries
 };
 
 /// Output of a device-side decompression.
@@ -26,6 +37,7 @@ struct DeviceDecompressResult {
   Dims dims;
   TimingBreakdown timing;
   double kernel_gbps = 0.0;
+  int attempts = 1;  ///< device attempts including retries
 };
 
 /// cuZFP front-end (fixed-rate only, like the released cuZFP).
@@ -49,8 +61,11 @@ class CuZfpDevice {
   /// Throughput reporting is supported for cuZFP.
   static constexpr bool throughput_supported() { return true; }
 
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
  private:
   GpuSimulator& sim_;
+  RetryPolicy retry_;
 };
 
 /// GPU-SZ front-end (ABS and PW_REL-via-log modes; 3-D only, like the
@@ -80,8 +95,11 @@ class GpuSzDevice {
   /// callers should print N/A when this is false.
   static constexpr bool throughput_supported() { return false; }
 
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
  private:
   GpuSimulator& sim_;
+  RetryPolicy retry_;
 };
 
 }  // namespace cosmo::gpu

@@ -22,8 +22,9 @@ GpuSimulator::GpuSimulator(DeviceSpec spec, std::uint64_t seed)
 
 BufferId GpuSimulator::alloc(std::uint64_t bytes) {
   const auto capacity = static_cast<std::uint64_t>(spec_.memory_gb * 1e9);
-  require(used_ + bytes <= capacity,
-          "gpu: device memory oversubscribed on " + spec_.name);
+  if (used_ + bytes > capacity) {
+    throw OutOfMemoryError("gpu: device memory oversubscribed on " + spec_.name);
+  }
   const BufferId id = next_id_++;
   allocations_[id] = bytes;
   used_ += bytes;
@@ -81,9 +82,25 @@ double GpuSimulator::sz_kernel_gbps() const {
   return 0.02 * spec_.memory_bw_gbps * flop_factor(spec_);
 }
 
+void GpuSimulator::poll_faults(const char* where) {
+  // Explicitly attached plan first, then the process-wide one; both are
+  // nullptr in normal operation, so this is two pointer loads on the
+  // fault-free path and the timing model (and its jitter stream) is
+  // untouched.
+  if (fault_plan_ != nullptr) {
+    fault_plan_->maybe_throw_gpu_transient(where);
+    fault_plan_->maybe_throw_gpu_oom(where);
+  }
+  if (auto* global = fault::active(); global != nullptr && global != fault_plan_) {
+    global->maybe_throw_gpu_transient(where);
+    global->maybe_throw_gpu_oom(where);
+  }
+}
+
 TimingBreakdown GpuSimulator::model_compression(std::uint64_t raw_bytes,
                                                 std::uint64_t compressed_bytes,
                                                 double kernel_gbps) {
+  poll_faults("model_compression");
   TimingBreakdown t;
   // init: parameter upload + output allocation on device.
   t.init = transfer_seconds(256) + alloc_seconds(compressed_bytes);
@@ -96,6 +113,7 @@ TimingBreakdown GpuSimulator::model_compression(std::uint64_t raw_bytes,
 TimingBreakdown GpuSimulator::model_decompression(std::uint64_t raw_bytes,
                                                   std::uint64_t compressed_bytes,
                                                   double kernel_gbps) {
+  poll_faults("model_decompression");
   TimingBreakdown t;
   t.init = transfer_seconds(256) + alloc_seconds(raw_bytes);
   t.memcpy = transfer_seconds(compressed_bytes);  // H2D of compressed stream

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "gpu/specs.hpp"
 #include "random/rng.hpp"
@@ -44,9 +45,17 @@ class GpuSimulator {
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
 
-  /// Allocates device memory; throws Error when the device would be
-  /// oversubscribed.
+  /// Allocates device memory; throws OutOfMemoryError when the device
+  /// would be oversubscribed.
   BufferId alloc(std::uint64_t bytes);
+
+  /// Attaches a fault plan: every subsequent model_compression /
+  /// model_decompression call polls it for injected transient errors and
+  /// device-OOM. nullptr (the default) detaches it. The simulator also
+  /// polls the process-wide fault::active() plan, so pipelines can inject
+  /// faults without holding a simulator reference.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] fault::FaultPlan* fault_plan() const { return fault_plan_; }
   void free(BufferId id);
   [[nodiscard]] std::uint64_t used_bytes() const { return used_; }
 
@@ -85,7 +94,9 @@ class GpuSimulator {
 
  private:
   double jitter();
+  void poll_faults(const char* where);
 
+  fault::FaultPlan* fault_plan_ = nullptr;
   DeviceSpec spec_;
   Rng rng_;
   std::uint64_t used_ = 0;

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/fault.hpp"
+#include "common/str.hpp"
 #include "io/crc32.hpp"
 
 namespace cosmo::io {
@@ -47,15 +49,6 @@ std::uint64_t read_u64(std::ifstream& in) {
   return v;
 }
 
-std::string read_string(std::ifstream& in) {
-  const std::uint32_t len = read_u32(in);
-  require_format(len <= (1u << 20), "container: implausible string length");
-  std::string s(len, '\0');
-  in.read(s.data(), len);
-  if (!in) throw FormatError("container: truncated string");
-  return s;
-}
-
 }  // namespace
 
 const Variable& Container::find(const std::string& name) const {
@@ -72,6 +65,7 @@ std::size_t Container::payload_bytes() const {
 }
 
 void save(const Container& c, const std::string& path, Dialect dialect) {
+  if (auto* plan = fault::active()) plan->maybe_throw_io(path, "save");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw IoError("container: cannot open for writing: " + path);
   write_u32(out, dialect == Dialect::kGenericIo ? kMagicGio : kMagicH5l);
@@ -95,35 +89,71 @@ void save(const Container& c, const std::string& path, Dialect dialect) {
 }
 
 Container load(const std::string& path) {
+  if (auto* plan = fault::active()) plan->maybe_throw_io(path, "load");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("container: cannot open: " + path);
+
+  // Every declared count and length below is validated against the bytes
+  // that actually remain in the file before anything is allocated, so a
+  // corrupted header fails with FormatError (naming the variable and byte
+  // offset) instead of a multi-GB allocation.
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  auto offset = [&in]() { return static_cast<std::uint64_t>(in.tellg()); };
+  auto remaining = [&]() { return file_size - offset(); };
+  auto fail = [&](const std::string& var, const char* what) {
+    throw FormatError(strprintf("container: %s (variable '%s', byte offset %llu of %llu)", what,
+                                var.c_str(), static_cast<unsigned long long>(offset()),
+                                static_cast<unsigned long long>(file_size)));
+  };
+  auto read_string_at = [&](const std::string& var, const char* what) {
+    const std::uint32_t len = read_u32(in);
+    if (len > (1u << 20)) fail(var, "implausible string length");
+    if (len > remaining()) fail(var, what);
+    std::string s(len, '\0');
+    in.read(s.data(), len);
+    if (!in) fail(var, what);
+    return s;
+  };
+
   const std::uint32_t magic = read_u32(in);
   require_format(magic == kMagicGio || magic == kMagicH5l, "container: bad magic");
   const std::uint32_t count = read_u32(in);
-  require_format(count <= (1u << 16), "container: implausible variable count");
+  // A variable costs at least 48 header bytes (name length, 3 extents,
+  // attribute count, CRC) before any payload.
+  if (count > (1u << 16) || count > remaining() / 48) {
+    throw FormatError(strprintf("container: variable count %u exceeds file size %llu", count,
+                                static_cast<unsigned long long>(file_size)));
+  }
   Container c;
   c.variables.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     Variable v;
-    const std::string name = read_string(in);
+    const std::string name = read_string_at(strprintf("#%u", i), "truncated variable name");
     Dims dims;
     dims.nx = read_u64(in);
     dims.ny = read_u64(in);
     dims.nz = read_u64(in);
+    const std::size_t values = checked_stream_count(dims, "container");
+    if (values > remaining() / sizeof(float)) fail(name, "variable extents exceed file size");
     const std::uint32_t attr_count = read_u32(in);
-    require_format(attr_count <= (1u << 12), "container: implausible attribute count");
+    // Each attribute is two length-prefixed strings: at least 8 bytes.
+    if (attr_count > (1u << 12) || attr_count > remaining() / 8) {
+      fail(name, "attribute count exceeds file size");
+    }
     for (std::uint32_t a = 0; a < attr_count; ++a) {
-      std::string key = read_string(in);
-      v.attributes[std::move(key)] = read_string(in);
+      std::string key = read_string_at(name, "truncated attribute key");
+      v.attributes[std::move(key)] = read_string_at(name, "truncated attribute value");
     }
     const std::uint32_t stored_crc = read_u32(in);
+    if (values > remaining() / sizeof(float)) fail(name, "truncated variable data");
     v.field = Field(name, dims);
     in.read(reinterpret_cast<char*>(v.field.data.data()),
             static_cast<std::streamsize>(v.field.bytes()));
-    if (!in) throw FormatError("container: truncated variable data for '" + name + "'");
+    if (!in) fail(name, "truncated variable data");
     const std::uint32_t actual_crc = crc32(v.field.data.data(), v.field.bytes());
-    require_format(actual_crc == stored_crc,
-                   "container: CRC mismatch in variable '" + name + "'");
+    if (actual_crc != stored_crc) fail(name, "CRC mismatch");
     c.variables.push_back(std::move(v));
   }
   return c;

@@ -160,7 +160,12 @@ void decompress_pwrel_into(std::span<const std::uint8_t> bytes, std::vector<floa
   (void)thresh;
   const std::size_t log_len = read_u64(bytes, pos);
   const std::size_t cls_len = read_u64(bytes, pos);
-  require_format(pos + log_len + cls_len <= bytes.size(), "pwrel: truncated sections");
+  // Compare each length against the bytes that remain instead of summing:
+  // pos + log_len + cls_len wraps when a corrupted header carries lengths
+  // near SIZE_MAX. `count` itself needs no bound here — out.resize(count)
+  // only runs after both decoded sections were checked to match it.
+  require_format(log_len <= bytes.size() - pos, "pwrel: log section exceeds payload");
+  require_format(cls_len <= bytes.size() - pos - log_len, "pwrel: class section exceeds payload");
 
   Dims dims;
   std::vector<float> logs = decompress(bytes.subspan(pos, log_len), &dims, pool);

@@ -42,9 +42,13 @@ struct ByteReader {
   std::span<const std::uint8_t> bytes;
   std::size_t pos = 0;
 
+  // Overflow-safe: pos <= size() is an invariant, so compare against the
+  // remaining byte count instead of forming pos + n (which wraps when a
+  // corrupted header yields n near SIZE_MAX).
   void need(std::size_t n) const {
-    require_format(pos + n <= bytes.size(), "sz: truncated stream");
+    require_format(n <= bytes.size() - pos, "sz: truncated stream");
   }
+  [[nodiscard]] std::size_t remaining() const { return bytes.size() - pos; }
   std::uint8_t u8() {
     need(1);
     return bytes[pos++];
@@ -290,6 +294,18 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& re
   const std::size_t huff_len = r.u64();
   const std::size_t n_unpred = r.u64();
 
+  // Bound every count against the payload actually present before any
+  // allocation sizes on it: a corrupted header must fail with FormatError,
+  // not a multi-GB allocation or an infinite block walk (edge == 0 would
+  // never advance for_each_block).
+  const std::size_t count = checked_stream_count(dims, "sz");
+  require_format(edge >= 2, "sz: block edge out of range");
+  require_format(n_blocks <= r.remaining(), "sz: block count exceeds payload");
+  require_format(n_coefs <= (r.remaining() - n_blocks) / 16,
+                 "sz: regression coef count exceeds payload");
+  require_format(huff_len <= r.remaining(), "sz: huffman section exceeds payload");
+  require_format(n_unpred <= r.remaining() / 4, "sz: unpredictable count exceeds payload");
+
   const std::vector<std::uint8_t> block_flags = r.raw(n_blocks);
   std::vector<RegressionCoef> coefs(n_coefs);
   for (auto& c : coefs) {
@@ -303,7 +319,7 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& re
   for (auto& v : unpred) v = r.f32();
 
   const std::vector<std::uint32_t> codes = huffman_decode(huff, pool);
-  require_format(codes.size() == dims.count(), "sz: code count mismatch");
+  require_format(codes.size() == count, "sz: code count mismatch");
 
   const BlockLayout layout(dims, edge);
   require_format(layout.blocks.size() == n_blocks, "sz: block count mismatch");
@@ -331,7 +347,7 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& re
   require_format(coef_off[n_blocks] == coefs.size(), "sz: regression coef count mismatch");
 
   const Quantizer quant(eb, radius);
-  recon.assign(dims.count(), 0.0f);
+  recon.assign(count, 0.0f);
   parallel_for(pool, n_blocks, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t b = lo; b < hi; ++b) {
       const BlockRange& blk = layout.blocks[b];

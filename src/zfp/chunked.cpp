@@ -18,13 +18,13 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
 }
 
 std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t& pos) {
-  require_format(pos + 4 <= b.size(), "zfp-chunked: truncated");
+  require_format(4 <= b.size() - pos, "zfp-chunked: truncated");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[pos++]) << (8 * i);
   return v;
 }
 std::uint64_t get_u64(std::span<const std::uint8_t> b, std::size_t& pos) {
-  require_format(pos + 8 <= b.size(), "zfp-chunked: truncated");
+  require_format(8 <= b.size() - pos, "zfp-chunked: truncated");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[pos++]) << (8 * i);
   return v;
@@ -120,23 +120,42 @@ std::vector<float> decompress_chunked(std::span<const std::uint8_t> bytes,
   dims.nz = get_u64(bytes, pos);
   require_format(pos < bytes.size(), "zfp-chunked: truncated");
   const std::uint8_t axis = bytes[pos++];
+  require_format(axis <= 2, "zfp-chunked: bad slab axis");
   const std::uint32_t chunk_count = get_u32(bytes, pos);
+  // Every chunk costs a 24-byte table entry, so bound the table allocation
+  // by the bytes that remain before sizing anything on chunk_count (a
+  // corrupted u32 can claim up to 4G entries).
+  require_format(chunk_count <= (bytes.size() - pos) / 24,
+                 "zfp-chunked: chunk count exceeds payload");
   struct ChunkMeta {
     std::size_t lo, hi, len, offset;
   };
   std::vector<ChunkMeta> metas(chunk_count);
+  const std::size_t extent = axis == 2 ? dims.nz : axis == 1 ? dims.ny : dims.nx;
+  std::size_t prev_hi = 0;
   for (auto& m : metas) {
     m.lo = get_u64(bytes, pos);
     m.hi = get_u64(bytes, pos);
     m.len = get_u64(bytes, pos);
+    // Monotone non-overlapping slabs inside the extent: overlapping ranges
+    // would make the parallel scatter below a data race, and hi < lo would
+    // wrap the slab extent.
+    require_format(m.lo >= prev_hi && m.lo <= m.hi && m.hi <= extent,
+                   "zfp-chunked: bad slab range");
+    prev_hi = m.hi;
   }
   for (auto& m : metas) {
     m.offset = pos;
+    require_format(m.len <= bytes.size() - pos, "zfp-chunked: chunk overruns buffer");
     pos += m.len;
-    require_format(pos <= bytes.size(), "zfp-chunked: chunk overruns buffer");
   }
 
-  std::vector<float> out(dims.count());
+  // Each slab decodes through decompress(), whose own plausibility bound
+  // caps values at 512 per payload byte; the same cap therefore holds for
+  // the whole field and bounds this allocation by the stream size.
+  const std::size_t count = checked_stream_count(dims, "zfp-chunked");
+  require_format(count <= 512 * bytes.size(), "zfp-chunked: dims exceed payload");
+  std::vector<float> out(count);
   auto run_chunk = [&](std::size_t c) {
     const auto& m = metas[c];
     Dims slab_dims = dims;

@@ -236,7 +236,7 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& ou
     std::memcpy(&mode_param, &bits, 8);
   }
   const std::size_t payload_len = u64();
-  require_format(pos + payload_len <= bytes.size(), "zfp: truncated payload");
+  require_format(payload_len <= bytes.size() - pos, "zfp: truncated payload");
 
   const int rank = dims.rank();
   unsigned maxprec = kIntPrec;
@@ -248,9 +248,18 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& ou
     require_format(maxprec >= 1 && maxprec <= kIntPrec, "zfp: bad stored precision");
   }
 
-  out.assign(dims.count(), 0.0f);
+  // Bound the output allocation by the payload actually present: every
+  // encoded block spends at least one bit (the all-zero flag), so a stream
+  // with fewer payload bits than blocks is corrupt. This also keeps the
+  // fixed-rate seek below (lo * maxbits) far from overflow, together with
+  // the maxbits range check — 16 + 32*64 is the largest value compress()
+  // ever writes for any mode.
+  const std::size_t count = checked_stream_count(dims, "zfp");
+  require_format(maxbits >= 1 && maxbits <= 16u + 32u * 64u, "zfp: stored maxbits out of range");
   const BlockGrid grid(dims, rank);
   const std::size_t n_blocks = grid.count();
+  require_format(n_blocks <= payload_len * 8, "zfp: block count exceeds payload");
+  out.assign(count, 0.0f);
   if (mode == Mode::kFixedRate && pool != nullptr && n_blocks > kBlocksPerRange) {
     // Fixed-rate blocks all occupy exactly maxbits bits, so block b starts
     // at bit offset b * maxbits and ranges decode independently. Scatter

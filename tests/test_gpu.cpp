@@ -60,9 +60,9 @@ TEST(Sim, MemoryAccounting) {
 
 TEST(Sim, OversubscriptionRejected) {
   GpuSimulator sim(find_device("V100"));  // 16 GB
-  EXPECT_THROW(sim.alloc(20e9), InvalidArgument);
+  EXPECT_THROW(sim.alloc(20e9), OutOfMemoryError);
   const BufferId a = sim.alloc(10e9);
-  EXPECT_THROW(sim.alloc(10e9), InvalidArgument);
+  EXPECT_THROW(sim.alloc(10e9), OutOfMemoryError);
   sim.free(a);
   EXPECT_NO_THROW(sim.alloc(10e9));
 }

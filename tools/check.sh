@@ -5,6 +5,8 @@
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 #        tools/check.sh --tsan [build-dir]
 #        tools/check.sh --asan [build-dir]
+#        tools/check.sh --ubsan [build-dir]
+#        tools/check.sh --fuzz-smoke [build-dir]
 #        tools/check.sh --bench-smoke [build-dir]
 #
 # --tsan builds with ThreadSanitizer (-fsanitize=thread) and runs the tests
@@ -18,6 +20,16 @@
 # never read out of bounds" contract; run it whenever codec hot paths or
 # stream parsing change.
 #
+# --ubsan builds with UndefinedBehaviorSanitizer alone (no ASan shadow
+# memory, so it composes with workloads too large for the ASan run) and
+# runs the full test suite. Use it to flush signed-overflow, misaligned
+# access, and invalid-shift bugs across every component.
+#
+# --fuzz-smoke builds the fuzz_smoke tool under ASan+UBSan and throws
+# seeded corruption (500 cases per decode surface) at every codec and the
+# container loader. This is the executable form of the failure-containment
+# contract: corrupted streams decode or throw cosmo::Error, never crash.
+#
 # --bench-smoke builds Release and runs the single-thread kernel
 # microbenchmarks against the committed BENCH_kernels.json, failing if any
 # kernel regresses by more than 30%. Use it to catch accidental slowdowns
@@ -30,6 +42,8 @@ mode="plain"
 case "${1:-}" in
   --tsan) mode="tsan"; shift ;;
   --asan) mode="asan"; shift ;;
+  --ubsan) mode="ubsan"; shift ;;
+  --fuzz-smoke) mode="fuzz"; shift ;;
   --bench-smoke) mode="bench"; shift ;;
 esac
 
@@ -37,6 +51,8 @@ default_dir="build-check"
 case "${mode}" in
   tsan) default_dir="build-tsan" ;;
   asan) default_dir="build-asan" ;;
+  ubsan) default_dir="build-ubsan" ;;
+  fuzz) default_dir="build-fuzz-smoke" ;;
   bench) default_dir="build-bench-smoke" ;;
 esac
 build_dir="${1:-"${repo_root}/${default_dir}"}"
@@ -62,11 +78,17 @@ case "${mode}" in
       -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
     ;;
-  asan)
+  asan|fuzz)
     cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    ;;
+  ubsan)
+    cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-Wall -Wextra -fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all"
     ;;
   *)
     cmake -B "${build_dir}" -S "${repo_root}" \
@@ -76,6 +98,8 @@ case "${mode}" in
 esac
 if [[ "${mode}" == "bench" ]]; then
   cmake --build "${build_dir}" --target bench_report -j "${jobs}"
+elif [[ "${mode}" == "fuzz" ]]; then
+  cmake --build "${build_dir}" --target fuzz_smoke -j "${jobs}"
 else
   cmake --build "${build_dir}" -j "${jobs}"
 fi
@@ -96,6 +120,17 @@ case "${mode}" in
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
       "${build_dir}/tests/cosmo_tests" \
       --gtest_filter='BitStream.*:Huffman.*:Rle.*:Lzss.*:CodecFastPaths.*:Zfp*.*:Sz.*:Robustness.*'
+    ;;
+  ubsan)
+    # Full suite: UBSan alone is cheap enough to run everything.
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+    ;;
+  fuzz)
+    # Seeded corruption across every decode surface, under ASan+UBSan.
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      "${build_dir}/tools/fuzz_smoke" --cases 500
     ;;
   bench)
     # Regression gate against the committed kernel rates. 30% leaves

@@ -36,7 +36,7 @@ int usage() {
                "  info FILE\n"
                "  compress --codec NAME --mode MODE --value V --input FILE [--field NAME] [--gpu NAME] [--threads N]\n"
                "  estimate --input FILE --field NAME --bound B\n"
-               "  run CONFIG.json\n");
+               "  run CONFIG.json [--fail-fast]\n");
   return 2;
 }
 
@@ -153,8 +153,16 @@ int cmd_run(const CliArgs& args) {
     std::fprintf(stderr, "run: missing config file\n");
     return 2;
   }
-  const auto summary = foresight::run_pipeline_file(args.positional()[1]);
+  json::Value config = json::parse_file(args.positional()[1]);
+  // --fail-fast overrides the config: stop at the first failed job instead
+  // of recording it and continuing.
+  if (args.has("fail-fast")) config.as_object()["on_error"] = "abort";
+  const auto summary = foresight::run_pipeline(config);
   std::printf("%s", foresight::format_results(summary.results).c_str());
+  if (summary.failed_jobs > 0 || summary.injected_faults > 0) {
+    std::printf("failed jobs: %zu of %zu (injected faults: %zu)\n", summary.failed_jobs,
+                summary.results.size(), summary.injected_faults);
+  }
   for (const auto& [key, dev] : summary.pk_deviation) {
     std::printf("pk  %-55s %.5f\n", key.c_str(), dev);
   }

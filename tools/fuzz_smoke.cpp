@@ -1,0 +1,200 @@
+/// \file fuzz_smoke.cpp
+/// \brief Seeded corruption fuzzing over every decode surface.
+///
+/// For each codec (SZ, SZ-pw_rel, ZFP, ZFP-chunked, Huffman, LZSS, RLE,
+/// FPC) and the container loader, this tool encodes a clean stream once,
+/// then decodes N seeded mutations of it. The containment contract: every
+/// case either decodes or throws a cosmo::Error. Anything else — a crash,
+/// a sanitizer report (run under check.sh --fuzz-smoke), std::bad_alloc
+/// from an unbounded header-driven allocation, or a hang (ctest timeout) —
+/// fails the run.
+///
+/// Usage: fuzz_smoke [--cases N] [--seed S] [--tmp DIR]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codec/fpc.hpp"
+#include "codec/huffman.hpp"
+#include "codec/lzss.hpp"
+#include "codec/rle.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "cosmo/nyx_synth.hpp"
+#include "io/container.hpp"
+#include "sz/pwrel.hpp"
+#include "sz/sz.hpp"
+#include "zfp/chunked.hpp"
+#include "zfp/zfp.hpp"
+
+using namespace cosmo;
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// One decode surface: a clean stream plus the decoder under test.
+struct Surface {
+  std::string name;
+  std::vector<std::uint8_t> clean;
+  std::function<void(const std::vector<std::uint8_t>&)> decode;
+};
+
+/// Applies one seeded mutation. Reuses the three FaultPlan corruption kinds
+/// and adds a fourth, harsher one: overwrite a run with random bytes.
+void mutate(std::vector<std::uint8_t>& bytes, std::uint64_t& rng) {
+  if (bytes.empty()) return;
+  const std::uint64_t kind = splitmix64(rng) % 4;
+  const std::size_t offset = splitmix64(rng) % bytes.size();
+  switch (kind) {
+    case 0: {  // up to 8 scattered bit flips
+      const std::size_t flips = 1 + splitmix64(rng) % 8;
+      for (std::size_t i = 0; i < flips; ++i) {
+        fault::FaultPlan::apply(bytes, fault::Corruption::kBitFlip,
+                                splitmix64(rng) % bytes.size(), splitmix64(rng));
+      }
+      break;
+    }
+    case 1:
+      fault::FaultPlan::apply(bytes, fault::Corruption::kTruncate, offset, 0);
+      break;
+    case 2:
+      fault::FaultPlan::apply(bytes, fault::Corruption::kZeroRun, offset,
+                              1 + splitmix64(rng) % 256);
+      break;
+    default: {  // random-byte run
+      const std::size_t len =
+          std::min<std::size_t>(1 + splitmix64(rng) % 64, bytes.size() - offset);
+      for (std::size_t i = 0; i < len; ++i) {
+        bytes[offset + i] = static_cast<std::uint8_t>(splitmix64(rng));
+      }
+      break;
+    }
+  }
+}
+
+int run_surface(const Surface& surface, std::size_t cases, std::uint64_t seed) {
+  std::uint64_t rng = seed;
+  std::size_t decoded = 0, rejected = 0;
+  for (std::size_t i = 0; i < cases; ++i) {
+    std::vector<std::uint8_t> bytes = surface.clean;
+    mutate(bytes, rng);
+    try {
+      surface.decode(bytes);
+      ++decoded;
+    } catch (const Error&) {
+      ++rejected;  // the contained outcome for malformed input
+    }
+    // Any other exception type escapes and fails the tool: the decode
+    // surfaces promise cosmo::Error for malformed streams, nothing else.
+  }
+  std::printf("%-14s %6zu cases: %6zu decoded, %6zu rejected\n", surface.name.c_str(),
+              cases, decoded, rejected);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::size_t cases = static_cast<std::size_t>(args.get_int("cases", 500));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 20260805));
+  const char* env_tmp = std::getenv("TMPDIR");
+  const std::string tmp_dir = args.get("tmp", env_tmp != nullptr ? env_tmp : "/tmp");
+
+  // Source data: one synthetic cosmology field (3-D) drives every codec.
+  NyxConfig nyx_config;
+  nyx_config.dim = 16;
+  const io::Container dataset = generate_nyx(nyx_config);
+  const Field& field = dataset.find("baryon_density").field;
+
+  // Symbol / byte views for the entropy and dictionary coders.
+  std::vector<std::uint32_t> symbols(field.data.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    symbols[i] = static_cast<std::uint32_t>(i * 2654435761u % 1024u);
+  }
+  std::vector<std::uint8_t> raw_bytes(field.data.size());
+  for (std::size_t i = 0; i < raw_bytes.size(); ++i) {
+    raw_bytes[i] = static_cast<std::uint8_t>(static_cast<std::uint32_t>(field.data[i] * 255.f));
+  }
+
+  sz::Params sz_params;
+  sz_params.abs_error_bound = 0.1;
+  sz::PwRelParams pw_params;
+  pw_params.pw_rel_bound = 0.05;
+  zfp::Params zfp_params;
+  zfp_params.mode = zfp::Mode::kFixedRate;
+  zfp_params.rate = 8.0;
+
+  // Container surface: the clean stream is a saved file; decoding writes
+  // the mutated bytes back out and runs the loader.
+  NyxConfig small_config;
+  small_config.dim = 8;
+  const io::Container small = generate_nyx(small_config);
+  const std::string container_path = tmp_dir + "/fuzz_smoke_container.gio";
+  io::save(small, container_path, io::Dialect::kGenericIo);
+  std::vector<std::uint8_t> container_bytes;
+  {
+    std::ifstream in(container_path, std::ios::binary);
+    container_bytes.assign(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+  }
+
+  std::vector<Surface> surfaces;
+  surfaces.push_back({"sz", sz::compress(field.data, field.dims, sz_params),
+                      [](const std::vector<std::uint8_t>& b) { (void)sz::decompress(b); }});
+  surfaces.push_back(
+      {"sz-pwrel", sz::compress_pwrel(field.data, field.dims, pw_params),
+       [](const std::vector<std::uint8_t>& b) { (void)sz::decompress_pwrel(b); }});
+  surfaces.push_back({"zfp", zfp::compress(field.data, field.dims, zfp_params),
+                      [](const std::vector<std::uint8_t>& b) { (void)zfp::decompress(b); }});
+  surfaces.push_back(
+      {"zfp-chunked", zfp::compress_chunked(field.data, field.dims, zfp_params, nullptr, 4),
+       [](const std::vector<std::uint8_t>& b) { (void)zfp::decompress_chunked(b, nullptr); }});
+  surfaces.push_back(
+      {"huffman", huffman_encode(symbols),
+       [](const std::vector<std::uint8_t>& b) { (void)huffman_decode(b); }});
+  surfaces.push_back(
+      {"huffman-chunk", huffman_encode_chunked(symbols, nullptr, 1 << 10),
+       [](const std::vector<std::uint8_t>& b) { (void)huffman_decode(b); }});
+  surfaces.push_back({"lzss", lzss_encode(raw_bytes), [](const std::vector<std::uint8_t>& b) {
+                        (void)lzss_decode(b);
+                      }});
+  surfaces.push_back(
+      {"lzss-chunked", lzss_encode_chunked(raw_bytes, nullptr),
+       [](const std::vector<std::uint8_t>& b) { (void)lzss_decode_chunked(b, nullptr); }});
+  surfaces.push_back({"rle", rle_encode(raw_bytes), [](const std::vector<std::uint8_t>& b) {
+                        (void)rle_decode(b);
+                      }});
+  surfaces.push_back({"fpc", fpc_encode(field.data), [](const std::vector<std::uint8_t>& b) {
+                        (void)fpc_decode(b);
+                      }});
+  surfaces.push_back({"container", container_bytes,
+                      [&container_path](const std::vector<std::uint8_t>& b) {
+                        std::ofstream out(container_path, std::ios::binary | std::ios::trunc);
+                        out.write(reinterpret_cast<const char*>(b.data()),
+                                  static_cast<std::streamsize>(b.size()));
+                        out.close();
+                        (void)io::load(container_path);
+                      }});
+
+  int rc = 0;
+  for (std::size_t i = 0; i < surfaces.size(); ++i) {
+    // Distinct seed per surface so corpora don't correlate across codecs.
+    rc |= run_surface(surfaces[i], cases, seed + i * 0x9E3779B9ull);
+  }
+  std::remove(container_path.c_str());
+  std::printf("fuzz_smoke: OK (%zu surfaces x %zu cases, seed %llu)\n", surfaces.size(),
+              cases, static_cast<unsigned long long>(seed));
+  return rc;
+}
