@@ -2,11 +2,14 @@
 
 #include <cmath>
 
+#include "common/telemetry.hpp"
+
 namespace cosmo::analysis {
 
 Field cic_deposit(std::span<const float> x, std::span<const float> y,
                   std::span<const float> z, double box, std::size_t grid_edge,
                   ThreadPool* pool) {
+  TRACE_SPAN("analysis.cic_deposit");
   require(x.size() == y.size() && y.size() == z.size(), "cic: coordinate size mismatch");
   require(box > 0.0, "cic: box must be positive");
   require(grid_edge >= 2, "cic: grid edge must be >= 2");

@@ -1,5 +1,7 @@
 #include "analysis/fof.hpp"
 
+#include "common/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -106,6 +108,7 @@ double sq(double v) { return v * v; }
 
 FofResult fof(std::span<const float> x, std::span<const float> y,
               std::span<const float> z, const FofParams& params, ThreadPool* pool) {
+  TRACE_SPAN("analysis.fof");
   require(x.size() == y.size() && y.size() == z.size(), "fof: coordinate size mismatch");
   require(params.linking_length > 0.0, "fof: linking length must be positive");
   require(params.box > 0.0, "fof: box must be positive");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/telemetry.hpp"
 #include "fft/fft.hpp"
 
 namespace cosmo::analysis {
@@ -19,6 +20,7 @@ double freq(std::size_t i, std::size_t n) {
 
 std::vector<PkBin> power_spectrum(std::span<const float> values, const Dims& dims,
                                   std::size_t nbins, ThreadPool* pool) {
+  TRACE_SPAN("analysis.power_spectrum");
   require(dims.rank() == 3, "power_spectrum: field must be 3-D");
   require(values.size() == dims.count(), "power_spectrum: size mismatch");
   if (nbins == 0) nbins = dims.nx / 2;

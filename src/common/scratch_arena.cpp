@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry.hpp"
+
 namespace cosmo {
 
 namespace {
@@ -43,6 +45,9 @@ void ScratchArena::account_release(std::size_t capacity_bytes) {
   ++stats_.pooled_buffers;
   stats_.high_water_bytes =
       std::max(stats_.high_water_bytes, stats_.pooled_bytes + leased_bytes_);
+  telemetry::MetricsRegistry::instance()
+      .gauge("arena.high_water_bytes")
+      .maximize(static_cast<std::int64_t>(stats_.high_water_bytes));
 }
 
 void ScratchArena::release(std::unique_ptr<std::vector<float>> buf) {

@@ -1,0 +1,283 @@
+#include "common/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/str.hpp"
+
+namespace cosmo::telemetry {
+
+namespace {
+
+/// Ring state. The ring vector is only resized inside enable()/clear()
+/// (documented as quiescent-point operations); recording touches only the
+/// atomic cursor and its own slot.
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::vector<SpanRecord> ring;
+  std::atomic<std::uint64_t> cursor{0};
+  std::chrono::steady_clock::time_point epoch;
+  std::atomic<std::uint32_t> next_tid{0};
+};
+
+TraceState& trace_state() {
+  static TraceState state;
+  return state;
+}
+
+std::uint32_t this_thread_tid() {
+  thread_local std::uint32_t tid =
+      trace_state().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Per-thread nesting depth; spans record the depth at entry so the Chrome
+/// export (and trace-check) can validate that children nest inside parents.
+thread_local std::uint32_t t_span_depth = 0;
+
+std::string json_escape_name(const char* name) {
+  // Span names are string literals we control, but escape defensively.
+  std::string out;
+  for (const char* p = name; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::atomic<bool>& Tracer::enabled_flag() { return trace_state().enabled; }
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() -
+                                        trace_state().epoch)
+                                        .count());
+}
+
+void Tracer::enable(std::size_t capacity) {
+  TraceState& s = trace_state();
+  s.enabled.store(false, std::memory_order_relaxed);
+  s.ring.assign(std::max<std::size_t>(capacity, 1), SpanRecord{});
+  s.cursor.store(0, std::memory_order_relaxed);
+  s.epoch = std::chrono::steady_clock::now();
+  s.enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() {
+  trace_state().enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  TraceState& s = trace_state();
+  for (auto& r : s.ring) r = SpanRecord{};
+  s.cursor.store(0, std::memory_order_relaxed);
+  s.epoch = std::chrono::steady_clock::now();
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                    std::uint32_t depth) {
+  TraceState& s = trace_state();
+  if (s.ring.empty()) return;
+  const std::uint64_t seq = s.cursor.fetch_add(1, std::memory_order_relaxed);
+  SpanRecord& slot = s.ring[seq % s.ring.size()];
+  slot.name = name;
+  slot.tid = this_thread_tid();
+  slot.depth = depth;
+  slot.start_ns = start_ns;
+  slot.end_ns = end_ns;
+  slot.seq = seq;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() {
+  TraceState& s = trace_state();
+  const std::uint64_t n = s.cursor.load(std::memory_order_relaxed);
+  const std::uint64_t kept = std::min<std::uint64_t>(n, s.ring.size());
+  std::vector<SpanRecord> out;
+  out.reserve(static_cast<std::size_t>(kept));
+  for (const SpanRecord& r : s.ring) {
+    if (r.name != nullptr) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::size_t Tracer::dropped() {
+  TraceState& s = trace_state();
+  const std::uint64_t n = s.cursor.load(std::memory_order_relaxed);
+  return n > s.ring.size() ? static_cast<std::size_t>(n - s.ring.size()) : 0;
+}
+
+std::string Tracer::chrome_trace_json() {
+  const std::vector<SpanRecord> spans = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += strprintf(
+        "{\"name\":\"%s\",\"cat\":\"cosmo\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}",
+        json_escape_name(r.name).c_str(), static_cast<double>(r.start_ns) / 1e3,
+        static_cast<double>(r.end_ns - r.start_ns) / 1e3, r.tid, r.depth);
+  }
+  out += strprintf("],\"otherData\":{\"dropped_spans\":%zu}}", dropped());
+  return out;
+}
+
+void SpanScope::begin(const char* name) {
+  name_ = name;
+  depth_ = t_span_depth++;
+  start_ns_ = Tracer::now_ns();
+}
+
+void SpanScope::end() {
+  const std::uint64_t end_ns = Tracer::now_ns();
+  --t_span_depth;
+  // Record even if tracing was disabled mid-span: the span began under an
+  // enabled tracer and the buffer is still there.
+  Tracer::record(name_, start_ns_, end_ns, depth_);
+}
+
+void Gauge::set(std::int64_t v) {
+  v_.store(v, std::memory_order_relaxed);
+  maximize(v);
+}
+
+void Gauge::maximize(std::int64_t v) {
+  std::int64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() {
+  v_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::observe_seconds(double seconds) {
+  observe(seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // unique_ptr keeps metric addresses stable while the maps grow, so call
+  // sites can cache references.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : i.counters) {
+    out += strprintf("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : i.gauges) {
+    out += strprintf("%s\n    \"%s\": {\"value\": %lld, \"max\": %lld}", first ? "" : ",",
+                     name.c_str(), static_cast<long long>(g->value()),
+                     static_cast<long long>(g->max()));
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : i.histograms) {
+    out += strprintf(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"max\": %llu, \"buckets\": {",
+        first ? "" : ",", name.c_str(), static_cast<unsigned long long>(h->count()),
+        static_cast<unsigned long long>(h->sum()),
+        static_cast<unsigned long long>(h->max()));
+    bool bfirst = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket(b);
+      if (n == 0) continue;
+      out += strprintf("%s\"%zu\": %llu", bfirst ? "" : ", ", b,
+                       static_cast<unsigned long long>(n));
+      bfirst = false;
+    }
+    out += "}}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
+}
+
+}  // namespace cosmo::telemetry

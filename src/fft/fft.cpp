@@ -6,6 +6,8 @@
 #include <numbers>
 #include <unordered_map>
 
+#include "common/telemetry.hpp"
+
 namespace cosmo {
 
 namespace {
@@ -88,6 +90,7 @@ void fft_1d(std::span<cplx> data, bool inverse) {
 }
 
 void fft_3d(std::vector<cplx>& data, const Dims& dims, bool inverse, ThreadPool* pool) {
+  TRACE_SPAN("fft.3d");
   require(data.size() == dims.count(), "fft_3d: size mismatch");
   require(is_pow2(dims.nx) && is_pow2(dims.ny) && is_pow2(dims.nz),
           "fft_3d: extents must be powers of two");

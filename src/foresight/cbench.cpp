@@ -6,10 +6,18 @@
 
 #include "common/fault.hpp"
 #include "common/str.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 
 namespace cosmo::foresight {
+
+OnError parse_on_error(const std::string& text) {
+  if (text == "abort") return OnError::kAbort;
+  if (text == "continue") return OnError::kContinue;
+  throw InvalidArgument("on_error must be \"continue\" or \"abort\", got \"" + text +
+                        "\"");
+}
 
 namespace {
 
@@ -27,6 +35,7 @@ CBenchResult failed_result(const std::string& dataset, const Field& field,
   r.status = "failed";
   r.error = what;
   r.throughput_reportable = false;
+  telemetry::MetricsRegistry::instance().counter("cbench.failed_jobs").add();
   return r;
 }
 
@@ -57,6 +66,7 @@ CBenchResult CBench::run_session(const Field& field, const std::string& compress
 CBenchResult CBench::run_session(const Field& field, const std::string& compressor_name,
                                  CodecSession& session, const CompressorConfig& config,
                                  CompressResult& c, DecompressResult& d) const {
+  TRACE_SPAN("cbench.job");
   session.compress(field, config, c);
   // Fault-injection hook: an active plan may corrupt the stream between the
   // stages, exactly where a storage or transport error would hit it. The
@@ -80,19 +90,20 @@ CBenchResult CBench::run_session(const Field& field, const std::string& compress
   r.bit_rate = static_cast<double>(r.compressed_bytes) * 8.0 /
                static_cast<double>(field.data.size());
   r.distortion = analysis::compare(field.data, d.values);
-  r.compress_seconds = c.seconds;
-  r.decompress_seconds = d.seconds;
-  r.compress_gbps = throughput_gbps(r.original_bytes, c.seconds);
-  r.decompress_gbps = throughput_gbps(r.original_bytes, d.seconds);
-  r.throughput_reportable = c.throughput_reportable && !d.cpu_fallback;
-  r.cpu_fallback = c.cpu_fallback || d.cpu_fallback;
-  r.device_attempts = std::max(c.device_attempts, d.device_attempts);
-  r.has_gpu_timing = c.has_gpu_timing;
-  r.gpu_compress = c.gpu_timing;
-  r.gpu_decompress = d.gpu_timing;
+  r.compress = c.telemetry;
+  r.decompress = d.telemetry;
+  r.compress_gbps = throughput_gbps(r.original_bytes, c.telemetry.seconds);
+  r.decompress_gbps = throughput_gbps(r.original_bytes, d.telemetry.seconds);
+  r.throughput_reportable = c.throughput_reportable && !d.telemetry.cpu_fallback;
   if (options_.keep_reconstructed) {
     r.reconstructed = std::move(d.values);  // regrown by the next decompress
   }
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  metrics.counter("cbench.jobs").add();
+  metrics.counter("cbench.bytes_in").add(r.original_bytes);
+  metrics.counter("cbench.bytes_out").add(r.compressed_bytes);
+  metrics.histogram("cbench.compress_seconds").observe_seconds(r.compress.seconds);
+  metrics.histogram("cbench.decompress_seconds").observe_seconds(r.decompress.seconds);
   return r;
 }
 
@@ -100,6 +111,10 @@ std::vector<CBenchResult> CBench::sweep(
     const io::Container& container, Compressor& compressor,
     const std::vector<CompressorConfig>& configs,
     const std::function<bool(const std::string&)>& field_filter) const {
+  // Scheduler-level spans carry the "sweep." prefix: their count depends on
+  // the worker count, unlike the per-job codec spans, and the telemetry
+  // tests exclude them when comparing traces across thread counts.
+  TRACE_SPAN("sweep.run");
   // Jobs are enumerated (and slotted) up front in field-major, config-minor
   // order; workers claim indices from an atomic cursor, so the output order
   // never depends on the schedule.
@@ -154,8 +169,15 @@ std::vector<CBenchResult> CBench::sweep(
   const std::size_t workers = std::min(pool->size(), jobs.size());
   std::vector<std::future<void>> done;
   done.reserve(workers);
+  Timer queue_timer;
   for (std::size_t w = 0; w < workers; ++w) {
     done.push_back(pool->submit([&] {
+      // Time from submit until the pool actually starts the worker — the
+      // sweep's scheduling latency.
+      telemetry::MetricsRegistry::instance()
+          .histogram("sweep.queue_wait_seconds")
+          .observe_seconds(queue_timer.seconds());
+      TRACE_SPAN("sweep.worker");
       // Each worker gets its own session (arena, scratch) — sessions are
       // not thread-safe, and per-worker arenas keep reuse contention-free.
       // Sessions stay serial here: the jobs themselves occupy the pool, and
@@ -192,11 +214,25 @@ double CBench::overall_ratio(const std::vector<CBenchResult>& results) {
   return analysis::compression_ratio(original, compressed);
 }
 
+/// The flags column: host-fallback and device-retry facts at a glance.
+/// "cpu-fb" = a stage degraded to the host codec, "xN" = N device attempts
+/// (transient-fault retries), "-" = a clean run.
+std::string result_flags(const CBenchResult& r) {
+  std::string flags;
+  if (r.cpu_fallback()) flags = "cpu-fb";
+  if (r.device_attempts() > 1) {
+    if (!flags.empty()) flags += ",";
+    flags += strprintf("x%d", r.device_attempts());
+  }
+  return flags.empty() ? "-" : flags;
+}
+
 std::string format_results(const std::vector<CBenchResult>& results) {
   std::string out;
-  out += strprintf("%-22s %-10s %-16s %8s %8s %9s %10s %10s\n", "field", "codec",
-                   "config", "ratio", "bitrate", "PSNR(dB)", "comp GB/s", "dec GB/s");
-  out += std::string(100, '-') + "\n";
+  out += strprintf("%-22s %-10s %-16s %8s %8s %9s %10s %10s %-9s\n", "field", "codec",
+                   "config", "ratio", "bitrate", "PSNR(dB)", "comp GB/s", "dec GB/s",
+                   "flags");
+  out += std::string(110, '-') + "\n";
   for (const auto& r : results) {
     if (r.status != "ok") {
       out += strprintf("%-22s %-10s %-16s FAILED: %s\n", r.field.c_str(),
@@ -209,9 +245,10 @@ std::string format_results(const std::vector<CBenchResult>& results) {
     const std::string dec_thr = r.throughput_reportable
                                     ? strprintf("%10.2f", r.decompress_gbps)
                                     : strprintf("%10s", "N/A");
-    out += strprintf("%-22s %-10s %-16s %8.2f %8.3f %9.2f %s %s\n", r.field.c_str(),
+    out += strprintf("%-22s %-10s %-16s %8.2f %8.3f %9.2f %s %s %-9s\n", r.field.c_str(),
                      r.compressor.c_str(), r.config.label().c_str(), r.ratio, r.bit_rate,
-                     r.distortion.psnr_db, comp_thr.c_str(), dec_thr.c_str());
+                     r.distortion.psnr_db, comp_thr.c_str(), dec_thr.c_str(),
+                     result_flags(r).c_str());
   }
   return out;
 }

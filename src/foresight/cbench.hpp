@@ -40,25 +40,45 @@ struct CBenchResult {
 
   analysis::Distortion distortion;
 
-  double compress_seconds = 0.0;
-  double decompress_seconds = 0.0;
+  /// Per-stage timing/fallback/retry facts, verbatim from the codec session.
+  StageTelemetry compress;
+  StageTelemetry decompress;
   double compress_gbps = 0.0;   ///< uncompressed bytes / compress time
   double decompress_gbps = 0.0;
   bool throughput_reportable = true;
-  bool has_gpu_timing = false;
-  gpu::TimingBreakdown gpu_compress;
-  gpu::TimingBreakdown gpu_decompress;
 
   /// "ok", or "failed" when the job threw and the sweep was configured to
   /// continue; failed rows keep their identity columns but carry no metrics.
   std::string status = "ok";
-  std::string error;           ///< diagnostic for failed rows, empty otherwise
-  bool cpu_fallback = false;   ///< device-OOM degraded a stage to the host codec
-  int device_attempts = 1;     ///< max device attempts across stages (retries)
+  std::string error;  ///< diagnostic for failed rows, empty otherwise
 
   /// Reconstructed data for downstream analysis (kept when requested).
   std::vector<float> reconstructed;
+
+  [[nodiscard]] double compress_seconds() const { return compress.seconds; }
+  [[nodiscard]] double decompress_seconds() const { return decompress.seconds; }
+  [[nodiscard]] bool has_gpu_timing() const { return compress.has_gpu_timing; }
+  [[nodiscard]] const TimingBreakdown& gpu_compress() const { return compress.gpu_timing; }
+  [[nodiscard]] const TimingBreakdown& gpu_decompress() const {
+    return decompress.gpu_timing;
+  }
+  /// Device-OOM degraded a stage to the host codec.
+  [[nodiscard]] bool cpu_fallback() const { return any_cpu_fallback(compress, decompress); }
+  /// Max device attempts across stages (transient-fault retries).
+  [[nodiscard]] int device_attempts() const {
+    return max_device_attempts(compress, decompress);
+  }
 };
+
+/// What a sweep does when one job throws a cosmo::Error: kAbort rethrows
+/// (the historical behavior), kContinue records a "failed" row for that job
+/// and keeps sweeping. Non-cosmo exceptions always propagate. (Historically
+/// nested as CBench::Options::OnError; now shared with the pipeline's
+/// "on_error" config knob.)
+enum class OnError { kAbort, kContinue };
+
+/// Parses "abort" / "continue"; anything else throws InvalidArgument.
+OnError parse_on_error(const std::string& text);
 
 /// Benchmark driver.
 class CBench {
@@ -81,10 +101,9 @@ class CBench {
     /// sessions serial (the jobs themselves saturate the pool). Streams are
     /// byte-identical for any value (the codecs use fixed chunk geometry).
     std::size_t session_threads = 1;
-    /// What sweep() does when one job throws a cosmo::Error: kAbort rethrows
-    /// (the historical behavior), kContinue records a "failed" row for that
-    /// job and keeps sweeping. Non-cosmo exceptions always propagate.
-    enum class OnError { kAbort, kContinue };
+    /// Error policy for sweep()/run_one(); see foresight::OnError. The alias
+    /// keeps the historical Options::OnError spelling compiling.
+    using OnError = foresight::OnError;
     OnError on_error = OnError::kAbort;
   };
 
@@ -126,7 +145,13 @@ class CBench {
   Options options_{};
 };
 
-/// Renders results as an aligned text table (one line per result).
+/// Renders results as an aligned text table (one line per result), including
+/// a flags column with host-fallback / device-retry marks.
 std::string format_results(const std::vector<CBenchResult>& results);
+
+/// The flags cell for one result: "cpu-fb" when a stage degraded to the host
+/// codec, "xN" for N device attempts, "-" for a clean run (comma-joined when
+/// both apply). Shared by format_results and the markdown report.
+std::string result_flags(const CBenchResult& r);
 
 }  // namespace cosmo::foresight

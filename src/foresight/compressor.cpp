@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "common/thread_pool.hpp"
 #include "sz/pwrel.hpp"
@@ -29,6 +30,7 @@ DecompressResult CodecSession::decompress(const CompressResult& compressed) {
 }
 
 RunOutput Compressor::run(const Field& field, const CompressorConfig& config) {
+  TRACE_SPAN("session.run");
   const std::unique_ptr<CodecSession> session = open_session();
   CompressResult c;
   session->compress(field, config, c);
@@ -38,11 +40,8 @@ RunOutput Compressor::run(const Field& field, const CompressorConfig& config) {
   RunOutput out;
   out.bytes = std::move(c.bytes);
   out.reconstructed = std::move(d.values);
-  out.compress_seconds = c.seconds;
-  out.decompress_seconds = d.seconds;
-  out.has_gpu_timing = c.has_gpu_timing;
-  out.gpu_compress = c.gpu_timing;
-  out.gpu_decompress = d.gpu_timing;
+  out.compress = c.telemetry;
+  out.decompress = d.telemetry;
   out.throughput_reportable = c.throughput_reportable;
   return out;
 }
@@ -62,19 +61,9 @@ void drop_padding(const CompressResult& compressed, std::vector<float>& values) 
   if (compressed.original_values != 0) values.resize(compressed.original_values);
 }
 
-/// Result objects are reused across sweep jobs, so every session must set
-/// the status flags explicitly rather than rely on the defaults.
-void reset_cpu_flags(CompressResult& out) {
-  out.has_gpu_timing = false;
-  out.throughput_reportable = true;
-  out.cpu_fallback = false;
-  out.device_attempts = 1;
-}
-
-void reset_cpu_flags(DecompressResult& out) {
-  out.has_gpu_timing = false;
-  out.cpu_fallback = false;
-  out.device_attempts = 1;
+/// Counts host fallbacks across all sessions; surfaced via --metrics-out.
+void count_cpu_fallback() {
+  telemetry::MetricsRegistry::instance().counter("codec.cpu_fallbacks").add();
 }
 
 class GpuSzSession final : public CodecSession {
@@ -84,11 +73,10 @@ class GpuSzSession final : public CodecSession {
 
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
+    TRACE_SPAN("gpu-sz.compress");
     check_mode(config.mode, {"abs", "pw_rel"}, "gpu-sz");
-    out.has_gpu_timing = true;
+    out.telemetry.reset_gpu();
     out.throughput_reportable = gpu::GpuSzDevice::throughput_supported();
-    out.cpu_fallback = false;
-    out.device_attempts = 1;
     out.original_values = field.data.size();
 
     ShapeAdapter shaped(field, arena());
@@ -108,15 +96,12 @@ class GpuSzSession final : public CodecSession {
       return;
     }
     out.bytes.swap(dev_c_.bytes);
-    out.gpu_timing = dev_c_.timing;
-    out.seconds = dev_c_.timing.total();
-    out.device_attempts = dev_c_.attempts;
+    out.telemetry.set_device(dev_c_.timing, dev_c_.attempts);
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
-    out.has_gpu_timing = true;
-    out.cpu_fallback = false;
-    out.device_attempts = 1;
+    TRACE_SPAN("gpu-sz.decompress");
+    out.telemetry.reset_gpu();
     dev_d_.values.swap(out.values);
     try {
       device_.decompress_into(compressed.bytes, dev_d_);
@@ -127,17 +112,16 @@ class GpuSzSession final : public CodecSession {
     }
     out.values.swap(dev_d_.values);
     drop_padding(compressed, out.values);
-    out.gpu_timing = dev_d_.timing;
-    out.seconds = dev_d_.timing.total();
-    out.device_attempts = dev_d_.attempts;
+    out.telemetry.set_device(dev_d_.timing, dev_d_.attempts);
   }
 
  private:
   void compress_on_host(const ShapeAdapter& shaped, const CompressorConfig& config,
                         CompressResult& out) {
-    out.cpu_fallback = true;
-    out.has_gpu_timing = false;
+    TRACE_SPAN("gpu-sz.compress.host_fallback");
+    out.telemetry.mark_cpu_fallback();
     out.throughput_reportable = false;
+    count_cpu_fallback();
     Timer timer;
     if (config.mode == "abs") {
       sz::Params params;
@@ -148,12 +132,13 @@ class GpuSzSession final : public CodecSession {
       params.pw_rel_bound = config.value;
       sz::compress_pwrel_into(shaped.values(), shaped.dims(), params, out.bytes);
     }
-    out.seconds = timer.seconds();
+    out.telemetry.seconds = timer.seconds();
   }
 
   void decompress_on_host(const CompressResult& compressed, DecompressResult& out) {
-    out.cpu_fallback = true;
-    out.has_gpu_timing = false;
+    TRACE_SPAN("gpu-sz.decompress.host_fallback");
+    out.telemetry.mark_cpu_fallback();
+    count_cpu_fallback();
     Timer timer;
     if (sz::is_pwrel_stream(compressed.bytes)) {
       sz::decompress_pwrel_into(compressed.bytes, out.values);
@@ -161,7 +146,7 @@ class GpuSzSession final : public CodecSession {
       sz::decompress_into(compressed.bytes, out.values);
     }
     drop_padding(compressed, out.values);
-    out.seconds = timer.seconds();
+    out.telemetry.seconds = timer.seconds();
   }
 
   gpu::GpuSzDevice device_;
@@ -182,6 +167,7 @@ class GpuSzCompressor final : public Compressor {
   /// jitter stream and must stay call-order deterministic.
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
                                                           ThreadPool* /*pool*/) override {
+    TRACE_SPAN("session.open");
     return std::make_unique<GpuSzSession>(sim_, arena);
   }
 
@@ -196,11 +182,10 @@ class CuZfpSession final : public CodecSession {
 
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
+    TRACE_SPAN("cuzfp.compress");
     check_mode(config.mode, {"rate"}, "cuzfp");
-    out.has_gpu_timing = true;
+    out.telemetry.reset_gpu();
     out.throughput_reportable = true;
-    out.cpu_fallback = false;
-    out.device_attempts = 1;
     out.original_values = field.data.size();
 
     // "the compression quality on the 1-D data is not as good as that on
@@ -212,46 +197,43 @@ class CuZfpSession final : public CodecSession {
     } catch (const OutOfMemoryError&) {
       // Device-OOM: fixed-rate ZFP on the host emits the identical stream;
       // record the fallback and stop reporting device throughput.
+      TRACE_SPAN("cuzfp.compress.host_fallback");
       out.bytes.swap(dev_c_.bytes);
-      out.cpu_fallback = true;
-      out.has_gpu_timing = false;
+      out.telemetry.mark_cpu_fallback();
       out.throughput_reportable = false;
+      count_cpu_fallback();
       zfp::Params params;
       params.mode = zfp::Mode::kFixedRate;
       params.rate = config.value;
       Timer timer;
       zfp::compress_into(shaped.values(), shaped.dims(), params, out.bytes);
-      out.seconds = timer.seconds();
+      out.telemetry.seconds = timer.seconds();
       return;
     }
     out.bytes.swap(dev_c_.bytes);
-    out.gpu_timing = dev_c_.timing;
-    out.seconds = dev_c_.timing.total();
-    out.device_attempts = dev_c_.attempts;
+    out.telemetry.set_device(dev_c_.timing, dev_c_.attempts);
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
-    out.has_gpu_timing = true;
-    out.cpu_fallback = false;
-    out.device_attempts = 1;
+    TRACE_SPAN("cuzfp.decompress");
+    out.telemetry.reset_gpu();
     dev_d_.values.swap(out.values);
     try {
       device_.decompress_into(compressed.bytes, dev_d_);
     } catch (const OutOfMemoryError&) {
+      TRACE_SPAN("cuzfp.decompress.host_fallback");
       out.values.swap(dev_d_.values);
-      out.cpu_fallback = true;
-      out.has_gpu_timing = false;
+      out.telemetry.mark_cpu_fallback();
+      count_cpu_fallback();
       Timer timer;
       zfp::decompress_into(compressed.bytes, out.values);
       drop_padding(compressed, out.values);
-      out.seconds = timer.seconds();
+      out.telemetry.seconds = timer.seconds();
       return;
     }
     out.values.swap(dev_d_.values);
     drop_padding(compressed, out.values);
-    out.gpu_timing = dev_d_.timing;
-    out.seconds = dev_d_.timing.total();
-    out.device_attempts = dev_d_.attempts;
+    out.telemetry.set_device(dev_d_.timing, dev_d_.attempts);
   }
 
  private:
@@ -273,6 +255,7 @@ class CuZfpCompressor final : public Compressor {
   /// jitter stream and must stay call-order deterministic.
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
                                                           ThreadPool* /*pool*/) override {
+    TRACE_SPAN("session.open");
     return std::make_unique<CuZfpSession>(sim_, arena);
   }
 
@@ -286,8 +269,10 @@ class SzCpuSession final : public CodecSession {
 
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
+    TRACE_SPAN("sz-cpu.compress");
     check_mode(config.mode, {"abs", "pw_rel"}, "sz-cpu");
-    reset_cpu_flags(out);
+    out.telemetry.reset_cpu();
+    out.throughput_reportable = true;
     out.original_values = field.data.size();
     Timer timer;
     if (config.mode == "abs") {
@@ -299,11 +284,12 @@ class SzCpuSession final : public CodecSession {
       params.pw_rel_bound = config.value;
       sz::compress_pwrel_into(field.data, field.dims, params, out.bytes, nullptr, pool());
     }
-    out.seconds = timer.seconds();
+    out.telemetry.seconds = timer.seconds();
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
-    reset_cpu_flags(out);
+    TRACE_SPAN("sz-cpu.decompress");
+    out.telemetry.reset_cpu();
     Timer timer;
     if (sz::is_pwrel_stream(compressed.bytes)) {
       sz::decompress_pwrel_into(compressed.bytes, out.values, nullptr, pool());
@@ -311,7 +297,7 @@ class SzCpuSession final : public CodecSession {
       sz::decompress_into(compressed.bytes, out.values, nullptr, pool());
     }
     drop_padding(compressed, out.values);
-    out.seconds = timer.seconds();
+    out.telemetry.seconds = timer.seconds();
   }
 };
 
@@ -324,6 +310,7 @@ class SzCpuCompressor final : public Compressor {
   [[nodiscard]] bool concurrent_sessions_safe() const override { return true; }
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
                                                           ThreadPool* pool) override {
+    TRACE_SPAN("session.open");
     return std::make_unique<SzCpuSession>(arena, pool);
   }
 };
@@ -349,21 +336,24 @@ class ZfpCpuSession final : public CodecSession {
 
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
+    TRACE_SPAN("zfp-cpu.compress");
     check_mode(config.mode, {"rate", "accuracy", "precision"}, "zfp-cpu");
-    reset_cpu_flags(out);
+    out.telemetry.reset_cpu();
+    out.throughput_reportable = true;
     out.original_values = field.data.size();
     const zfp::Params params = zfp_params_for(config);
     Timer timer;
     zfp::compress_into(field.data, field.dims, params, out.bytes, nullptr, pool());
-    out.seconds = timer.seconds();
+    out.telemetry.seconds = timer.seconds();
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
-    reset_cpu_flags(out);
+    TRACE_SPAN("zfp-cpu.decompress");
+    out.telemetry.reset_cpu();
     Timer timer;
     zfp::decompress_into(compressed.bytes, out.values, nullptr, pool());
     drop_padding(compressed, out.values);
-    out.seconds = timer.seconds();
+    out.telemetry.seconds = timer.seconds();
   }
 };
 
@@ -376,6 +366,7 @@ class ZfpCpuCompressor final : public Compressor {
   [[nodiscard]] bool concurrent_sessions_safe() const override { return true; }
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
                                                           ThreadPool* pool) override {
+    TRACE_SPAN("session.open");
     return std::make_unique<ZfpCpuSession>(arena, pool);
   }
 };
@@ -389,23 +380,26 @@ class ZfpOmpSession final : public CodecSession {
 
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
+    TRACE_SPAN("zfp-omp.compress");
     check_mode(config.mode, {"rate", "accuracy"}, "zfp-omp");
-    reset_cpu_flags(out);
+    out.telemetry.reset_cpu();
+    out.throughput_reportable = true;
     out.original_values = field.data.size();
     const zfp::Params params = zfp_params_for(config);
     ThreadPool& pool = global_pool();
     Timer timer;
     out.bytes = zfp::compress_chunked(field.data, field.dims, params, &pool);
-    out.seconds = timer.seconds();
+    out.telemetry.seconds = timer.seconds();
   }
 
   void decompress(const CompressResult& compressed, DecompressResult& out) override {
-    reset_cpu_flags(out);
+    TRACE_SPAN("zfp-omp.decompress");
+    out.telemetry.reset_cpu();
     ThreadPool& pool = global_pool();
     Timer timer;
     out.values = zfp::decompress_chunked(compressed.bytes, &pool);
     drop_padding(compressed, out.values);
-    out.seconds = timer.seconds();
+    out.telemetry.seconds = timer.seconds();
   }
 };
 
@@ -421,6 +415,7 @@ class ZfpOmpCompressor final : public Compressor {
   /// Ignores the session pool: chunks already fan out over the global pool.
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
                                                           ThreadPool* /*pool*/) override {
+    TRACE_SPAN("session.open");
     return std::make_unique<ZfpOmpSession>(arena);
   }
 };

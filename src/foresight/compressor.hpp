@@ -26,6 +26,7 @@
 
 #include "common/field.hpp"
 #include "common/scratch_arena.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "foresight/shape_adapter.hpp"
 #include "gpu/device_compressor.hpp"
@@ -42,45 +43,59 @@ struct CompressorConfig {
 };
 
 /// Output of the compression stage. Self-contained: everything decompress()
-/// needs travels with the stream.
+/// needs travels with the stream. The per-stage timing/fallback/retry facts
+/// live in one StageTelemetry (shared with DecompressResult / RunOutput /
+/// CBenchResult); the old field names survive as read accessors.
 struct CompressResult {
   std::vector<std::uint8_t> bytes;
   /// Value count of the original field, before any 1-D -> 3-D zero padding;
   /// decompress() truncates reconstructions back to this. 0 means unknown
   /// (no truncation).
   std::size_t original_values = 0;
-  double seconds = 0.0;  ///< measured (CPU) or modeled total (GPU)
-  bool has_gpu_timing = false;
-  gpu::TimingBreakdown gpu_timing;
+  StageTelemetry telemetry;
   bool throughput_reportable = true;  ///< false for the GPU-SZ prototype
-  /// Device-OOM degraded this job to the matching host codec: the stream is
-  /// bit-identical, seconds is measured host wall time, and throughput is
-  /// marked non-reportable (it no longer describes the device).
-  bool cpu_fallback = false;
-  int device_attempts = 1;  ///< device attempts incl. transient-fault retries
+
+  [[nodiscard]] double seconds() const { return telemetry.seconds; }
+  [[nodiscard]] bool has_gpu_timing() const { return telemetry.has_gpu_timing; }
+  [[nodiscard]] const TimingBreakdown& gpu_timing() const { return telemetry.gpu_timing; }
+  [[nodiscard]] bool cpu_fallback() const { return telemetry.cpu_fallback; }
+  [[nodiscard]] int device_attempts() const { return telemetry.device_attempts; }
 };
 
 /// Output of the decompression stage.
 struct DecompressResult {
   std::vector<float> values;
-  double seconds = 0.0;  ///< measured (CPU) or modeled total (GPU)
-  bool has_gpu_timing = false;
-  gpu::TimingBreakdown gpu_timing;
-  bool cpu_fallback = false;  ///< device-OOM degraded to the host codec
-  int device_attempts = 1;    ///< device attempts incl. transient-fault retries
+  StageTelemetry telemetry;
+
+  [[nodiscard]] double seconds() const { return telemetry.seconds; }
+  [[nodiscard]] bool has_gpu_timing() const { return telemetry.has_gpu_timing; }
+  [[nodiscard]] const TimingBreakdown& gpu_timing() const { return telemetry.gpu_timing; }
+  [[nodiscard]] bool cpu_fallback() const { return telemetry.cpu_fallback; }
+  [[nodiscard]] int device_attempts() const { return telemetry.device_attempts; }
 };
 
 /// Everything a single fused compress+decompress run produces (the legacy
-/// shape; produced by Compressor::run()).
+/// shape; produced by Compressor::run()). Carries the full per-stage
+/// telemetry, so run() reports fallback/retry facts identically to the
+/// staged path.
 struct RunOutput {
   std::vector<std::uint8_t> bytes;
   std::vector<float> reconstructed;
-  double compress_seconds = 0.0;    ///< measured (CPU) or modeled total (GPU)
-  double decompress_seconds = 0.0;
-  bool has_gpu_timing = false;
-  gpu::TimingBreakdown gpu_compress;
-  gpu::TimingBreakdown gpu_decompress;
+  StageTelemetry compress;
+  StageTelemetry decompress;
   bool throughput_reportable = true;  ///< false for the GPU-SZ prototype
+
+  [[nodiscard]] double compress_seconds() const { return compress.seconds; }
+  [[nodiscard]] double decompress_seconds() const { return decompress.seconds; }
+  [[nodiscard]] bool has_gpu_timing() const { return compress.has_gpu_timing; }
+  [[nodiscard]] const TimingBreakdown& gpu_compress() const { return compress.gpu_timing; }
+  [[nodiscard]] const TimingBreakdown& gpu_decompress() const {
+    return decompress.gpu_timing;
+  }
+  [[nodiscard]] bool cpu_fallback() const { return any_cpu_fallback(compress, decompress); }
+  [[nodiscard]] int device_attempts() const {
+    return max_device_attempts(compress, decompress);
+  }
 };
 
 /// One codec execution context. Sessions own (or borrow) a ScratchArena so

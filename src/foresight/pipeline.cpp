@@ -1,5 +1,6 @@
 #include "foresight/pipeline.hpp"
 
+#include <fstream>
 #include <optional>
 
 #include "analysis/halo_stats.hpp"
@@ -7,6 +8,7 @@
 #include "analysis/ssim.hpp"
 #include "common/fault.hpp"
 #include "common/str.hpp"
+#include "common/telemetry.hpp"
 #include "cosmo/hacc_synth.hpp"
 #include "cosmo/nyx_synth.hpp"
 #include "foresight/cinema.hpp"
@@ -63,12 +65,37 @@ std::optional<fault::Config> parse_faults(const json::Value& config) {
   return c;
 }
 
+/// Resolves a telemetry output path against the run's output dir (absolute
+/// paths pass through) and writes \p content there.
+std::string write_telemetry_file(const std::string& output_dir, const std::string& path,
+                                 const std::string& content) {
+  const std::string resolved =
+      path.empty() || path.front() == '/' ? path : output_dir + "/" + path;
+  std::ofstream out(resolved, std::ios::trunc);
+  require(out.good(), "pipeline: cannot write telemetry file " + resolved);
+  out << content;
+  return resolved;
+}
+
 }  // namespace
 
 PipelineSummary run_pipeline(const json::Value& config) {
   PipelineSummary summary;
   summary.output_dir = config.get("output", std::string("foresight_out"));
   ensure_directory(summary.output_dir);
+
+  // --- Observability (tracing stays disabled unless asked for) ---
+  std::string trace_out;
+  std::string metrics_out;
+  if (config.contains("telemetry")) {
+    const json::Value& t = config.at("telemetry");
+    trace_out = t.get("trace_out", std::string());
+    metrics_out = t.get("metrics_out", std::string());
+    if (t.get("trace", !trace_out.empty())) {
+      telemetry::Tracer::enable(static_cast<std::size_t>(t.get(
+          "trace_capacity", static_cast<double>(telemetry::Tracer::kDefaultCapacity))));
+    }
+  }
 
   // --- Fault injection (disabled unless the config carries "faults") ---
   // The plan outlives the whole run; the Scope installs it process-wide so
@@ -103,14 +130,10 @@ PipelineSummary run_pipeline(const json::Value& config) {
   const auto intra_threads = static_cast<std::size_t>(config.get("threads", 1.0));
   const PoolHandle intra(intra_threads);
   ThreadPool* const intra_pool = intra.get();
-  const std::string on_error = config.get("on_error", std::string("continue"));
-  require(on_error == "continue" || on_error == "abort",
-          "pipeline: on_error must be 'continue' or 'abort'");
+  const OnError on_error = parse_on_error(config.get("on_error", std::string("continue")));
   Workflow workflow;
   CBench bench({.keep_reconstructed = true, .dataset_name = dataset_type,
-                .session_threads = intra_threads,
-                .on_error = on_error == "abort" ? CBench::Options::OnError::kAbort
-                                                : CBench::Options::OnError::kContinue});
+                .session_threads = intra_threads, .on_error = on_error});
 
   std::vector<std::string> cbench_job_names;
 
@@ -308,6 +331,16 @@ PipelineSummary run_pipeline(const json::Value& config) {
     const auto counts = fault_plan->counts();
     summary.injected_faults =
         counts.corruptions + counts.gpu_transients + counts.gpu_ooms + counts.io_failures;
+  }
+  if (telemetry::Tracer::enabled() && !trace_out.empty()) {
+    telemetry::Tracer::disable();
+    summary.trace_path = write_telemetry_file(summary.output_dir, trace_out,
+                                              telemetry::Tracer::chrome_trace_json());
+  }
+  if (!metrics_out.empty()) {
+    summary.metrics_path = write_telemetry_file(
+        summary.output_dir, metrics_out,
+        telemetry::MetricsRegistry::instance().to_json());
   }
   return summary;
 }

@@ -27,6 +27,13 @@
 ///   "on_error": "continue",  // per-job failure policy: "continue" records
 ///                            // a failed row and keeps going (default),
 ///                            // "abort" stops at the first failure
+///   "telemetry": {  // observability (absent = tracing stays disabled)
+///     "trace": true,             // enable span tracing for this run
+///     "trace_capacity": 65536,   // ring size in spans (oldest overwritten)
+///     "trace_out": "trace.json",    // Chrome trace_event JSON, written
+///                                   // under "output" unless absolute
+///     "metrics_out": "metrics.json" // MetricsRegistry JSON dump
+///   },
 ///   "faults": {    // deterministic fault injection (absent = disabled)
 ///     "seed": 1234,
 ///     "corrupt_probability": 0.5,    // stream corruption between stages
@@ -64,6 +71,8 @@ struct PipelineSummary {
   bool workflow_ok = false;
   std::size_t failed_jobs = 0;      ///< cbench rows with status != "ok"
   std::size_t injected_faults = 0;  ///< total faults the plan fired (0 = none)
+  std::string trace_path;    ///< trace JSON written this run ("" = tracing off)
+  std::string metrics_path;  ///< metrics JSON written this run ("" = none)
 };
 
 /// Runs the pipeline described by a parsed JSON config.

@@ -40,26 +40,40 @@ std::string render_markdown_report(const std::vector<CBenchResult>& results,
     fields.insert(r.field);
   }
   std::size_t failed = 0;
+  std::size_t fallbacks = 0;
+  std::size_t retried = 0;
   for (const auto& r : results) {
     if (r.status != "ok") ++failed;
+    if (r.cpu_fallback()) ++fallbacks;
+    if (r.device_attempts() > 1) ++retried;
   }
   md += strprintf("- runs: **%zu** (%zu fields x %zu compressors)\n", results.size(),
                   fields.size(), codecs.size());
   if (failed > 0) md += strprintf("- failed runs: **%zu** (marked below)\n", failed);
+  if (fallbacks > 0) {
+    md += strprintf("- host fallbacks: **%zu** (device-OOM degraded to the CPU codec)\n",
+                    fallbacks);
+  }
+  if (retried > 0) {
+    md += strprintf("- runs with device retries: **%zu**\n", retried);
+  }
   md += strprintf("- dataset: %s\n", results.front().dataset.c_str());
   md += strprintf("- power-spectrum acceptance band: 1 ± %.0f%%\n\n",
                   options.pk_tolerance * 100.0);
 
-  // One table per codec.
+  // One table per codec. The flags column surfaces host fallbacks and
+  // device retries (see result_flags); FAILED rows carry the error text.
   for (const auto& codec : codecs) {
     md += "## " + codec + "\n\n";
-    md += "| field | config | ratio | bits/value | PSNR (dB) | pk dev | halo dev | SSIM |\n";
-    md += "|---|---|---|---|---|---|---|---|\n";
+    md += "| field | config | ratio | bits/value | PSNR (dB) | pk dev | halo dev | SSIM "
+          "| flags |\n";
+    md += "|---|---|---|---|---|---|---|---|---|\n";
     for (const auto& r : results) {
       if (r.compressor != codec) continue;
       if (r.status != "ok") {
-        md += strprintf("| %s | %s | FAILED | - | - | - | - | - |\n", r.field.c_str(),
-                        r.config.label().c_str());
+        md += strprintf("| %s | %s | FAILED | - | - | - | - | - | %s |\n",
+                        r.field.c_str(), r.config.label().c_str(),
+                        r.error.empty() ? "failed" : r.error.c_str());
         continue;
       }
       const std::string key = result_key(r);
@@ -72,10 +86,10 @@ std::string render_markdown_report(const std::vector<CBenchResult>& results,
       // Halo deviations are keyed by the pseudo-field "position".
       const std::string halo_cell =
           lookup(halo_deviation, "position|" + codec + "|" + r.config.label(), "%.4f");
-      md += strprintf("| %s | %s | %.2fx | %.3f | %.2f | %s | %s | %s |\n",
+      md += strprintf("| %s | %s | %.2fx | %.3f | %.2f | %s | %s | %s | %s |\n",
                       r.field.c_str(), r.config.label().c_str(), r.ratio, r.bit_rate,
                       r.distortion.psnr_db, pk_cell.c_str(), halo_cell.c_str(),
-                      lookup(ssim, key, "%.4f").c_str());
+                      lookup(ssim, key, "%.4f").c_str(), result_flags(r).c_str());
     }
     md += "\n";
   }

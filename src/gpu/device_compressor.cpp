@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/telemetry.hpp"
+
 namespace cosmo::gpu {
 
 namespace {
@@ -23,6 +25,7 @@ TimingBreakdown run_with_retry(const RetryPolicy& policy, int& attempts, Fn&& mo
     try {
       return model();
     } catch (const TransientError&) {
+      telemetry::MetricsRegistry::instance().counter("gpu.transient_retries").add();
       if (attempts >= policy.max_attempts) throw;
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
       delay = std::min(delay * 2.0, policy.max_delay_seconds);
@@ -41,6 +44,7 @@ DeviceCompressResult CuZfpDevice::compress(std::span<const float> data, const Di
 
 void CuZfpDevice::compress_into(std::span<const float> data, const Dims& dims, double rate,
                                 DeviceCompressResult& out) {
+  TRACE_SPAN("gpu.device.compress");
   zfp::Params params;
   params.mode = zfp::Mode::kFixedRate;
   params.rate = rate;
@@ -60,6 +64,7 @@ DeviceDecompressResult CuZfpDevice::decompress(std::span<const std::uint8_t> byt
 
 void CuZfpDevice::decompress_into(std::span<const std::uint8_t> bytes,
                                   DeviceDecompressResult& out) {
+  TRACE_SPAN("gpu.device.decompress");
   zfp::decompress_into(bytes, out.values, &out.dims);
   const double bitrate = stream_bitrate(bytes.size(), out.values.size());
   out.kernel_gbps = sim_.zfp_decompress_kernel_gbps(bitrate);
@@ -78,6 +83,7 @@ DeviceCompressResult GpuSzDevice::compress_abs(std::span<const float> data, cons
 
 void GpuSzDevice::compress_abs_into(std::span<const float> data, const Dims& dims,
                                     double abs_bound, DeviceCompressResult& out) {
+  TRACE_SPAN("gpu.device.compress");
   require(dims.rank() == 3,
           "GPU-SZ supports only 3-D data; reshape 1-D inputs first (paper Sec. IV-B4)");
   sz::Params params;
@@ -99,6 +105,7 @@ DeviceCompressResult GpuSzDevice::compress_pwrel(std::span<const float> data,
 
 void GpuSzDevice::compress_pwrel_into(std::span<const float> data, const Dims& dims,
                                       double pwrel_bound, DeviceCompressResult& out) {
+  TRACE_SPAN("gpu.device.compress");
   require(dims.rank() == 3,
           "GPU-SZ supports only 3-D data; reshape 1-D inputs first (paper Sec. IV-B4)");
   sz::PwRelParams params;
@@ -119,6 +126,7 @@ DeviceDecompressResult GpuSzDevice::decompress(std::span<const std::uint8_t> byt
 
 void GpuSzDevice::decompress_into(std::span<const std::uint8_t> bytes,
                                   DeviceDecompressResult& out) {
+  TRACE_SPAN("gpu.device.decompress");
   if (sz::is_pwrel_stream(bytes)) {
     sz::decompress_pwrel_into(bytes, out.values, &out.dims);
   } else {

@@ -19,21 +19,17 @@
 #include <map>
 
 #include "common/fault.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "gpu/specs.hpp"
 #include "random/rng.hpp"
 
 namespace cosmo::gpu {
 
-/// Fig. 7's four components, in seconds.
-struct TimingBreakdown {
-  double init = 0.0;    ///< parameter upload + device allocation
-  double kernel = 0.0;  ///< (de)compression kernel
-  double memcpy = 0.0;  ///< compressed-data transfer over PCIe
-  double free = 0.0;    ///< device deallocation
-
-  [[nodiscard]] double total() const { return init + kernel + memcpy + free; }
-};
+/// Fig. 7's four components, in seconds. The definition moved to
+/// common/telemetry.hpp so StageTelemetry can embed it without a gpu
+/// dependency; this alias keeps the historical gpu::TimingBreakdown name.
+using TimingBreakdown = ::cosmo::TimingBreakdown;
 
 /// A device-resident allocation handle.
 using BufferId = std::uint64_t;

@@ -6,6 +6,7 @@
 
 #include "codec/huffman.hpp"
 #include "codec/lzss.hpp"
+#include "common/telemetry.hpp"
 
 namespace cosmo::sz {
 
@@ -56,6 +57,7 @@ std::vector<std::uint8_t> compress_pwrel(std::span<const float> data, const Dims
 void compress_pwrel_into(std::span<const float> data, const Dims& dims,
                          const PwRelParams& params, std::vector<std::uint8_t>& out,
                          Stats* stats, ThreadPool* pool) {
+  TRACE_SPAN("sz.pwrel.compress");
   require(data.size() == dims.count(), "compress_pwrel: data/dims size mismatch");
   require(!data.empty(), "compress_pwrel: empty input");
   require(params.pw_rel_bound > 0.0 && params.pw_rel_bound < 1.0,
@@ -149,6 +151,7 @@ std::vector<float> decompress_pwrel(std::span<const std::uint8_t> bytes, Dims* o
 
 void decompress_pwrel_into(std::span<const std::uint8_t> bytes, std::vector<float>& out,
                            Dims* out_dims, ThreadPool* pool) {
+  TRACE_SPAN("sz.pwrel.decompress");
   std::size_t pos = 0;
   require_format(read_u32(bytes, pos) == kMagic, "pwrel: bad magic");
   const std::uint64_t count = read_u64(bytes, pos);

@@ -4,6 +4,7 @@
 
 #include "codec/huffman.hpp"
 #include "codec/lzss.hpp"
+#include "common/telemetry.hpp"
 #include "sz/predictor.hpp"
 #include "sz/quantizer.hpp"
 
@@ -161,7 +162,9 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
   std::vector<RegressionCoef> block_coefs(n_blocks);
   std::vector<std::vector<float>> block_unpred(n_blocks);
 
-  parallel_for(pool, n_blocks, [&](std::size_t lo, std::size_t hi) {
+  {
+    TRACE_SPAN("sz.lorenzo_quantize");
+    parallel_for(pool, n_blocks, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t b = lo; b < hi; ++b) {
       const BlockRange& blk = layout.blocks[b];
       bool use_reg = false;
@@ -194,7 +197,8 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
         }
       }
     }
-  }, /*min_grain=*/1);
+    }, /*min_grain=*/1);
+  }
 
   std::size_t n_regression = 0;
   std::vector<RegressionCoef> coefs;
@@ -209,7 +213,11 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
 
   // Chunked container in both the serial and threaded paths: the chunk
   // geometry is a fixed constant, so the bytes match for any thread count.
-  const std::vector<std::uint8_t> huff = huffman_encode_chunked(codes, pool);
+  std::vector<std::uint8_t> huff;
+  {
+    TRACE_SPAN("sz.huffman_encode");
+    huff = huffman_encode_chunked(codes, pool);
+  }
 
   ByteWriter w;
   w.u32(kMagic);
@@ -235,6 +243,7 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
 
   out.clear();
   if (params.lossless) {
+    TRACE_SPAN("sz.lzss_encode");
     std::vector<std::uint8_t> packed = lzss_encode_chunked(w.bytes, pool);
     if (packed.size() < w.bytes.size()) {
       out.push_back(1);
@@ -272,6 +281,7 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& re
   std::vector<std::uint8_t> payload_storage;
   std::span<const std::uint8_t> payload;
   if (packed) {
+    TRACE_SPAN("sz.lzss_decode");
     const std::vector<std::uint8_t> lossless(bytes.begin() + 1, bytes.end());
     payload_storage =
         is_chunked_lzss(lossless) ? lzss_decode_chunked(lossless, pool) : lzss_decode(lossless);
@@ -318,7 +328,11 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& re
   std::vector<float> unpred(n_unpred);
   for (auto& v : unpred) v = r.f32();
 
-  const std::vector<std::uint32_t> codes = huffman_decode(huff, pool);
+  std::vector<std::uint32_t> codes;
+  {
+    TRACE_SPAN("sz.huffman_decode");
+    codes = huffman_decode(huff, pool);
+  }
   require_format(codes.size() == count, "sz: code count mismatch");
 
   const BlockLayout layout(dims, edge);
@@ -348,6 +362,7 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& re
 
   const Quantizer quant(eb, radius);
   recon.assign(count, 0.0f);
+  TRACE_SPAN("sz.reconstruct");
   parallel_for(pool, n_blocks, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t b = lo; b < hi; ++b) {
       const BlockRange& blk = layout.blocks[b];

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/telemetry.hpp"
 #include "zfp/block_codec.hpp"
 
 namespace cosmo::zfp {
@@ -134,6 +135,7 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
 
   const BlockGrid grid(dims, rank);
   const std::size_t n_blocks = grid.count();
+  TRACE_SPAN("zfp.block_scan.encode");
   BitWriter bw;
   if (pool != nullptr && n_blocks > kBlocksPerRange) {
     // Encode fixed block ranges into private writers, then concatenate in
@@ -259,6 +261,7 @@ void decompress_into(std::span<const std::uint8_t> bytes, std::vector<float>& ou
   const BlockGrid grid(dims, rank);
   const std::size_t n_blocks = grid.count();
   require_format(n_blocks <= payload_len * 8, "zfp: block count exceeds payload");
+  TRACE_SPAN("zfp.block_scan.decode");
   out.assign(count, 0.0f);
   if (mode == Mode::kFixedRate && pool != nullptr && n_blocks > kBlocksPerRange) {
     // Fixed-rate blocks all occupy exactly maxbits bits, so block b starts

@@ -304,17 +304,17 @@ TEST(Fallback, CuZfpOomFallsBackToHostZfp) {
   const auto cuzfp = make_compressor("cuzfp", &sim);
   const auto session = cuzfp->open_session();
   const CompressResult c = session->compress(field, {"rate", 8.0});
-  EXPECT_TRUE(c.cpu_fallback);
-  EXPECT_FALSE(c.has_gpu_timing);
+  EXPECT_TRUE(c.cpu_fallback());
+  EXPECT_FALSE(c.has_gpu_timing());
   EXPECT_FALSE(c.throughput_reportable);
-  EXPECT_GE(c.seconds, 0.0);
+  EXPECT_GE(c.seconds(), 0.0);
 
   // The fallback stream is bit-identical to the host codec's.
   const auto host = make_compressor("zfp-cpu");
   EXPECT_EQ(c.bytes, host->open_session()->compress(field, {"rate", 8.0}).bytes);
 
   const DecompressResult d = session->decompress(c);
-  EXPECT_TRUE(d.cpu_fallback);
+  EXPECT_TRUE(d.cpu_fallback());
   EXPECT_EQ(d.values.size(), field.data.size());
   EXPECT_GE(plan.counts().gpu_ooms, 2u);
 }
@@ -331,15 +331,15 @@ TEST(Fallback, GpuSzOomFallsBackToHostSz) {
   const auto gpu_sz = make_compressor("gpu-sz", &sim);
   const auto session = gpu_sz->open_session();
   const CompressResult c = session->compress(field, {"abs", 0.1});
-  EXPECT_TRUE(c.cpu_fallback);
-  EXPECT_FALSE(c.has_gpu_timing);
+  EXPECT_TRUE(c.cpu_fallback());
+  EXPECT_FALSE(c.has_gpu_timing());
   EXPECT_FALSE(c.throughput_reportable);
 
   const auto host = make_compressor("sz-cpu");
   EXPECT_EQ(c.bytes, host->open_session()->compress(field, {"abs", 0.1}).bytes);
 
   const DecompressResult d = session->decompress(c);
-  EXPECT_TRUE(d.cpu_fallback);
+  EXPECT_TRUE(d.cpu_fallback());
   EXPECT_EQ(d.values.size(), field.data.size());
 }
 
@@ -356,13 +356,13 @@ TEST(Fallback, OomFreeJobsResetTheFallbackFlags) {
   const auto session = cuzfp->open_session();
   CompressResult c;
   session->compress(field, {"rate", 8.0}, c);  // op 1: clean
-  EXPECT_FALSE(c.cpu_fallback);
+  EXPECT_FALSE(c.cpu_fallback());
   session->compress(field, {"rate", 8.0}, c);  // op 2: clean
   session->compress(field, {"rate", 8.0}, c);  // op 3: OOM -> fallback
-  EXPECT_TRUE(c.cpu_fallback);
+  EXPECT_TRUE(c.cpu_fallback());
   session->compress(field, {"rate", 8.0}, c);  // op 4 (fresh counter run): clean
-  EXPECT_FALSE(c.cpu_fallback) << "stale fallback flag survived result reuse";
-  EXPECT_TRUE(c.has_gpu_timing);
+  EXPECT_FALSE(c.cpu_fallback()) << "stale fallback flag survived result reuse";
+  EXPECT_TRUE(c.has_gpu_timing());
   EXPECT_TRUE(c.throughput_reportable);
 }
 
@@ -568,7 +568,7 @@ TEST(Disabled, InactivePlanPreservesStreamsAndModeledTimings) {
 
   EXPECT_EQ(without.bytes, with.bytes);
   // The jitter stream must be untouched: modeled timings match exactly.
-  EXPECT_DOUBLE_EQ(without.seconds, with.seconds);
+  EXPECT_DOUBLE_EQ(without.seconds(), with.seconds());
 }
 
 }  // namespace

@@ -62,8 +62,8 @@ TEST(Compressor, SzCpuAbsHonorsBound) {
   for (std::size_t i = 0; i < f.data.size(); ++i) {
     EXPECT_LE(std::fabs(out.reconstructed[i] - f.data[i]), 0.05 * (1 + 1e-9));
   }
-  EXPECT_FALSE(out.has_gpu_timing);
-  EXPECT_GE(out.compress_seconds, 0.0);
+  EXPECT_FALSE(out.has_gpu_timing());
+  EXPECT_GE(out.compress_seconds(), 0.0);
   EXPECT_TRUE(out.throughput_reportable);
 }
 
@@ -107,7 +107,7 @@ TEST(Compressor, GpuSzAuto3dConversionFor1d) {
   for (std::size_t i = 0; i < f.data.size(); ++i) {
     EXPECT_LE(std::fabs(out.reconstructed[i] - f.data[i]), 0.1 * (1 + 1e-9));
   }
-  EXPECT_TRUE(out.has_gpu_timing);
+  EXPECT_TRUE(out.has_gpu_timing());
   EXPECT_FALSE(out.throughput_reportable);  // GPU-SZ prototype
 }
 
@@ -116,11 +116,11 @@ TEST(Compressor, CuZfpProducesGpuTiming) {
   const auto codec = make_compressor("cuzfp", &sim);
   const Field f = smooth_field(Dims::d3(16, 16, 16), 166);
   const RunOutput out = codec->run(f, {"rate", 4.0});
-  EXPECT_TRUE(out.has_gpu_timing);
+  EXPECT_TRUE(out.has_gpu_timing());
   EXPECT_TRUE(out.throughput_reportable);
-  EXPECT_GT(out.gpu_compress.kernel, 0.0);
-  EXPECT_GT(out.gpu_decompress.memcpy, 0.0);
-  EXPECT_DOUBLE_EQ(out.compress_seconds, out.gpu_compress.total());
+  EXPECT_GT(out.gpu_compress().kernel, 0.0);
+  EXPECT_GT(out.gpu_decompress().memcpy, 0.0);
+  EXPECT_DOUBLE_EQ(out.compress_seconds(), out.gpu_compress().total());
 }
 
 TEST(Compressor, ZfpOmpMatchesZfpCpuQuality) {

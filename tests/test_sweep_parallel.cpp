@@ -37,11 +37,11 @@ void expect_identical(const std::vector<CBenchResult>& serial,
     EXPECT_EQ(serial[i].reconstructed, parallel[i].reconstructed);
     if (modeled_timing) {
       // Modeled GPU timings are part of the result contract, not noise.
-      EXPECT_EQ(serial[i].compress_seconds, parallel[i].compress_seconds);
-      EXPECT_EQ(serial[i].decompress_seconds, parallel[i].decompress_seconds);
-      EXPECT_EQ(serial[i].gpu_compress.kernel, parallel[i].gpu_compress.kernel);
-      EXPECT_EQ(serial[i].gpu_compress.memcpy, parallel[i].gpu_compress.memcpy);
-      EXPECT_EQ(serial[i].gpu_decompress.kernel, parallel[i].gpu_decompress.kernel);
+      EXPECT_EQ(serial[i].compress_seconds(), parallel[i].compress_seconds());
+      EXPECT_EQ(serial[i].decompress_seconds(), parallel[i].decompress_seconds());
+      EXPECT_EQ(serial[i].gpu_compress().kernel, parallel[i].gpu_compress().kernel);
+      EXPECT_EQ(serial[i].gpu_compress().memcpy, parallel[i].gpu_compress().memcpy);
+      EXPECT_EQ(serial[i].gpu_decompress().kernel, parallel[i].gpu_decompress().kernel);
     }
   }
 }

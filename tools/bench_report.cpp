@@ -6,6 +6,12 @@
 /// and a byte-identity verdict for every entry (the determinism guarantee
 /// is checked for real on every run, not assumed).
 ///
+/// A third mode, --trace-overhead, measures what the telemetry layer costs
+/// when tracing is disabled (the production default): the per-span price of
+/// a disabled TRACE_SPAN, the span count an enabled SZ/ZFP round trip
+/// records, and the implied fractional overhead — which must stay under the
+/// 1% contract docs/architecture.md promises (exit 1 otherwise).
+///
 /// A second mode, --kernels, runs single-thread microbenchmarks of the
 /// codec building blocks (bitstream put/get, CRC32, quantizer, Huffman,
 /// LZSS, ZFP block codec, full SZ/ZFP pipelines) and writes
@@ -33,6 +39,7 @@
 #include "codec/huffman.hpp"
 #include "codec/lzss.hpp"
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "io/crc32.hpp"
@@ -140,7 +147,11 @@ int usage() {
                "  single-thread per-kernel microbenchmarks -> BENCH_kernels.json\n"
                "  --pre embeds a previous run's rates as pre_pr_mb_s + speedup;\n"
                "  --baseline fails (exit 1) when any kernel is more than F (default\n"
-               "  0.30) slower than the same kernel in FILE\n");
+               "  0.30) slower than the same kernel in FILE\n"
+               "\n"
+               "       bench_report --trace-overhead [--edge N] [--repeats R] [--out FILE]\n"
+               "  measures the disabled-tracing span cost and fails (exit 1) if the\n"
+               "  implied overhead on an SZ/ZFP round trip exceeds 1%%\n");
   return 2;
 }
 
@@ -368,12 +379,95 @@ int run_kernel_bench(std::size_t edge, int repeats, const std::string& out_path,
   return regressed ? 1 : 0;
 }
 
+/// Measures the telemetry contract: with tracing disabled (the production
+/// default) a TRACE_SPAN costs one relaxed atomic load, so the instrumented
+/// hot paths must run at effectively uninstrumented speed. Reported as
+/// ns/span x spans-per-round-trip / round-trip seconds; the densest real
+/// workload (SZ + ZFP at edge^3) has to stay under 1%.
+int run_trace_overhead(std::size_t edge, int repeats, const std::string& out_path) {
+  using telemetry::Tracer;
+  require(!Tracer::enabled(), "bench: tracer unexpectedly enabled");
+
+  // --- price of one disabled span (best of repeats, amortized over 16M).
+  constexpr std::size_t kSpans = 1u << 24;
+  double span_loop_s = 1e300;
+  for (int rep = 0; rep < std::max(repeats, 3); ++rep) {
+    Timer t;
+    for (std::size_t i = 0; i < kSpans; ++i) {
+      TRACE_SPAN("bench.disabled_span");
+    }
+    span_loop_s = std::min(span_loop_s, t.seconds());
+  }
+  const double ns_per_span = span_loop_s / static_cast<double>(kSpans) * 1e9;
+
+  // --- how many spans one SZ + ZFP round trip actually records, and how
+  // long it takes with tracing off. Enabled run first (span census), then
+  // the timed disabled runs.
+  const Dims dims = Dims::d3(edge, edge, edge);
+  const std::vector<float> field = nyx_like_field(dims, 11);
+  sz::Params sp;
+  sp.abs_error_bound = 0.1;
+  zfp::Params zp;
+  zp.rate = 8.0;
+  const auto round_trip = [&] {
+    std::vector<std::uint8_t> stream;
+    std::vector<float> recon;
+    sz::compress_into(field, dims, sp, stream, nullptr, nullptr);
+    sz::decompress_into(stream, recon, nullptr, nullptr);
+    zfp::compress_into(field, dims, zp, stream, nullptr, nullptr);
+    zfp::decompress_into(stream, recon, nullptr, nullptr);
+  };
+
+  Tracer::enable();
+  round_trip();
+  const std::size_t spans_per_trip = Tracer::snapshot().size();
+  Tracer::disable();
+  Tracer::clear();
+
+  double trip_s = 1e300;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Timer t;
+    round_trip();
+    trip_s = std::min(trip_s, t.seconds());
+  }
+
+  const double overhead =
+      trip_s > 0.0 ? static_cast<double>(spans_per_trip) * ns_per_span * 1e-9 / trip_s : 0.0;
+  const bool ok = overhead < 0.01;
+  std::printf("disabled span        %.2f ns\n", ns_per_span);
+  std::printf("spans per round trip %zu\n", spans_per_trip);
+  std::printf("round trip (traced code, tracing off)  %.4fs\n", trip_s);
+  std::printf("implied overhead     %.5f%% (%s 1%% contract)\n", overhead * 100.0,
+              ok ? "within" : "VIOLATES");
+
+  json::Object root;
+  root["schema"] = "cosmo-bench-trace-overhead/1";
+  root["edge"] = edge;
+  root["repeats"] = repeats;
+  root["disabled_span_ns"] = ns_per_span;
+  root["spans_per_round_trip"] = spans_per_trip;
+  root["round_trip_seconds"] = trip_s;
+  root["overhead_fraction"] = overhead;
+  root["within_contract"] = ok;
+  const std::string text = json::Value(std::move(root)).dump(2) + "\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t edge = 256;
   int repeats = 2;
   bool kernels = false;
+  bool trace_overhead = false;
   std::string out_path;
   std::string pre_path;
   std::string baseline_path;
@@ -388,6 +482,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--kernels") {
       kernels = true;
+    } else if (arg == "--trace-overhead") {
+      trace_overhead = true;
     } else if (arg == "--pre" && i + 1 < argc) {
       pre_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -399,7 +495,18 @@ int main(int argc, char** argv) {
     }
   }
   if (edge < 8 || repeats < 1) return usage();
-  if (out_path.empty()) out_path = kernels ? "BENCH_kernels.json" : "BENCH_throughput.json";
+  if (out_path.empty()) {
+    out_path = trace_overhead ? "BENCH_trace_overhead.json"
+                              : (kernels ? "BENCH_kernels.json" : "BENCH_throughput.json");
+  }
+  if (trace_overhead) {
+    try {
+      return run_trace_overhead(edge, repeats, out_path);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bench_report: %s\n", e.what());
+      return 1;
+    }
+  }
   if (kernels) {
     try {
       return run_kernel_bench(edge, repeats, out_path, pre_path, baseline_path, max_regress);

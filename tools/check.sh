@@ -8,6 +8,7 @@
 #        tools/check.sh --ubsan [build-dir]
 #        tools/check.sh --fuzz-smoke [build-dir]
 #        tools/check.sh --bench-smoke [build-dir]
+#        tools/check.sh --trace-smoke [build-dir]
 #
 # --tsan builds with ThreadSanitizer (-fsanitize=thread) and runs the tests
 # that exercise the parallel kernels (thread pool, sweep scheduler, and the
@@ -34,6 +35,13 @@
 # microbenchmarks against the committed BENCH_kernels.json, failing if any
 # kernel regresses by more than 30%. Use it to catch accidental slowdowns
 # in the codec fast paths.
+#
+# --trace-smoke builds Release, runs a tiny pipeline with --trace-out and
+# --metrics-out, then validates the Chrome trace with `foresight_cli
+# trace-check` (well-formed events, consistent span nesting, the expected
+# codec stages present) and asserts the metrics export recorded work. It
+# also runs `bench_report --trace-overhead`, which fails if disabled
+# tracing costs the codec hot paths more than 1%.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -45,6 +53,7 @@ case "${1:-}" in
   --ubsan) mode="ubsan"; shift ;;
   --fuzz-smoke) mode="fuzz"; shift ;;
   --bench-smoke) mode="bench"; shift ;;
+  --trace-smoke) mode="trace"; shift ;;
 esac
 
 default_dir="build-check"
@@ -54,6 +63,7 @@ case "${mode}" in
   ubsan) default_dir="build-ubsan" ;;
   fuzz) default_dir="build-fuzz-smoke" ;;
   bench) default_dir="build-bench-smoke" ;;
+  trace) default_dir="build-trace-smoke" ;;
 esac
 build_dir="${1:-"${repo_root}/${default_dir}"}"
 jobs="$(nproc 2>/dev/null || echo 2)"
@@ -98,6 +108,8 @@ case "${mode}" in
 esac
 if [[ "${mode}" == "bench" ]]; then
   cmake --build "${build_dir}" --target bench_report -j "${jobs}"
+elif [[ "${mode}" == "trace" ]]; then
+  cmake --build "${build_dir}" --target foresight_cli bench_report -j "${jobs}"
 elif [[ "${mode}" == "fuzz" ]]; then
   cmake --build "${build_dir}" --target fuzz_smoke -j "${jobs}"
 else
@@ -139,6 +151,43 @@ case "${mode}" in
     "${build_dir}/tools/bench_report" --kernels --edge 256 --repeats 3 \
       --out "${build_dir}/BENCH_kernels_smoke.json" \
       --baseline "${repo_root}/BENCH_kernels.json" --max-regress 0.30
+    ;;
+  trace)
+    # Tiny GPU + CPU sweep with telemetry on, then validate the exports.
+    smoke_out="${build_dir}/trace-smoke"
+    cat > "${build_dir}/trace_smoke.json" <<SMOKE
+{
+  "output": "${smoke_out}",
+  "dataset": {"type": "nyx", "dim": 32, "seed": 42},
+  "runs": [
+    {"compressor": "cuzfp", "fields": ["baryon_density"],
+     "configs": [{"mode": "rate", "value": 4}]},
+    {"compressor": "sz-cpu", "fields": ["temperature"],
+     "configs": [{"mode": "abs", "value": 0.1}]}
+  ],
+  "jobs": 2
+}
+SMOKE
+    "${build_dir}/tools/foresight_cli" run "${build_dir}/trace_smoke.json" \
+      --trace-out trace.json --metrics-out metrics.json
+    check_out="$("${build_dir}/tools/foresight_cli" trace-check "${smoke_out}/trace.json")"
+    echo "${check_out}"
+    # The stages the telemetry contract names must all appear in the trace.
+    for span in session.open cbench.job cuzfp.compress cuzfp.decompress \
+                gpu.device.compress sz.lorenzo_quantize zfp.block_scan.encode; do
+      if ! grep -q "${span}" <<< "${check_out}"; then
+        echo "error: span '${span}' missing from trace" >&2
+        exit 1
+      fi
+    done
+    # The metrics export must have recorded the sweep's work.
+    if ! grep -q '"cbench.jobs": 2' "${smoke_out}/metrics.json"; then
+      echo "error: metrics.json did not record the 2 sweep jobs" >&2
+      exit 1
+    fi
+    # Disabled tracing must stay under the 1% overhead contract.
+    "${build_dir}/tools/bench_report" --trace-overhead --edge 64 --repeats 2 \
+      --out "${build_dir}/BENCH_trace_overhead_smoke.json"
     ;;
   *)
     ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"

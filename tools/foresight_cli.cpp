@@ -10,8 +10,14 @@
 ///   compress --codec C --mode M --value V --input F [--field NAME] [--gpu G]
 ///   estimate --input F --field NAME --bound B
 ///   run <config.json>               run the full JSON pipeline
+///                                   (--trace-out/--metrics-out enable the
+///                                   telemetry layer for the run)
+///   trace-check <trace.json>        validate a Chrome trace export
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/str.hpp"
@@ -21,6 +27,7 @@
 #include "foresight/cbench.hpp"
 #include "foresight/pipeline.hpp"
 #include "foresight/report.hpp"
+#include "json/json.hpp"
 #include "gpu/specs.hpp"
 #include "sz/rate_estimate.hpp"
 
@@ -36,7 +43,8 @@ int usage() {
                "  info FILE\n"
                "  compress --codec NAME --mode MODE --value V --input FILE [--field NAME] [--gpu NAME] [--threads N]\n"
                "  estimate --input FILE --field NAME --bound B\n"
-               "  run CONFIG.json [--fail-fast]\n");
+               "  run CONFIG.json [--fail-fast] [--trace-out FILE] [--metrics-out FILE]\n"
+               "  trace-check TRACE.json\n");
   return 2;
 }
 
@@ -157,6 +165,15 @@ int cmd_run(const CliArgs& args) {
   // --fail-fast overrides the config: stop at the first failed job instead
   // of recording it and continuing.
   if (args.has("fail-fast")) config.as_object()["on_error"] = "abort";
+  // --trace-out / --metrics-out layer the telemetry knob over the config
+  // (the flag wins over a conflicting config entry).
+  if (args.has("trace-out") || args.has("metrics-out")) {
+    json::Object& root = config.as_object();
+    if (!root["telemetry"].is_object()) root["telemetry"] = json::Object{};
+    json::Object& t = root["telemetry"].as_object();
+    if (args.has("trace-out")) t["trace_out"] = args.get("trace-out", "trace.json");
+    if (args.has("metrics-out")) t["metrics_out"] = args.get("metrics-out", "metrics.json");
+  }
   const auto summary = foresight::run_pipeline(config);
   std::printf("%s", foresight::format_results(summary.results).c_str());
   if (summary.failed_jobs > 0 || summary.injected_faults > 0) {
@@ -174,7 +191,60 @@ int cmd_run(const CliArgs& args) {
   }
   foresight::write_markdown_report(summary, summary.output_dir + "/report.md");
   std::printf("outputs: %s (incl. report.md)\n", summary.output_dir.c_str());
+  if (!summary.trace_path.empty()) std::printf("trace: %s\n", summary.trace_path.c_str());
+  if (!summary.metrics_path.empty()) {
+    std::printf("metrics: %s\n", summary.metrics_path.c_str());
+  }
   return summary.workflow_ok ? 0 : 1;
+}
+
+/// Validates a Chrome trace_event export: well-formed JSON, every event a
+/// complete ("X") event with name/ts/dur/pid/tid, and per-(pid, tid) span
+/// nesting consistent with the recorded args.depth (a span at depth d+1 must
+/// lie inside the most recent open span at depth d). Prints a one-line
+/// summary so check.sh --trace-smoke can assert on coverage.
+int cmd_trace_check(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "trace-check: missing trace file\n");
+    return 2;
+  }
+  const json::Value trace = json::parse_file(args.positional()[1]);
+  const json::Array& events = trace.at("traceEvents").as_array();
+  std::map<long, std::vector<std::pair<double, double>>> open;  // tid -> stack of [ts, end)
+  std::map<std::string, std::size_t> by_name;
+  // Events are exported sorted by start time, so a simple per-thread stack
+  // replay checks the nesting claim.
+  for (const auto& ev : events) {
+    if (ev.get("ph", std::string()) != "X") {
+      std::fprintf(stderr, "trace-check: non-complete event found\n");
+      return 1;
+    }
+    const std::string name = ev.at("name").as_string();
+    const double ts = ev.at("ts").as_number();
+    const double dur = ev.at("dur").as_number();
+    const long tid = ev.at("tid").as_int();
+    const auto depth = static_cast<std::size_t>(ev.at("args").get("depth", -1.0));
+    ++by_name[name];
+    auto& stack = open[tid];
+    while (!stack.empty() && ts >= stack.back().second) stack.pop_back();
+    if (depth != stack.size()) {
+      std::fprintf(stderr, "trace-check: '%s' at ts=%.3f claims depth %zu, stack is %zu\n",
+                   name.c_str(), ts, depth, stack.size());
+      return 1;
+    }
+    if (!stack.empty() && ts + dur > stack.back().second + 1e-9) {
+      std::fprintf(stderr, "trace-check: '%s' at ts=%.3f overflows its parent span\n",
+                   name.c_str(), ts);
+      return 1;
+    }
+    stack.emplace_back(ts, ts + dur);
+  }
+  std::printf("trace-check: %zu events, %zu distinct spans, %zu threads\n", events.size(),
+              by_name.size(), open.size());
+  for (const auto& [name, count] : by_name) {
+    std::printf("  %-32s %zu\n", name.c_str(), count);
+  }
+  return events.empty() ? 1 : 0;
 }
 
 }  // namespace
@@ -190,6 +260,7 @@ int main(int argc, char** argv) {
     if (command == "compress") return cmd_compress(args);
     if (command == "estimate") return cmd_estimate(args);
     if (command == "run") return cmd_run(args);
+    if (command == "trace-check") return cmd_trace_check(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "foresight_cli %s: %s\n", command.c_str(), e.what());
     return 1;
