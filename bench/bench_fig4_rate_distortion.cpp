@@ -1,11 +1,15 @@
 /// \file bench_fig4_rate_distortion.cpp
-/// \brief Reproduces paper Fig. 4: rate-distortion (PSNR vs bitrate) of
-/// GPU-SZ and cuZFP on (a) the Nyx fields and (b) the HACC fields.
+/// \brief Reproduces paper Fig. 4: rate-distortion (PSNR vs bitrate) of the
+/// registered device codecs on (a) the Nyx fields and (b) the HACC fields.
 ///
-/// GPU-SZ sweeps error bounds (ABS for densities/temperature, PW_REL-via-log
-/// for HACC velocities, matching Section IV-B4); cuZFP sweeps fixed
+/// The codec roster comes from the registry: every compressor whose
+/// capabilities say needs_device participates (GPU-SZ, cuZFP, FZ, and any
+/// future backend — this file never names codecs). Error-bounded codecs
+/// sweep bounds (ABS for densities/temperature, PW_REL for HACC velocities
+/// when supported, matching Section IV-B4); rate-mode codecs sweep fixed
 /// bitrates. Each series is printed as (bitrate, PSNR) rows and plotted to
-/// SVG. Solid = GPU-SZ, dashed = cuZFP, as in the paper.
+/// SVG; dashed styling follows CodecCapabilities::plot_dashed, as in the
+/// paper (solid = GPU-SZ, dashed = cuZFP).
 #include <cstdio>
 #include <map>
 
@@ -13,6 +17,7 @@
 #include "bench_util.hpp"
 #include "foresight/cbench.hpp"
 #include "foresight/cinema.hpp"
+#include "foresight/codec_registry.hpp"
 
 using namespace cosmo;
 
@@ -70,14 +75,45 @@ const std::vector<foresight::CompressorConfig> kRateSweep = {
     {"rate", 1.0}, {"rate", 2.0}, {"rate", 4.0}, {"rate", 6.0},
     {"rate", 8.0}, {"rate", 12.0}, {"rate", 16.0}};
 
+/// Picks the sweep for one codec on one field from its capabilities:
+/// PW_REL for velocity components when the codec supports it (Sec. IV-B4),
+/// otherwise range-scaled ABS bounds, otherwise fixed bitrates.
+std::vector<foresight::CompressorConfig> sweep_for(
+    const foresight::CodecCapabilities& caps, const Field& field, bool velocity) {
+  if (velocity && caps.supports_mode("pw_rel")) {
+    std::vector<foresight::CompressorConfig> configs;
+    for (const double b : {1e-4, 1e-3, 5e-3, 2e-2, 1e-1, 3e-1}) {
+      configs.push_back({"pw_rel", b});
+    }
+    return configs;
+  }
+  if (caps.supports_mode("abs")) return abs_sweep(field);
+  return kRateSweep;
+}
+
+/// One registered device codec plus its capability record.
+struct DeviceCodec {
+  std::unique_ptr<foresight::Compressor> codec;
+  const foresight::CodecCapabilities* caps;
+};
+
+std::vector<DeviceCodec> device_codecs(gpu::GpuSimulator& sim) {
+  std::vector<DeviceCodec> out;
+  for (const auto& name : foresight::available_compressors()) {
+    const auto& caps = foresight::CodecRegistry::instance().capabilities(name);
+    if (!caps.needs_device) continue;
+    out.push_back({foresight::make_compressor(name, &sim), &caps});
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
-  bench::banner("Fig. 4", "rate-distortion of GPU-SZ and cuZFP on Nyx and HACC");
+  bench::banner("Fig. 4", "rate-distortion of the registered device codecs on Nyx and HACC");
 
   gpu::GpuSimulator sim(gpu::find_device("Tesla V100"));
-  const auto gpu_sz = foresight::make_compressor("gpu-sz", &sim);
-  const auto cuzfp = foresight::make_compressor("cuzfp", &sim);
+  auto codecs = device_codecs(sim);
   foresight::CBench bench({.keep_reconstructed = false, .dataset_name = "fig4"});
 
   foresight::ensure_directory(bench::out_dir());
@@ -91,14 +127,12 @@ int main() {
   const io::Container nyx = bench::make_nyx();
   for (const auto& variable : nyx.variables) {
     const Field& field = variable.field;
-    const Series sz_series = sweep(bench, field, *gpu_sz, abs_sweep(field));
-    const Series zfp_series = sweep(bench, field, *cuzfp, kRateSweep);
-    print_series("GPU-SZ  " + field.name, sz_series);
-    print_series("cuZFP   " + field.name, zfp_series);
-    plot_nyx.add_series({field.name + " (GPU-SZ)", sz_series.bitrate, sz_series.psnr,
-                         "", false});
-    plot_nyx.add_series({field.name + " (cuZFP)", zfp_series.bitrate, zfp_series.psnr,
-                         "", true});
+    for (auto& [codec, caps] : codecs) {
+      const Series series = sweep(bench, field, *codec, sweep_for(*caps, field, false));
+      print_series(caps->name + "  " + field.name, series);
+      plot_nyx.add_series({field.name + " (" + caps->name + ")", series.bitrate,
+                           series.psnr, "", caps->plot_dashed});
+    }
   }
 
   // ---------- (b) HACC ----------
@@ -107,25 +141,14 @@ int main() {
   for (const auto& variable : hacc.variables) {
     const Field& field = variable.field;
     const bool is_velocity = field.name[0] == 'v';
-    // PW_REL for velocities (Sec. IV-B4); ABS for positions.
-    std::vector<foresight::CompressorConfig> sz_configs;
-    if (is_velocity) {
-      for (const double b : {1e-4, 1e-3, 5e-3, 2e-2, 1e-1, 3e-1}) {
-        sz_configs.push_back({"pw_rel", b});
-      }
-    } else {
-      sz_configs = abs_sweep(field);
+    for (auto& [codec, caps] : codecs) {
+      const auto configs = sweep_for(*caps, field, is_velocity);
+      const Series series = sweep(bench, field, *codec, configs);
+      print_series(caps->name + "  " + field.name + " (" + configs.front().mode + ")",
+                   series);
+      plot_hacc.add_series({field.name + " (" + caps->name + ")", series.bitrate,
+                            series.psnr, "", caps->plot_dashed});
     }
-    const Series sz_series = sweep(bench, field, *gpu_sz, sz_configs);
-    const Series zfp_series = sweep(bench, field, *cuzfp, kRateSweep);
-    print_series(std::string("GPU-SZ  ") + field.name +
-                     (is_velocity ? " (PW_REL)" : " (ABS)"),
-                 sz_series);
-    print_series("cuZFP   " + field.name, zfp_series);
-    plot_hacc.add_series({field.name + " (GPU-SZ)", sz_series.bitrate, sz_series.psnr,
-                          "", false});
-    plot_hacc.add_series({field.name + " (cuZFP)", zfp_series.bitrate, zfp_series.psnr,
-                          "", true});
   }
 
   plot_nyx.save(bench::out_dir() + "/fig4a_nyx_rate_distortion.svg");
@@ -133,9 +156,9 @@ int main() {
 
   std::printf(
       "\nExpected shapes (paper Fig. 4): PSNR grows near-linearly with bitrate for\n"
-      "both codecs; GPU-SZ beats cuZFP at equal bitrate on the smooth Nyx fields;\n"
-      "the three velocity curves are nearly identical; GPU-SZ drops at very low\n"
-      "bitrates on density/temperature (independent-block decorrelation).\n");
+      "every codec; GPU-SZ beats cuZFP at equal bitrate on the smooth Nyx fields;\n"
+      "the three velocity curves are nearly identical; the SZ-family codecs drop at\n"
+      "very low bitrates on density/temperature (independent-block decorrelation).\n");
   std::printf("artifacts: %s/fig4{a,b}_*.svg\n", bench::out_dir().c_str());
   return 0;
 }

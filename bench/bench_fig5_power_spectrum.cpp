@@ -1,13 +1,16 @@
 /// \file bench_fig5_power_spectrum.cpp
 /// \brief Reproduces paper Fig. 5: power-spectrum ratio curves for the Nyx
-/// fields under cuZFP (several fixed bitrates) and GPU-SZ (several error
-/// bounds), with the 1 +/- 1% acceptance band; then derives the paper's
-/// per-field configuration pick and the overall compression ratio
-/// (paper: cuZFP rates (4,4,4,2,2,2) -> 10.7x; GPU-SZ bounds
+/// fields under every registered device codec — fixed bitrates for the
+/// rate-mode codecs, error bounds for the bounded ones — with the
+/// 1 +/- 1% acceptance band; then derives the paper's per-field
+/// configuration pick and the overall compression ratio (paper: cuZFP
+/// rates (4,4,4,2,2,2) -> 10.7x; GPU-SZ bounds
 /// (0.2, 0.4, 1e3, 2e5, 2e5, 2e5) -> 15.4x).
 ///
-/// The composite spectra of the paper's panels (overall density, velocity
-/// magnitude) are computed too.
+/// The per-codec candidate grids come from each codec's registered
+/// default sweep lattice (default_grid_candidates), so a newly registered
+/// backend shows up here without edits. The composite spectra of the
+/// paper's panels (overall density, velocity magnitude) are computed too.
 #include <cmath>
 #include <cstdio>
 
@@ -15,6 +18,8 @@
 #include "bench_util.hpp"
 #include "foresight/cbench.hpp"
 #include "foresight/cinema.hpp"
+#include "foresight/codec_registry.hpp"
+#include "foresight/sweep.hpp"
 
 using namespace cosmo;
 
@@ -22,17 +27,15 @@ namespace {
 
 constexpr double kKFraction = 0.5;  // evaluate k <= k_nyq/2
 
-/// Per-field candidate grids mirroring the paper's sweeps.
-std::vector<foresight::CompressorConfig> candidates(const std::string& codec,
-                                                    const Field& field) {
-  if (codec == "cuzfp") {
-    return {{"rate", 1.0}, {"rate", 2.0}, {"rate", 4.0}, {"rate", 8.0}};
+/// Registered device codecs, in registration order.
+std::vector<std::string> device_codec_names() {
+  std::vector<std::string> out;
+  for (const auto& name : foresight::available_compressors()) {
+    if (foresight::CodecRegistry::instance().capabilities(name).needs_device) {
+      out.push_back(name);
+    }
   }
-  const auto [lo, hi] = value_range(field.view());
-  const double range = static_cast<double>(hi) - lo;
-  std::vector<foresight::CompressorConfig> configs;
-  for (const double frac : {2e-6, 2e-5, 2e-4, 2e-3}) configs.push_back({"abs", range * frac});
-  return configs;
+  return out;
 }
 
 /// Velocity magnitude field from three components.
@@ -66,7 +69,7 @@ int main() {
   foresight::CBench cb({.keep_reconstructed = true, .dataset_name = "fig5"});
   foresight::ensure_directory(bench::out_dir());
 
-  for (const auto& codec_name : {std::string("cuzfp"), std::string("gpu-sz")}) {
+  for (const auto& codec_name : device_codec_names()) {
     const auto codec = foresight::make_compressor(codec_name, &sim);
     std::printf("--- %s ---\n", codec_name.c_str());
     std::printf("%-22s %-14s %8s %12s %s\n", "field", "config", "ratio",
@@ -92,7 +95,7 @@ int main() {
       double best_ratio = -1.0;
       std::string best_label = "none";
       const auto session = codec->open_session();  // buffers reused per config
-      for (const auto& config : candidates(codec_name, field)) {
+      for (const auto& config : foresight::default_grid_candidates(codec_name, field)) {
         const auto r = cb.run_session(field, codec->name(), *session, config);
         const auto pk =
             analysis::pk_ratio(field.data, r.reconstructed, field.dims, kKFraction);

@@ -1,10 +1,12 @@
 /// \file bench_fig6_halo_finder.cpp
 /// \brief Reproduces paper Fig. 6: Friends-of-Friends halo-finder analysis
 /// on original vs reconstructed HACC data — halo counts per mass bin
-/// (left axis), count ratio (right axis) — for GPU-SZ at several absolute
-/// position bounds (6a) and cuZFP at several fixed bitrates (6b). Also
-/// derives the paper's configuration pick: GPU-SZ abs 0.005/0.025
-/// (positions/velocities) -> 4.25x vs cuZFP rate 8 -> 4x.
+/// (left axis), count ratio (right axis) — one panel per registered device
+/// codec: the paper's absolute position bounds for error-bounded codecs
+/// (6a: GPU-SZ) and fixed bitrates for rate-mode codecs (6b: cuZFP); a
+/// newly registered device backend gets the next panel letter with no
+/// edits here. Also derives the paper's configuration pick: GPU-SZ abs
+/// 0.005/0.025 (positions/velocities) -> 4.25x vs cuZFP rate 8 -> 4x.
 #include <cstdio>
 
 #include "analysis/fof.hpp"
@@ -12,6 +14,7 @@
 #include "bench_util.hpp"
 #include "foresight/cbench.hpp"
 #include "foresight/cinema.hpp"
+#include "foresight/codec_registry.hpp"
 
 using namespace cosmo;
 
@@ -57,16 +60,25 @@ int main() {
     std::string codec;
     std::vector<foresight::CompressorConfig> configs;
   };
-  const Panel panels[] = {
-      // 6a: GPU-SZ with the paper's absolute position bounds.
-      {"gpu-sz", {{"abs", 0.001}, {"abs", 0.005}, {"abs", 0.025}, {"abs", 0.25}}},
-      // 6b: cuZFP with fixed bitrates.
-      {"cuzfp", {{"rate", 16.0}, {"rate", 8.0}, {"rate", 4.0}, {"rate", 2.0}}},
-  };
+  // One panel per registered device codec: the paper's absolute position
+  // bounds when the codec is error-bounded, its fixed bitrates otherwise.
+  std::vector<Panel> panels;
+  for (const auto& name : foresight::available_compressors()) {
+    const auto& caps = foresight::CodecRegistry::instance().capabilities(name);
+    if (!caps.needs_device) continue;
+    if (caps.supports_mode("abs")) {
+      panels.push_back(
+          {name, {{"abs", 0.001}, {"abs", 0.005}, {"abs", 0.025}, {"abs", 0.25}}});
+    } else {
+      panels.push_back(
+          {name, {{"rate", 16.0}, {"rate", 8.0}, {"rate", 4.0}, {"rate", 2.0}}});
+    }
+  }
 
-  for (const auto& panel : panels) {
+  for (std::size_t panel_index = 0; panel_index < panels.size(); ++panel_index) {
+    const auto& panel = panels[panel_index];
     const auto codec = foresight::make_compressor(panel.codec, &sim);
-    std::printf("--- Fig. 6%c: %s ---\n", panel.codec == "gpu-sz" ? 'a' : 'b',
+    std::printf("--- Fig. 6%c: %s ---\n", static_cast<char>('a' + panel_index),
                 panel.codec.c_str());
     foresight::SvgPlot plot(
         strprintf("Fig 6: halo count ratio, %s", panel.codec.c_str()),

@@ -48,11 +48,10 @@ RunOutput Compressor::run(const Field& field, const CompressorConfig& config) {
 
 namespace {
 
-void check_mode(const std::string& got, const std::vector<std::string>& allowed,
-                const std::string& who) {
-  if (std::find(allowed.begin(), allowed.end(), got) == allowed.end()) {
-    throw InvalidArgument(who + ": unsupported mode '" + got + "'");
-  }
+/// Rejects configs whose mode the codec does not register; the error lists
+/// the supported modes (CodecCapabilities::require_mode).
+void check_mode(const std::string& got, const char* codec) {
+  CodecRegistry::instance().capabilities(codec).require_mode(got);
 }
 
 /// Truncates a reconstruction back to the pre-padding length recorded at
@@ -74,7 +73,7 @@ class GpuSzSession final : public CodecSession {
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
     TRACE_SPAN("gpu-sz.compress");
-    check_mode(config.mode, {"abs", "pw_rel"}, "gpu-sz");
+    check_mode(config.mode, "gpu-sz");
     out.telemetry.reset_gpu();
     out.throughput_reportable = gpu::GpuSzDevice::throughput_supported();
     out.original_values = field.data.size();
@@ -158,11 +157,9 @@ class GpuSzCompressor final : public Compressor {
  public:
   explicit GpuSzCompressor(gpu::GpuSimulator& sim) : sim_(sim) {}
 
-  [[nodiscard]] std::string name() const override { return "gpu-sz"; }
-  [[nodiscard]] std::vector<std::string> supported_modes() const override {
-    return {"abs", "pw_rel"};
+  [[nodiscard]] const CodecCapabilities& capabilities() const override {
+    return CodecRegistry::instance().capabilities("gpu-sz");
   }
-  [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
   /// The pool is ignored: modeled GPU timings draw from the simulator's
   /// jitter stream and must stay call-order deterministic.
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
@@ -183,7 +180,7 @@ class CuZfpSession final : public CodecSession {
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
     TRACE_SPAN("cuzfp.compress");
-    check_mode(config.mode, {"rate"}, "cuzfp");
+    check_mode(config.mode, "cuzfp");
     out.telemetry.reset_gpu();
     out.throughput_reportable = true;
     out.original_values = field.data.size();
@@ -246,11 +243,9 @@ class CuZfpCompressor final : public Compressor {
  public:
   explicit CuZfpCompressor(gpu::GpuSimulator& sim) : sim_(sim) {}
 
-  [[nodiscard]] std::string name() const override { return "cuzfp"; }
-  [[nodiscard]] std::vector<std::string> supported_modes() const override {
-    return {"rate"};
+  [[nodiscard]] const CodecCapabilities& capabilities() const override {
+    return CodecRegistry::instance().capabilities("cuzfp");
   }
-  [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
   /// The pool is ignored: modeled GPU timings draw from the simulator's
   /// jitter stream and must stay call-order deterministic.
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
@@ -270,7 +265,7 @@ class SzCpuSession final : public CodecSession {
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
     TRACE_SPAN("sz-cpu.compress");
-    check_mode(config.mode, {"abs", "pw_rel"}, "sz-cpu");
+    check_mode(config.mode, "sz-cpu");
     out.telemetry.reset_cpu();
     out.throughput_reportable = true;
     out.original_values = field.data.size();
@@ -303,11 +298,9 @@ class SzCpuSession final : public CodecSession {
 
 class SzCpuCompressor final : public Compressor {
  public:
-  [[nodiscard]] std::string name() const override { return "sz-cpu"; }
-  [[nodiscard]] std::vector<std::string> supported_modes() const override {
-    return {"abs", "pw_rel"};
+  [[nodiscard]] const CodecCapabilities& capabilities() const override {
+    return CodecRegistry::instance().capabilities("sz-cpu");
   }
-  [[nodiscard]] bool concurrent_sessions_safe() const override { return true; }
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
                                                           ThreadPool* pool) override {
     TRACE_SPAN("session.open");
@@ -337,7 +330,7 @@ class ZfpCpuSession final : public CodecSession {
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
     TRACE_SPAN("zfp-cpu.compress");
-    check_mode(config.mode, {"rate", "accuracy", "precision"}, "zfp-cpu");
+    check_mode(config.mode, "zfp-cpu");
     out.telemetry.reset_cpu();
     out.throughput_reportable = true;
     out.original_values = field.data.size();
@@ -359,11 +352,9 @@ class ZfpCpuSession final : public CodecSession {
 
 class ZfpCpuCompressor final : public Compressor {
  public:
-  [[nodiscard]] std::string name() const override { return "zfp-cpu"; }
-  [[nodiscard]] std::vector<std::string> supported_modes() const override {
-    return {"rate", "accuracy", "precision"};
+  [[nodiscard]] const CodecCapabilities& capabilities() const override {
+    return CodecRegistry::instance().capabilities("zfp-cpu");
   }
-  [[nodiscard]] bool concurrent_sessions_safe() const override { return true; }
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
                                                           ThreadPool* pool) override {
     TRACE_SPAN("session.open");
@@ -381,7 +372,7 @@ class ZfpOmpSession final : public CodecSession {
   void compress(const Field& field, const CompressorConfig& config,
                 CompressResult& out) override {
     TRACE_SPAN("zfp-omp.compress");
-    check_mode(config.mode, {"rate", "accuracy"}, "zfp-omp");
+    check_mode(config.mode, "zfp-omp");
     out.telemetry.reset_cpu();
     out.throughput_reportable = true;
     out.original_values = field.data.size();
@@ -405,13 +396,9 @@ class ZfpOmpSession final : public CodecSession {
 
 class ZfpOmpCompressor final : public Compressor {
  public:
-  [[nodiscard]] std::string name() const override { return "zfp-omp"; }
-  [[nodiscard]] std::vector<std::string> supported_modes() const override {
-    return {"rate", "accuracy"};
+  [[nodiscard]] const CodecCapabilities& capabilities() const override {
+    return CodecRegistry::instance().capabilities("zfp-omp");
   }
-  /// Chunks already fan out over the global pool; a pool worker opening a
-  /// nested chunked run could deadlock waiting for its own queue.
-  [[nodiscard]] bool concurrent_sessions_safe() const override { return false; }
   /// Ignores the session pool: chunks already fan out over the global pool.
   [[nodiscard]] std::unique_ptr<CodecSession> open_session(ScratchArena* arena,
                                                           ThreadPool* /*pool*/) override {
@@ -420,23 +407,124 @@ class ZfpOmpCompressor final : public Compressor {
   }
 };
 
+/// The shared ABS-bound lattice: log-spaced fractions of the field's value
+/// range, matching the paper's per-field bound scaling.
+std::vector<SweepAxis> sz_style_sweep() {
+  SweepAxis abs;
+  abs.mode = "abs";
+  abs.kind = SweepAxis::Kind::kRangeFractions;
+  abs.lo = 2e-6;
+  abs.hi = 2e-3;
+  abs.count = 4;
+  SweepAxis pwrel;
+  pwrel.mode = "pw_rel";
+  pwrel.kind = SweepAxis::Kind::kLogValues;
+  pwrel.lo = 1e-3;
+  pwrel.hi = 1e-1;
+  pwrel.count = 4;
+  return {abs, pwrel};
+}
+
+SweepAxis rate_axis() {
+  SweepAxis rate;
+  rate.mode = "rate";
+  rate.kind = SweepAxis::Kind::kFixedValues;
+  rate.values = {1.0, 2.0, 4.0, 8.0};
+  return rate;
+}
+
+SweepAxis accuracy_axis() {
+  SweepAxis acc;
+  acc.mode = "accuracy";
+  acc.kind = SweepAxis::Kind::kLogValues;
+  acc.lo = 1e-2;
+  acc.hi = 1.0;
+  acc.count = 4;
+  return acc;
+}
+
 }  // namespace
+
+namespace detail {
+
+void register_paper_codecs(CodecRegistry& registry) {
+  {
+    CodecCapabilities caps;
+    caps.name = "gpu-sz";
+    caps.summary = "GPU-SZ prototype (simulated device; 1-D fields reshaped to 3-D)";
+    caps.modes = {"abs", "pw_rel"};
+    caps.needs_device = true;
+    caps.concurrent_sessions_safe = false;  // shares the simulator jitter stream
+    caps.throughput_reportable = gpu::GpuSzDevice::throughput_supported();
+    caps.kernel_profile = "sz";
+    caps.default_sweep = sz_style_sweep();
+    registry.add(std::move(caps), [](gpu::GpuSimulator* sim) -> std::unique_ptr<Compressor> {
+      return std::make_unique<GpuSzCompressor>(*sim);
+    });
+  }
+  {
+    CodecCapabilities caps;
+    caps.name = "cuzfp";
+    caps.summary = "cuZFP (simulated device; fixed-rate transform coding)";
+    caps.modes = {"rate"};
+    caps.needs_device = true;
+    caps.concurrent_sessions_safe = false;
+    caps.plot_dashed = true;  // the paper draws fixed-rate cuZFP series dashed
+    caps.kernel_profile = "zfp";
+    caps.default_sweep = {rate_axis()};
+    registry.add(std::move(caps), [](gpu::GpuSimulator* sim) -> std::unique_ptr<Compressor> {
+      return std::make_unique<CuZfpCompressor>(*sim);
+    });
+  }
+  {
+    CodecCapabilities caps;
+    caps.name = "sz-cpu";
+    caps.summary = "CPU SZ (Lorenzo + quantize + Huffman/LZSS; measured wall time)";
+    caps.modes = {"abs", "pw_rel"};
+    caps.default_sweep = sz_style_sweep();
+    registry.add(std::move(caps), [](gpu::GpuSimulator*) -> std::unique_ptr<Compressor> {
+      return std::make_unique<SzCpuCompressor>();
+    });
+  }
+  {
+    CodecCapabilities caps;
+    caps.name = "zfp-cpu";
+    caps.summary = "CPU ZFP (fixed-rate / fixed-accuracy / fixed-precision)";
+    caps.modes = {"rate", "accuracy", "precision"};
+    caps.plot_dashed = true;
+    SweepAxis precision;
+    precision.mode = "precision";
+    precision.kind = SweepAxis::Kind::kFixedValues;
+    precision.values = {8.0, 12.0, 16.0, 20.0};
+    caps.default_sweep = {rate_axis(), accuracy_axis(), precision};
+    registry.add(std::move(caps), [](gpu::GpuSimulator*) -> std::unique_ptr<Compressor> {
+      return std::make_unique<ZfpCpuCompressor>();
+    });
+  }
+  {
+    CodecCapabilities caps;
+    caps.name = "zfp-omp";
+    caps.summary = "CPU ZFP with OpenMP-style chunk parallelism (global pool)";
+    caps.modes = {"rate", "accuracy"};
+    // Chunks already fan out over the global pool; a pool worker opening a
+    // nested chunked run could deadlock waiting for its own queue.
+    caps.concurrent_sessions_safe = false;
+    caps.default_sweep = {rate_axis(), accuracy_axis()};
+    registry.add(std::move(caps), [](gpu::GpuSimulator*) -> std::unique_ptr<Compressor> {
+      return std::make_unique<ZfpOmpCompressor>();
+    });
+  }
+}
+
+}  // namespace detail
 
 std::unique_ptr<Compressor> make_compressor(const std::string& name,
                                             gpu::GpuSimulator* sim) {
-  if (name == "gpu-sz" || name == "cuzfp") {
-    require(sim != nullptr, "make_compressor: '" + name + "' needs a GPU simulator");
-    if (name == "gpu-sz") return std::make_unique<GpuSzCompressor>(*sim);
-    return std::make_unique<CuZfpCompressor>(*sim);
-  }
-  if (name == "sz-cpu") return std::make_unique<SzCpuCompressor>();
-  if (name == "zfp-cpu") return std::make_unique<ZfpCpuCompressor>();
-  if (name == "zfp-omp") return std::make_unique<ZfpOmpCompressor>();
-  throw InvalidArgument("make_compressor: unknown compressor '" + name + "'");
+  return CodecRegistry::instance().make(name, sim);
 }
 
 std::vector<std::string> available_compressors() {
-  return {"gpu-sz", "cuzfp", "sz-cpu", "zfp-cpu", "zfp-omp"};
+  return CodecRegistry::instance().names();
 }
 
 }  // namespace cosmo::foresight

@@ -1,16 +1,13 @@
 /// \file compressor.hpp
-/// \brief Foresight's uniform compressor interface and registry.
+/// \brief Foresight's uniform compressor interface.
 ///
-/// CBench evaluates every codec through this interface. Five compressors
-/// are registered, matching the paper's evaluation set:
-///   "gpu-sz"  — GPU-SZ (simulated device; ABS and PW_REL-via-log; 3-D only,
-///               1-D fields are reshaped per the paper's procedure),
-///   "cuzfp"   — cuZFP (simulated device; fixed-rate only),
-///   "sz-cpu"  — CPU SZ (ABS / PW_REL; measured wall time),
-///   "zfp-cpu" — CPU ZFP (fixed-rate / fixed-accuracy / fixed-precision;
-///               measured wall time),
-///   "zfp-omp" — CPU ZFP with OpenMP-style chunk parallelism over the
-///               global thread pool (fixed-rate / fixed-accuracy).
+/// CBench evaluates every codec through this interface. The codec roster is
+/// open: compressors self-register in the CodecRegistry (codec_registry.hpp)
+/// with a factory plus a CodecCapabilities descriptor, and make_compressor /
+/// available_compressors are thin views over that registry. The built-in
+/// set covers the paper's evaluation codecs (gpu-sz, cuzfp, sz-cpu, zfp-cpu,
+/// zfp-omp) plus the FZ-GPU-style bitshuffle pipeline (fz-cpu, fz-gpu);
+/// `foresight_cli codecs` prints the live roster.
 ///
 /// The execution path is staged: a Compressor opens a CodecSession, and the
 /// session exposes compress() and decompress() separately so sweeps can
@@ -28,6 +25,7 @@
 #include "common/scratch_arena.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
+#include "foresight/codec_registry.hpp"
 #include "foresight/shape_adapter.hpp"
 #include "gpu/device_compressor.hpp"
 
@@ -144,13 +142,29 @@ class CodecSession {
 };
 
 /// Abstract compressor as seen by CBench: a registry entry that describes a
-/// codec and opens execution sessions for it.
+/// codec (through its CodecCapabilities) and opens execution sessions for
+/// it. Name, modes and concurrency facts are all views over capabilities(),
+/// so a codec's single source of truth is its registry descriptor.
 class Compressor {
  public:
   virtual ~Compressor() = default;
 
-  [[nodiscard]] virtual std::string name() const = 0;
-  [[nodiscard]] virtual std::vector<std::string> supported_modes() const = 0;
+  /// The registry descriptor for this codec.
+  [[nodiscard]] virtual const CodecCapabilities& capabilities() const = 0;
+
+  [[nodiscard]] std::string name() const { return capabilities().name; }
+  [[nodiscard]] std::vector<std::string> supported_modes() const {
+    return capabilities().modes;
+  }
+
+  /// True when sessions of this compressor may run concurrently with
+  /// identical results. False for the simulated-GPU codecs (they share the
+  /// simulator's jitter stream, so modeled timings are call-order
+  /// dependent) and for zfp-omp (its chunks already occupy the global
+  /// pool); the sweep scheduler runs those serially.
+  [[nodiscard]] bool concurrent_sessions_safe() const {
+    return capabilities().concurrent_sessions_safe;
+  }
 
   /// Opens a session; pass an arena to share scratch buffers, or null to
   /// let the session own one. \p pool threads the session's intra-field
@@ -160,23 +174,17 @@ class Compressor {
   [[nodiscard]] virtual std::unique_ptr<CodecSession> open_session(
       ScratchArena* arena = nullptr, ThreadPool* pool = nullptr) = 0;
 
-  /// True when sessions of this compressor may run concurrently with
-  /// identical results. False for the simulated-GPU codecs (they share the
-  /// simulator's jitter stream, so modeled timings are call-order
-  /// dependent) and for zfp-omp (its chunks already occupy the global
-  /// pool); the sweep scheduler runs those serially.
-  [[nodiscard]] virtual bool concurrent_sessions_safe() const = 0;
-
   /// Fused compress+decompress convenience over a fresh session.
   [[nodiscard]] RunOutput run(const Field& field, const CompressorConfig& config);
 };
 
-/// Creates a compressor by registry name. GPU-backed compressors need a
-/// simulator; passing null for them throws.
+/// Creates a compressor by registered name (CodecRegistry::make). Device
+/// codecs need a simulator; passing null for them throws InvalidArgument,
+/// as does an unknown name (the message lists the registered codecs).
 std::unique_ptr<Compressor> make_compressor(const std::string& name,
                                             gpu::GpuSimulator* sim = nullptr);
 
-/// Registry names in evaluation order.
+/// Registered codec names in registration (= evaluation) order.
 std::vector<std::string> available_compressors();
 
 }  // namespace cosmo::foresight

@@ -32,6 +32,10 @@ OptimizationResult optimize_grid_dataset(
     choice.field = variable.field.name;
 
     for (const auto& config : it->second) {
+      // Capability pruning: a mixed candidate list (e.g. one grid shared by
+      // an abs- and a rate-mode codec) simply skips the modes this codec
+      // does not register instead of erroring out.
+      if (!compressor.capabilities().supports_mode(config.mode)) continue;
       CBenchResult r =
           bench.run_session(variable.field, compressor.name(), *session, config, cbuf, dbuf);
       const auto pk = analysis::pk_ratio(variable.field.data, r.reconstructed,
@@ -129,6 +133,7 @@ OptimizationResult optimize_particle_dataset(
   FieldChoice pos_choice;
   pos_choice.field = "position";
   for (const auto& config : position_candidates) {
+    if (!compressor.capabilities().supports_mode(config.mode)) continue;
     CBenchResult rx = bench.run_session(x, name, *session, config, cbuf, dbuf);
     CBenchResult ry = bench.run_session(y, name, *session, config, cbuf, dbuf);
     CBenchResult rz = bench.run_session(z, name, *session, config, cbuf, dbuf);
@@ -163,6 +168,7 @@ OptimizationResult optimize_particle_dataset(
   const auto& vy = data.find("vy").field;
   const auto& vz = data.find("vz").field;
   for (const auto& config : velocity_candidates) {
+    if (!compressor.capabilities().supports_mode(config.mode)) continue;
     CBenchResult rvx = bench.run_session(vx, name, *session, config, cbuf, dbuf);
     CBenchResult rvy = bench.run_session(vy, name, *session, config, cbuf, dbuf);
     CBenchResult rvz = bench.run_session(vz, name, *session, config, cbuf, dbuf);

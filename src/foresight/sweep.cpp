@@ -46,15 +46,43 @@ std::vector<CompressorConfig> rate_sweep(std::vector<double> bitrates) {
   return configs;
 }
 
+std::vector<CompressorConfig> configs_for_axis(const SweepAxis& axis, const Field& field) {
+  switch (axis.kind) {
+    case SweepAxis::Kind::kFixedValues: {
+      require(!axis.values.empty(), "sweep: axis '" + axis.mode + "' has no values");
+      std::vector<CompressorConfig> configs;
+      for (const double v : axis.values) configs.push_back({axis.mode, v});
+      return configs;
+    }
+    case SweepAxis::Kind::kRangeFractions: {
+      const auto [lo, hi] = value_range(field.view());
+      const double range = static_cast<double>(hi) - lo;
+      require(range > 0.0, "sweep: field has zero value range");
+      std::vector<CompressorConfig> configs;
+      for (const double frac : log_spaced(axis.lo, axis.hi, axis.count)) {
+        configs.push_back({axis.mode, range * frac});
+      }
+      return configs;
+    }
+    case SweepAxis::Kind::kLogValues: {
+      std::vector<CompressorConfig> configs;
+      for (const double v : log_spaced(axis.lo, axis.hi, axis.count)) {
+        configs.push_back({axis.mode, v});
+      }
+      return configs;
+    }
+  }
+  throw InvalidArgument("sweep: unknown axis kind");
+}
+
 std::vector<CompressorConfig> default_grid_candidates(const std::string& codec,
                                                       const Field& field) {
-  if (codec == "cuzfp" || codec == "zfp-cpu" || codec == "zfp-omp") {
-    return rate_sweep({1.0, 2.0, 4.0, 8.0});
-  }
-  if (codec == "gpu-sz" || codec == "sz-cpu") {
-    return abs_sweep_for_field(field, 2e-6, 2e-3, 4);
-  }
-  throw InvalidArgument("sweep: no default candidates for codec '" + codec + "'");
+  // Registry lookup throws InvalidArgument (listing registered codecs) for
+  // unknown names; a registered codec always carries a default lattice.
+  const CodecCapabilities& caps = CodecRegistry::instance().capabilities(codec);
+  require(!caps.default_sweep.empty(),
+          "sweep: no default candidates for codec '" + codec + "'");
+  return configs_for_axis(caps.default_sweep.front(), field);
 }
 
 }  // namespace cosmo::foresight

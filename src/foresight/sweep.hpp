@@ -24,9 +24,17 @@ std::vector<CompressorConfig> pwrel_sweep(double lo, double hi, std::size_t coun
 /// Fixed-rate sweep over the given bitrates.
 std::vector<CompressorConfig> rate_sweep(std::vector<double> bitrates);
 
-/// The default candidate grid per Nyx-like field for a codec name:
-/// "cuzfp"/"zfp-cpu"/"zfp-omp" get rates {1,2,4,8}; "gpu-sz"/"sz-cpu" get
-/// range-scaled absolute bounds (2e-6 .. 2e-3 of the range).
+/// Materializes one registered sweep axis against a concrete field:
+/// kFixedValues uses the values verbatim, kRangeFractions scales log-spaced
+/// fractions by the field's value range, kLogValues log-spaces absolute
+/// values. All configs carry the axis's mode.
+std::vector<CompressorConfig> configs_for_axis(const SweepAxis& axis, const Field& field);
+
+/// The default candidate grid per Nyx-like field for a registered codec:
+/// the codec's primary CodecCapabilities::default_sweep axis, materialized
+/// for \p field (e.g. the ZFP family registers rates {1,2,4,8}, the SZ/FZ
+/// family range-scaled absolute bounds 2e-6..2e-3 of the range). Unknown
+/// codecs throw InvalidArgument.
 std::vector<CompressorConfig> default_grid_candidates(const std::string& codec,
                                                       const Field& field);
 

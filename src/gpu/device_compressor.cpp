@@ -139,4 +139,45 @@ void GpuSzDevice::decompress_into(std::span<const std::uint8_t> bytes,
   });
 }
 
+DeviceCompressResult FzDevice::compress(std::span<const float> data, const Dims& dims,
+                                        double abs_bound) {
+  DeviceCompressResult out;
+  compress_into(data, dims, abs_bound, out);
+  return out;
+}
+
+void FzDevice::compress_into(std::span<const float> data, const Dims& dims, double abs_bound,
+                             DeviceCompressResult& out) {
+  TRACE_SPAN("gpu.device.compress");
+  fz::Params params;
+  params.abs_error_bound = abs_bound;
+  fz::compress_into(data, dims, params, out.bytes);
+  // FZ's kernel rate depends (weakly) on the achieved bitrate, which is
+  // only known after the sparsifier ran.
+  const double bitrate = stream_bitrate(out.bytes.size(), data.size());
+  out.kernel_gbps = sim_.kernel_rates("fz", bitrate).compress_gbps;
+  out.timing = run_with_retry(retry_, out.attempts, [&] {
+    return sim_.model_compression(data.size() * sizeof(float), out.bytes.size(),
+                                  out.kernel_gbps);
+  });
+}
+
+DeviceDecompressResult FzDevice::decompress(std::span<const std::uint8_t> bytes) {
+  DeviceDecompressResult out;
+  decompress_into(bytes, out);
+  return out;
+}
+
+void FzDevice::decompress_into(std::span<const std::uint8_t> bytes,
+                               DeviceDecompressResult& out) {
+  TRACE_SPAN("gpu.device.decompress");
+  fz::decompress_into(bytes, out.values, &out.dims);
+  const double bitrate = stream_bitrate(bytes.size(), out.values.size());
+  out.kernel_gbps = sim_.kernel_rates("fz", bitrate).decompress_gbps;
+  out.timing = run_with_retry(retry_, out.attempts, [&] {
+    return sim_.model_decompression(out.values.size() * sizeof(float), bytes.size(),
+                                    out.kernel_gbps);
+  });
+}
+
 }  // namespace cosmo::gpu

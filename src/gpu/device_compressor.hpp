@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/field.hpp"
+#include "fz/fz.hpp"
 #include "gpu/sim.hpp"
 #include "sz/pwrel.hpp"
 #include "sz/sz.hpp"
@@ -94,6 +95,35 @@ class GpuSzDevice {
   /// The paper excludes GPU-SZ throughput (unoptimized memory layout);
   /// callers should print N/A when this is false.
   static constexpr bool throughput_supported() { return false; }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+ private:
+  GpuSimulator& sim_;
+  RetryPolicy retry_;
+};
+
+/// FZ-GPU front-end (ABS only, like the real codec). Rank-agnostic: the
+/// chunked Lorenzo pipeline treats the field as a flat stream, so 1-D HACC
+/// arrays need no reshape.
+class FzDevice {
+ public:
+  explicit FzDevice(GpuSimulator& sim) : sim_(sim) {}
+
+  DeviceCompressResult compress(std::span<const float> data, const Dims& dims,
+                                double abs_bound);
+
+  /// Buffer-reusing variant (same modeled timing).
+  void compress_into(std::span<const float> data, const Dims& dims, double abs_bound,
+                     DeviceCompressResult& out);
+
+  DeviceDecompressResult decompress(std::span<const std::uint8_t> bytes);
+
+  /// Buffer-reusing variant of decompress().
+  void decompress_into(std::span<const std::uint8_t> bytes, DeviceDecompressResult& out);
+
+  /// Throughput reporting is supported for FZ (it is the codec's headline).
+  static constexpr bool throughput_supported() { return true; }
 
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
 

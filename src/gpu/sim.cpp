@@ -63,24 +63,43 @@ double GpuSimulator::free_seconds(std::uint64_t bytes) {
   return (1.2e-4 + static_cast<double>(bytes) / 1000e9) * jitter();
 }
 
+GpuSimulator::KernelRates GpuSimulator::kernel_rates(const std::string& profile,
+                                                     double bitrate) const {
+  const double bw = spec_.memory_bw_gbps * flop_factor(spec_);
+  if (profile == "zfp") {
+    // Memory-bound with bitrate-dependent coding cost: higher bitrates emit
+    // more bit planes per block, so throughput falls with bitrate
+    // (paper: "the kernel throughput is also decreased by increasing the
+    // bitrate"). Decompression serializes more on the embedded stream.
+    return {0.35 * bw / (1.0 + 0.15 * bitrate), 0.28 * bw / (1.0 + 0.15 * bitrate)};
+  }
+  if (profile == "sz") {
+    // OpenMP prototype with unoptimized memory layout (paper Section IV-B1);
+    // bitrate-independent because the prediction pass dominates.
+    return {0.02 * bw, 0.02 * bw};
+  }
+  if (profile == "fz") {
+    // FZ-GPU (arXiv:2304.12557): the bitshuffle + sparsifier passes are
+    // byte-oriented and branch-light, so the pipeline runs near memory
+    // bandwidth with only a weak bitrate dependence (denser planes mean a
+    // little more sparsifier payload traffic).
+    return {0.55 * bw / (1.0 + 0.04 * bitrate), 0.50 * bw / (1.0 + 0.04 * bitrate)};
+  }
+  throw InvalidArgument("gpu: unknown kernel profile '" + profile +
+                        "' (known: zfp, sz, fz)");
+}
+
+std::vector<std::string> GpuSimulator::kernel_profiles() { return {"zfp", "sz", "fz"}; }
+
 double GpuSimulator::zfp_compress_kernel_gbps(double bitrate) const {
-  // Memory-bound with bitrate-dependent coding cost: higher bitrates emit
-  // more bit planes per block, so throughput falls with bitrate
-  // (paper: "the kernel throughput is also decreased by increasing the
-  // bitrate").
-  const double base = 0.35 * spec_.memory_bw_gbps * flop_factor(spec_);
-  return base / (1.0 + 0.15 * bitrate);
+  return kernel_rates("zfp", bitrate).compress_gbps;
 }
 
 double GpuSimulator::zfp_decompress_kernel_gbps(double bitrate) const {
-  const double base = 0.28 * spec_.memory_bw_gbps * flop_factor(spec_);
-  return base / (1.0 + 0.15 * bitrate);
+  return kernel_rates("zfp", bitrate).decompress_gbps;
 }
 
-double GpuSimulator::sz_kernel_gbps() const {
-  // OpenMP prototype with unoptimized memory layout (paper Section IV-B1).
-  return 0.02 * spec_.memory_bw_gbps * flop_factor(spec_);
-}
+double GpuSimulator::sz_kernel_gbps() const { return kernel_rates("sz", 0.0).compress_gbps; }
 
 void GpuSimulator::poll_faults(const char* where) {
   // Explicitly attached plan first, then the process-wide one; both are

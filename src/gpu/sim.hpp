@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/fault.hpp"
 #include "common/telemetry.hpp"
@@ -65,15 +67,32 @@ class GpuSimulator {
   double alloc_seconds(std::uint64_t bytes);
   double free_seconds(std::uint64_t bytes);
 
+  /// One codec family's modeled kernel rates (GB/s of uncompressed data).
+  struct KernelRates {
+    double compress_gbps = 0.0;
+    double decompress_gbps = 0.0;
+  };
+
+  /// The kernel-rate catalog, keyed by a codec's kernel-profile id:
+  ///   "zfp" — cuZFP-style transform coding, throughput falling with bitrate;
+  ///   "sz"  — the GPU-SZ OpenMP prototype (unoptimized memory layout);
+  ///   "fz"  — FZ-GPU-style bitshuffle pipeline (arXiv:2304.12557), the
+  ///           fastest family with only a weak bitrate dependence.
+  /// Unknown profiles throw InvalidArgument listing the known ones.
+  [[nodiscard]] KernelRates kernel_rates(const std::string& profile, double bitrate) const;
+
+  /// Registered kernel-profile ids, in catalog order.
+  [[nodiscard]] static std::vector<std::string> kernel_profiles();
+
   /// cuZFP kernel rates (GB/s of uncompressed data) as a function of the
-  /// fixed-rate bitrate. Decompression is slightly slower (embedded-stream
-  /// decoding serializes more).
+  /// fixed-rate bitrate; views over kernel_rates("zfp", ...). Decompression
+  /// is slightly slower (embedded-stream decoding serializes more).
   [[nodiscard]] double zfp_compress_kernel_gbps(double bitrate) const;
   [[nodiscard]] double zfp_decompress_kernel_gbps(double bitrate) const;
 
-  /// GPU-SZ prototype kernel rate. The paper excludes GPU-SZ throughput
-  /// because the OpenMP prototype's memory layout is unoptimized; the
-  /// model reflects that prototype status.
+  /// GPU-SZ prototype kernel rate (kernel_rates("sz", ...)). The paper
+  /// excludes GPU-SZ throughput because the OpenMP prototype's memory
+  /// layout is unoptimized; the model reflects that prototype status.
   [[nodiscard]] double sz_kernel_gbps() const;
 
   /// Full pipeline models (Fig. 7): compression assumes raw data already in

@@ -13,6 +13,7 @@
 #include "codec/huffman.hpp"
 #include "codec/lzss.hpp"
 #include "common/thread_pool.hpp"
+#include "fz/fz.hpp"
 #include "io/crc32.hpp"
 #include "random/rng.hpp"
 #include "zfp/block_codec.hpp"
@@ -207,6 +208,78 @@ TEST(CodecFastPaths, ZfpDecodeIntsMirrorsEncodeBudget) {
     EXPECT_EQ(wrote, read) << "round " << round;
     EXPECT_EQ(br.position(), wrote) << "round " << round;
   }
+}
+
+TEST(CodecFastPaths, BitshuffleMatchesScalarReference) {
+  // Reference: the naive per-bit transpose the plane kernel implements in
+  // byte-oriented form. Any divergence is a stream format break.
+  auto reference_shuffle = [](std::span<const std::uint16_t> codes) {
+    const std::size_t plane_bytes = (codes.size() + 7) / 8;
+    std::vector<std::uint8_t> planes(16 * plane_bytes, 0);
+    for (std::size_t bit = 0; bit < 16; ++bit) {
+      for (std::size_t k = 0; k < codes.size(); ++k) {
+        if ((codes[k] >> bit) & 1u) {
+          planes[bit * plane_bytes + (k >> 3)] |=
+              static_cast<std::uint8_t>(1u << (k & 7));
+        }
+      }
+    }
+    return planes;
+  };
+
+  Rng rng(14);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 1000u, 4099u}) {
+    std::vector<std::uint16_t> codes(n);
+    for (auto& c : codes) c = static_cast<std::uint16_t>(rng.next_u64());
+    const auto planes = fz::bitshuffle(codes);
+    EXPECT_EQ(planes, reference_shuffle(codes)) << "n=" << n;
+    EXPECT_EQ(fz::bitunshuffle(planes, n), codes) << "n=" << n;
+  }
+}
+
+TEST(CodecFastPaths, ZeroRunExtremes) {
+  // All-zero input: bitmap only, no payload groups.
+  const std::vector<std::uint8_t> zeros(1024, 0);
+  const auto zenc = fz::zero_run_encode(zeros);
+  EXPECT_LT(zenc.size(), zeros.size() / 4);
+  EXPECT_EQ(fz::zero_run_decode(zenc), zeros);
+
+  // All-nonzero input: every group stored, bounded overhead.
+  std::vector<std::uint8_t> dense(1024);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    dense[i] = static_cast<std::uint8_t>(i | 1u);
+  }
+  const auto denc = fz::zero_run_encode(dense);
+  EXPECT_GE(denc.size(), dense.size());
+  EXPECT_LT(denc.size(), dense.size() + dense.size() / 8 + 64);
+  EXPECT_EQ(fz::zero_run_decode(denc), dense);
+
+  // Lengths that don't fill the last 16-byte group round-trip too.
+  for (const std::size_t n : {0u, 1u, 15u, 16u, 17u, 100u}) {
+    std::vector<std::uint8_t> buf(n, 0xAB);
+    EXPECT_EQ(fz::zero_run_decode(fz::zero_run_encode(buf)), buf) << "n=" << n;
+  }
+}
+
+TEST(CodecFastPaths, TruncatedFzThrows) {
+  const Dims dims = Dims::d3(16, 16, 16);
+  std::vector<float> data(dims.count());
+  Rng rng(15);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  fz::Params params;
+  params.abs_error_bound = 0.05;
+  const auto encoded = fz::compress(data, dims, params);
+  for (const std::size_t keep :
+       {std::size_t{4}, std::size_t{20}, encoded.size() / 4, encoded.size() / 2,
+        encoded.size() - 1}) {
+    auto cut = encoded;
+    cut.resize(keep);
+    EXPECT_THROW(fz::decompress(cut), FormatError) << "keep=" << keep;
+  }
+  // Wrong magic must be rejected before any size fields are trusted.
+  auto bad = encoded;
+  bad[0] ^= 0xFFu;
+  EXPECT_THROW(fz::decompress(bad), FormatError);
 }
 
 TEST(CodecFastPaths, Crc32MatchesByteAtATimeReference) {

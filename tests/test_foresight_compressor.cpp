@@ -18,9 +18,9 @@ Field smooth_field(const Dims& dims, std::uint64_t seed) {
   return f;
 }
 
-TEST(Registry, AllFiveCompressorsAvailable) {
+TEST(Registry, AllCompressorsAvailable) {
   const auto names = available_compressors();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 7u);  // the paper's five plus fz-cpu / fz-gpu
   gpu::GpuSimulator sim(gpu::find_device("V100"));
   for (const auto& name : names) {
     const auto codec = make_compressor(name, &sim);
@@ -32,8 +32,10 @@ TEST(Registry, AllFiveCompressorsAvailable) {
 TEST(Registry, GpuCompressorsNeedSimulator) {
   EXPECT_THROW(make_compressor("gpu-sz", nullptr), InvalidArgument);
   EXPECT_THROW(make_compressor("cuzfp", nullptr), InvalidArgument);
+  EXPECT_THROW(make_compressor("fz-gpu", nullptr), InvalidArgument);
   EXPECT_NO_THROW(make_compressor("sz-cpu", nullptr));
   EXPECT_NO_THROW(make_compressor("zfp-cpu", nullptr));
+  EXPECT_NO_THROW(make_compressor("fz-cpu", nullptr));
   EXPECT_THROW(make_compressor("nonexistent", nullptr), InvalidArgument);
 }
 

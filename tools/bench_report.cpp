@@ -42,6 +42,7 @@
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "fz/fz.hpp"
 #include "io/crc32.hpp"
 #include "json/json.hpp"
 #include "random/rng.hpp"
@@ -309,6 +310,57 @@ int run_kernel_bench(std::size_t edge, int repeats, const std::string& out_path,
     std::vector<float> recon;
     results.push_back(bench_kernel("sz_decode", field_bytes, repeats, [&] {
       sz::decompress_into(stream, recon, nullptr, nullptr);
+      return crc32(recon.data(), recon.size() * sizeof(float));
+    }));
+  }
+
+  // --- FZ stages: the bitshuffle transpose and zero-run sparsifier over
+  // the same quantization-code distribution the fz pipeline shuffles
+  // (zigzag-remapped so high planes are sparse), then the full pipeline.
+  {
+    std::vector<std::uint16_t> fz_symbols(codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (codes[i] == 0) {
+        fz_symbols[i] = 0;
+      } else {
+        const std::int32_t centered = static_cast<std::int32_t>(codes[i]) - (1 << 15);
+        const std::uint32_t zigzag = (static_cast<std::uint32_t>(centered) << 1) ^
+                                     static_cast<std::uint32_t>(centered >> 31);
+        fz_symbols[i] = static_cast<std::uint16_t>(zigzag + 1);
+      }
+    }
+    const std::size_t symbol_bytes = fz_symbols.size() * sizeof(std::uint16_t);
+    std::vector<std::uint8_t> planes;
+    results.push_back(bench_kernel("fz_bitshuffle", symbol_bytes, repeats, [&] {
+      planes = fz::bitshuffle(fz_symbols);
+      return crc32(planes.data(), planes.size());
+    }));
+    results.push_back(bench_kernel("fz_unshuffle", symbol_bytes, repeats, [&] {
+      const std::vector<std::uint16_t> back = fz::bitunshuffle(planes, fz_symbols.size());
+      require(back == fz_symbols, "bench: bitshuffle round trip mismatch");
+      return crc32(back.data(), back.size() * sizeof(std::uint16_t));
+    }));
+    std::vector<std::uint8_t> sparse;
+    results.push_back(bench_kernel("fz_zero_run_encode", planes.size(), repeats, [&] {
+      sparse = fz::zero_run_encode(planes);
+      return crc32(sparse.data(), sparse.size());
+    }));
+    results.push_back(bench_kernel("fz_zero_run_decode", planes.size(), repeats, [&] {
+      const std::vector<std::uint8_t> back = fz::zero_run_decode(sparse);
+      require(back == planes, "bench: zero-run round trip mismatch");
+      return crc32(back.data(), back.size());
+    }));
+
+    fz::Params fp;
+    fp.abs_error_bound = 0.1;
+    std::vector<std::uint8_t> stream;
+    results.push_back(bench_kernel("fz_encode", field_bytes, repeats, [&] {
+      fz::compress_into(field, dims, fp, stream, nullptr, nullptr);
+      return crc32(stream.data(), stream.size());
+    }));
+    std::vector<float> recon;
+    results.push_back(bench_kernel("fz_decode", field_bytes, repeats, [&] {
+      fz::decompress_into(stream, recon, nullptr, nullptr);
       return crc32(recon.data(), recon.size() * sizeof(float));
     }));
   }

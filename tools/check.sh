@@ -153,6 +153,14 @@ case "${mode}" in
       --baseline "${repo_root}/BENCH_kernels.json" --max-regress 0.30
     ;;
   trace)
+    # The registry roster must list every built-in codec, fz included.
+    codecs_out="$("${build_dir}/tools/foresight_cli" codecs)"
+    for codec in gpu-sz cuzfp sz-cpu zfp-cpu zfp-omp fz-cpu fz-gpu; do
+      if ! grep -q "^${codec} " <<< "${codecs_out}"; then
+        echo "error: codec '${codec}' missing from 'foresight_cli codecs'" >&2
+        exit 1
+      fi
+    done
     # Tiny GPU + CPU sweep with telemetry on, then validate the exports.
     smoke_out="${build_dir}/trace-smoke"
     cat > "${build_dir}/trace_smoke.json" <<SMOKE
@@ -163,6 +171,8 @@ case "${mode}" in
     {"compressor": "cuzfp", "fields": ["baryon_density"],
      "configs": [{"mode": "rate", "value": 4}]},
     {"compressor": "sz-cpu", "fields": ["temperature"],
+     "configs": [{"mode": "abs", "value": 0.1}]},
+    {"compressor": "fz-cpu", "fields": ["temperature"],
      "configs": [{"mode": "abs", "value": 0.1}]}
   ],
   "jobs": 2
@@ -174,15 +184,16 @@ SMOKE
     echo "${check_out}"
     # The stages the telemetry contract names must all appear in the trace.
     for span in session.open cbench.job cuzfp.compress cuzfp.decompress \
-                gpu.device.compress sz.lorenzo_quantize zfp.block_scan.encode; do
+                gpu.device.compress sz.lorenzo_quantize zfp.block_scan.encode \
+                fz-cpu.compress fz.compress; do
       if ! grep -q "${span}" <<< "${check_out}"; then
         echo "error: span '${span}' missing from trace" >&2
         exit 1
       fi
     done
     # The metrics export must have recorded the sweep's work.
-    if ! grep -q '"cbench.jobs": 2' "${smoke_out}/metrics.json"; then
-      echo "error: metrics.json did not record the 2 sweep jobs" >&2
+    if ! grep -q '"cbench.jobs": 3' "${smoke_out}/metrics.json"; then
+      echo "error: metrics.json did not record the 3 sweep jobs" >&2
       exit 1
     fi
     # Disabled tracing must stay under the 1% overhead contract.

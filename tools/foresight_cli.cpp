@@ -5,6 +5,7 @@
 ///
 /// Subcommands:
 ///   devices                         print Table I and the kernel model
+///   codecs                          print the codec registry (capabilities)
 ///   generate --type nyx|hacc --out F [--dim N] [--particles N] [--seed S]
 ///   info <file>                     describe a container (Table II style)
 ///   compress --codec C --mode M --value V --input F [--field NAME] [--gpu G]
@@ -39,6 +40,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: foresight_cli <command> [options]\n"
                "  devices\n"
+               "  codecs\n"
                "  generate --type nyx|hacc --out FILE [--dim N] [--particles N] [--seed S]\n"
                "  info FILE\n"
                "  compress --codec NAME --mode MODE --value V --input FILE [--field NAME] [--gpu NAME] [--threads N]\n"
@@ -50,6 +52,24 @@ int usage() {
 
 int cmd_devices() {
   std::printf("%s", gpu::format_table1().c_str());
+  return 0;
+}
+
+/// Prints the live codec registry — one row per registered compressor with
+/// its capabilities, so scripts (and check.sh) can assert on the roster
+/// without hard-coding names.
+int cmd_codecs() {
+  std::printf("%-8s %-26s %-7s %-11s %-11s %-8s %s\n", "name", "modes", "device",
+              "concurrent", "throughput", "profile", "summary");
+  for (const auto& name : foresight::available_compressors()) {
+    const auto& caps = foresight::CodecRegistry::instance().capabilities(name);
+    std::printf("%-8s %-26s %-7s %-11s %-11s %-8s %s\n", caps.name.c_str(),
+                caps.modes_label().c_str(), caps.needs_device ? "sim" : "host",
+                caps.concurrent_sessions_safe ? "yes" : "no",
+                caps.throughput_reportable ? "reported" : "n/a",
+                caps.kernel_profile.empty() ? "-" : caps.kernel_profile.c_str(),
+                caps.summary.c_str());
+  }
   return 0;
 }
 
@@ -255,6 +275,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
     if (command == "devices") return cmd_devices();
+    if (command == "codecs") return cmd_codecs();
     if (command == "generate") return cmd_generate(args);
     if (command == "info") return cmd_info(args);
     if (command == "compress") return cmd_compress(args);

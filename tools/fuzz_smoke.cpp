@@ -2,7 +2,8 @@
 /// \brief Seeded corruption fuzzing over every decode surface.
 ///
 /// For each codec (SZ, SZ-pw_rel, ZFP, ZFP-chunked, Huffman, LZSS, RLE,
-/// FPC) and the container loader, this tool encodes a clean stream once,
+/// FPC, FZ plus its bitshuffle / zero-run stage decoders) and the
+/// container loader, this tool encodes a clean stream once,
 /// then decodes N seeded mutations of it. The containment contract: every
 /// case either decodes or throws a cosmo::Error. Anything else — a crash,
 /// a sanitizer report (run under check.sh --fuzz-smoke), std::bad_alloc
@@ -26,6 +27,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "cosmo/nyx_synth.hpp"
+#include "fz/fz.hpp"
 #include "io/container.hpp"
 #include "sz/pwrel.hpp"
 #include "sz/sz.hpp"
@@ -179,6 +181,22 @@ int main(int argc, char** argv) {
   surfaces.push_back({"fpc", fpc_encode(field.data), [](const std::vector<std::uint8_t>& b) {
                         (void)fpc_decode(b);
                       }});
+  fz::Params fz_params;
+  fz_params.abs_error_bound = 0.1;
+  surfaces.push_back({"fz", fz::compress(field.data, field.dims, fz_params),
+                      [](const std::vector<std::uint8_t>& b) { (void)fz::decompress(b); }});
+  // The FZ stage decoders get their own surfaces: corrupted plane buffers
+  // and sparsifier streams must reject cleanly too, not just full streams.
+  std::vector<std::uint16_t> fz_codes(symbols.size());
+  for (std::size_t i = 0; i < fz_codes.size(); ++i) {
+    fz_codes[i] = static_cast<std::uint16_t>(symbols[i]);
+  }
+  surfaces.push_back({"fz-bitshuffle", fz::bitshuffle(fz_codes),
+                      [n = fz_codes.size()](const std::vector<std::uint8_t>& b) {
+                        (void)fz::bitunshuffle(b, n);
+                      }});
+  surfaces.push_back({"fz-zero-run", fz::zero_run_encode(raw_bytes),
+                      [](const std::vector<std::uint8_t>& b) { (void)fz::zero_run_decode(b); }});
   surfaces.push_back({"container", container_bytes,
                       [&container_path](const std::vector<std::uint8_t>& b) {
                         std::ofstream out(container_path, std::ios::binary | std::ios::trunc);
