@@ -8,13 +8,19 @@ void BitWriter::append(const BitWriter& other) {
 }
 
 std::vector<std::uint8_t> BitWriter::finish() const {
-  std::vector<std::uint8_t> out;
-  out.reserve((bit_count_ + 7) / 8);
-  auto push_word = [&out](std::uint64_t w, unsigned bytes) {
-    for (unsigned i = 0; i < bytes; ++i) out.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
-  };
-  for (const std::uint64_t w : words_) push_word(w, 8);
-  if (cur_bits_ > 0) push_word(cur_, (cur_bits_ + 7) / 8);
+  // Whole words serialize LSB-first, i.e. little-endian byte order; writing
+  // into a pre-sized buffer (instead of push_back per byte) keeps the loop
+  // store-bound. Bytes are identical to the byte-at-a-time version.
+  std::vector<std::uint8_t> out((bit_count_ + 7) / 8);
+  std::uint8_t* dst = out.data();
+  for (const std::uint64_t w : words_) {
+    for (unsigned i = 0; i < 8; ++i) dst[i] = static_cast<std::uint8_t>(w >> (8 * i));
+    dst += 8;
+  }
+  if (cur_bits_ > 0) {
+    const unsigned tail = (cur_bits_ + 7) / 8;
+    for (unsigned i = 0; i < tail; ++i) dst[i] = static_cast<std::uint8_t>(cur_ >> (8 * i));
+  }
   return out;
 }
 

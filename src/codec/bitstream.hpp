@@ -25,6 +25,14 @@
 namespace cosmo {
 
 /// Append-only bit writer.
+///
+/// Encode-side fast paths (see docs/architecture.md, "Encode fast paths"):
+/// `put_pair` fuses the two-field token writes the LZSS and Huffman
+/// encoders do (flag + payload, code + code) into a single masked append,
+/// and `reserve_bits` pre-sizes the word storage so a hot encode loop
+/// never reallocates mid-stream. Both are pure conveniences over `put`:
+/// LSB-first packing is associative, so the emitted bytes are identical
+/// to the equivalent sequence of single `put` calls.
 class BitWriter {
  public:
   /// Appends the low \p nbits bits of \p value (0 <= nbits <= 64).
@@ -46,6 +54,27 @@ class BitWriter {
     bit_count_ += nbits;
   }
 
+  /// Appends two fields in order — the low \p nbits_a bits of \p value_a,
+  /// then the low \p nbits_b bits of \p value_b. When the pair fits a word
+  /// (the token-shaped writes: LZSS flag+token, Huffman code+code) the two
+  /// appends collapse into one masked put; the wide case falls back to two.
+  void put_pair(std::uint64_t value_a, unsigned nbits_a, std::uint64_t value_b,
+                unsigned nbits_b) {
+    if (nbits_a + nbits_b <= 64 && nbits_a < 64) {
+      value_a &= (~0ull >> 1) >> (63 - nbits_a);  // nbits_a-wide mask, 0..63 safe
+      put(value_a | (value_b << nbits_a), nbits_a + nbits_b);
+    } else {
+      put(value_a, nbits_a);
+      put(value_b, nbits_b);
+    }
+  }
+
+  /// Reserves word storage for \p nbits more bits so subsequent puts in a
+  /// hot loop never grow the vector. Content and bit count are unchanged.
+  void reserve_bits(std::uint64_t nbits) {
+    words_.reserve(words_.size() + static_cast<std::size_t>(nbits / 64) + 2);
+  }
+
   /// Appends a single bit (branch-light specialization of put(bit, 1)).
   void put_bit(bool bit) {
     cur_ |= static_cast<std::uint64_t>(bit) << cur_bits_;
@@ -56,6 +85,8 @@ class BitWriter {
     }
     ++bit_count_;
   }
+
+  class Appender;
 
   /// Bit-level concatenation of another writer's content (the other writer
   /// is unchanged). Concatenation is associative, so encoding ranges into
@@ -78,6 +109,54 @@ class BitWriter {
   std::uint64_t cur_ = 0;
   unsigned cur_bits_ = 0;
   std::uint64_t bit_count_ = 0;
+};
+
+/// Register-resident append cursor over a BitWriter — the fast lane for
+/// encode loops that emit millions of small tokens (the LZSS encoder).
+///
+/// put() keeps the accumulator word and fill count in locals, so between
+/// word flushes the loop never round-trips writer state through memory;
+/// the packing itself is LSB-first into 64-bit words, identical bit for
+/// bit to the equivalent BitWriter::put calls. While an Appender is live
+/// the borrowed writer must not be used directly; flush() (or the
+/// destructor) writes the tail state back, after which the writer resumes
+/// as if it had performed every put itself.
+///
+/// Caller contract (unchecked, unlike BitWriter::put): 0 < nbits <= 64 and
+/// all bits of \p value at position >= nbits are zero.
+class BitWriter::Appender {
+ public:
+  explicit Appender(BitWriter& bw)
+      : bw_(bw), cur_(bw.cur_), cur_bits_(bw.cur_bits_) {}
+  Appender(const Appender&) = delete;
+  Appender& operator=(const Appender&) = delete;
+  ~Appender() { flush(); }
+
+  /// Appends the \p nbits-bit value (pre-masked; see class contract).
+  void put(std::uint64_t value, unsigned nbits) {
+    cur_ |= value << cur_bits_;
+    cur_bits_ += nbits;
+    if (cur_bits_ >= 64) {
+      bw_.words_.push_back(cur_);
+      cur_bits_ -= 64;
+      // Remaining high bits of value; cur_bits_ == 0 means the value ended
+      // exactly on the word boundary (shift by 64 - old fill would be UB).
+      cur_ = cur_bits_ != 0 ? value >> (nbits - cur_bits_) : 0;
+    }
+  }
+
+  /// Writes the local accumulator state back into the BitWriter. Safe to
+  /// call more than once; put() may continue after a flush.
+  void flush() {
+    bw_.cur_ = cur_;
+    bw_.cur_bits_ = cur_bits_;
+    bw_.bit_count_ = bw_.words_.size() * 64 + cur_bits_;
+  }
+
+ private:
+  BitWriter& bw_;
+  std::uint64_t cur_;
+  unsigned cur_bits_;
 };
 
 /// Sequential bit reader over a byte buffer produced by BitWriter.

@@ -62,32 +62,68 @@ std::vector<CanonicalEntry> canonicalize(const std::vector<std::uint32_t>& alpha
   return entries;
 }
 
-/// Canonical entries for a frequency map (tree + length-limited check +
-/// canonical ordering) — the codebook both container formats share.
-std::vector<CanonicalEntry> entries_for(const std::map<std::uint32_t, std::uint64_t>& freq_map) {
+/// Histogram of \p symbols as parallel (alphabet, freqs) vectors sorted by
+/// symbol — the same (symbol -> count) relation the old std::map frequency
+/// pass produced, in the same order, so the codebook built from it is
+/// identical.
+struct FreqTable {
   std::vector<std::uint32_t> alphabet;
   std::vector<std::uint64_t> freqs;
-  alphabet.reserve(freq_map.size());
-  freqs.reserve(freq_map.size());
-  for (const auto& [sym, f] : freq_map) {
-    alphabet.push_back(sym);
-    freqs.push_back(f);
+};
+
+/// Alphabet spans counted with a dense array. Quantization codes cluster
+/// in a few-thousand-symbol band around the radius, so the dense path is
+/// the production one; wider alphabets fall back to the sparse map.
+constexpr std::uint64_t kDenseHistSpan = 1u << 22;
+
+FreqTable count_freqs(const std::uint32_t* syms, std::size_t n) {
+  FreqTable ft;
+  if (n == 0) return ft;
+  std::uint32_t lo = syms[0], hi = syms[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, syms[i]);
+    hi = std::max(hi, syms[i]);
   }
-  std::vector<unsigned> lengths = huffman_code_lengths(freqs);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+  if (span <= kDenseHistSpan) {
+    std::vector<std::uint64_t> hist(static_cast<std::size_t>(span), 0);
+    for (std::size_t i = 0; i < n; ++i) ++hist[syms[i] - lo];
+    for (std::size_t s = 0; s < hist.size(); ++s) {
+      if (hist[s] == 0) continue;
+      ft.alphabet.push_back(lo + static_cast<std::uint32_t>(s));
+      ft.freqs.push_back(hist[s]);
+    }
+  } else {
+    std::map<std::uint32_t, std::uint64_t> freq_map;
+    for (std::size_t i = 0; i < n; ++i) ++freq_map[syms[i]];
+    for (const auto& [sym, f] : freq_map) {
+      ft.alphabet.push_back(sym);
+      ft.freqs.push_back(f);
+    }
+  }
+  return ft;
+}
+
+/// Canonical entries for a histogram (tree + length-limited check +
+/// canonical ordering) — the codebook both container formats share.
+std::vector<CanonicalEntry> entries_for(const FreqTable& ft) {
+  std::vector<unsigned> lengths = huffman_code_lengths(ft.freqs);
   for (const auto len : lengths) {
     require(len <= kMaxCodeLen, "huffman: code length exceeds limit (pathological distribution)");
   }
-  return canonicalize(alphabet, lengths);
+  return canonicalize(ft.alphabet, lengths);
 }
 
 /// Encoder-side lookup: dense array over [min_symbol, max_symbol] when the
 /// alphabet span is small (quantization codes cluster around the radius),
-/// std::map fallback otherwise. Stores the code bit-reversed so one
-/// BitWriter::put() emits the same MSB-first bit sequence the per-bit loop
-/// used to produce.
+/// std::map fallback otherwise. Each dense entry packs the bit-reversed
+/// code next to its length (code << 6 | length, kMaxCodeLen = 58 fits), so
+/// the emit loop is one table load plus one BitWriter::put per symbol —
+/// no per-symbol branching — and still writes the exact MSB-first bit
+/// sequence the per-bit loop used to produce.
 struct EncodeTable {
   std::uint32_t min_symbol = 0;
-  std::vector<std::pair<std::uint64_t, unsigned>> dense;  // (reversed code, length)
+  std::vector<std::uint64_t> dense;  // reversed code << 6 | length
   std::map<std::uint32_t, std::pair<std::uint64_t, unsigned>> sparse;
 
   explicit EncodeTable(const std::vector<CanonicalEntry>& entries) {
@@ -98,9 +134,9 @@ struct EncodeTable {
       hi = std::max(hi, e.symbol);
     }
     const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
-    if (span <= (1u << 22)) {
+    if (span <= kDenseHistSpan) {
       min_symbol = lo;
-      dense.assign(span, {0, 0});
+      dense.assign(static_cast<std::size_t>(span), 0);
     }
     for (const auto& e : entries) {
       std::uint64_t rev = 0;
@@ -108,21 +144,43 @@ struct EncodeTable {
         rev |= ((e.code >> (e.length - 1 - i)) & 1u) << i;
       }
       if (!dense.empty()) {
-        dense[e.symbol - min_symbol] = {rev, e.length};
+        dense[e.symbol - min_symbol] = rev << 6 | e.length;
       } else {
         sparse[e.symbol] = {rev, e.length};
       }
     }
   }
 
-  void emit(BitWriter& bw, std::uint32_t symbol) const {
+  /// Appends the codes for \p syms[0..n) to \p bw. The dense/sparse
+  /// decision is hoisted out of the loop; the dense loop body is a load,
+  /// a shift pair, and a put.
+  void encode_all(BitWriter& bw, const std::uint32_t* syms, std::size_t n) const {
     if (!dense.empty()) {
-      const auto& [code, len] = dense[symbol - min_symbol];
-      bw.put(code, len);
+      const std::uint64_t* const table = dense.data();
+      const std::uint32_t base = min_symbol;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t e = table[syms[i] - base];
+        bw.put(e >> 6, static_cast<unsigned>(e & 63));
+      }
     } else {
-      const auto& [code, len] = sparse.at(symbol);
-      bw.put(code, len);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& [code, len] = sparse.at(syms[i]);
+        bw.put(code, len);
+      }
     }
+  }
+
+  /// Exact payload bit count for a histogram encoded with this table
+  /// (sum of freq * length) — lets encoders reserve the stream up front.
+  [[nodiscard]] std::uint64_t payload_bits(const FreqTable& ft) const {
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < ft.alphabet.size(); ++i) {
+      const unsigned len =
+          !dense.empty() ? static_cast<unsigned>(dense[ft.alphabet[i] - min_symbol] & 63)
+                         : sparse.at(ft.alphabet[i]).second;
+      bits += ft.freqs[i] * len;
+    }
+    return bits;
   }
 };
 
@@ -301,12 +359,40 @@ double shannon_entropy_bits(const std::vector<std::uint64_t>& freqs) {
 }
 
 std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbols) {
-  // Dense frequency map over the sparse alphabet.
-  std::map<std::uint32_t, std::uint64_t> freq_map;
-  for (const auto s : symbols) ++freq_map[s];
-  const auto entries = entries_for(freq_map);
+  // Dense (radix) histogram over the bounded quantizer alphabet, sparse-map
+  // fallback for wide alphabets — identical counts, in symbol order, to the
+  // old std::map frequency pass.
+  const FreqTable ft = count_freqs(symbols.data(), symbols.size());
+  const auto entries = entries_for(ft);
   const EncodeTable table(entries);
 
+  BitWriter bw;
+  bw.reserve_bits(128 + 38 * static_cast<std::uint64_t>(entries.size()) +
+                  table.payload_bits(ft));
+  bw.put(kMagic, 32);
+  bw.put(symbols.size(), 64);
+  bw.put(entries.size(), 32);
+  for (const auto& e : entries) {
+    bw.put(e.symbol, 32);
+    bw.put(e.length, 6);
+  }
+  table.encode_all(bw, symbols.data(), symbols.size());
+  return bw.finish();
+}
+
+std::vector<std::uint8_t> huffman_encode_reference(const std::vector<std::uint32_t>& symbols) {
+  std::map<std::uint32_t, std::uint64_t> freq_map;
+  for (const auto s : symbols) ++freq_map[s];
+  FreqTable ft;
+  for (const auto& [sym, f] : freq_map) {
+    ft.alphabet.push_back(sym);
+    ft.freqs.push_back(f);
+  }
+  const auto entries = entries_for(ft);
+  // MSB-first bit-at-a-time emission from the canonical codes — maximally
+  // independent of the table-driven path it is the oracle for.
+  std::map<std::uint32_t, CanonicalEntry> by_symbol;
+  for (const auto& e : entries) by_symbol[e.symbol] = e;
   BitWriter bw;
   bw.put(kMagic, 32);
   bw.put(symbols.size(), 64);
@@ -315,7 +401,10 @@ std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbo
     bw.put(e.symbol, 32);
     bw.put(e.length, 6);
   }
-  for (const auto s : symbols) table.emit(bw, s);
+  for (const auto s : symbols) {
+    const CanonicalEntry& e = by_symbol.at(s);
+    for (unsigned b = e.length; b-- > 0;) bw.put_bit(((e.code >> b) & 1u) != 0);
+  }
   return bw.finish();
 }
 
@@ -326,27 +415,17 @@ std::vector<std::uint8_t> huffman_encode_chunked(const std::vector<std::uint32_t
   const std::size_t n_chunks =
       symbols.empty() ? 0 : (symbols.size() + chunk_symbols - 1) / chunk_symbols;
 
-  // Global histogram from per-chunk partials. Chunk geometry is fixed by
-  // chunk_symbols, and integer merges commute, so the codebook is identical
-  // for any thread count.
-  std::vector<std::map<std::uint32_t, std::uint64_t>> partial(n_chunks);
-  parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t c = lo; c < hi; ++c) {
-      const std::size_t begin = c * chunk_symbols;
-      const std::size_t end = std::min(begin + chunk_symbols, symbols.size());
-      auto& m = partial[c];
-      for (std::size_t i = begin; i < end; ++i) ++m[symbols[i]];
-    }
-  }, /*min_grain=*/1);
-  std::map<std::uint32_t, std::uint64_t> freq_map;
-  for (const auto& m : partial) {
-    for (const auto& [sym, f] : m) freq_map[sym] += f;
-  }
-  const auto entries = entries_for(freq_map);
+  // Global histogram in one dense counting pass. The old per-chunk
+  // std::map partials merged to the same counts for any thread count; a
+  // single serial pass is both faster than the parallel map builds were
+  // and trivially thread-count-independent.
+  const FreqTable ft = count_freqs(symbols.data(), symbols.size());
+  const auto entries = entries_for(ft);
   const EncodeTable table(entries);
 
   // Chunk payloads, each byte-aligned (BitWriter::finish pads), encoded in
-  // parallel with the shared codebook.
+  // parallel with the shared codebook. The writer (and its word storage)
+  // is reused across each worker's chunks.
   std::vector<std::vector<std::uint8_t>> payloads(n_chunks);
   parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
     BitWriter bw;
@@ -354,7 +433,7 @@ std::vector<std::uint8_t> huffman_encode_chunked(const std::vector<std::uint32_t
       bw.clear();
       const std::size_t begin = c * chunk_symbols;
       const std::size_t end = std::min(begin + chunk_symbols, symbols.size());
-      for (std::size_t i = begin; i < end; ++i) table.emit(bw, symbols[i]);
+      table.encode_all(bw, symbols.data() + begin, end - begin);
       payloads[c] = bw.finish();
     }
   }, /*min_grain=*/1);
@@ -370,6 +449,9 @@ std::vector<std::uint8_t> huffman_encode_chunked(const std::vector<std::uint32_t
     header.put(e.length, 6);
   }
   std::vector<std::uint8_t> out = header.finish();
+  std::size_t total_payload = 0;
+  for (const auto& p : payloads) total_payload += p.size();
+  out.reserve(out.size() + 4 * n_chunks + total_payload);
   for (const auto& p : payloads) {
     const auto len = static_cast<std::uint32_t>(p.size());
     for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));

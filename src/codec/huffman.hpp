@@ -32,6 +32,11 @@ std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& bytes
 /// the reference path on the same stream; not a production entry point.
 std::vector<std::uint32_t> huffman_decode_reference(const std::vector<std::uint8_t>& bytes);
 
+/// Encodes with the reference pipeline (std::map histogram, per-symbol
+/// MSB-first bit-at-a-time emission) — the byte-identity oracle for the
+/// table-driven huffman_encode() fast path; not a production entry point.
+std::vector<std::uint8_t> huffman_encode_reference(const std::vector<std::uint32_t>& symbols);
+
 /// Chunked container: one codebook built from the global histogram, payload
 /// split into byte-aligned chunks of \p chunk_symbols symbols (0 selects
 /// the default, 1<<18). Both directions parallelize over chunks on \p pool;

@@ -1,10 +1,13 @@
 #include "codec/lzss.hpp"
 
 #include <array>
+#include <bit>
 #include <cstring>
+#include <limits>
 
 #include "codec/bitstream.hpp"
 #include "common/error.hpp"
+#include "common/scratch_arena.hpp"
 
 namespace cosmo {
 
@@ -21,15 +24,167 @@ constexpr std::size_t kHashSize = 1u << 15;
 constexpr int kMaxChain = 32;
 constexpr std::size_t kDefaultChunkBytes = 1u << 20;
 
+std::uint32_t hash_u32(std::uint32_t x) { return (x * 2654435761u) >> (32 - 15); }
+
 std::uint32_t hash4(const std::uint8_t* p) {
   std::uint32_t x;
   std::memcpy(&x, p, 4);
-  return (x * 2654435761u) >> (32 - 15);
+  return hash_u32(x);
+}
+
+/// Match length between input[c..] and input[i..] capped at \p max_len,
+/// comparing 8 bytes at a time: memcpy + XOR + countr_zero finds the first
+/// differing byte without a per-byte loop. Reads stay in bounds because
+/// c < i and the word loop only runs while i + len + 8 <= i + max_len
+/// <= size. Returns exactly what the byte-at-a-time compare returned.
+inline std::size_t match_length(const std::uint8_t* input, std::size_t c, std::size_t i,
+                                std::size_t max_len) {
+  std::size_t len = 0;
+  while (len + 8 <= max_len) {
+    std::uint64_t a, b;
+    std::memcpy(&a, input + c + len, 8);
+    std::memcpy(&b, input + i + len, 8);
+    const std::uint64_t x = a ^ b;
+    if (x != 0) return len + (static_cast<unsigned>(std::countr_zero(x)) >> 3);
+    len += 8;
+  }
+  while (len < max_len && input[c + len] == input[i + len]) ++len;
+  return len;
 }
 
 /// Single-stream encode over a raw byte range (the chunked container calls
 /// this once per chunk, so each chunk's window never reaches outside it).
-std::vector<std::uint8_t> encode_range(const std::uint8_t* input, std::size_t size) {
+///
+/// The fast path reproduces the reference encoder's stream byte for byte.
+/// The argument that lets it restructure the search: the emitted token at
+/// a position depends only on the *final* (best_len, best_dist) — and the
+/// final best is always the earliest candidate (in chain order, capped at
+/// kMaxChain visited) whose common prefix with the probe is maximal, with
+/// a match emitted iff that maximum reaches kMinMatch. Intermediate
+/// sub-kMinMatch "best" values the reference tracks can never change the
+/// output, so candidates whose first four bytes differ from the probe's
+/// (their prefix is < kMinMatch) are skipped without a compare. The
+/// mechanics on top of that:
+///  - each candidate is gated on one 32-bit compare of its first four
+///    bytes; only gate survivors run the full match_length (8 bytes at a
+///    time: memcpy + XOR + countr_zero). Skipped candidates still count
+///    against kMaxChain, exactly like the reference walk;
+///  - once a best of >= kMinMatch exists, a surviving candidate must also
+///    match at offset best_len to beat it (in bounds: best_len < max_len
+///    <= size - i inside the loop — a best_len == max_len match breaks
+///    out);
+///  - the walk exits on a single compare: cand < limit covers both the -1
+///    sentinel and the out-of-window candidate (limit >= 0 always);
+///  - tokens stream through a BitWriter::Appender, one fused pre-masked
+///    append per token, with word storage reserved up front;
+///  - the probe's hash reuses the four probe bytes already loaded for the
+///    gate, and the literal-path insert reuses the head entry the search
+///    already read (the search never writes the tables);
+///  - the head/prev chain tables are 32-bit and leased from \p arena (when
+///    given) so per-chunk runs reuse capacity instead of reallocating, and
+///    prev is never pre-filled: entries are written at insert time before
+///    any chain walk can read them.
+std::vector<std::uint8_t> encode_range(const std::uint8_t* input, std::size_t size,
+                                       ScratchArena* arena) {
+  BitWriter bw;
+  // Worst case is all literals: 9 bits per input byte + the 96-bit header.
+  // One reserve up front, no growth in the loop.
+  bw.reserve_bits(size * 9 + 96);
+
+  // Positions fit int32: the chunked container caps ranges at chunk_bytes
+  // and callers of the single-stream path are bounded by the container
+  // formats (u32 chunk sizes). Guarded here so a hypothetical >2 GiB range
+  // fails loudly instead of corrupting chains.
+  require(size <= static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()),
+          "lzss: range exceeds 2 GiB match-table limit");
+
+  ScratchArena local_arena;
+  if (arena == nullptr) arena = &local_arena;
+  ArenaLease<std::int32_t> head_lease = arena->ints();
+  ArenaLease<std::int32_t> prev_lease = arena->ints();
+  head_lease->assign(kHashSize, -1);
+  if (prev_lease->size() < size) prev_lease->resize(size);
+  std::int32_t* const head = head_lease->data();
+  std::int32_t* const prev = prev_lease->data();
+
+  BitWriter::Appender ap(bw);
+  ap.put(kMagic, 32);
+  ap.put(size, 64);
+
+  std::size_t i = 0;
+  while (i < size) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    std::uint32_t h = 0;
+    std::int32_t cand0 = -1;
+    bool hashed = false;
+    if (i + kMinMatch <= size) {
+      std::uint32_t vi;
+      std::memcpy(&vi, input + i, 4);
+      h = hash_u32(vi);
+      hashed = true;
+      cand0 = head[h];
+      // Overlap the next position's head load with this walk (pure hint;
+      // no effect on the tables or the stream).
+      if (i + 5 <= size) __builtin_prefetch(&head[hash4(&input[i + 1])], 1);
+      const std::int32_t limit =
+          i > kWindow ? static_cast<std::int32_t>(i - kWindow) : 0;
+      std::int32_t cand = cand0;
+      const std::size_t max_len = std::min(kMaxMatch, size - i);
+      for (int chain = 0; chain < kMaxChain; ++chain) {
+        if (cand < limit) break;
+        const std::size_t c = static_cast<std::size_t>(cand);
+        std::uint32_t vc;
+        std::memcpy(&vc, input + c, 4);
+        cand = prev[c];
+        if (vc == vi &&
+            (best_len < kMinMatch || input[c + best_len] == input[i + best_len])) {
+          const std::size_t len = match_length(input, c, i, max_len);
+          if (len > best_len) {
+            best_len = len;
+            best_dist = i - c;
+            if (len == max_len) break;
+          }
+        }
+      }
+    }
+    if (best_len >= kMinMatch) {
+      // flag=1, dist-1 (16 bits), len-kMinMatch (8 bits) in one append.
+      ap.put(1ull | ((best_dist - 1) << 1) |
+                 ((best_len - kMinMatch) << (1 + kWindowBits)),
+             1 + kWindowBits + kLengthBits);
+      // Insert all covered positions into the hash chains; the first one
+      // reuses the search's hash and head entry.
+      const std::size_t end = std::min(i + best_len, size >= 4 ? size - 3 : 0);
+      std::size_t j = i;
+      if (j < end) {
+        prev[j] = cand0;
+        head[h] = static_cast<std::int32_t>(j);
+        ++j;
+      }
+      for (; j < end; ++j) {
+        const std::uint32_t h2 = hash4(&input[j]);
+        prev[j] = head[h2];
+        head[h2] = static_cast<std::int32_t>(j);
+      }
+      i += best_len;
+    } else {
+      ap.put(static_cast<std::uint64_t>(input[i]) << 1, 9);
+      if (hashed) {
+        prev[i] = cand0;
+        head[h] = static_cast<std::int32_t>(i);
+      }
+      ++i;
+    }
+  }
+  ap.flush();
+  return bw.finish();
+}
+
+/// The pre-fast-path encoder, byte-at-a-time compares and per-field puts —
+/// kept as the byte-identity oracle for the fast path (see
+/// lzss_encode_reference()).
+std::vector<std::uint8_t> encode_range_reference(const std::uint8_t* input, std::size_t size) {
   BitWriter bw;
   bw.put(kMagic, 32);
   bw.put(size, 64);
@@ -119,8 +274,13 @@ std::size_t max_declared_output(std::size_t payload_bytes) {
 
 }  // namespace
 
-std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input) {
-  return encode_range(input.data(), input.size());
+std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input,
+                                      ScratchArena* arena) {
+  return encode_range(input.data(), input.size(), arena);
+}
+
+std::vector<std::uint8_t> lzss_encode_reference(const std::vector<std::uint8_t>& input) {
+  return encode_range_reference(input.data(), input.size());
 }
 
 std::vector<std::uint8_t> lzss_decode(const std::vector<std::uint8_t>& input) {
@@ -142,13 +302,16 @@ std::vector<std::uint8_t> lzss_encode_chunked(const std::vector<std::uint8_t>& i
 
   // Each chunk is an independent single-stream container; the geometry is
   // fixed by chunk_bytes, never the pool size, so the assembled buffer is
-  // byte-identical for any thread count.
+  // byte-identical for any thread count. Each worker range gets its own
+  // arena (arenas are not thread-safe) so the head/prev chain tables are
+  // allocated once per worker and reused across its chunks.
   std::vector<std::vector<std::uint8_t>> payloads(n_chunks);
   parallel_for(pool, n_chunks, [&](std::size_t lo, std::size_t hi) {
+    ScratchArena arena;
     for (std::size_t c = lo; c < hi; ++c) {
       const std::size_t begin = c * chunk_bytes;
       const std::size_t end = std::min(begin + chunk_bytes, input.size());
-      payloads[c] = encode_range(input.data() + begin, end - begin);
+      payloads[c] = encode_range(input.data() + begin, end - begin, &arena);
     }
   }, /*min_grain=*/1);
 
@@ -158,6 +321,9 @@ std::vector<std::uint8_t> lzss_encode_chunked(const std::vector<std::uint8_t>& i
   header.put(chunk_bytes, 32);
   header.put(n_chunks, 32);
   std::vector<std::uint8_t> out = header.finish();
+  std::size_t total_payload = 0;
+  for (const auto& p : payloads) total_payload += p.size();
+  out.reserve(out.size() + 4 * n_chunks + total_payload);
   for (const auto& p : payloads) {
     const auto len = static_cast<std::uint32_t>(p.size());
     for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));

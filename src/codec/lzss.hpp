@@ -15,8 +15,21 @@
 
 namespace cosmo {
 
+class ScratchArena;
+
 /// Compresses \p input; output is self-describing (stores original size).
-std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input);
+/// When \p arena is given, the hash-chain match tables are leased from it
+/// (and returned on exit) so repeated calls reuse their capacity; the arena
+/// must not be shared across threads. Streams are byte-identical with or
+/// without an arena.
+std::vector<std::uint8_t> lzss_encode(const std::vector<std::uint8_t>& input,
+                                      ScratchArena* arena = nullptr);
+
+/// Encodes with the pre-fast-path encoder (byte-at-a-time match compares,
+/// per-field token emission, freshly allocated chain tables). Exposed so
+/// tests can pin the fast encode path to the reference stream byte for
+/// byte; not a production entry point.
+std::vector<std::uint8_t> lzss_encode_reference(const std::vector<std::uint8_t>& input);
 
 /// Inverse of lzss_encode() or lzss_encode_chunked() (dispatches on the
 /// magic). Throws FormatError on malformed input.

@@ -37,6 +37,10 @@ ArenaLease<std::uint8_t> ScratchArena::bytes() {
   return acquire<std::uint8_t>(this, byte_pool_, stats_, leased_bytes_);
 }
 
+ArenaLease<std::int32_t> ScratchArena::ints() {
+  return acquire<std::int32_t>(this, int_pool_, stats_, leased_bytes_);
+}
+
 void ScratchArena::account_release(std::size_t capacity_bytes) {
   // The buffer may have grown (or been handed out fresh) while leased, so
   // the leased-bytes estimate is clamped rather than strictly decremented.
@@ -60,9 +64,15 @@ void ScratchArena::release(std::unique_ptr<std::vector<std::uint8_t>> buf) {
   byte_pool_.push_back(std::move(buf));
 }
 
+void ScratchArena::release(std::unique_ptr<std::vector<std::int32_t>> buf) {
+  account_release(buf->capacity() * sizeof(std::int32_t));
+  int_pool_.push_back(std::move(buf));
+}
+
 void ScratchArena::trim() {
   float_pool_.clear();
   byte_pool_.clear();
+  int_pool_.clear();
   stats_.pooled_buffers = 0;
   stats_.pooled_bytes = 0;
 }

@@ -84,6 +84,9 @@ class ScratchArena {
   [[nodiscard]] ArenaLease<float> floats();
   /// Leases a byte buffer; contents and size are unspecified.
   [[nodiscard]] ArenaLease<std::uint8_t> bytes();
+  /// Leases an int32 buffer (codec index/chain tables); contents and size
+  /// are unspecified.
+  [[nodiscard]] ArenaLease<std::int32_t> ints();
 
   [[nodiscard]] Stats stats() const { return stats_; }
 
@@ -96,10 +99,12 @@ class ScratchArena {
 
   void release(std::unique_ptr<std::vector<float>> buf);
   void release(std::unique_ptr<std::vector<std::uint8_t>> buf);
+  void release(std::unique_ptr<std::vector<std::int32_t>> buf);
   void account_release(std::size_t capacity_bytes);
 
   std::vector<std::unique_ptr<std::vector<float>>> float_pool_;
   std::vector<std::unique_ptr<std::vector<std::uint8_t>>> byte_pool_;
+  std::vector<std::unique_ptr<std::vector<std::int32_t>>> int_pool_;
   Stats stats_;
   /// Last-known capacity of leased buffers; refreshed when leases return
   /// (a leased buffer may grow while out, so the high-water mark is exact

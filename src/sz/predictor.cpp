@@ -52,14 +52,20 @@ RegressionCoef fit_regression(std::span<const float> data, const Dims& dims,
   const double cy = (ny - 1.0) / 2.0;
   const double cz = (nz - 1.0) / 2.0;
 
+  // Row-based interior loop: the per-point dims.index() is hoisted to one
+  // row base per (y, z) and the x loop is branch-free straight-line FP.
+  // Accumulation order (x fastest, then y, then z) is unchanged, so the
+  // sums — and the coefficients stored in the stream — are bit-identical.
+  const std::size_t row_n = blk.x1 - blk.x0;
   double sum = 0.0, sx = 0.0, sy = 0.0, sz_ = 0.0;
   for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+    const double dz = static_cast<double>(z - blk.z0) - cz;
     for (std::size_t y = blk.y0; y < blk.y1; ++y) {
-      for (std::size_t x = blk.x0; x < blk.x1; ++x) {
-        const double f = data[dims.index(x, y, z)];
-        const double dx = static_cast<double>(x - blk.x0) - cx;
-        const double dy = static_cast<double>(y - blk.y0) - cy;
-        const double dz = static_cast<double>(z - blk.z0) - cz;
+      const double dy = static_cast<double>(y - blk.y0) - cy;
+      const float* row = data.data() + dims.index(blk.x0, y, z);
+      for (std::size_t k = 0; k < row_n; ++k) {
+        const double f = row[k];
+        const double dx = static_cast<double>(k) - cx;
         sum += f;
         sx += f * dx;
         sy += f * dy;
@@ -87,12 +93,43 @@ RegressionCoef fit_regression(std::span<const float> data, const Dims& dims,
 
 double lorenzo_error_estimate(std::span<const float> data, const Dims& dims,
                               const BlockRange& blk) {
+  // The estimate predicts from *original* neighbors, so unlike the encode
+  // loop there is no loop-carried dependence: interior rows run the
+  // branch-free stencil (lorenzo_predict3_interior) and only boundary rows
+  // and boundary columns pay the general masked path. Same per-point
+  // expressions in the same order — the sum is bit-identical.
   double err = 0.0;
+  const int rank = dims.rank();
+  const std::size_t nx = dims.nx;
+  const std::size_t nxy = dims.nx * dims.ny;
+  const std::size_t row_n = blk.x1 - blk.x0;
+  const float* d = data.data();
   for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+    const bool zm = z > blk.z0;
     for (std::size_t y = blk.y0; y < blk.y1; ++y) {
-      for (std::size_t x = blk.x0; x < blk.x1; ++x) {
-        const float pred = lorenzo_predict(data, dims, blk, x, y, z);
-        err += std::fabs(static_cast<double>(data[dims.index(x, y, z)]) - pred);
+      const bool ym = y > blk.y0;
+      const std::size_t row = dims.index(blk.x0, y, z);
+      std::size_t k = 0;
+      if ((rank == 3 && ym && zm) || (rank == 2 && ym)) {
+        // Boundary column x0, then the branch-free interior.
+        err += std::fabs(static_cast<double>(d[row]) -
+                         lorenzo_predict(data, dims, blk, blk.x0, y, z));
+        if (rank == 3) {
+          for (k = 1; k < row_n; ++k) {
+            const float pred = lorenzo_predict3_interior(d, row + k, nx, nxy);
+            err += std::fabs(static_cast<double>(d[row + k]) - pred);
+          }
+        } else {
+          for (k = 1; k < row_n; ++k) {
+            const float pred = lorenzo_predict2_interior(d, row + k, nx);
+            err += std::fabs(static_cast<double>(d[row + k]) - pred);
+          }
+        }
+      } else {
+        for (k = 0; k < row_n; ++k) {
+          const float pred = lorenzo_predict(data, dims, blk, blk.x0 + k, y, z);
+          err += std::fabs(static_cast<double>(d[row + k]) - pred);
+        }
       }
     }
   }
@@ -102,11 +139,15 @@ double lorenzo_error_estimate(std::span<const float> data, const Dims& dims,
 double regression_error_estimate(std::span<const float> data, const Dims& dims,
                                  const BlockRange& blk, const RegressionCoef& coef) {
   double err = 0.0;
+  const std::size_t row_n = blk.x1 - blk.x0;
   for (std::size_t z = blk.z0; z < blk.z1; ++z) {
     for (std::size_t y = blk.y0; y < blk.y1; ++y) {
-      for (std::size_t x = blk.x0; x < blk.x1; ++x) {
-        const float pred = coef.predict(x - blk.x0, y - blk.y0, z - blk.z0);
-        err += std::fabs(static_cast<double>(data[dims.index(x, y, z)]) - pred);
+      const float* row = data.data() + dims.index(blk.x0, y, z);
+      const std::size_t dy = y - blk.y0;
+      const std::size_t dz = z - blk.z0;
+      for (std::size_t k = 0; k < row_n; ++k) {
+        const float pred = coef.predict(k, dy, dz);
+        err += std::fabs(static_cast<double>(row[k]) - pred);
       }
     }
   }

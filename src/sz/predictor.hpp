@@ -33,6 +33,30 @@ struct BlockRange {
 float lorenzo_predict(std::span<const float> recon, const Dims& dims, const BlockRange& blk,
                       std::size_t x, std::size_t y, std::size_t z);
 
+/// Interior fast path of the rank-3 stencil: the caller guarantees
+/// x > x0, y > y0, z > z0, so all seven neighbors are in-block and the
+/// per-point boundary masking disappears — the loop body is seven loads
+/// and the inclusion–exclusion sum. Terms are combined in exactly the
+/// order lorenzo_predict uses, so the result is bit-identical to it.
+/// \p idx is the linear index of (x, y, z); \p nx and \p nxy are the row
+/// and slab strides.
+inline float lorenzo_predict3_interior(const float* recon, std::size_t idx, std::size_t nx,
+                                       std::size_t nxy) {
+  const float f100 = recon[idx - 1];
+  const float f010 = recon[idx - nx];
+  const float f001 = recon[idx - nxy];
+  const float f110 = recon[idx - 1 - nx];
+  const float f101 = recon[idx - 1 - nxy];
+  const float f011 = recon[idx - nx - nxy];
+  const float f111 = recon[idx - 1 - nx - nxy];
+  return f100 + f010 + f001 - f110 - f101 - f011 + f111;
+}
+
+/// Rank-2 interior fast path (x > x0, y > y0); same bit-identity contract.
+inline float lorenzo_predict2_interior(const float* recon, std::size_t idx, std::size_t nx) {
+  return recon[idx - 1] + recon[idx - nx] - recon[idx - 1 - nx];
+}
+
 /// Coefficients of the block-local linear model
 /// f(x,y,z) = a*dx + b*dy + c*dz + d with (dx,dy,dz) relative to the block
 /// origin. Fit on original data; stored verbatim in the stream.

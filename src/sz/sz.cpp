@@ -178,20 +178,51 @@ void compress_into(std::span<const float> data, const Dims& dims, const Params& 
       block_flags[b] = use_reg ? 1 : 0;
       if (use_reg) block_coefs[b] = coef;
       std::size_t ci = layout.code_off[b];
+      // One quantize step: same arithmetic as before, shared by all the
+      // prediction variants below.
+      const auto quant_at = [&](float pred, std::size_t idx) {
+        const Quantizer::Result q = quant.quantize(data[idx], pred);
+        codes[ci++] = q.code;
+        if (q.code == 0) {
+          block_unpred[b].push_back(data[idx]);
+          recon[idx] = data[idx];
+        } else {
+          recon[idx] = q.reconstructed;
+        }
+      };
+      // The use_reg / Lorenzo / boundary decisions are hoisted out of the
+      // per-point loop: regression rows are branch-free (the prediction
+      // reads no reconstructed neighbors), and Lorenzo interior rows run
+      // the direct seven-load stencil — only boundary rows and the x0
+      // column pay the general masked lorenzo_predict. Expressions and
+      // visit order are unchanged, so codes and streams are byte-identical.
+      const int rank = dims.rank();
+      const std::size_t nx = dims.nx;
+      const std::size_t nxy = dims.nx * dims.ny;
+      const std::size_t row_n = blk.x1 - blk.x0;
       for (std::size_t z = blk.z0; z < blk.z1; ++z) {
+        const bool zm = z > blk.z0;
         for (std::size_t y = blk.y0; y < blk.y1; ++y) {
-          for (std::size_t x = blk.x0; x < blk.x1; ++x) {
-            const std::size_t idx = dims.index(x, y, z);
-            const float pred = use_reg
-                                   ? coef.predict(x - blk.x0, y - blk.y0, z - blk.z0)
-                                   : lorenzo_predict(recon, dims, blk, x, y, z);
-            const Quantizer::Result q = quant.quantize(data[idx], pred);
-            codes[ci++] = q.code;
-            if (q.code == 0) {
-              block_unpred[b].push_back(data[idx]);
-              recon[idx] = data[idx];
+          const bool ym = y > blk.y0;
+          const std::size_t row = dims.index(blk.x0, y, z);
+          if (use_reg) {
+            const std::size_t dy = y - blk.y0;
+            const std::size_t dz = z - blk.z0;
+            for (std::size_t k = 0; k < row_n; ++k) quant_at(coef.predict(k, dy, dz), row + k);
+          } else if ((rank == 3 && ym && zm) || (rank == 2 && ym)) {
+            quant_at(lorenzo_predict(recon, dims, blk, blk.x0, y, z), row);
+            if (rank == 3) {
+              for (std::size_t k = 1; k < row_n; ++k) {
+                quant_at(lorenzo_predict3_interior(recon.data(), row + k, nx, nxy), row + k);
+              }
             } else {
-              recon[idx] = q.reconstructed;
+              for (std::size_t k = 1; k < row_n; ++k) {
+                quant_at(lorenzo_predict2_interior(recon.data(), row + k, nx), row + k);
+              }
+            }
+          } else {
+            for (std::size_t k = 0; k < row_n; ++k) {
+              quant_at(lorenzo_predict(recon, dims, blk, blk.x0 + k, y, z), row + k);
             }
           }
         }

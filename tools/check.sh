@@ -33,8 +33,10 @@
 #
 # --bench-smoke builds Release and runs the single-thread kernel
 # microbenchmarks against the committed BENCH_kernels.json, failing if any
-# kernel regresses by more than 30%. Use it to catch accidental slowdowns
-# in the codec fast paths.
+# kernel regresses by more than 30% or if any kernel's output_crc32 differs
+# from the committed value (byte-identity gate for the encode fast paths).
+# Use it to catch accidental slowdowns or stream-format drift in the codec
+# hot paths.
 #
 # --trace-smoke builds Release, runs a tiny pipeline with --trace-out and
 # --metrics-out, then validates the Chrome trace with `foresight_cli
@@ -148,9 +150,13 @@ case "${mode}" in
     # Regression gate against the committed kernel rates. 30% leaves
     # headroom for machine-to-machine noise while still catching real
     # fast-path regressions.
+    # --check-crc is the deterministic half of the gate: every kernel's
+    # output_crc32 must match the committed BENCH_kernels.json byte for
+    # byte, so a stream-format change can never slip through as "noise".
     "${build_dir}/tools/bench_report" --kernels --edge 256 --repeats 3 \
       --out "${build_dir}/BENCH_kernels_smoke.json" \
-      --baseline "${repo_root}/BENCH_kernels.json" --max-regress 0.30
+      --baseline "${repo_root}/BENCH_kernels.json" --max-regress 0.30 \
+      --check-crc "${repo_root}/BENCH_kernels.json"
     ;;
   trace)
     # The registry roster must list every built-in codec, fz included.

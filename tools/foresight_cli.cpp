@@ -14,6 +14,7 @@
 ///                                   (--trace-out/--metrics-out enable the
 ///                                   telemetry layer for the run)
 ///   trace-check <trace.json>        validate a Chrome trace export
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -69,6 +70,22 @@ int cmd_codecs() {
                 caps.throughput_reportable ? "reported" : "n/a",
                 caps.kernel_profile.empty() ? "-" : caps.kernel_profile.c_str(),
                 caps.summary.c_str());
+  }
+  // Map each kernel profile to its rows in BENCH_kernels.json so a codec's
+  // end-to-end numbers can be cross-read against the per-kernel bench.
+  std::vector<std::string> profiles;
+  for (const auto& name : foresight::available_compressors()) {
+    const auto& caps = foresight::CodecRegistry::instance().capabilities(name);
+    if (caps.kernel_profile.empty()) continue;
+    if (std::find(profiles.begin(), profiles.end(), caps.kernel_profile) != profiles.end())
+      continue;
+    profiles.push_back(caps.kernel_profile);
+  }
+  if (!profiles.empty()) {
+    std::printf("\nbench rows (BENCH_kernels.json):\n");
+    for (const auto& p : profiles) {
+      std::printf("  %-8s -> %s_encode / %s_decode\n", p.c_str(), p.c_str(), p.c_str());
+    }
   }
   return 0;
 }
