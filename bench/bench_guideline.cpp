@@ -30,28 +30,6 @@ std::vector<std::string> device_codec_names() {
   return out;
 }
 
-/// The paper's HACC position candidates, keyed off the codec's modes:
-/// absolute bounds when supported, fixed bitrates otherwise.
-std::vector<foresight::CompressorConfig> hacc_position_candidates(
-    const foresight::CodecCapabilities& caps) {
-  if (caps.supports_mode("abs")) {
-    return {{"abs", 0.001}, {"abs", 0.005}, {"abs", 0.025}, {"abs", 0.25}};
-  }
-  return {{"rate", 16.0}, {"rate", 8.0}, {"rate", 4.0}};
-}
-
-/// HACC velocity candidates: point-wise-relative bounds when supported
-/// (Sec. IV-B4), bitrates for rate-mode codecs, range-scaled absolute
-/// bounds otherwise.
-std::vector<foresight::CompressorConfig> hacc_velocity_candidates(
-    const foresight::CodecCapabilities& caps, const Field& velocity_field) {
-  if (caps.supports_mode("pw_rel")) {
-    return {{"pw_rel", 0.005}, {"pw_rel", 0.025}, {"pw_rel", 0.1}};
-  }
-  if (caps.supports_mode("rate")) return {{"rate", 8.0}, {"rate", 4.0}};
-  return foresight::abs_sweep_for_field(velocity_field, 2e-5, 2e-3, 3);
-}
-
 }  // namespace
 
 int main() {
@@ -87,9 +65,9 @@ int main() {
     const auto& caps = foresight::CodecRegistry::instance().capabilities(codec_name);
     const auto codec = foresight::make_compressor(codec_name, &sim);
     const auto result = foresight::optimize_particle_dataset(
-        hacc, *codec, hacc_position_candidates(caps),
-        hacc_velocity_candidates(caps, hacc.find("vx").field), fof_params, 0.05,
-        0.05);
+        hacc, *codec, foresight::default_position_candidates(caps),
+        foresight::default_velocity_candidates(caps, hacc.find("vx").field), fof_params,
+        0.05, 0.05);
     std::printf("--- HACC, %s ---\n%s\n", codec_name.c_str(),
                 foresight::format_optimization(result).c_str());
   }

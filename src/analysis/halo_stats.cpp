@@ -29,9 +29,8 @@ std::vector<MassBin> mass_function(const std::vector<Halo>& halos, double mass_p
   return bins;
 }
 
-HaloComparison compare_halo_catalogs(const std::vector<Halo>& original,
-                                     const std::vector<Halo>& reconstructed,
-                                     double mass_per_particle, std::size_t nbins) {
+HaloBaseline make_halo_baseline(const std::vector<Halo>& original, double mass_per_particle,
+                                std::size_t nbins) {
   require(!original.empty(), "compare_halo_catalogs: empty original catalog");
   double min_m = 1e300, max_m = 0.0;
   for (const auto& h : original) {
@@ -41,9 +40,29 @@ HaloComparison compare_halo_catalogs(const std::vector<Halo>& original,
   }
   max_m *= 1.001;  // include the heaviest halo in the last bin
 
+  HaloBaseline base;
+  base.mass_per_particle = mass_per_particle;
+  base.mass_min = min_m;
+  base.mass_max = max_m;
+  base.original_halos = original.size();
+  base.original = mass_function(original, mass_per_particle, nbins, min_m, max_m);
+  return base;
+}
+
+HaloComparison compare_halo_catalogs(const std::vector<Halo>& original,
+                                     const std::vector<Halo>& reconstructed,
+                                     double mass_per_particle, std::size_t nbins) {
+  return compare_halo_catalogs(make_halo_baseline(original, mass_per_particle, nbins),
+                               reconstructed);
+}
+
+HaloComparison compare_halo_catalogs(const HaloBaseline& baseline,
+                                     const std::vector<Halo>& reconstructed) {
+  const std::size_t nbins = baseline.original.size();
   HaloComparison c;
-  c.original = mass_function(original, mass_per_particle, nbins, min_m, max_m);
-  c.reconstructed = mass_function(reconstructed, mass_per_particle, nbins, min_m, max_m);
+  c.original = baseline.original;
+  c.reconstructed = mass_function(reconstructed, baseline.mass_per_particle, nbins,
+                                  baseline.mass_min, baseline.mass_max);
   c.ratio.resize(nbins, 1.0);
   for (std::size_t b = 0; b < nbins; ++b) {
     const auto o = c.original[b].count;
@@ -57,7 +76,7 @@ HaloComparison compare_halo_catalogs(const std::vector<Halo>& original,
     c.max_ratio_deviation = std::max(c.max_ratio_deviation, std::fabs(c.ratio[b] - 1.0));
   }
   c.total_ratio = static_cast<double>(reconstructed.size()) /
-                  static_cast<double>(original.size());
+                  static_cast<double>(baseline.original_halos);
   return c;
 }
 

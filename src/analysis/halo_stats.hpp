@@ -38,6 +38,29 @@ HaloComparison compare_halo_catalogs(const std::vector<Halo>& original,
                                      const std::vector<Halo>& reconstructed,
                                      double mass_per_particle, std::size_t nbins = 12);
 
+/// Precomputed original-catalog side of a halo comparison: the binning
+/// (derived from the original mass range) and the original mass function.
+/// Deriving these per candidate repeats identical work — the optimizer and
+/// the pipeline build the baseline once per dataset and compare every
+/// reconstructed catalog against it.
+struct HaloBaseline {
+  std::vector<MassBin> original;  ///< original mass function on the shared binning
+  double mass_per_particle = 1.0;
+  double mass_min = 0.0;          ///< shared binning range (mass_max is inflated
+  double mass_max = 0.0;          ///< by 0.1% to include the heaviest halo)
+  std::size_t original_halos = 0;
+};
+
+/// Builds the reusable original-catalog baseline (same binning rules as the
+/// two-catalog compare_halo_catalogs).
+HaloBaseline make_halo_baseline(const std::vector<Halo>& original, double mass_per_particle,
+                                std::size_t nbins = 12);
+
+/// compare_halo_catalogs against a precomputed baseline; bit-identical to
+/// the two-catalog overload for the same inputs.
+HaloComparison compare_halo_catalogs(const HaloBaseline& baseline,
+                                     const std::vector<Halo>& reconstructed);
+
 /// The paper's acceptance: every populated bin's count ratio within
 /// 1 +/- tolerance.
 bool halos_acceptable(const HaloComparison& c, double tolerance = 0.01);

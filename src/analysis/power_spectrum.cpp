@@ -109,7 +109,12 @@ std::vector<PkBin> power_spectrum(std::span<const float> values, const Dims& dim
 
 PkRatio pk_ratio(std::span<const float> original, std::span<const float> reconstructed,
                  const Dims& dims, double k_fraction, ThreadPool* pool) {
-  const auto pk_o = power_spectrum(original, dims, 0, pool);
+  return pk_ratio(power_spectrum(original, dims, 0, pool), reconstructed, dims,
+                  k_fraction, pool);
+}
+
+PkRatio pk_ratio(const std::vector<PkBin>& pk_o, std::span<const float> reconstructed,
+                 const Dims& dims, double k_fraction, ThreadPool* pool) {
   const auto pk_r = power_spectrum(reconstructed, dims, 0, pool);
   require(pk_o.size() == pk_r.size(), "pk_ratio: binning mismatch");
 

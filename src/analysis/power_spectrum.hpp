@@ -45,6 +45,13 @@ struct PkRatio {
 PkRatio pk_ratio(std::span<const float> original, std::span<const float> reconstructed,
                  const Dims& dims, double k_fraction = 1.0, ThreadPool* pool = nullptr);
 
+/// pk_ratio against a precomputed original-field spectrum (the default-nbins
+/// power_spectrum of the original). The original FFT is the expensive half
+/// of every ratio and never changes across candidates, so the optimizer and
+/// the pipeline compute it once per field and reuse it here.
+PkRatio pk_ratio(const std::vector<PkBin>& pk_original, std::span<const float> reconstructed,
+                 const Dims& dims, double k_fraction = 1.0, ThreadPool* pool = nullptr);
+
 /// The paper's acceptance test: every evaluated bin within 1 +/- tolerance
 /// (tolerance = 0.01 for the 1% band).
 bool pk_acceptable(const PkRatio& r, double tolerance = 0.01);

@@ -49,6 +49,10 @@ struct CodecCapabilities {
   bool concurrent_sessions_safe = true; ///< sessions may run on parallel workers
   bool throughput_reportable = true;    ///< kernel GB/s is meaningful for this codec
   bool plot_dashed = false;             ///< drawn dashed in rate-distortion figures
+  /// sz::estimate_rate predicts this codec's abs-mode bitrate (the codec's
+  /// abs path is the SZ prediction+quantization pipeline). The guided
+  /// optimizer uses the estimator for pruned-candidate CR predictions.
+  bool abs_rate_estimable = false;
   std::string kernel_profile;           ///< GpuSimulator::kernel_rates() key; empty = host-only
   std::vector<SweepAxis> default_sweep; ///< per-mode lattices; front() is the primary
 

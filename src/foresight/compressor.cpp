@@ -456,6 +456,7 @@ void register_paper_codecs(CodecRegistry& registry) {
     caps.needs_device = true;
     caps.concurrent_sessions_safe = false;  // shares the simulator jitter stream
     caps.throughput_reportable = gpu::GpuSzDevice::throughput_supported();
+    caps.abs_rate_estimable = true;  // abs path is the SZ pipeline
     caps.kernel_profile = "sz";
     caps.default_sweep = sz_style_sweep();
     registry.add(std::move(caps), [](gpu::GpuSimulator* sim) -> std::unique_ptr<Compressor> {
@@ -481,6 +482,7 @@ void register_paper_codecs(CodecRegistry& registry) {
     caps.name = "sz-cpu";
     caps.summary = "CPU SZ (Lorenzo + quantize + Huffman/LZSS; measured wall time)";
     caps.modes = {"abs", "pw_rel"};
+    caps.abs_rate_estimable = true;
     caps.default_sweep = sz_style_sweep();
     registry.add(std::move(caps), [](gpu::GpuSimulator*) -> std::unique_ptr<Compressor> {
       return std::make_unique<SzCpuCompressor>();

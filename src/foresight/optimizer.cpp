@@ -1,63 +1,395 @@
 #include "foresight/optimizer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <functional>
+#include <future>
+#include <memory>
 
 #include "analysis/halo_stats.hpp"
 #include "analysis/power_spectrum.hpp"
 #include "common/str.hpp"
+#include "common/telemetry.hpp"
+#include "common/timer.hpp"
+#include "foresight/optimizer_model.hpp"
+#include "sz/rate_estimate.hpp"
 
 namespace cosmo::foresight {
+
+SearchMode parse_search_mode(const std::string& text) {
+  if (text == "exhaustive") return SearchMode::kExhaustive;
+  if (text == "guided") return SearchMode::kGuided;
+  throw InvalidArgument("optimizer: unknown search mode '" + text +
+                        "' (expected \"exhaustive\" or \"guided\")");
+}
+
+std::string search_mode_label(SearchMode mode) {
+  return mode == SearchMode::kGuided ? "guided" : "exhaustive";
+}
+
+namespace {
+
+/// Guided search evaluates this many positions past the acceptability
+/// frontier (extending past every acceptable pocket it finds) before
+/// trusting the monotone model for the rest.
+constexpr std::size_t kPocketWindow = 2;
+
+CandidateOutcome failed_outcome(const CompressorConfig& config, const std::string& what) {
+  CandidateOutcome out;
+  out.config = config;
+  out.status = "failed";
+  out.error = what;
+  return out;
+}
+
+/// Evaluates batches of candidate indices against per-index configs,
+/// writing each outcome into its pre-indexed slot. Serial batches reuse one
+/// lazily opened session (compressed-stream and reconstruction buffers are
+/// reused across every evaluation, the historical optimizer behavior);
+/// parallel batches follow the CBench::sweep idiom — an atomic cursor over
+/// the index list with one session per worker — and are gated on
+/// concurrent_sessions_safe(), so modeled GPU timings stay call-order
+/// deterministic. Either way the output slot for candidate i is outcomes[i]
+/// and never depends on the schedule.
+class EvalScheduler {
+ public:
+  using EvalFn = std::function<CandidateOutcome(const CompressorConfig&, CodecSession&,
+                                                CompressResult&, DecompressResult&)>;
+
+  EvalScheduler(Compressor& compressor, const OptimizerOptions& options)
+      : compressor_(compressor), options_(options) {}
+
+  void run(const std::vector<std::size_t>& indices,
+           const std::vector<CompressorConfig>& configs, const EvalFn& eval,
+           std::vector<CandidateOutcome>& outcomes) {
+    const bool serial = options_.threads == 1 ||
+                        !compressor_.concurrent_sessions_safe() || indices.size() <= 1;
+    if (serial) {
+      for (const std::size_t i : indices) {
+        try {
+          outcomes[i] = eval(configs[i], serial_session(), cbuf_, dbuf_);
+        } catch (const Error& e) {
+          if (options_.on_error == OnError::kAbort) throw;
+          outcomes[i] = failed_outcome(configs[i], e.what());
+        }
+      }
+      return;
+    }
+
+    std::unique_ptr<ThreadPool> owned;
+    ThreadPool* pool;
+    if (options_.threads == 0) {
+      pool = &global_pool();
+    } else {
+      owned = std::make_unique<ThreadPool>(std::min(options_.threads, indices.size()));
+      pool = owned.get();
+    }
+    std::atomic<std::size_t> cursor{0};
+    const std::size_t workers = std::min(pool->size(), indices.size());
+    std::vector<std::future<void>> done;
+    done.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      done.push_back(pool->submit([&] {
+        TRACE_SPAN("optimizer.worker");
+        const std::unique_ptr<CodecSession> session = compressor_.open_session();
+        CompressResult c;
+        DecompressResult d;
+        for (std::size_t j = cursor.fetch_add(1); j < indices.size();
+             j = cursor.fetch_add(1)) {
+          const std::size_t i = indices[j];
+          try {
+            outcomes[i] = eval(configs[i], *session, c, d);
+          } catch (const Error& e) {
+            if (options_.on_error == OnError::kAbort) throw;
+            outcomes[i] = failed_outcome(configs[i], e.what());
+          }
+        }
+      }));
+    }
+    for (auto& f : done) f.get();  // rethrows the first worker exception
+  }
+
+ private:
+  CodecSession& serial_session() {
+    if (!session_) session_ = compressor_.open_session();
+    return *session_;
+  }
+
+  Compressor& compressor_;
+  OptimizerOptions options_;
+  std::unique_ptr<CodecSession> session_;
+  CompressResult cbuf_;
+  DecompressResult dbuf_;
+};
+
+/// Optional cheap CR predictor for pruned rows (sz::estimate_rate where the
+/// codec's abs path is the SZ pipeline). Returns 0 when not predictable.
+using RatioPredictor = std::function<double(const CompressorConfig&)>;
+
+/// Runs one field's candidate search (exhaustive or guided) and returns the
+/// completed FieldChoice. \p eval is the full evaluation; \p predict_ratio
+/// may be null.
+FieldChoice run_field_search(const std::string& field_name,
+                             const std::vector<CompressorConfig>& candidates,
+                             Compressor& compressor, const OptimizerOptions& options,
+                             EvalScheduler& scheduler,
+                             const EvalScheduler::EvalFn& eval,
+                             const RatioPredictor& predict_ratio, OptimizerStats& stats) {
+  FieldChoice choice;
+  choice.field = field_name;
+  const std::size_t n = candidates.size();
+  std::vector<CandidateOutcome> outcomes(n);
+  stats.candidates += n;
+
+  // Capability pruning: a mixed candidate list (e.g. one grid shared by an
+  // abs- and a rate-mode codec) records the modes this codec does not
+  // support as "skipped" rows instead of silently dropping them.
+  std::vector<std::size_t> supported;
+  for (std::size_t i = 0; i < n; ++i) {
+    outcomes[i].config = candidates[i];
+    if (compressor.capabilities().supports_mode(candidates[i].mode)) {
+      supported.push_back(i);
+    } else {
+      outcomes[i].status = "skipped";
+      ++stats.skipped;
+    }
+  }
+
+  // Which rows actually went through the scheduler (status alone cannot
+  // tell: an untouched outcome carries the default "evaluated").
+  std::vector<char> ran(n, 0);
+
+  if (options.search == SearchMode::kExhaustive) {
+    scheduler.run(supported, candidates, eval, outcomes);
+    for (const std::size_t i : supported) ran[i] = 1;
+    stats.full_evals += supported.size();
+  } else {
+    // Guided search, per mode group: probe a few positions along the
+    // aggressiveness axis, bisect onto the acceptability frontier, and fill
+    // the remaining rows from the surrogate fitted through the evaluated
+    // points.
+    std::vector<std::string> group_modes;
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (const std::size_t i : supported) {
+      auto& group = groups[candidates[i].mode];
+      if (group.empty()) group_modes.push_back(candidates[i].mode);
+      group.push_back(i);
+    }
+    for (const auto& mode : group_modes) {
+      const std::vector<std::size_t>& group = groups[mode];
+      std::vector<CompressorConfig> group_configs;
+      group_configs.reserve(group.size());
+      for (const std::size_t i : group) group_configs.push_back(candidates[i]);
+      const std::vector<std::size_t> order = aggressiveness_order(group_configs);
+
+      // Probe batch: endpoints plus evenly spread interior positions, all
+      // full evaluations, scheduled in one (possibly parallel) batch.
+      const std::vector<std::size_t> probe_pos =
+          probe_positions(order.size(), options.probes);
+      std::vector<std::size_t> probe_idx;
+      probe_idx.reserve(probe_pos.size());
+      for (const std::size_t p : probe_pos) probe_idx.push_back(group[order[p]]);
+      {
+        TRACE_SPAN("optimizer.probe_batch");
+        scheduler.run(probe_idx, candidates, eval, outcomes);
+      }
+      for (const std::size_t i : probe_idx) ran[i] = 1;
+      stats.probes += probe_idx.size();
+      stats.full_evals += probe_idx.size();
+
+      const auto evaluated = [&](std::size_t pos) { return ran[group[order[pos]]] != 0; };
+      // A failed evaluation cannot be verified acceptable, so it bounds the
+      // frontier from the unacceptable side.
+      const auto pos_acceptable = [&](std::size_t pos) {
+        const CandidateOutcome& o = outcomes[group[order[pos]]];
+        return o.status == "evaluated" && o.acceptable;
+      };
+
+      // Bracket the frontier: hi = least aggressive probed-unacceptable
+      // position, lo = most aggressive probed-acceptable position below it.
+      std::size_t hi = order.size();  // past-the-end = no unacceptable probe
+      std::size_t lo = order.size();  // past-the-end = no acceptable probe
+      for (const std::size_t p : probe_pos) {
+        if (!pos_acceptable(p)) {
+          hi = p;
+          break;
+        }
+        lo = p;
+      }
+
+      // Bisection refinement: deviation grows with aggressiveness, so the
+      // frontier between the bracket endpoints is found in O(log gap) full
+      // evaluations instead of evaluating the whole gap.
+      if (lo < hi && hi < order.size()) {
+        TRACE_SPAN("optimizer.bisect");
+        for (std::size_t mid = bisect_next(lo, hi); mid != kBisectDone;
+             mid = bisect_next(lo, hi)) {
+          scheduler.run({group[order[mid]]}, candidates, eval, outcomes);
+          ran[group[order[mid]]] = 1;
+          ++stats.full_evals;
+          if (pos_acceptable(mid)) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+      }
+
+      // Pocket scan: near the tolerance the deviation-vs-aggressiveness
+      // curve is only noisily monotone, and the exhaustive winner
+      // occasionally sits in an acceptable pocket just past the first
+      // crossing. Evaluate a small window above the frontier, extending it
+      // past every acceptable position it uncovers, so those pockets are
+      // harvested at bounded extra cost.
+      if (hi < order.size()) {
+        std::size_t limit = std::min(order.size() - 1, hi + kPocketWindow);
+        for (std::size_t pos = hi + 1; pos <= limit; ++pos) {
+          if (!evaluated(pos)) {
+            scheduler.run({group[order[pos]]}, candidates, eval, outcomes);
+            ran[group[order[pos]]] = 1;
+            ++stats.full_evals;
+          }
+          if (pos_acceptable(pos)) {
+            limit = std::min(order.size() - 1, pos + kPocketWindow);
+          }
+        }
+      }
+
+      // Surrogate through every real evaluation in this group.
+      RateQualityModel model;
+      for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const CandidateOutcome& o = outcomes[group[order[pos]]];
+        if (evaluated(pos) && o.status == "evaluated" && o.config.value > 0.0) {
+          model.add_point(o.config.value, o.ratio, o.metric_deviation);
+        }
+      }
+
+      // Fill the pruned rows: monotone acceptability (positions below the
+      // bracket are acceptable, above it are not) plus predicted metrics.
+      for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        if (evaluated(pos)) continue;
+        CandidateOutcome& o = outcomes[group[order[pos]]];
+        o.status = "pruned";
+        o.predicted = true;
+        o.acceptable = pos < hi;
+        if (model.points() > 0 && o.config.value > 0.0) {
+          o.ratio = model.predict_ratio(o.config.value);
+          o.metric_deviation = model.predict_deviation(o.config.value);
+        }
+        if (predict_ratio) {
+          const double est = predict_ratio(o.config);
+          if (est > 0.0) {
+            o.ratio = est;
+            ++stats.rate_estimates;
+          }
+        }
+        ++stats.pruned;
+      }
+    }
+  }
+
+  // Guideline step 3: among acceptable configs, keep the highest ratio.
+  // Only real evaluations are eligible — the chosen config's metrics are
+  // always measured, never predicted.
+  for (const auto& o : outcomes) {
+    if (o.status == "failed") ++stats.failed;
+    if (o.status != "evaluated" || !o.acceptable) continue;
+    if (!choice.found || o.ratio > choice.chosen.ratio) {
+      choice.found = true;
+      choice.chosen = o;
+    }
+  }
+  choice.candidates = std::move(outcomes);
+  return choice;
+}
+
+void publish_stats(const OptimizerStats& stats) {
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  metrics.counter("optimizer.runs").add();
+  metrics.counter("optimizer.candidates").add(stats.candidates);
+  metrics.counter("optimizer.full_evals").add(stats.full_evals);
+  metrics.counter("optimizer.probes").add(stats.probes);
+  metrics.counter("optimizer.pruned_candidates").add(stats.pruned);
+  metrics.counter("optimizer.skipped_candidates").add(stats.skipped);
+  metrics.counter("optimizer.failed_candidates").add(stats.failed);
+  metrics.counter("optimizer.rate_estimates").add(stats.rate_estimates);
+  metrics.counter("optimizer.baseline_cache_hits").add(stats.baseline_cache_hits);
+}
+
+/// sz::estimate_rate-backed CR predictor for codecs whose abs path is the
+/// SZ pipeline, restricted to native 3-D fields (1-D fields go through
+/// ShapeAdapter padding, which the estimator does not model). Samples every
+/// 4th block — prediction + quantization on a quarter of the field, plenty
+/// for a pruned-row estimate.
+RatioPredictor make_rate_predictor(const Field& field, Compressor& compressor) {
+  if (!compressor.capabilities().abs_rate_estimable) return nullptr;
+  if (field.dims.rank() != 3) return nullptr;
+  return [&field](const CompressorConfig& config) -> double {
+    if (config.mode != "abs" || config.value <= 0.0) return 0.0;
+    sz::Params params;
+    params.abs_error_bound = config.value;
+    const sz::RateEstimate est =
+        sz::estimate_rate(field.data, field.dims, params, /*block_stride=*/4);
+    return est.estimated_bits_per_value > 0.0 ? 32.0 / est.estimated_bits_per_value : 0.0;
+  };
+}
+
+}  // namespace
 
 OptimizationResult optimize_grid_dataset(
     const io::Container& data, Compressor& compressor,
     const std::map<std::string, std::vector<CompressorConfig>>& candidates,
-    double tolerance, double k_fraction) {
+    double tolerance, double k_fraction, const OptimizerOptions& options) {
+  TRACE_SPAN("optimizer.grid");
+  Timer wall;
   CBench bench({.keep_reconstructed = true, .dataset_name = "grid"});
   OptimizationResult result;
   std::size_t total_original = 0;
   std::size_t total_compressed = 0;
   bool all_ok = true;
-
-  // One session for the whole grid search: compressed-stream and
-  // reconstruction buffers are reused across every candidate evaluation.
-  const std::unique_ptr<CodecSession> session = compressor.open_session();
-  CompressResult cbuf;
-  DecompressResult dbuf;
+  EvalScheduler scheduler(compressor, options);
+  const std::string name = compressor.name();
 
   for (const auto& variable : data.variables) {
     const auto it = candidates.find(variable.field.name);
     if (it == candidates.end()) continue;
-    FieldChoice choice;
-    choice.field = variable.field.name;
+    const Field& field = variable.field;
 
-    for (const auto& config : it->second) {
-      // Capability pruning: a mixed candidate list (e.g. one grid shared by
-      // an abs- and a rate-mode codec) simply skips the modes this codec
-      // does not register instead of erroring out.
-      if (!compressor.capabilities().supports_mode(config.mode)) continue;
-      CBenchResult r =
-          bench.run_session(variable.field, compressor.name(), *session, config, cbuf, dbuf);
-      const auto pk = analysis::pk_ratio(variable.field.data, r.reconstructed,
-                                         variable.field.dims, k_fraction);
+    // The original-field spectrum is identical across candidates: compute
+    // it once and serve every ratio from the cache.
+    std::vector<analysis::PkBin> baseline;
+    {
+      TRACE_SPAN("optimizer.baseline");
+      baseline = analysis::power_spectrum(field.data, field.dims);
+    }
+    std::atomic<std::size_t> cache_hits{0};
+
+    const EvalScheduler::EvalFn eval = [&](const CompressorConfig& config,
+                                           CodecSession& session, CompressResult& c,
+                                           DecompressResult& d) {
+      CBenchResult r = bench.run_session(field, name, session, config, c, d);
+      const auto pk =
+          analysis::pk_ratio(baseline, r.reconstructed, field.dims, k_fraction);
+      cache_hits.fetch_add(1, std::memory_order_relaxed);
       CandidateOutcome outcome;
       outcome.config = config;
       outcome.ratio = r.ratio;
       outcome.psnr_db = r.distortion.psnr_db;
       outcome.metric_deviation = pk.max_deviation;
       outcome.acceptable = analysis::pk_acceptable(pk, tolerance);
-      // Guideline step 3: among acceptable configs, keep the highest ratio.
-      if (outcome.acceptable && (!choice.found || outcome.ratio > choice.chosen.ratio)) {
-        choice.found = true;
-        choice.chosen = outcome;
-      }
-      choice.candidates.push_back(outcome);
-    }
+      return outcome;
+    };
+
+    FieldChoice choice =
+        run_field_search(field.name, it->second, compressor, options, scheduler, eval,
+                         make_rate_predictor(field, compressor), result.stats);
+    result.stats.baseline_cache_hits += cache_hits.load();
 
     if (choice.found) {
-      total_original += variable.field.bytes();
+      total_original += field.bytes();
       total_compressed += static_cast<std::size_t>(
-          static_cast<double>(variable.field.bytes()) / choice.chosen.ratio);
+          static_cast<double>(field.bytes()) / choice.chosen.ratio);
     } else {
       all_ok = false;
     }
@@ -69,6 +401,8 @@ OptimizationResult optimize_grid_dataset(
                              ? static_cast<double>(total_original) /
                                    static_cast<double>(total_compressed)
                              : 0.0;
+  result.stats.wall_seconds = wall.seconds();
+  publish_stats(result.stats);
   return result;
 }
 
@@ -110,33 +444,38 @@ OptimizationResult optimize_particle_dataset(
     const std::vector<CompressorConfig>& position_candidates,
     const std::vector<CompressorConfig>& velocity_candidates,
     const analysis::FofParams& fof_params, double halo_tolerance,
-    double velocity_tolerance) {
+    double velocity_tolerance, const OptimizerOptions& options) {
+  TRACE_SPAN("optimizer.particles");
+  Timer wall;
   CBench bench({.keep_reconstructed = true, .dataset_name = "particles"});
   const auto& x = data.find("x").field;
   const auto& y = data.find("y").field;
   const auto& z = data.find("z").field;
 
-  const analysis::FofResult original_halos =
-      analysis::fof(x.data, y.data, z.data, fof_params);
+  // The original FoF catalog (and its halo mass binning) is the baseline
+  // for every candidate: run it once, compare each reconstruction to it.
+  analysis::FofResult original_halos;
+  {
+    TRACE_SPAN("optimizer.baseline");
+    original_halos = analysis::fof(x.data, y.data, z.data, fof_params);
+  }
   require(!original_halos.halos.empty(),
           "optimize_particle_dataset: no halos in original data");
+  const analysis::HaloBaseline halo_baseline =
+      analysis::make_halo_baseline(original_halos.halos, 1.0);
 
   OptimizationResult result;
-
-  // One session across every candidate triple (see optimize_grid_dataset).
-  const std::unique_ptr<CodecSession> session = compressor.open_session();
+  EvalScheduler scheduler(compressor, options);
   const std::string name = compressor.name();
-  CompressResult cbuf;
-  DecompressResult dbuf;
+  std::atomic<std::size_t> cache_hits{0};
 
   // --- Positions: same bound on x, y, z; acceptance via halo counts. ---
-  FieldChoice pos_choice;
-  pos_choice.field = "position";
-  for (const auto& config : position_candidates) {
-    if (!compressor.capabilities().supports_mode(config.mode)) continue;
-    CBenchResult rx = bench.run_session(x, name, *session, config, cbuf, dbuf);
-    CBenchResult ry = bench.run_session(y, name, *session, config, cbuf, dbuf);
-    CBenchResult rz = bench.run_session(z, name, *session, config, cbuf, dbuf);
+  const EvalScheduler::EvalFn eval_position = [&](const CompressorConfig& config,
+                                                  CodecSession& session, CompressResult& c,
+                                                  DecompressResult& d) {
+    CBenchResult rx = bench.run_session(x, name, session, config, c, d);
+    CBenchResult ry = bench.run_session(y, name, session, config, c, d);
+    CBenchResult rz = bench.run_session(z, name, session, config, c, d);
     const analysis::FofResult recon_halos =
         analysis::fof(rx.reconstructed, ry.reconstructed, rz.reconstructed, fof_params);
     CandidateOutcome outcome;
@@ -149,29 +488,27 @@ OptimizationResult optimize_particle_dataset(
       outcome.metric_deviation = 1.0;
       outcome.acceptable = false;
     } else {
-      const auto cmp = analysis::compare_halo_catalogs(original_halos.halos,
-                                                       recon_halos.halos, 1.0);
+      const auto cmp = analysis::compare_halo_catalogs(halo_baseline, recon_halos.halos);
+      cache_hits.fetch_add(1, std::memory_order_relaxed);
       outcome.metric_deviation = cmp.max_ratio_deviation;
       outcome.acceptable = cmp.max_ratio_deviation <= halo_tolerance;
     }
-    if (outcome.acceptable && (!pos_choice.found || outcome.ratio > pos_choice.chosen.ratio)) {
-      pos_choice.found = true;
-      pos_choice.chosen = outcome;
-    }
-    pos_choice.candidates.push_back(outcome);
-  }
+    return outcome;
+  };
+  FieldChoice pos_choice =
+      run_field_search("position", position_candidates, compressor, options, scheduler,
+                       eval_position, nullptr, result.stats);
 
   // --- Velocities: acceptance via halo bulk-velocity preservation. ---
-  FieldChoice vel_choice;
-  vel_choice.field = "velocity";
   const auto& vx = data.find("vx").field;
   const auto& vy = data.find("vy").field;
   const auto& vz = data.find("vz").field;
-  for (const auto& config : velocity_candidates) {
-    if (!compressor.capabilities().supports_mode(config.mode)) continue;
-    CBenchResult rvx = bench.run_session(vx, name, *session, config, cbuf, dbuf);
-    CBenchResult rvy = bench.run_session(vy, name, *session, config, cbuf, dbuf);
-    CBenchResult rvz = bench.run_session(vz, name, *session, config, cbuf, dbuf);
+  const EvalScheduler::EvalFn eval_velocity = [&](const CompressorConfig& config,
+                                                  CodecSession& session, CompressResult& c,
+                                                  DecompressResult& d) {
+    CBenchResult rvx = bench.run_session(vx, name, session, config, c, d);
+    CBenchResult rvy = bench.run_session(vy, name, session, config, c, d);
+    CBenchResult rvz = bench.run_session(vz, name, session, config, c, d);
     CandidateOutcome outcome;
     outcome.config = config;
     outcome.ratio = 3.0 * static_cast<double>(vx.bytes()) /
@@ -182,15 +519,16 @@ OptimizationResult optimize_particle_dataset(
         {halo_velocity_deviation(original_halos, vx.data, rvx.reconstructed),
          halo_velocity_deviation(original_halos, vy.data, rvy.reconstructed),
          halo_velocity_deviation(original_halos, vz.data, rvz.reconstructed)});
+    cache_hits.fetch_add(1, std::memory_order_relaxed);
     outcome.metric_deviation = dev;
     outcome.acceptable = dev <= velocity_tolerance;
-    if (outcome.acceptable && (!vel_choice.found || outcome.ratio > vel_choice.chosen.ratio)) {
-      vel_choice.found = true;
-      vel_choice.chosen = outcome;
-    }
-    vel_choice.candidates.push_back(outcome);
-  }
+    return outcome;
+  };
+  FieldChoice vel_choice =
+      run_field_search("velocity", velocity_candidates, compressor, options, scheduler,
+                       eval_velocity, nullptr, result.stats);
 
+  result.stats.baseline_cache_hits += cache_hits.load();
   result.all_fields_ok = pos_choice.found && vel_choice.found;
   if (result.all_fields_ok) {
     // Overall: positions and velocities are equal-sized thirds of the data.
@@ -200,6 +538,8 @@ OptimizationResult optimize_particle_dataset(
   }
   result.per_field.push_back(std::move(pos_choice));
   result.per_field.push_back(std::move(vel_choice));
+  result.stats.wall_seconds = wall.seconds();
+  publish_stats(result.stats);
   return result;
 }
 
@@ -215,14 +555,30 @@ std::string format_optimization(const OptimizationResult& result) {
       out += " no acceptable configuration among candidates\n";
     }
     for (const auto& c : field.candidates) {
-      out += strprintf("    %-14s ratio %6.2fx PSNR %7.2f dB dev %.4f  %s\n",
+      if (c.status == "skipped") {
+        out += strprintf("    %-14s skipped (mode unsupported)\n", c.config.label().c_str());
+        continue;
+      }
+      if (c.status == "failed") {
+        out += strprintf("    %-14s FAILED: %s\n", c.config.label().c_str(), c.error.c_str());
+        continue;
+      }
+      out += strprintf("    %-14s ratio %6.2fx PSNR %7.2f dB dev %.4f  %s%s\n",
                        c.config.label().c_str(), c.ratio, c.psnr_db, c.metric_deviation,
-                       c.acceptable ? "OK" : "reject");
+                       c.acceptable ? "OK" : "reject",
+                       c.status == "pruned" ? " (pruned, predicted)" : "");
     }
   }
   out += strprintf("overall ratio: %.2fx (%s)\n", result.overall_ratio,
                    result.all_fields_ok ? "all fields acceptable"
                                         : "some fields lack an acceptable config");
+  const OptimizerStats& s = result.stats;
+  out += strprintf(
+      "search: %zu candidates, %zu full evals (%zu probes), %zu pruned, "
+      "%zu skipped, %zu failed, %zu rate estimates, %zu baseline cache hits, "
+      "%.3f s\n",
+      s.candidates, s.full_evals, s.probes, s.pruned, s.skipped, s.failed,
+      s.rate_estimates, s.baseline_cache_hits, s.wall_seconds);
   return out;
 }
 

@@ -5,6 +5,18 @@
 /// grid data; halo-count ratio for particle data), (3) pick the acceptable
 /// configuration with the highest compression ratio — which also maximizes
 /// overall throughput and minimizes storage.
+///
+/// Two search strategies share that contract. Exhaustive evaluates every
+/// candidate. Guided (SearchMode::kGuided) fully evaluates only a few probe
+/// configs per field, bisects onto the acceptability frontier using the
+/// monotone deviation-vs-aggressiveness relationship, scans a short window
+/// past the frontier (the deviation curve is only noisily monotone near the
+/// tolerance, and the best config occasionally sits in an acceptable pocket
+/// just beyond the first crossing), and fills the pruned rows from a
+/// rate-quality surrogate (optimizer_model.hpp) — same chosen config on
+/// monotone data, a fraction of the full evaluations. Both paths
+/// compute the original-field baselines (P(k) spectrum, FoF catalog + halo
+/// mass binning) once per field instead of once per candidate.
 #pragma once
 
 #include <map>
@@ -16,6 +28,36 @@
 
 namespace cosmo::foresight {
 
+/// Candidate-search strategy for the Section V-D guideline.
+enum class SearchMode {
+  kExhaustive,  ///< fully evaluate every supported candidate
+  kGuided,      ///< probe + surrogate + frontier bisection
+};
+
+/// Parses "exhaustive" / "guided"; anything else throws InvalidArgument.
+SearchMode parse_search_mode(const std::string& text);
+
+/// "exhaustive" / "guided".
+std::string search_mode_label(SearchMode mode);
+
+/// Knobs shared by both optimizer entry points.
+struct OptimizerOptions {
+  SearchMode search = SearchMode::kExhaustive;
+  /// Guided search: full evaluations spent probing each mode group before
+  /// bisection (clamped to [2, group size]; endpoints are always probed).
+  std::size_t probes = 3;
+  /// Candidate-evaluation workers (the CBench convention: 1 = serial in the
+  /// calling thread, 0 = global pool, N = dedicated pool of N). Codecs whose
+  /// sessions cannot run concurrently always evaluate serially. Results are
+  /// slotted by candidate index, so choices and report ordering are
+  /// identical for any value.
+  std::size_t threads = 1;
+  /// kAbort rethrows a failing evaluation (historical behavior); kContinue
+  /// records a "failed" candidate row and keeps searching. A failed probe
+  /// counts as unacceptable for bracketing.
+  OnError on_error = OnError::kAbort;
+};
+
 /// Outcome of evaluating one candidate configuration on one field.
 struct CandidateOutcome {
   CompressorConfig config;
@@ -25,14 +67,36 @@ struct CandidateOutcome {
   /// Domain-metric deviation: max |pk ratio - 1| (grid) or max halo
   /// count-ratio deviation (particles).
   double metric_deviation = 0.0;
+  /// "evaluated" (full CBench run), "pruned" (guided search skipped it;
+  /// ratio/deviation are surrogate predictions), "skipped" (codec does not
+  /// support the mode), or "failed" (evaluation threw under kContinue).
+  std::string status = "evaluated";
+  /// True when ratio/metric_deviation come from the surrogate (or the SZ
+  /// rate estimator) instead of a real run.
+  bool predicted = false;
+  std::string error;  ///< diagnostic for failed rows, empty otherwise
 };
 
 /// Chosen configuration for one field.
 struct FieldChoice {
   std::string field;
   bool found = false;          ///< an acceptable candidate exists
-  CandidateOutcome chosen;     ///< valid when found
-  std::vector<CandidateOutcome> candidates;  ///< all evaluated, input order
+  CandidateOutcome chosen;     ///< valid when found; always a real evaluation
+  std::vector<CandidateOutcome> candidates;  ///< every candidate, input order
+};
+
+/// What the search spent, aggregated over all fields of one optimize call.
+/// Mirrored into the process MetricsRegistry as optimizer.* counters.
+struct OptimizerStats {
+  std::size_t candidates = 0;          ///< candidate rows across all fields
+  std::size_t full_evals = 0;          ///< real compress+decompress+metric runs
+  std::size_t probes = 0;              ///< full evals spent on probe batches
+  std::size_t pruned = 0;              ///< rows filled from the surrogate
+  std::size_t skipped = 0;             ///< rows skipped for capability reasons
+  std::size_t failed = 0;              ///< rows failed under OnError::kContinue
+  std::size_t rate_estimates = 0;      ///< sz::estimate_rate calls
+  std::size_t baseline_cache_hits = 0; ///< metric evals served by a cached baseline
+  double wall_seconds = 0.0;           ///< whole optimize call
 };
 
 /// Full guideline result.
@@ -40,6 +104,7 @@ struct OptimizationResult {
   std::vector<FieldChoice> per_field;
   double overall_ratio = 0.0;  ///< total bytes over total compressed bytes
   bool all_fields_ok = false;
+  OptimizerStats stats;
 };
 
 /// Grid datasets (Nyx): acceptance is the power-spectrum ratio staying
@@ -47,7 +112,8 @@ struct OptimizationResult {
 OptimizationResult optimize_grid_dataset(
     const io::Container& data, Compressor& compressor,
     const std::map<std::string, std::vector<CompressorConfig>>& candidates,
-    double tolerance = 0.01, double k_fraction = 0.5);
+    double tolerance = 0.01, double k_fraction = 0.5,
+    const OptimizerOptions& options = {});
 
 /// Particle datasets (HACC): position acceptance is the FoF halo
 /// count-ratio per mass bin staying within 1 +/- \p halo_tolerance; the
@@ -61,7 +127,7 @@ OptimizationResult optimize_particle_dataset(
     const std::vector<CompressorConfig>& position_candidates,
     const std::vector<CompressorConfig>& velocity_candidates,
     const analysis::FofParams& fof_params, double halo_tolerance = 0.05,
-    double velocity_tolerance = 0.05);
+    double velocity_tolerance = 0.05, const OptimizerOptions& options = {});
 
 /// Renders an OptimizationResult as text.
 std::string format_optimization(const OptimizationResult& result);

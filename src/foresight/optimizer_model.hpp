@@ -1,0 +1,82 @@
+/// \file optimizer_model.hpp
+/// \brief Surrogate machinery for the guided configuration search.
+///
+/// The guided optimizer (optimizer.hpp, SearchMode::kGuided) replaces the
+/// exhaustive candidate sweep with probe + bisection: it fully evaluates a
+/// few probe configs, exploits the monotone relationship between bound
+/// aggressiveness and domain-metric deviation to bisect onto the
+/// acceptability frontier, and fills the remaining rows from a rate-quality
+/// surrogate fitted through the evaluated points (Jin et al. 2021,
+/// arXiv:2104.00178, builds error-bound pickers from exactly such
+/// fine-grained rate-quality models). This header holds the pure,
+/// independently testable pieces: aggressiveness ordering, probe placement,
+/// the interpolating surrogate, and the bisection step.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "foresight/compressor.hpp"
+
+namespace cosmo::foresight {
+
+/// True when a *larger* config value loosens the error bound (abs, pw_rel,
+/// accuracy: bigger bound -> more aggressive -> higher CR and higher
+/// deviation). False for budget-style modes (rate, precision: bigger budget
+/// -> less aggressive). Unknown modes throw InvalidArgument.
+bool mode_loosens_with_larger_value(const std::string& mode);
+
+/// Indices of \p configs sorted least-aggressive -> most-aggressive.
+/// All configs must share one mode (the guided search partitions mixed
+/// candidate lists by mode before ordering); mixed modes throw.
+std::vector<std::size_t> aggressiveness_order(const std::vector<CompressorConfig>& configs);
+
+/// Positions (into an aggressiveness-ordered list of \p n candidates) to
+/// probe with full evaluations: both endpoints always, plus evenly spread
+/// interior points, `probes` total where possible. Sorted and deduplicated;
+/// n == 0 yields empty, probes is clamped to [2, n] (n == 1 -> {0}).
+std::vector<std::size_t> probe_positions(std::size_t n, std::size_t probes);
+
+/// Piecewise-interpolating surrogate through fully evaluated (value, ratio,
+/// deviation) points. Compression ratio is interpolated log-log (rate-
+/// distortion curves are near power laws in the bound); deviation is
+/// interpolated linearly in log(value) and clamped to be usable even when
+/// probe deviations are zero. Queries outside the fitted range clamp to the
+/// nearest endpoint.
+class RateQualityModel {
+ public:
+  /// Adds one evaluated point. \p value must be > 0 (config values are
+  /// bounds/rates, always positive).
+  void add_point(double value, double ratio, double deviation);
+
+  [[nodiscard]] std::size_t points() const { return pts_.size(); }
+
+  /// Predicted compression ratio at \p value (>= smallest observed > 0
+  /// ratio floor of 1).
+  [[nodiscard]] double predict_ratio(double value) const;
+
+  /// Predicted domain-metric deviation at \p value (>= 0).
+  [[nodiscard]] double predict_deviation(double value) const;
+
+ private:
+  struct Point {
+    double log_value;
+    double ratio;
+    double deviation;
+  };
+  /// Sorted by log_value; duplicate values keep the latest observation.
+  std::vector<Point> pts_;
+  [[nodiscard]] double interpolate(double log_value, bool log_ratio) const;
+};
+
+/// One bisection step over aggressiveness positions: returns the midpoint
+/// of (lo, hi), or npos when the bracket is closed (hi - lo <= 1). \p lo is
+/// the most aggressive known-acceptable position, \p hi the least
+/// aggressive known-unacceptable one; lo < hi is required.
+std::size_t bisect_next(std::size_t lo, std::size_t hi);
+
+/// npos sentinel for bisect_next.
+inline constexpr std::size_t kBisectDone = static_cast<std::size_t>(-1);
+
+}  // namespace cosmo::foresight

@@ -13,6 +13,7 @@
 #include "cosmo/nyx_synth.hpp"
 #include "foresight/cinema.hpp"
 #include "foresight/pat.hpp"
+#include "foresight/sweep.hpp"
 
 namespace cosmo::foresight {
 
@@ -199,13 +200,27 @@ PipelineSummary run_pipeline(const json::Value& config) {
 
   if (do_pk) {
     workflow.add("analysis-power-spectrum", cbench_job_names, [&] {
+      // The original-field spectrum is candidate-independent: compute it
+      // once per field and serve every result row from the cache.
+      std::map<std::string, std::vector<analysis::PkBin>> baselines;
       for (std::size_t i = 0; i < summary.results.size(); ++i) {
         const auto& r = summary.results[i];
         const Field& field = dataset.find(r.field).field;
         if (field.dims.rank() != 3) continue;
         if (recons[i].empty()) continue;
+        auto base = baselines.find(r.field);
+        if (base == baselines.end()) {
+          base = baselines
+                     .emplace(r.field,
+                              analysis::power_spectrum(field.data, field.dims, 0, intra_pool))
+                     .first;
+        } else {
+          telemetry::MetricsRegistry::instance()
+              .counter("optimizer.baseline_cache_hits")
+              .add();
+        }
         const auto pk =
-            analysis::pk_ratio(field.data, recons[i], field.dims, 0.5, intra_pool);
+            analysis::pk_ratio(base->second, recons[i], field.dims, 0.5, intra_pool);
         summary.pk_deviation[result_key(r)] = pk.max_deviation;
       }
     });
@@ -232,6 +247,11 @@ PipelineSummary run_pipeline(const json::Value& config) {
       const auto& y = dataset.find("y").field.data;
       const auto& z = dataset.find("z").field.data;
       const auto original = analysis::fof(x, y, z, fof_params, intra_pool);
+      // Binning and original mass function are shared by every comparison.
+      std::optional<analysis::HaloBaseline> baseline;
+      if (!original.halos.empty()) {
+        baseline = analysis::make_halo_baseline(original.halos, 1.0);
+      }
 
       std::map<std::string, std::size_t> slot_of;
       for (std::size_t i = 0; i < summary.results.size(); ++i) {
@@ -250,11 +270,65 @@ PipelineSummary run_pipeline(const json::Value& config) {
         const auto recon = analysis::fof(recons[ix->second], recons[iy->second],
                                          recons[iz->second], fof_params, intra_pool);
         double deviation = 1.0;
-        if (!recon.halos.empty() && !original.halos.empty()) {
-          deviation = analysis::compare_halo_catalogs(original.halos, recon.halos, 1.0)
+        if (!recon.halos.empty() && baseline) {
+          deviation = analysis::compare_halo_catalogs(*baseline, recon.halos)
                           .max_ratio_deviation;
         }
         summary.halo_deviation["position" + suffix] = deviation;
+      }
+    });
+  }
+
+  // --- Optimizer stage: the Section V-D best-fit search as a PAT job. ---
+  // Independent of the cbench sweep (it opens its own compressor and runs
+  // its own evaluations), so it schedules alongside the other jobs.
+  std::unique_ptr<Compressor> opt_codec;
+  if (config.contains("optimizer")) {
+    const json::Value& opt_cfg = config.at("optimizer");
+    opt_codec = make_compressor(opt_cfg.at("compressor").as_string(), &sim);
+    OptimizerOptions opt_options;
+    opt_options.search = parse_search_mode(opt_cfg.get("search", std::string("exhaustive")));
+    opt_options.probes = static_cast<std::size_t>(opt_cfg.get("probes", 3.0));
+    opt_options.threads = static_cast<std::size_t>(opt_cfg.get("threads", 1.0));
+    opt_options.on_error = on_error;
+    const auto parse_configs = [&opt_cfg](const std::string& key) {
+      std::vector<CompressorConfig> configs;
+      if (!opt_cfg.contains(key)) return configs;
+      for (const auto& c : opt_cfg.at(key).as_array()) {
+        configs.push_back({c.at("mode").as_string(), c.at("value").as_number()});
+      }
+      return configs;
+    };
+    workflow.add("optimizer", {}, [&, opt_options, parse_configs] {
+      Compressor& codec = *opt_codec;
+      if (dataset_type == "hacc") {
+        analysis::FofParams fof_params;
+        fof_params.linking_length = opt_cfg.get("linking_length", 1.5);
+        fof_params.min_members =
+            static_cast<std::size_t>(opt_cfg.get("min_members", 10.0));
+        auto pos = parse_configs("position_candidates");
+        auto vel = parse_configs("velocity_candidates");
+        if (pos.empty()) pos = default_position_candidates(codec.capabilities());
+        if (vel.empty()) {
+          vel = default_velocity_candidates(codec.capabilities(),
+                                            dataset.find("vx").field);
+        }
+        summary.optimization = optimize_particle_dataset(
+            dataset, codec, pos, vel, fof_params, opt_cfg.get("halo_tolerance", 0.05),
+            opt_cfg.get("velocity_tolerance", 0.05), opt_options);
+      } else {
+        const auto shared = parse_configs("candidates");
+        std::map<std::string, std::vector<CompressorConfig>> candidates;
+        for (const auto& variable : dataset.variables) {
+          if (variable.field.dims.rank() != 3) continue;
+          candidates[variable.field.name] =
+              shared.empty()
+                  ? default_grid_candidates(codec.name(), variable.field)
+                  : shared;
+        }
+        summary.optimization = optimize_grid_dataset(
+            dataset, codec, candidates, opt_cfg.get("tolerance", 0.01),
+            opt_cfg.get("k_fraction", 0.5), opt_options);
       }
     });
   }
@@ -307,6 +381,7 @@ PipelineSummary run_pipeline(const json::Value& config) {
   for (const auto& c : compressors) {
     if (!c->concurrent_sessions_safe()) parallel_ok = false;
   }
+  if (opt_codec && !opt_codec->concurrent_sessions_safe()) parallel_ok = false;
   if (parallel_ok) {
     ThreadPool pool(jobs_requested);
     summary.workflow_ok = workflow.run(&pool, jobs_requested);
@@ -326,6 +401,12 @@ PipelineSummary run_pipeline(const json::Value& config) {
   }
   for (const auto& r : summary.results) {
     if (r.status != "ok") ++summary.failed_jobs;
+  }
+  if (summary.optimization) {
+    std::ofstream out(summary.output_dir + "/optimization.txt", std::ios::trunc);
+    require(out.good(), "pipeline: cannot write optimization.txt");
+    out << format_optimization(*summary.optimization);
+    summary.artifacts.push_back("optimization.txt");
   }
   if (fault_plan) {
     const auto counts = fault_plan->counts();

@@ -43,15 +43,33 @@
 ///     "gpu_oom_probability": 0.0,
 ///     "io_failure_every": 0,         // every Nth io::load/save fails
 ///     "io_failure_probability": 0.0
+///   },
+///   "optimizer": {  // Section V-D best-fit search (absent = stage off)
+///     "compressor": "sz-cpu",
+///     "search": "exhaustive"|"guided",
+///     "probes": 3,        // guided: full evals per probe batch
+///     "threads": 1,       // candidate-eval workers (1/0/N convention)
+///     "tolerance": 0.01,  // grid P(k) band
+///     "k_fraction": 0.5,
+///     "halo_tolerance": 0.05,      // hacc only
+///     "velocity_tolerance": 0.05,
+///     "linking_length": 1.5,
+///     "min_members": 10,
+///     "candidates": [{"mode": "abs", "value": 0.1}, ...],  // grid; default:
+///                                                  // the codec's registry sweep
+///     "position_candidates": [...],  // hacc; default: paper's HACC lattices
+///     "velocity_candidates": [...]
 ///   }
 /// }
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "foresight/cbench.hpp"
+#include "foresight/optimizer.hpp"
 #include "json/json.hpp"
 
 namespace cosmo::foresight {
@@ -66,6 +84,9 @@ struct PipelineSummary {
   std::map<std::string, double> halo_deviation;
   /// "field|compressor|config" -> mean SSIM (when analysis.ssim is on).
   std::map<std::string, double> ssim;
+  /// Section V-D best-fit search result (set when the config carries an
+  /// "optimizer" object).
+  std::optional<OptimizationResult> optimization;
   std::string output_dir;
   std::vector<std::string> artifacts;  ///< files written under output_dir
   bool workflow_ok = false;

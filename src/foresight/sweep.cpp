@@ -85,4 +85,20 @@ std::vector<CompressorConfig> default_grid_candidates(const std::string& codec,
   return configs_for_axis(caps.default_sweep.front(), field);
 }
 
+std::vector<CompressorConfig> default_position_candidates(const CodecCapabilities& caps) {
+  if (caps.supports_mode("abs")) {
+    return {{"abs", 0.001}, {"abs", 0.005}, {"abs", 0.025}, {"abs", 0.25}};
+  }
+  return {{"rate", 16.0}, {"rate", 8.0}, {"rate", 4.0}};
+}
+
+std::vector<CompressorConfig> default_velocity_candidates(const CodecCapabilities& caps,
+                                                          const Field& velocity_field) {
+  if (caps.supports_mode("pw_rel")) {
+    return {{"pw_rel", 0.005}, {"pw_rel", 0.025}, {"pw_rel", 0.1}};
+  }
+  if (caps.supports_mode("rate")) return {{"rate", 8.0}, {"rate", 4.0}};
+  return abs_sweep_for_field(velocity_field, 2e-5, 2e-3, 3);
+}
+
 }  // namespace cosmo::foresight

@@ -38,4 +38,15 @@ std::vector<CompressorConfig> configs_for_axis(const SweepAxis& axis, const Fiel
 std::vector<CompressorConfig> default_grid_candidates(const std::string& codec,
                                                       const Field& field);
 
+/// The paper's HACC position candidates, keyed off the codec's modes:
+/// absolute bounds when supported, fixed bitrates otherwise. Shared by the
+/// guideline bench, the optimizer CLI and the pipeline's optimizer stage.
+std::vector<CompressorConfig> default_position_candidates(const CodecCapabilities& caps);
+
+/// HACC velocity candidates: point-wise-relative bounds when supported
+/// (Sec. IV-B4), bitrates for rate-mode codecs, range-scaled absolute
+/// bounds otherwise.
+std::vector<CompressorConfig> default_velocity_candidates(const CodecCapabilities& caps,
+                                                          const Field& velocity_field);
+
 }  // namespace cosmo::foresight

@@ -1,6 +1,6 @@
 #include "sz/rate_estimate.hpp"
 
-#include <map>
+#include <algorithm>
 
 #include "codec/huffman.hpp"
 #include "sz/predictor.hpp"
@@ -9,22 +9,38 @@
 namespace cosmo::sz {
 
 RateEstimate estimate_rate(std::span<const float> data, const Dims& dims,
-                           const Params& params) {
+                           const Params& params, std::size_t block_stride) {
   require(data.size() == dims.count(), "estimate_rate: data/dims size mismatch");
   require(!data.empty(), "estimate_rate: empty input");
+  require(block_stride >= 1, "estimate_rate: block_stride must be >= 1");
   const std::size_t edge =
       params.block_edge ? params.block_edge : default_block_edge(dims.rank());
 
   const Quantizer quant(params.abs_error_bound, params.radius);
+  // Codes are 0 (unpredictable) or (error + radius) in (0, 2*radius): a flat
+  // histogram indexed by code replaces the old std::map (the map's node
+  // allocations and log-n lookups dominated the estimator's runtime).
+  const std::size_t code_space = 2 * static_cast<std::size_t>(params.radius);
+  require(code_space <= (1u << 26), "estimate_rate: radius too large");
   std::vector<float> recon(data.size(), 0.0f);
-  std::map<std::uint32_t, std::uint64_t> code_freq;
+  std::vector<std::uint64_t> code_freq(code_space, 0);
   std::size_t unpredictable = 0;
-  std::size_t blocks = 0;
+  std::size_t sampled_values = 0;
+  std::size_t block_index = 0;
+  std::size_t sampled_blocks = 0;
+  std::size_t total_blocks = 0;
   std::size_t regression_blocks = 0;
 
   for (std::size_t z0 = 0; z0 < dims.nz; z0 += edge) {
     for (std::size_t y0 = 0; y0 < dims.ny; y0 += edge) {
       for (std::size_t x0 = 0; x0 < dims.nx; x0 += edge) {
+        ++total_blocks;
+        // Deterministic sampling: every block_stride-th block in the same
+        // z-major traversal compress() uses, starting at block 0. SZ
+        // prediction never crosses block borders, so each sampled block
+        // quantizes exactly as it would in a full run.
+        if (block_index++ % block_stride != 0) continue;
+        ++sampled_blocks;
         BlockRange blk;
         blk.x0 = x0;
         blk.x1 = std::min(x0 + edge, dims.nx);
@@ -32,7 +48,6 @@ RateEstimate estimate_rate(std::span<const float> data, const Dims& dims,
         blk.y1 = std::min(y0 + edge, dims.ny);
         blk.z0 = z0;
         blk.z1 = std::min(z0 + edge, dims.nz);
-        ++blocks;
 
         bool use_reg = false;
         RegressionCoef coef;
@@ -42,6 +57,7 @@ RateEstimate estimate_rate(std::span<const float> data, const Dims& dims,
                     lorenzo_error_estimate(data, dims, blk);
         }
         if (use_reg) ++regression_blocks;
+        sampled_values += blk.count();
 
         for (std::size_t z = blk.z0; z < blk.z1; ++z) {
           for (std::size_t y = blk.y0; y < blk.y1; ++y) {
@@ -66,18 +82,24 @@ RateEstimate estimate_rate(std::span<const float> data, const Dims& dims,
   }
 
   std::vector<std::uint64_t> freqs;
-  freqs.reserve(code_freq.size());
-  for (const auto& [code, f] : code_freq) freqs.push_back(f);
+  for (const std::uint64_t f : code_freq) {
+    if (f > 0) freqs.push_back(f);
+  }
 
   RateEstimate est;
-  const double n = static_cast<double>(data.size());
+  // All per-value statistics come from the sampled blocks; with stride 1
+  // that is the whole field, with stride N it is an unbiased extrapolation
+  // (block metadata scales with blocks-per-value, which the sample carries).
+  const double n = static_cast<double>(sampled_values);
   est.entropy_bits_per_value = shannon_entropy_bits(freqs);
   est.unpredictable_fraction = static_cast<double>(unpredictable) / n;
+  est.sampled_blocks = sampled_blocks;
+  est.total_blocks = total_blocks;
   // Unpredictable values carry a full float on top of their (rare) code;
   // per-block metadata: 1 flag byte + 16 coef bytes for regression blocks.
-  const double metadata_bits =
-      (static_cast<double>(blocks) * 8.0 + static_cast<double>(regression_blocks) * 128.0) /
-      n;
+  const double metadata_bits = (static_cast<double>(sampled_blocks) * 8.0 +
+                                static_cast<double>(regression_blocks) * 128.0) /
+                               n;
   est.estimated_bits_per_value =
       est.entropy_bits_per_value + 32.0 * est.unpredictable_fraction + metadata_bits;
   return est;

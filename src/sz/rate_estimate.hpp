@@ -8,7 +8,9 @@
 /// optimizer cost; this estimator runs only the prediction + quantization
 /// stages (no Huffman, no LZSS, no stream assembly) and bounds the
 /// achievable rate by the Shannon entropy of the code distribution, making
-/// candidate pre-filtering ~3-5x cheaper.
+/// candidate pre-filtering ~3-5x cheaper. The guided optimizer uses it to
+/// predict compression ratios for pruned candidates of codecs that declare
+/// CodecCapabilities::abs_rate_estimable.
 #pragma once
 
 #include <span>
@@ -27,11 +29,17 @@ struct RateEstimate {
   /// ~15% of the real stream (the LZSS stage can go below it on highly
   /// repetitive codes).
   double estimated_bits_per_value = 0.0;
+  std::size_t sampled_blocks = 0;  ///< blocks actually quantized
+  std::size_t total_blocks = 0;    ///< blocks the full field has
 };
 
 /// Runs prediction + quantization only (same blocking and predictor
 /// selection as compress()) and returns the entropy-based rate estimate.
+/// \p block_stride > 1 samples every Nth block (deterministic, first block
+/// always included) and extrapolates per-value statistics from the sample;
+/// SZ prediction is block-local, so sampled blocks quantize exactly as a
+/// full run would. Stride 1 processes every block.
 RateEstimate estimate_rate(std::span<const float> data, const Dims& dims,
-                           const Params& params);
+                           const Params& params, std::size_t block_stride = 1);
 
 }  // namespace cosmo::sz

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/str.hpp"
 #include "cosmo/hacc_synth.hpp"
+#include "cosmo/nyx_synth.hpp"
 #include "gpu/node.hpp"
 #include "io/partitioned.hpp"
 #include "mpi/domain.hpp"
@@ -115,6 +116,57 @@ TEST(RateEstimate, MonotoneInErrorBound) {
     EXPECT_LT(est, prev) << bound;
     prev = est;
   }
+}
+
+TEST(RateEstimate, NyxDensityAccuracyAcrossBounds) {
+  // The guided optimizer substitutes the estimator for full evaluations on
+  // pruned abs-mode candidates, so its accuracy on a genuine Nyx field is a
+  // contract, not a nicety: across the bound lattice the estimate has to
+  // stay within the entropy-vs-LZSS slack band of the real stream.
+  NyxConfig config;
+  config.dim = 32;
+  const auto nyx = generate_nyx(config);
+  const Field& field = nyx.find("baryon_density").field;
+  const auto [lo, hi] = value_range(field.view());
+  const double range = static_cast<double>(hi) - lo;
+  for (const double frac : {1e-5, 1e-4, 1e-3, 1e-2}) {
+    sz::Params params;
+    params.abs_error_bound = range * frac;
+    const auto est = sz::estimate_rate(field.data, field.dims, params);
+    sz::Stats stats;
+    sz::compress(field.data, field.dims, params, &stats);
+    // Entropy is a lower bound on the Huffman stage, but LZSS can squeeze
+    // below it on repetitive codes; 50% covers that on the loose bounds.
+    EXPECT_GT(est.estimated_bits_per_value, stats.bit_rate * 0.5) << frac;
+    EXPECT_LT(est.estimated_bits_per_value, stats.bit_rate * 1.35 + 0.5) << frac;
+  }
+}
+
+TEST(RateEstimate, StrideSamplingTracksFullScan) {
+  NyxConfig config;
+  config.dim = 32;
+  const auto nyx = generate_nyx(config);
+  const Field& field = nyx.find("temperature").field;
+  const auto [lo, hi] = value_range(field.view());
+  sz::Params params;
+  params.abs_error_bound = (static_cast<double>(hi) - lo) * 1e-4;
+  const auto full = sz::estimate_rate(field.data, field.dims, params);
+  EXPECT_EQ(full.sampled_blocks, full.total_blocks);
+  for (const std::size_t stride : {2u, 4u, 8u}) {
+    const auto sampled = sz::estimate_rate(field.data, field.dims, params, stride);
+    EXPECT_EQ(sampled.total_blocks, full.total_blocks);
+    // Ceil division: every stride-th block starting at 0 is sampled.
+    EXPECT_EQ(sampled.sampled_blocks, (full.total_blocks + stride - 1) / stride);
+    // Strided sampling is for speed, not a different answer: on a smooth
+    // field the sampled estimate stays within 10% of the full scan.
+    EXPECT_NEAR(sampled.estimated_bits_per_value, full.estimated_bits_per_value,
+                0.10 * full.estimated_bits_per_value + 0.05)
+        << stride;
+  }
+  // stride == 1 is exactly the full scan.
+  const auto one = sz::estimate_rate(field.data, field.dims, params, 1);
+  EXPECT_DOUBLE_EQ(one.estimated_bits_per_value, full.estimated_bits_per_value);
+  EXPECT_THROW(sz::estimate_rate(field.data, field.dims, params, 0), InvalidArgument);
 }
 
 TEST(RateEstimate, FlagsUnpredictableData) {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "common/telemetry.hpp"
 #include "cosmo/hacc_synth.hpp"
 #include "cosmo/nyx_synth.hpp"
 #include "foresight/optimizer.hpp"
+#include "foresight/sweep.hpp"
+#include "json/json.hpp"
 
 namespace cosmo::foresight {
 namespace {
@@ -131,8 +134,24 @@ TEST(Optimizer, FormatsReadableReport) {
   FieldChoice choice;
   choice.field = "baryon_density";
   choice.found = true;
-  choice.chosen = {{"abs", 0.2}, 15.4, 95.0, true, 0.004};
-  choice.candidates = {choice.chosen, {{"abs", 1.0}, 20.0, 102.45, false, 0.02}};
+  choice.chosen.config = {"abs", 0.2};
+  choice.chosen.ratio = 15.4;
+  choice.chosen.psnr_db = 95.0;
+  choice.chosen.acceptable = true;
+  choice.chosen.metric_deviation = 0.004;
+  CandidateOutcome rejected;
+  rejected.config = {"abs", 1.0};
+  rejected.ratio = 20.0;
+  rejected.psnr_db = 102.45;
+  rejected.acceptable = false;
+  rejected.metric_deviation = 0.02;
+  CandidateOutcome pruned;
+  pruned.config = {"abs", 0.05};
+  pruned.ratio = 8.0;
+  pruned.acceptable = true;
+  pruned.status = "pruned";
+  pruned.predicted = true;
+  choice.candidates = {choice.chosen, rejected, pruned};
   result.per_field.push_back(choice);
   result.overall_ratio = 15.4;
   result.all_fields_ok = true;
@@ -141,6 +160,222 @@ TEST(Optimizer, FormatsReadableReport) {
   EXPECT_NE(report.find("abs=0.2"), std::string::npos);
   EXPECT_NE(report.find("15.4"), std::string::npos);
   EXPECT_NE(report.find("reject"), std::string::npos);
+  EXPECT_NE(report.find("(pruned, predicted)"), std::string::npos);
+  EXPECT_NE(report.find("full evals"), std::string::npos);
+}
+
+// ---------- guided search ----------
+
+/// Shared fixture data: a small Nyx snapshot with a dense abs lattice on
+/// two fields (dense lattices are where guided search pays off).
+struct GuidedGridCase {
+  io::Container data;
+  std::unique_ptr<Compressor> codec;
+  std::map<std::string, std::vector<CompressorConfig>> candidates;
+
+  GuidedGridCase() {
+    NyxConfig config;
+    config.dim = 16;
+    data = generate_nyx(config);
+    codec = make_compressor("sz-cpu");
+    for (const char* name : {"temperature", "velocity_x"}) {
+      candidates[name] = abs_sweep_for_field(data.find(name).field, 2e-6, 2e-2, 16);
+    }
+  }
+};
+
+TEST(OptimizerGuided, MatchesExhaustiveChoiceOnGrid) {
+  GuidedGridCase c;
+  const auto exhaustive = optimize_grid_dataset(c.data, *c.codec, c.candidates, 0.01, 0.5);
+  for (const std::size_t threads : {1u, 4u}) {
+    OptimizerOptions options;
+    options.search = SearchMode::kGuided;
+    options.threads = threads;
+    const auto guided =
+        optimize_grid_dataset(c.data, *c.codec, c.candidates, 0.01, 0.5, options);
+    ASSERT_EQ(guided.per_field.size(), exhaustive.per_field.size());
+    for (std::size_t i = 0; i < guided.per_field.size(); ++i) {
+      const auto& ge = guided.per_field[i];
+      const auto& ee = exhaustive.per_field[i];
+      EXPECT_EQ(ge.field, ee.field);
+      ASSERT_EQ(ge.found, ee.found) << ge.field;
+      if (!ee.found) continue;
+      EXPECT_EQ(ge.chosen.config.mode, ee.chosen.config.mode) << ge.field;
+      EXPECT_DOUBLE_EQ(ge.chosen.config.value, ee.chosen.config.value) << ge.field;
+      EXPECT_DOUBLE_EQ(ge.chosen.ratio, ee.chosen.ratio) << ge.field;
+      EXPECT_EQ(ge.chosen.status, "evaluated");
+      EXPECT_FALSE(ge.chosen.predicted);
+    }
+    EXPECT_LT(guided.stats.full_evals, exhaustive.stats.full_evals);
+  }
+}
+
+TEST(OptimizerGuided, DeterministicAcrossThreadCounts) {
+  GuidedGridCase c;
+  OptimizerOptions serial;
+  serial.search = SearchMode::kGuided;
+  serial.threads = 1;
+  OptimizerOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = optimize_grid_dataset(c.data, *c.codec, c.candidates, 0.01, 0.5, serial);
+  const auto b =
+      optimize_grid_dataset(c.data, *c.codec, c.candidates, 0.01, 0.5, parallel);
+  ASSERT_EQ(a.per_field.size(), b.per_field.size());
+  EXPECT_EQ(a.stats.full_evals, b.stats.full_evals);
+  EXPECT_EQ(a.stats.pruned, b.stats.pruned);
+  for (std::size_t i = 0; i < a.per_field.size(); ++i) {
+    const auto& fa = a.per_field[i];
+    const auto& fb = b.per_field[i];
+    ASSERT_EQ(fa.candidates.size(), fb.candidates.size());
+    // Candidate rows are slotted by index: identical configs, statuses, and
+    // metrics regardless of worker count.
+    for (std::size_t j = 0; j < fa.candidates.size(); ++j) {
+      EXPECT_EQ(fa.candidates[j].config.mode, fb.candidates[j].config.mode);
+      EXPECT_DOUBLE_EQ(fa.candidates[j].config.value, fb.candidates[j].config.value);
+      EXPECT_EQ(fa.candidates[j].status, fb.candidates[j].status);
+      EXPECT_EQ(fa.candidates[j].acceptable, fb.candidates[j].acceptable);
+      EXPECT_DOUBLE_EQ(fa.candidates[j].ratio, fb.candidates[j].ratio);
+    }
+  }
+}
+
+TEST(OptimizerGuided, MatchesExhaustiveChoiceOnParticles) {
+  HaccConfig config;
+  config.particles = 12000;
+  config.halo_count = 10;
+  const auto data = generate_hacc(config);
+  const auto codec = make_compressor("sz-cpu");
+  analysis::FofParams fof_params;
+  fof_params.linking_length = 1.0;
+  fof_params.min_members = 15;
+  const auto position = abs_sweep_for_field(data.find("x").field, 4e-6, 4e-3, 8);
+  const auto velocity = pwrel_sweep(1e-3, 2e-1, 6);
+
+  const auto exhaustive = optimize_particle_dataset(data, *codec, position, velocity,
+                                                    fof_params, 0.1, 0.1);
+  for (const std::size_t threads : {1u, 4u}) {
+    OptimizerOptions options;
+    options.search = SearchMode::kGuided;
+    options.threads = threads;
+    const auto guided = optimize_particle_dataset(data, *codec, position, velocity,
+                                                  fof_params, 0.1, 0.1, options);
+    ASSERT_EQ(guided.per_field.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+      ASSERT_EQ(guided.per_field[i].found, exhaustive.per_field[i].found);
+      if (!exhaustive.per_field[i].found) continue;
+      EXPECT_DOUBLE_EQ(guided.per_field[i].chosen.config.value,
+                       exhaustive.per_field[i].chosen.config.value)
+          << guided.per_field[i].field;
+      EXPECT_DOUBLE_EQ(guided.per_field[i].chosen.ratio,
+                       exhaustive.per_field[i].chosen.ratio);
+    }
+    EXPECT_LT(guided.stats.full_evals, exhaustive.stats.full_evals);
+  }
+}
+
+TEST(OptimizerGuided, StatsAccountForEveryCandidate) {
+  GuidedGridCase c;
+  OptimizerOptions options;
+  options.search = SearchMode::kGuided;
+  const auto r = optimize_grid_dataset(c.data, *c.codec, c.candidates, 0.01, 0.5, options);
+  EXPECT_EQ(r.stats.candidates, 32u);  // 2 fields x 16 bounds
+  EXPECT_GT(r.stats.full_evals, 0u);
+  EXPECT_GT(r.stats.pruned, 0u);
+  EXPECT_GE(r.stats.probes, 4u);  // >= 2 endpoints per field
+  EXPECT_LE(r.stats.probes, r.stats.full_evals);
+  // Every candidate row is exactly one of: really evaluated, surrogate
+  // pruned, capability skipped, or failed.
+  EXPECT_EQ(r.stats.full_evals + r.stats.pruned + r.stats.skipped + r.stats.failed,
+            r.stats.candidates);
+  EXPECT_GT(r.stats.wall_seconds, 0.0);
+  // sz-cpu is abs-rate-estimable, so pruned rows get estimator ratios.
+  EXPECT_GT(r.stats.rate_estimates, 0u);
+  // P(k) baselines are computed once per field, then served from cache.
+  EXPECT_GT(r.stats.baseline_cache_hits, 0u);
+  for (const auto& field : r.per_field) {
+    for (const auto& cand : field.candidates) {
+      EXPECT_TRUE(cand.status == "evaluated" || cand.status == "pruned" ||
+                  cand.status == "skipped" || cand.status == "failed")
+          << cand.status;
+      if (cand.status == "pruned") {
+        EXPECT_TRUE(cand.predicted);
+      }
+    }
+  }
+}
+
+TEST(Optimizer, RecordsCapabilitySkippedCandidates) {
+  NyxConfig config;
+  config.dim = 16;
+  const auto data = generate_nyx(config);
+  const auto codec = make_compressor("sz-cpu");  // abs + pw_rel only
+  std::map<std::string, std::vector<CompressorConfig>> candidates;
+  candidates["temperature"] = {
+      {"rate", 8.0}, {"abs", 50.0}, {"rate", 4.0}, {"abs", 500.0}};
+  for (const SearchMode mode : {SearchMode::kExhaustive, SearchMode::kGuided}) {
+    OptimizerOptions options;
+    options.search = mode;
+    const auto r = optimize_grid_dataset(data, *codec, candidates, 0.05, 0.5, options);
+    ASSERT_EQ(r.per_field.size(), 1u);
+    const auto& rows = r.per_field[0].candidates;
+    ASSERT_EQ(rows.size(), 4u);  // skipped rows stay in place, input order
+    EXPECT_EQ(rows[0].status, "skipped");
+    EXPECT_EQ(rows[2].status, "skipped");
+    EXPECT_NE(rows[1].status, "skipped");
+    EXPECT_NE(rows[3].status, "skipped");
+    EXPECT_EQ(r.stats.skipped, 2u);
+    const std::string report = format_optimization(r);
+    EXPECT_NE(report.find("skipped (mode unsupported)"), std::string::npos);
+  }
+}
+
+TEST(Optimizer, PublishesMetricsCounters) {
+  auto& registry = telemetry::MetricsRegistry::instance();
+  registry.counter("optimizer.runs").reset();
+  registry.counter("optimizer.full_evals").reset();
+  registry.counter("optimizer.pruned_candidates").reset();
+
+  GuidedGridCase c;
+  OptimizerOptions options;
+  options.search = SearchMode::kGuided;
+  const auto r = optimize_grid_dataset(c.data, *c.codec, c.candidates, 0.01, 0.5, options);
+
+  EXPECT_EQ(registry.counter("optimizer.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("optimizer.full_evals").value(), r.stats.full_evals);
+  EXPECT_EQ(registry.counter("optimizer.pruned_candidates").value(), r.stats.pruned);
+  // The counters ride along in the registry's JSON export (what the
+  // pipeline's --metrics-out writes).
+  const json::Value doc = json::parse(registry.to_json());
+  const auto& counters = doc.at("counters");
+  EXPECT_GE(counters.at("optimizer.full_evals").as_number(),
+            static_cast<double>(r.stats.full_evals));
+  EXPECT_TRUE(counters.contains("optimizer.probes"));
+  EXPECT_TRUE(counters.contains("optimizer.baseline_cache_hits"));
+}
+
+TEST(Optimizer, GuidedContinuesPastFailedCandidates) {
+  GuidedGridCase c;
+  // Poison one candidate with an invalid value so its evaluation throws.
+  auto candidates = c.candidates;
+  candidates["temperature"][3].value = -1.0;
+  OptimizerOptions options;
+  options.search = SearchMode::kGuided;
+  options.on_error = OnError::kContinue;
+  const auto r = optimize_grid_dataset(c.data, *c.codec, candidates, 0.01, 0.5, options);
+  ASSERT_EQ(r.per_field.size(), 2u);
+  // The search still lands on an acceptable choice for both fields, and the
+  // poisoned candidate is recorded as a failed row rather than rethrown.
+  EXPECT_TRUE(r.per_field[0].found);
+  EXPECT_TRUE(r.per_field[1].found);
+  EXPECT_GE(r.stats.failed, 1u);
+}
+
+TEST(Optimizer, ParseSearchMode) {
+  EXPECT_EQ(parse_search_mode("exhaustive"), SearchMode::kExhaustive);
+  EXPECT_EQ(parse_search_mode("guided"), SearchMode::kGuided);
+  EXPECT_THROW(parse_search_mode("smart"), InvalidArgument);
+  EXPECT_EQ(search_mode_label(SearchMode::kGuided), "guided");
+  EXPECT_EQ(search_mode_label(SearchMode::kExhaustive), "exhaustive");
 }
 
 }  // namespace

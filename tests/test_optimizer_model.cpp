@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "foresight/optimizer_model.hpp"
+
+namespace cosmo::foresight {
+namespace {
+
+// ---------- mode aggressiveness ----------
+
+TEST(OptimizerModel, ModeAggressivenessDirection) {
+  EXPECT_TRUE(mode_loosens_with_larger_value("abs"));
+  EXPECT_TRUE(mode_loosens_with_larger_value("pw_rel"));
+  EXPECT_TRUE(mode_loosens_with_larger_value("accuracy"));
+  EXPECT_FALSE(mode_loosens_with_larger_value("rate"));
+  EXPECT_FALSE(mode_loosens_with_larger_value("precision"));
+  EXPECT_THROW(mode_loosens_with_larger_value("bogus"), InvalidArgument);
+}
+
+TEST(OptimizerModel, AggressivenessOrderAbsAscending) {
+  const std::vector<CompressorConfig> configs = {
+      {"abs", 0.5}, {"abs", 0.01}, {"abs", 0.1}};
+  const auto order = aggressiveness_order(configs);
+  // Least aggressive (smallest bound) first.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(OptimizerModel, AggressivenessOrderRateDescending) {
+  const std::vector<CompressorConfig> configs = {
+      {"rate", 4.0}, {"rate", 16.0}, {"rate", 8.0}};
+  const auto order = aggressiveness_order(configs);
+  // Least aggressive = biggest bit budget first.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(OptimizerModel, AggressivenessOrderStableOnTies) {
+  const std::vector<CompressorConfig> configs = {
+      {"abs", 0.1}, {"abs", 0.1}, {"abs", 0.1}};
+  const auto order = aggressiveness_order(configs);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(OptimizerModel, AggressivenessOrderRejectsMixedModes) {
+  const std::vector<CompressorConfig> configs = {{"abs", 0.1}, {"rate", 8.0}};
+  EXPECT_THROW(aggressiveness_order(configs), InvalidArgument);
+}
+
+// ---------- probe placement ----------
+
+TEST(OptimizerModel, ProbePositionsAlwaysIncludeEndpoints) {
+  for (const std::size_t n : {2u, 3u, 7u, 24u, 100u}) {
+    for (const std::size_t probes : {0u, 2u, 3u, 5u, 200u}) {
+      const auto pos = probe_positions(n, probes);
+      ASSERT_GE(pos.size(), 2u) << n << " " << probes;
+      EXPECT_EQ(pos.front(), 0u);
+      EXPECT_EQ(pos.back(), n - 1);
+      // Sorted, deduplicated, in range.
+      for (std::size_t i = 1; i < pos.size(); ++i) {
+        EXPECT_LT(pos[i - 1], pos[i]);
+      }
+      EXPECT_LE(pos.size(), std::min<std::size_t>(n, std::max<std::size_t>(probes, 2)));
+    }
+  }
+}
+
+TEST(OptimizerModel, ProbePositionsDegenerateSizes) {
+  EXPECT_TRUE(probe_positions(0, 3).empty());
+  EXPECT_EQ(probe_positions(1, 3), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(probe_positions(2, 5), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(OptimizerModel, ProbePositionsSpreadInterior) {
+  const auto pos = probe_positions(28, 3);
+  ASSERT_EQ(pos.size(), 3u);
+  EXPECT_EQ(pos[0], 0u);
+  // Middle probe lands near the center of the lattice.
+  EXPECT_NEAR(static_cast<double>(pos[1]), 13.5, 1.0);
+  EXPECT_EQ(pos[2], 27u);
+}
+
+// ---------- rate-quality surrogate ----------
+
+TEST(OptimizerModel, SurrogateInterpolatesPowerLawExactly) {
+  // ratio = 4 * value^0.5 is a straight line in log-log space, so the
+  // log-log interpolation through two points recovers interior values.
+  RateQualityModel model;
+  model.add_point(1.0, 4.0, 0.0);
+  model.add_point(100.0, 40.0, 0.0);
+  EXPECT_NEAR(model.predict_ratio(10.0), 4.0 * std::sqrt(10.0), 1e-9);
+}
+
+TEST(OptimizerModel, SurrogateClampsOutsideRange) {
+  RateQualityModel model;
+  model.add_point(0.1, 2.0, 0.001);
+  model.add_point(1.0, 8.0, 0.02);
+  EXPECT_DOUBLE_EQ(model.predict_ratio(1e-6), 2.0);
+  EXPECT_DOUBLE_EQ(model.predict_ratio(1e6), 8.0);
+  EXPECT_DOUBLE_EQ(model.predict_deviation(1e-6), 0.001);
+  EXPECT_DOUBLE_EQ(model.predict_deviation(1e6), 0.02);
+}
+
+TEST(OptimizerModel, SurrogateDeviationInterpolatesAndFloorsAtZero) {
+  RateQualityModel model;
+  model.add_point(1.0, 2.0, 0.0);
+  model.add_point(4.0, 4.0, 0.04);
+  const double mid = model.predict_deviation(2.0);  // halfway in log(value)
+  EXPECT_NEAR(mid, 0.02, 1e-9);
+  EXPECT_GE(model.predict_deviation(1.0), 0.0);
+}
+
+TEST(OptimizerModel, SurrogateDuplicateValueKeepsLatest) {
+  RateQualityModel model;
+  model.add_point(1.0, 2.0, 0.1);
+  model.add_point(1.0, 6.0, 0.3);
+  EXPECT_EQ(model.points(), 1u);
+  EXPECT_DOUBLE_EQ(model.predict_ratio(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(model.predict_deviation(1.0), 0.3);
+}
+
+TEST(OptimizerModel, SurrogateRejectsNonPositiveValue) {
+  RateQualityModel model;
+  EXPECT_THROW(model.add_point(0.0, 2.0, 0.0), InvalidArgument);
+  EXPECT_THROW(model.add_point(-1.0, 2.0, 0.0), InvalidArgument);
+}
+
+// ---------- bisection ----------
+
+TEST(OptimizerModel, BisectConvergesInLogSteps) {
+  // Simulated frontier at position 17 of 28 (positions <= 17 acceptable).
+  std::size_t lo = 0, hi = 27, steps = 0;
+  for (std::size_t mid = bisect_next(lo, hi); mid != kBisectDone;
+       mid = bisect_next(lo, hi)) {
+    ++steps;
+    ASSERT_GT(mid, lo);
+    ASSERT_LT(mid, hi);
+    if (mid <= 17) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    ASSERT_LE(steps, 6u);  // ceil(log2(27)) bounds the search
+  }
+  EXPECT_EQ(lo, 17u);
+  EXPECT_EQ(hi, 18u);
+}
+
+TEST(OptimizerModel, BisectClosedBracketIsDone) {
+  EXPECT_EQ(bisect_next(3, 4), kBisectDone);
+  EXPECT_EQ(bisect_next(0, 1), kBisectDone);
+  EXPECT_EQ(bisect_next(2, 7), 4u);  // midpoint
+}
+
+}  // namespace
+}  // namespace cosmo::foresight

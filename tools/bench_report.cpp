@@ -29,6 +29,7 @@
 /// "modeled": true so nobody mistakes it for a measurement.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -42,6 +43,10 @@
 #include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "cosmo/hacc_synth.hpp"
+#include "cosmo/nyx_synth.hpp"
+#include "foresight/optimizer.hpp"
+#include "foresight/sweep.hpp"
 #include "fz/fz.hpp"
 #include "io/crc32.hpp"
 #include "json/json.hpp"
@@ -157,7 +162,17 @@ int usage() {
                "\n"
                "       bench_report --trace-overhead [--edge N] [--repeats R] [--out FILE]\n"
                "  measures the disabled-tracing span cost and fails (exit 1) if the\n"
-               "  implied overhead on an SZ/ZFP round trip exceeds 1%%\n");
+               "  implied overhead on an SZ/ZFP round trip exceeds 1%%\n"
+               "\n"
+               "       bench_report --optimizer [--dim N] [--particles P] [--threads T]\n"
+               "                    [--out FILE]\n"
+               "  runs the Section V-D configuration search twice (exhaustive, then\n"
+               "  guided) with sz-cpu on a seeded N^3 Nyx snapshot (28-bound abs\n"
+               "  lattice per field) and a seeded P-particle HACC snapshot, and\n"
+               "  writes BENCH_optimizer.json; fails (exit 1) when a guided choice\n"
+               "  is unacceptable or >2%% worse CR than the exhaustive winner, or\n"
+               "  when the Nyx guided search spends more than 1/3 of the exhaustive\n"
+               "  full evaluations or less than 3x lower optimizer wall-clock\n");
   return 2;
 }
 
@@ -540,6 +555,195 @@ int run_trace_overhead(std::size_t edge, int repeats, const std::string& out_pat
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --optimizer: exhaustive vs guided Section V-D search
+// ---------------------------------------------------------------------------
+
+constexpr double kOptimizerCrBand = 0.02;     ///< guided CR may be this much worse
+constexpr double kOptimizerEvalFraction = 1.0 / 3.0;  ///< Nyx guided/exhaustive evals
+constexpr double kOptimizerMinSpeedup = 3.0;  ///< Nyx exhaustive/guided wall
+
+/// Search-cost + choice summary of one optimize run, for the JSON report.
+json::Object optimizer_run_entry(const foresight::OptimizationResult& r) {
+  json::Object s;
+  s["candidates"] = r.stats.candidates;
+  s["full_evals"] = r.stats.full_evals;
+  s["probes"] = r.stats.probes;
+  s["pruned"] = r.stats.pruned;
+  s["rate_estimates"] = r.stats.rate_estimates;
+  s["baseline_cache_hits"] = r.stats.baseline_cache_hits;
+  s["wall_seconds"] = r.stats.wall_seconds;
+  s["overall_ratio"] = r.overall_ratio;
+  s["all_fields_ok"] = r.all_fields_ok;
+  json::Array choices;
+  for (const auto& f : r.per_field) {
+    json::Object c;
+    c["field"] = f.field;
+    c["found"] = f.found;
+    if (f.found) {
+      c["mode"] = f.chosen.config.mode;
+      c["value"] = f.chosen.config.value;
+      c["ratio"] = f.chosen.ratio;
+      c["metric_deviation"] = f.chosen.metric_deviation;
+    }
+    choices.push_back(json::Value(std::move(c)));
+  }
+  s["choices"] = json::Value(std::move(choices));
+  return s;
+}
+
+/// Compares guided against exhaustive on one dataset, appending any gate
+/// violations to \p failures. \p gate_evals turns on the Nyx-only cost
+/// gates (eval fraction, wall speedup).
+json::Object optimizer_compare(const std::string& dataset,
+                               const foresight::OptimizationResult& ex,
+                               const foresight::OptimizationResult& gd, bool gate_evals,
+                               std::vector<std::string>& failures) {
+  json::Object e;
+  e["dataset"] = dataset;
+  e["exhaustive"] = json::Value(optimizer_run_entry(ex));
+  e["guided"] = json::Value(optimizer_run_entry(gd));
+
+  const double fraction =
+      ex.stats.full_evals > 0
+          ? static_cast<double>(gd.stats.full_evals) / static_cast<double>(ex.stats.full_evals)
+          : 1.0;
+  const double speedup =
+      gd.stats.wall_seconds > 0.0 ? ex.stats.wall_seconds / gd.stats.wall_seconds : 0.0;
+  e["eval_fraction"] = fraction;
+  e["wall_speedup"] = speedup;
+
+  bool choices_match = ex.per_field.size() == gd.per_field.size();
+  double worst_cr_shortfall = 0.0;
+  for (std::size_t i = 0; i < ex.per_field.size() && i < gd.per_field.size(); ++i) {
+    const auto& fe = ex.per_field[i];
+    const auto& fg = gd.per_field[i];
+    if (fe.found != fg.found ||
+        (fe.found && (fe.chosen.config.mode != fg.chosen.config.mode ||
+                      fe.chosen.config.value != fg.chosen.config.value))) {
+      choices_match = false;
+    }
+    if (!fe.found) continue;  // nothing for guided to match
+    if (!fg.found || !fg.chosen.acceptable) {
+      failures.push_back(dataset + "/" + fe.field + ": guided found no acceptable config");
+      continue;
+    }
+    const double shortfall = fe.chosen.ratio > 0.0 ? 1.0 - fg.chosen.ratio / fe.chosen.ratio : 0.0;
+    worst_cr_shortfall = std::max(worst_cr_shortfall, shortfall);
+    if (shortfall > kOptimizerCrBand) {
+      failures.push_back(dataset + "/" + fe.field + ": guided CR " +
+                         std::to_string(fg.chosen.ratio) + " is more than 2% below exhaustive " +
+                         std::to_string(fe.chosen.ratio));
+    }
+  }
+  e["choices_match"] = choices_match;
+  e["worst_cr_shortfall"] = worst_cr_shortfall;
+  if (gate_evals) {
+    if (fraction > kOptimizerEvalFraction + 1e-9) {
+      failures.push_back(dataset + ": guided used " + std::to_string(gd.stats.full_evals) +
+                         " of " + std::to_string(ex.stats.full_evals) +
+                         " full evals (> 1/3)");
+    }
+    if (speedup < kOptimizerMinSpeedup) {
+      failures.push_back(dataset + ": optimizer wall speedup " + std::to_string(speedup) +
+                         " < 3x");
+    }
+  }
+  std::printf("%-5s exhaustive %3zu evals %7.2fs  guided %3zu evals %7.2fs  "
+              "(%.0f%% of evals, x%.2f wall)  choices %s\n",
+              dataset.c_str(), ex.stats.full_evals, ex.stats.wall_seconds,
+              gd.stats.full_evals, gd.stats.wall_seconds, fraction * 100.0, speedup,
+              choices_match ? "match" : "DIFFER");
+  return e;
+}
+
+/// Runs exhaustive and guided search on seeded Nyx + HACC snapshots with
+/// sz-cpu and writes BENCH_optimizer.json. The lattices are deliberately
+/// denser than the codec's default sweep — the point of guided search is
+/// that frontier resolution no longer costs one full evaluation per bound.
+int run_optimizer_bench(std::size_t dim, std::size_t particles, std::size_t threads,
+                        const std::string& out_path) {
+  using namespace foresight;
+  const auto codec = make_compressor("sz-cpu", nullptr);
+
+  OptimizerOptions exhaustive;
+  exhaustive.threads = threads;
+  OptimizerOptions guided;
+  guided.search = SearchMode::kGuided;
+  guided.probes = 3;
+  guided.threads = threads;
+
+  std::vector<std::string> failures;
+  json::Array datasets;
+
+  // ---------------- Nyx ----------------
+  NyxConfig nyx_cfg;
+  nyx_cfg.dim = dim;
+  const io::Container nyx = generate_nyx(nyx_cfg);
+  std::map<std::string, std::vector<CompressorConfig>> nyx_cands;
+  for (const auto& variable : nyx.variables) {
+    nyx_cands[variable.field.name] = abs_sweep_for_field(variable.field, 2e-6, 2e-2, 28);
+  }
+  const auto nyx_ex = optimize_grid_dataset(nyx, *codec, nyx_cands, 0.01, 0.5, exhaustive);
+  const auto nyx_gd = optimize_grid_dataset(nyx, *codec, nyx_cands, 0.01, 0.5, guided);
+  if (std::getenv("BENCH_OPT_DUMP")) {
+    std::printf("--- nyx exhaustive ---\n%s\n--- nyx guided ---\n%s\n",
+                format_optimization(nyx_ex).c_str(), format_optimization(nyx_gd).c_str());
+  }
+  datasets.push_back(
+      json::Value(optimizer_compare("nyx", nyx_ex, nyx_gd, /*gate_evals=*/true, failures)));
+
+  // ---------------- HACC ----------------
+  HaccConfig hacc_cfg;
+  hacc_cfg.particles = particles;
+  hacc_cfg.halo_count = std::max<std::size_t>(40, particles / 1500);
+  const io::Container hacc = generate_hacc(hacc_cfg);
+  analysis::FofParams fof;
+  fof.linking_length = 1.0;
+  fof.min_members = 20;
+  const auto position_cands = abs_sweep_for_field(hacc.find("x").field, 4e-6, 4e-3, 12);
+  const auto velocity_cands = pwrel_sweep(1e-3, 2e-1, 8);
+  const auto hacc_ex = optimize_particle_dataset(hacc, *codec, position_cands, velocity_cands,
+                                                 fof, 0.05, 0.05, exhaustive);
+  const auto hacc_gd = optimize_particle_dataset(hacc, *codec, position_cands, velocity_cands,
+                                                 fof, 0.05, 0.05, guided);
+  datasets.push_back(
+      json::Value(optimizer_compare("hacc", hacc_ex, hacc_gd, /*gate_evals=*/false, failures)));
+
+  for (const auto& f : failures) std::fprintf(stderr, "bench_report: GATE: %s\n", f.c_str());
+
+  json::Object root;
+  root["schema"] = "cosmo-bench-optimizer/1";
+  root["codec"] = "sz-cpu";
+  root["nyx_dim"] = dim;
+  root["hacc_particles"] = particles;
+  root["threads"] = threads;
+  root["nyx_lattice"] = "abs, 28 log-spaced range fractions in [2e-6, 2e-2] per field";
+  root["hacc_position_lattice"] = "abs, 12 log-spaced range fractions in [4e-6, 4e-3]";
+  root["hacc_velocity_lattice"] = "pw_rel, 8 log-spaced bounds in [1e-3, 2e-1]";
+  json::Object gates;
+  gates["cr_within"] = kOptimizerCrBand;
+  gates["nyx_eval_fraction_max"] = kOptimizerEvalFraction;
+  gates["nyx_wall_speedup_min"] = kOptimizerMinSpeedup;
+  root["gates"] = json::Value(std::move(gates));
+  root["datasets"] = json::Value(std::move(datasets));
+  json::Array failure_rows;
+  for (const auto& f : failures) failure_rows.push_back(json::Value(f));
+  root["failures"] = json::Value(std::move(failure_rows));
+  root["ok"] = failures.empty();
+
+  const std::string text = json::Value(std::move(root)).dump(2) + "\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return failures.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -550,6 +754,10 @@ int main(int argc, char** argv) {
   int repeats = 3;
   bool kernels = false;
   bool trace_overhead = false;
+  bool optimizer = false;
+  std::size_t opt_dim = 64;
+  std::size_t opt_particles = 60000;
+  std::size_t opt_threads = 1;
   std::string out_path;
   std::string pre_path;
   std::string baseline_path;
@@ -567,6 +775,14 @@ int main(int argc, char** argv) {
       kernels = true;
     } else if (arg == "--trace-overhead") {
       trace_overhead = true;
+    } else if (arg == "--optimizer") {
+      optimizer = true;
+    } else if (arg == "--dim" && i + 1 < argc) {
+      opt_dim = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--particles" && i + 1 < argc) {
+      opt_particles = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt_threads = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (arg == "--pre" && i + 1 < argc) {
       pre_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -581,8 +797,19 @@ int main(int argc, char** argv) {
   }
   if (edge < 8 || repeats < 1) return usage();
   if (out_path.empty()) {
-    out_path = trace_overhead ? "BENCH_trace_overhead.json"
-                              : (kernels ? "BENCH_kernels.json" : "BENCH_throughput.json");
+    out_path = optimizer ? "BENCH_optimizer.json"
+                         : (trace_overhead ? "BENCH_trace_overhead.json"
+                                           : (kernels ? "BENCH_kernels.json"
+                                                      : "BENCH_throughput.json"));
+  }
+  if (optimizer) {
+    if (opt_dim < 16 || opt_particles < 1000) return usage();
+    try {
+      return run_optimizer_bench(opt_dim, opt_particles, opt_threads, out_path);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bench_report: %s\n", e.what());
+      return 1;
+    }
   }
   if (trace_overhead) {
     try {

@@ -9,6 +9,7 @@
 #        tools/check.sh --fuzz-smoke [build-dir]
 #        tools/check.sh --bench-smoke [build-dir]
 #        tools/check.sh --trace-smoke [build-dir]
+#        tools/check.sh --optimizer-smoke [build-dir]
 #
 # --tsan builds with ThreadSanitizer (-fsanitize=thread) and runs the tests
 # that exercise the parallel kernels (thread pool, sweep scheduler, and the
@@ -44,6 +45,13 @@
 # codec stages present) and asserts the metrics export recorded work. It
 # also runs `bench_report --trace-overhead`, which fails if disabled
 # tracing costs the codec hot paths more than 1%.
+#
+# --optimizer-smoke builds Release and runs `bench_report --optimizer` at
+# small sizes: the Section V-D search runs exhaustively and guided on
+# seeded Nyx + HACC snapshots, and the tool exits non-zero when a guided
+# choice is unacceptable or more than 2% worse CR than the exhaustive
+# winner, or when the Nyx guided search spends more than 1/3 of the
+# exhaustive full evaluations or less than a 3x wall-clock win.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -56,6 +64,7 @@ case "${1:-}" in
   --fuzz-smoke) mode="fuzz"; shift ;;
   --bench-smoke) mode="bench"; shift ;;
   --trace-smoke) mode="trace"; shift ;;
+  --optimizer-smoke) mode="optimizer"; shift ;;
 esac
 
 default_dir="build-check"
@@ -66,6 +75,7 @@ case "${mode}" in
   fuzz) default_dir="build-fuzz-smoke" ;;
   bench) default_dir="build-bench-smoke" ;;
   trace) default_dir="build-trace-smoke" ;;
+  optimizer) default_dir="build-optimizer-smoke" ;;
 esac
 build_dir="${1:-"${repo_root}/${default_dir}"}"
 jobs="$(nproc 2>/dev/null || echo 2)"
@@ -108,7 +118,7 @@ case "${mode}" in
       -DCMAKE_CXX_FLAGS="-Wall -Wextra"
     ;;
 esac
-if [[ "${mode}" == "bench" ]]; then
+if [[ "${mode}" == "bench" || "${mode}" == "optimizer" ]]; then
   cmake --build "${build_dir}" --target bench_report -j "${jobs}"
 elif [[ "${mode}" == "trace" ]]; then
   cmake --build "${build_dir}" --target foresight_cli bench_report -j "${jobs}"
@@ -157,6 +167,13 @@ case "${mode}" in
       --out "${build_dir}/BENCH_kernels_smoke.json" \
       --baseline "${repo_root}/BENCH_kernels.json" --max-regress 0.30 \
       --check-crc "${repo_root}/BENCH_kernels.json"
+    ;;
+  optimizer)
+    # Guided-vs-exhaustive gate at smoke sizes: the guided search must land
+    # on an acceptable config within 2% CR of the exhaustive winner while
+    # spending a third of the evaluations (and a 3x wall win on Nyx).
+    "${build_dir}/tools/bench_report" --optimizer --dim 32 --particles 12000 \
+      --out "${build_dir}/BENCH_optimizer_smoke.json"
     ;;
   trace)
     # The registry roster must list every built-in codec, fz included.

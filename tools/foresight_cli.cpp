@@ -9,7 +9,9 @@
 ///   generate --type nyx|hacc --out F [--dim N] [--particles N] [--seed S]
 ///   info <file>                     describe a container (Table II style)
 ///   compress --codec C --mode M --value V --input F [--field NAME] [--gpu G]
-///   estimate --input F --field NAME --bound B
+///   estimate --input F --field NAME --bound B [--stride N]
+///   optimize --codec C [--input F | --type nyx|hacc] [--search guided] ...
+///                                   Section V-D best-fit configuration search
 ///   run <config.json>               run the full JSON pipeline
 ///                                   (--trace-out/--metrics-out enable the
 ///                                   telemetry layer for the run)
@@ -27,8 +29,10 @@
 #include "cosmo/hacc_synth.hpp"
 #include "cosmo/nyx_synth.hpp"
 #include "foresight/cbench.hpp"
+#include "foresight/optimizer.hpp"
 #include "foresight/pipeline.hpp"
 #include "foresight/report.hpp"
+#include "foresight/sweep.hpp"
 #include "json/json.hpp"
 #include "gpu/specs.hpp"
 #include "sz/rate_estimate.hpp"
@@ -45,7 +49,14 @@ int usage() {
                "  generate --type nyx|hacc --out FILE [--dim N] [--particles N] [--seed S]\n"
                "  info FILE\n"
                "  compress --codec NAME --mode MODE --value V --input FILE [--field NAME] [--gpu NAME] [--threads N]\n"
-               "  estimate --input FILE --field NAME --bound B\n"
+               "  estimate --input FILE --field NAME --bound B [--stride N]\n"
+               "  optimize --codec NAME [--input FILE | --type nyx|hacc [--dim N] "
+               "[--particles N] [--seed S]]\n"
+               "           [--gpu NAME] [--search exhaustive|guided] [--probes K] "
+               "[--threads N]\n"
+               "           [--tolerance T] [--k-fraction F] [--halo-tolerance T] "
+               "[--velocity-tolerance T]\n"
+               "           [--linking-length L] [--min-members N]\n"
                "  run CONFIG.json [--fail-fast] [--trace-out FILE] [--metrics-out FILE]\n"
                "  trace-check TRACE.json\n");
   return 2;
@@ -180,17 +191,101 @@ int cmd_estimate(const CliArgs& args) {
     std::fprintf(stderr, "estimate: --input, --field and --bound are required\n");
     return 2;
   }
+  const int stride = args.get_int("stride", 1);
+  if (stride < 1) {
+    std::fprintf(stderr, "estimate: --stride must be >= 1 (got %d)\n", stride);
+    return 2;
+  }
   const auto data = io::load(input);
   const Field& field = data.find(field_name).field;
   sz::Params params;
   params.abs_error_bound = bound;
-  const auto est = sz::estimate_rate(field.data, field.dims, params);
+  const auto est = sz::estimate_rate(field.data, field.dims, params,
+                                     static_cast<std::size_t>(stride));
   std::printf("field %s, abs bound %g:\n", field_name.c_str(), bound);
   std::printf("  code entropy        %.3f bits/value\n", est.entropy_bits_per_value);
   std::printf("  unpredictable       %.2f%%\n", 100.0 * est.unpredictable_fraction);
   std::printf("  estimated bitrate   %.3f bits/value (~%.2fx ratio)\n",
               est.estimated_bits_per_value, 32.0 / est.estimated_bits_per_value);
+  if (est.sampled_blocks != est.total_blocks) {
+    std::printf("  sampled             %zu of %zu blocks (stride %d)\n",
+                est.sampled_blocks, est.total_blocks, stride);
+  }
   return 0;
+}
+
+/// Detects a HACC-style particle container: position and velocity triples.
+bool is_particle_container(const io::Container& data) {
+  std::size_t found = 0;
+  for (const auto& v : data.variables) {
+    if (v.field.name == "x" || v.field.name == "y" || v.field.name == "z" ||
+        v.field.name == "vx" || v.field.name == "vy" || v.field.name == "vz") {
+      ++found;
+    }
+  }
+  return found == 6;
+}
+
+int cmd_optimize(const CliArgs& args) {
+  const std::string codec_name = args.get("codec", "");
+  if (codec_name.empty()) {
+    std::fprintf(stderr, "optimize: --codec is required\n");
+    return 2;
+  }
+  foresight::OptimizerOptions options;
+  options.search = foresight::parse_search_mode(args.get("search", "exhaustive"));
+  options.probes = static_cast<std::size_t>(args.get_int("probes", 3));
+  const int threads_arg = args.get_int("threads", 1);
+  if (threads_arg < 0) {
+    std::fprintf(stderr, "optimize: --threads must be >= 0 (got %d)\n", threads_arg);
+    return 2;
+  }
+  options.threads = static_cast<std::size_t>(threads_arg);
+
+  io::Container data;
+  const std::string input = args.get("input", "");
+  if (!input.empty()) {
+    data = io::load(input);
+  } else if (args.get("type", "nyx") == "hacc") {
+    HaccConfig config;
+    config.particles = static_cast<std::size_t>(args.get_int("particles", 200000));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    data = generate_hacc(config);
+  } else {
+    NyxConfig config;
+    config.dim = static_cast<std::size_t>(args.get_int("dim", 64));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    data = generate_nyx(config);
+  }
+
+  gpu::GpuSimulator sim(gpu::find_device(args.get("gpu", "Tesla V100")));
+  const auto codec = foresight::make_compressor(codec_name, &sim);
+
+  foresight::OptimizationResult result;
+  if (is_particle_container(data)) {
+    analysis::FofParams fof_params;
+    fof_params.linking_length = args.get_double("linking-length", 1.5);
+    fof_params.min_members = static_cast<std::size_t>(args.get_int("min-members", 10));
+    result = foresight::optimize_particle_dataset(
+        data, *codec, foresight::default_position_candidates(codec->capabilities()),
+        foresight::default_velocity_candidates(codec->capabilities(),
+                                               data.find("vx").field),
+        fof_params, args.get_double("halo-tolerance", 0.05),
+        args.get_double("velocity-tolerance", 0.05), options);
+  } else {
+    std::map<std::string, std::vector<foresight::CompressorConfig>> candidates;
+    for (const auto& variable : data.variables) {
+      if (variable.field.dims.rank() != 3) continue;
+      candidates[variable.field.name] =
+          foresight::default_grid_candidates(codec_name, variable.field);
+    }
+    result = foresight::optimize_grid_dataset(data, *codec, candidates,
+                                              args.get_double("tolerance", 0.01),
+                                              args.get_double("k-fraction", 0.5), options);
+  }
+  std::printf("search mode: %s\n%s", foresight::search_mode_label(options.search).c_str(),
+              foresight::format_optimization(result).c_str());
+  return result.all_fields_ok ? 0 : 1;
 }
 
 int cmd_run(const CliArgs& args) {
@@ -225,6 +320,10 @@ int cmd_run(const CliArgs& args) {
   }
   for (const auto& [key, s] : summary.ssim) {
     std::printf("ssim %-54s %.5f\n", key.c_str(), s);
+  }
+  if (summary.optimization) {
+    std::printf("--- optimizer ---\n%s",
+                foresight::format_optimization(*summary.optimization).c_str());
   }
   foresight::write_markdown_report(summary, summary.output_dir + "/report.md");
   std::printf("outputs: %s (incl. report.md)\n", summary.output_dir.c_str());
@@ -297,6 +396,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(args);
     if (command == "compress") return cmd_compress(args);
     if (command == "estimate") return cmd_estimate(args);
+    if (command == "optimize") return cmd_optimize(args);
     if (command == "run") return cmd_run(args);
     if (command == "trace-check") return cmd_trace_check(args);
   } catch (const std::exception& e) {
