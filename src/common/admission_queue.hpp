@@ -1,0 +1,168 @@
+/// \file admission_queue.hpp
+/// \brief Bounded multi-producer/multi-consumer job queue with admission
+/// control: capacity, per-client quotas, priorities, and a drain mode.
+///
+/// The backpressure primitive behind foresightd. Admission is
+/// reject-with-reason, never block-and-grow: try_push() refuses immediately
+/// when the queue is at capacity, when the client's outstanding-job quota
+/// is spent, or when the queue is draining — so memory stays bounded under
+/// any client behavior and the caller can answer the client right away.
+///
+/// Quotas count *outstanding* work (queued + popped-but-not-released): the
+/// consumer calls release(client) when a job reaches a terminal state, so a
+/// client can never occupy more than its quota of the service end to end.
+///
+/// close() starts the drain: subsequent pushes are refused with kDraining,
+/// while pop() keeps handing out the already-admitted items until the
+/// queue is empty, then returns false — every admitted item is popped
+/// exactly once, which is what lets the daemon give every job exactly one
+/// terminal status during shutdown.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cosmo {
+
+/// Outcome of an admission attempt. Values other than kAccepted name the
+/// rejection reason (surfaced to clients and as metrics counters).
+enum class Admission { kAccepted, kQueueFull, kQuotaExceeded, kDraining };
+
+/// Short stable name: "accepted", "queue_full", "quota", "draining".
+[[nodiscard]] constexpr const char* admission_name(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kQueueFull: return "queue_full";
+    case Admission::kQuotaExceeded: return "quota";
+    case Admission::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  struct Options {
+    std::size_t capacity = 64;         ///< max queued items (0 is illegal)
+    std::size_t per_client_quota = 0;  ///< max outstanding per client (0 = unlimited)
+    int priorities = 3;                ///< priority levels [0, priorities)
+  };
+
+  explicit AdmissionQueue(Options options) : options_(options) {
+    if (options_.capacity == 0) options_.capacity = 1;
+    if (options_.priorities < 1) options_.priorities = 1;
+    lanes_.resize(static_cast<std::size_t>(options_.priorities));
+  }
+
+  /// Attempts to admit \p item for \p client at \p priority (0 = highest;
+  /// out-of-range values clamp). On kAccepted the item is queued and the
+  /// client's outstanding count is incremented; otherwise the item is
+  /// returned to the caller untouched via the moved-from argument contract.
+  [[nodiscard]] Admission try_push(T item, std::uint64_t client, int priority = 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_) return Admission::kDraining;
+    if (size_ >= options_.capacity) return Admission::kQueueFull;
+    if (options_.per_client_quota > 0 &&
+        outstanding_[client] >= options_.per_client_quota) {
+      return Admission::kQuotaExceeded;
+    }
+    const auto lane = static_cast<std::size_t>(
+        std::min(std::max(priority, 0), options_.priorities - 1));
+    lanes_[lane].push_back(std::move(item));
+    ++size_;
+    ++outstanding_[client];
+    if (size_ > high_water_) high_water_ = size_;
+    lock.unlock();
+    cv_.notify_one();
+    return Admission::kAccepted;
+  }
+
+  /// Blocks until an item is available (highest priority first, FIFO within
+  /// a priority) or the queue is closed *and* empty. Returns false only in
+  /// the latter case — after close(), already-admitted items keep coming.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return size_ > 0 || draining_; });
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      out = std::move(lane.front());
+      lane.pop_front();
+      --size_;
+      return true;
+    }
+    return false;  // draining and empty
+  }
+
+  /// Non-blocking pop; returns false when empty.
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      out = std::move(lane.front());
+      lane.pop_front();
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Marks one of \p client's outstanding jobs terminal, freeing quota.
+  void release(std::uint64_t client) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = outstanding_.find(client);
+    if (it == outstanding_.end()) return;
+    if (--(it->second) == 0) outstanding_.erase(it);
+  }
+
+  /// Enters drain mode: every later try_push is refused with kDraining and
+  /// blocked pop() calls return once the queue empties. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool draining() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  /// Peak queued depth since construction.
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  /// Outstanding (queued + unreleased) jobs for \p client.
+  [[nodiscard]] std::size_t outstanding(std::uint64_t client) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = outstanding_.find(client);
+    return it == outstanding_.end() ? 0 : it->second;
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<T>> lanes_;  // index = priority, 0 pops first
+  std::map<std::uint64_t, std::size_t> outstanding_;
+  std::size_t size_ = 0;
+  std::size_t high_water_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace cosmo

@@ -1,0 +1,45 @@
+#include "common/backoff.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cosmo::backoff {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double jitter_uniform(std::uint64_t seed, std::uint64_t salt, std::uint64_t draw) {
+  // Three chained splitmix rounds decorrelate the inputs; the top 53 bits
+  // make an exact double in [0, 1).
+  const std::uint64_t h = splitmix64(splitmix64(splitmix64(seed) ^ salt) ^ draw);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double delay_seconds(const Policy& policy, int attempt, std::uint64_t salt) {
+  if (attempt < 1) attempt = 1;
+  double exp_delay = policy.base_delay_seconds;
+  // Doubling with an early cap so huge attempt counts cannot overflow.
+  for (int i = 1; i < attempt && exp_delay < policy.max_delay_seconds; ++i) {
+    exp_delay *= 2.0;
+  }
+  exp_delay = std::min(exp_delay, policy.max_delay_seconds);
+  const double jf = std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  if (jf == 0.0) return exp_delay;
+  const double u = jitter_uniform(policy.seed, salt, static_cast<std::uint64_t>(attempt));
+  return exp_delay * (1.0 - jf * u);
+}
+
+std::uint64_t next_sequence_salt() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cosmo::backoff

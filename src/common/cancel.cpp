@@ -1,0 +1,20 @@
+#include "common/cancel.hpp"
+
+#include <limits>
+#include <string>
+
+namespace cosmo {
+
+double CancelToken::remaining_seconds() const {
+  if (!state_->has_deadline) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(state_->deadline - Clock::now()).count();
+}
+
+void CancelToken::check(const char* what) const {
+  if (cancelled()) throw CancelledError(std::string(what) + ": cancelled");
+  if (deadline_expired()) {
+    throw DeadlineExceededError(std::string(what) + ": deadline exceeded");
+  }
+}
+
+}  // namespace cosmo

@@ -17,8 +17,6 @@
 
 namespace cosmo::foresight {
 
-namespace {
-
 io::Container build_dataset(const json::Value& spec) {
   const std::string type = spec.get("type", std::string("nyx"));
   if (type == "nyx") {
@@ -42,12 +40,6 @@ io::Container build_dataset(const json::Value& spec) {
   throw InvalidArgument("pipeline: unknown dataset type '" + type + "'");
 }
 
-std::string result_key(const CBenchResult& r) {
-  return r.field + "|" + r.compressor + "|" + r.config.label();
-}
-
-/// Builds a FaultPlan config from the optional "faults" object. Absent key
-/// means fault injection stays fully disabled (no plan is installed at all).
 std::optional<fault::Config> parse_faults(const json::Value& config) {
   if (!config.contains("faults")) return std::nullopt;
   const json::Value& f = config.at("faults");
@@ -64,6 +56,12 @@ std::optional<fault::Config> parse_faults(const json::Value& config) {
   c.io_failure_every = static_cast<std::uint32_t>(f.get("io_failure_every", 0.0));
   c.io_failure_probability = f.get("io_failure_probability", 0.0);
   return c;
+}
+
+namespace {
+
+std::string result_key(const CBenchResult& r) {
+  return r.field + "|" + r.compressor + "|" + r.config.label();
 }
 
 /// Resolves a telemetry output path against the run's output dir (absolute

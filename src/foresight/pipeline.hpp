@@ -68,11 +68,21 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "foresight/cbench.hpp"
 #include "foresight/optimizer.hpp"
 #include "json/json.hpp"
 
 namespace cosmo::foresight {
+
+/// Builds (or loads) the dataset a JSON spec describes: {"type": "nyx",
+/// "dim", "seed"}, {"type": "hacc", "particles", "seed", "halo_count"} or
+/// {"type": "file", "path"}. Shared by the pipeline and foresightd.
+io::Container build_dataset(const json::Value& spec);
+
+/// Builds a FaultPlan config from a config's optional "faults" object.
+/// nullopt (absent key) means fault injection stays fully disabled.
+std::optional<fault::Config> parse_faults(const json::Value& config);
 
 /// Everything a pipeline run produces (reconstructions are dropped after
 /// analysis to bound memory).

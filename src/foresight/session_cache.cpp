@@ -1,0 +1,30 @@
+#include "foresight/session_cache.hpp"
+
+namespace cosmo::foresight {
+
+Compressor& SessionCache::compressor(const std::string& codec) {
+  auto it = compressors_.find(codec);
+  if (it == compressors_.end()) {
+    it = compressors_.emplace(codec, make_compressor(codec, sim_)).first;
+  }
+  return *it->second;
+}
+
+CodecSession& SessionCache::session(const std::string& codec) {
+  auto it = sessions_.find(codec);
+  if (it == sessions_.end()) {
+    Compressor& c = compressor(codec);
+    it = sessions_.emplace(codec, c.open_session(arena_.get(), pool_)).first;
+    ++sessions_opened_;
+  }
+  return *it->second;
+}
+
+void SessionCache::invalidate() {
+  // Sessions hold leases into the arena, so they go first.
+  sessions_.clear();
+  arena_ = std::make_unique<ScratchArena>();
+  ++invalidations_;
+}
+
+}  // namespace cosmo::foresight

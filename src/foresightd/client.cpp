@@ -1,0 +1,80 @@
+#include "foresightd/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cosmo::foresightd {
+
+Client::Client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw IoError("foresightd client: socket() failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(socket_path.size() < sizeof(addr.sun_path),
+          "foresightd client: socket path too long: " + socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("foresightd client: cannot connect to " + socket_path + ": " + why);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send(const json::Value& request) {
+  const std::vector<std::uint8_t> frame = encode_frame(request);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw IoError("foresightd client: send failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+json::Value Client::recv() {
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    if (auto frame = parser_.next()) return std::move(*frame);
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw IoError("foresightd client: daemon closed the connection");
+    parser_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+json::Value Client::call(const json::Value& request) {
+  send(request);
+  return recv();
+}
+
+namespace {
+json::Value control(const char* type) {
+  json::Object o;
+  o["type"] = type;
+  return json::Value(std::move(o));
+}
+}  // namespace
+
+json::Value Client::ping() { return call(control("ping")); }
+json::Value Client::metrics() { return call(control("metrics")); }
+json::Value Client::shutdown() { return call(control("shutdown")); }
+
+}  // namespace cosmo::foresightd

@@ -1,0 +1,49 @@
+/// \file client.hpp
+/// \brief Minimal foresightd client: one blocking AF_UNIX connection.
+///
+/// The client is deliberately thin — it frames requests, decodes response
+/// frames, and nothing else. Pipelining is allowed (send N, then recv N);
+/// responses for job requests may arrive in any order (workers finish when
+/// they finish), so pipelined callers must correlate by the "id" they
+/// chose. One Client is one connection and is not thread-safe; concurrent
+/// clients each open their own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "foresightd/protocol.hpp"
+#include "json/json.hpp"
+
+namespace cosmo::foresightd {
+
+class Client {
+ public:
+  /// Connects to a daemon's socket; throws IoError when nothing listens.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request frame.
+  void send(const json::Value& request);
+
+  /// Blocks for the next response frame. Throws IoError when the daemon
+  /// hangs up, FormatError on a corrupt frame.
+  [[nodiscard]] json::Value recv();
+
+  /// send() + recv(): correct for strictly request/response usage (no
+  /// pipelining in flight).
+  [[nodiscard]] json::Value call(const json::Value& request);
+
+  /// Control conveniences.
+  [[nodiscard]] json::Value ping();
+  [[nodiscard]] json::Value metrics();
+  [[nodiscard]] json::Value shutdown();
+
+ private:
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+}  // namespace cosmo::foresightd

@@ -1,0 +1,613 @@
+#include "foresightd/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "analysis/stats.hpp"
+#include "common/error.hpp"
+#include "common/telemetry.hpp"
+#include "foresight/pipeline.hpp"
+#include "foresight/session_cache.hpp"
+#include "gpu/sim.hpp"
+#include "io/crc32.hpp"
+
+namespace cosmo::foresightd {
+
+namespace {
+
+/// Outbound sends block at most this long before the connection is declared
+/// dead; a worker must never hang forever on a client that stopped reading.
+constexpr double kSendTimeoutSeconds = 5.0;
+
+constexpr const char* kMetricPrefix = "foresightd.";
+
+void set_timeout(int fd, int option, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+telemetry::Counter& counter(const std::string& suffix) {
+  return telemetry::MetricsRegistry::instance().counter(kMetricPrefix + suffix);
+}
+
+}  // namespace
+
+/// One accepted connection. The IO thread owns reads; any thread may send a
+/// response under write_mu. The fd is closed by the destructor, so a worker
+/// holding a shared_ptr past the IO thread's erase can still answer safely
+/// (the send fails cleanly instead of racing a reused descriptor).
+struct Daemon::Conn {
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+  int fd = -1;
+  std::uint64_t id = 0;
+  FrameParser parser;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+};
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      queue_({.capacity = options_.queue_capacity,
+              .per_client_quota = options_.per_client_quota,
+              .priorities = options_.priorities}) {
+  require(!options_.socket_path.empty(), "foresightd: socket_path is required");
+  if (options_.workers == 0) options_.workers = 1;
+}
+
+Daemon::~Daemon() {
+  if (started_ && !finished_) {
+    request_shutdown();
+    wait();
+  }
+  for (const int fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void Daemon::start() {
+  require(!started_, "foresightd: start() called twice");
+
+  if (options_.faults) {
+    fault_plan_ = std::make_unique<fault::FaultPlan>(*options_.faults);
+    fault_scope_.emplace(*fault_plan_);
+  }
+
+  if (::pipe(wake_fds_) != 0) {
+    throw IoError("foresightd: pipe() failed: " + std::string(std::strerror(errno)));
+  }
+  ::fcntl(wake_fds_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_fds_[1], F_SETFL, O_NONBLOCK);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw IoError("foresightd: socket() failed: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(options_.socket_path.size() < sizeof(addr.sun_path),
+          "foresightd: socket path too long: " + options_.socket_path);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("foresightd: cannot listen on " + options_.socket_path + ": " + why);
+  }
+  ::fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
+
+  started_ = true;
+  live_workers_.store(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void Daemon::wait() {
+  require(started_, "foresightd: wait() before start()");
+  if (finished_) return;
+  io_thread_.join();
+  for (auto& w : workers_) w.join();
+  watchdog_.join();
+  ::unlink(options_.socket_path.c_str());
+  if (!options_.metrics_out.empty()) {
+    std::ofstream out(options_.metrics_out, std::ios::trunc);
+    if (out.good()) out << telemetry::MetricsRegistry::instance().to_json();
+  }
+  finished_ = true;
+}
+
+void Daemon::request_shutdown() {
+  if (wake_fds_[1] < 0) return;
+  const char byte = 's';
+  // EAGAIN just means a wake-up is already pending; any write result is fine.
+  [[maybe_unused]] const auto n = ::write(wake_fds_[1], &byte, 1);
+}
+
+Daemon::Stats Daemon::stats() const {
+  Stats s;
+  s.admitted = admitted_.load();
+  s.rejected = rejected_.load();
+  s.ok = ok_.load();
+  s.failed = failed_.load();
+  s.cancelled = cancelled_.load();
+  s.deadline = deadline_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.queue_high_water = queue_.high_water();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// IO thread
+// ---------------------------------------------------------------------------
+
+bool Daemon::send_json(Conn& conn, const json::Value& v) {
+  if (!conn.open.load(std::memory_order_relaxed)) return false;
+  const std::vector<std::uint8_t> frame = encode_frame(v);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(conn.fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      // Peer gone or send-timeout expired: the connection is dead. Drop the
+      // response — the contract is one *attempted* answer per request.
+      conn.open.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Daemon::io_loop() {
+  std::map<int, std::shared_ptr<Conn>> conns;
+  std::uint64_t next_client = 1;
+  bool accepting = true;
+  std::vector<std::uint8_t> buf(64 * 1024);
+  telemetry::Counter& accepted_metric = counter("connections");
+
+  for (;;) {
+    const bool had_listen = accepting;
+    std::vector<pollfd> fds;
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (had_listen) fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) fds.push_back({fd, POLLIN, 0});
+
+    // The timeout makes drain completion (workers_done_) observable even
+    // with no socket activity.
+    if (::poll(fds.data(), fds.size(), 50) < 0 && errno != EINTR) {
+      // poll itself failing is unrecoverable for the IO thread; make sure
+      // the workers still drain so wait() terminates.
+      if (accepting) {
+        accepting = false;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      begin_drain();
+      break;
+    }
+
+    std::size_t idx = 0;
+    if (fds[idx++].revents & POLLIN) {  // wake pipe: drain it, start draining
+      char sink[64];
+      while (::read(wake_fds_[0], sink, sizeof(sink)) > 0) {
+      }
+      if (accepting) {
+        accepting = false;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        begin_drain();
+      }
+    }
+    if (had_listen) {
+      if (accepting && (fds[idx].revents & POLLIN)) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          set_timeout(fd, SO_SNDTIMEO, kSendTimeoutSeconds);
+          auto conn = std::make_shared<Conn>();
+          conn->fd = fd;
+          conn->id = next_client++;
+          conns.emplace(fd, std::move(conn));
+          accepted_metric.add();
+        }
+      }
+      ++idx;
+    }
+
+    std::vector<int> dead;
+    for (; idx < fds.size(); ++idx) {
+      if ((fds[idx].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const auto it = conns.find(fds[idx].fd);
+      if (it == conns.end()) continue;
+      const std::shared_ptr<Conn>& conn = it->second;
+      const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+        conn->open.store(false, std::memory_order_relaxed);
+        dead.push_back(fds[idx].fd);
+        continue;
+      }
+      try {
+        conn->parser.feed(buf.data(), static_cast<std::size_t>(n));
+        while (auto frame = conn->parser.next()) handle_frame(conn, *frame);
+      } catch (const Error& e) {
+        // Framing is lost (bad length or bad JSON): answer once, hang up.
+        protocol_errors_.fetch_add(1);
+        counter("protocol_errors").add();
+        send_json(*conn, make_error(e.what()));
+        conn->open.store(false, std::memory_order_relaxed);
+        dead.push_back(fds[idx].fd);
+      }
+    }
+    for (const int fd : dead) conns.erase(fd);
+
+    if (!accepting) {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (workers_done_) break;
+    }
+  }
+  conns.clear();  // destructors close the fds workers are no longer using
+}
+
+void Daemon::handle_frame(const std::shared_ptr<Conn>& conn, const json::Value& frame) {
+  JobRequest request;
+  try {
+    request = JobRequest::parse(frame);
+  } catch (const Error& e) {
+    // Framing survived; only this request is bad. Answer and keep the
+    // connection.
+    counter("bad_requests").add();
+    send_json(*conn, make_error(e.what()));
+    return;
+  }
+
+  if (is_job_request(request.type)) {
+    admit_job(conn, std::move(request));
+    return;
+  }
+
+  json::Object reply;
+  if (request.id != 0) reply["id"] = static_cast<double>(request.id);
+  switch (request.type) {
+    case RequestType::kPing:
+      reply["type"] = "pong";
+      reply["draining"] = queue_.draining();
+      break;
+    case RequestType::kMetrics:
+      reply["type"] = "metrics";
+      reply["metrics"] = json::parse(telemetry::MetricsRegistry::instance().to_json());
+      break;
+    case RequestType::kShutdown:
+      reply["type"] = "ok";
+      request_shutdown();
+      break;
+    default:
+      reply = make_error("unhandled control request").as_object();
+      break;
+  }
+  send_json(*conn, json::Value(std::move(reply)));
+}
+
+void Daemon::admit_job(const std::shared_ptr<Conn>& conn, JobRequest request) {
+  const std::uint64_t request_id = request.id;
+  const int priority = request.priority;
+
+  Job job;
+  job.request = std::move(request);
+  job.conn = conn;
+  job.client = conn->id;
+  job.seq = next_job_seq_++;
+  const double deadline = job.request.deadline_seconds > 0
+                              ? job.request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  job.token = deadline > 0 ? CancelToken::with_deadline(deadline) : CancelToken();
+  job.queued.reset();
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.emplace(job.seq, job.token);
+  }
+  const std::uint64_t seq = job.seq;
+  const Admission admission = queue_.try_push(std::move(job), conn->id, priority);
+  if (admission == Admission::kAccepted) {
+    admitted_.fetch_add(1);
+    counter("admitted").add();
+    telemetry::MetricsRegistry::instance()
+        .gauge("foresightd.queue_depth")
+        .set(static_cast<std::int64_t>(queue_.size()));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(seq);
+  }
+  rejected_.fetch_add(1);
+  counter(std::string("rejected.") + admission_name(admission)).add();
+  send_json(*conn, make_rejection(request_id, admission_name(admission)));
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+// ---------------------------------------------------------------------------
+
+void Daemon::begin_drain() {
+  queue_.close();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    drain_started_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+void Daemon::cancel_inflight() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  for (auto& [seq, token] : inflight_) token.cancel();
+}
+
+void Daemon::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  done_cv_.wait(lock, [&] { return drain_started_ || workers_done_; });
+  if (workers_done_) return;
+  const auto budget = std::chrono::duration<double>(options_.drain_budget_seconds);
+  if (!done_cv_.wait_for(lock, budget, [&] { return workers_done_; })) {
+    // Budget spent: cooperative cancellation. Each still-running job
+    // observes its token at the next stage boundary and reports
+    // "cancelled"; still-queued jobs are popped, fail their first check,
+    // and report "cancelled" too — one status each, always.
+    lock.unlock();
+    counter("drain_budget_expired").add();
+    cancel_inflight();
+    lock.lock();
+    done_cv_.wait(lock, [&] { return workers_done_; });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+void Daemon::worker_loop(std::size_t index) {
+  // Per-worker simulator + session cache: sessions are not thread-safe, so
+  // worker isolation is structural. Distinct seeds decorrelate the modeled
+  // timing jitter; compressed streams are seed-independent.
+  gpu::GpuSimulator sim(gpu::find_device(options_.gpu), 1234 + index);
+  foresight::SessionCache cache(&sim);
+
+  Job job;
+  while (queue_.pop(job)) {
+    execute_job(job, cache);
+    job = Job{};  // release the conn/token refs before blocking in pop()
+  }
+  if (live_workers_.fetch_sub(1) == 1) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      workers_done_ = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Daemon::execute_job(Job& job, foresight::SessionCache& cache) {
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const double wait_seconds = job.queued.seconds();
+  registry.histogram("foresightd.queue_wait_seconds").observe_seconds(wait_seconds);
+  registry.gauge("foresightd.queue_depth").set(static_cast<std::int64_t>(queue_.size()));
+
+  json::Object reply;
+  reply["type"] = "result";
+  if (job.request.id != 0) reply["id"] = static_cast<double>(job.request.id);
+  reply["job"] = request_type_name(job.request.type);
+  reply["queue_wait_seconds"] = wait_seconds;
+
+  const char* status = kStatusOk;
+  std::string error;
+  try {
+    TRACE_SPAN("foresightd.job");
+    job.token.check("admission");
+    run_job(job, cache, reply);
+    job.token.check("respond");
+  } catch (const CancelledError& e) {
+    status = kStatusCancelled;
+    error = e.what();
+  } catch (const DeadlineExceededError& e) {
+    status = kStatusDeadline;
+    error = e.what();
+  } catch (const Error& e) {
+    status = kStatusFailed;
+    error = e.what();
+  }
+  if (status != kStatusOk) {
+    // Containment: whatever state the aborted job left in this worker's
+    // sessions/arena dies here, not in the next job.
+    cache.invalidate();
+  }
+
+  reply["status"] = status;
+  if (!error.empty()) reply["error"] = error;
+
+  if (status == kStatusOk) {
+    ok_.fetch_add(1);
+  } else if (status == kStatusCancelled) {
+    cancelled_.fetch_add(1);
+  } else if (status == kStatusDeadline) {
+    deadline_.fetch_add(1);
+  } else {
+    failed_.fetch_add(1);
+  }
+  counter(std::string("status.") + status).add();
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(job.seq);
+  }
+  queue_.release(job.client);
+  send_json(*job.conn, json::Value(std::move(reply)));
+}
+
+// ---------------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const io::Container> Daemon::dataset_for(const json::Value& spec) {
+  const std::string key = spec.dump();
+  {
+    std::lock_guard<std::mutex> lock(datasets_mu_);
+    const auto it = datasets_.find(key);
+    if (it != datasets_.end()) return it->second;
+  }
+  // Built outside the lock (generation can be slow); a racing duplicate
+  // build is wasted work, not a correctness problem.
+  auto built = std::make_shared<const io::Container>(foresight::build_dataset(spec));
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  if (datasets_.size() >= 8) datasets_.clear();  // crude bound, datasets are big
+  return datasets_.emplace(key, std::move(built)).first->second;
+}
+
+namespace {
+
+std::uint32_t bytes_crc(const std::vector<std::uint8_t>& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+std::uint32_t values_crc(const std::vector<float>& values) {
+  return crc32(reinterpret_cast<const std::uint8_t*>(values.data()),
+               values.size() * sizeof(float));
+}
+
+/// One compress → (fault hook) → decompress → distortion pass shared by
+/// roundtrip jobs and each sweep lattice point. Mirrors CBench::run_session,
+/// plus stage-boundary cancellation checks. The reported crc32/size describe
+/// the *clean* stream (pre-corruption), which is what single-shot
+/// byte-identity comparisons want.
+json::Object run_roundtrip(const Field& field, foresight::CodecSession& session,
+                           const foresight::CompressorConfig& config,
+                           const CancelToken& token) {
+  token.check("compress");
+  foresight::CompressResult c = session.compress(field, config);
+  json::Object row;
+  row["compressed_bytes"] = c.bytes.size();
+  row["original_bytes"] = field.bytes();
+  row["ratio"] = analysis::compression_ratio(field.bytes(), c.bytes.size());
+  row["crc32"] = static_cast<double>(bytes_crc(c.bytes));
+  row["compress_seconds"] = c.seconds();
+
+  token.check("corrupt");
+  bool corrupted = false;
+  if (auto* plan = fault::active()) corrupted = plan->corrupt(c.bytes);
+  row["corrupted"] = corrupted;
+
+  token.check("decompress");
+  foresight::DecompressResult d = session.decompress(c);
+  row["decompress_seconds"] = d.seconds();
+
+  token.check("analyze");
+  const analysis::Distortion dist = analysis::compare(field.view(), d.values);
+  row["psnr_db"] = dist.psnr_db;
+  row["max_abs_err"] = dist.max_abs_err;
+  row["nrmse"] = dist.nrmse;
+  return row;
+}
+
+}  // namespace
+
+void Daemon::run_job(Job& job, foresight::SessionCache& cache, json::Object& reply) {
+  const JobRequest& r = job.request;
+  foresight::Compressor& compressor = cache.compressor(r.codec);
+  std::unique_lock<std::mutex> serial;
+  if (!compressor.concurrent_sessions_safe()) {
+    serial = std::unique_lock<std::mutex>(serial_mu_);
+  }
+
+  if (r.type == RequestType::kDecompress) {
+    foresight::CompressResult c;
+    c.bytes = base64_decode(r.payload_b64);
+    job.token.check("decompress");
+    foresight::DecompressResult d = cache.session(r.codec).decompress(c);
+    reply["values"] = d.values.size();
+    reply["values_crc32"] = static_cast<double>(values_crc(d.values));
+    reply["decompress_seconds"] = d.seconds();
+    return;
+  }
+
+  const std::shared_ptr<const io::Container> dataset = dataset_for(r.dataset);
+  const Field& field = dataset->find(r.field).field;
+
+  if (r.type == RequestType::kCompress) {
+    job.token.check("compress");
+    foresight::CompressResult c =
+        cache.session(r.codec).compress(field, {r.mode, r.value});
+    reply["compressed_bytes"] = c.bytes.size();
+    reply["original_bytes"] = field.bytes();
+    reply["ratio"] = analysis::compression_ratio(field.bytes(), c.bytes.size());
+    reply["crc32"] = static_cast<double>(bytes_crc(c.bytes));
+    reply["compress_seconds"] = c.seconds();
+    if (r.return_bytes) {
+      std::string payload = base64_encode(c.bytes);
+      // The response must still fit one frame; oversized streams are
+      // reported by checksum only.
+      if (payload.size() + 1024 < kMaxFrameBytes) {
+        reply["payload"] = std::move(payload);
+        reply["original_values"] = c.original_values;
+      } else {
+        reply["payload_omitted"] = true;
+      }
+    }
+    return;
+  }
+
+  if (r.type == RequestType::kRoundtrip) {
+    json::Object row =
+        run_roundtrip(field, cache.session(r.codec), {r.mode, r.value}, job.token);
+    for (auto& [k, v] : row) reply[k] = std::move(v);
+    return;
+  }
+
+  // Sweep: OnError::kContinue semantics per lattice point — a failing
+  // config becomes a failed row, the sweep keeps going; cancellation and
+  // deadlines still abort the whole job.
+  json::Array rows;
+  std::size_t failed_rows = 0;
+  for (const auto& [mode, value] : r.configs) {
+    job.token.check("sweep");
+    json::Object row;
+    row["mode"] = mode;
+    row["value"] = value;
+    try {
+      json::Object metrics =
+          run_roundtrip(field, cache.session(r.codec), {mode, value}, job.token);
+      for (auto& [k, v] : metrics) row[k] = std::move(v);
+      row["row_status"] = kStatusOk;
+    } catch (const CancelledError&) {
+      throw;
+    } catch (const DeadlineExceededError&) {
+      throw;
+    } catch (const Error& e) {
+      row["row_status"] = kStatusFailed;
+      row["error"] = std::string(e.what());
+      ++failed_rows;
+      cache.invalidate();  // the next lattice point starts clean
+    }
+    rows.push_back(json::Value(std::move(row)));
+  }
+  reply["rows"] = std::move(rows);
+  reply["failed_rows"] = failed_rows;
+}
+
+}  // namespace cosmo::foresightd

@@ -1,0 +1,263 @@
+#include "foresightd/protocol.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cosmo::foresightd {
+
+void append_frame(std::vector<std::uint8_t>& out, const json::Value& v) {
+  const std::string payload = v.dump();
+  require(payload.size() >= 1 && payload.size() <= kMaxFrameBytes,
+          "protocol: frame payload out of range");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(const json::Value& v) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, v);
+  return out;
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // don't grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+  // Validate the declared length as soon as the header is complete — a
+  // hostile length fails here, before any payload bytes are buffered for
+  // it. (Bytes already received stay bounded by the socket read size.)
+  if (buffer_.size() - consumed_ >= 4) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, buffer_.data() + consumed_, 4);  // little-endian hosts only
+    require_format(len >= 1 && len <= kMaxFrameBytes,
+                   "protocol: frame length " + std::to_string(len) +
+                       " outside [1, " + std::to_string(kMaxFrameBytes) + "]");
+  }
+}
+
+std::optional<json::Value> FrameParser::next() {
+  if (buffer_.size() - consumed_ < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buffer_.data() + consumed_, 4);
+  require_format(len >= 1 && len <= kMaxFrameBytes,
+                 "protocol: frame length " + std::to_string(len) + " outside [1, " +
+                     std::to_string(kMaxFrameBytes) + "]");
+  if (buffer_.size() - consumed_ < 4 + static_cast<std::size_t>(len)) {
+    return std::nullopt;
+  }
+  const char* begin = reinterpret_cast<const char*>(buffer_.data() + consumed_ + 4);
+  const std::string payload(begin, begin + len);
+  consumed_ += 4 + static_cast<std::size_t>(len);
+  return json::parse(payload);  // throws FormatError on malformed JSON
+}
+
+// ---------------------------------------------------------------------------
+// Base64
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Decode table: 0-63 for alphabet chars, 64 for '=', 255 for invalid.
+constexpr std::uint8_t b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return static_cast<std::uint8_t>(c - 'A');
+  if (c >= 'a' && c <= 'z') return static_cast<std::uint8_t>(c - 'a' + 26);
+  if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0' + 52);
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  if (c == '=') return 64;
+  return 255;
+}
+
+}  // namespace
+
+std::string base64_encode(const std::uint8_t* data, std::size_t n) {
+  std::string out;
+  out.reserve((n + 2) / 3 * 4);
+  for (std::size_t i = 0; i < n; i += 3) {
+    const std::uint32_t b0 = data[i];
+    const std::uint32_t b1 = i + 1 < n ? data[i + 1] : 0;
+    const std::uint32_t b2 = i + 2 < n ? data[i + 2] : 0;
+    const std::uint32_t triple = (b0 << 16) | (b1 << 8) | b2;
+    out.push_back(kB64Alphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kB64Alphabet[(triple >> 12) & 0x3F]);
+    out.push_back(i + 1 < n ? kB64Alphabet[(triple >> 6) & 0x3F] : '=');
+    out.push_back(i + 2 < n ? kB64Alphabet[triple & 0x3F] : '=');
+  }
+  return out;
+}
+
+std::string base64_encode(const std::vector<std::uint8_t>& data) {
+  return base64_encode(data.data(), data.size());
+}
+
+std::vector<std::uint8_t> base64_decode(const std::string& text) {
+  require_format(text.size() % 4 == 0, "base64: length not a multiple of 4");
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    std::uint8_t v[4];
+    for (int j = 0; j < 4; ++j) {
+      v[j] = b64_value(text[i + j]);
+      require_format(v[j] != 255, "base64: invalid character");
+    }
+    // Padding only in the last two positions of the last quartet.
+    const bool last = i + 4 == text.size();
+    require_format(v[0] != 64 && v[1] != 64, "base64: misplaced padding");
+    require_format(last || (v[2] != 64 && v[3] != 64), "base64: misplaced padding");
+    require_format(v[2] != 64 || v[3] == 64, "base64: misplaced padding");
+    const std::uint32_t triple = (static_cast<std::uint32_t>(v[0]) << 18) |
+                                 (static_cast<std::uint32_t>(v[1]) << 12) |
+                                 (static_cast<std::uint32_t>(v[2] & 0x3F) << 6) |
+                                 (v[3] & 0x3F);
+    out.push_back(static_cast<std::uint8_t>((triple >> 16) & 0xFF));
+    if (v[2] != 64) out.push_back(static_cast<std::uint8_t>((triple >> 8) & 0xFF));
+    if (v[3] != 64) out.push_back(static_cast<std::uint8_t>(triple & 0xFF));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Message schema
+// ---------------------------------------------------------------------------
+
+const char* request_type_name(RequestType t) {
+  switch (t) {
+    case RequestType::kPing: return "ping";
+    case RequestType::kMetrics: return "metrics";
+    case RequestType::kShutdown: return "shutdown";
+    case RequestType::kCompress: return "compress";
+    case RequestType::kDecompress: return "decompress";
+    case RequestType::kRoundtrip: return "roundtrip";
+    case RequestType::kSweep: return "sweep";
+  }
+  return "unknown";
+}
+
+bool is_job_request(RequestType t) {
+  return t == RequestType::kCompress || t == RequestType::kDecompress ||
+         t == RequestType::kRoundtrip || t == RequestType::kSweep;
+}
+
+namespace {
+
+RequestType parse_type(const std::string& name) {
+  for (const RequestType t :
+       {RequestType::kPing, RequestType::kMetrics, RequestType::kShutdown,
+        RequestType::kCompress, RequestType::kDecompress, RequestType::kRoundtrip,
+        RequestType::kSweep}) {
+    if (name == request_type_name(t)) return t;
+  }
+  throw FormatError("protocol: unknown request type '" + name + "'");
+}
+
+}  // namespace
+
+JobRequest JobRequest::parse(const json::Value& v) {
+  require_format(v.is_object(), "protocol: request must be a JSON object");
+  JobRequest r;
+  r.type = parse_type(v.get("type", std::string()));
+  const double id = v.get("id", 0.0);
+  require_format(id >= 0, "protocol: negative request id");
+  r.id = static_cast<std::uint64_t>(id);
+  if (!is_job_request(r.type)) return r;
+
+  r.deadline_seconds = v.get("deadline_seconds", 0.0);
+  require_format(r.deadline_seconds >= 0, "protocol: negative deadline");
+  r.priority = static_cast<int>(v.get("priority", 1.0));
+  require_format(r.priority >= 0 && r.priority <= 15, "protocol: priority out of range");
+  r.codec = v.get("codec", std::string());
+  require_format(!r.codec.empty(), "protocol: job request missing codec");
+  r.return_bytes = v.get("return_bytes", false);
+
+  if (r.type == RequestType::kDecompress) {
+    r.payload_b64 = v.get("payload", std::string());
+    require_format(!r.payload_b64.empty(), "protocol: decompress request missing payload");
+    require_format(r.payload_b64.size() <= static_cast<std::size_t>(kMaxFrameBytes),
+                   "protocol: decompress payload too large");
+    return r;
+  }
+
+  require_format(v.contains("dataset"), "protocol: job request missing dataset spec");
+  r.dataset = v.at("dataset");
+  require_format(r.dataset.is_object(), "protocol: dataset spec must be an object");
+  r.field = v.get("field", std::string());
+  require_format(!r.field.empty(), "protocol: job request missing field");
+
+  if (r.type == RequestType::kSweep) {
+    require_format(v.contains("configs"), "protocol: sweep request missing configs");
+    for (const auto& c : v.at("configs").as_array()) {
+      require_format(c.is_object() && c.contains("mode") && c.contains("value"),
+                     "protocol: sweep config needs mode and value");
+      r.configs.emplace_back(c.at("mode").as_string(), c.at("value").as_number());
+    }
+    require_format(!r.configs.empty(), "protocol: sweep request with no configs");
+    require_format(r.configs.size() <= 1024, "protocol: sweep config list too large");
+  } else {
+    r.mode = v.get("mode", std::string());
+    require_format(!r.mode.empty(), "protocol: job request missing mode");
+    r.value = v.get("value", 0.0);
+  }
+  return r;
+}
+
+json::Value JobRequest::to_json() const {
+  json::Object o;
+  o["type"] = request_type_name(type);
+  if (id != 0) o["id"] = static_cast<double>(id);
+  if (!is_job_request(type)) return json::Value(std::move(o));
+  o["codec"] = codec;
+  if (deadline_seconds > 0) o["deadline_seconds"] = deadline_seconds;
+  if (priority != 1) o["priority"] = priority;
+  if (return_bytes) o["return_bytes"] = true;
+  if (type == RequestType::kDecompress) {
+    o["payload"] = payload_b64;
+    return json::Value(std::move(o));
+  }
+  o["dataset"] = dataset;
+  o["field"] = field;
+  if (type == RequestType::kSweep) {
+    json::Array lattice;
+    for (const auto& [mode_name, config_value] : configs) {
+      json::Object c;
+      c["mode"] = mode_name;
+      c["value"] = config_value;
+      lattice.push_back(json::Value(std::move(c)));
+    }
+    o["configs"] = std::move(lattice);
+  } else {
+    o["mode"] = mode;
+    o["value"] = value;
+  }
+  return json::Value(std::move(o));
+}
+
+json::Value make_rejection(std::uint64_t id, const char* reason) {
+  json::Object o;
+  o["type"] = "result";
+  if (id != 0) o["id"] = static_cast<double>(id);
+  o["status"] = kStatusRejected;
+  o["reason"] = reason;
+  return json::Value(std::move(o));
+}
+
+json::Value make_error(const std::string& what) {
+  json::Object o;
+  o["type"] = "error";
+  o["error"] = what;
+  return json::Value(std::move(o));
+}
+
+}  // namespace cosmo::foresightd

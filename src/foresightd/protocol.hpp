@@ -1,0 +1,129 @@
+/// \file protocol.hpp
+/// \brief The foresightd wire protocol: length-prefixed JSON frames.
+///
+/// Every message — request or response, either direction — is one frame:
+///
+///   [u32 little-endian payload length][payload: one JSON document]
+///
+/// The length counts payload bytes only (not the 4-byte prefix) and must be
+/// in [1, kMaxFrameBytes]. A declared length outside that range is a
+/// protocol error the moment the header is read — the parser never
+/// allocates for it, so a hostile 4-GB header costs nothing. Payloads must
+/// parse as a single JSON value; framing makes message boundaries explicit
+/// so a pipelined client can write N requests back to back and read N
+/// responses.
+///
+/// FrameParser is incremental (sockets deliver arbitrary splits): feed()
+/// whatever arrived, then drain next() until it returns nothing. All
+/// malformed input — bad length, bad JSON — throws cosmo::FormatError;
+/// after a throw the stream is unrecoverable (framing is lost) and the
+/// connection should be closed. This parser is a fuzz surface
+/// (tools/fuzz_smoke), so the containment bar is the codec decoder bar:
+/// reject cleanly, never crash or overallocate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace cosmo::foresightd {
+
+/// Hard ceiling on one frame's payload (16 MiB — far above any daemon
+/// message; a declared length beyond it is rejected before buffering).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Serializes \p v as one frame appended to \p out.
+void append_frame(std::vector<std::uint8_t>& out, const json::Value& v);
+
+/// One-frame convenience over append_frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const json::Value& v);
+
+/// Incremental frame decoder. Buffers only bytes actually received; the
+/// declared length is validated before any payload accumulation.
+class FrameParser {
+ public:
+  /// Appends received bytes. Throws FormatError as soon as a frame header
+  /// declares an invalid length (0 or > kMaxFrameBytes).
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extracts the next complete frame's JSON payload, or nullopt when no
+  /// complete frame is buffered. Throws FormatError on malformed JSON.
+  [[nodiscard]] std::optional<json::Value> next();
+
+  /// Bytes buffered but not yet consumed (partial frame).
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+};
+
+/// Base64 (RFC 4648, with padding) for binary payloads embedded in JSON
+/// (decompress-job input streams, returned compressed bytes).
+[[nodiscard]] std::string base64_encode(const std::uint8_t* data, std::size_t n);
+[[nodiscard]] std::string base64_encode(const std::vector<std::uint8_t>& data);
+/// Throws FormatError on any non-base64 input (bad chars, bad padding).
+[[nodiscard]] std::vector<std::uint8_t> base64_decode(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Message schema
+// ---------------------------------------------------------------------------
+
+/// Request kinds. Control requests (ping/metrics/shutdown) are answered
+/// inline by the IO thread; job requests go through admission and the
+/// worker pool.
+enum class RequestType {
+  kPing,
+  kMetrics,
+  kShutdown,
+  kCompress,
+  kDecompress,
+  kRoundtrip,
+  kSweep,
+};
+
+[[nodiscard]] const char* request_type_name(RequestType t);
+[[nodiscard]] bool is_job_request(RequestType t);
+
+/// A parsed request. Fields beyond `type` are meaningful for job requests
+/// only; parse() validates per-type requirements and throws FormatError on
+/// anything malformed (unknown type, missing codec, bad base64 payload
+/// size, negative deadline, ...).
+struct JobRequest {
+  RequestType type = RequestType::kPing;
+  std::uint64_t id = 0;        ///< client-chosen correlation id, echoed back
+  std::string codec;           ///< registry name, e.g. "sz-cpu"
+  std::string mode;            ///< config mode (single-config job types)
+  double value = 0.0;          ///< config value
+  json::Value dataset;         ///< dataset spec: {type, dim/particles, seed} or {type:"file", path}
+  std::string field;           ///< field name within the dataset
+  double deadline_seconds = 0; ///< 0 = no per-job deadline (daemon default applies)
+  int priority = 1;            ///< 0 = highest
+  std::string payload_b64;     ///< compressed input (decompress jobs)
+  bool return_bytes = false;   ///< include compressed bytes in the response
+  /// Sweep jobs: the (mode, value) lattice to run over `field`.
+  std::vector<std::pair<std::string, double>> configs;
+
+  [[nodiscard]] static JobRequest parse(const json::Value& v);
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Terminal job statuses. Every admitted job reports exactly one of these;
+/// rejected jobs report "rejected" with an admission reason instead.
+inline constexpr const char* kStatusOk = "ok";
+inline constexpr const char* kStatusFailed = "failed";
+inline constexpr const char* kStatusRejected = "rejected";
+inline constexpr const char* kStatusCancelled = "cancelled";
+inline constexpr const char* kStatusDeadline = "deadline";
+
+/// Builds the rejection response for a request refused at admission.
+[[nodiscard]] json::Value make_rejection(std::uint64_t id, const char* reason);
+
+/// Builds an error response for a malformed request (still a valid frame).
+[[nodiscard]] json::Value make_error(const std::string& what);
+
+}  // namespace cosmo::foresightd

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/backoff.hpp"
 #include "common/telemetry.hpp"
 
 namespace cosmo::gpu {
@@ -14,21 +15,34 @@ double stream_bitrate(std::size_t compressed_bytes, std::size_t points) {
   return static_cast<double>(compressed_bytes) * 8.0 / static_cast<double>(points);
 }
 
-/// Runs the device timing model with bounded exponential backoff on
-/// TransientError. Only the modeled device operation is retried — the codec
+/// Runs the device timing model with bounded, seeded-jitter exponential
+/// backoff on TransientError (common/backoff.hpp — the schedule shared with
+/// foresightd). Only the modeled device operation is retried — the codec
 /// work itself is bit-exact and already done by the caller. \p attempts
-/// records the total attempts (1 = no fault).
+/// records the total attempts (1 = no fault). The retry sequence claims a
+/// process-wide salt on its first fault, decorrelating concurrent sequences
+/// so daemon workers retrying together spread out instead of herding.
 template <typename Fn>
 TimingBreakdown run_with_retry(const RetryPolicy& policy, int& attempts, Fn&& model) {
-  double delay = policy.base_delay_seconds;
+  backoff::Policy schedule;
+  schedule.base_delay_seconds = policy.base_delay_seconds;
+  schedule.max_delay_seconds = policy.max_delay_seconds;
+  schedule.jitter_fraction = policy.jitter_fraction;
+  schedule.seed = policy.jitter_seed;
+  std::uint64_t salt = 0;
+  bool salted = false;
   for (attempts = 1;; ++attempts) {
     try {
       return model();
     } catch (const TransientError&) {
       telemetry::MetricsRegistry::instance().counter("gpu.transient_retries").add();
       if (attempts >= policy.max_attempts) throw;
-      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
-      delay = std::min(delay * 2.0, policy.max_delay_seconds);
+      if (!salted) {
+        salt = backoff::next_sequence_salt();
+        salted = true;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff::delay_seconds(schedule, attempts, salt)));
     }
   }
 }

@@ -3,6 +3,7 @@
 /// device timing, the combination the throughput experiments consume.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/field.hpp"
@@ -15,13 +16,21 @@
 namespace cosmo::gpu {
 
 /// Bounded exponential backoff for transient device faults: a TransientError
-/// from the simulator is retried up to max_attempts times, sleeping
-/// base_delay, 2*base_delay, ... (capped at max_delay) between attempts.
-/// Any other error — including OutOfMemoryError — propagates immediately.
+/// from the simulator is retried up to max_attempts times, sleeping the
+/// capped exponential base_delay, 2*base_delay, ... (capped at max_delay)
+/// scaled by seeded jitter (common/backoff.hpp) between attempts. Each retry
+/// sequence draws a distinct decorrelation salt, so concurrent jobs hitting
+/// the same transient fault cannot synchronize their retries into a
+/// thundering herd. Any other error — including OutOfMemoryError —
+/// propagates immediately.
 struct RetryPolicy {
   int max_attempts = 3;
   double base_delay_seconds = 0.5e-3;
   double max_delay_seconds = 50e-3;
+  /// Fraction of the exponential delay the jitter may remove (0 = pure
+  /// exponential) and the seed the jitter hash draws from.
+  double jitter_fraction = 0.5;
+  std::uint64_t jitter_seed = 0xB0FFB0FFB0FFB0FFull;
 };
 
 /// Output of a device-side compression.

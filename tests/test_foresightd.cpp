@@ -1,0 +1,711 @@
+/// \file test_foresightd.cpp
+/// \brief foresightd service daemon: backoff, cancellation, admission,
+/// wire protocol, session-cache isolation, and end-to-end daemon behavior.
+///
+/// Suites are all named Foresightd* so check.sh's tsan mode can select the
+/// whole service surface with one gtest filter. The e2e suite starts real
+/// daemons on per-test AF_UNIX sockets; every test drains its daemon before
+/// returning so sockets and threads never leak across tests.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/admission_queue.hpp"
+#include "common/backoff.hpp"
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "foresight/pipeline.hpp"
+#include "foresight/session_cache.hpp"
+#include "foresightd/client.hpp"
+#include "foresightd/daemon.hpp"
+#include "foresightd/protocol.hpp"
+#include "io/crc32.hpp"
+#include "json/json.hpp"
+
+namespace cosmo {
+namespace {
+
+using foresightd::base64_decode;
+using foresightd::base64_encode;
+using foresightd::Client;
+using foresightd::Daemon;
+using foresightd::DaemonOptions;
+using foresightd::encode_frame;
+using foresightd::FrameParser;
+using foresightd::JobRequest;
+using foresightd::kMaxFrameBytes;
+using foresightd::RequestType;
+
+// ---------------------------------------------------------------------------
+// ForesightdBackoff
+// ---------------------------------------------------------------------------
+
+TEST(ForesightdBackoff, DeterministicForSameInputs) {
+  const backoff::Policy policy;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_DOUBLE_EQ(backoff::delay_seconds(policy, attempt, 7),
+                     backoff::delay_seconds(policy, attempt, 7));
+  }
+  EXPECT_DOUBLE_EQ(backoff::jitter_uniform(1, 2, 3), backoff::jitter_uniform(1, 2, 3));
+}
+
+TEST(ForesightdBackoff, DelayStaysWithinJitteredEnvelope) {
+  backoff::Policy policy;
+  policy.base_delay_seconds = 1e-3;
+  policy.max_delay_seconds = 8e-3;
+  policy.jitter_fraction = 0.5;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const double exp_delay =
+        std::min(policy.base_delay_seconds * static_cast<double>(1 << (attempt - 1)),
+                 policy.max_delay_seconds);
+    for (std::uint64_t salt = 0; salt < 4; ++salt) {
+      const double d = backoff::delay_seconds(policy, attempt, salt);
+      EXPECT_GE(d, exp_delay * (1.0 - policy.jitter_fraction));
+      EXPECT_LE(d, exp_delay);
+      EXPECT_LE(d, policy.max_delay_seconds);  // cap never exceeded
+    }
+  }
+}
+
+TEST(ForesightdBackoff, ZeroJitterIsPureExponential) {
+  backoff::Policy policy;
+  policy.base_delay_seconds = 0.5e-3;
+  policy.max_delay_seconds = 50e-3;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(backoff::delay_seconds(policy, 1, 99), 0.5e-3);
+  EXPECT_DOUBLE_EQ(backoff::delay_seconds(policy, 2, 99), 1e-3);
+  EXPECT_DOUBLE_EQ(backoff::delay_seconds(policy, 3, 99), 2e-3);
+  EXPECT_DOUBLE_EQ(backoff::delay_seconds(policy, 20, 99), 50e-3);  // capped
+}
+
+TEST(ForesightdBackoff, SaltsDecorrelateSchedules) {
+  const backoff::Policy policy;  // default jitter_fraction = 0.5
+  int distinct = 0;
+  for (std::uint64_t salt = 1; salt <= 16; ++salt) {
+    if (backoff::delay_seconds(policy, 3, salt) !=
+        backoff::delay_seconds(policy, 3, salt + 16)) {
+      ++distinct;
+    }
+  }
+  // A thundering herd needs equal delays; decorrelated salts make that
+  // vanishingly unlikely. Allow a couple of hash collisions.
+  EXPECT_GE(distinct, 14);
+}
+
+TEST(ForesightdBackoff, JitterUniformInHalfOpenUnitInterval) {
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const double u = backoff::jitter_uniform(0xB0FF, i, i * 3);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdCancel
+// ---------------------------------------------------------------------------
+
+TEST(ForesightdCancel, DefaultTokenNeverStops) {
+  const CancelToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_NO_THROW(token.check("stage"));
+}
+
+TEST(ForesightdCancel, CancelVisibleAcrossCopies) {
+  CancelToken token;
+  CancelToken copy = token;
+  copy.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check("stage"), CancelledError);
+}
+
+TEST(ForesightdCancel, ExpiredDeadlineThrowsDeadlineError) {
+  const CancelToken token = CancelToken::with_deadline(-1.0);
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_LT(token.remaining_seconds(), 0.0);
+  EXPECT_THROW(token.check("stage"), DeadlineExceededError);
+}
+
+TEST(ForesightdCancel, CancellationWinsOverDeadline) {
+  CancelToken token = CancelToken::with_deadline(-1.0);
+  token.cancel();
+  EXPECT_THROW(token.check("stage"), CancelledError);
+}
+
+TEST(ForesightdCancel, FutureDeadlineDoesNotFirePrematurely) {
+  const CancelToken token = CancelToken::with_deadline(3600.0);
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_GT(token.remaining_seconds(), 3000.0);
+  EXPECT_NO_THROW(token.check("stage"));
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdQueue
+// ---------------------------------------------------------------------------
+
+TEST(ForesightdQueue, FifoWithinOnePriority) {
+  AdmissionQueue<int> q({.capacity = 8, .per_client_quota = 0, .priorities = 1});
+  ASSERT_EQ(q.try_push(1, 1, 0), Admission::kAccepted);
+  ASSERT_EQ(q.try_push(2, 1, 0), Admission::kAccepted);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(ForesightdQueue, HigherPriorityPopsFirst) {
+  AdmissionQueue<int> q({.capacity = 8, .per_client_quota = 0, .priorities = 3});
+  ASSERT_EQ(q.try_push(10, 1, 2), Admission::kAccepted);  // low
+  ASSERT_EQ(q.try_push(20, 1, 0), Admission::kAccepted);  // high
+  ASSERT_EQ(q.try_push(30, 1, 1), Admission::kAccepted);  // middle
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 20);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 30);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 10);
+}
+
+TEST(ForesightdQueue, CapacityRejectsWithQueueFull) {
+  AdmissionQueue<int> q({.capacity = 2, .per_client_quota = 0, .priorities = 1});
+  ASSERT_EQ(q.try_push(1, 1), Admission::kAccepted);
+  ASSERT_EQ(q.try_push(2, 1), Admission::kAccepted);
+  EXPECT_EQ(q.try_push(3, 1), Admission::kQueueFull);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(q.try_push(3, 1), Admission::kAccepted);  // capacity freed by pop
+}
+
+TEST(ForesightdQueue, QuotaCountsOutstandingUntilRelease) {
+  AdmissionQueue<int> q({.capacity = 8, .per_client_quota = 1, .priorities = 1});
+  ASSERT_EQ(q.try_push(1, 7), Admission::kAccepted);
+  EXPECT_EQ(q.try_push(2, 7), Admission::kQuotaExceeded);
+  EXPECT_EQ(q.try_push(2, 8), Admission::kAccepted);  // other clients unaffected
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  // Popped but not released: still outstanding, still over quota.
+  EXPECT_EQ(q.outstanding(7), 1u);
+  EXPECT_EQ(q.try_push(3, 7), Admission::kQuotaExceeded);
+  q.release(7);
+  EXPECT_EQ(q.outstanding(7), 0u);
+  EXPECT_EQ(q.try_push(3, 7), Admission::kAccepted);
+}
+
+TEST(ForesightdQueue, CloseDrainsAdmittedThenPopReturnsFalse) {
+  AdmissionQueue<int> q({.capacity = 8, .per_client_quota = 0, .priorities = 1});
+  ASSERT_EQ(q.try_push(1, 1), Admission::kAccepted);
+  ASSERT_EQ(q.try_push(2, 1), Admission::kAccepted);
+  q.close();
+  EXPECT_TRUE(q.draining());
+  EXPECT_EQ(q.try_push(3, 1), Admission::kDraining);
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));  // already-admitted items keep coming
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));  // drained and empty: exactly-once handout is over
+}
+
+TEST(ForesightdQueue, HighWaterTracksPeakDepth) {
+  AdmissionQueue<int> q({.capacity = 8, .per_client_quota = 0, .priorities = 1});
+  ASSERT_EQ(q.try_push(1, 1), Admission::kAccepted);
+  ASSERT_EQ(q.try_push(2, 1), Admission::kAccepted);
+  ASSERT_EQ(q.try_push(3, 1), Admission::kAccepted);
+  int out = 0;
+  while (q.try_pop(out)) {
+  }
+  EXPECT_EQ(q.high_water(), 3u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ForesightdQueue, AdmissionNamesAreStable) {
+  EXPECT_STREQ(admission_name(Admission::kAccepted), "accepted");
+  EXPECT_STREQ(admission_name(Admission::kQueueFull), "queue_full");
+  EXPECT_STREQ(admission_name(Admission::kQuotaExceeded), "quota");
+  EXPECT_STREQ(admission_name(Admission::kDraining), "draining");
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdProtocol
+// ---------------------------------------------------------------------------
+
+json::Value sample_request_json() {
+  json::Object o;
+  o["type"] = "roundtrip";
+  o["id"] = 42;
+  o["codec"] = "sz-cpu";
+  o["mode"] = "abs";
+  o["value"] = 0.1;
+  json::Object ds;
+  ds["type"] = "nyx";
+  ds["dim"] = 16;
+  ds["seed"] = 42;
+  o["dataset"] = json::Value(std::move(ds));
+  o["field"] = "baryon_density";
+  return json::Value(std::move(o));
+}
+
+TEST(ForesightdProtocol, FrameRoundTrip) {
+  const json::Value v = sample_request_json();
+  const std::vector<std::uint8_t> wire = encode_frame(v);
+  FrameParser parser;
+  parser.feed(wire.data(), wire.size());
+  const auto decoded = parser.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->dump(), v.dump());
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(ForesightdProtocol, ByteAtATimeFeed) {
+  const json::Value v = sample_request_json();
+  std::vector<std::uint8_t> wire = encode_frame(v);
+  wire.reserve(wire.size() * 3);
+  const std::size_t one = wire.size();
+  // Three back-to-back frames, delivered one byte at a time.
+  for (int i = 0; i < 2; ++i) wire.insert(wire.end(), wire.begin(), wire.begin() + one);
+  FrameParser parser;
+  int frames = 0;
+  for (const std::uint8_t byte : wire) {
+    parser.feed(&byte, 1);
+    while (const auto decoded = parser.next()) {
+      EXPECT_EQ(decoded->dump(), v.dump());
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 3);
+}
+
+TEST(ForesightdProtocol, TruncatedPrefixYieldsNothing) {
+  const std::vector<std::uint8_t> wire = encode_frame(sample_request_json());
+  FrameParser parser;
+  parser.feed(wire.data(), 3);  // not even a full header
+  EXPECT_FALSE(parser.next().has_value());
+  parser.feed(wire.data() + 3, wire.size() - 3 - 1);  // all but the last byte
+  EXPECT_FALSE(parser.next().has_value());
+  parser.feed(wire.data() + wire.size() - 1, 1);
+  EXPECT_TRUE(parser.next().has_value());
+}
+
+TEST(ForesightdProtocol, ZeroLengthHeaderRejectedBeforeBuffering) {
+  const std::uint8_t zero[4] = {0, 0, 0, 0};
+  FrameParser parser;
+  EXPECT_THROW(parser.feed(zero, 4), FormatError);
+}
+
+TEST(ForesightdProtocol, HostileLengthRejectedAtHeaderTime) {
+  // 4 GiB - 1 declared; must throw at feed() with nothing allocated for it.
+  const std::uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  FrameParser parser;
+  EXPECT_THROW(parser.feed(huge, 4), FormatError);
+}
+
+TEST(ForesightdProtocol, OverMaxLengthRejected) {
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  std::uint8_t header[4];
+  std::memcpy(header, &len, 4);
+  FrameParser parser;
+  EXPECT_THROW(parser.feed(header, 4), FormatError);
+}
+
+TEST(ForesightdProtocol, MalformedJsonPayloadThrows) {
+  const std::string payload = "{not json";
+  std::vector<std::uint8_t> wire;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  wire.resize(4);
+  std::memcpy(wire.data(), &len, 4);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  FrameParser parser;
+  parser.feed(wire.data(), wire.size());
+  EXPECT_THROW(parser.next(), FormatError);
+}
+
+TEST(ForesightdProtocol, ParseValidatesPerType) {
+  json::Object o;
+  o["type"] = "bogus";
+  EXPECT_THROW(JobRequest::parse(json::Value(o)), FormatError);
+
+  o["type"] = "roundtrip";  // job request with no codec
+  EXPECT_THROW(JobRequest::parse(json::Value(o)), FormatError);
+
+  o["codec"] = "sz-cpu";  // still no dataset/field/mode
+  EXPECT_THROW(JobRequest::parse(json::Value(o)), FormatError);
+
+  json::Object decomp;
+  decomp["type"] = "decompress";
+  decomp["codec"] = "sz-cpu";
+  EXPECT_THROW(JobRequest::parse(json::Value(decomp)), FormatError);  // no payload
+
+  json::Object bad_deadline = sample_request_json().as_object();
+  bad_deadline["deadline_seconds"] = -1.0;
+  EXPECT_THROW(JobRequest::parse(json::Value(bad_deadline)), FormatError);
+
+  json::Object control;
+  control["type"] = "ping";  // control requests need nothing else
+  EXPECT_NO_THROW(JobRequest::parse(json::Value(control)));
+}
+
+TEST(ForesightdProtocol, ParseToJsonRoundTrip) {
+  const JobRequest parsed = JobRequest::parse(sample_request_json());
+  EXPECT_EQ(parsed.type, RequestType::kRoundtrip);
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_EQ(parsed.codec, "sz-cpu");
+  EXPECT_EQ(parsed.mode, "abs");
+  EXPECT_DOUBLE_EQ(parsed.value, 0.1);
+  EXPECT_EQ(parsed.field, "baryon_density");
+  const JobRequest again = JobRequest::parse(parsed.to_json());
+  EXPECT_EQ(again.to_json().dump(), parsed.to_json().dump());
+}
+
+TEST(ForesightdProtocol, SweepConfigsRoundTrip) {
+  JobRequest request;
+  request.type = RequestType::kSweep;
+  request.id = 7;
+  request.codec = "zfp-cpu";
+  request.dataset = sample_request_json().at("dataset");
+  request.field = "baryon_density";
+  request.configs = {{"rate", 4.0}, {"rate", 8.0}, {"abs", 0.1}};
+  const JobRequest parsed = JobRequest::parse(request.to_json());
+  ASSERT_EQ(parsed.configs.size(), 3u);
+  EXPECT_EQ(parsed.configs[0].first, "rate");
+  EXPECT_DOUBLE_EQ(parsed.configs[1].second, 8.0);
+  EXPECT_EQ(parsed.configs[2].first, "abs");
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdBase64
+// ---------------------------------------------------------------------------
+
+TEST(ForesightdBase64, RoundTripsAllSmallLengths) {
+  for (std::size_t n = 0; n <= 9; ++n) {
+    std::vector<std::uint8_t> data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    const std::string text = base64_encode(data);
+    EXPECT_EQ(text.size() % 4, 0u);
+    EXPECT_EQ(base64_decode(text), data);
+  }
+}
+
+TEST(ForesightdBase64, KnownVector) {
+  const std::string text = base64_encode(
+      reinterpret_cast<const std::uint8_t*>("foobar"), 6);
+  EXPECT_EQ(text, "Zm9vYmFy");
+  EXPECT_EQ(base64_encode(reinterpret_cast<const std::uint8_t*>("foob"), 4), "Zm9vYg==");
+}
+
+TEST(ForesightdBase64, RejectsMalformedInput) {
+  EXPECT_THROW(base64_decode("AAA"), FormatError);       // not a multiple of 4
+  EXPECT_THROW(base64_decode("AA!A"), FormatError);      // invalid character
+  EXPECT_THROW(base64_decode("=AAA"), FormatError);      // padding up front
+  EXPECT_THROW(base64_decode("AA=A"), FormatError);      // padding mid-quartet
+  EXPECT_THROW(base64_decode("AB==CD=="), FormatError);  // padding not terminal
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdSessionCache
+// ---------------------------------------------------------------------------
+
+const Field& test_field() {
+  static const io::Container container = [] {
+    json::Object spec;
+    spec["type"] = "nyx";
+    spec["dim"] = 16;
+    spec["seed"] = 42;
+    return foresight::build_dataset(json::Value(spec));
+  }();
+  return container.find("baryon_density").field;
+}
+
+TEST(ForesightdSessionCache, ReusesSessionsPerCodec) {
+  foresight::SessionCache cache;
+  auto& first = cache.session("sz-cpu");
+  auto& second = cache.session("sz-cpu");
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(cache.sessions_opened(), 1u);
+  (void)cache.session("zfp-cpu");
+  EXPECT_EQ(cache.sessions_opened(), 2u);
+}
+
+TEST(ForesightdSessionCache, InvalidateReopensAgainstFreshArena) {
+  foresight::SessionCache cache;
+  auto& before = cache.session("sz-cpu");
+  (void)before;
+  cache.invalidate();
+  EXPECT_EQ(cache.invalidations(), 1u);
+  (void)cache.session("sz-cpu");
+  EXPECT_EQ(cache.sessions_opened(), 2u);  // reopened after the reset
+}
+
+TEST(ForesightdSessionCache, DirtyReuseStreamsStayByteIdentical) {
+  const Field& field = test_field();
+  const foresight::CompressorConfig config{"abs", 0.1};
+
+  // Clean single-shot reference.
+  foresight::SessionCache reference_cache;
+  const foresight::CompressResult clean =
+      reference_cache.session("sz-cpu").compress(field, config);
+  const std::uint32_t clean_crc = crc32(clean.bytes.data(), clean.bytes.size());
+
+  // Fail a job in a long-lived cache: truncate the stream so decompress
+  // throws, exactly like an injected corruption in the daemon.
+  foresight::SessionCache cache;
+  foresight::CompressResult corrupt = cache.session("sz-cpu").compress(field, config);
+  EXPECT_EQ(crc32(corrupt.bytes.data(), corrupt.bytes.size()), clean_crc);
+  corrupt.bytes.resize(4);
+  EXPECT_THROW((void)cache.session("sz-cpu").decompress(corrupt), Error);
+
+  // The daemon's containment step after any failure.
+  cache.invalidate();
+
+  // The next job on this worker must see pristine state: byte-identical
+  // stream and a working decompress path.
+  const foresight::CompressResult after = cache.session("sz-cpu").compress(field, config);
+  EXPECT_EQ(after.bytes.size(), clean.bytes.size());
+  EXPECT_EQ(crc32(after.bytes.data(), after.bytes.size()), clean_crc);
+  const foresight::DecompressResult out = cache.session("sz-cpu").decompress(after);
+  EXPECT_EQ(out.values.size(), field.data.size());
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdDaemon (end-to-end over real sockets)
+// ---------------------------------------------------------------------------
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/fsd_gtest_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+json::Value nyx_spec(std::size_t dim) {
+  json::Object spec;
+  spec["type"] = "nyx";
+  spec["dim"] = dim;
+  spec["seed"] = 42;
+  return json::Value(std::move(spec));
+}
+
+JobRequest roundtrip_request(std::uint64_t id, std::size_t dim = 16) {
+  JobRequest request;
+  request.type = RequestType::kRoundtrip;
+  request.id = id;
+  request.codec = "sz-cpu";
+  request.mode = "abs";
+  request.value = 0.1;
+  request.dataset = nyx_spec(dim);
+  request.field = "baryon_density";
+  return request;
+}
+
+/// A sweep heavy enough that it cannot finish inside a small drain budget.
+JobRequest slow_sweep_request(std::uint64_t id, std::size_t configs, std::size_t dim) {
+  JobRequest request;
+  request.type = RequestType::kSweep;
+  request.id = id;
+  request.codec = "sz-cpu";
+  request.dataset = nyx_spec(dim);
+  request.field = "baryon_density";
+  for (std::size_t i = 0; i < configs; ++i) request.configs.emplace_back("abs", 0.1);
+  return request;
+}
+
+TEST(ForesightdDaemon, PingReportsLivenessAndShutdownDrains) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("ping");
+  options.workers = 1;
+  Daemon daemon(options);
+  daemon.start();
+  {
+    Client client(options.socket_path);
+    const json::Value pong = client.ping();
+    EXPECT_EQ(pong.get("type", std::string()), "pong");
+    EXPECT_FALSE(pong.get("draining", true));
+    const json::Value metrics = client.metrics();
+    EXPECT_EQ(metrics.get("type", std::string()), "metrics");
+    EXPECT_TRUE(metrics.contains("metrics"));
+    (void)client.shutdown();
+  }
+  daemon.wait();
+  EXPECT_EQ(daemon.stats().admitted, 0u);
+}
+
+TEST(ForesightdDaemon, RoundtripMatchesSingleShotReference) {
+  // Reference stream computed with no daemon involved.
+  const foresight::CompressResult reference =
+      foresight::SessionCache().session("sz-cpu").compress(test_field(), {"abs", 0.1});
+  const std::uint32_t reference_crc = crc32(reference.bytes.data(), reference.bytes.size());
+
+  DaemonOptions options;
+  options.socket_path = test_socket_path("roundtrip");
+  options.workers = 2;
+  Daemon daemon(options);
+  daemon.start();
+  {
+    Client client(options.socket_path);
+    const json::Value reply = client.call(roundtrip_request(1).to_json());
+    EXPECT_EQ(reply.get("status", std::string()), foresightd::kStatusOk) << reply.dump();
+    EXPECT_EQ(static_cast<std::uint32_t>(reply.at("crc32").as_number()), reference_crc);
+    EXPECT_EQ(static_cast<std::size_t>(reply.get("compressed_bytes", 0.0)),
+              reference.bytes.size());
+    EXPECT_TRUE(reply.contains("psnr_db"));
+  }
+  daemon.request_shutdown();
+  daemon.wait();
+}
+
+TEST(ForesightdDaemon, ExpiredDeadlineReportsDeadlineStatus) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("deadline");
+  options.workers = 1;
+  Daemon daemon(options);
+  daemon.start();
+  {
+    Client client(options.socket_path);
+    JobRequest request = roundtrip_request(5);
+    request.deadline_seconds = 1e-9;
+    const json::Value reply = client.call(request.to_json());
+    EXPECT_EQ(reply.get("status", std::string()), foresightd::kStatusDeadline);
+    EXPECT_EQ(static_cast<std::uint64_t>(reply.get("id", 0.0)), 5u);
+  }
+  daemon.request_shutdown();
+  daemon.wait();
+  EXPECT_EQ(daemon.stats().deadline, 1u);
+}
+
+TEST(ForesightdDaemon, QuotaRejectsSecondOutstandingJob) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("quota");
+  options.workers = 1;
+  options.per_client_quota = 1;
+  Daemon daemon(options);
+  daemon.start();
+  {
+    Client client(options.socket_path);
+    // Job 1 occupies the worker; job 2 lands while job 1 is outstanding.
+    client.send(slow_sweep_request(1, 24, 16).to_json());
+    client.send(roundtrip_request(2).to_json());
+    const json::Value first = client.recv();  // the quota rejection, answered inline
+    EXPECT_EQ(static_cast<std::uint64_t>(first.get("id", 0.0)), 2u);
+    EXPECT_EQ(first.get("status", std::string()), foresightd::kStatusRejected);
+    EXPECT_EQ(first.get("reason", std::string()), "quota");
+    const json::Value second = client.recv();
+    EXPECT_EQ(static_cast<std::uint64_t>(second.get("id", 0.0)), 1u);
+    EXPECT_EQ(second.get("status", std::string()), foresightd::kStatusOk);
+  }
+  daemon.request_shutdown();
+  daemon.wait();
+  EXPECT_EQ(daemon.stats().rejected, 1u);
+}
+
+TEST(ForesightdDaemon, QueueFullRejectsOverCapacity) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("queuefull");
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Daemon daemon(options);
+  daemon.start();
+  std::size_t rejected = 0;
+  std::size_t responses = 0;
+  {
+    Client client(options.socket_path);
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      client.send(slow_sweep_request(id, 16, 16).to_json());
+    }
+    for (int i = 0; i < 3; ++i) {
+      const json::Value reply = client.recv();
+      ++responses;
+      const std::string status = reply.get("status", std::string());
+      if (status == foresightd::kStatusRejected) {
+        EXPECT_EQ(reply.get("reason", std::string()), "queue_full");
+        ++rejected;
+      } else {
+        EXPECT_EQ(status, foresightd::kStatusOk);
+      }
+    }
+  }
+  EXPECT_EQ(responses, 3u);
+  // Capacity 1 with three back-to-back submissions must shed at least one.
+  EXPECT_GE(rejected, 1u);
+  daemon.request_shutdown();
+  daemon.wait();
+  const Daemon::Stats stats = daemon.stats();
+  EXPECT_EQ(stats.admitted, stats.ok + stats.failed + stats.cancelled + stats.deadline);
+}
+
+TEST(ForesightdDaemon, DrainRejectsNewWorkAndCancelsOnBudget) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("drain");
+  options.workers = 1;
+  options.drain_budget_seconds = 0.05;
+  Daemon daemon(options);
+  daemon.start();
+  {
+    Client loader(options.socket_path);
+    Client prober(options.socket_path);  // opened pre-drain: listen closes at drain
+    loader.send(slow_sweep_request(1, 256, 32).to_json());
+    while (daemon.stats().admitted < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    daemon.request_shutdown();
+    while (!prober.ping().get("draining", false)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // New work after the drain started: rejected, never queued.
+    const json::Value late = prober.call(roundtrip_request(9).to_json());
+    EXPECT_EQ(late.get("status", std::string()), foresightd::kStatusRejected);
+    EXPECT_EQ(late.get("reason", std::string()), "draining");
+    // The in-flight sweep still gets its one answer: cancelled when the
+    // 50 ms budget expires long before 256 configs can finish.
+    const json::Value reply = loader.recv();
+    EXPECT_EQ(static_cast<std::uint64_t>(reply.get("id", 0.0)), 1u);
+    EXPECT_EQ(reply.get("status", std::string()), foresightd::kStatusCancelled);
+  }
+  daemon.wait();
+  const Daemon::Stats stats = daemon.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.admitted, stats.ok + stats.failed + stats.cancelled + stats.deadline);
+}
+
+TEST(ForesightdDaemon, ProtocolErrorClosesOnlyTheOffendingConnection) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path("proto");
+  options.workers = 1;
+  Daemon daemon(options);
+  daemon.start();
+  {
+    // Raw socket speaking garbage: a zero-length frame header.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::uint8_t zeros[4] = {0, 0, 0, 0};
+    ASSERT_EQ(::send(fd, zeros, 4, 0), 4);
+    // The daemon answers with an error frame and hangs up on us.
+    std::uint8_t buf[256];
+    while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+    }
+    ::close(fd);
+
+    // A well-behaved client is unaffected.
+    Client client(options.socket_path);
+    EXPECT_EQ(client.ping().get("type", std::string()), "pong");
+    const json::Value reply = client.call(roundtrip_request(3).to_json());
+    EXPECT_EQ(reply.get("status", std::string()), foresightd::kStatusOk);
+  }
+  daemon.request_shutdown();
+  daemon.wait();
+  EXPECT_GE(daemon.stats().protocol_errors, 1u);
+}
+
+}  // namespace
+}  // namespace cosmo

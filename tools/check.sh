@@ -10,6 +10,7 @@
 #        tools/check.sh --bench-smoke [build-dir]
 #        tools/check.sh --trace-smoke [build-dir]
 #        tools/check.sh --optimizer-smoke [build-dir]
+#        tools/check.sh --daemon-smoke [build-dir]
 #
 # --tsan builds with ThreadSanitizer (-fsanitize=thread) and runs the tests
 # that exercise the parallel kernels (thread pool, sweep scheduler, and the
@@ -52,6 +53,14 @@
 # choice is unacceptable or more than 2% worse CR than the exhaustive
 # winner, or when the Nyx guided search spends more than 1/3 of the
 # exhaustive full evaluations or less than a 3x wall-clock win.
+#
+# --daemon-smoke builds foresightd + daemon_stress (Release) and runs the
+# service-daemon acceptance scenario at full size: the in-process stress
+# (1000+ jobs, 4 clients, mixed codecs, seeded faults — exactly-once
+# statuses, byte-identical streams, budgeted drain), then the real binary
+# under external load with a mid-run SIGTERM, requiring a clean exit 0
+# with metrics flushed. Run it whenever foresightd or the admission/cancel
+# primitives change.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -65,6 +74,7 @@ case "${1:-}" in
   --bench-smoke) mode="bench"; shift ;;
   --trace-smoke) mode="trace"; shift ;;
   --optimizer-smoke) mode="optimizer"; shift ;;
+  --daemon-smoke) mode="daemon"; shift ;;
 esac
 
 default_dir="build-check"
@@ -76,6 +86,7 @@ case "${mode}" in
   bench) default_dir="build-bench-smoke" ;;
   trace) default_dir="build-trace-smoke" ;;
   optimizer) default_dir="build-optimizer-smoke" ;;
+  daemon) default_dir="build-daemon-smoke" ;;
 esac
 build_dir="${1:-"${repo_root}/${default_dir}"}"
 jobs="$(nproc 2>/dev/null || echo 2)"
@@ -124,6 +135,8 @@ elif [[ "${mode}" == "trace" ]]; then
   cmake --build "${build_dir}" --target foresight_cli bench_report -j "${jobs}"
 elif [[ "${mode}" == "fuzz" ]]; then
   cmake --build "${build_dir}" --target fuzz_smoke -j "${jobs}"
+elif [[ "${mode}" == "daemon" ]]; then
+  cmake --build "${build_dir}" --target foresightd daemon_stress -j "${jobs}"
 else
   cmake --build "${build_dir}" -j "${jobs}"
 fi
@@ -134,7 +147,7 @@ case "${mode}" in
     # The parallel surface: pool/parallel_for internals, the sweep scheduler,
     # and every threaded kernel via the cross-thread-count determinism suite.
     TSAN_OPTIONS="halt_on_error=1" "${build_dir}/tests/cosmo_tests" \
-      --gtest_filter='ThreadPool*:*Sweep*:*Parallel*:ParallelDeterminism.*:FftTwiddleCache.*'
+      --gtest_filter='ThreadPool*:*Sweep*:*Parallel*:ParallelDeterminism.*:FftTwiddleCache.*:Foresightd*'
     ;;
   asan)
     # The codec surface: bitstream I/O, entropy/dictionary coders, ZFP block
@@ -174,6 +187,44 @@ case "${mode}" in
     # spending a third of the evaluations (and a 3x wall win on Nyx).
     "${build_dir}/tools/bench_report" --optimizer --dim 32 --particles 12000 \
       --out "${build_dir}/BENCH_optimizer_smoke.json"
+    ;;
+  daemon)
+    # Full-size acceptance stress, in-process: 1000 jobs from 4 pipelining
+    # clients over the whole codec roster with seeded faults. The harness
+    # exits non-zero on any duplicate/missing status, any stream that
+    # differs from its single-shot reference, or a drain contract breach.
+    "${build_dir}/tools/daemon_stress" --jobs 1000 --clients 4
+
+    # Real-binary drain: load a running foresightd externally, SIGTERM it
+    # mid-run, and require a clean exit 0 with final metrics flushed.
+    sock="${build_dir}/foresightd-smoke.sock"
+    metrics="${build_dir}/foresightd-smoke-metrics.json"
+    "${build_dir}/tools/foresightd" --socket "${sock}" --workers 2 \
+      --queue-capacity 32 --metrics-out "${metrics}" &
+    daemon_pid=$!
+    for _ in $(seq 1 50); do [[ -S "${sock}" ]] && break; sleep 0.1; done
+    if [[ ! -S "${sock}" ]]; then
+      echo "error: foresightd did not bind ${sock}" >&2
+      exit 1
+    fi
+    "${build_dir}/tools/daemon_stress" --socket "${sock}" --jobs 4000 --clients 2 &
+    load_pid=$!
+    sleep 1
+    kill -TERM "${daemon_pid}"
+    if ! wait "${daemon_pid}"; then
+      echo "error: foresightd exited non-zero after SIGTERM" >&2
+      exit 1
+    fi
+    # The daemon hanging up on the load generator mid-run is expected; the
+    # generator still fails on duplicate statuses, which is what we gate on.
+    if ! wait "${load_pid}"; then
+      echo "error: external daemon_stress reported a protocol violation" >&2
+      exit 1
+    fi
+    if [[ ! -s "${metrics}" ]]; then
+      echo "error: foresightd did not flush metrics to ${metrics}" >&2
+      exit 1
+    fi
     ;;
   trace)
     # The registry roster must list every built-in codec, fz included.

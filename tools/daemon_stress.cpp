@@ -1,0 +1,402 @@
+/// \file daemon_stress.cpp
+/// \brief foresightd stress harness: many clients, mixed codecs, injected
+/// faults, zero cross-job interference.
+///
+/// In-process mode (default) runs the full acceptance scenario:
+///
+///  1. Computes single-shot reference streams (crc32 + size) for every
+///     codec with no daemon and no fault plan active.
+///  2. Starts a Daemon with seeded fault injection (stream corruption,
+///     GPU transients, device OOM) and a bounded queue.
+///  3. Spawns N client threads, each pipelining a windowed job mix over its
+///     own connection: roundtrips across all seven codecs, sweep jobs,
+///     already-expired-deadline jobs, enough in flight to overrun admission.
+///  4. Asserts the robustness contract: every request gets exactly one
+///     terminal status from {ok, failed, rejected, cancelled, deadline};
+///     every response that reports a compressed stream matches the
+///     single-shot reference byte-for-byte (crc32 + size) no matter what
+///     faults hit neighboring jobs; expired deadlines report "deadline".
+///  5. Drain phase: loads the workers with slow sweeps, requests shutdown,
+///     verifies a post-drain submission is rejected with "draining", that
+///     every in-flight job is still answered exactly once (the drain budget
+///     cancelling stragglers), and that final metrics were flushed.
+///
+/// External mode (--socket PATH) drives an already-running foresightd with
+/// the same windowed load and just reports statuses — check.sh uses it as
+/// the load generator for the real-binary SIGTERM drain test, where the
+/// daemon may hang up mid-run (remaining jobs are counted as unanswered,
+/// not errors).
+///
+/// Usage: daemon_stress [--jobs N] [--clients N] [--window N] [--dim N]
+///                      [--workers N] [--queue-capacity N] [--seed S]
+///                      [--no-faults] [--socket PATH]
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "foresight/compressor.hpp"
+#include "foresight/pipeline.hpp"
+#include "foresightd/client.hpp"
+#include "foresightd/daemon.hpp"
+#include "gpu/sim.hpp"
+#include "io/crc32.hpp"
+#include "json/json.hpp"
+
+using namespace cosmo;
+
+namespace {
+
+struct CodecConfig {
+  const char* codec;
+  const char* mode;
+  double value;
+};
+
+/// The full mixed roster: CPU, simulated-GPU and OpenMP-style codecs.
+constexpr CodecConfig kRoster[] = {
+    {"sz-cpu", "abs", 0.1},  {"zfp-cpu", "rate", 8},  {"fz-cpu", "abs", 0.1},
+    {"cuzfp", "rate", 8},    {"gpu-sz", "abs", 0.1},  {"zfp-omp", "rate", 8},
+    {"fz-gpu", "abs", 0.1},
+};
+constexpr std::size_t kRosterSize = sizeof(kRoster) / sizeof(kRoster[0]);
+
+struct Reference {
+  std::uint32_t crc = 0;
+  std::size_t bytes = 0;
+};
+
+struct Outcome {
+  std::string status;
+  std::uint32_t crc = 0;
+  std::size_t bytes = 0;
+  bool has_crc = false;
+  int responses = 0;
+};
+
+int g_failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+json::Value dataset_spec(std::size_t dim) {
+  json::Object spec;
+  spec["type"] = "nyx";
+  spec["dim"] = dim;
+  spec["seed"] = 42;
+  return json::Value(spec);
+}
+
+/// Single-shot references, computed with no fault plan installed.
+std::map<std::string, Reference> compute_references(const Field& field) {
+  std::map<std::string, Reference> refs;
+  gpu::GpuSimulator sim(gpu::find_device("Tesla V100"));
+  for (const auto& entry : kRoster) {
+    auto compressor = foresight::make_compressor(entry.codec, &sim);
+    auto session = compressor->open_session();
+    const foresight::CompressResult c =
+        session->compress(field, {entry.mode, entry.value});
+    refs[entry.codec] = {crc32(c.bytes.data(), c.bytes.size()), c.bytes.size()};
+  }
+  return refs;
+}
+
+/// One client's windowed pipelined run. Returns id -> outcome.
+std::map<std::uint64_t, Outcome> run_client(const std::string& socket, std::size_t client,
+                                            std::size_t jobs, std::size_t window,
+                                            std::size_t dim, bool tolerate_eof) {
+  std::map<std::uint64_t, Outcome> outcomes;
+  foresightd::Client conn(socket);
+  const json::Value dataset = dataset_spec(dim);
+
+  std::size_t outstanding = 0;
+  std::size_t sent = 0;
+  bool eof = false;
+
+  const auto receive_one = [&] {
+    json::Value reply;
+    try {
+      reply = conn.recv();
+    } catch (const Error&) {
+      if (!tolerate_eof) throw;
+      eof = true;
+      return;
+    }
+    const std::uint64_t id = static_cast<std::uint64_t>(reply.get("id", 0.0));
+    Outcome& out = outcomes[id];
+    ++out.responses;
+    out.status = reply.get("status", std::string("<none>"));
+    if (reply.contains("crc32")) {
+      out.has_crc = true;
+      out.crc = static_cast<std::uint32_t>(reply.at("crc32").as_number());
+      out.bytes = static_cast<std::size_t>(reply.get("compressed_bytes", 0.0));
+    }
+    --outstanding;
+  };
+
+  for (std::size_t i = 0; i < jobs && !eof; ++i) {
+    foresightd::JobRequest request;
+    request.id = client * 1000000 + i + 1;
+    const CodecConfig& entry = kRoster[(client + i) % kRosterSize];
+    request.codec = entry.codec;
+    request.dataset = dataset;
+    request.field = "baryon_density";
+    request.priority = static_cast<int>(i % 3);
+    if (i % 50 == 7) {
+      // Already expired at admission: must come back as "deadline" (or
+      // "rejected" if admission itself refused it), never "ok".
+      request.type = foresightd::RequestType::kRoundtrip;
+      request.mode = entry.mode;
+      request.value = entry.value;
+      request.deadline_seconds = 1e-9;
+    } else if (i % 25 == 3) {
+      request.type = foresightd::RequestType::kSweep;
+      for (int k = 0; k < 3; ++k) request.configs.emplace_back(entry.mode, entry.value);
+    } else {
+      request.type = foresightd::RequestType::kRoundtrip;
+      request.mode = entry.mode;
+      request.value = entry.value;
+    }
+    try {
+      conn.send(request.to_json());
+    } catch (const Error&) {
+      if (!tolerate_eof) throw;
+      eof = true;
+      break;
+    }
+    ++sent;
+    ++outstanding;
+    while (outstanding >= window && !eof) receive_one();
+  }
+  while (outstanding > 0 && !eof) receive_one();
+  return outcomes;
+}
+
+/// Validates one client's outcomes against the references; returns status
+/// counts into \p counts.
+void validate(const std::map<std::uint64_t, Outcome>& outcomes,
+              const std::map<std::string, Reference>& refs, std::size_t client,
+              std::size_t dim, std::map<std::string, std::size_t>& counts) {
+  (void)dim;
+  for (const auto& [id, out] : outcomes) {
+    expect(out.responses == 1, "job " + std::to_string(id) + " answered " +
+                                   std::to_string(out.responses) + " times");
+    const bool known = out.status == "ok" || out.status == "failed" ||
+                       out.status == "rejected" || out.status == "cancelled" ||
+                       out.status == "deadline";
+    expect(known, "job " + std::to_string(id) + " has unknown status " + out.status);
+    ++counts[out.status];
+
+    const std::size_t i = id - client * 1000000 - 1;
+    if (i % 50 == 7) {
+      expect(out.status == "deadline" || out.status == "rejected",
+             "expired-deadline job " + std::to_string(id) + " reported " + out.status);
+    }
+    if (out.has_crc) {
+      const CodecConfig& entry = kRoster[(client + i) % kRosterSize];
+      const Reference& ref = refs.at(entry.codec);
+      expect(out.crc == ref.crc && out.bytes == ref.bytes,
+             std::string("stream mismatch vs single-shot for ") + entry.codec +
+                 " (job " + std::to_string(id) + ")");
+    }
+  }
+}
+
+int run_external(const CliArgs& args) {
+  const std::string socket = args.get("socket", "");
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 400));
+  const std::size_t clients = std::max<std::size_t>(1, args.get_int("clients", 1));
+  const std::size_t window = static_cast<std::size_t>(args.get_int("window", 32));
+  const std::size_t dim = static_cast<std::size_t>(args.get_int("dim", 16));
+
+  std::vector<std::map<std::uint64_t, Outcome>> per_client(clients);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        per_client[c] =
+            run_client(socket, c + 1, jobs / clients, window, dim, /*tolerate_eof=*/true);
+      } catch (const Error&) {
+        // Daemon already gone before this client connected: nothing answered.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::map<std::string, std::size_t> counts;
+  std::size_t answered = 0;
+  for (const auto& outcomes : per_client) {
+    for (const auto& [id, out] : outcomes) {
+      if (out.responses == 0) continue;  // daemon hung up before answering
+      expect(out.responses == 1, "job answered more than once");
+      ++counts[out.status];
+      ++answered;
+    }
+  }
+  std::printf("daemon_stress(external): sent<=%zu answered=%zu", jobs, answered);
+  for (const auto& [status, n] : counts) std::printf(" %s=%zu", status.c_str(), n);
+  std::printf("\n");
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    if (args.has("socket")) return run_external(args);
+
+    const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 1000));
+    const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
+    const std::size_t window = static_cast<std::size_t>(args.get_int("window", 8));
+    const std::size_t dim = static_cast<std::size_t>(args.get_int("dim", 16));
+    const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 20260808));
+
+    // --- Phase A: single-shot references (no faults active). ---
+    const io::Container data = foresight::build_dataset(dataset_spec(dim));
+    const Field& field = data.find("baryon_density").field;
+    const auto refs = compute_references(field);
+
+    // --- Phase B: the stressed daemon. ---
+    foresightd::DaemonOptions options;
+    options.socket_path =
+        "/tmp/fsd_stress_" + std::to_string(::getpid()) + ".sock";
+    options.workers = static_cast<std::size_t>(args.get_int("workers", 4));
+    options.queue_capacity = static_cast<std::size_t>(args.get_int("queue-capacity", 28));
+    options.priorities = 3;
+    options.drain_budget_seconds = 0.05;
+    options.metrics_out = options.socket_path + ".metrics.json";
+    if (!args.has("no-faults")) {
+      fault::Config faults;
+      faults.seed = seed;
+      faults.corrupt_probability = 0.15;
+      faults.gpu_transient_every = 7;
+      faults.gpu_oom_every = 19;
+      options.faults = faults;
+    }
+    foresightd::Daemon daemon(options);
+    daemon.start();
+
+    const std::size_t per_client = jobs / clients;
+    std::vector<std::thread> threads;
+    std::vector<std::map<std::uint64_t, Outcome>> results(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        results[c] = run_client(options.socket_path, c + 1, per_client, window, dim,
+                                /*tolerate_eof=*/false);
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    std::map<std::string, std::size_t> counts;
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < clients; ++c) {
+      expect(results[c].size() == per_client,
+             "client " + std::to_string(c + 1) + " is missing responses");
+      total += results[c].size();
+      validate(results[c], refs, c + 1, dim, counts);
+    }
+    expect(counts["ok"] > 0, "stress produced no ok jobs");
+    if (options.faults) {
+      expect(counts["failed"] > 0,
+             "fault injection produced no contained failures (suspicious)");
+    }
+
+    // --- Phase C: graceful drain under load. ---
+    // Slow sweeps (64 lattice points each) keep workers busy well past the
+    // 50 ms drain budget, so cooperative cancellation must kick in. The
+    // control connection carries only the slow jobs; a second connection
+    // carries pings and the post-drain probe so frames never interleave.
+    foresightd::Client control(options.socket_path);
+    foresightd::Client prober(options.socket_path);
+    const std::uint64_t admitted_before = daemon.stats().admitted;
+    const std::size_t slow_jobs = 8;
+    for (std::size_t i = 0; i < slow_jobs; ++i) {
+      foresightd::JobRequest request;
+      request.id = 9000000 + i;
+      request.type = foresightd::RequestType::kSweep;
+      request.codec = "sz-cpu";
+      request.dataset = dataset_spec(32);
+      request.field = "baryon_density";
+      for (int k = 0; k < 64; ++k) request.configs.emplace_back("abs", 0.1);
+      control.send(request.to_json());
+    }
+    // Shut down only once everything is admitted, so the drain really does
+    // find in-flight work (otherwise this would race toward 8 "draining"
+    // rejections and prove nothing about cancellation).
+    while (daemon.stats().admitted < admitted_before + slow_jobs) {
+      std::this_thread::yield();
+    }
+    daemon.request_shutdown();
+    while (!prober.ping().get("draining", false)) {
+      std::this_thread::yield();
+    }
+    foresightd::JobRequest late;
+    late.id = 9999999;
+    late.type = foresightd::RequestType::kRoundtrip;
+    late.codec = "sz-cpu";
+    late.mode = "abs";
+    late.value = 0.1;
+    late.dataset = dataset_spec(dim);
+    late.field = "baryon_density";
+    const json::Value refusal = prober.call(late.to_json());
+    expect(refusal.get("status", std::string()) == "rejected" &&
+               refusal.get("reason", std::string()) == "draining",
+           "post-drain submission was not rejected with 'draining'");
+
+    std::map<std::uint64_t, int> drain_answers;
+    std::map<std::string, std::size_t> drain_counts;
+    for (std::size_t i = 0; i < slow_jobs; ++i) {
+      const json::Value reply = control.recv();
+      ++drain_answers[static_cast<std::uint64_t>(reply.get("id", 0.0))];
+      ++drain_counts[reply.get("status", std::string("<none>"))];
+    }
+    for (const auto& [id, n] : drain_answers) {
+      expect(n == 1, "drain job " + std::to_string(id) + " answered " +
+                         std::to_string(n) + " times");
+    }
+    expect(drain_counts["cancelled"] > 0,
+           "drain budget expiry cancelled nothing despite slow jobs");
+
+    daemon.wait();
+
+    const auto s = daemon.stats();
+    expect(s.admitted == s.ok + s.failed + s.cancelled + s.deadline,
+           "admitted jobs do not partition into terminal statuses");
+    std::FILE* metrics = std::fopen(options.metrics_out.c_str(), "rb");
+    expect(metrics != nullptr, "final metrics were not flushed to " + options.metrics_out);
+    if (metrics) std::fclose(metrics);
+    std::remove(options.metrics_out.c_str());
+
+    std::printf("daemon_stress: %zu jobs, %zu clients |", total, clients);
+    for (const auto& [status, n] : counts) std::printf(" %s=%zu", status.c_str(), n);
+    std::printf(" | drain:");
+    for (const auto& [status, n] : drain_counts) std::printf(" %s=%zu", status.c_str(), n);
+    std::printf(" | queue_high_water=%zu admitted=%llu\n", s.queue_high_water,
+                static_cast<unsigned long long>(s.admitted));
+    if (g_failures == 0) {
+      std::printf("daemon_stress: OK\n");
+      return 0;
+    }
+    std::fprintf(stderr, "daemon_stress: %d failures\n", g_failures);
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "daemon_stress: fatal: %s\n", e.what());
+    return 1;
+  }
+}

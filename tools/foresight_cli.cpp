@@ -16,6 +16,8 @@
 ///                                   (--trace-out/--metrics-out enable the
 ///                                   telemetry layer for the run)
 ///   trace-check <trace.json>        validate a Chrome trace export
+///   daemon <ping|metrics|shutdown|submit> --socket PATH
+///                                   talk to a running foresightd
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -33,6 +35,8 @@
 #include "foresight/pipeline.hpp"
 #include "foresight/report.hpp"
 #include "foresight/sweep.hpp"
+#include "foresightd/client.hpp"
+#include "foresightd/protocol.hpp"
 #include "json/json.hpp"
 #include "gpu/specs.hpp"
 #include "sz/rate_estimate.hpp"
@@ -58,7 +62,11 @@ int usage() {
                "[--velocity-tolerance T]\n"
                "           [--linking-length L] [--min-members N]\n"
                "  run CONFIG.json [--fail-fast] [--trace-out FILE] [--metrics-out FILE]\n"
-               "  trace-check TRACE.json\n");
+               "  trace-check TRACE.json\n"
+               "  daemon ping|metrics|shutdown --socket PATH\n"
+               "  daemon submit --socket PATH --codec NAME [--job roundtrip|compress]\n"
+               "         [--mode M --value V] [--type nyx|hacc] [--dim N] [--particles N]\n"
+               "         [--seed S] [--field NAME] [--deadline SECONDS] [--priority P]\n");
   return 2;
 }
 
@@ -383,6 +391,54 @@ int cmd_trace_check(const CliArgs& args) {
   return events.empty() ? 1 : 0;
 }
 
+/// Talks to a running foresightd: control requests (ping/metrics/shutdown)
+/// or a single synchronous job submission, response printed as JSON.
+int cmd_daemon(const CliArgs& args) {
+  const auto& positional = args.positional();
+  const std::string action = positional.size() > 1 ? positional[1] : "";
+  const std::string socket = args.get("socket", "");
+  if (socket.empty() || action.empty()) {
+    std::fprintf(stderr, "daemon: an action and --socket PATH are required\n");
+    return 2;
+  }
+  foresightd::Client client(socket);
+  json::Value reply;
+  if (action == "ping") {
+    reply = client.ping();
+  } else if (action == "metrics") {
+    reply = client.metrics();
+  } else if (action == "shutdown") {
+    reply = client.shutdown();
+  } else if (action == "submit") {
+    foresightd::JobRequest request;
+    request.id = 1;
+    const std::string job = args.get("job", "roundtrip");
+    request.type = job == "compress" ? foresightd::RequestType::kCompress
+                                     : foresightd::RequestType::kRoundtrip;
+    request.codec = args.get("codec", "sz-cpu");
+    request.mode = args.get("mode", "abs");
+    request.value = args.get_double("value", 0.1);
+    request.field = args.get("field", "baryon_density");
+    request.deadline_seconds = args.get_double("deadline", 0.0);
+    request.priority = static_cast<int>(args.get_int("priority", 1));
+    json::Object spec;
+    spec["type"] = args.get("type", "nyx");
+    if (spec["type"] == json::Value("hacc")) {
+      spec["particles"] = static_cast<std::size_t>(args.get_int("particles", 100000));
+    } else {
+      spec["dim"] = static_cast<std::size_t>(args.get_int("dim", 32));
+    }
+    spec["seed"] = static_cast<std::size_t>(args.get_int("seed", 42));
+    request.dataset = json::Value(std::move(spec));
+    reply = client.call(request.to_json());
+  } else {
+    std::fprintf(stderr, "daemon: unknown action '%s'\n", action.c_str());
+    return 2;
+  }
+  std::printf("%s\n", reply.dump(2).c_str());
+  return reply.get("status", std::string("ok")) == "ok" ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -399,6 +455,7 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(args);
     if (command == "run") return cmd_run(args);
     if (command == "trace-check") return cmd_trace_check(args);
+    if (command == "daemon") return cmd_daemon(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "foresight_cli %s: %s\n", command.c_str(), e.what());
     return 1;

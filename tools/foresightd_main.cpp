@@ -1,0 +1,95 @@
+/// \file foresightd_main.cpp
+/// \brief The foresightd binary: serve compression jobs over a Unix socket.
+///
+/// Usage:
+///   foresightd --socket /tmp/foresightd.sock [--workers N]
+///              [--queue-capacity N] [--quota N] [--priorities N]
+///              [--default-deadline SECONDS] [--drain-budget SECONDS]
+///              [--gpu "Tesla V100"] [--metrics-out metrics.json]
+///              [--config config.json]
+///
+/// --config points at a JSON file whose optional "faults" object installs a
+/// deterministic fault plan for the daemon's lifetime (same schema as the
+/// pipeline config; see pipeline.hpp).
+///
+/// SIGTERM and SIGINT start a graceful drain: the listen socket closes, new
+/// jobs are rejected with "draining", admitted jobs finish (or are
+/// cancelled when --drain-budget expires), metrics are flushed, and the
+/// process exits 0.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "foresight/pipeline.hpp"
+#include "foresightd/daemon.hpp"
+#include "json/json.hpp"
+
+namespace {
+
+std::atomic<int> g_signal_fd{-1};
+
+void on_signal(int) {
+  // Async-signal-safe shutdown: one byte into the daemon's wake pipe.
+  const int fd = g_signal_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const auto n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cosmo;
+  const CliArgs args(argc, argv);
+  foresightd::DaemonOptions options;
+  options.socket_path = args.get("socket", "");
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "foresightd: --socket PATH is required\n");
+    return 2;
+  }
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  options.queue_capacity = static_cast<std::size_t>(args.get_int("queue-capacity", 64));
+  options.per_client_quota = static_cast<std::size_t>(args.get_int("quota", 0));
+  options.priorities = static_cast<int>(args.get_int("priorities", 3));
+  options.default_deadline_seconds = args.get_double("default-deadline", 0.0);
+  options.drain_budget_seconds = args.get_double("drain-budget", 5.0);
+  options.gpu = args.get("gpu", "Tesla V100");
+  options.metrics_out = args.get("metrics-out", "");
+
+  try {
+    const std::string config_path = args.get("config", "");
+    if (!config_path.empty()) {
+      options.faults = foresight::parse_faults(json::parse_file(config_path));
+    }
+
+    foresightd::Daemon daemon(options);
+    daemon.start();
+    g_signal_fd.store(daemon.signal_fd(), std::memory_order_relaxed);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::fprintf(stderr, "foresightd: listening on %s (%zu workers, capacity %zu)\n",
+                 options.socket_path.c_str(), options.workers, options.queue_capacity);
+    daemon.wait();
+
+    const auto s = daemon.stats();
+    std::fprintf(stderr,
+                 "foresightd: drained. admitted=%llu ok=%llu failed=%llu cancelled=%llu "
+                 "deadline=%llu rejected=%llu protocol_errors=%llu queue_high_water=%zu\n",
+                 static_cast<unsigned long long>(s.admitted),
+                 static_cast<unsigned long long>(s.ok),
+                 static_cast<unsigned long long>(s.failed),
+                 static_cast<unsigned long long>(s.cancelled),
+                 static_cast<unsigned long long>(s.deadline),
+                 static_cast<unsigned long long>(s.rejected),
+                 static_cast<unsigned long long>(s.protocol_errors), s.queue_high_water);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "foresightd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -27,6 +27,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "cosmo/nyx_synth.hpp"
+#include "foresightd/protocol.hpp"
 #include "fz/fz.hpp"
 #include "io/container.hpp"
 #include "sz/pwrel.hpp"
@@ -197,6 +198,56 @@ int main(int argc, char** argv) {
                       }});
   surfaces.push_back({"fz-zero-run", fz::zero_run_encode(raw_bytes),
                       [](const std::vector<std::uint8_t>& b) { (void)fz::zero_run_decode(b); }});
+  // foresightd wire protocol: framing, the request schema, and base64.
+  // Mutations routinely hit the 4-byte length prefix, so hostile declared
+  // lengths (0, > 16 MiB, truncated headers) are exercised constantly; the
+  // contract is a clean FormatError before any payload allocation.
+  foresightd::JobRequest wire_request;
+  wire_request.type = foresightd::RequestType::kRoundtrip;
+  wire_request.id = 7;
+  wire_request.codec = "sz-cpu";
+  wire_request.mode = "abs";
+  wire_request.value = 0.1;
+  wire_request.field = "baryon_density";
+  {
+    json::Object spec;
+    spec["type"] = "nyx";
+    spec["dim"] = 16;
+    spec["seed"] = 42;
+    wire_request.dataset = json::Value(std::move(spec));
+  }
+  const json::Value wire_json = wire_request.to_json();
+  surfaces.push_back({"fsd-frame", foresightd::encode_frame(wire_json),
+                      [](const std::vector<std::uint8_t>& b) {
+                        foresightd::FrameParser parser;
+                        parser.feed(b.data(), b.size());
+                        while (parser.next()) {
+                        }
+                      }});
+  // Same surface fed in small chunks: incremental header validation must
+  // behave identically to one-shot feeding.
+  surfaces.push_back({"fsd-frame-inc", foresightd::encode_frame(wire_json),
+                      [](const std::vector<std::uint8_t>& b) {
+                        foresightd::FrameParser parser;
+                        for (std::size_t i = 0; i < b.size(); i += 3) {
+                          parser.feed(b.data() + i, std::min<std::size_t>(3, b.size() - i));
+                          while (parser.next()) {
+                          }
+                        }
+                      }});
+  const std::string wire_text = wire_json.dump();
+  surfaces.push_back(
+      {"fsd-request", std::vector<std::uint8_t>(wire_text.begin(), wire_text.end()),
+       [](const std::vector<std::uint8_t>& b) {
+         const std::string text(b.begin(), b.end());
+         (void)foresightd::JobRequest::parse(json::parse(text));
+       }});
+  const std::string b64_text = foresightd::base64_encode(raw_bytes);
+  surfaces.push_back(
+      {"fsd-base64", std::vector<std::uint8_t>(b64_text.begin(), b64_text.end()),
+       [](const std::vector<std::uint8_t>& b) {
+         (void)foresightd::base64_decode(std::string(b.begin(), b.end()));
+       }});
   surfaces.push_back({"container", container_bytes,
                       [&container_path](const std::vector<std::uint8_t>& b) {
                         std::ofstream out(container_path, std::ios::binary | std::ios::trunc);
