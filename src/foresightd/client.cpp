@@ -1,33 +1,89 @@
 #include "foresightd/client.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
-#include <vector>
 
 #include "common/error.hpp"
+#include "io/crc32.hpp"
 
 namespace cosmo::foresightd {
 
-Client::Client(const std::string& socket_path) {
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
+namespace {
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
     throw IoError("foresightd client: socket() failed: " +
                   std::string(std::strerror(errno)));
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  require(socket_path.size() < sizeof(addr.sun_path),
-          "foresightd client: socket path too long: " + socket_path);
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+  require(path.size() < sizeof(addr.sun_path),
+          "foresightd client: socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     const std::string why = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw IoError("foresightd client: cannot connect to " + socket_path + ": " + why);
+    ::close(fd);
+    throw IoError("foresightd client: cannot connect to " + path + ": " + why);
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  require(colon != std::string::npos && colon > 0 && colon + 1 < host_port.size(),
+          "foresightd client: tcp endpoint must be tcp:<host>:<port>");
+  const std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw IoError("foresightd client: cannot resolve " + host + ": " +
+                  std::string(::gai_strerror(rc)));
+  }
+  int fd = -1;
+  std::string why = "no addresses";
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      why = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    why = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw IoError("foresightd client: cannot connect to tcp:" + host_port + ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const std::string& endpoint) {
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    fd_ = connect_tcp(endpoint.substr(4));
+  } else if (endpoint.rfind("unix:", 0) == 0) {
+    fd_ = connect_unix(endpoint.substr(5));
+  } else {
+    fd_ = connect_unix(endpoint);
   }
 }
 
@@ -49,8 +105,13 @@ void Client::send(const json::Value& request) {
   }
 }
 
-json::Value Client::recv() {
-  std::uint8_t buf[16 * 1024];
+json::Value Client::next_frame() {
+  if (!stash_.empty()) {
+    json::Value v = std::move(stash_.front());
+    stash_.pop_front();
+    return v;
+  }
+  std::uint8_t buf[64 * 1024];
   for (;;) {
     if (auto frame = parser_.next()) return std::move(*frame);
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
@@ -60,9 +121,119 @@ json::Value Client::recv() {
   }
 }
 
+json::Value Client::recv() { return next_frame(); }
+
 json::Value Client::call(const json::Value& request) {
   send(request);
   return recv();
+}
+
+void Client::submit(const JobRequest& request) { send(request.to_json()); }
+
+JobReply Client::recv_reply() {
+  for (;;) {
+    json::Value frame = next_frame();
+    if (ChunkMessage::is_chunk(frame)) {
+      // A server→client stream in progress: reassemble, keep reading. A
+      // stream the table refuses (crc mismatch, over budget) just never
+      // completes — the result referencing it reports an empty payload.
+      downloads_.apply(ChunkMessage::parse(frame));
+      continue;
+    }
+    JobReply reply = JobReply::parse(std::move(frame));
+    if (reply.kind == ReplyKind::kResult && !reply.payload_transfer.empty()) {
+      std::vector<std::uint8_t> bytes;
+      if (downloads_.claim(reply.payload_transfer, bytes) ==
+          TransferTable::ClaimStatus::kOk) {
+        reply.payload = std::move(bytes);
+      }
+    }
+    return reply;
+  }
+}
+
+JobReply Client::call_reply(const JobRequest& request) {
+  submit(request);
+  return recv_reply();
+}
+
+JobReply Client::wait_chunk_ack(const std::string& transfer) {
+  for (;;) {
+    json::Value frame = next_frame();
+    if (ChunkMessage::is_chunk(frame)) {
+      downloads_.apply(ChunkMessage::parse(frame));
+      continue;
+    }
+    JobReply reply = JobReply::parse(std::move(frame));
+    if (reply.kind == ReplyKind::kChunkAck && reply.transfer == transfer) return reply;
+    if (reply.kind == ReplyKind::kError) {
+      // The daemon refused a frame outright (malformed chunk, unsupported
+      // version). The ack this wait is blocked on may never come — fail
+      // the transfer instead of stashing the error and hanging.
+      throw FormatError("foresightd client: error during transfer '" + transfer +
+                        "': " + reply.error);
+    }
+    // A pipelined job reply overtook the ack; keep it for recv_reply().
+    stash_.push_back(std::move(reply.raw));
+  }
+}
+
+Client::UploadResult Client::upload(const std::string& id, const std::uint8_t* data,
+                                    std::size_t n, std::size_t chunk_bytes) {
+  require(chunk_bytes >= 1 && chunk_bytes <= 8u << 20,
+          "foresightd client: chunk_bytes out of range");
+  require(n >= 1, "foresightd client: cannot upload an empty transfer");
+  UploadResult result;
+
+  ChunkMessage begin;
+  begin.type = ChunkType::kBegin;
+  begin.transfer = id;
+  begin.total_bytes = n;
+  send(begin.to_json());
+  JobReply ack = wait_chunk_ack(id);
+  if (!ack.chunk_ok) {
+    result.reason = ack.reason.empty() ? "rejected" : ack.reason;
+    return result;
+  }
+
+  for (std::size_t offset = 0, seq = 0; offset < n; offset += chunk_bytes, ++seq) {
+    const std::size_t len = std::min(chunk_bytes, n - offset);
+    ChunkMessage chunk;
+    chunk.type = ChunkType::kData;
+    chunk.transfer = id;
+    chunk.seq = seq;
+    chunk.crc32 = cosmo::crc32(data + offset, len);
+    chunk.payload.assign(data + offset, data + offset + len);
+    send(chunk.to_json());
+  }
+
+  ChunkMessage end;
+  end.type = ChunkType::kEnd;
+  end.transfer = id;
+  end.crc32 = cosmo::crc32(data, n);
+  end.has_crc32 = true;
+  send(end.to_json());
+  // A mid-stream failure ack (if any) arrives before the end ack and is the
+  // first chunk_ack for this id — either way the next ack is the verdict.
+  ack = wait_chunk_ack(id);
+  result.ok = ack.chunk_ok && ack.chunk_completed;
+  if (!result.ok) result.reason = ack.reason.empty() ? "rejected" : ack.reason;
+  result.received_bytes = static_cast<std::uint64_t>(ack.raw.get("received_bytes", 0.0));
+  result.crc32 = static_cast<std::uint32_t>(ack.raw.get("crc32", 0.0));
+  return result;
+}
+
+Client::UploadResult Client::upload(const std::string& id,
+                                    const std::vector<std::uint8_t>& data,
+                                    std::size_t chunk_bytes) {
+  return upload(id, data.data(), data.size(), chunk_bytes);
+}
+
+HelloReply Client::hello() {
+  json::Object o;
+  o["type"] = "hello";
+  o["proto"] = proto_version_string();
+  return HelloReply::parse(call(json::Value(std::move(o))));
 }
 
 namespace {

@@ -1,17 +1,33 @@
 /// \file client.hpp
-/// \brief Minimal foresightd client: one blocking AF_UNIX connection.
+/// \brief foresightd client: one blocking connection, AF_UNIX or TCP.
 ///
-/// The client is deliberately thin — it frames requests, decodes response
-/// frames, and nothing else. Pipelining is allowed (send N, then recv N);
-/// responses for job requests may arrive in any order (workers finish when
-/// they finish), so pipelined callers must correlate by the "id" they
-/// chose. One Client is one connection and is not thread-safe; concurrent
-/// clients each open their own.
+/// Endpoints: a plain path (or "unix:<path>") connects over AF_UNIX;
+/// "tcp:<host>:<port>" connects over TCP — both speak the identical frame
+/// protocol. The client is deliberately thin: it frames requests, decodes
+/// response frames, reassembles server→client streams, and nothing else.
+///
+/// Two surfaces:
+///  - Typed (preferred): submit()/call_reply() with the api.hpp request
+///    structs, recv_reply() for pipelined correlation-by-id, upload() for
+///    payloads past the 16 MiB frame cap, hello() for version negotiation.
+///    recv_reply() transparently absorbs server→client chunk frames and
+///    attaches the reassembled bytes to the reply that references them.
+///  - Raw escape hatch: send()/recv()/call() move unmodified json::Value
+///    frames for anything the typed surface does not model.
+///
+/// Pipelining is allowed (send N, then recv N); responses for job requests
+/// may arrive in any order (workers finish when they finish), so pipelined
+/// callers must correlate by the "id" they chose. One Client is one
+/// connection and is not thread-safe; concurrent clients each open their
+/// own.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <vector>
 
+#include "foresightd/api.hpp"
 #include "foresightd/protocol.hpp"
 #include "json/json.hpp"
 
@@ -19,11 +35,14 @@ namespace cosmo::foresightd {
 
 class Client {
  public:
-  /// Connects to a daemon's socket; throws IoError when nothing listens.
-  explicit Client(const std::string& socket_path);
+  /// Connects to \p endpoint ("<path>", "unix:<path>", or
+  /// "tcp:<host>:<port>"); throws IoError when nothing listens.
+  explicit Client(const std::string& endpoint);
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
+
+  // --- raw escape hatch ----------------------------------------------------
 
   /// Sends one request frame.
   void send(const json::Value& request);
@@ -36,14 +55,61 @@ class Client {
   /// pipelining in flight).
   [[nodiscard]] json::Value call(const json::Value& request);
 
+  // --- typed surface -------------------------------------------------------
+
+  /// Sends a typed job request (serialized through JobRequest, so it
+  /// carries `proto` and passes the daemon's validator by construction).
+  void submit(const JobRequest& request);
+
+  /// Blocks for the next *reply* frame, absorbing any server→client chunk
+  /// frames into the internal transfer table. When a result references a
+  /// streamed payload (`payload_transfer`), the reassembled bytes are
+  /// claimed into JobReply::payload; a stream that failed client-side
+  /// (crc mismatch) leaves the payload empty with payload_transfer set.
+  [[nodiscard]] JobReply recv_reply();
+
+  /// submit() + recv_reply().
+  [[nodiscard]] JobReply call_reply(const JobRequest& request);
+
+  /// Outcome of an upload. `ok` means the daemon sealed the transfer and
+  /// its crc32 of the reassembled bytes matched ours.
+  struct UploadResult {
+    bool ok = false;
+    std::string reason;            ///< daemon's rejection reason when !ok
+    std::uint64_t received_bytes = 0;
+    std::uint32_t crc32 = 0;       ///< daemon-computed crc of the whole payload
+  };
+
+  /// Streams \p n bytes to the daemon as transfer \p id
+  /// (chunk_begin → chunk_data… → chunk_end), waiting for the begin and
+  /// end acks. Must not be interleaved with outstanding pipelined job
+  /// requests on this connection (their replies would be stashed, not
+  /// lost, but the upload blocks until its own acks arrive).
+  UploadResult upload(const std::string& id, const std::uint8_t* data, std::size_t n,
+                      std::size_t chunk_bytes = kDefaultChunkBytes);
+  UploadResult upload(const std::string& id, const std::vector<std::uint8_t>& data,
+                      std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  /// Version negotiation. Throws FormatError when the daemon's reply is
+  /// not a hello (e.g. a v1 daemon that answers with an error frame).
+  [[nodiscard]] HelloReply hello();
+
   /// Control conveniences.
   [[nodiscard]] json::Value ping();
   [[nodiscard]] json::Value metrics();
   [[nodiscard]] json::Value shutdown();
 
  private:
+  /// Next frame from the stash or the socket (no chunk handling).
+  [[nodiscard]] json::Value next_frame();
+  /// Blocks until a chunk_ack for \p transfer arrives; other reply frames
+  /// are stashed for later recv()/recv_reply() calls.
+  [[nodiscard]] JobReply wait_chunk_ack(const std::string& transfer);
+
   int fd_ = -1;
   FrameParser parser_;
+  std::deque<json::Value> stash_;  ///< replies received while waiting for acks
+  TransferTable downloads_{TransferLimits{}};
 };
 
 }  // namespace cosmo::foresightd

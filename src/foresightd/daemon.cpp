@@ -1,12 +1,16 @@
 #include "foresightd/daemon.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 
@@ -41,26 +45,44 @@ telemetry::Counter& counter(const std::string& suffix) {
 
 }  // namespace
 
-/// One accepted connection. The IO thread owns reads; any thread may send a
-/// response under write_mu. The fd is closed by the destructor, so a worker
-/// holding a shared_ptr past the IO thread's erase can still answer safely
-/// (the send fails cleanly instead of racing a reused descriptor).
+/// One accepted connection (AF_UNIX or TCP — identical from here on). The
+/// IO thread owns reads; any thread may send a response under write_mu. The
+/// fd is closed by the destructor, so a worker holding a shared_ptr past
+/// the IO thread's erase can still answer safely (the send fails cleanly
+/// instead of racing a reused descriptor). The TransferTable dies with the
+/// connection, so a mid-transfer disconnect frees its reassembly buffers —
+/// and the daemon-wide reserved-bytes gauge — automatically.
 struct Daemon::Conn {
+  Conn(TransferLimits limits, std::atomic<std::int64_t>* reserved_gauge)
+      : transfers(limits, reserved_gauge) {}
   ~Conn() {
     if (fd >= 0) ::close(fd);
   }
   int fd = -1;
   std::uint64_t id = 0;
   FrameParser parser;
+  TransferTable transfers;
   std::mutex write_mu;
   std::atomic<bool> open{true};
+  /// Monotonic nanoseconds of the last input read. The transfer reaper
+  /// skips connections with recent input: a large chunk frame can take
+  /// seconds to arrive and parse, and its transfer must not be declared
+  /// idle while the bytes are still flowing.
+  std::atomic<std::int64_t> last_input_ns{monotonic_ns()};
+
+  static std::int64_t monotonic_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 };
 
 Daemon::Daemon(DaemonOptions options)
     : options_(std::move(options)),
       queue_({.capacity = options_.queue_capacity,
               .per_client_quota = options_.per_client_quota,
-              .priorities = options_.priorities}) {
+              .priorities = options_.priorities}),
+      dataset_cache_(options_.dataset_cache_bytes) {
   require(!options_.socket_path.empty(), "foresightd: socket_path is required");
   if (options_.workers == 0) options_.workers = 1;
 }
@@ -108,6 +130,41 @@ void Daemon::start() {
   }
   ::fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
 
+  if (options_.tcp_port >= 0) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0) {
+      throw IoError("foresightd: tcp socket() failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in tcp_addr{};
+    tcp_addr.sin_family = AF_INET;
+    tcp_addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &tcp_addr.sin_addr) != 1) {
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+      throw IoError("foresightd: bad tcp_host '" + options_.tcp_host +
+                    "' (numeric IPv4 required)");
+    }
+    if (::bind(tcp_listen_fd_, reinterpret_cast<const sockaddr*>(&tcp_addr),
+               sizeof(tcp_addr)) != 0 ||
+        ::listen(tcp_listen_fd_, 128) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+      throw IoError("foresightd: cannot listen on tcp:" + options_.tcp_host + ":" +
+                    std::to_string(options_.tcp_port) + ": " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      tcp_port_bound_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+    ::fcntl(tcp_listen_fd_, F_SETFL, O_NONBLOCK);
+  }
+
   started_ = true;
   live_workers_.store(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
@@ -148,6 +205,10 @@ Daemon::Stats Daemon::stats() const {
   s.deadline = deadline_.load();
   s.protocol_errors = protocol_errors_.load();
   s.queue_high_water = queue_.high_water();
+  s.transfers_completed = transfers_completed_.load();
+  s.transfers_reaped = transfers_reaped_.load();
+  s.transfer_reserved_bytes = transfer_reserved_.load();
+  s.dataset_cache = dataset_cache_.stats();
   return s;
 }
 
@@ -180,13 +241,48 @@ void Daemon::io_loop() {
   std::uint64_t next_client = 1;
   bool accepting = true;
   std::vector<std::uint8_t> buf(64 * 1024);
+  Timer reap_timer;
   telemetry::Counter& accepted_metric = counter("connections");
+
+  // Both listeners feed the same accept path; a connection's transport is
+  // invisible past this point.
+  const auto accept_from = [&](int listen_fd, bool tcp) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) break;
+      set_timeout(fd, SO_SNDTIMEO, kSendTimeoutSeconds);
+      if (tcp) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      auto conn = std::make_shared<Conn>(options_.transfer_limits, &transfer_reserved_);
+      conn->fd = fd;
+      conn->id = next_client++;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conn_registry_.push_back(conn);
+      }
+      conns.emplace(fd, std::move(conn));
+      accepted_metric.add();
+    }
+  };
+  const auto close_listeners = [&] {
+    accepting = false;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (tcp_listen_fd_ >= 0) {
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+    }
+  };
 
   for (;;) {
     const bool had_listen = accepting;
+    const bool had_tcp = accepting && tcp_listen_fd_ >= 0;
     std::vector<pollfd> fds;
     fds.push_back({wake_fds_[0], POLLIN, 0});
     if (had_listen) fds.push_back({listen_fd_, POLLIN, 0});
+    if (had_tcp) fds.push_back({tcp_listen_fd_, POLLIN, 0});
     for (const auto& [fd, conn] : conns) fds.push_back({fd, POLLIN, 0});
 
     // The timeout makes drain completion (workers_done_) observable even
@@ -194,11 +290,7 @@ void Daemon::io_loop() {
     if (::poll(fds.data(), fds.size(), 50) < 0 && errno != EINTR) {
       // poll itself failing is unrecoverable for the IO thread; make sure
       // the workers still drain so wait() terminates.
-      if (accepting) {
-        accepting = false;
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-      }
+      if (accepting) close_listeners();
       begin_drain();
       break;
     }
@@ -209,25 +301,16 @@ void Daemon::io_loop() {
       while (::read(wake_fds_[0], sink, sizeof(sink)) > 0) {
       }
       if (accepting) {
-        accepting = false;
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+        close_listeners();
         begin_drain();
       }
     }
     if (had_listen) {
-      if (accepting && (fds[idx].revents & POLLIN)) {
-        for (;;) {
-          const int fd = ::accept(listen_fd_, nullptr, nullptr);
-          if (fd < 0) break;
-          set_timeout(fd, SO_SNDTIMEO, kSendTimeoutSeconds);
-          auto conn = std::make_shared<Conn>();
-          conn->fd = fd;
-          conn->id = next_client++;
-          conns.emplace(fd, std::move(conn));
-          accepted_metric.add();
-        }
-      }
+      if (accepting && (fds[idx].revents & POLLIN)) accept_from(listen_fd_, false);
+      ++idx;
+    }
+    if (had_tcp) {
+      if (accepting && (fds[idx].revents & POLLIN)) accept_from(tcp_listen_fd_, true);
       ++idx;
     }
 
@@ -245,6 +328,7 @@ void Daemon::io_loop() {
         continue;
       }
       try {
+        conn->last_input_ns.store(Conn::monotonic_ns(), std::memory_order_relaxed);
         conn->parser.feed(buf.data(), static_cast<std::size_t>(n));
         while (auto frame = conn->parser.next()) handle_frame(conn, *frame);
       } catch (const Error& e) {
@@ -258,6 +342,15 @@ void Daemon::io_loop() {
     }
     for (const int fd : dead) conns.erase(fd);
 
+    // Reap abandoned transfers from the IO thread: it is the only frame
+    // processor, so a reap can never land mid-parse of a chunk, and
+    // between-iteration quiet time is real socket silence (not the
+    // seconds a multi-megabyte frame spends being decoded).
+    if (reap_timer.seconds() > 0.25) {
+      reap_transfers();
+      reap_timer.reset();
+    }
+
     if (!accepting) {
       std::lock_guard<std::mutex> lock(state_mu_);
       if (workers_done_) break;
@@ -266,7 +359,44 @@ void Daemon::io_loop() {
   conns.clear();  // destructors close the fds workers are no longer using
 }
 
+void Daemon::handle_chunk(const std::shared_ptr<Conn>& conn, const json::Value& frame) {
+  if (queue_.draining()) {
+    // New transfer traffic is refused during drain; transfers referenced
+    // by already-admitted jobs stay claimable (the table is untouched).
+    TransferTable::Ack ack;
+    ack.transfer = frame.get("transfer", std::string("?"));
+    ack.ok = false;
+    ack.reason = "draining";
+    counter("rejected.draining").add();
+    send_json(*conn, make_chunk_ack(ack));
+    return;
+  }
+  const ChunkMessage m = ChunkMessage::parse(frame);  // FormatError → caller
+  const TransferTable::Ack ack = conn->transfers.apply(m);
+  if (ack.completed) {
+    transfers_completed_.fetch_add(1);
+    counter("transfers_completed").add();
+  }
+  if (!ack.ok && ack.send) counter("transfers_failed").add();
+  telemetry::MetricsRegistry::instance()
+      .gauge("foresightd.transfer_reserved_bytes")
+      .set(transfer_reserved_.load());
+  if (ack.send) send_json(*conn, make_chunk_ack(ack));
+}
+
 void Daemon::handle_frame(const std::shared_ptr<Conn>& conn, const json::Value& frame) {
+  if (ChunkMessage::is_chunk(frame)) {
+    try {
+      handle_chunk(conn, frame);
+    } catch (const Error& e) {
+      // The chunk message itself was malformed (bad base64, bad fields).
+      // Framing survived, so answer and keep the connection.
+      counter("bad_requests").add();
+      send_json(*conn, make_error(e.what()));
+    }
+    return;
+  }
+
   JobRequest request;
   try {
     request = JobRequest::parse(frame);
@@ -275,6 +405,13 @@ void Daemon::handle_frame(const std::shared_ptr<Conn>& conn, const json::Value& 
     // connection.
     counter("bad_requests").add();
     send_json(*conn, make_error(e.what()));
+    return;
+  }
+
+  if (request.proto_major != 0 && !proto_major_supported(request.proto_major)) {
+    counter("unsupported_version").add();
+    send_json(*conn,
+              make_version_error(request.id, request.proto_major, request.proto_minor));
     return;
   }
 
@@ -288,6 +425,24 @@ void Daemon::handle_frame(const std::shared_ptr<Conn>& conn, const json::Value& 
   switch (request.type) {
     case RequestType::kPing:
       reply["type"] = "pong";
+      reply["proto"] = proto_version_string();
+      reply["draining"] = queue_.draining();
+      break;
+    case RequestType::kHello:
+      reply["type"] = "hello";
+      reply["proto"] = proto_version_string();
+      reply["max_frame_bytes"] = static_cast<double>(kMaxFrameBytes);
+      reply["chunk_bytes"] = static_cast<double>(options_.stream_chunk_bytes);
+      reply["max_transfer_bytes"] =
+          static_cast<double>(options_.transfer_limits.max_transfer_bytes);
+      reply["transfer_budget_bytes"] =
+          static_cast<double>(options_.transfer_limits.budget_bytes);
+      {
+        json::Array transports;
+        transports.push_back(json::Value(std::string("unix")));
+        if (tcp_port_bound_ >= 0) transports.push_back(json::Value(std::string("tcp")));
+        reply["transports"] = std::move(transports);
+      }
       reply["draining"] = queue_.draining();
       break;
     case RequestType::kMetrics:
@@ -308,6 +463,43 @@ void Daemon::handle_frame(const std::shared_ptr<Conn>& conn, const json::Value& 
 void Daemon::admit_job(const std::shared_ptr<Conn>& conn, JobRequest request) {
   const std::uint64_t request_id = request.id;
   const int priority = request.priority;
+
+  // Transfer-backed inputs must be fully reassembled before admission: a
+  // job never waits in the queue for bytes that may not arrive. The peek
+  // leaves the transfer in place — the worker claims the bytes when it
+  // actually executes, so a queue_full rejection costs nothing re-uploadable.
+  const auto reject = [&](const char* reason) {
+    rejected_.fetch_add(1);
+    counter(std::string("rejected.") + reason).add();
+    send_json(*conn, make_rejection(request_id, reason));
+  };
+  std::string transfer_ref = request.payload_transfer;
+  std::uint64_t expected_bytes = 0;
+  if (request.type != RequestType::kDecompress && request.dataset.is_object() &&
+      request.dataset.get("type", std::string()) == "inline") {
+    transfer_ref = request.dataset.get("transfer", std::string());
+    try {
+      require_format(!transfer_ref.empty() && transfer_ref.size() <= kMaxTransferIdChars,
+                     "protocol: inline dataset missing transfer id");
+      expected_bytes = inline_dims(request.dataset).count() * sizeof(float);
+    } catch (const Error& e) {
+      counter("bad_requests").add();
+      send_json(*conn, make_error(e.what()));
+      return;
+    }
+  }
+  if (!transfer_ref.empty()) {
+    const auto size = conn->transfers.complete_size(transfer_ref);
+    if (!size) {
+      reject(conn->transfers.contains(transfer_ref) ? "transfer_incomplete"
+                                                    : "transfer_missing");
+      return;
+    }
+    if (expected_bytes != 0 && *size != expected_bytes) {
+      reject("transfer_size_mismatch");
+      return;
+    }
+  }
 
   Job job;
   job.request = std::move(request);
@@ -359,6 +551,35 @@ void Daemon::begin_drain() {
 void Daemon::cancel_inflight() {
   std::lock_guard<std::mutex> lock(inflight_mu_);
   for (auto& [seq, token] : inflight_) token.cancel();
+}
+
+void Daemon::reap_transfers() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::size_t reaped = 0;
+  const std::int64_t idle_ns =
+      static_cast<std::int64_t>(options_.transfer_idle_seconds * 1e9);
+  auto it = conn_registry_.begin();
+  while (it != conn_registry_.end()) {
+    if (const std::shared_ptr<Conn> conn = it->lock()) {
+      // Only connections with no recent input can hold abandoned
+      // transfers; anything still sending is mid-chunk, not idle.
+      const std::int64_t quiet =
+          Conn::monotonic_ns() - conn->last_input_ns.load(std::memory_order_relaxed);
+      if (quiet > idle_ns) {
+        reaped += conn->transfers.reap_idle(options_.transfer_idle_seconds);
+      }
+      ++it;
+    } else {
+      it = conn_registry_.erase(it);  // connection gone; its table died with it
+    }
+  }
+  if (reaped > 0) {
+    transfers_reaped_.fetch_add(reaped);
+    counter("transfers_reaped").add(reaped);
+  }
+  telemetry::MetricsRegistry::instance()
+      .gauge("foresightd.transfer_reserved_bytes")
+      .set(transfer_reserved_.load());
 }
 
 void Daemon::watchdog_loop() {
@@ -466,18 +687,9 @@ void Daemon::execute_job(Job& job, foresight::SessionCache& cache) {
 // ---------------------------------------------------------------------------
 
 std::shared_ptr<const io::Container> Daemon::dataset_for(const json::Value& spec) {
-  const std::string key = spec.dump();
-  {
-    std::lock_guard<std::mutex> lock(datasets_mu_);
-    const auto it = datasets_.find(key);
-    if (it != datasets_.end()) return it->second;
-  }
-  // Built outside the lock (generation can be slow); a racing duplicate
-  // build is wasted work, not a correctness problem.
-  auto built = std::make_shared<const io::Container>(foresight::build_dataset(spec));
-  std::lock_guard<std::mutex> lock(datasets_mu_);
-  if (datasets_.size() >= 8) datasets_.clear();  // crude bound, datasets are big
-  return datasets_.emplace(key, std::move(built)).first->second;
+  return dataset_cache_.get_or_build(spec.dump(), [&spec] {
+    return std::make_shared<const io::Container>(foresight::build_dataset(spec));
+  });
 }
 
 namespace {
@@ -527,6 +739,44 @@ json::Object run_roundtrip(const Field& field, foresight::CodecSession& session,
 
 }  // namespace
 
+void Daemon::stream_payload(Job& job, const std::vector<std::uint8_t>& bytes,
+                            json::Object& reply) {
+  const std::string id = "srv-" + std::to_string(job.seq);
+  const std::size_t chunk_bytes =
+      options_.stream_chunk_bytes >= 1 ? options_.stream_chunk_bytes : kDefaultChunkBytes;
+
+  ChunkMessage begin;
+  begin.type = ChunkType::kBegin;
+  begin.transfer = id;
+  begin.total_bytes = bytes.size();
+  bool alive = send_json(*job.conn, begin.to_json());
+  for (std::size_t offset = 0, seq = 0; alive && offset < bytes.size();
+       offset += chunk_bytes, ++seq) {
+    const std::size_t len = std::min(chunk_bytes, bytes.size() - offset);
+    ChunkMessage chunk;
+    chunk.type = ChunkType::kData;
+    chunk.transfer = id;
+    chunk.seq = seq;
+    chunk.crc32 = crc32(bytes.data() + offset, len);
+    chunk.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                         bytes.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    alive = send_json(*job.conn, chunk.to_json());
+  }
+  if (alive) {
+    ChunkMessage end;
+    end.type = ChunkType::kEnd;
+    end.transfer = id;
+    end.crc32 = bytes_crc(bytes);
+    end.has_crc32 = true;
+    send_json(*job.conn, end.to_json());
+  }
+  // A send failure marked the conn closed; the result frame below will be
+  // dropped the same way, preserving one *attempted* answer per request.
+  reply["payload_transfer"] = id;
+  reply["payload_crc32"] = static_cast<double>(bytes_crc(bytes));
+  counter("responses_streamed").add();
+}
+
 void Daemon::run_job(Job& job, foresight::SessionCache& cache, json::Object& reply) {
   const JobRequest& r = job.request;
   foresight::Compressor& compressor = cache.compressor(r.codec);
@@ -535,9 +785,21 @@ void Daemon::run_job(Job& job, foresight::SessionCache& cache, json::Object& rep
     serial = std::unique_lock<std::mutex>(serial_mu_);
   }
 
+  // Transfer-backed inputs were verified complete at admission; the bytes
+  // can still be gone here if the watchdog reaped them while the job sat
+  // in the queue — that is a plain job failure ("failed"), never a hang.
+  const auto claim = [&](const std::string& id) {
+    std::vector<std::uint8_t> bytes;
+    if (job.conn->transfers.claim(id, bytes) != TransferTable::ClaimStatus::kOk) {
+      throw IoError("foresightd: transfer '" + id + "' expired before execution");
+    }
+    return bytes;
+  };
+
   if (r.type == RequestType::kDecompress) {
     foresight::CompressResult c;
-    c.bytes = base64_decode(r.payload_b64);
+    c.bytes = r.payload_transfer.empty() ? base64_decode(r.payload_b64)
+                                         : claim(r.payload_transfer);
     job.token.check("decompress");
     foresight::DecompressResult d = cache.session(r.codec).decompress(c);
     reply["values"] = d.values.size();
@@ -546,26 +808,52 @@ void Daemon::run_job(Job& job, foresight::SessionCache& cache, json::Object& rep
     return;
   }
 
-  const std::shared_ptr<const io::Container> dataset = dataset_for(r.dataset);
-  const Field& field = dataset->find(r.field).field;
+  // Inline datasets are connection-local uploaded bytes: build the Field
+  // here (transfers are single-use) and skip the dataset cache.
+  Field inline_field;
+  std::shared_ptr<const io::Container> dataset;
+  const Field* field = nullptr;
+  if (r.dataset.get("type", std::string()) == "inline") {
+    const Dims dims = inline_dims(r.dataset);
+    const std::size_t count = checked_stream_count(dims, "inline dataset");
+    const std::vector<std::uint8_t> bytes =
+        claim(r.dataset.get("transfer", std::string()));
+    require_format(bytes.size() == count * sizeof(float),
+                   "foresightd: inline dataset size mismatch");
+    std::vector<float> values(count);
+    std::memcpy(values.data(), bytes.data(), bytes.size());
+    inline_field = Field(r.field, dims, std::move(values));
+    field = &inline_field;
+  } else {
+    dataset = dataset_for(r.dataset);
+    field = &dataset->find(r.field).field;
+  }
 
   if (r.type == RequestType::kCompress) {
     job.token.check("compress");
     foresight::CompressResult c =
-        cache.session(r.codec).compress(field, {r.mode, r.value});
+        cache.session(r.codec).compress(*field, {r.mode, r.value});
     reply["compressed_bytes"] = c.bytes.size();
-    reply["original_bytes"] = field.bytes();
-    reply["ratio"] = analysis::compression_ratio(field.bytes(), c.bytes.size());
+    reply["original_bytes"] = field->bytes();
+    reply["ratio"] = analysis::compression_ratio(field->bytes(), c.bytes.size());
     reply["crc32"] = static_cast<double>(bytes_crc(c.bytes));
     reply["compress_seconds"] = c.seconds();
     if (r.return_bytes) {
-      std::string payload = base64_encode(c.bytes);
-      // The response must still fit one frame; oversized streams are
-      // reported by checksum only.
-      if (payload.size() + 1024 < kMaxFrameBytes) {
-        reply["payload"] = std::move(payload);
+      // Base64 expands 3→4; the encoded payload plus JSON overhead must
+      // still fit one frame to be inlined.
+      const std::size_t encoded = (c.bytes.size() + 2) / 3 * 4;
+      const bool fits = encoded + 1024 < kMaxFrameBytes;
+      const bool over_threshold = options_.response_stream_threshold > 0 &&
+                                  c.bytes.size() > options_.response_stream_threshold;
+      if (r.proto_major >= 2 && (!fits || over_threshold)) {
+        // v2 clients get oversized payloads as a server→client stream.
+        stream_payload(job, c.bytes, reply);
+        reply["original_values"] = c.original_values;
+      } else if (fits) {
+        reply["payload"] = base64_encode(c.bytes);
         reply["original_values"] = c.original_values;
       } else {
+        // v1 clients: oversized streams are reported by checksum only.
         reply["payload_omitted"] = true;
       }
     }
@@ -574,7 +862,7 @@ void Daemon::run_job(Job& job, foresight::SessionCache& cache, json::Object& rep
 
   if (r.type == RequestType::kRoundtrip) {
     json::Object row =
-        run_roundtrip(field, cache.session(r.codec), {r.mode, r.value}, job.token);
+        run_roundtrip(*field, cache.session(r.codec), {r.mode, r.value}, job.token);
     for (auto& [k, v] : row) reply[k] = std::move(v);
     return;
   }
@@ -591,7 +879,7 @@ void Daemon::run_job(Job& job, foresight::SessionCache& cache, json::Object& rep
     row["value"] = value;
     try {
       json::Object metrics =
-          run_roundtrip(field, cache.session(r.codec), {mode, value}, job.token);
+          run_roundtrip(*field, cache.session(r.codec), {mode, value}, job.token);
       for (auto& [k, v] : metrics) row[k] = std::move(v);
       row["row_status"] = kStatusOk;
     } catch (const CancelledError&) {

@@ -1,11 +1,13 @@
 /// \file daemon.hpp
 /// \brief foresightd: a fault-contained compression service daemon.
 ///
-/// One Daemon instance is one service: a Unix-domain stream socket speaking
-/// the length-prefixed JSON protocol (protocol.hpp), an IO thread that
-/// accepts connections and admits jobs, and a pool of worker threads each
-/// owning its own GpuSimulator + SessionCache (sessions are not
-/// thread-safe, so isolation is per-worker by construction).
+/// One Daemon instance is one service: a Unix-domain stream socket (and,
+/// when enabled, a TCP listener — both feed the same FrameParser, poll
+/// loop, admission and worker pipeline) speaking the length-prefixed JSON
+/// protocol (protocol.hpp), an IO thread that accepts connections,
+/// reassembles chunked transfers and admits jobs, and a pool of worker
+/// threads each owning its own GpuSimulator + SessionCache (sessions are
+/// not thread-safe, so isolation is per-worker by construction).
 ///
 /// The robustness contracts, in the order they matter:
 ///
@@ -32,6 +34,17 @@
 ///    decompress, before responding — and report "deadline" / "cancelled"
 ///    as statuses distinct from "failed".
 ///
+///  - Bounded transfer reassembly. Each connection owns a TransferTable
+///    whose budget counts declared bytes at chunk_begin time — an
+///    over-budget transfer is refused before any buffering. A job that
+///    references a transfer is admitted only once that transfer is
+///    complete; abandoned transfers are reaped on the IO thread after
+///    options().transfer_idle_seconds of silence; a disconnect frees the
+///    connection's whole table with it (the reserved-bytes gauge returns
+///    to zero). During drain, chunk messages are answered with a
+///    "draining" rejection, but transfers referenced by already-admitted
+///    jobs stay claimable so those jobs still complete.
+///
 ///  - Graceful drain. request_shutdown() (or one byte written to
 ///    signal_fd() from a signal handler) stops accepting connections,
 ///    closes the queue (new jobs → "draining" rejections), lets workers
@@ -56,6 +69,7 @@
 #include "common/cancel.hpp"
 #include "common/fault.hpp"
 #include "common/timer.hpp"
+#include "foresightd/dataset_cache.hpp"
 #include "foresightd/protocol.hpp"
 #include "io/container.hpp"
 #include "json/json.hpp"
@@ -68,12 +82,25 @@ namespace cosmo::foresightd {
 
 struct DaemonOptions {
   std::string socket_path;           ///< AF_UNIX path (required; unlinked on exit)
+  int tcp_port = -1;                 ///< TCP listener port (-1 = disabled, 0 = ephemeral)
+  std::string tcp_host = "127.0.0.1";  ///< TCP bind address
   std::size_t workers = 2;           ///< job worker threads
   std::size_t queue_capacity = 64;   ///< admission queue capacity
   std::size_t per_client_quota = 0;  ///< max outstanding jobs per connection (0 = unlimited)
   int priorities = 3;                ///< priority lanes (request priority clamps into range)
   double default_deadline_seconds = 0;  ///< applied when a job carries none (0 = none)
   double drain_budget_seconds = 5.0;    ///< shutdown: grace before in-flight jobs are cancelled
+  TransferLimits transfer_limits;       ///< per-connection chunk reassembly bounds
+  /// Watchdog reaps a transfer once BOTH it and its connection have seen no
+  /// progress/input for this long (input-idle too, so a slow many-second
+  /// chunk still in flight never counts as abandoned).
+  double transfer_idle_seconds = 30.0;
+  std::size_t stream_chunk_bytes = kDefaultChunkBytes;  ///< server→client stream slice
+  /// Compress results whose payload exceeds this are streamed in chunks to
+  /// proto≥2 clients instead of inlined (0 = only when the frame cap
+  /// forces it). Tests lower it to force streaming on small payloads.
+  std::uint64_t response_stream_threshold = 0;
+  std::uint64_t dataset_cache_bytes = 256ull << 20;  ///< LRU dataset cache budget
   std::string gpu = "Tesla V100";       ///< device spec backing the simulated-GPU codecs
   std::optional<fault::Config> faults;  ///< installed process-wide for the daemon's lifetime
   std::string metrics_out;              ///< metrics JSON flushed here at shutdown ("" = none)
@@ -109,6 +136,10 @@ class Daemon {
   /// only async-signal-safe way to stop the daemon). Valid after start().
   [[nodiscard]] int signal_fd() const { return wake_fds_[1]; }
 
+  /// The TCP port actually bound (resolves an ephemeral tcp_port = 0), or
+  /// -1 when the TCP listener is disabled. Valid after start().
+  [[nodiscard]] int bound_tcp_port() const { return tcp_port_bound_; }
+
   [[nodiscard]] const DaemonOptions& options() const { return options_; }
 
   /// Aggregate service counters (also exported through MetricsRegistry;
@@ -123,6 +154,10 @@ class Daemon {
     std::uint64_t deadline = 0;
     std::uint64_t protocol_errors = 0;
     std::size_t queue_high_water = 0;
+    std::uint64_t transfers_completed = 0;
+    std::uint64_t transfers_reaped = 0;     ///< watchdog-dropped idle transfers
+    std::int64_t transfer_reserved_bytes = 0;  ///< currently buffered across conns
+    DatasetCache::Stats dataset_cache;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -142,10 +177,14 @@ class Daemon {
   void watchdog_loop();
   void begin_drain();
   void cancel_inflight();
+  void reap_transfers();
   void handle_frame(const std::shared_ptr<Conn>& conn, const json::Value& frame);
+  void handle_chunk(const std::shared_ptr<Conn>& conn, const json::Value& frame);
   void admit_job(const std::shared_ptr<Conn>& conn, JobRequest request);
   void execute_job(Job& job, foresight::SessionCache& cache);
   void run_job(Job& job, foresight::SessionCache& cache, json::Object& reply);
+  void stream_payload(Job& job, const std::vector<std::uint8_t>& bytes,
+                      json::Object& reply);
   std::shared_ptr<const io::Container> dataset_for(const json::Value& spec);
   static bool send_json(Conn& conn, const json::Value& v);
 
@@ -154,6 +193,8 @@ class Daemon {
   std::optional<fault::Scope> fault_scope_;
 
   int listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  int tcp_port_bound_ = -1;
   int wake_fds_[2] = {-1, -1};
   bool started_ = false;
   bool finished_ = false;
@@ -173,8 +214,12 @@ class Daemon {
   std::map<std::uint64_t, CancelToken> inflight_;
   std::uint64_t next_job_seq_ = 1;  // IO thread only
 
-  std::mutex datasets_mu_;
-  std::map<std::string, std::shared_ptr<const io::Container>> datasets_;
+  /// Live connections, for the watchdog's idle-transfer reaping pass.
+  /// weak_ptrs: the IO thread (and workers) own lifetime, not the reaper.
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Conn>> conn_registry_;
+
+  DatasetCache dataset_cache_;
 
   /// Serializes jobs whose codec sessions cannot run concurrently
   /// (simulated-GPU timing streams, zfp-omp's global pool); their streams
@@ -188,6 +233,12 @@ class Daemon {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> deadline_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> transfers_completed_{0};
+  std::atomic<std::uint64_t> transfers_reaped_{0};
+  /// Sum of every connection's reserved transfer bytes (each Conn's
+  /// TransferTable points its gauge here); drops to zero when abandoned
+  /// buffers are reaped or a disconnect tears the table down.
+  std::atomic<std::int64_t> transfer_reserved_{0};
 };
 
 }  // namespace cosmo::foresightd

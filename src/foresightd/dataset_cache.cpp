@@ -1,0 +1,72 @@
+#include "foresightd/dataset_cache.hpp"
+
+#include "common/telemetry.hpp"
+
+namespace cosmo::foresightd {
+
+namespace {
+
+telemetry::Counter& cache_counter(const char* suffix) {
+  return telemetry::MetricsRegistry::instance().counter(
+      std::string("foresightd.dataset_cache.") + suffix);
+}
+
+}  // namespace
+
+DatasetCache::DatasetCache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+void DatasetCache::evict_until_fits_locked(std::uint64_t incoming_bytes) {
+  while (!lru_.empty() && resident_ + incoming_bytes > capacity_) {
+    const std::string& victim = lru_.back();
+    const auto it = entries_.find(victim);
+    resident_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+    cache_counter("evictions").add();
+  }
+}
+
+DatasetCache::Value DatasetCache::get_or_build(const std::string& key,
+                                               const Builder& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++hits_;
+      cache_counter("hits").add();
+      return it->second.value;
+    }
+    ++misses_;
+    cache_counter("misses").add();
+  }
+
+  Value built = build();
+  const auto bytes = static_cast<std::uint64_t>(built->payload_bytes());
+  if (bytes > capacity_) return built;  // would evict everything and still not fit
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(key) != 0) return built;  // a racing build won; keep its entry
+  evict_until_fits_locked(bytes);
+  lru_.push_front(key);
+  Entry& e = entries_[key];
+  e.value = built;
+  e.bytes = bytes;
+  e.lru_it = lru_.begin();
+  resident_ += bytes;
+  return built;
+}
+
+DatasetCache::Stats DatasetCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace cosmo::foresightd

@@ -1,0 +1,70 @@
+/// \file dataset_cache.hpp
+/// \brief Byte-budgeted LRU cache of built dataset containers.
+///
+/// Replaces the daemon's original clear-at-8-entries map: eviction is now
+/// keyed by resident payload bytes, oldest-use first, so one 512³ field
+/// (512 MiB) does not evict seven cheap 64³ test grids — and seven cheap
+/// grids do not pin a budget's worth of large fields.
+///
+/// get_or_build() runs the builder *outside* the lock (dataset generation
+/// can take seconds); a racing duplicate build is wasted work, never a
+/// correctness problem, and the second insert is dropped in favor of the
+/// first. Entries larger than the whole budget are returned uncached.
+///
+/// Hit/miss/eviction totals are mirrored to MetricsRegistry as
+/// `foresightd.dataset_cache.{hits,misses,evictions}`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "io/container.hpp"
+
+namespace cosmo::foresightd {
+
+class DatasetCache {
+ public:
+  using Value = std::shared_ptr<const io::Container>;
+  using Builder = std::function<Value()>;
+
+  /// \p capacity_bytes bounds the summed payload_bytes() of cached entries.
+  explicit DatasetCache(std::uint64_t capacity_bytes);
+
+  /// Returns the cached container for \p key, building (and caching) it on
+  /// a miss. The builder runs without the cache lock held.
+  Value get_or_build(const std::string& key, const Builder& build);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t resident_bytes = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    Value value;
+    std::uint64_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void evict_until_fits_locked(std::uint64_t incoming_bytes);
+
+  mutable std::mutex mu_;
+  std::uint64_t capacity_;
+  std::uint64_t resident_ = 0;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace cosmo::foresightd

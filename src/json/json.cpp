@@ -280,12 +280,17 @@ class Parser {
     std::string out;
     for (;;) {
       require_format(pos_ < s_.size(), err("unterminated string"));
+      // Bulk-copy the run up to the next quote or backslash: multi-megabyte
+      // payload strings (base64 chunks) would otherwise be appended a byte
+      // at a time.
+      const std::size_t run_end = s_.find_first_of("\"\\", pos_);
+      require_format(run_end != std::string::npos, err("unterminated string"));
+      if (run_end > pos_) {
+        out.append(s_, pos_, run_end - pos_);
+        pos_ = run_end;
+      }
       const char c = s_[pos_++];
       if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
       require_format(pos_ < s_.size(), err("unterminated escape"));
       const char esc = s_[pos_++];
       switch (esc) {

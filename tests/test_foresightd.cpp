@@ -12,8 +12,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,8 +26,10 @@
 #include "common/error.hpp"
 #include "foresight/pipeline.hpp"
 #include "foresight/session_cache.hpp"
+#include "foresightd/api.hpp"
 #include "foresightd/client.hpp"
 #include "foresightd/daemon.hpp"
+#include "foresightd/dataset_cache.hpp"
 #include "foresightd/protocol.hpp"
 #include "io/crc32.hpp"
 #include "json/json.hpp"
@@ -35,14 +39,25 @@ namespace {
 
 using foresightd::base64_decode;
 using foresightd::base64_encode;
+using foresightd::ChunkMessage;
+using foresightd::ChunkType;
 using foresightd::Client;
+using foresightd::CompressRequest;
 using foresightd::Daemon;
 using foresightd::DaemonOptions;
+using foresightd::DatasetCache;
 using foresightd::encode_frame;
 using foresightd::FrameParser;
+using foresightd::HelloReply;
+using foresightd::inline_dataset;
+using foresightd::JobReply;
 using foresightd::JobRequest;
 using foresightd::kMaxFrameBytes;
+using foresightd::kProtoMajor;
+using foresightd::ReplyKind;
 using foresightd::RequestType;
+using foresightd::TransferLimits;
+using foresightd::TransferTable;
 
 // ---------------------------------------------------------------------------
 // ForesightdBackoff
@@ -388,9 +403,12 @@ TEST(ForesightdProtocol, SweepConfigsRoundTrip) {
 // ---------------------------------------------------------------------------
 
 TEST(ForesightdBase64, RoundTripsAllSmallLengths) {
+  std::uint8_t raw[10];
+  for (std::size_t i = 0; i < sizeof(raw); ++i) {
+    raw[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
   for (std::size_t n = 0; n <= 9; ++n) {
-    std::vector<std::uint8_t> data(n);
-    for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    const std::vector<std::uint8_t> data(raw, raw + n);
     const std::string text = base64_encode(data);
     EXPECT_EQ(text.size() % 4, 0u);
     EXPECT_EQ(base64_decode(text), data);
@@ -410,6 +428,343 @@ TEST(ForesightdBase64, RejectsMalformedInput) {
   EXPECT_THROW(base64_decode("=AAA"), FormatError);      // padding up front
   EXPECT_THROW(base64_decode("AA=A"), FormatError);      // padding mid-quartet
   EXPECT_THROW(base64_decode("AB==CD=="), FormatError);  // padding not terminal
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdTransfer (chunk reassembly state machine)
+// ---------------------------------------------------------------------------
+
+ChunkMessage chunk_begin(const std::string& id, std::uint64_t total) {
+  ChunkMessage m;
+  m.type = ChunkType::kBegin;
+  m.transfer = id;
+  m.total_bytes = total;
+  return m;
+}
+
+ChunkMessage chunk_data(const std::string& id, std::uint64_t seq,
+                        std::vector<std::uint8_t> bytes) {
+  ChunkMessage m;
+  m.type = ChunkType::kData;
+  m.transfer = id;
+  m.seq = seq;
+  m.crc32 = crc32(bytes.data(), bytes.size());
+  m.payload = std::move(bytes);
+  return m;
+}
+
+ChunkMessage chunk_end(const std::string& id, const std::vector<std::uint8_t>& whole) {
+  ChunkMessage m;
+  m.type = ChunkType::kEnd;
+  m.transfer = id;
+  m.crc32 = crc32(whole.data(), whole.size());
+  m.has_crc32 = true;
+  return m;
+}
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n) {
+  std::vector<std::uint8_t> data(n);
+  std::size_t i = 0;
+  for (std::uint8_t& byte : data) byte = static_cast<std::uint8_t>((i++ * 131) >> 3);
+  return data;
+}
+
+TEST(ForesightdTransfer, BeginDataEndClaimRoundTrip) {
+  TransferTable table{TransferLimits{}};
+  const std::vector<std::uint8_t> data = pattern_bytes(300000);
+
+  const auto begin = table.apply(chunk_begin("t", data.size()));
+  EXPECT_TRUE(begin.ok);
+  EXPECT_TRUE(begin.send);  // begin is always acked
+  EXPECT_FALSE(begin.completed);
+  EXPECT_EQ(table.reserved_bytes(), data.size());
+
+  const std::vector<std::uint8_t> first(data.begin(), data.begin() + 200000);
+  const std::vector<std::uint8_t> rest(data.begin() + 200000, data.end());
+  const auto d0 = table.apply(chunk_data("t", 0, first));
+  EXPECT_TRUE(d0.ok);
+  EXPECT_FALSE(d0.send);  // accepted data chunks are silent
+  EXPECT_TRUE(table.apply(chunk_data("t", 1, rest)).ok);
+
+  const auto end = table.apply(chunk_end("t", data));
+  EXPECT_TRUE(end.ok);
+  EXPECT_TRUE(end.completed);
+  EXPECT_EQ(end.received_bytes, data.size());
+  EXPECT_EQ(end.crc32, crc32(data.data(), data.size()));
+  EXPECT_TRUE(table.complete("t"));
+  EXPECT_EQ(table.complete_size("t").value_or(0), data.size());
+
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(table.claim("t", out), TransferTable::ClaimStatus::kOk);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(table.reserved_bytes(), 0u);  // claim frees the budget
+  EXPECT_EQ(table.claim("t", out), TransferTable::ClaimStatus::kMissing);
+}
+
+TEST(ForesightdTransfer, BudgetsRefuseAtBeginTimeBeforeBuffering) {
+  TransferLimits limits;
+  limits.max_transfer_bytes = 1000;
+  limits.budget_bytes = 1500;
+  limits.max_transfers = 2;
+  std::atomic<std::int64_t> gauge{0};
+  TransferTable table{limits, &gauge};
+
+  const auto too_large = table.apply(chunk_begin("big", 1001));
+  EXPECT_FALSE(too_large.ok);
+  EXPECT_STREQ(too_large.reason, "transfer_too_large");
+  EXPECT_EQ(gauge.load(), 0);
+
+  EXPECT_TRUE(table.apply(chunk_begin("a", 900)).ok);
+  EXPECT_EQ(gauge.load(), 900);
+
+  const auto over_budget = table.apply(chunk_begin("b", 700));
+  EXPECT_FALSE(over_budget.ok);
+  EXPECT_STREQ(over_budget.reason, "transfer_budget_exceeded");
+
+  EXPECT_TRUE(table.apply(chunk_begin("c", 400)).ok);
+  EXPECT_EQ(gauge.load(), 1300);
+  const auto too_many = table.apply(chunk_begin("d", 100));
+  EXPECT_FALSE(too_many.ok);
+  EXPECT_STREQ(too_many.reason, "too_many_transfers");
+
+  table.clear();
+  EXPECT_EQ(gauge.load(), 0);  // teardown returns every reservation
+}
+
+TEST(ForesightdTransfer, FailureKillsTransferAndSilencesFollowingData) {
+  TransferTable table{TransferLimits{}};
+  const std::vector<std::uint8_t> data = pattern_bytes(64);
+  EXPECT_TRUE(table.apply(chunk_begin("t", data.size())).ok);
+
+  ChunkMessage corrupt = chunk_data("t", 0, data);
+  corrupt.crc32 ^= 1;
+  const auto failed = table.apply(corrupt);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_STREQ(failed.reason, "crc_mismatch");
+  EXPECT_TRUE(failed.send);  // first failure is reported once
+  EXPECT_EQ(table.reserved_bytes(), 0u);
+
+  // Later chunks of the half-sent stream cannot generate an ack storm...
+  const auto late = table.apply(chunk_data("t", 1, data));
+  EXPECT_FALSE(late.ok);
+  EXPECT_FALSE(late.send);
+  // ...but the end is answered: the uploader blocks waiting for its verdict.
+  const auto end = table.apply(chunk_end("t", data));
+  EXPECT_FALSE(end.ok);
+  EXPECT_TRUE(end.send);
+  EXPECT_STREQ(end.reason, "unknown_transfer");
+
+  // A fresh begin revives the id.
+  EXPECT_TRUE(table.apply(chunk_begin("t", data.size())).ok);
+  EXPECT_TRUE(table.apply(chunk_data("t", 0, data)).ok);
+  EXPECT_TRUE(table.apply(chunk_end("t", data)).completed);
+}
+
+TEST(ForesightdTransfer, SequenceAndSizeViolationsNameTheirReason) {
+  TransferTable table{TransferLimits{}};
+  const std::vector<std::uint8_t> data = pattern_bytes(10);
+
+  EXPECT_STREQ(table.apply(chunk_data("ghost", 0, data)).reason, "unknown_transfer");
+
+  EXPECT_TRUE(table.apply(chunk_begin("s", 10)).ok);
+  EXPECT_STREQ(table.apply(chunk_data("s", 1, data)).reason, "bad_sequence");
+
+  EXPECT_TRUE(table.apply(chunk_begin("o", 10)).ok);
+  EXPECT_STREQ(table.apply(chunk_data("o", 0, pattern_bytes(20))).reason,
+               "size_overflow");
+
+  EXPECT_TRUE(table.apply(chunk_begin("m", 20)).ok);
+  EXPECT_TRUE(table.apply(chunk_data("m", 0, data)).ok);
+  EXPECT_STREQ(table.apply(chunk_end("m", data)).reason, "size_mismatch");
+
+  EXPECT_TRUE(table.apply(chunk_begin("w", 10)).ok);
+  EXPECT_TRUE(table.apply(chunk_data("w", 0, data)).ok);
+  ChunkMessage bad_end = chunk_end("w", data);
+  bad_end.crc32 ^= 1;
+  EXPECT_STREQ(table.apply(bad_end).reason, "crc_mismatch");
+
+  EXPECT_TRUE(table.apply(chunk_begin("dup", 10)).ok);
+  EXPECT_STREQ(table.apply(chunk_begin("dup", 10)).reason, "duplicate_begin");
+}
+
+TEST(ForesightdTransfer, ReapIdleDropsOnlyIdleTransfers) {
+  std::atomic<std::int64_t> gauge{0};
+  TransferTable table{TransferLimits{}, &gauge};
+  EXPECT_TRUE(table.apply(chunk_begin("t", 1 << 20)).ok);
+  EXPECT_EQ(table.reap_idle(3600.0), 0u);  // fresh: not idle yet
+  EXPECT_EQ(table.reap_idle(0.0), 1u);
+  EXPECT_EQ(table.reserved_bytes(), 0u);
+  EXPECT_EQ(gauge.load(), 0);
+  // The reaped id is dead: more data is silenced, the end is answered.
+  EXPECT_FALSE(table.apply(chunk_data("t", 0, pattern_bytes(8))).send);
+  EXPECT_STREQ(table.apply(chunk_end("t", pattern_bytes(8))).reason,
+               "unknown_transfer");
+}
+
+TEST(ForesightdTransfer, ClaimIncompleteAndDepositUndo) {
+  TransferTable table{TransferLimits{}};
+  const std::vector<std::uint8_t> data = pattern_bytes(100);
+  EXPECT_TRUE(table.apply(chunk_begin("t", data.size())).ok);
+  EXPECT_TRUE(table.apply(chunk_data("t", 0, data)).ok);
+
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(table.claim("t", out), TransferTable::ClaimStatus::kIncomplete);
+  EXPECT_FALSE(table.complete("t"));
+  EXPECT_EQ(table.complete_size("t"), std::nullopt);
+
+  // deposit() re-inserts claimed bytes (the undo when admission refuses the
+  // job that claimed them).
+  table.deposit("back", data);
+  EXPECT_TRUE(table.complete("back"));
+  EXPECT_EQ(table.claim("back", out), TransferTable::ClaimStatus::kOk);
+  EXPECT_EQ(out, data);
+
+  // Abort is idempotent and frees the open transfer.
+  ChunkMessage abort;
+  abort.type = ChunkType::kAbort;
+  abort.transfer = "t";
+  EXPECT_TRUE(table.apply(abort).ok);
+  EXPECT_EQ(table.reserved_bytes(), 0u);
+  EXPECT_TRUE(table.apply(abort).ok);
+}
+
+TEST(ForesightdTransfer, ChunkMessageJsonRoundTrip) {
+  const std::vector<std::uint8_t> data = pattern_bytes(33);
+  const ChunkMessage sent = chunk_data("xfer-7", 3, data);
+  const json::Value wire = sent.to_json();
+  ASSERT_TRUE(ChunkMessage::is_chunk(wire));
+  EXPECT_FALSE(ChunkMessage::is_chunk(sample_request_json()));
+  const ChunkMessage parsed = ChunkMessage::parse(wire);
+  EXPECT_EQ(parsed.transfer, "xfer-7");
+  EXPECT_EQ(parsed.seq, 3u);
+  EXPECT_EQ(parsed.crc32, sent.crc32);
+  EXPECT_EQ(parsed.payload, data);
+
+  // A begin declaring zero bytes is malformed, not merely refused.
+  EXPECT_THROW(ChunkMessage::parse(chunk_begin("t", 0).to_json()), FormatError);
+  EXPECT_THROW(ChunkMessage::parse(chunk_begin(std::string(65, 'x'), 8).to_json()),
+               FormatError);
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdProtocolV2 (version negotiation)
+// ---------------------------------------------------------------------------
+
+TEST(ForesightdProtocolV2, ParseProtoAcceptsMajorDotMinor) {
+  EXPECT_EQ(foresightd::parse_proto("2"), (std::pair<int, int>{2, 0}));
+  EXPECT_EQ(foresightd::parse_proto("2.0"), (std::pair<int, int>{2, 0}));
+  EXPECT_EQ(foresightd::parse_proto("1.7"), (std::pair<int, int>{1, 7}));
+  EXPECT_THROW(foresightd::parse_proto(""), FormatError);
+  EXPECT_THROW(foresightd::parse_proto("two"), FormatError);
+  EXPECT_THROW(foresightd::parse_proto("2.x"), FormatError);
+  EXPECT_THROW(foresightd::parse_proto("-1"), FormatError);
+}
+
+TEST(ForesightdProtocolV2, DaemonSpeaksV2AndServesV1) {
+  EXPECT_EQ(foresightd::proto_version_string(),
+            std::to_string(kProtoMajor) + "." + std::to_string(foresightd::kProtoMinor));
+  EXPECT_TRUE(foresightd::proto_major_supported(1));
+  EXPECT_TRUE(foresightd::proto_major_supported(kProtoMajor));
+  EXPECT_FALSE(foresightd::proto_major_supported(kProtoMajor + 1));
+}
+
+TEST(ForesightdProtocolV2, VersionErrorIsStructured) {
+  const json::Value v = foresightd::make_version_error(7, 3, 1);
+  EXPECT_EQ(v.get("type", std::string()), "error");
+  EXPECT_EQ(v.get("error_code", std::string()), "unsupported_version");
+  EXPECT_EQ(static_cast<std::uint64_t>(v.get("id", 0.0)), 7u);
+  // Carries the daemon's own version so the client can downgrade.
+  EXPECT_EQ(v.get("proto", std::string()), foresightd::proto_version_string());
+
+  JobReply reply = JobReply::parse(v);
+  EXPECT_EQ(reply.kind, ReplyKind::kError);
+  EXPECT_EQ(reply.error_code, "unsupported_version");
+}
+
+TEST(ForesightdProtocolV2, TypedRequestsCarryCurrentProto) {
+  CompressRequest compress;
+  compress.codec = "sz-cpu";
+  compress.mode = "abs";
+  compress.value = 0.1;
+  compress.dataset = foresightd::nyx_dataset(16);
+  compress.field = "baryon_density";
+  const JobRequest request = compress.to_request(42);
+  EXPECT_EQ(request.proto_major, kProtoMajor);
+  const JobRequest reparsed = JobRequest::parse(request.to_json());
+  EXPECT_EQ(reparsed.proto_major, kProtoMajor);
+  EXPECT_EQ(reparsed.id, 42u);
+  // Absent proto parses as major 0: the daemon's v1-compatible path.
+  EXPECT_EQ(JobRequest::parse(sample_request_json()).proto_major, 0);
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdDatasetCache (byte-budgeted LRU)
+// ---------------------------------------------------------------------------
+
+DatasetCache::Value build_nyx_container(std::size_t dim) {
+  return std::make_shared<const io::Container>(
+      foresight::build_dataset(foresightd::nyx_dataset(dim)));
+}
+
+TEST(ForesightdDatasetCache, CountsHitsAndMisses) {
+  DatasetCache cache(1ull << 30);
+  int builds = 0;
+  const DatasetCache::Builder build = [&] {
+    ++builds;
+    return build_nyx_container(16);
+  };
+  const DatasetCache::Value first = cache.get_or_build("a", build);
+  const DatasetCache::Value again = cache.get_or_build("a", build);
+  EXPECT_EQ(first.get(), again.get());  // same shared container, not a rebuild
+  EXPECT_EQ(builds, 1);
+  const DatasetCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.resident_bytes, first->payload_bytes());
+}
+
+TEST(ForesightdDatasetCache, EvictsByBytesOldestUseFirst) {
+  const std::uint64_t one = build_nyx_container(16)->payload_bytes();
+  ASSERT_GT(one, 0u);
+  // Room for exactly two entries of this size.
+  DatasetCache cache(2 * one);
+  const DatasetCache::Builder build = [] { return build_nyx_container(16); };
+  (void)cache.get_or_build("a", build);
+  (void)cache.get_or_build("b", build);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  (void)cache.get_or_build("a", build);
+  (void)cache.get_or_build("c", build);
+  DatasetCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.resident_bytes, 2 * one);
+
+  // "a" survived the eviction, "b" did not.
+  (void)cache.get_or_build("a", build);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  (void)cache.get_or_build("b", build);
+  EXPECT_EQ(cache.stats().misses, 4u);  // a, b, c, and the re-miss of b
+}
+
+TEST(ForesightdDatasetCache, OversizedEntryReturnedButNeverCached) {
+  DatasetCache cache(64);  // smaller than any real container
+  int builds = 0;
+  const DatasetCache::Builder build = [&] {
+    ++builds;
+    return build_nyx_container(16);
+  };
+  const DatasetCache::Value v = cache.get_or_build("huge", build);
+  ASSERT_NE(v, nullptr);
+  EXPECT_GT(v->payload_bytes(), 64u);
+  const DatasetCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_EQ(stats.evictions, 0u);  // nothing resident was displaced
+  (void)cache.get_or_build("huge", build);
+  EXPECT_EQ(builds, 2);  // every lookup rebuilds: it can never fit
 }
 
 // ---------------------------------------------------------------------------
@@ -705,6 +1060,214 @@ TEST(ForesightdDaemon, ProtocolErrorClosesOnlyTheOffendingConnection) {
   daemon.request_shutdown();
   daemon.wait();
   EXPECT_GE(daemon.stats().protocol_errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ForesightdStreaming (chunked transfers + TCP, end-to-end)
+// ---------------------------------------------------------------------------
+
+bool poll_until(double timeout_seconds, const std::function<bool()>& cond) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<long>(timeout_seconds * 1000));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+/// Daemon wired for streaming tests: TCP enabled on an ephemeral port and a
+/// response_stream_threshold of 1 so even tiny compress results stream back
+/// to v2 clients.
+DaemonOptions streaming_options(const char* tag) {
+  DaemonOptions options;
+  options.socket_path = test_socket_path(tag);
+  options.tcp_port = 0;
+  options.workers = 1;
+  options.response_stream_threshold = 1;
+  return options;
+}
+
+CompressRequest inline_compress_request(const std::string& transfer, const Dims& dims) {
+  CompressRequest request;
+  request.codec = "sz-cpu";
+  request.mode = "abs";
+  request.value = 0.1;
+  request.dataset = inline_dataset(transfer, dims);
+  request.field = "baryon_density";
+  request.return_bytes = true;
+  return request;
+}
+
+TEST(ForesightdStreaming, HelloAdvertisesLimitsOnBothTransports) {
+  const DaemonOptions options = streaming_options("hello");
+  Daemon daemon(options);
+  daemon.start();
+  ASSERT_GT(daemon.bound_tcp_port(), 0);
+  for (const std::string endpoint :
+       {options.socket_path, "tcp:127.0.0.1:" + std::to_string(daemon.bound_tcp_port())}) {
+    Client client(endpoint);
+    const HelloReply hello = client.hello();
+    EXPECT_EQ(hello.proto_major, kProtoMajor) << endpoint;
+    EXPECT_EQ(hello.max_frame_bytes, kMaxFrameBytes);
+    EXPECT_EQ(hello.max_transfer_bytes, options.transfer_limits.max_transfer_bytes);
+    EXPECT_EQ(hello.transfer_budget_bytes, options.transfer_limits.budget_bytes);
+    EXPECT_GT(hello.chunk_bytes, 0u);
+    EXPECT_FALSE(hello.draining);
+  }
+  daemon.request_shutdown();
+  daemon.wait();
+}
+
+TEST(ForesightdStreaming, TcpAndUnixStreamedResponsesByteIdentical) {
+  const Field& field = test_field();
+  const foresight::CompressResult reference =
+      foresight::SessionCache().session("sz-cpu").compress(field, {"abs", 0.1});
+
+  const DaemonOptions options = streaming_options("xport");
+  Daemon daemon(options);
+  daemon.start();
+  std::vector<std::vector<std::uint8_t>> streams;
+  for (const std::string endpoint :
+       {options.socket_path, "tcp:127.0.0.1:" + std::to_string(daemon.bound_tcp_port())}) {
+    Client client(endpoint);
+    // Upload the raw field, then compress it as an inline dataset. The
+    // result streams back (threshold 1) and recv_reply reassembles it.
+    const Client::UploadResult up = client.upload(
+        "f", reinterpret_cast<const std::uint8_t*>(field.data.data()), field.bytes());
+    ASSERT_TRUE(up.ok) << endpoint << ": " << up.reason;
+    EXPECT_EQ(up.received_bytes, field.bytes());
+    const JobReply reply =
+        client.call_reply(inline_compress_request("f", field.dims).to_request(1));
+    ASSERT_TRUE(reply.ok()) << endpoint << ": " << reply.raw.dump();
+    EXPECT_FALSE(reply.payload_transfer.empty()) << "expected a streamed payload";
+    EXPECT_EQ(reply.payload, reference.bytes) << endpoint;
+    streams.push_back(reply.payload);
+  }
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0], streams[1]);  // AF_UNIX and TCP: byte-identical
+  daemon.request_shutdown();
+  daemon.wait();
+  EXPECT_EQ(daemon.stats().transfer_reserved_bytes, 0);
+}
+
+TEST(ForesightdStreaming, V1InlinePayloadMatchesV2Stream) {
+  const DaemonOptions options = streaming_options("compat");
+  Daemon daemon(options);
+  daemon.start();
+  {
+    CompressRequest request;
+    request.codec = "sz-cpu";
+    request.mode = "abs";
+    request.value = 0.1;
+    request.dataset = foresightd::nyx_dataset(16);
+    request.field = "baryon_density";
+    request.return_bytes = true;
+
+    // A v2 client gets the payload as a stream (threshold 1 forces it).
+    Client v2(options.socket_path);
+    const JobReply streamed = v2.call_reply(request.to_request(1));
+    ASSERT_TRUE(streamed.ok()) << streamed.raw.dump();
+    EXPECT_FALSE(streamed.payload_transfer.empty());
+    ASSERT_FALSE(streamed.payload.empty());
+
+    // The same request without a proto field takes the v1 path: the payload
+    // is inlined in the result frame, byte-equal to the v2 stream.
+    Client v1(options.socket_path);
+    JobRequest old = request.to_request(2);
+    old.proto_major = 0;
+    old.proto_minor = 0;
+    const JobReply inlined = JobReply::parse(v1.call(old.to_json()));
+    ASSERT_TRUE(inlined.ok()) << inlined.raw.dump();
+    EXPECT_TRUE(inlined.payload_transfer.empty());
+    EXPECT_FALSE(inlined.payload_omitted);
+    EXPECT_EQ(inlined.payload, streamed.payload);
+
+    // A future major is refused with a structured error naming the
+    // daemon's own version.
+    Client future(options.socket_path);
+    json::Value frame = request.to_request(3).to_json();
+    frame.as_object()["proto"] = "3.0";
+    const JobReply refused = JobReply::parse(future.call(frame));
+    EXPECT_EQ(refused.kind, ReplyKind::kError);
+    EXPECT_EQ(refused.error_code, "unsupported_version");
+    EXPECT_EQ(refused.raw.get("proto", std::string()),
+              foresightd::proto_version_string());
+  }
+  daemon.request_shutdown();
+  daemon.wait();
+}
+
+TEST(ForesightdStreaming, JobReferencingMissingTransferIsRejected) {
+  const DaemonOptions options = streaming_options("missing");
+  Daemon daemon(options);
+  daemon.start();
+  {
+    Client client(options.socket_path);
+    const JobReply reply = client.call_reply(
+        inline_compress_request("ghost", Dims::d3(16, 16, 16)).to_request(4));
+    EXPECT_EQ(reply.status, foresightd::kStatusRejected) << reply.raw.dump();
+    EXPECT_EQ(reply.reason, "transfer_missing");
+  }
+  daemon.request_shutdown();
+  daemon.wait();
+  EXPECT_EQ(daemon.stats().rejected, 1u);
+}
+
+TEST(ForesightdStreaming, MidTransferDisconnectFreesReservedBytes) {
+  const DaemonOptions options = streaming_options("hangup");
+  Daemon daemon(options);
+  daemon.start();
+  {
+    Client dropper(options.socket_path);
+    ChunkMessage begin;
+    begin.type = ChunkType::kBegin;
+    begin.transfer = "doomed";
+    begin.total_bytes = 1u << 20;
+    dropper.send(begin.to_json());
+    const std::vector<std::uint8_t> slice = pattern_bytes(64 * 1024);
+    dropper.send(chunk_data("doomed", 0, slice).to_json());
+    ASSERT_TRUE(poll_until(10.0, [&] {
+      return daemon.stats().transfer_reserved_bytes >= (1 << 20);
+    }));
+  }  // disconnect mid-transfer: the whole table goes with the connection
+  EXPECT_TRUE(poll_until(10.0, [&] {
+    return daemon.stats().transfer_reserved_bytes == 0;
+  }));
+  daemon.request_shutdown();
+  daemon.wait();
+  EXPECT_EQ(daemon.stats().transfers_completed, 0u);
+}
+
+TEST(ForesightdStreaming, AbandonedTransferReapedThenJobRejected) {
+  DaemonOptions options = streaming_options("reap");
+  options.transfer_idle_seconds = 0.05;
+  Daemon daemon(options);
+  daemon.start();
+  {
+    Client idler(options.socket_path);
+    ChunkMessage begin;
+    begin.type = ChunkType::kBegin;
+    begin.transfer = "idle";
+    begin.total_bytes = 1u << 20;
+    idler.send(begin.to_json());
+    const JobReply ack = idler.recv_reply();
+    ASSERT_EQ(ack.kind, ReplyKind::kChunkAck);
+    ASSERT_TRUE(ack.chunk_ok);
+    // Silence: the IO-thread reaper drops the transfer and frees its budget.
+    ASSERT_TRUE(poll_until(10.0, [&] {
+      const Daemon::Stats stats = daemon.stats();
+      return stats.transfers_reaped >= 1 && stats.transfer_reserved_bytes == 0;
+    }));
+    // A job naming the reaped transfer is refused, not hung.
+    const JobReply reply = idler.call_reply(
+        inline_compress_request("idle", Dims::d3(64, 64, 64)).to_request(5));
+    EXPECT_EQ(reply.status, foresightd::kStatusRejected) << reply.raw.dump();
+    EXPECT_EQ(reply.reason, "transfer_missing");
+  }
+  daemon.request_shutdown();
+  daemon.wait();
 }
 
 }  // namespace

@@ -57,10 +57,13 @@
 # --daemon-smoke builds foresightd + daemon_stress (Release) and runs the
 # service-daemon acceptance scenario at full size: the in-process stress
 # (1000+ jobs, 4 clients, mixed codecs, seeded faults — exactly-once
-# statuses, byte-identical streams, budgeted drain), then the real binary
-# under external load with a mid-run SIGTERM, requiring a clean exit 0
-# with metrics flushed. Run it whenever foresightd or the admission/cancel
-# primitives change.
+# statuses, byte-identical streams, budgeted drain, and the chunked
+# streaming phase that round-trips a 192³ = 28 MiB field — past the 16 MiB
+# frame cap — over AF_UNIX and TCP loopback), then the real binary under
+# external load twice: once over TCP loopback to completion, and once over
+# AF_UNIX with a mid-run SIGTERM, requiring a clean exit 0 with metrics
+# flushed. Run it whenever foresightd, the wire protocol, or the
+# admission/cancel primitives change.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -190,23 +193,41 @@ case "${mode}" in
     ;;
   daemon)
     # Full-size acceptance stress, in-process: 1000 jobs from 4 pipelining
-    # clients over the whole codec roster with seeded faults. The harness
-    # exits non-zero on any duplicate/missing status, any stream that
-    # differs from its single-shot reference, or a drain contract breach.
+    # clients over the whole codec roster with seeded faults, plus the
+    # streaming phase (28 MiB chunked round-trip over AF_UNIX + TCP,
+    # byte-identical to the single-shot reference). The harness exits
+    # non-zero on any duplicate/missing status, any stream that differs
+    # from its single-shot reference, or a drain contract breach.
     "${build_dir}/tools/daemon_stress" --jobs 1000 --clients 4
 
-    # Real-binary drain: load a running foresightd externally, SIGTERM it
-    # mid-run, and require a clean exit 0 with final metrics flushed.
+    # Real binary with both listeners up: AF_UNIX socket + an ephemeral
+    # TCP loopback port written to a file once bound.
     sock="${build_dir}/foresightd-smoke.sock"
     metrics="${build_dir}/foresightd-smoke-metrics.json"
+    portfile="${build_dir}/foresightd-smoke.port"
+    rm -f "${portfile}"
     "${build_dir}/tools/foresightd" --socket "${sock}" --workers 2 \
-      --queue-capacity 32 --metrics-out "${metrics}" &
+      --queue-capacity 32 --tcp-port 0 --tcp-port-file "${portfile}" \
+      --metrics-out "${metrics}" &
     daemon_pid=$!
-    for _ in $(seq 1 50); do [[ -S "${sock}" ]] && break; sleep 0.1; done
-    if [[ ! -S "${sock}" ]]; then
-      echo "error: foresightd did not bind ${sock}" >&2
+    for _ in $(seq 1 50); do [[ -S "${sock}" && -s "${portfile}" ]] && break; sleep 0.1; done
+    if [[ ! -S "${sock}" || ! -s "${portfile}" ]]; then
+      echo "error: foresightd did not bind ${sock} + tcp port" >&2
       exit 1
     fi
+
+    # TCP-loopback variant: the same external load generator, fan-in over
+    # TCP, run to completion against the live daemon (no signals). Both
+    # transports share one IO/admission/worker pipeline, so the same
+    # exactly-once and byte-identity gates apply.
+    if ! "${build_dir}/tools/daemon_stress" \
+        --socket "tcp:127.0.0.1:$(cat "${portfile}")" --jobs 400 --clients 2; then
+      echo "error: TCP-loopback daemon_stress reported a protocol violation" >&2
+      exit 1
+    fi
+
+    # Real-binary drain: load the daemon over AF_UNIX, SIGTERM it mid-run,
+    # and require a clean exit 0 with final metrics flushed.
     "${build_dir}/tools/daemon_stress" --socket "${sock}" --jobs 4000 --clients 2 &
     load_pid=$!
     sleep 1

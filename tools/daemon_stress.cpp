@@ -21,21 +21,33 @@
 ///     every in-flight job is still answered exactly once (the drain budget
 ///     cancelling stragglers), and that final metrics were flushed.
 ///
-/// External mode (--socket PATH) drives an already-running foresightd with
-/// the same windowed load and just reports statuses — check.sh uses it as
-/// the load generator for the real-binary SIGTERM drain test, where the
-/// daemon may hang up mid-run (remaining jobs are counted as unanswered,
-/// not errors).
+/// Streaming phase (in-process mode, before the fault phases): a clean
+/// daemon with both AF_UNIX and TCP listeners round-trips a --stream-dim³
+/// field — larger than the 16 MiB frame cap, so it rides the chunked
+/// transfer family — over BOTH transports, asserting the compressed stream
+/// is byte-identical to a single-shot in-process reference; plus v1/v2
+/// response compatibility, unsupported-version rejection, mid-transfer
+/// disconnect (reassembly budget must return to zero) and watchdog reaping
+/// of abandoned transfers.
+///
+/// External mode (--socket ENDPOINT, unix path or tcp:HOST:PORT) drives an
+/// already-running foresightd with the same windowed load and just reports
+/// statuses — check.sh uses it as the load generator for the real-binary
+/// SIGTERM drain test, where the daemon may hang up mid-run (remaining
+/// jobs are counted as unanswered, not errors).
 ///
 /// Usage: daemon_stress [--jobs N] [--clients N] [--window N] [--dim N]
-///                      [--workers N] [--queue-capacity N] [--seed S]
-///                      [--no-faults] [--socket PATH]
+///                      [--stream-dim N] [--workers N] [--queue-capacity N]
+///                      [--seed S] [--no-faults] [--socket ENDPOINT]
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -129,51 +141,63 @@ std::map<std::uint64_t, Outcome> run_client(const std::string& socket, std::size
   bool eof = false;
 
   const auto receive_one = [&] {
-    json::Value reply;
+    foresightd::JobReply reply;
     try {
-      reply = conn.recv();
+      reply = conn.recv_reply();
     } catch (const Error&) {
       if (!tolerate_eof) throw;
       eof = true;
       return;
     }
-    const std::uint64_t id = static_cast<std::uint64_t>(reply.get("id", 0.0));
-    Outcome& out = outcomes[id];
+    Outcome& out = outcomes[reply.id];
     ++out.responses;
-    out.status = reply.get("status", std::string("<none>"));
-    if (reply.contains("crc32")) {
+    out.status = reply.status.empty() ? "<none>" : reply.status;
+    if (reply.raw.contains("crc32")) {
       out.has_crc = true;
-      out.crc = static_cast<std::uint32_t>(reply.at("crc32").as_number());
-      out.bytes = static_cast<std::size_t>(reply.get("compressed_bytes", 0.0));
+      out.crc = static_cast<std::uint32_t>(reply.raw.at("crc32").as_number());
+      out.bytes = static_cast<std::size_t>(reply.raw.get("compressed_bytes", 0.0));
     }
     --outstanding;
   };
 
   for (std::size_t i = 0; i < jobs && !eof; ++i) {
-    foresightd::JobRequest request;
-    request.id = client * 1000000 + i + 1;
+    const std::uint64_t id = client * 1000000 + i + 1;
     const CodecConfig& entry = kRoster[(client + i) % kRosterSize];
-    request.codec = entry.codec;
-    request.dataset = dataset;
-    request.field = "baryon_density";
-    request.priority = static_cast<int>(i % 3);
+    foresightd::JobOptions job_options;
+    job_options.priority = static_cast<int>(i % 3);
+    foresightd::JobRequest request;
     if (i % 50 == 7) {
       // Already expired at admission: must come back as "deadline" (or
       // "rejected" if admission itself refused it), never "ok".
-      request.type = foresightd::RequestType::kRoundtrip;
-      request.mode = entry.mode;
-      request.value = entry.value;
-      request.deadline_seconds = 1e-9;
+      foresightd::RoundtripRequest r;
+      r.codec = entry.codec;
+      r.mode = entry.mode;
+      r.value = entry.value;
+      r.dataset = dataset;
+      r.field = "baryon_density";
+      r.options = job_options;
+      r.options.deadline_seconds = 1e-9;
+      request = r.to_request(id);
     } else if (i % 25 == 3) {
-      request.type = foresightd::RequestType::kSweep;
-      for (int k = 0; k < 3; ++k) request.configs.emplace_back(entry.mode, entry.value);
+      foresightd::SweepRequest s;
+      s.codec = entry.codec;
+      s.dataset = dataset;
+      s.field = "baryon_density";
+      for (int k = 0; k < 3; ++k) s.configs.emplace_back(entry.mode, entry.value);
+      s.options = job_options;
+      request = s.to_request(id);
     } else {
-      request.type = foresightd::RequestType::kRoundtrip;
-      request.mode = entry.mode;
-      request.value = entry.value;
+      foresightd::RoundtripRequest r;
+      r.codec = entry.codec;
+      r.mode = entry.mode;
+      r.value = entry.value;
+      r.dataset = dataset;
+      r.field = "baryon_density";
+      r.options = job_options;
+      request = r.to_request(id);
     }
     try {
-      conn.send(request.to_json());
+      conn.submit(request);
     } catch (const Error&) {
       if (!tolerate_eof) throw;
       eof = true;
@@ -215,6 +239,225 @@ void validate(const std::map<std::uint64_t, Outcome>& outcomes,
                  " (job " + std::to_string(id) + ")");
     }
   }
+}
+
+/// Polls \p cond every 5 ms until it holds or \p timeout_s elapses.
+bool poll_until(double timeout_s, const std::function<bool()>& cond) {
+  Timer timer;
+  while (!cond()) {
+    if (timer.seconds() > timeout_s) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+/// Deterministic synthetic field (xorshift-filled): cheap to build even at
+/// 512^3, and the daemon never sees a dataset spec for it — only the
+/// uploaded bytes — so this exercises the inline-dataset path for real.
+Field make_stream_field(std::size_t dim) {
+  Field field("baryon_density", Dims::d3(dim, dim, dim));
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (float& v : field.data) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v = 1.0f + static_cast<float>(x & 0xffffu) / 65536.0f;
+  }
+  return field;
+}
+
+/// The streaming acceptance scenario (see the file doc): a clean daemon on
+/// both transports, a field past the 16 MiB frame cap uploaded and
+/// compressed byte-identically to the single-shot reference, v1/v2
+/// response compatibility, version refusal, and reassembly-budget hygiene
+/// under disconnect and idling. Failures are recorded through expect().
+void run_stream_phase(std::size_t stream_dim) {
+  const Field field = make_stream_field(stream_dim);
+  const auto* field_bytes = reinterpret_cast<const std::uint8_t*>(field.data.data());
+  const std::size_t field_len = field.bytes();
+  std::printf("daemon_stress: stream phase, %zu^3 field (%.1f MiB raw)\n", stream_dim,
+              static_cast<double>(field_len) / (1 << 20));
+
+  // Single-shot reference with the same codec/config the streamed jobs use.
+  gpu::GpuSimulator sim(gpu::find_device("Tesla V100"));
+  auto compressor = foresight::make_compressor("zfp-cpu", &sim);
+  auto session = compressor->open_session();
+  const foresight::CompressResult ref = session->compress(field, {"rate", 8});
+  const foresight::DecompressResult ref_values = session->decompress(ref);
+  const std::uint32_t ref_values_crc =
+      crc32(reinterpret_cast<const std::uint8_t*>(ref_values.values.data()),
+            ref_values.values.size() * sizeof(float));
+
+  foresightd::DaemonOptions options;
+  options.socket_path = "/tmp/fsd_stream_" + std::to_string(::getpid()) + ".sock";
+  options.workers = 2;
+  options.tcp_port = 0;  // ephemeral port: both transports, one pipeline
+  options.transfer_idle_seconds = 1.0;
+  options.response_stream_threshold = 4096;  // stream even small v2 payloads
+  foresightd::Daemon daemon(options);
+  daemon.start();
+  expect(daemon.bound_tcp_port() > 0, "daemon did not bind a TCP port");
+  const std::string tcp_endpoint =
+      "tcp:127.0.0.1:" + std::to_string(daemon.bound_tcp_port());
+
+  std::uint64_t id = 0;
+  std::map<std::string, std::vector<std::uint8_t>> streams;  // endpoint -> bytes
+  for (const std::string& endpoint : {options.socket_path, tcp_endpoint}) {
+    foresightd::Client client(endpoint);
+    const foresightd::HelloReply hello = client.hello();
+    expect(hello.proto_major == foresightd::kProtoMajor,
+           "hello advertised proto major " + std::to_string(hello.proto_major));
+    expect(hello.max_frame_bytes == foresightd::kMaxFrameBytes,
+           "hello frame-cap mismatch (" + endpoint + ")");
+
+    // Upload the raw field — deliberately larger than one frame can carry.
+    const auto up = client.upload("field", field_bytes, field_len);
+    expect(up.ok, "upload rejected (" + endpoint + "): " + up.reason);
+    expect(up.received_bytes == field_len, "upload size mismatch (" + endpoint + ")");
+    expect(up.crc32 == crc32(field_bytes, field_len),
+           "upload crc mismatch (" + endpoint + ")");
+
+    // Compress via the inline-dataset path; the oversized result must come
+    // back as a server->client stream and match the reference exactly.
+    foresightd::CompressRequest creq;
+    creq.codec = "zfp-cpu";
+    creq.mode = "rate";
+    creq.value = 8;
+    creq.dataset = foresightd::inline_dataset("field", field.dims);
+    creq.field = "baryon_density";
+    creq.return_bytes = true;
+    const foresightd::JobReply reply = client.call_reply(creq.to_request(++id));
+    expect(reply.ok(), "streamed compress failed (" + endpoint + "): status=" +
+                           reply.status + " reason=" + reply.reason + " " + reply.error);
+    expect(!reply.payload_transfer.empty(),
+           "oversized payload was not streamed (" + endpoint + ")");
+    expect(reply.payload == ref.bytes,
+           "streamed payload is not byte-identical to the single-shot reference (" +
+               endpoint + ")");
+    streams[endpoint] = reply.payload;
+
+    // Round the stream back through decompress-by-transfer.
+    if (reply.payload.empty()) continue;  // already failed above; don't cascade
+    const auto up2 = client.upload("stream", reply.payload);
+    expect(up2.ok, "stream re-upload rejected (" + endpoint + "): " + up2.reason);
+    foresightd::DecompressRequest dreq;
+    dreq.codec = "zfp-cpu";
+    dreq.payload_transfer = "stream";
+    const foresightd::JobReply dec = client.call_reply(dreq.to_request(++id));
+    expect(dec.ok(), "streamed decompress failed (" + endpoint + "): status=" +
+                         dec.status + " reason=" + dec.reason);
+    expect(static_cast<std::uint32_t>(dec.raw.get("values_crc32", 0.0)) == ref_values_crc,
+           "decompressed values crc mismatch (" + endpoint + ")");
+  }
+  // Both matching the reference already implies this, but it is the
+  // acceptance criterion, so assert it directly.
+  expect(streams[options.socket_path] == streams[tcp_endpoint],
+         "AF_UNIX and TCP returned different streams");
+
+  {
+    // v1 (no proto field) gets the payload inline when it fits one frame;
+    // the same request at v2 rides the response stream (threshold 4 KiB).
+    foresightd::Client compat(options.socket_path);
+    foresightd::CompressRequest small;
+    small.codec = "zfp-cpu";
+    small.mode = "rate";
+    small.value = 8;
+    small.dataset = foresightd::nyx_dataset(32);
+    small.field = "baryon_density";
+    small.return_bytes = true;
+    foresightd::JobRequest v1 = small.to_request(++id);
+    v1.proto_major = 0;  // pre-versioning client: no proto field at all
+    v1.proto_minor = 0;
+    const auto v1_reply = foresightd::JobReply::parse(compat.call(v1.to_json()));
+    expect(v1_reply.ok() && !v1_reply.payload.empty() && v1_reply.payload_transfer.empty(),
+           "v1 client did not get an inline payload");
+    const foresightd::JobReply v2_reply = compat.call_reply(small.to_request(++id));
+    expect(v2_reply.ok() && !v2_reply.payload_transfer.empty(),
+           "v2 client did not get a streamed payload past the threshold");
+    expect(v1_reply.payload == v2_reply.payload,
+           "v1 inline and v2 streamed payloads differ");
+
+    // A future major version must be refused with a structured error.
+    json::Value future = small.to_request(++id).to_json();
+    future.as_object()["proto"] = "3.0";
+    const auto refused = foresightd::JobReply::parse(compat.call(future));
+    expect(refused.kind == foresightd::ReplyKind::kError &&
+               refused.error_code == "unsupported_version",
+           "proto 3.0 was not refused with unsupported_version");
+  }
+
+  {
+    // Mid-transfer disconnect: the daemon must release the reassembly
+    // budget when the connection dies, never leak it.
+    {
+      foresightd::Client dropper(options.socket_path);
+      foresightd::ChunkMessage begin;
+      begin.type = foresightd::ChunkType::kBegin;
+      begin.transfer = "abandoned";
+      begin.total_bytes = field_len;
+      dropper.send(begin.to_json());
+      foresightd::ChunkMessage data;
+      data.type = foresightd::ChunkType::kData;
+      data.transfer = "abandoned";
+      data.seq = 0;
+      data.payload.assign(field_bytes, field_bytes + (1 << 20));
+      data.crc32 = crc32(data.payload.data(), data.payload.size());
+      data.has_crc32 = true;
+      dropper.send(data.to_json());
+      expect(poll_until(5.0,
+                        [&] { return daemon.stats().transfer_reserved_bytes > 0; }),
+             "daemon never reserved budget for the abandoned transfer");
+    }  // dropper hangs up here, mid-transfer
+    expect(poll_until(5.0, [&] { return daemon.stats().transfer_reserved_bytes == 0; }),
+           "mid-transfer disconnect leaked reassembly budget");
+  }
+
+  {
+    // Watchdog reap: a half-finished transfer idling on a *live* connection
+    // is reaped after transfer_idle_seconds and its budget released.
+    foresightd::Client idler(options.socket_path);
+    foresightd::ChunkMessage begin;
+    begin.type = foresightd::ChunkType::kBegin;
+    begin.transfer = "idle";
+    begin.total_bytes = 1 << 20;
+    idler.send(begin.to_json());
+    const foresightd::JobReply ack = idler.recv_reply();
+    expect(ack.kind == foresightd::ReplyKind::kChunkAck && ack.chunk_ok,
+           "begin for the idle transfer was not acked");
+    const std::uint64_t reaped_before = daemon.stats().transfers_reaped;
+    expect(poll_until(10.0,
+                      [&] {
+                        const auto s = daemon.stats();
+                        return s.transfers_reaped > reaped_before &&
+                               s.transfer_reserved_bytes == 0;
+                      }),
+           "watchdog did not reap the idle transfer");
+
+    // A job referencing the reaped transfer must be rejected, never hang.
+    foresightd::CompressRequest ghost;
+    ghost.codec = "zfp-cpu";
+    ghost.mode = "rate";
+    ghost.value = 8;
+    ghost.dataset = foresightd::inline_dataset("idle", Dims::d3(64, 64, 64));
+    ghost.field = "baryon_density";
+    const foresightd::JobReply gr = idler.call_reply(ghost.to_request(++id));
+    expect(gr.status == "rejected" && gr.reason == "transfer_missing",
+           "job on a reaped transfer was not rejected with transfer_missing");
+  }
+
+  daemon.request_shutdown();
+  daemon.wait();
+  const auto s = daemon.stats();
+  expect(s.admitted == s.ok + s.failed + s.cancelled + s.deadline,
+         "stream phase: admitted jobs do not partition into terminal statuses");
+  expect(s.transfer_reserved_bytes == 0,
+         "stream phase ended with reserved transfer bytes");
+  expect(s.transfers_completed >= 4, "expected at least four completed transfers");
+  expect(s.dataset_cache.hits + s.dataset_cache.misses > 0,
+         "dataset cache was never consulted");
+  std::printf(
+      "daemon_stress: stream phase ok (%zu-byte stream, unix+tcp byte-identical)\n",
+      streams[tcp_endpoint].size());
 }
 
 int run_external(const CliArgs& args) {
@@ -272,6 +515,12 @@ int main(int argc, char** argv) {
     const Field& field = data.find("baryon_density").field;
     const auto refs = compute_references(field);
 
+    // --- Streaming phase: chunked transfers over AF_UNIX + TCP, before
+    // any fault plan is installed (streams must be byte-exact). ---
+    const std::size_t stream_dim =
+        static_cast<std::size_t>(args.get_int("stream-dim", 192));
+    if (stream_dim > 0) run_stream_phase(stream_dim);
+
     // --- Phase B: the stressed daemon. ---
     foresightd::DaemonOptions options;
     options.socket_path =
@@ -312,7 +561,7 @@ int main(int argc, char** argv) {
       validate(results[c], refs, c + 1, dim, counts);
     }
     expect(counts["ok"] > 0, "stress produced no ok jobs");
-    if (options.faults) {
+    if (options.faults && jobs >= 100) {  // tiny runs may dodge every fault
       expect(counts["failed"] > 0,
              "fault injection produced no contained failures (suspicious)");
     }
@@ -327,14 +576,12 @@ int main(int argc, char** argv) {
     const std::uint64_t admitted_before = daemon.stats().admitted;
     const std::size_t slow_jobs = 8;
     for (std::size_t i = 0; i < slow_jobs; ++i) {
-      foresightd::JobRequest request;
-      request.id = 9000000 + i;
-      request.type = foresightd::RequestType::kSweep;
-      request.codec = "sz-cpu";
-      request.dataset = dataset_spec(32);
-      request.field = "baryon_density";
-      for (int k = 0; k < 64; ++k) request.configs.emplace_back("abs", 0.1);
-      control.send(request.to_json());
+      foresightd::SweepRequest slow;
+      slow.codec = "sz-cpu";
+      slow.dataset = dataset_spec(32);
+      slow.field = "baryon_density";
+      for (int k = 0; k < 64; ++k) slow.configs.emplace_back("abs", 0.1);
+      control.submit(slow.to_request(9000000 + i));
     }
     // Shut down only once everything is admitted, so the drain really does
     // find in-flight work (otherwise this would race toward 8 "draining"
@@ -346,25 +593,22 @@ int main(int argc, char** argv) {
     while (!prober.ping().get("draining", false)) {
       std::this_thread::yield();
     }
-    foresightd::JobRequest late;
-    late.id = 9999999;
-    late.type = foresightd::RequestType::kRoundtrip;
+    foresightd::RoundtripRequest late;
     late.codec = "sz-cpu";
     late.mode = "abs";
     late.value = 0.1;
     late.dataset = dataset_spec(dim);
     late.field = "baryon_density";
-    const json::Value refusal = prober.call(late.to_json());
-    expect(refusal.get("status", std::string()) == "rejected" &&
-               refusal.get("reason", std::string()) == "draining",
+    const foresightd::JobReply refusal = prober.call_reply(late.to_request(9999999));
+    expect(refusal.status == "rejected" && refusal.reason == "draining",
            "post-drain submission was not rejected with 'draining'");
 
     std::map<std::uint64_t, int> drain_answers;
     std::map<std::string, std::size_t> drain_counts;
     for (std::size_t i = 0; i < slow_jobs; ++i) {
-      const json::Value reply = control.recv();
-      ++drain_answers[static_cast<std::uint64_t>(reply.get("id", 0.0))];
-      ++drain_counts[reply.get("status", std::string("<none>"))];
+      const foresightd::JobReply reply = control.recv_reply();
+      ++drain_answers[reply.id];
+      ++drain_counts[reply.status.empty() ? "<none>" : reply.status];
     }
     for (const auto& [id, n] : drain_answers) {
       expect(n == 1, "drain job " + std::to_string(id) + " answered " +

@@ -16,8 +16,9 @@
 ///                                   (--trace-out/--metrics-out enable the
 ///                                   telemetry layer for the run)
 ///   trace-check <trace.json>        validate a Chrome trace export
-///   daemon <ping|metrics|shutdown|submit> --socket PATH
-///                                   talk to a running foresightd
+///   daemon <ping|hello|metrics|shutdown|submit> --socket ENDPOINT
+///                                   talk to a running foresightd over
+///                                   AF_UNIX (a path) or tcp:HOST:PORT
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -63,8 +64,9 @@ int usage() {
                "           [--linking-length L] [--min-members N]\n"
                "  run CONFIG.json [--fail-fast] [--trace-out FILE] [--metrics-out FILE]\n"
                "  trace-check TRACE.json\n"
-               "  daemon ping|metrics|shutdown --socket PATH\n"
-               "  daemon submit --socket PATH --codec NAME [--job roundtrip|compress]\n"
+               "  daemon ping|hello|metrics|shutdown --socket ENDPOINT\n"
+               "  daemon submit --socket ENDPOINT --codec NAME [--job roundtrip|compress]\n"
+               "      (ENDPOINT: a unix socket path or tcp:HOST:PORT)\n"
                "         [--mode M --value V] [--type nyx|hacc] [--dim N] [--particles N]\n"
                "         [--seed S] [--field NAME] [--deadline SECONDS] [--priority P]\n");
   return 2;
@@ -391,46 +393,74 @@ int cmd_trace_check(const CliArgs& args) {
   return events.empty() ? 1 : 0;
 }
 
-/// Talks to a running foresightd: control requests (ping/metrics/shutdown)
-/// or a single synchronous job submission, response printed as JSON.
+/// Talks to a running foresightd over AF_UNIX or TCP ("tcp:host:port"):
+/// control requests (ping/hello/metrics/shutdown) or a single synchronous
+/// job submission through the typed API, response printed as JSON.
 int cmd_daemon(const CliArgs& args) {
   const auto& positional = args.positional();
   const std::string action = positional.size() > 1 ? positional[1] : "";
   const std::string socket = args.get("socket", "");
   if (socket.empty() || action.empty()) {
-    std::fprintf(stderr, "daemon: an action and --socket PATH are required\n");
+    std::fprintf(stderr, "daemon: an action and --socket ENDPOINT are required\n");
     return 2;
   }
   foresightd::Client client(socket);
   json::Value reply;
   if (action == "ping") {
     reply = client.ping();
+  } else if (action == "hello") {
+    const foresightd::HelloReply hello = client.hello();
+    std::printf("proto %d.%d  max_frame %llu  chunk %llu  max_transfer %llu%s\n",
+                hello.proto_major, hello.proto_minor,
+                static_cast<unsigned long long>(hello.max_frame_bytes),
+                static_cast<unsigned long long>(hello.chunk_bytes),
+                static_cast<unsigned long long>(hello.max_transfer_bytes),
+                hello.draining ? "  (draining)" : "");
+    return 0;
   } else if (action == "metrics") {
     reply = client.metrics();
   } else if (action == "shutdown") {
     reply = client.shutdown();
   } else if (action == "submit") {
-    foresightd::JobRequest request;
-    request.id = 1;
     const std::string job = args.get("job", "roundtrip");
-    request.type = job == "compress" ? foresightd::RequestType::kCompress
-                                     : foresightd::RequestType::kRoundtrip;
-    request.codec = args.get("codec", "sz-cpu");
-    request.mode = args.get("mode", "abs");
-    request.value = args.get_double("value", 0.1);
-    request.field = args.get("field", "baryon_density");
-    request.deadline_seconds = args.get_double("deadline", 0.0);
-    request.priority = static_cast<int>(args.get_int("priority", 1));
-    json::Object spec;
-    spec["type"] = args.get("type", "nyx");
-    if (spec["type"] == json::Value("hacc")) {
-      spec["particles"] = static_cast<std::size_t>(args.get_int("particles", 100000));
-    } else {
-      spec["dim"] = static_cast<std::size_t>(args.get_int("dim", 32));
+    json::Value dataset;
+    {
+      json::Object spec;
+      spec["type"] = args.get("type", "nyx");
+      if (spec["type"] == json::Value("hacc")) {
+        spec["particles"] = static_cast<std::size_t>(args.get_int("particles", 100000));
+      } else {
+        spec["dim"] = static_cast<std::size_t>(args.get_int("dim", 32));
+      }
+      spec["seed"] = static_cast<std::size_t>(args.get_int("seed", 42));
+      dataset = json::Value(std::move(spec));
     }
-    spec["seed"] = static_cast<std::size_t>(args.get_int("seed", 42));
-    request.dataset = json::Value(std::move(spec));
-    reply = client.call(request.to_json());
+    foresightd::JobOptions options;
+    options.deadline_seconds = args.get_double("deadline", 0.0);
+    options.priority = static_cast<int>(args.get_int("priority", 1));
+
+    foresightd::JobReply typed;
+    if (job == "compress") {
+      foresightd::CompressRequest request;
+      request.codec = args.get("codec", "sz-cpu");
+      request.mode = args.get("mode", "abs");
+      request.value = args.get_double("value", 0.1);
+      request.dataset = dataset;
+      request.field = args.get("field", "baryon_density");
+      request.options = options;
+      typed = client.call_reply(request.to_request(1));
+    } else {
+      foresightd::RoundtripRequest request;
+      request.codec = args.get("codec", "sz-cpu");
+      request.mode = args.get("mode", "abs");
+      request.value = args.get_double("value", 0.1);
+      request.dataset = dataset;
+      request.field = args.get("field", "baryon_density");
+      request.options = options;
+      typed = client.call_reply(request.to_request(1));
+    }
+    std::printf("%s\n", typed.raw.dump(2).c_str());
+    return typed.ok() ? 0 : 1;
   } else {
     std::fprintf(stderr, "daemon: unknown action '%s'\n", action.c_str());
     return 2;

@@ -1,12 +1,21 @@
 /// \file foresightd_main.cpp
-/// \brief The foresightd binary: serve compression jobs over a Unix socket.
+/// \brief The foresightd binary: serve compression jobs over a Unix socket
+/// and, optionally, a TCP listener sharing the same pipeline.
 ///
 /// Usage:
 ///   foresightd --socket /tmp/foresightd.sock [--workers N]
+///              [--tcp-port PORT] [--tcp-host 127.0.0.1]
+///              [--tcp-port-file PATH]
 ///              [--queue-capacity N] [--quota N] [--priorities N]
 ///              [--default-deadline SECONDS] [--drain-budget SECONDS]
+///              [--transfer-idle SECONDS] [--transfer-budget BYTES]
+///              [--stream-threshold BYTES] [--dataset-cache BYTES]
 ///              [--gpu "Tesla V100"] [--metrics-out metrics.json]
 ///              [--config config.json]
+///
+/// --tcp-port 0 binds an ephemeral port; --tcp-port-file writes the bound
+/// port as a single decimal line once listening (for scripts that need to
+/// discover it).
 ///
 /// --config points at a JSON file whose optional "faults" object installs a
 /// deterministic fault plan for the daemon's lifetime (same schema as the
@@ -53,11 +62,24 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  options.tcp_port = static_cast<int>(args.get_int("tcp-port", -1));
+  options.tcp_host = args.get("tcp-host", "127.0.0.1");
   options.queue_capacity = static_cast<std::size_t>(args.get_int("queue-capacity", 64));
   options.per_client_quota = static_cast<std::size_t>(args.get_int("quota", 0));
   options.priorities = static_cast<int>(args.get_int("priorities", 3));
   options.default_deadline_seconds = args.get_double("default-deadline", 0.0);
   options.drain_budget_seconds = args.get_double("drain-budget", 5.0);
+  options.transfer_idle_seconds = args.get_double("transfer-idle", 30.0);
+  const auto transfer_budget = args.get_int("transfer-budget", 0);
+  if (transfer_budget > 0) {
+    options.transfer_limits.budget_bytes = static_cast<std::uint64_t>(transfer_budget);
+  }
+  options.response_stream_threshold =
+      static_cast<std::uint64_t>(args.get_int("stream-threshold", 0));
+  const auto cache_bytes = args.get_int("dataset-cache", 0);
+  if (cache_bytes > 0) {
+    options.dataset_cache_bytes = static_cast<std::uint64_t>(cache_bytes);
+  }
   options.gpu = args.get("gpu", "Tesla V100");
   options.metrics_out = args.get("metrics-out", "");
 
@@ -72,21 +94,38 @@ int main(int argc, char** argv) {
     g_signal_fd.store(daemon.signal_fd(), std::memory_order_relaxed);
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
-    std::fprintf(stderr, "foresightd: listening on %s (%zu workers, capacity %zu)\n",
-                 options.socket_path.c_str(), options.workers, options.queue_capacity);
+    if (daemon.bound_tcp_port() >= 0) {
+      std::fprintf(stderr,
+                   "foresightd: listening on %s + tcp:%s:%d (%zu workers, capacity %zu)\n",
+                   options.socket_path.c_str(), options.tcp_host.c_str(),
+                   daemon.bound_tcp_port(), options.workers, options.queue_capacity);
+      const std::string port_file = args.get("tcp-port-file", "");
+      if (!port_file.empty()) {
+        if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {
+          std::fprintf(f, "%d\n", daemon.bound_tcp_port());
+          std::fclose(f);
+        }
+      }
+    } else {
+      std::fprintf(stderr, "foresightd: listening on %s (%zu workers, capacity %zu)\n",
+                   options.socket_path.c_str(), options.workers, options.queue_capacity);
+    }
     daemon.wait();
 
     const auto s = daemon.stats();
     std::fprintf(stderr,
                  "foresightd: drained. admitted=%llu ok=%llu failed=%llu cancelled=%llu "
-                 "deadline=%llu rejected=%llu protocol_errors=%llu queue_high_water=%zu\n",
+                 "deadline=%llu rejected=%llu protocol_errors=%llu queue_high_water=%zu "
+                 "transfers=%llu transfers_reaped=%llu\n",
                  static_cast<unsigned long long>(s.admitted),
                  static_cast<unsigned long long>(s.ok),
                  static_cast<unsigned long long>(s.failed),
                  static_cast<unsigned long long>(s.cancelled),
                  static_cast<unsigned long long>(s.deadline),
                  static_cast<unsigned long long>(s.rejected),
-                 static_cast<unsigned long long>(s.protocol_errors), s.queue_high_water);
+                 static_cast<unsigned long long>(s.protocol_errors), s.queue_high_water,
+                 static_cast<unsigned long long>(s.transfers_completed),
+                 static_cast<unsigned long long>(s.transfers_reaped));
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "foresightd: %s\n", e.what());

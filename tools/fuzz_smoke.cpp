@@ -30,6 +30,7 @@
 #include "foresightd/protocol.hpp"
 #include "fz/fz.hpp"
 #include "io/container.hpp"
+#include "io/crc32.hpp"
 #include "sz/pwrel.hpp"
 #include "sz/sz.hpp"
 #include "zfp/chunked.hpp"
@@ -248,6 +249,80 @@ int main(int argc, char** argv) {
        [](const std::vector<std::uint8_t>& b) {
          (void)foresightd::base64_decode(std::string(b.begin(), b.end()));
        }});
+  // Chunked-transfer reassembly, single message: mutations of one
+  // chunk_data JSON hit the seq, crc32, payload and transfer-id fields.
+  // Malformed messages must throw FormatError from parse; well-formed but
+  // wrong ones (bad seq, crc mismatch, overrun) must come back as failure
+  // acks from the table — never a crash.
+  foresightd::ChunkMessage chunk_msg;
+  chunk_msg.type = foresightd::ChunkType::kData;
+  chunk_msg.transfer = "fuzz";
+  chunk_msg.seq = 0;
+  chunk_msg.payload = raw_bytes;
+  chunk_msg.crc32 = crc32(raw_bytes.data(), raw_bytes.size());
+  const std::string chunk_text = chunk_msg.to_json().dump();
+  surfaces.push_back(
+      {"fsd-chunk", std::vector<std::uint8_t>(chunk_text.begin(), chunk_text.end()),
+       [&raw_bytes](const std::vector<std::uint8_t>& b) {
+         foresightd::TransferTable table{foresightd::TransferLimits{}};
+         foresightd::ChunkMessage begin;
+         begin.type = foresightd::ChunkType::kBegin;
+         begin.transfer = "fuzz";
+         begin.total_bytes = raw_bytes.size();
+         (void)table.apply(begin);
+         const std::string text(b.begin(), b.end());
+         (void)table.apply(foresightd::ChunkMessage::parse(json::parse(text)));
+       }});
+  // Interleaved transfers on one table: two woven uploads, so mutations
+  // produce truncated transfers, duplicate begins, declared-size
+  // mismatches, crc mismatches and cross-transfer sequence errors.
+  std::vector<std::uint8_t> woven;
+  {
+    const auto add_frame = [&woven](const foresightd::ChunkMessage& m) {
+      const std::vector<std::uint8_t> f = foresightd::encode_frame(m.to_json());
+      woven.insert(woven.end(), f.begin(), f.end());
+    };
+    const std::size_t half = raw_bytes.size() / 2;
+    for (const char* id : {"a", "b"}) {
+      foresightd::ChunkMessage begin;
+      begin.type = foresightd::ChunkType::kBegin;
+      begin.transfer = id;
+      begin.total_bytes = raw_bytes.size();
+      add_frame(begin);
+    }
+    for (std::size_t part = 0; part < 2; ++part) {
+      for (const char* id : {"a", "b"}) {
+        foresightd::ChunkMessage data;
+        data.type = foresightd::ChunkType::kData;
+        data.transfer = id;
+        data.seq = part;
+        const std::size_t from = part == 0 ? 0 : half;
+        const std::size_t to = part == 0 ? half : raw_bytes.size();
+        data.payload.assign(raw_bytes.begin() + static_cast<std::ptrdiff_t>(from),
+                            raw_bytes.begin() + static_cast<std::ptrdiff_t>(to));
+        data.crc32 = crc32(data.payload.data(), data.payload.size());
+        add_frame(data);
+      }
+    }
+    for (const char* id : {"a", "b"}) {
+      foresightd::ChunkMessage end;
+      end.type = foresightd::ChunkType::kEnd;
+      end.transfer = id;
+      end.crc32 = crc32(raw_bytes.data(), raw_bytes.size());
+      end.has_crc32 = true;
+      add_frame(end);
+    }
+  }
+  surfaces.push_back({"fsd-chunk-interleaved", woven,
+                      [](const std::vector<std::uint8_t>& b) {
+                        foresightd::TransferTable table{foresightd::TransferLimits{}};
+                        foresightd::FrameParser parser;
+                        parser.feed(b.data(), b.size());
+                        while (auto frame = parser.next()) {
+                          if (!foresightd::ChunkMessage::is_chunk(*frame)) continue;
+                          (void)table.apply(foresightd::ChunkMessage::parse(*frame));
+                        }
+                      }});
   surfaces.push_back({"container", container_bytes,
                       [&container_path](const std::vector<std::uint8_t>& b) {
                         std::ofstream out(container_path, std::ios::binary | std::ios::trunc);
